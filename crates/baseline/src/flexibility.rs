@@ -1,0 +1,150 @@
+//! The flexibility/enforcement experiment (experiment E1 in
+//! `DESIGN.md`): quantifying §2's qualitative comparison.
+//!
+//! A good flow manager should accept every *schema-valid* designer move
+//! (flexibility — no "flow straight-jacket") while rejecting
+//! schema-invalid ones (methodology enforcement). Dynamically defined
+//! flows achieve both; predefined flows sacrifice flexibility; raw
+//! traces sacrifice enforcement.
+
+use hercules_schema::TaskSchema;
+
+use crate::managers::FlowManager;
+use crate::moves::Session;
+
+/// Confusion-matrix style outcome of offering one session to one
+/// manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Outcome {
+    /// Schema-valid moves the manager accepted.
+    pub accepted_valid: usize,
+    /// Schema-valid moves the manager rejected (lost flexibility).
+    pub rejected_valid: usize,
+    /// Schema-invalid moves the manager accepted (lost enforcement).
+    pub accepted_invalid: usize,
+    /// Schema-invalid moves the manager rejected.
+    pub rejected_invalid: usize,
+}
+
+impl Outcome {
+    /// Flexibility: fraction of schema-valid moves accepted (1.0 is
+    /// best).
+    pub fn flexibility(&self) -> f64 {
+        let total = self.accepted_valid + self.rejected_valid;
+        if total == 0 {
+            return 1.0;
+        }
+        self.accepted_valid as f64 / total as f64
+    }
+
+    /// Enforcement: fraction of schema-invalid moves rejected (1.0 is
+    /// best).
+    pub fn enforcement(&self) -> f64 {
+        let total = self.accepted_invalid + self.rejected_invalid;
+        if total == 0 {
+            return 1.0;
+        }
+        self.rejected_invalid as f64 / total as f64
+    }
+
+    /// Accumulates another outcome.
+    pub fn merge(&mut self, other: Outcome) {
+        self.accepted_valid += other.accepted_valid;
+        self.rejected_valid += other.rejected_valid;
+        self.accepted_invalid += other.accepted_invalid;
+        self.rejected_invalid += other.rejected_invalid;
+    }
+}
+
+/// Offers every move of a session to a manager and tallies the outcome.
+pub fn evaluate(
+    schema: &TaskSchema,
+    manager: &mut dyn FlowManager,
+    session: &Session,
+) -> Outcome {
+    let mut out = Outcome::default();
+    for &(mv, valid) in &session.moves {
+        let accepted = manager.offer(schema, mv);
+        match (valid, accepted) {
+            (true, true) => out.accepted_valid += 1,
+            (true, false) => out.rejected_valid += 1,
+            (false, true) => out.accepted_invalid += 1,
+            (false, false) => out.rejected_invalid += 1,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::managers::{DynamicManager, StaticFlowManager, TraceManager};
+    use crate::moves::random_session;
+    use hercules_schema::fixtures;
+
+    fn experiment() -> (TaskSchema, Vec<Session>) {
+        let schema = fixtures::fig1();
+        let sessions: Vec<Session> = (0..20)
+            .map(|seed| random_session(&schema, 40, 0.7, seed))
+            .collect();
+        (schema, sessions)
+    }
+
+    #[test]
+    fn dynamic_manager_is_flexible_and_enforcing() {
+        let (schema, sessions) = experiment();
+        let mut total = Outcome::default();
+        for s in &sessions {
+            let mut m = DynamicManager::new(&schema);
+            total.merge(evaluate(&schema, &mut m, s));
+        }
+        assert_eq!(total.flexibility(), 1.0, "no straight-jacket");
+        assert_eq!(total.enforcement(), 1.0, "methodology still enforced");
+    }
+
+    #[test]
+    fn static_manager_loses_flexibility_but_enforces() {
+        let (schema, sessions) = experiment();
+        let mut total = Outcome::default();
+        for s in &sessions {
+            let mut m = StaticFlowManager::reference_flow(&schema);
+            total.merge(evaluate(&schema, &mut m, s));
+        }
+        assert!(
+            total.flexibility() < 1.0,
+            "the fixed sequence rejects valid moves"
+        );
+        assert!(total.enforcement() > 0.9, "off-flow moves are rejected");
+    }
+
+    #[test]
+    fn trace_manager_is_flexible_but_never_enforces() {
+        let (schema, sessions) = experiment();
+        let mut total = Outcome::default();
+        for s in &sessions {
+            let mut m = TraceManager::new();
+            total.merge(evaluate(&schema, &mut m, s));
+        }
+        assert_eq!(total.flexibility(), 1.0);
+        assert_eq!(total.enforcement(), 0.0, "anything goes");
+    }
+
+    #[test]
+    fn ordering_matches_the_papers_claim() {
+        // dynamic dominates both baselines on the combined score.
+        let (schema, sessions) = experiment();
+        let score = |mk: &mut dyn FnMut() -> Box<dyn FlowManager>| -> f64 {
+            let mut total = Outcome::default();
+            for s in &sessions {
+                let mut m = mk();
+                total.merge(evaluate(&schema, m.as_mut(), s));
+            }
+            total.flexibility() + total.enforcement()
+        };
+        let dynamic = score(&mut || Box::new(DynamicManager::new(&schema)));
+        let static_ = score(&mut || Box::new(StaticFlowManager::reference_flow(&schema)));
+        let trace = score(&mut || Box::new(TraceManager::new()));
+        assert!(dynamic > static_);
+        assert!(dynamic > trace);
+    }
+}

@@ -1,0 +1,48 @@
+//! Baseline design-management approaches compared in §2 of the paper.
+//!
+//! The paper argues qualitatively against two prior styles; this crate
+//! implements both — plus a conventional version-tree store — behind a
+//! common [`FlowManager`] interface so the comparison can be *measured*:
+//!
+//! * [`StaticFlowManager`] — JESSI \[3\] / NELSIS \[5\] style predefined
+//!   flows: the designer must follow a fixed activity sequence (the
+//!   "flow straight-jacket" of Rumsey & Farquhar \[1\]);
+//! * [`TraceManager`] — Casotto \[8\] style design traces: every action is
+//!   recorded and nothing is enforced; an existing trace can serve as a
+//!   prototype for a new activity;
+//! * [`DynamicManager`] — this paper's dynamically defined flows:
+//!   accepts every schema-valid move and rejects the rest;
+//! * [`VersionTreeStore`] — a standalone check-in version tree, the
+//!   Fig. 11a baseline that flow traces subsume.
+//!
+//! The [`flexibility`] module runs the acceptance/enforcement experiment
+//! (experiment E1 of `DESIGN.md`); see `crates/bench` for the measured
+//! comparison.
+//!
+//! # Examples
+//!
+//! ```
+//! use hercules_baseline::{DynamicManager, FlowManager, Move};
+//! use hercules_schema::fixtures;
+//!
+//! # fn main() -> Result<(), hercules_schema::SchemaError> {
+//! let schema = fixtures::fig1();
+//! let mut manager = DynamicManager::new(&schema);
+//! let edit = Move { goal: schema.require("EditedNetlist")? };
+//! assert!(manager.offer(&schema, edit));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod managers;
+mod moves;
+mod version_tree;
+
+pub mod flexibility;
+
+pub use managers::{DynamicManager, FlowManager, StaticFlowManager, TraceManager};
+pub use moves::{is_schema_valid, random_session, Holdings, Move, Session};
+pub use version_tree::{VersionId, VersionRecord, VersionTreeStore};

@@ -1,0 +1,215 @@
+//! The three flow-management styles the paper compares (§2), as
+//! implementations of one [`FlowManager`] interface.
+
+use hercules_schema::{EntityTypeId, TaskSchema};
+
+use crate::moves::{is_schema_valid, Holdings, Move};
+
+/// A flow manager judges designer moves.
+pub trait FlowManager {
+    /// Human-readable style name.
+    fn name(&self) -> &'static str;
+
+    /// Offers a move; returns `true` if the manager accepts it. The
+    /// manager updates its own state (holdings, cursor, trace) as a
+    /// side effect of acceptance.
+    fn offer(&mut self, schema: &TaskSchema, mv: Move) -> bool;
+}
+
+/// Dynamically defined flows (this paper): any schema-valid move is
+/// acceptable — "the designer should be able to perform any allowable
+/// task in any order" (§3.3) — and schema-invalid moves are rejected,
+/// so the methodology is still enforced.
+#[derive(Debug, Clone)]
+pub struct DynamicManager {
+    holdings: Holdings,
+}
+
+impl DynamicManager {
+    /// Creates the manager with primary entities in hand.
+    pub fn new(schema: &TaskSchema) -> DynamicManager {
+        DynamicManager {
+            holdings: Holdings::initial(schema),
+        }
+    }
+}
+
+impl FlowManager for DynamicManager {
+    fn name(&self) -> &'static str {
+        "dynamic"
+    }
+
+    fn offer(&mut self, schema: &TaskSchema, mv: Move) -> bool {
+        if is_schema_valid(schema, &self.holdings, mv) {
+            self.holdings.add(mv.goal);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// A JESSI/NELSIS-style predefined flow: "a predefined sequence of
+/// activities" the designer must follow step by step — the "flow
+/// straight-jacket" of Rumsey & Farquhar \[1\].
+#[derive(Debug, Clone)]
+pub struct StaticFlowManager {
+    sequence: Vec<EntityTypeId>,
+    cursor: usize,
+}
+
+impl StaticFlowManager {
+    /// Creates the manager with a fixed activity sequence (each entry
+    /// the goal entity of one step).
+    pub fn new(sequence: Vec<EntityTypeId>) -> StaticFlowManager {
+        StaticFlowManager {
+            sequence,
+            cursor: 0,
+        }
+    }
+
+    /// Builds the "reference methodology" flow for a schema: a
+    /// topological pass constructing every concrete, constructible
+    /// entity exactly once.
+    pub fn reference_flow(schema: &TaskSchema) -> StaticFlowManager {
+        let sequence = schema
+            .topo_order()
+            .into_iter()
+            .filter(|&id| {
+                !schema.is_abstract(id)
+                    && !schema.is_primary(id)
+                    && schema.is_constructible(id)
+            })
+            .collect();
+        StaticFlowManager::new(sequence)
+    }
+
+    /// Returns the number of steps remaining.
+    pub fn remaining(&self) -> usize {
+        self.sequence.len().saturating_sub(self.cursor)
+    }
+}
+
+impl FlowManager for StaticFlowManager {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+
+    fn offer(&mut self, _schema: &TaskSchema, mv: Move) -> bool {
+        if self.cursor < self.sequence.len() && self.sequence[self.cursor] == mv.goal {
+            self.cursor += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// A Casotto-style trace recorder: "merely capturing a trace of
+/// designer activity". Every move is accepted — which also means "it
+/// provides no means for enforcing a particular design methodology"
+/// (§2).
+#[derive(Debug, Clone, Default)]
+pub struct TraceManager {
+    trace: Vec<Move>,
+}
+
+impl TraceManager {
+    /// Creates an empty recorder.
+    pub fn new() -> TraceManager {
+        TraceManager::default()
+    }
+
+    /// Returns the captured trace.
+    pub fn trace(&self) -> &[Move] {
+        &self.trace
+    }
+
+    /// Uses an existing trace as a prototype for a new activity (the
+    /// one reuse mechanism Casotto offers): returns a static manager
+    /// replaying it.
+    pub fn as_prototype(&self) -> StaticFlowManager {
+        StaticFlowManager::new(self.trace.iter().map(|m| m.goal).collect())
+    }
+}
+
+impl FlowManager for TraceManager {
+    fn name(&self) -> &'static str {
+        "trace"
+    }
+
+    fn offer(&mut self, _schema: &TaskSchema, mv: Move) -> bool {
+        self.trace.push(mv);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hercules_schema::fixtures;
+
+    #[test]
+    fn dynamic_accepts_valid_rejects_invalid() {
+        let schema = fixtures::fig1();
+        let mut m = DynamicManager::new(&schema);
+        let edited = Move {
+            goal: schema.require("EditedNetlist").expect("known"),
+        };
+        let perf = Move {
+            goal: schema.require("Performance").expect("known"),
+        };
+        assert!(!m.offer(&schema, perf), "no circuit yet");
+        assert!(m.offer(&schema, edited));
+        let models = Move {
+            goal: schema.require("DeviceModels").expect("known"),
+        };
+        assert!(m.offer(&schema, models), "device-model editor is primary");
+        let circuit = Move {
+            goal: schema.require("Circuit").expect("known"),
+        };
+        assert!(m.offer(&schema, circuit));
+        assert!(m.offer(&schema, perf), "now allowed");
+        assert_eq!(m.name(), "dynamic");
+    }
+
+    #[test]
+    fn static_manager_is_a_straight_jacket() {
+        let schema = fixtures::fig1();
+        let edited = schema.require("EditedNetlist").expect("known");
+        let circuit = schema.require("Circuit").expect("known");
+        let perf = schema.require("Performance").expect("known");
+        let mut m = StaticFlowManager::new(vec![edited, circuit, perf]);
+        assert_eq!(m.remaining(), 3);
+        // Out of order: rejected even though schema-valid.
+        assert!(!m.offer(&schema, Move { goal: circuit }));
+        assert!(m.offer(&schema, Move { goal: edited }));
+        assert!(m.offer(&schema, Move { goal: circuit }));
+        assert!(m.offer(&schema, Move { goal: perf }));
+        assert_eq!(m.remaining(), 0);
+        // Flow exhausted: nothing more is allowed.
+        assert!(!m.offer(&schema, Move { goal: edited }));
+    }
+
+    #[test]
+    fn reference_flow_covers_constructible_entities() {
+        let schema = fixtures::fig1();
+        let m = StaticFlowManager::reference_flow(&schema);
+        assert!(m.remaining() >= 5);
+    }
+
+    #[test]
+    fn trace_manager_accepts_everything_and_replays() {
+        let schema = fixtures::fig1();
+        let perf = Move {
+            goal: schema.require("Performance").expect("known"),
+        };
+        let mut m = TraceManager::new();
+        // Even a schema-invalid move is recorded without complaint.
+        assert!(m.offer(&schema, perf));
+        assert_eq!(m.trace().len(), 1);
+        let mut replay = m.as_prototype();
+        assert!(replay.offer(&schema, perf));
+        assert!(!replay.offer(&schema, perf), "prototype exhausted");
+    }
+}

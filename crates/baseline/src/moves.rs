@@ -1,0 +1,189 @@
+//! The common "designer move" language used to compare flow managers.
+//!
+//! §2 of the paper compares dynamically defined flows against predefined
+//! flows (JESSI [3], NELSIS [5], flowmaps [4]) and raw traces
+//! (Casotto [8]). To quantify the comparison we model a design session
+//! as a sequence of *moves*: "construct an instance of entity `goal`
+//! from what I have". A move is *schema-valid* when the goal is
+//! constructible and all its required inputs are available; managers
+//! differ in which schema-valid moves they accept and which invalid
+//! moves they reject.
+
+use hercules_schema::{EntityTypeId, TaskSchema};
+use rand::seq::IndexedRandom as _;
+use rand::SeedableRng as _;
+use rand_chacha::ChaCha8Rng;
+
+/// One designer move: run the task that constructs `goal`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Move {
+    /// The (concrete) entity the designer wants to construct.
+    pub goal: EntityTypeId,
+}
+
+/// Tracks which entity types the designer has instances of.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Holdings {
+    have: Vec<bool>,
+}
+
+impl Holdings {
+    /// Starts with every primary entity available (libraries, tools,
+    /// stimuli are imported, not constructed).
+    pub fn initial(schema: &TaskSchema) -> Holdings {
+        let mut have = vec![false; schema.len()];
+        for id in schema.entity_ids() {
+            if schema.is_primary(id) {
+                have[id.index()] = true;
+            }
+        }
+        Holdings { have }
+    }
+
+    /// Returns `true` if an instance of `entity` (or any subtype) is
+    /// available.
+    pub fn has(&self, schema: &TaskSchema, entity: EntityTypeId) -> bool {
+        if self.have[entity.index()] {
+            return true;
+        }
+        schema
+            .all_subtypes(entity)
+            .into_iter()
+            .any(|s| self.have[s.index()])
+    }
+
+    /// Records that `entity` is now available.
+    pub fn add(&mut self, entity: EntityTypeId) {
+        self.have[entity.index()] = true;
+    }
+}
+
+/// Returns `true` if `mv` is schema-valid given the holdings: the goal
+/// is concrete and constructible, and every required dependency source
+/// is available.
+pub fn is_schema_valid(schema: &TaskSchema, holdings: &Holdings, mv: Move) -> bool {
+    let goal = mv.goal;
+    if schema.is_abstract(goal) || !schema.is_constructible(goal) {
+        return false;
+    }
+    schema.deps_of(goal).iter().all(|d| {
+        // Optional inputs never block a move; functional and data
+        // requirements alike need an instance in hand.
+        d.is_optional() || holdings.has(schema, d.source())
+    })
+}
+
+/// A generated design session: moves plus their schema validity.
+#[derive(Debug, Clone)]
+pub struct Session {
+    /// The moves in order.
+    pub moves: Vec<(Move, bool)>,
+}
+
+impl Session {
+    /// Returns how many moves are schema-valid.
+    pub fn valid_count(&self) -> usize {
+        self.moves.iter().filter(|(_, v)| *v).count()
+    }
+}
+
+/// Generates a random design session of `length` moves over `schema`.
+/// Valid moves are preferred with probability `valid_bias` (0–1);
+/// deterministic per seed.
+pub fn random_session(
+    schema: &TaskSchema,
+    length: usize,
+    valid_bias: f64,
+    seed: u64,
+) -> Session {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut holdings = Holdings::initial(schema);
+    let all: Vec<EntityTypeId> = schema.entity_ids().collect();
+    let mut moves = Vec::with_capacity(length);
+    for _ in 0..length {
+        let want_valid = rand::Rng::random::<f64>(&mut rng) < valid_bias;
+        let candidates: Vec<Move> = all
+            .iter()
+            .map(|&goal| Move { goal })
+            .filter(|&m| is_schema_valid(schema, &holdings, m) == want_valid)
+            .collect();
+        let pool: Vec<Move> = if candidates.is_empty() {
+            all.iter().map(|&goal| Move { goal }).collect()
+        } else {
+            candidates
+        };
+        let mv = *pool.choose(&mut rng).expect("nonempty pool");
+        let valid = is_schema_valid(schema, &holdings, mv);
+        if valid {
+            holdings.add(mv.goal);
+        }
+        moves.push((mv, valid));
+    }
+    Session { moves }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hercules_schema::fixtures;
+
+    #[test]
+    fn primaries_are_initially_held() {
+        let schema = fixtures::fig1();
+        let h = Holdings::initial(&schema);
+        assert!(h.has(&schema, schema.require("Stimuli").expect("known")));
+        assert!(!h.has(&schema, schema.require("Performance").expect("known")));
+    }
+
+    #[test]
+    fn subtype_instances_satisfy_supertype_needs() {
+        let schema = fixtures::fig1();
+        let mut h = Holdings::initial(&schema);
+        let netlist = schema.require("Netlist").expect("known");
+        assert!(!h.has(&schema, netlist));
+        h.add(schema.require("EditedNetlist").expect("known"));
+        assert!(h.has(&schema, netlist));
+    }
+
+    #[test]
+    fn validity_follows_dependencies() {
+        let schema = fixtures::fig1();
+        let mut h = Holdings::initial(&schema);
+        let edited = Move {
+            goal: schema.require("EditedNetlist").expect("known"),
+        };
+        let perf = Move {
+            goal: schema.require("Performance").expect("known"),
+        };
+        // Editor is primary, so editing is immediately possible.
+        assert!(is_schema_valid(&schema, &h, edited));
+        // Simulation needs a circuit first.
+        assert!(!is_schema_valid(&schema, &h, perf));
+        h.add(schema.require("EditedNetlist").expect("known"));
+        h.add(schema.require("Circuit").expect("known"));
+        assert!(is_schema_valid(&schema, &h, perf));
+    }
+
+    #[test]
+    fn abstract_goals_are_invalid_moves() {
+        let schema = fixtures::fig1();
+        let h = Holdings::initial(&schema);
+        assert!(!is_schema_valid(
+            &schema,
+            &h,
+            Move {
+                goal: schema.require("Netlist").expect("known")
+            }
+        ));
+    }
+
+    #[test]
+    fn sessions_are_deterministic_per_seed() {
+        let schema = fixtures::fig1();
+        let a = random_session(&schema, 50, 0.8, 1);
+        let b = random_session(&schema, 50, 0.8, 1);
+        assert_eq!(a.moves, b.moves);
+        assert!(a.valid_count() > 0);
+        assert!(a.valid_count() < 50, "bias leaves some invalid moves");
+    }
+}

@@ -1,0 +1,146 @@
+//! A conventional standalone version-tree manager (Fig. 11a's world):
+//! the baseline the paper's flow traces subsume.
+//!
+//! It knows *that* `c2` came from `c1`, but not *how* — no tool, no
+//! other inputs. The Fig. 11 comparison (`tests/fig11_versions.rs` and
+//! the `fig11_trace` bench) measures what that costs: per-object
+//! metadata is smaller, but derivation queries are unanswerable.
+
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a version in one [`VersionTreeStore`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct VersionId(u64);
+
+impl VersionId {
+    /// Returns the raw id.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// One version record: name and parent only — that is the whole point.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VersionRecord {
+    /// Version label.
+    pub name: String,
+    /// Parent version, if any.
+    pub parent: Option<VersionId>,
+}
+
+/// A classic check-in-based version store for one design object family.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VersionTreeStore {
+    records: Vec<VersionRecord>,
+}
+
+impl VersionTreeStore {
+    /// Creates an empty store.
+    pub fn new() -> VersionTreeStore {
+        VersionTreeStore::default()
+    }
+
+    /// Checks in a new version derived from `parent`.
+    pub fn check_in(&mut self, name: &str, parent: Option<VersionId>) -> VersionId {
+        let id = VersionId(self.records.len() as u64);
+        self.records.push(VersionRecord {
+            name: name.to_owned(),
+            parent,
+        });
+        id
+    }
+
+    /// Returns a version record.
+    pub fn get(&self, id: VersionId) -> Option<&VersionRecord> {
+        self.records.get(id.0 as usize)
+    }
+
+    /// Returns the parent of a version.
+    pub fn parent(&self, id: VersionId) -> Option<VersionId> {
+        self.get(id).and_then(|r| r.parent)
+    }
+
+    /// Returns the direct children of a version.
+    pub fn children(&self, id: VersionId) -> Vec<VersionId> {
+        self.records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.parent == Some(id))
+            .map(|(i, _)| VersionId(i as u64))
+            .collect()
+    }
+
+    /// Returns the root versions.
+    pub fn roots(&self) -> Vec<VersionId> {
+        self.records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.parent.is_none())
+            .map(|(i, _)| VersionId(i as u64))
+            .collect()
+    }
+
+    /// Returns the number of versions.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Approximate per-record metadata size in bytes (name + parent
+    /// link), for the storage comparison against flow traces.
+    pub fn metadata_bytes(&self) -> usize {
+        self.records
+            .iter()
+            .map(|r| r.name.len() + std::mem::size_of::<Option<VersionId>>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Fig. 11a tree: c1 -> c2 -> {c3, c4 -> c5}.
+    fn fig11a() -> (VersionTreeStore, Vec<VersionId>) {
+        let mut s = VersionTreeStore::new();
+        let c1 = s.check_in("c1", None);
+        let c2 = s.check_in("c2", Some(c1));
+        let c3 = s.check_in("c3", Some(c2));
+        let c4 = s.check_in("c4", Some(c2));
+        let c5 = s.check_in("c5", Some(c4));
+        (s, vec![c1, c2, c3, c4, c5])
+    }
+
+    #[test]
+    fn tree_structure() {
+        let (s, ids) = fig11a();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.roots(), vec![ids[0]]);
+        assert_eq!(s.children(ids[1]), vec![ids[2], ids[3]]);
+        assert_eq!(s.parent(ids[4]), Some(ids[3]));
+        assert_eq!(s.get(ids[0]).expect("present").name, "c1");
+    }
+
+    #[test]
+    fn metadata_is_small_but_toolless() {
+        let (s, _) = fig11a();
+        assert!(s.metadata_bytes() > 0);
+        // The API simply has no way to ask "which tool made c2" — the
+        // paper's point about flow traces being a richer superset.
+    }
+
+    #[test]
+    fn empty_store() {
+        let s = VersionTreeStore::new();
+        assert!(s.is_empty());
+        assert!(s.roots().is_empty());
+        assert!(s.get(VersionId(0)).is_none());
+    }
+}

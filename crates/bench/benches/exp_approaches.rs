@@ -1,0 +1,124 @@
+//! Experiment E3: the four design approaches (§3.4) — time to reach
+//! the same executable simulate flow from each entry point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hercules::{Approach, Session};
+
+/// Builds the full simulate flow goal-first inside `session`.
+fn build_goal_based(session: &mut Session) {
+    let perf = session.start_from_goal("Performance").expect("starts");
+    let created = session.expand(perf).expect("expands");
+    let circuit = created[1];
+    let created = session.expand(circuit).expect("expands");
+    let netlist = created[1];
+    session.specialize(netlist, "EditedNetlist").expect("subtype");
+    session.expand(netlist).expect("expands");
+    session.expand(created[0]).expect("expands");
+}
+
+fn bench_approaches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp_approaches/flow_construction");
+    group.sample_size(20);
+
+    group.bench_function("goal_based", |b| {
+        b.iter_batched(
+            || Session::odyssey("bench"),
+            |mut session| {
+                build_goal_based(&mut session);
+                session
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("tool_based", |b| {
+        b.iter_batched(
+            || Session::odyssey("bench"),
+            |mut session| {
+                let sim = session.start_from_tool("Simulator").expect("starts");
+                let (perf, _) = session.expand_down(sim, "Performance").expect("expands");
+                let circuit = session.flow().expect("flow").data_inputs_of(perf)[0];
+                session.expand(circuit).expect("expands");
+                session
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("data_based", |b| {
+        b.iter_batched(
+            || {
+                let session = Session::odyssey("bench");
+                let stim = session
+                    .db()
+                    .latest_of_family(
+                        session.schema().require("Stimuli").expect("known"),
+                    )
+                    .expect("seeded");
+                (session, stim)
+            },
+            |(mut session, stim)| {
+                let node = session.start(Approach::Data(stim)).expect("starts");
+                let (perf, _) = session.expand_down(node, "Performance").expect("expands");
+                // The stimuli edge was added first; find the circuit
+                // input by entity.
+                let schema = session.schema().clone();
+                let circuit = session
+                    .flow()
+                    .expect("flow")
+                    .data_inputs_of(perf)
+                    .into_iter()
+                    .find(|&n| {
+                        session
+                            .flow()
+                            .expect("flow")
+                            .entity_of(n)
+                            .map(|e| schema.entity(e).name() == "Circuit")
+                            .unwrap_or(false)
+                    })
+                    .expect("circuit input");
+                session.expand(circuit).expect("expands");
+                session
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("plan_based", |b| {
+        // Store the reference flow once, then measure instantiation.
+        let mut template_session = Session::odyssey("bench");
+        build_goal_based(&mut template_session);
+        template_session
+            .store_flow("simulate", "reference")
+            .expect("stores");
+        let catalog = template_session.catalog().clone();
+        b.iter_batched(
+            || {
+                let mut session = Session::odyssey("bench");
+                *session.catalog_mut() = catalog.clone();
+                session
+            },
+            |mut session| {
+                session.start_from_plan("simulate").expect("instantiates");
+                session
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_approaches
+}
+
+criterion_main!(benches);

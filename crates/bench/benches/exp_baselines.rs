@@ -1,0 +1,104 @@
+//! Experiment E1: the flexibility/enforcement comparison of §2 — the
+//! per-move decision cost of the three manager styles, and the whole
+//! experiment end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hercules::baseline::{
+    flexibility::evaluate, random_session, DynamicManager, StaticFlowManager,
+    TraceManager,
+};
+use hercules::schema::synth::SynthConfig;
+
+fn bench_managers(c: &mut Criterion) {
+    let schema = hercules::schema::fixtures::fig1();
+    let session = random_session(&schema, 60, 0.7, 42);
+
+    let mut group = c.benchmark_group("exp_baselines/session_evaluation");
+    group.bench_function("dynamic", |b| {
+        b.iter(|| {
+            let mut m = DynamicManager::new(&schema);
+            evaluate(&schema, &mut m, &session)
+        })
+    });
+    group.bench_function("static_predefined", |b| {
+        b.iter(|| {
+            let mut m = StaticFlowManager::reference_flow(&schema);
+            evaluate(&schema, &mut m, &session)
+        })
+    });
+    group.bench_function("trace_recorder", |b| {
+        b.iter(|| {
+            let mut m = TraceManager::new();
+            evaluate(&schema, &mut m, &session)
+        })
+    });
+    group.finish();
+}
+
+fn bench_schema_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp_baselines/dynamic_vs_schema_size");
+    for cfg in [
+        SynthConfig {
+            layers: 3,
+            width: 3,
+            fanin: 2,
+            subtypes: 0,
+        },
+        SynthConfig {
+            layers: 6,
+            width: 8,
+            fanin: 3,
+            subtypes: 0,
+        },
+        SynthConfig {
+            layers: 10,
+            width: 12,
+            fanin: 3,
+            subtypes: 0,
+        },
+    ] {
+        let schema = cfg.generate();
+        let session = random_session(&schema, 60, 0.7, 7);
+        group.bench_with_input(
+            BenchmarkId::new("dynamic_manager", schema.len()),
+            &(schema, session),
+            |b, (schema, session)| {
+                b.iter(|| {
+                    let mut m = DynamicManager::new(schema);
+                    evaluate(schema, &mut m, session)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_session_generation(c: &mut Criterion) {
+    let schema = hercules::schema::fixtures::fig1();
+    let mut group = c.benchmark_group("exp_baselines/workload_generation");
+    for length in [20usize, 100] {
+        group.bench_with_input(
+            BenchmarkId::new("random_session", length),
+            &length,
+            |b, &length| b.iter(|| random_session(&schema, length, 0.7, 3)),
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_managers,
+    bench_schema_scaling,
+    bench_session_generation
+}
+
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Experiment E2: consistency maintenance — staleness detection and
+//! retrace cost, in the already-current case (pure cache) and after an
+//! edit (partial re-run), swept over circuit size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hercules::eda;
+use hercules::history::{Derivation, Metadata};
+use hercules::Session;
+
+/// Builds a session with a placed+extracted adder of the given width;
+/// returns (session, netlist v1, extracted instance).
+fn extraction_scenario(
+    width: usize,
+) -> (
+    Session,
+    hercules::history::InstanceId,
+    hercules::history::InstanceId,
+) {
+    let mut session = Session::odyssey("bench");
+    let v1 = hercules_bench::record_netlist(
+        &mut session,
+        "v1",
+        &eda::cells::ripple_adder(width),
+    );
+    let ext = session.start_from_goal("ExtractedNetlist").expect("starts");
+    let created = session.expand(ext).expect("expands");
+    let layout_node = created[1];
+    let created = session.expand(layout_node).expect("expands");
+    session.select(created[1], v1);
+    session.bind_latest().expect("binds");
+    session.run().expect("runs");
+    let extracted = session.last_report().expect("ran").single(ext);
+    (session, v1, extracted)
+}
+
+fn bench_staleness_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp_consistency/staleness");
+    let (mut session, v1, extracted) = extraction_scenario(4);
+    group.bench_function("check_current_instance", |b| {
+        b.iter(|| session.db().is_up_to_date(extracted).expect("checks"))
+    });
+    // Make it stale.
+    let schema = session.schema().clone();
+    let editor = schema.require("CircuitEditor").expect("known");
+    let editor_inst = session.db().instances_of(editor)[0];
+    session
+        .db_mut()
+        .record_derived(
+            schema.require("EditedNetlist").expect("known"),
+            Metadata::by("bench").named("v2"),
+            &eda::cells::ripple_adder(4).to_bytes(),
+            Derivation::by_tool(editor_inst, [v1]),
+        )
+        .expect("records");
+    group.bench_function("scan_whole_db_for_stale", |b| {
+        b.iter(|| session.db().stale_instances().expect("scans"))
+    });
+    group.finish();
+}
+
+fn bench_retrace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp_consistency/retrace");
+    group.sample_size(10);
+    for width in [2usize, 8] {
+        // Already-current: retrace is pure cache.
+        group.bench_with_input(
+            BenchmarkId::new("already_current", width),
+            &width,
+            |b, &width| {
+                b.iter_batched(
+                    || extraction_scenario(width),
+                    |(mut session, _, extracted)| {
+                        session.retrace(extracted).expect("retraces")
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+        // After an edit: placer and extractor re-run against v2.
+        group.bench_with_input(
+            BenchmarkId::new("after_edit", width),
+            &width,
+            |b, &width| {
+                b.iter_batched(
+                    || {
+                        let (mut session, v1, extracted) = extraction_scenario(width);
+                        let schema = session.schema().clone();
+                        let editor = schema.require("CircuitEditor").expect("known");
+                        let editor_inst = session.db().instances_of(editor)[0];
+                        session
+                            .db_mut()
+                            .record_derived(
+                                schema.require("EditedNetlist").expect("known"),
+                                Metadata::by("bench").named("v2"),
+                                &eda::cells::ripple_adder(width + 1).to_bytes(),
+                                Derivation::by_tool(editor_inst, [v1]),
+                            )
+                            .expect("records");
+                        (session, extracted)
+                    },
+                    |(mut session, extracted)| {
+                        session.retrace(extracted).expect("retraces")
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_staleness_detection, bench_retrace
+}
+
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Experiment F1 (Fig. 1): task-schema construction, validation and
+//! query cost, swept over schema size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hercules::schema::{fixtures, synth::SynthConfig};
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig01/build_validate");
+    group.bench_function("fig1_reference", |b| b.iter(fixtures::fig1));
+    group.bench_function("odyssey_merged", |b| b.iter(fixtures::odyssey));
+    for (label, cfg) in [
+        (
+            "synthetic_small",
+            SynthConfig {
+                layers: 3,
+                width: 3,
+                fanin: 2,
+                subtypes: 0,
+            },
+        ),
+        (
+            "synthetic_medium",
+            SynthConfig {
+                layers: 6,
+                width: 8,
+                fanin: 3,
+                subtypes: 0,
+            },
+        ),
+        (
+            "synthetic_large",
+            SynthConfig {
+                layers: 10,
+                width: 16,
+                fanin: 4,
+                subtypes: 2,
+            },
+        ),
+    ] {
+        let size = cfg.generate().len();
+        group.bench_with_input(BenchmarkId::new(label, size), &cfg, |b, cfg| {
+            b.iter(|| cfg.generate())
+        });
+    }
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let schema = fixtures::odyssey();
+    let netlist = schema.require("Netlist").expect("known");
+    let mut group = c.benchmark_group("fig01/queries");
+    group.bench_function("name_lookup", |b| b.iter(|| schema.entity_id("Performance")));
+    group.bench_function("topo_order", |b| b.iter(|| schema.topo_order()));
+    group.bench_function("all_subtypes", |b| b.iter(|| schema.all_subtypes(netlist)));
+    group.bench_function("render_text", |b| {
+        b.iter(|| hercules::schema::render::to_text(&schema))
+    });
+    group.finish();
+}
+
+fn bench_serde(c: &mut Criterion) {
+    let schema = fixtures::odyssey();
+    let json = serde_json::to_string(&schema).expect("serializes");
+    let mut group = c.benchmark_group("fig01/persistence");
+    group.bench_function("serialize", |b| {
+        b.iter(|| serde_json::to_string(&schema).expect("serializes"))
+    });
+    group.bench_function("deserialize_revalidate", |b| {
+        b.iter(|| {
+            let s: hercules::schema::TaskSchema =
+                serde_json::from_str(&json).expect("deserializes");
+            s
+        })
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_build, bench_queries, bench_serde
+}
+
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Experiment F2 (Fig. 2): compile-once-run-many vs recompile-per-run.
+//!
+//! COSMOS's point was that compiling the netlist into a simulator pays
+//! off across repeated runs; the framework makes the compiled simulator
+//! a reusable design object. We sweep the number of stimulus runs and
+//! compare the compiled tool against the uncompiled baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hercules::eda::{cells, cosmos, to_transistor_level, Stimuli};
+
+fn bench_compile_vs_interpret(c: &mut Criterion) {
+    let gates = cells::ripple_adder(4);
+    let xtors = to_transistor_level(&gates).expect("synthesizes");
+    let inputs: Vec<String> = (0..4)
+        .flat_map(|i| [format!("a{i}"), format!("b{i}")])
+        .chain(["cin".to_owned()])
+        .collect();
+    let input_refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
+    let stimuli: Vec<Stimuli> = (0..16)
+        .map(|seed| Stimuli::random(&input_refs, 16, 10, seed))
+        .collect();
+
+    let mut group = c.benchmark_group("fig02/compile_vs_interpret");
+    group.sample_size(20);
+    for runs in [1usize, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("compiled_tool", runs),
+            &runs,
+            |b, &runs| {
+                b.iter(|| {
+                    // Compile once, run `runs` stimulus sets.
+                    let sim = cosmos::compile(&xtors).expect("compiles");
+                    for s in stimuli.iter().take(runs) {
+                        sim.run(s).expect("runs");
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("uncompiled_baseline", runs),
+            &runs,
+            |b, &runs| {
+                b.iter(|| {
+                    for s in stimuli.iter().take(runs) {
+                        cosmos::interpret(&xtors, s).expect("runs");
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_compile_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig02/compile_cost");
+    for width in [2usize, 4, 8] {
+        let xtors = to_transistor_level(&cells::ripple_adder(width)).expect("synthesizes");
+        group.bench_with_input(
+            BenchmarkId::new("compile", xtors.mos_count()),
+            &xtors,
+            |b, xtors| b.iter(|| cosmos::compile(xtors).expect("compiles")),
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_compile_vs_interpret, bench_compile_cost
+}
+
+criterion_main!(benches);

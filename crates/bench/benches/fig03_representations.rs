@@ -1,0 +1,59 @@
+//! Experiment F3 (Fig. 3): cost of the two flow representations — the
+//! task graph (native) and the derived bipartite flow diagram — plus
+//! the footnote-2 textual forms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hercules::flow::{fixtures, render, FlowDiagram, FlowSpec};
+
+fn bench_representations(c: &mut Criterion) {
+    let schema = hercules_bench::fig1();
+    let fig3 = fixtures::fig3(schema.clone()).expect("fixture");
+    let fig5 = fixtures::fig5(schema.clone()).expect("fixture");
+    let root3 = fig3.outputs()[0];
+
+    let mut group = c.benchmark_group("fig03/representations");
+    group.bench_function("build_fig3_flow", |b| {
+        b.iter(|| fixtures::fig3(schema.clone()).expect("fixture"))
+    });
+    group.bench_function("to_bipartite_fig3", |b| {
+        b.iter(|| FlowDiagram::from_task_graph(&fig3).expect("converts"))
+    });
+    group.bench_function("to_bipartite_fig5", |b| {
+        b.iter(|| FlowDiagram::from_task_graph(&fig5).expect("converts"))
+    });
+    group.bench_function("to_sexpr", |b| {
+        b.iter(|| render::to_sexpr(&fig3, root3).expect("renders"))
+    });
+    group.bench_function("to_call", |b| {
+        b.iter(|| render::to_call(&fig3, root3).expect("renders"))
+    });
+    group.bench_function("to_text_window", |b| b.iter(|| render::to_text(&fig5)));
+    group.finish();
+}
+
+fn bench_spec_round_trip(c: &mut Criterion) {
+    let schema = hercules_bench::fig1();
+    let fig5 = fixtures::fig5(schema.clone()).expect("fixture");
+    let spec = FlowSpec::from_task_graph(&fig5);
+    let mut group = c.benchmark_group("fig03/catalog_storage");
+    group.bench_function("to_spec", |b| b.iter(|| FlowSpec::from_task_graph(&fig5)));
+    group.bench_function("instantiate_validated", |b| {
+        b.iter(|| spec.instantiate(schema.clone()).expect("valid"))
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_representations, bench_spec_round_trip
+}
+
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Experiment F4 (Fig. 4): expand-operation cost vs flow size, with the
+//! DESIGN.md ablation — schema-checked incremental expansion vs raw
+//! construction followed by one final validation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hercules::flow::{FlowSpec, TaskGraph};
+use hercules::schema::synth::SynthConfig;
+
+fn configs() -> Vec<(usize, SynthConfig)> {
+    [
+        SynthConfig {
+            layers: 3,
+            width: 2,
+            fanin: 2,
+            subtypes: 0,
+        },
+        SynthConfig {
+            layers: 5,
+            width: 4,
+            fanin: 2,
+            subtypes: 0,
+        },
+        SynthConfig {
+            layers: 8,
+            width: 6,
+            fanin: 3,
+            subtypes: 0,
+        },
+    ]
+    .into_iter()
+    .map(|cfg| (cfg.generate().len(), cfg))
+    .collect()
+}
+
+/// Fully expands every goal entity of a synthetic schema through the
+/// checked operations.
+fn build_checked(cfg: &SynthConfig, schema: &std::sync::Arc<hercules::schema::TaskSchema>) -> TaskGraph {
+    let mut flow = TaskGraph::new(schema.clone());
+    for goal in cfg.goal_layer(schema) {
+        let node = flow.seed(goal).expect("seeds");
+        flow.expand_all(node).expect("expands");
+    }
+    flow
+}
+
+fn bench_expansion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig04/expand_all");
+    for (size, cfg) in configs() {
+        let schema = std::sync::Arc::new(cfg.generate());
+        group.bench_with_input(
+            BenchmarkId::new("checked_expansion", size),
+            &cfg,
+            |b, cfg| b.iter(|| build_checked(cfg, &schema)),
+        );
+        // Ablation: replay the same structure raw, then validate once.
+        let reference = build_checked(&cfg, &schema);
+        let spec = FlowSpec::from_task_graph(&reference);
+        group.bench_with_input(
+            BenchmarkId::new("raw_build_then_validate", size),
+            &spec,
+            |b, spec| b.iter(|| spec.instantiate(schema.clone()).expect("valid")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_single_operations(c: &mut Criterion) {
+    let schema = hercules_bench::fig1();
+    let mut group = c.benchmark_group("fig04/operations");
+    group.bench_function("seed_expand_layout", |b| {
+        b.iter(|| {
+            let mut flow = TaskGraph::new(schema.clone());
+            let layout = flow.seed(schema.require("Layout").expect("known")).expect("seeds");
+            flow.expand(layout).expect("expands");
+            flow
+        })
+    });
+    group.bench_function("specialize_then_expand", |b| {
+        b.iter(|| {
+            let mut flow = TaskGraph::new(schema.clone());
+            let node = flow
+                .seed(schema.require("Netlist").expect("known"))
+                .expect("seeds");
+            flow.specialize(node, schema.require("ExtractedNetlist").expect("known"))
+                .expect("specializes");
+            flow.expand(node).expect("expands");
+            flow
+        })
+    });
+    group.bench_function("expand_then_unexpand", |b| {
+        b.iter(|| {
+            let mut flow = TaskGraph::new(schema.clone());
+            let layout = flow.seed(schema.require("Layout").expect("known")).expect("seeds");
+            flow.expand(layout).expect("expands");
+            flow.unexpand(layout).expect("unexpands");
+            flow
+        })
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_expansion, bench_single_operations
+}
+
+criterion_main!(benches);

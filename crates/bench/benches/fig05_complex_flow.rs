@@ -1,0 +1,57 @@
+//! Experiment F5 (Fig. 5): building and executing the complex flow —
+//! entity reuse, multiple outputs, multi-output subtask grouping.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hercules::exec::{toy, Binding, Executor};
+use hercules::flow::fixtures;
+use hercules::history::HistoryDb;
+
+fn bench_build(c: &mut Criterion) {
+    let schema = hercules_bench::fig1();
+    let mut group = c.benchmark_group("fig05/construction");
+    group.bench_function("build_fig5", |b| {
+        b.iter(|| fixtures::fig5(schema.clone()).expect("fixture"))
+    });
+    group.bench_function("validate_for_execution", |b| {
+        let flow = fixtures::fig5(schema.clone()).expect("fixture");
+        b.iter(|| flow.validate_for_execution().expect("valid"))
+    });
+    group.finish();
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let schema = hercules_bench::fig1();
+    let flow = fixtures::fig5(schema.clone()).expect("fixture");
+    let executor = Executor::new(toy::text_registry(&schema));
+
+    let mut group = c.benchmark_group("fig05/execution");
+    group.sample_size(30);
+    group.bench_function("execute_toy_tools", |b| {
+        b.iter(|| {
+            let mut db = HistoryDb::new(schema.clone());
+            toy::seed_everything(&mut db, "bench");
+            let mut binding = Binding::new();
+            binding.bind_latest(&flow, &db);
+            executor.execute(&flow, &binding, &mut db).expect("runs")
+        })
+    });
+    group.bench_function("subtask_grouping_via_bipartite", |b| {
+        b.iter(|| hercules::flow::FlowDiagram::from_task_graph(&flow).expect("groups"))
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_build, bench_execute
+}
+
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Experiments F7/F8 (Figs. 7–8): the view-management flows — physical
+//! synthesis and extraction/verification — swept over circuit size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hercules::eda::{cells, extract, place, verify, PlacementRules};
+
+fn bench_view_flows(c: &mut Criterion) {
+    let rules = PlacementRules::default();
+    let mut group = c.benchmark_group("fig08/view_flows");
+    for width in [2usize, 4, 8, 16] {
+        let netlist = cells::ripple_adder(width);
+        let gates = netlist.gate_count();
+        group.bench_with_input(
+            BenchmarkId::new("synthesize_physical", gates),
+            &netlist,
+            |b, n| b.iter(|| place(n, &rules).expect("places")),
+        );
+        let layout = place(&netlist, &rules).expect("places");
+        group.bench_with_input(
+            BenchmarkId::new("extract", gates),
+            &layout,
+            |b, l| b.iter(|| extract(l)),
+        );
+        let (extracted, _) = extract(&layout);
+        group.bench_with_input(
+            BenchmarkId::new("verify_views", gates),
+            &(netlist.clone(), extracted.netlist.clone()),
+            |b, (reference, compared)| {
+                b.iter(|| verify(reference, compared).expect("comparable"))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_round_trip", gates),
+            &netlist,
+            |b, n| {
+                b.iter(|| {
+                    let layout = place(n, &rules).expect("places");
+                    let (ex, _) = extract(&layout);
+                    verify(n, &ex.netlist).expect("comparable")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_session_round_trip(c: &mut Criterion) {
+    // The managed version of the same flows, through the session with
+    // full history recording.
+    let mut group = c.benchmark_group("fig08/managed_round_trip");
+    group.sample_size(10);
+    group.bench_function("synthesize_and_verify_adder", |b| {
+        b.iter(|| {
+            let (mut session, netlist) = hercules_bench::session_with_adder();
+            hercules::views::synthesize_and_verify(&mut session, netlist).expect("round trip")
+        })
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_view_flows, bench_session_round_trip
+}
+
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Experiment F9 (Fig. 9): instance-browser filter cost vs database
+//! size — the user/date/keyword/use-dependency filters of the browser
+//! dialog.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hercules::history::{BrowserQuery, InstanceId, Timestamp};
+
+fn bench_browser(c: &mut Criterion) {
+    let schema = hercules_bench::fig1();
+    let edited = schema.require("EditedNetlist").expect("known");
+
+    let mut group = c.benchmark_group("fig09/browser_filters");
+    for size in [100usize, 1000, 5000] {
+        let db = hercules_bench::browsing_db(size, 8);
+        group.bench_with_input(BenchmarkId::new("unfiltered", size), &db, |b, db| {
+            b.iter(|| BrowserQuery::family(edited).run(db).expect("queries"))
+        });
+        group.bench_with_input(BenchmarkId::new("by_user", size), &db, |b, db| {
+            b.iter(|| {
+                BrowserQuery::family(edited)
+                    .user("user3")
+                    .run(db)
+                    .expect("queries")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("date_window", size), &db, |b, db| {
+            b.iter(|| {
+                BrowserQuery::family(edited)
+                    .from(Timestamp(size as u64 / 4))
+                    .to(Timestamp(size as u64 / 2))
+                    .run(db)
+                    .expect("queries")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("keyword", size), &db, |b, db| {
+            b.iter(|| {
+                BrowserQuery::family(edited)
+                    .keyword("digital")
+                    .run(db)
+                    .expect("queries")
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("use_dependencies", size),
+            &db,
+            |b, db| {
+                b.iter(|| {
+                    BrowserQuery::family(edited)
+                        .use_dependencies(InstanceId::from_raw(0))
+                        .run(db)
+                        .expect("queries")
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("combined", size), &db, |b, db| {
+            b.iter(|| {
+                BrowserQuery::family(edited)
+                    .user("user1")
+                    .keyword("analog")
+                    .from(Timestamp(1))
+                    .run(db)
+                    .expect("queries")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_browser
+}
+
+criterion_main!(benches);

@@ -1,0 +1,160 @@
+//! Experiment F10 (Fig. 10): backward/forward chaining cost vs history
+//! depth, plus the DESIGN.md ablation — reconstructing chains from the
+//! paper's *immediate* per-object records vs maintaining materialized
+//! transitive closures.
+
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hercules::history::{HistoryDb, InstanceId};
+
+/// Materializes the full ancestor closure of every instance — the
+/// storage-hungry alternative the paper's immediate records avoid.
+fn materialize_closures(db: &HistoryDb) -> HashMap<InstanceId, Vec<InstanceId>> {
+    db.instances()
+        .map(|i| (i.id(), db.ancestors(i.id()).expect("chains")))
+        .collect()
+}
+
+fn bench_chaining(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10/chaining_vs_depth");
+    for depth in [10usize, 100, 1000] {
+        let (db, newest) = hercules_bench::edit_chain(depth);
+        let root = InstanceId::from_raw(1);
+        group.bench_with_input(
+            BenchmarkId::new("backward_chain_full", depth),
+            &db,
+            |b, db| b.iter(|| db.backward_chain(newest, None).expect("chains")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("backward_chain_depth1", depth),
+            &db,
+            |b, db| b.iter(|| db.backward_chain(newest, Some(1)).expect("chains")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("forward_chain_from_root", depth),
+            &db,
+            |b, db| b.iter(|| db.forward_chain(root).expect("chains")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ancestors_dedup", depth),
+            &db,
+            |b, db| b.iter(|| db.ancestors(newest).expect("chains")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_immediate_vs_materialized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10/immediate_vs_materialized");
+    group.sample_size(20);
+    for depth in [100usize, 1000] {
+        let (db, newest) = hercules_bench::edit_chain(depth);
+        // The one-off cost of materializing everything.
+        group.bench_with_input(
+            BenchmarkId::new("materialize_all_closures", depth),
+            &db,
+            |b, db| b.iter(|| materialize_closures(db)),
+        );
+        // Query cost afterwards: hash lookup vs reconstruction.
+        let closures = materialize_closures(&db);
+        group.bench_with_input(
+            BenchmarkId::new("query_materialized", depth),
+            &closures,
+            |b, closures| b.iter(|| closures.get(&newest).expect("present").len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("query_immediate_records", depth),
+            &db,
+            |b, db| b.iter(|| db.ancestors(newest).expect("chains").len()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_template_query(c: &mut Criterion) {
+    let (session, _, ) = {
+        let (mut session, netlist) = hercules_bench::session_with_adder();
+        // Populate: run the simulate flow a few times with different
+        // stimuli so the template has several candidate matches.
+        let schema = session.schema().clone();
+        let stimuli_entity = schema.require("Stimuli").expect("known");
+        for seed in 0..4u64 {
+            let s = hercules::eda::Stimuli::random(&["a", "b", "cin"], 8, 25, seed);
+            session
+                .db_mut()
+                .record_primary(
+                    stimuli_entity,
+                    hercules::history::Metadata::by("bench").named(&format!("s{seed}")),
+                    &s.to_bytes(),
+                )
+                .expect("records");
+        }
+        let perf = session.start_from_goal("Performance").expect("starts");
+        let created = session.expand(perf).expect("expands");
+        let circuit = created[1];
+        let stim_node = created[2];
+        session.expand(circuit).expect("expands");
+        let netlist_node = session.flow().expect("flow").data_inputs_of(circuit)[1];
+        session.select(netlist_node, netlist);
+        // Only the adder-compatible stimulus sets (skip the seeded
+        // "step on in" which drives a different circuit's port).
+        let adder_stims: Vec<_> = session
+            .db()
+            .instances_of(stimuli_entity)
+            .into_iter()
+            .filter(|&i| {
+                let name = &session.db().instance(i).expect("present").meta().name;
+                name.contains("adder")
+                    || (name.len() == 2 && name.starts_with('s'))
+            })
+            .collect();
+        session.select_many(stim_node, &adder_stims);
+        session.bind_latest().expect("binds");
+        session.run().expect("runs");
+        (session, netlist)
+    };
+
+    let schema = session.schema().clone();
+    let mut template = hercules::flow::TaskGraph::new(schema.clone());
+    let perf_node = template
+        .seed(schema.require("Performance").expect("known"))
+        .expect("seeds");
+    template.expand(perf_node).expect("expands");
+
+    let mut group = c.benchmark_group("fig10/template_query");
+    group.bench_function("unbound_template", |b| {
+        b.iter(|| {
+            session
+                .db()
+                .query_template(&template, &[], None)
+                .expect("queries")
+        })
+    });
+    group.bench_function("first_match_only", |b| {
+        b.iter(|| {
+            session
+                .db()
+                .query_template(&template, &[], Some(1))
+                .expect("queries")
+        })
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_chaining,
+    bench_immediate_vs_materialized,
+    bench_template_query
+}
+
+criterion_main!(benches);

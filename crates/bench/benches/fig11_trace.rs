@@ -1,0 +1,91 @@
+//! Experiment F11 (Fig. 11): flow traces vs version trees — the cost of
+//! reconstructing each view from the history, and the storage the
+//! derivation records add over a bare version store.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hercules::baseline::VersionTreeStore;
+use hercules::history::FlowTrace;
+
+fn bench_reconstruction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11/reconstruction");
+    for depth in [10usize, 100, 500] {
+        let (db, newest) = hercules_bench::edit_chain(depth);
+        let entity = db.instance(newest).expect("present").entity();
+        group.bench_with_input(
+            BenchmarkId::new("version_forest", depth),
+            &db,
+            |b, db| b.iter(|| db.version_forest(entity).expect("builds")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("flow_trace_backward", depth),
+            &db,
+            |b, db| b.iter(|| FlowTrace::backward(db, &[newest]).expect("builds")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("flow_trace_render", depth),
+            &db,
+            |b, db| {
+                let trace = FlowTrace::backward(db, &[newest]).expect("builds");
+                b.iter(|| trace.to_text(db))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_baseline_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11/baseline_version_store");
+    for depth in [100usize, 500] {
+        group.bench_with_input(
+            BenchmarkId::new("check_in_chain", depth),
+            &depth,
+            |b, &depth| {
+                b.iter(|| {
+                    let mut store = VersionTreeStore::new();
+                    let mut prev = None;
+                    for i in 0..depth {
+                        prev = Some(store.check_in(&format!("v{i}"), prev));
+                    }
+                    store
+                })
+            },
+        );
+        let mut store = VersionTreeStore::new();
+        let mut prev = None;
+        for i in 0..depth {
+            prev = Some(store.check_in(&format!("v{i}"), prev));
+        }
+        let newest = prev.expect("nonempty");
+        group.bench_with_input(
+            BenchmarkId::new("walk_parents", depth),
+            &store,
+            |b, store| {
+                b.iter(|| {
+                    let mut cur = Some(newest);
+                    let mut n = 0usize;
+                    while let Some(id) = cur {
+                        n += 1;
+                        cur = store.parent(id);
+                    }
+                    n
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_reconstruction, bench_baseline_store
+}
+
+criterion_main!(benches);

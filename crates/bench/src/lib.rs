@@ -1,0 +1,167 @@
+//! Shared workload builders for the per-figure benchmarks.
+//!
+//! `DESIGN.md` §4 maps every figure of the paper to a bench target in
+//! `benches/`; this crate holds the generators those targets share.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+use hercules::eda;
+use hercules::exec::toy;
+use hercules::history::{Derivation, HistoryDb, InstanceId, Metadata};
+use hercules::schema::{fixtures, TaskSchema};
+use hercules::Session;
+
+/// Returns the Fig. 1 schema behind an `Arc`.
+pub fn fig1() -> Arc<TaskSchema> {
+    Arc::new(fixtures::fig1())
+}
+
+/// Returns the merged Odyssey schema behind an `Arc`.
+pub fn odyssey() -> Arc<TaskSchema> {
+    Arc::new(fixtures::odyssey())
+}
+
+/// A standard session with one recorded full-adder netlist; returns
+/// `(session, netlist instance)`.
+pub fn session_with_adder() -> (Session, InstanceId) {
+    let mut session = Session::odyssey("bench");
+    let netlist = record_netlist(&mut session, "fa", &eda::cells::full_adder());
+    (session, netlist)
+}
+
+/// Records a gate-level netlist as an `EditedNetlist` in the session's
+/// history.
+pub fn record_netlist(
+    session: &mut Session,
+    name: &str,
+    netlist: &eda::Netlist,
+) -> InstanceId {
+    let schema = session.schema().clone();
+    let editor = schema.require("CircuitEditor").expect("known");
+    let edited = schema.require("EditedNetlist").expect("known");
+    let tool = session.db().instances_of(editor)[0];
+    session
+        .db_mut()
+        .record_derived(
+            edited,
+            Metadata::by("bench").named(name),
+            &netlist.to_bytes(),
+            Derivation::by_tool(tool, []),
+        )
+        .expect("records")
+}
+
+/// Builds a history database containing an edit chain of `depth`
+/// versions (v0 ← v1 ← … ) plus the editor; returns `(db, newest)`.
+pub fn edit_chain(depth: usize) -> (HistoryDb, InstanceId) {
+    let schema = fig1();
+    let mut db = HistoryDb::new(schema.clone());
+    let editor = db
+        .record_primary(
+            schema.require("CircuitEditor").expect("known"),
+            Metadata::by("bench").named("ed"),
+            b"ed",
+        )
+        .expect("records");
+    let edited = schema.require("EditedNetlist").expect("known");
+    let mut prev: Option<InstanceId> = None;
+    for i in 0..depth.max(1) {
+        let inst = db
+            .record_derived(
+                edited,
+                Metadata::by("bench").named(&format!("v{i}")),
+                format!("v{i}").as_bytes(),
+                Derivation::by_tool(editor, prev),
+            )
+            .expect("records");
+        prev = Some(inst);
+    }
+    (db, prev.expect("at least one version"))
+}
+
+/// Builds a history database with `count` independent instances spread
+/// over `users` users and alternating keywords, for browser benches.
+pub fn browsing_db(count: usize, users: usize) -> HistoryDb {
+    let schema = fig1();
+    let mut db = HistoryDb::new(schema.clone());
+    let editor = db
+        .record_primary(
+            schema.require("CircuitEditor").expect("known"),
+            Metadata::by("bench").named("ed"),
+            b"ed",
+        )
+        .expect("records");
+    let edited = schema.require("EditedNetlist").expect("known");
+    for i in 0..count {
+        let user = format!("user{}", i % users.max(1));
+        let meta = Metadata::by(&user)
+            .named(&format!("design {i}"))
+            .keyword(if i % 2 == 0 { "digital" } else { "analog" });
+        db.record_derived(
+            edited,
+            meta,
+            format!("d{i}").as_bytes(),
+            Derivation::by_tool(editor, []),
+        )
+        .expect("records");
+    }
+    db
+}
+
+/// Builds a flow of `branches` independent placement tasks over the
+/// Fig. 1 schema (disjoint branches for the Fig. 6 parallel bench),
+/// plus a seeded toy database and binding.
+pub fn disjoint_branches(
+    branches: usize,
+) -> (
+    Arc<TaskSchema>,
+    hercules::flow::TaskGraph,
+    HistoryDb,
+    hercules::exec::Binding,
+) {
+    let schema = fig1();
+    let mut flow = hercules::flow::TaskGraph::new(schema.clone());
+    for _ in 0..branches.max(1) {
+        let layout = flow
+            .seed(schema.require("Layout").expect("known"))
+            .expect("seeds");
+        flow.expand(layout).expect("expands");
+    }
+    let mut db = HistoryDb::new(schema.clone());
+    toy::seed_everything(&mut db, "bench");
+    let mut binding = hercules::exec::Binding::new();
+    binding.bind_latest(&flow, &db);
+    (schema, flow, db, binding)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edit_chain_has_requested_depth() {
+        let (db, newest) = edit_chain(10);
+        assert_eq!(db.len(), 11);
+        let forest = db
+            .version_forest(db.instance(newest).expect("present").entity())
+            .expect("builds");
+        assert_eq!(forest.depth(newest), 9);
+    }
+
+    #[test]
+    fn browsing_db_spreads_users() {
+        let db = browsing_db(50, 5);
+        assert_eq!(db.len(), 51);
+        assert_eq!(db.users().len(), 6, "5 designers + the bench seeder");
+    }
+
+    #[test]
+    fn disjoint_branches_bind_completely() {
+        let (_, flow, db, binding) = disjoint_branches(4);
+        assert_eq!(flow.outputs().len(), 4);
+        binding.validate(&flow, &db).expect("fully bound");
+    }
+}

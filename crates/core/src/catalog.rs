@@ -1,0 +1,111 @@
+//! The four catalogs of the Hercules task window (§4.1): "the designer
+//! may select a predefined flow from the flow-catalog, a design entity
+//! type from the entity-catalog, a tool from the tool-catalog, or a
+//! piece of data from the data-catalog."
+
+use hercules_history::{HistoryDb, InstanceId};
+use hercules_schema::{EntityTypeId, TaskSchema};
+
+/// One entity-catalog row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntityEntry {
+    /// Entity id.
+    pub id: EntityTypeId,
+    /// Entity name.
+    pub name: String,
+    /// `true` for tools.
+    pub is_tool: bool,
+    /// `true` for abstract entities (must be specialized).
+    pub is_abstract: bool,
+    /// Free-form description from the schema.
+    pub description: String,
+}
+
+/// Lists the entity catalog: every declared entity type, in declaration
+/// order.
+pub fn entity_catalog(schema: &TaskSchema) -> Vec<EntityEntry> {
+    schema
+        .entities()
+        .map(|e| EntityEntry {
+            id: e.id(),
+            name: e.name().to_owned(),
+            is_tool: e.kind().is_tool(),
+            is_abstract: schema.is_abstract(e.id()),
+            description: e.description().to_owned(),
+        })
+        .collect()
+}
+
+/// Lists the tool catalog: tool entities only.
+pub fn tool_catalog(schema: &TaskSchema) -> Vec<EntityEntry> {
+    entity_catalog(schema)
+        .into_iter()
+        .filter(|e| e.is_tool)
+        .collect()
+}
+
+/// One data-catalog row: an instance with its display name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataEntry {
+    /// Instance id.
+    pub instance: InstanceId,
+    /// Entity name.
+    pub entity: String,
+    /// Annotation name (or the id when unnamed).
+    pub name: String,
+    /// Creating user.
+    pub user: String,
+}
+
+/// Lists the data catalog: every instance in the history, newest first.
+pub fn data_catalog(db: &HistoryDb) -> Vec<DataEntry> {
+    let mut out: Vec<DataEntry> = db
+        .instances()
+        .map(|i| DataEntry {
+            instance: i.id(),
+            entity: db.schema().entity(i.entity()).name().to_owned(),
+            name: if i.meta().name.is_empty() {
+                i.id().to_string()
+            } else {
+                i.meta().name.clone()
+            },
+            user: i.meta().user.clone(),
+        })
+        .collect();
+    out.reverse();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Session;
+
+    #[test]
+    fn entity_catalog_lists_everything() {
+        let session = Session::odyssey("t");
+        let cat = entity_catalog(session.schema());
+        assert_eq!(cat.len(), session.schema().len());
+        let netlist = cat.iter().find(|e| e.name == "Netlist").expect("listed");
+        assert!(netlist.is_abstract);
+        assert!(!netlist.is_tool);
+    }
+
+    #[test]
+    fn tool_catalog_is_tools_only() {
+        let session = Session::odyssey("t");
+        let tools = tool_catalog(session.schema());
+        assert!(tools.iter().all(|e| e.is_tool));
+        assert!(tools.iter().any(|e| e.name == "Simulator"));
+        assert!(tools.iter().any(|e| e.name == "CompiledSimulator"));
+    }
+
+    #[test]
+    fn data_catalog_lists_instances_newest_first() {
+        let session = Session::odyssey("t");
+        let data = data_catalog(session.db());
+        assert_eq!(data.len(), session.db().len());
+        assert!(data[0].instance > data[data.len() - 1].instance);
+        assert!(data.iter().any(|d| d.name.contains("Full adder")));
+    }
+}

@@ -1,0 +1,715 @@
+//! Encapsulations of the simulated EDA tools against the Odyssey schema.
+//!
+//! Each struct here is the glue the paper calls an *encapsulation*: it
+//! knows how to turn instance bytes into tool inputs, run the tool, and
+//! serialize the products. §3.3's techniques all appear:
+//!
+//! * tool instances carry scripts/programs as data (`CircuitEditor`
+//!   sessions, the `CompiledSimulator` program);
+//! * one encapsulation serves several tool instances (the three
+//!   optimizers differ only in their instance data);
+//! * a tool appears as *data input* to another tool (the optimizer
+//!   receives a `Simulator` instance);
+//! * one subtask produces multiple outputs (the extractor).
+
+use std::sync::Arc;
+
+use hercules_eda as eda;
+use hercules_exec::{
+    Encapsulation, EncapsulationRegistry, ExecError, Invocation, ToolOutput,
+};
+use hercules_schema::TaskSchema;
+
+fn fail(schema: &TaskSchema, inv: &Invocation, msg: impl std::fmt::Display) -> ExecError {
+    ExecError::ToolFailed {
+        tool: schema.entity(inv.tool_entity).name().to_owned(),
+        message: msg.to_string(),
+    }
+}
+
+/// Parses netlist bytes that may be either the canonical text format or
+/// an extracted-netlist JSON; returns the netlist and, when extracted,
+/// its parasitic delays.
+pub fn parse_any_netlist(
+    bytes: &[u8],
+) -> Result<(eda::Netlist, Option<eda::NetDelays>), eda::EdaError> {
+    if let Ok(ex) = eda::ExtractedNetlist::from_bytes(bytes) {
+        let parasitics = ex.parasitics(4);
+        return Ok((ex.netlist, Some(parasitics)));
+    }
+    Ok((eda::Netlist::from_bytes(bytes)?, None))
+}
+
+/// `DeviceModelEditor` → `DeviceModels`: the tool instance's data is the
+/// model deck it "edits" (a scripted session); empty data yields the
+/// default 1993 models.
+#[derive(Debug, Default)]
+pub struct DeviceModelEditor;
+
+impl Encapsulation for DeviceModelEditor {
+    fn run(
+        &self,
+        schema: &TaskSchema,
+        inv: &Invocation,
+    ) -> Result<Vec<ToolOutput>, ExecError> {
+        // Tool data is a scripted model deck when it looks like one;
+        // otherwise it is just the tool's path and the editor produces
+        // the default deck.
+        let models = match &inv.tool_data {
+            Some(data) if data.starts_with(b".models") => {
+                eda::DeviceModels::from_bytes(data).map_err(|e| fail(schema, inv, e))?
+            }
+            _ => eda::DeviceModels::default_1993(),
+        };
+        Ok(vec![ToolOutput::named(
+            inv.outputs[0],
+            models.to_bytes(),
+            &models.name,
+        )])
+    }
+}
+
+/// `CircuitEditor` → `EditedNetlist`: the tool instance's data is the
+/// netlist the scripted session produces. When the optional prior
+/// netlist input is present and the script is empty, the editor passes
+/// the prior netlist through (a null edit creating a new version).
+#[derive(Debug, Default)]
+pub struct CircuitEditor;
+
+impl Encapsulation for CircuitEditor {
+    fn run(
+        &self,
+        schema: &TaskSchema,
+        inv: &Invocation,
+    ) -> Result<Vec<ToolOutput>, ExecError> {
+        let script = inv.tool_data.as_deref().unwrap_or(&[]);
+        let netlist = if !script.is_empty() && script.starts_with(b".circuit") {
+            eda::Netlist::from_bytes(script).map_err(|e| fail(schema, inv, e))?
+        } else if let Some(prior) = inv.inputs.first().and_then(|i| i.instances.first()) {
+            let (netlist, _) = parse_any_netlist(prior).map_err(|e| fail(schema, inv, e))?;
+            netlist
+        } else {
+            return Err(fail(
+                schema,
+                inv,
+                "editor needs a netlist script or a prior netlist",
+            ));
+        };
+        let name = netlist.name.clone();
+        Ok(vec![ToolOutput::named(
+            inv.outputs[0],
+            netlist.to_bytes(),
+            &name,
+        )])
+    }
+}
+
+/// The `Circuit` composite's implicit composition function:
+/// `DeviceModels` + `Netlist` → `Circuit`, with the §3.1 consistency
+/// check ("can these device models be used with this circuit?").
+#[derive(Debug, Default)]
+pub struct CircuitComposer;
+
+impl Encapsulation for CircuitComposer {
+    fn run(
+        &self,
+        schema: &TaskSchema,
+        inv: &Invocation,
+    ) -> Result<Vec<ToolOutput>, ExecError> {
+        let models_entity = schema
+            .entity_id("DeviceModels")
+            .ok_or_else(|| fail(schema, inv, "schema lacks DeviceModels"))?;
+        let netlist_entity = schema
+            .entity_id("Netlist")
+            .ok_or_else(|| fail(schema, inv, "schema lacks Netlist"))?;
+        let models = eda::DeviceModels::from_bytes(inv.input_of(schema, models_entity)?)
+            .map_err(|e| fail(schema, inv, e))?;
+        let (netlist, _) = parse_any_netlist(inv.input_of(schema, netlist_entity)?)
+            .map_err(|e| fail(schema, inv, e))?;
+        let circuit =
+            eda::Circuit::compose(models, netlist).map_err(|e| fail(schema, inv, e))?;
+        let name = circuit.netlist.name.clone();
+        Ok(vec![ToolOutput::named(
+            inv.outputs[0],
+            circuit.to_bytes(),
+            &name,
+        )])
+    }
+}
+
+/// Simulator options (the "options or arguments themselves as an entity
+/// type" of §3.3).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SimOptions {
+    /// Apply extracted wire parasitics when the netlist carries them.
+    pub use_parasitics: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> SimOptions {
+        SimOptions {
+            use_parasitics: true,
+        }
+    }
+}
+
+impl SimOptions {
+    /// Emits the canonical byte form (JSON).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("options serialize")
+    }
+
+    /// Parses the canonical byte form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse error on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<SimOptions, eda::EdaError> {
+        serde_json::from_slice(bytes).map_err(|e| eda::EdaError::Parse {
+            what: "simulator options".into(),
+            detail: e.to_string(),
+        })
+    }
+}
+
+/// `Simulator` → `Performance`: gate-level simulation of a `Circuit`
+/// under `Stimuli`, honouring optional `SimulatorOptions`.
+#[derive(Debug, Default)]
+pub struct Simulator;
+
+impl Encapsulation for Simulator {
+    fn run(
+        &self,
+        schema: &TaskSchema,
+        inv: &Invocation,
+    ) -> Result<Vec<ToolOutput>, ExecError> {
+        let circuit_entity = schema
+            .entity_id("Circuit")
+            .ok_or_else(|| fail(schema, inv, "schema lacks Circuit"))?;
+        let stimuli_entity = schema
+            .entity_id("Stimuli")
+            .ok_or_else(|| fail(schema, inv, "schema lacks Stimuli"))?;
+        let circuit = eda::Circuit::from_bytes(inv.input_of(schema, circuit_entity)?)
+            .map_err(|e| fail(schema, inv, e))?;
+        let stimuli = eda::Stimuli::from_bytes(inv.input_of(schema, stimuli_entity)?)
+            .map_err(|e| fail(schema, inv, e))?;
+        let options = schema
+            .entity_id("SimulatorOptions")
+            .and_then(|opt_entity| {
+                inv.inputs
+                    .iter()
+                    .find(|i| i.entity == opt_entity)
+                    .and_then(|i| i.instances.first())
+            })
+            .map(|bytes| SimOptions::from_bytes(bytes))
+            .transpose()
+            .map_err(|e| fail(schema, inv, e))?
+            .unwrap_or_default();
+
+        let parasitics = eda::NetDelays::default();
+        let _ = options.use_parasitics; // circuit netlists are ideal here
+        let perf =
+            eda::Performance::analyze(&circuit.netlist, &stimuli, &circuit.models, &parasitics)
+                .map_err(|e| fail(schema, inv, e))?;
+        let name = format!("{}·{}", perf.circuit, perf.stimuli);
+        Ok(vec![ToolOutput::named(
+            inv.outputs[0],
+            perf.to_bytes(),
+            &name,
+        )])
+    }
+}
+
+/// `Placer` → `Layout`: placement from a netlist and rules.
+#[derive(Debug, Default)]
+pub struct Placer;
+
+impl Encapsulation for Placer {
+    fn run(
+        &self,
+        schema: &TaskSchema,
+        inv: &Invocation,
+    ) -> Result<Vec<ToolOutput>, ExecError> {
+        let netlist_entity = schema
+            .entity_id("Netlist")
+            .ok_or_else(|| fail(schema, inv, "schema lacks Netlist"))?;
+        let rules_entity = schema
+            .entity_id("PlacementRules")
+            .ok_or_else(|| fail(schema, inv, "schema lacks PlacementRules"))?;
+        let (netlist, _) = parse_any_netlist(inv.input_of(schema, netlist_entity)?)
+            .map_err(|e| fail(schema, inv, e))?;
+        let rules = eda::PlacementRules::from_bytes(inv.input_of(schema, rules_entity)?)
+            .map_err(|e| fail(schema, inv, e))?;
+        let layout = eda::place(&netlist, &rules).map_err(|e| fail(schema, inv, e))?;
+        let name = layout.name.clone();
+        Ok(vec![ToolOutput::named(
+            inv.outputs[0],
+            layout.to_bytes(),
+            &name,
+        )])
+    }
+}
+
+/// `Extractor` → `ExtractedNetlist` (+ `ExtractionStatistics`): the
+/// multi-output subtask of Fig. 5. One invocation serves both products.
+#[derive(Debug, Default)]
+pub struct Extractor;
+
+impl Encapsulation for Extractor {
+    fn run(
+        &self,
+        schema: &TaskSchema,
+        inv: &Invocation,
+    ) -> Result<Vec<ToolOutput>, ExecError> {
+        let layout_entity = schema
+            .entity_id("Layout")
+            .ok_or_else(|| fail(schema, inv, "schema lacks Layout"))?;
+        let layout = eda::Layout::from_bytes(inv.input_of(schema, layout_entity)?)
+            .map_err(|e| fail(schema, inv, e))?;
+        let (extracted, stats) = eda::extract(&layout);
+        inv.outputs
+            .iter()
+            .map(|&out| {
+                let name = schema.entity(out).name();
+                match name {
+                    "ExtractedNetlist" => Ok(ToolOutput::named(
+                        out,
+                        extracted.to_bytes(),
+                        &extracted.netlist.name,
+                    )),
+                    "ExtractionStatistics" => Ok(ToolOutput::named(
+                        out,
+                        stats.to_bytes(),
+                        &format!("{} stats", stats.layout),
+                    )),
+                    other => Err(fail(
+                        schema,
+                        inv,
+                        format!("extractor cannot produce `{other}`"),
+                    )),
+                }
+            })
+            .collect()
+    }
+}
+
+/// `Verifier` → `Verification`: LVS between the reference netlist and
+/// the extracted netlist (the Fig. 8b view-consistency check).
+#[derive(Debug, Default)]
+pub struct Verifier;
+
+impl Encapsulation for Verifier {
+    fn run(
+        &self,
+        schema: &TaskSchema,
+        inv: &Invocation,
+    ) -> Result<Vec<ToolOutput>, ExecError> {
+        let extracted_entity = schema
+            .entity_id("ExtractedNetlist")
+            .ok_or_else(|| fail(schema, inv, "schema lacks ExtractedNetlist"))?;
+        // The reference is the input that is NOT the extracted netlist.
+        let mut reference = None;
+        let mut compared = None;
+        for input in &inv.inputs {
+            let bytes = input
+                .instances
+                .first()
+                .ok_or_else(|| fail(schema, inv, "empty verifier input"))?;
+            if input.entity == extracted_entity {
+                compared = Some(bytes);
+            } else {
+                reference = Some(bytes);
+            }
+        }
+        let reference = reference.ok_or_else(|| fail(schema, inv, "missing reference"))?;
+        let compared = compared.ok_or_else(|| fail(schema, inv, "missing extracted"))?;
+        let (ref_netlist, _) =
+            parse_any_netlist(reference).map_err(|e| fail(schema, inv, e))?;
+        let (cmp_netlist, _) =
+            parse_any_netlist(compared).map_err(|e| fail(schema, inv, e))?;
+        let report =
+            eda::verify(&ref_netlist, &cmp_netlist).map_err(|e| fail(schema, inv, e))?;
+        let name = format!(
+            "{} vs {}: {}",
+            report.reference,
+            report.compared,
+            if report.matched { "ok" } else { "MISMATCH" }
+        );
+        Ok(vec![ToolOutput::named(
+            inv.outputs[0],
+            report.to_bytes(),
+            &name,
+        )])
+    }
+}
+
+/// `Plotter` → `PerformancePlot`.
+#[derive(Debug, Default)]
+pub struct Plotter;
+
+impl Encapsulation for Plotter {
+    fn run(
+        &self,
+        schema: &TaskSchema,
+        inv: &Invocation,
+    ) -> Result<Vec<ToolOutput>, ExecError> {
+        let perf_entity = schema
+            .entity_id("Performance")
+            .ok_or_else(|| fail(schema, inv, "schema lacks Performance"))?;
+        let perf = eda::Performance::from_bytes(inv.input_of(schema, perf_entity)?)
+            .map_err(|e| fail(schema, inv, e))?;
+        let plot = eda::Plot::from_performance(&perf);
+        let name = plot.title.clone();
+        Ok(vec![ToolOutput::named(
+            inv.outputs[0],
+            plot.to_bytes(),
+            &name,
+        )])
+    }
+}
+
+/// `SimulatorCompiler` → `CompiledSimulator` (Fig. 2): compiles a
+/// netlist into a switch-level simulator. Gate-level input is first
+/// synthesized to transistors.
+#[derive(Debug, Default)]
+pub struct SimulatorCompiler;
+
+impl Encapsulation for SimulatorCompiler {
+    fn run(
+        &self,
+        schema: &TaskSchema,
+        inv: &Invocation,
+    ) -> Result<Vec<ToolOutput>, ExecError> {
+        let netlist_entity = schema
+            .entity_id("Netlist")
+            .ok_or_else(|| fail(schema, inv, "schema lacks Netlist"))?;
+        let (netlist, _) = parse_any_netlist(inv.input_of(schema, netlist_entity)?)
+            .map_err(|e| fail(schema, inv, e))?;
+        let transistor = if netlist.is_transistor_level() {
+            netlist
+        } else {
+            eda::to_transistor_level(&netlist).map_err(|e| fail(schema, inv, e))?
+        };
+        let sim = eda::cosmos::compile(&transistor).map_err(|e| fail(schema, inv, e))?;
+        let name = format!("cosmos({})", sim.circuit);
+        Ok(vec![ToolOutput::named(
+            inv.outputs[0],
+            sim.to_bytes(),
+            &name,
+        )])
+    }
+}
+
+/// `CompiledSimulator` → `SwitchSimulation`: the created-during-design
+/// tool itself. Its *instance data* is the compiled program.
+#[derive(Debug, Default)]
+pub struct CompiledSimulatorTool;
+
+impl Encapsulation for CompiledSimulatorTool {
+    fn run(
+        &self,
+        schema: &TaskSchema,
+        inv: &Invocation,
+    ) -> Result<Vec<ToolOutput>, ExecError> {
+        let program = inv
+            .tool_data
+            .as_deref()
+            .ok_or_else(|| fail(schema, inv, "compiled simulator has no program"))?;
+        let sim =
+            eda::CompiledSimulator::from_bytes(program).map_err(|e| fail(schema, inv, e))?;
+        let stimuli_entity = schema
+            .entity_id("Stimuli")
+            .ok_or_else(|| fail(schema, inv, "schema lacks Stimuli"))?;
+        let stimuli = eda::Stimuli::from_bytes(inv.input_of(schema, stimuli_entity)?)
+            .map_err(|e| fail(schema, inv, e))?;
+        let result = sim.run(&stimuli).map_err(|e| fail(schema, inv, e))?;
+        let name = format!("{}·{}", result.circuit, result.stimuli);
+        Ok(vec![ToolOutput::named(
+            inv.outputs[0],
+            result.to_bytes(),
+            &name,
+        )])
+    }
+}
+
+/// The shared optimizer encapsulation (§3.3): three tool *instances*
+/// (`hillclimb`, `anneal`, `random-search` as instance data) share this
+/// one implementation. The `Simulator` arrives as a *data input* — a
+/// tool passed to another tool.
+#[derive(Debug, Default)]
+pub struct Optimizer;
+
+impl Encapsulation for Optimizer {
+    fn run(
+        &self,
+        schema: &TaskSchema,
+        inv: &Invocation,
+    ) -> Result<Vec<ToolOutput>, ExecError> {
+        let kind = match inv.tool_data.as_deref() {
+            Some(b"hillclimb") => eda::OptimizerKind::HillClimb,
+            Some(b"anneal") => eda::OptimizerKind::Anneal,
+            Some(b"random-search") => eda::OptimizerKind::RandomSearch,
+            other => {
+                return Err(fail(
+                    schema,
+                    inv,
+                    format!(
+                        "unknown optimizer `{}`",
+                        String::from_utf8_lossy(other.unwrap_or(b"<none>"))
+                    ),
+                ))
+            }
+        };
+        let netlist_entity = schema
+            .entity_id("Netlist")
+            .ok_or_else(|| fail(schema, inv, "schema lacks Netlist"))?;
+        let models_entity = schema
+            .entity_id("DeviceModels")
+            .ok_or_else(|| fail(schema, inv, "schema lacks DeviceModels"))?;
+        let simulator_entity = schema
+            .entity_id("Simulator")
+            .ok_or_else(|| fail(schema, inv, "schema lacks Simulator"))?;
+        let (netlist, _) = parse_any_netlist(inv.input_of(schema, netlist_entity)?)
+            .map_err(|e| fail(schema, inv, e))?;
+        let models = eda::DeviceModels::from_bytes(inv.input_of(schema, models_entity)?)
+            .map_err(|e| fail(schema, inv, e))?;
+        // The simulator-as-data: its identity seeds the Monte-Carlo
+        // evaluation, so different simulators give different (but
+        // deterministic) statistical estimates.
+        let simulator_bytes = inv.input_of(schema, simulator_entity)?;
+        let seed = simulator_bytes
+            .iter()
+            .fold(0u64, |h, &b| h.wrapping_mul(31).wrapping_add(u64::from(b)));
+
+        let transistor = if netlist.is_transistor_level() {
+            netlist
+        } else {
+            eda::to_transistor_level(&netlist).map_err(|e| fail(schema, inv, e))?
+        };
+        let (optimized, report) = eda::optimize(kind, &transistor, &models, 400, seed)
+            .map_err(|e| fail(schema, inv, e))?;
+        let name = format!(
+            "{} ({:.1}% better)",
+            optimized.name,
+            report.improvement() * 100.0
+        );
+        Ok(vec![ToolOutput::named(
+            inv.outputs[0],
+            optimized.to_bytes(),
+            &name,
+        )])
+    }
+}
+
+/// Builds the full encapsulation registry for the Odyssey schema
+/// ([`hercules_schema::fixtures::odyssey`]).
+///
+/// # Panics
+///
+/// Panics if `schema` lacks the Odyssey tool entities.
+pub fn odyssey_registry(schema: &TaskSchema) -> EncapsulationRegistry {
+    let mut reg = EncapsulationRegistry::new();
+    let id = |name: &str| {
+        schema
+            .entity_id(name)
+            .unwrap_or_else(|| panic!("odyssey schema declares {name}"))
+    };
+    reg.register(id("DeviceModelEditor"), Arc::new(DeviceModelEditor));
+    reg.register(id("CircuitEditor"), Arc::new(CircuitEditor));
+    reg.register(id("Circuit"), Arc::new(CircuitComposer));
+    reg.register(id("Simulator"), Arc::new(Simulator));
+    reg.register(id("Placer"), Arc::new(Placer));
+    reg.register(id("Extractor"), Arc::new(Extractor));
+    reg.register(id("Verifier"), Arc::new(Verifier));
+    reg.register(id("Plotter"), Arc::new(Plotter));
+    if let Some(compiler) = schema.entity_id("SimulatorCompiler") {
+        reg.register(compiler, Arc::new(SimulatorCompiler));
+    }
+    if let Some(compiled) = schema.entity_id("CompiledSimulator") {
+        reg.register(compiled, Arc::new(CompiledSimulatorTool));
+    }
+    if let Some(optimizer) = schema.entity_id("Optimizer") {
+        reg.register(optimizer, Arc::new(Optimizer));
+    }
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hercules_exec::ToolInput;
+    use hercules_schema::fixtures;
+
+    fn schema() -> TaskSchema {
+        fixtures::odyssey()
+    }
+
+    fn single_input(
+        schema: &TaskSchema,
+        entity: &str,
+        data: &[u8],
+    ) -> ToolInput {
+        ToolInput {
+            entity: schema.entity_id(entity).expect("known"),
+            instances: vec![data.to_vec()],
+        }
+    }
+
+    #[test]
+    fn registry_covers_every_odyssey_tool() {
+        let schema = schema();
+        let reg = odyssey_registry(&schema);
+        for tool in schema.tools() {
+            assert!(
+                reg.lookup(&schema, tool).is_some(),
+                "missing encapsulation for {}",
+                schema.entity(tool).name()
+            );
+        }
+        // Plus the Circuit composer.
+        let circuit = schema.entity_id("Circuit").expect("known");
+        assert!(reg.lookup(&schema, circuit).is_some());
+    }
+
+    #[test]
+    fn parse_any_netlist_accepts_both_forms() {
+        let gate = eda::cells::full_adder();
+        let (n, parasitics) = parse_any_netlist(&gate.to_bytes()).expect("text form");
+        assert_eq!(n, gate);
+        assert!(parasitics.is_none());
+
+        let layout = eda::place(&gate, &eda::PlacementRules::default()).expect("places");
+        let (ex, _) = eda::extract(&layout);
+        let (n, parasitics) = parse_any_netlist(&ex.to_bytes()).expect("json form");
+        assert_eq!(n.gate_count(), gate.gate_count());
+        assert!(parasitics.is_some());
+
+        assert!(parse_any_netlist(b"garbage").is_err());
+    }
+
+    #[test]
+    fn circuit_editor_requires_script_or_prior() {
+        let schema = schema();
+        let edited = schema.entity_id("EditedNetlist").expect("known");
+        let editor = schema.entity_id("CircuitEditor").expect("known");
+        let inv = Invocation {
+            tool_entity: editor,
+            tool_data: Some(b"not a script".to_vec()),
+            inputs: vec![],
+            outputs: vec![edited],
+        };
+        assert!(matches!(
+            CircuitEditor.run(&schema, &inv).unwrap_err(),
+            ExecError::ToolFailed { .. }
+        ));
+
+        // With a prior netlist it passes through.
+        let prior = eda::cells::inverter();
+        let netlist_entity = schema.entity_id("Netlist").expect("known");
+        let inv = Invocation {
+            tool_entity: editor,
+            tool_data: Some(b"".to_vec()),
+            inputs: vec![ToolInput {
+                entity: netlist_entity,
+                instances: vec![prior.to_bytes()],
+            }],
+            outputs: vec![edited],
+        };
+        let out = CircuitEditor.run(&schema, &inv).expect("passes through");
+        assert_eq!(
+            eda::Netlist::from_bytes(&out[0].data).expect("netlist"),
+            prior
+        );
+    }
+
+    #[test]
+    fn composer_rejects_inconsistent_models() {
+        let schema = schema();
+        let circuit = schema.entity_id("Circuit").expect("known");
+        let mut bad = eda::DeviceModels::default_1993();
+        bad.vdd = -1.0;
+        let inv = Invocation {
+            tool_entity: circuit,
+            tool_data: None,
+            inputs: vec![
+                single_input(&schema, "DeviceModels", &bad.to_bytes()),
+                single_input(
+                    &schema,
+                    "Netlist",
+                    &eda::cells::inverter().to_bytes(),
+                ),
+            ],
+            outputs: vec![circuit],
+        };
+        assert!(matches!(
+            CircuitComposer.run(&schema, &inv).unwrap_err(),
+            ExecError::ToolFailed { .. }
+        ));
+    }
+
+    #[test]
+    fn extractor_produces_only_known_outputs() {
+        let schema = schema();
+        let layout = eda::place(
+            &eda::cells::inverter(),
+            &eda::PlacementRules::default(),
+        )
+        .expect("places");
+        let extractor = schema.entity_id("Extractor").expect("known");
+        let perf = schema.entity_id("Performance").expect("known");
+        let inv = Invocation {
+            tool_entity: extractor,
+            tool_data: None,
+            inputs: vec![single_input(&schema, "Layout", &layout.to_bytes())],
+            outputs: vec![perf], // extractor cannot make a Performance
+        };
+        assert!(matches!(
+            Extractor.run(&schema, &inv).unwrap_err(),
+            ExecError::ToolFailed { .. }
+        ));
+    }
+
+    #[test]
+    fn optimizer_rejects_unknown_kind() {
+        let schema = schema();
+        let optimizer = schema.entity_id("Optimizer").expect("known");
+        let optimized = schema.entity_id("OptimizedNetlist").expect("known");
+        let inv = Invocation {
+            tool_entity: optimizer,
+            tool_data: Some(b"gradient-descent".to_vec()),
+            inputs: vec![],
+            outputs: vec![optimized],
+        };
+        assert!(matches!(
+            Optimizer.run(&schema, &inv).unwrap_err(),
+            ExecError::ToolFailed { .. }
+        ));
+    }
+
+    #[test]
+    fn compiled_simulator_needs_its_program() {
+        let schema = schema();
+        let compiled = schema.entity_id("CompiledSimulator").expect("known");
+        let sim = schema.entity_id("SwitchSimulation").expect("known");
+        let inv = Invocation {
+            tool_entity: compiled,
+            tool_data: None,
+            inputs: vec![],
+            outputs: vec![sim],
+        };
+        assert!(matches!(
+            CompiledSimulatorTool.run(&schema, &inv).unwrap_err(),
+            ExecError::ToolFailed { .. }
+        ));
+    }
+
+    #[test]
+    fn sim_options_round_trip() {
+        let opts = SimOptions {
+            use_parasitics: false,
+        };
+        let back = SimOptions::from_bytes(&opts.to_bytes()).expect("round trips");
+        assert_eq!(back, opts);
+        assert!(SimOptions::from_bytes(b"junk").is_err());
+    }
+}

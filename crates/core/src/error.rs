@@ -1,0 +1,105 @@
+//! Unified error type for the Hercules task manager.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the Hercules task manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+#[allow(missing_docs)] // variant payloads are the wrapped errors
+pub enum HerculesError {
+    /// Schema error.
+    Schema(hercules_schema::SchemaError),
+    /// Flow construction error.
+    Flow(hercules_flow::FlowError),
+    /// History database error.
+    History(hercules_history::HistoryError),
+    /// Execution error.
+    Exec(hercules_exec::ExecError),
+    /// EDA substrate error (inside an encapsulation).
+    Eda(hercules_eda::EdaError),
+    /// No flow is under construction in the session.
+    NoActiveFlow,
+    /// A UI command could not be parsed.
+    BadCommand { input: String, reason: String },
+}
+
+impl fmt::Display for HerculesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HerculesError::Schema(e) => write!(f, "schema: {e}"),
+            HerculesError::Flow(e) => write!(f, "flow: {e}"),
+            HerculesError::History(e) => write!(f, "history: {e}"),
+            HerculesError::Exec(e) => write!(f, "execution: {e}"),
+            HerculesError::Eda(e) => write!(f, "tool: {e}"),
+            HerculesError::NoActiveFlow => {
+                f.write_str("no flow under construction; start one first")
+            }
+            HerculesError::BadCommand { input, reason } => {
+                write!(f, "cannot parse command `{input}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for HerculesError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HerculesError::Schema(e) => Some(e),
+            HerculesError::Flow(e) => Some(e),
+            HerculesError::History(e) => Some(e),
+            HerculesError::Exec(e) => Some(e),
+            HerculesError::Eda(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hercules_schema::SchemaError> for HerculesError {
+    fn from(e: hercules_schema::SchemaError) -> HerculesError {
+        HerculesError::Schema(e)
+    }
+}
+
+impl From<hercules_flow::FlowError> for HerculesError {
+    fn from(e: hercules_flow::FlowError) -> HerculesError {
+        HerculesError::Flow(e)
+    }
+}
+
+impl From<hercules_history::HistoryError> for HerculesError {
+    fn from(e: hercules_history::HistoryError) -> HerculesError {
+        HerculesError::History(e)
+    }
+}
+
+impl From<hercules_exec::ExecError> for HerculesError {
+    fn from(e: hercules_exec::ExecError) -> HerculesError {
+        HerculesError::Exec(e)
+    }
+}
+
+impl From<hercules_eda::EdaError> for HerculesError {
+    fn from(e: hercules_eda::EdaError) -> HerculesError {
+        HerculesError::Eda(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        use std::error::Error as _;
+        let e: HerculesError = hercules_flow::FlowError::Cycle.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().starts_with("flow:"));
+        assert!(HerculesError::NoActiveFlow.source().is_none());
+        let bad = HerculesError::BadCommand {
+            input: "frobnicate".into(),
+            reason: "unknown verb".into(),
+        };
+        assert!(bad.to_string().contains("frobnicate"));
+    }
+}

@@ -1,0 +1,428 @@
+//! A Hercules design session: one designer, one schema, one history
+//! database, one flow under construction.
+
+use std::sync::Arc;
+
+use hercules_exec::{Binding, EncapsulationRegistry, ExecReport, Executor};
+use hercules_flow::{Expansion, FlowCatalog, NodeId, TaskGraph};
+use hercules_history::{DerivationTree, HistoryDb, InstanceId};
+use hercules_schema::{EntityTypeId, TaskSchema};
+
+use crate::error::HerculesError;
+
+/// The four §3.4 design approaches: "Any one of four different
+/// approaches may be selected."
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Approach {
+    /// Goal-based: "designers identify a task by first selecting the
+    /// goal entity of the task from the task schema."
+    Goal(String),
+    /// Tool-based: start from the tool entity to work with.
+    Tool(String),
+    /// Data-based: start from an existing piece of data.
+    Data(InstanceId),
+    /// Plan-based: choose a flow from the catalog.
+    Plan(String),
+}
+
+/// A design session of the Hercules task manager (§4).
+///
+/// # Examples
+///
+/// ```
+/// use hercules::Session;
+///
+/// # fn main() -> Result<(), hercules::HerculesError> {
+/// let mut session = Session::odyssey("sutton");
+/// // Goal-based approach: I want a performance report.
+/// let perf = session.start_from_goal("Performance")?;
+/// session.expand(perf)?;
+/// assert_eq!(session.flow()?.leaves().len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Session {
+    schema: Arc<TaskSchema>,
+    db: HistoryDb,
+    executor: Executor,
+    catalog: FlowCatalog,
+    flow: Option<TaskGraph>,
+    binding: Binding,
+    user: String,
+    last_report: Option<ExecReport>,
+}
+
+impl Session {
+    /// Creates a session over an arbitrary schema and tool registry,
+    /// with an empty history database.
+    pub fn new(schema: Arc<TaskSchema>, registry: EncapsulationRegistry, user: &str) -> Session {
+        let db = HistoryDb::new(schema.clone());
+        let mut executor = Executor::new(registry);
+        executor.options_mut().user = user.to_owned();
+        Session {
+            schema,
+            db,
+            executor,
+            catalog: FlowCatalog::new(),
+            flow: None,
+            binding: Binding::new(),
+            user: user.to_owned(),
+            last_report: None,
+        }
+    }
+
+    /// Creates the standard demonstration session: the Odyssey schema,
+    /// the simulated EDA tools, and a seeded standard library (see
+    /// [`setup`](crate::setup)).
+    pub fn odyssey(user: &str) -> Session {
+        crate::setup::odyssey_session(user)
+    }
+
+    /// Returns the schema.
+    pub fn schema(&self) -> &Arc<TaskSchema> {
+        &self.schema
+    }
+
+    /// Returns the history database.
+    pub fn db(&self) -> &HistoryDb {
+        &self.db
+    }
+
+    /// Returns mutable access to the history database (for seeding and
+    /// annotation).
+    pub fn db_mut(&mut self) -> &mut HistoryDb {
+        &mut self.db
+    }
+
+    /// Returns the user-id of this session.
+    pub fn user(&self) -> &str {
+        &self.user
+    }
+
+    /// Returns the flow catalog.
+    pub fn catalog(&self) -> &FlowCatalog {
+        &self.catalog
+    }
+
+    /// Returns mutable access to the flow catalog.
+    pub fn catalog_mut(&mut self) -> &mut FlowCatalog {
+        &mut self.catalog
+    }
+
+    /// Returns the executor (to adjust options such as parallelism).
+    pub fn executor_mut(&mut self) -> &mut Executor {
+        &mut self.executor
+    }
+
+    /// Returns the flow under construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HerculesError::NoActiveFlow`] before any `start_*`.
+    pub fn flow(&self) -> Result<&TaskGraph, HerculesError> {
+        self.flow.as_ref().ok_or(HerculesError::NoActiveFlow)
+    }
+
+    fn flow_mut(&mut self) -> Result<&mut TaskGraph, HerculesError> {
+        self.flow.as_mut().ok_or(HerculesError::NoActiveFlow)
+    }
+
+    /// Direct access to the flow slot, for installing externally built
+    /// flows (view-management fixtures, recalled traces).
+    pub(crate) fn flow_slot(&mut self) -> &mut Option<TaskGraph> {
+        &mut self.flow
+    }
+
+    /// Installs an externally built flow (e.g. a recalled trace or a
+    /// Fig. 8 fixture), clearing previous bindings.
+    pub fn install_flow(&mut self, flow: TaskGraph) {
+        self.flow = Some(flow);
+        self.binding = Binding::new();
+        self.last_report = None;
+    }
+
+    /// Returns the current binding.
+    pub fn binding(&self) -> &Binding {
+        &self.binding
+    }
+
+    /// Returns the last execution report, if any.
+    pub fn last_report(&self) -> Option<&ExecReport> {
+        self.last_report.as_ref()
+    }
+
+    /// Abandons the flow under construction (the `Clear` button of
+    /// Fig. 9).
+    pub fn clear_flow(&mut self) {
+        self.flow = None;
+        self.binding = Binding::new();
+        self.last_report = None;
+    }
+
+    // ------------------------------------------------------------------
+    // The four design approaches (§3.4).
+    // ------------------------------------------------------------------
+
+    /// Starts a flow using any of the four approaches; returns the seed
+    /// node for goal/tool/data starts, or the flow's first output node
+    /// for plan starts.
+    ///
+    /// # Errors
+    ///
+    /// Unknown names and ill-typed starts.
+    pub fn start(&mut self, approach: Approach) -> Result<NodeId, HerculesError> {
+        match approach {
+            Approach::Goal(name) => self.start_from_goal(&name),
+            Approach::Tool(name) => self.start_from_tool(&name),
+            Approach::Data(instance) => self.start_from_data(instance),
+            Approach::Plan(name) => self.start_from_plan(&name),
+        }
+    }
+
+    /// Goal-based approach: seed the flow with the goal entity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a schema error for unknown entity names.
+    pub fn start_from_goal(&mut self, entity: &str) -> Result<NodeId, HerculesError> {
+        let id = self.schema.require(entity)?;
+        self.seed(id)
+    }
+
+    /// Tool-based approach: seed the flow with a tool entity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a schema error for unknown tool names.
+    pub fn start_from_tool(&mut self, tool: &str) -> Result<NodeId, HerculesError> {
+        let id = self.schema.require(tool)?;
+        self.seed(id)
+    }
+
+    /// Data-based approach: seed the flow with the entity of an
+    /// existing instance, and bind the node to it immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns a history error for unknown instances.
+    pub fn start_from_data(&mut self, instance: InstanceId) -> Result<NodeId, HerculesError> {
+        let entity = self.db.instance(instance)?.entity();
+        let node = self.seed(entity)?;
+        self.binding.bind(node, instance);
+        Ok(node)
+    }
+
+    /// Plan-based approach: instantiate a stored flow from the catalog.
+    /// Returns its first output node.
+    ///
+    /// # Errors
+    ///
+    /// Returns a flow error for unknown catalog names.
+    pub fn start_from_plan(&mut self, name: &str) -> Result<NodeId, HerculesError> {
+        let flow = self.catalog.instantiate(name, self.schema.clone())?;
+        let out = flow.outputs().first().copied();
+        self.flow = Some(flow);
+        self.binding = Binding::new();
+        out.ok_or(HerculesError::NoActiveFlow)
+    }
+
+    fn seed(&mut self, entity: EntityTypeId) -> Result<NodeId, HerculesError> {
+        if self.flow.is_none() {
+            self.flow = Some(TaskGraph::new(self.schema.clone()));
+        }
+        Ok(self.flow_mut()?.seed(entity)?)
+    }
+
+    // ------------------------------------------------------------------
+    // Flow construction (proxied to hercules-flow).
+    // ------------------------------------------------------------------
+
+    /// Expands a node (the `Expand` menu entry).
+    ///
+    /// # Errors
+    ///
+    /// See [`TaskGraph::expand`].
+    pub fn expand(&mut self, node: NodeId) -> Result<Vec<NodeId>, HerculesError> {
+        Ok(self.flow_mut()?.expand(node)?)
+    }
+
+    /// Expands a node with options (optional deps, reuse).
+    ///
+    /// # Errors
+    ///
+    /// See [`TaskGraph::expand_with`].
+    pub fn expand_with(
+        &mut self,
+        node: NodeId,
+        options: &Expansion,
+    ) -> Result<Vec<NodeId>, HerculesError> {
+        Ok(self.flow_mut()?.expand_with(node, options)?)
+    }
+
+    /// Expands downward towards a consumer entity.
+    ///
+    /// # Errors
+    ///
+    /// See [`TaskGraph::expand_down`].
+    pub fn expand_down(
+        &mut self,
+        node: NodeId,
+        consumer: &str,
+    ) -> Result<(NodeId, Vec<NodeId>), HerculesError> {
+        let entity = self.schema.require(consumer)?;
+        Ok(self
+            .flow_mut()?
+            .expand_down(node, entity, &Expansion::new())?)
+    }
+
+    /// Specializes an abstract node to a subtype.
+    ///
+    /// # Errors
+    ///
+    /// See [`TaskGraph::specialize`].
+    pub fn specialize(&mut self, node: NodeId, subtype: &str) -> Result<(), HerculesError> {
+        let entity = self.schema.require(subtype)?;
+        Ok(self.flow_mut()?.specialize(node, entity)?)
+    }
+
+    /// Unexpands a node (the `Unexpand` menu entry).
+    ///
+    /// # Errors
+    ///
+    /// See [`TaskGraph::unexpand`].
+    pub fn unexpand(&mut self, node: NodeId) -> Result<Vec<NodeId>, HerculesError> {
+        Ok(self.flow_mut()?.unexpand(node)?)
+    }
+
+    /// Expands everything reachable from a node down to primary or
+    /// abstract leaves.
+    ///
+    /// # Errors
+    ///
+    /// See [`TaskGraph::expand_all`].
+    pub fn expand_all(&mut self, node: NodeId) -> Result<Vec<NodeId>, HerculesError> {
+        Ok(self.flow_mut()?.expand_all(node)?)
+    }
+
+    // ------------------------------------------------------------------
+    // Browsing, binding, running.
+    // ------------------------------------------------------------------
+
+    /// Lists the instances selectable for a node (its entity family),
+    /// newest first — the browser of Fig. 9b without filters. Use
+    /// [`BrowserQuery`](hercules_history::BrowserQuery) directly for
+    /// filtered browsing.
+    ///
+    /// # Errors
+    ///
+    /// Returns flow errors for dead nodes.
+    pub fn browse(&self, node: NodeId) -> Result<Vec<InstanceId>, HerculesError> {
+        let entity = self.flow()?.entity_of(node)?;
+        let mut out = self.db.instances_of_family(entity);
+        out.reverse();
+        Ok(out)
+    }
+
+    /// Selects an instance for a leaf node.
+    pub fn select(&mut self, node: NodeId, instance: InstanceId) {
+        self.binding.bind(node, instance);
+    }
+
+    /// Selects several instances for a leaf node (multi-select
+    /// fan-out, §4.1).
+    pub fn select_many(&mut self, node: NodeId, instances: &[InstanceId]) {
+        self.binding.bind_many(node, instances);
+    }
+
+    /// Binds every unbound leaf to the newest instance of its family;
+    /// returns leaves that stayed unbound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HerculesError::NoActiveFlow`] with no flow.
+    pub fn bind_latest(&mut self) -> Result<Vec<NodeId>, HerculesError> {
+        let flow = self.flow.as_ref().ok_or(HerculesError::NoActiveFlow)?;
+        Ok(self.binding.bind_latest(flow, &self.db))
+    }
+
+    /// Executes the flow; products are recorded in the history.
+    ///
+    /// # Errors
+    ///
+    /// See [`Executor::execute`].
+    pub fn run(&mut self) -> Result<&ExecReport, HerculesError> {
+        let flow = self.flow.as_ref().ok_or(HerculesError::NoActiveFlow)?;
+        let report = self.executor.execute(flow, &self.binding, &mut self.db)?;
+        self.last_report = Some(report);
+        Ok(self.last_report.as_ref().expect("just set"))
+    }
+
+    /// Executes only the sub-flow rooted at `node` ("a subflow may be
+    /// run at any stage as long as its dependencies are satisfied
+    /// independently of the remainder of the flow", §4.1).
+    ///
+    /// # Errors
+    ///
+    /// See [`Executor::execute`].
+    pub fn run_subflow(&mut self, node: NodeId) -> Result<ExecReport, HerculesError> {
+        let flow = self.flow.as_ref().ok_or(HerculesError::NoActiveFlow)?;
+        let (sub, mapping) = flow.subflow(node)?;
+        let mut sub_binding = Binding::new();
+        for &(old, new) in &mapping {
+            let bound = self.binding.get(old);
+            if !bound.is_empty() {
+                sub_binding.bind_many(new, bound);
+            }
+        }
+        Ok(self.executor.execute(&sub, &sub_binding, &mut self.db)?)
+    }
+
+    /// Stores the current flow in the catalog for the plan-based
+    /// approach.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HerculesError::NoActiveFlow`] with no flow.
+    pub fn store_flow(&mut self, name: &str, description: &str) -> Result<(), HerculesError> {
+        let flow = self.flow.as_ref().ok_or(HerculesError::NoActiveFlow)?;
+        let user = self.user.clone();
+        self.catalog.store(name, flow, description, &user);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // History services.
+    // ------------------------------------------------------------------
+
+    /// The `History` menu entry of Fig. 10: reveals the instances used
+    /// to create `instance`, to the given depth (`None` = all).
+    ///
+    /// # Errors
+    ///
+    /// Returns history errors for unknown instances.
+    pub fn history_of(
+        &self,
+        instance: InstanceId,
+        depth: Option<usize>,
+    ) -> Result<DerivationTree, HerculesError> {
+        Ok(self.db.backward_chain(instance, depth)?)
+    }
+
+    /// Retraces the flow that produced `instance` against the newest
+    /// input versions (design-consistency maintenance, §3.3).
+    ///
+    /// # Errors
+    ///
+    /// See [`hercules_exec::retrace`].
+    pub fn retrace(
+        &mut self,
+        instance: InstanceId,
+    ) -> Result<hercules_exec::RetraceReport, HerculesError> {
+        Ok(hercules_exec::retrace(
+            &self.executor,
+            &mut self.db,
+            instance,
+        )?)
+    }
+}

@@ -1,0 +1,181 @@
+//! The standard Odyssey demonstration environment: the merged schema of
+//! Figs. 1–2, the simulated EDA tools, and a seeded standard library
+//! matching the Fig. 9 browser listing (a low-pass filter by `jbb`, a
+//! CMOS full adder by `director`, an operational amplifier by
+//! `sutton`).
+//!
+//! The 1993 library cells were analog/mixed; this reproduction's
+//! substrate is digital, so the "low pass filter" and "operational
+//! amplifier" are stand-in gate-level circuits carrying the original
+//! names (see `DESIGN.md`, substitutions table).
+
+use std::sync::Arc;
+
+use hercules_eda::{cells, GateKind, Netlist, PlacementRules, Stimuli};
+use hercules_history::Metadata;
+use hercules_schema::fixtures;
+
+use crate::encaps::{odyssey_registry, SimOptions};
+use crate::session::Session;
+
+/// Builds a two-stage buffer chain standing in for the Fig. 9 low-pass
+/// filter.
+pub fn low_pass_filter() -> Netlist {
+    let mut n = Netlist::new("low_pass_filter");
+    let a = n.add_port_in("in");
+    let m1 = n.add_net("m1");
+    let m2 = n.add_net("m2");
+    let y = n.add_port_out("out");
+    n.add_gate(GateKind::Buf, &[a], m1);
+    n.add_gate(GateKind::Inv, &[m1], m2);
+    n.add_gate(GateKind::Inv, &[m2], y);
+    n
+}
+
+/// Builds a differential-pair-shaped gate circuit standing in for the
+/// Fig. 9 operational amplifier.
+pub fn op_amp() -> Netlist {
+    let mut n = Netlist::new("op_amp");
+    let plus = n.add_port_in("plus");
+    let minus = n.add_port_in("minus");
+    let d = n.add_net("d");
+    let y = n.add_port_out("out");
+    n.add_gate(GateKind::Xor, &[plus, minus], d);
+    n.add_gate(GateKind::Buf, &[d], y);
+    n
+}
+
+/// Creates the standard session: Odyssey schema, simulated tools, and
+/// the seeded library.
+///
+/// # Panics
+///
+/// Never under normal operation; seeding uses only entities the
+/// Odyssey schema declares.
+pub fn odyssey_session(user: &str) -> Session {
+    let schema = Arc::new(fixtures::odyssey());
+    let registry = odyssey_registry(&schema);
+    let mut session = Session::new(schema.clone(), registry, user);
+    let id = |name: &str| schema.require(name).expect("odyssey entity");
+
+    {
+        let db = session.db_mut();
+        let mut tool = |entity: &str, name: &str, data: &[u8]| {
+            db.record_primary(id(entity), Metadata::by("cad").named(name), data)
+                .expect("tool seeds")
+        };
+        // Tool binaries (primary instances; data = path or script).
+        let dme_inst = tool("DeviceModelEditor", "dme v1.2", b"/usr/cad/bin/dme");
+        let _sced = tool("CircuitEditor", "sced (interactive)", b"");
+        tool("Simulator", "hspice 92.1", b"/usr/cad/bin/hspice");
+        tool("Placer", "rowplace", b"/usr/cad/bin/rowplace");
+        tool("Extractor", "magic-ext", b"/usr/cad/bin/ext");
+        tool("Verifier", "gemini-lvs", b"/usr/cad/bin/lvs");
+        tool("Plotter", "xgraph", b"/usr/cad/bin/xgraph");
+        tool("SimulatorCompiler", "cosmos-cc", b"/usr/cad/bin/cosmos");
+        // Three optimizer instances sharing one encapsulation (§3.3).
+        tool("Optimizer", "hillclimb", b"hillclimb");
+        tool("Optimizer", "anneal", b"anneal");
+        tool("Optimizer", "random-search", b"random-search");
+
+        // Scripted editor sessions = the Fig. 9 designs.
+        let scripted = |db: &mut hercules_history::HistoryDb,
+                        user: &str,
+                        name: &str,
+                        netlist: &Netlist| {
+            db.record_primary(
+                id("CircuitEditor"),
+                Metadata::by(user).named(&format!("sced script: {name}")),
+                netlist.to_bytes().as_slice(),
+            )
+            .expect("script seeds")
+        };
+        scripted(db, "jbb", "Low pass filter", &low_pass_filter());
+        scripted(db, "director", "CMOS Full adder", &cells::full_adder());
+        scripted(db, "sutton", "Operational Amplifier", &op_amp());
+
+        // A fab-provided model deck, recorded as the product of the
+        // device-model editor so its derivation history is complete.
+        db.record_derived(
+            id("DeviceModels"),
+            Metadata::by("cad").named("cmos08 models"),
+            &hercules_eda::DeviceModels::default_1993().to_bytes(),
+            hercules_history::Derivation::by_tool(dme_inst, []),
+        )
+        .expect("models seed");
+
+        // Primary data.
+        db.record_primary(
+            id("PlacementRules"),
+            Metadata::by("cad").named("default rules"),
+            &PlacementRules::default().to_bytes(),
+        )
+        .expect("rules seed");
+        db.record_primary(
+            id("SimulatorOptions"),
+            Metadata::by("cad").named("default options"),
+            &SimOptions::default().to_bytes(),
+        )
+        .expect("options seed");
+        // Seed the step stimuli first so the *newest* stimuli (what
+        // `bind_latest` picks) is the adder walk used by the examples.
+        let mut step = Stimuli::new("step");
+        step.set(0, "in", hercules_eda::Logic::Zero);
+        step.set(20, "in", hercules_eda::Logic::One);
+        db.record_primary(
+            id("Stimuli"),
+            Metadata::by("cad").named("step on in").keyword("step"),
+            &step.to_bytes(),
+        )
+        .expect("stimuli seed");
+        let walk = Stimuli::exhaustive(&["a", "b", "cin"], 50);
+        db.record_primary(
+            id("Stimuli"),
+            Metadata::by("cad").named("adder walk").keyword("exhaustive"),
+            &walk.to_bytes(),
+        )
+        .expect("stimuli seed");
+    }
+    session
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_library_is_seeded() {
+        let session = odyssey_session("tester");
+        let db = session.db();
+        assert!(db.len() >= 16);
+        let users = db.users();
+        for u in ["cad", "jbb", "director", "sutton"] {
+            assert!(users.contains(&u.to_owned()), "missing {u}");
+        }
+    }
+
+    #[test]
+    fn stand_in_circuits_simulate() {
+        use hercules_eda::{simulate, Logic, NetDelays};
+        let lpf = low_pass_filter();
+        let mut s = Stimuli::new("step");
+        s.set(0, "in", Logic::One);
+        let r = simulate(&lpf, &s, &NetDelays::default()).expect("ok");
+        assert_eq!(r.wave("out").expect("exists").last_value(), Logic::One);
+
+        let oa = op_amp();
+        let mut s = Stimuli::new("diff");
+        s.set(0, "plus", Logic::One);
+        s.set(0, "minus", Logic::Zero);
+        let r = simulate(&oa, &s, &NetDelays::default()).expect("ok");
+        assert_eq!(r.wave("out").expect("exists").last_value(), Logic::One);
+    }
+
+    #[test]
+    fn three_optimizer_instances_share_one_tool_entity() {
+        let session = odyssey_session("tester");
+        let schema = session.schema().clone();
+        let opt = schema.require("Optimizer").expect("known");
+        assert_eq!(session.db().instances_of(opt).len(), 3);
+    }
+}

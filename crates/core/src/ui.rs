@@ -1,0 +1,550 @@
+//! The Hercules user interface (Fig. 9), as a deterministic text UI.
+//!
+//! "A visualization of a task graph forms the basis of the Hercules
+//! user interface" — and crucially "Hercules uses the *same* user
+//! interface for each approach". [`render_task_window`] draws the task
+//! window; [`Command`] and [`Ui::execute`] provide the scriptable
+//! command loop the examples and tests drive (menu entries: Expand,
+//! Unexpand, Browse, History, Select, Run…).
+
+use std::fmt::Write as _;
+
+use hercules_flow::{render, NodeId};
+use hercules_history::InstanceId;
+
+use crate::catalog;
+use crate::error::HerculesError;
+use crate::session::{Approach, Session};
+
+/// One parsed UI command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variants mirror the menu entries of Fig. 9
+pub enum Command {
+    /// `goal <Entity>` — goal-based start.
+    Goal(String),
+    /// `tool <Entity>` — tool-based start.
+    Tool(String),
+    /// `data <iN>` — data-based start.
+    Data(InstanceId),
+    /// `plan <name>` — plan-based start from the flow catalog.
+    Plan(String),
+    /// `expand <nN>`.
+    Expand(NodeId),
+    /// `unexpand <nN>`.
+    Unexpand(NodeId),
+    /// `specialize <nN> <Subtype>`.
+    Specialize(NodeId, String),
+    /// `browse <nN>`.
+    Browse(NodeId),
+    /// `select <nN> <iN> [iN…]`.
+    Select(NodeId, Vec<InstanceId>),
+    /// `bind-latest`.
+    BindLatest,
+    /// `run`.
+    Run,
+    /// `history <iN>`.
+    History(InstanceId),
+    /// `uses <iN>` — forward-chain: everything derived from the
+    /// instance (the "Use Dependencies" browser option).
+    Uses(InstanceId),
+    /// `retrace <iN>` — consistency maintenance: re-run the flow behind
+    /// the instance against the newest input versions.
+    Retrace(InstanceId),
+    /// `menu <nN>` — show the Fig. 9 pop-up menu for a node.
+    Menu(NodeId),
+    /// `store <name>` — store the flow in the catalog.
+    Store(String),
+    /// `show` — render the task window.
+    Show,
+    /// `clear` — abandon the flow.
+    Clear,
+    /// `catalogs` — list entity/tool/flow catalogs.
+    Catalogs,
+}
+
+impl Command {
+    /// Parses one command line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HerculesError::BadCommand`] with a reason.
+    pub fn parse(input: &str) -> Result<Command, HerculesError> {
+        let bad = |reason: &str| HerculesError::BadCommand {
+            input: input.to_owned(),
+            reason: reason.to_owned(),
+        };
+        let mut parts = input.split_whitespace();
+        let verb = parts.next().ok_or_else(|| bad("empty command"))?;
+        let parse_node = |tok: Option<&str>| -> Result<NodeId, HerculesError> {
+            let tok = tok.ok_or_else(|| bad("missing node (nN)"))?;
+            let idx: usize = tok
+                .strip_prefix('n')
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| bad("node must look like n3"))?;
+            Ok(NodeId::from_index(idx))
+        };
+        let parse_instance = |tok: &str| -> Result<InstanceId, HerculesError> {
+            tok.strip_prefix('i')
+                .and_then(|s| s.parse().ok())
+                .map(InstanceId::from_raw)
+                .ok_or_else(|| bad("instance must look like i7"))
+        };
+        match verb {
+            "goal" => Ok(Command::Goal(
+                parts.next().ok_or_else(|| bad("missing entity"))?.into(),
+            )),
+            "tool" => Ok(Command::Tool(
+                parts.next().ok_or_else(|| bad("missing tool"))?.into(),
+            )),
+            "data" => Ok(Command::Data(parse_instance(
+                parts.next().ok_or_else(|| bad("missing instance"))?,
+            )?)),
+            "plan" => Ok(Command::Plan(
+                parts.next().ok_or_else(|| bad("missing flow name"))?.into(),
+            )),
+            "expand" => Ok(Command::Expand(parse_node(parts.next())?)),
+            "unexpand" => Ok(Command::Unexpand(parse_node(parts.next())?)),
+            "specialize" => Ok(Command::Specialize(
+                parse_node(parts.next())?,
+                parts.next().ok_or_else(|| bad("missing subtype"))?.into(),
+            )),
+            "browse" => Ok(Command::Browse(parse_node(parts.next())?)),
+            "select" => {
+                let node = parse_node(parts.next())?;
+                let instances: Result<Vec<InstanceId>, HerculesError> =
+                    parts.map(parse_instance).collect();
+                let instances = instances?;
+                if instances.is_empty() {
+                    return Err(bad("select needs at least one instance"));
+                }
+                Ok(Command::Select(node, instances))
+            }
+            "bind-latest" => Ok(Command::BindLatest),
+            "run" => Ok(Command::Run),
+            "history" => Ok(Command::History(parse_instance(
+                parts.next().ok_or_else(|| bad("missing instance"))?,
+            )?)),
+            "uses" => Ok(Command::Uses(parse_instance(
+                parts.next().ok_or_else(|| bad("missing instance"))?,
+            )?)),
+            "retrace" => Ok(Command::Retrace(parse_instance(
+                parts.next().ok_or_else(|| bad("missing instance"))?,
+            )?)),
+            "menu" => Ok(Command::Menu(parse_node(parts.next())?)),
+            "store" => Ok(Command::Store(
+                parts.next().ok_or_else(|| bad("missing name"))?.into(),
+            )),
+            "show" => Ok(Command::Show),
+            "clear" => Ok(Command::Clear),
+            "catalogs" => Ok(Command::Catalogs),
+            other => Err(bad(&format!("unknown verb `{other}`"))),
+        }
+    }
+}
+
+/// Renders the Fig. 9 task window: the flow tree, the binding status of
+/// every leaf, and the menu line.
+pub fn render_task_window(session: &Session) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "┌─ Hercules ── user {} ─", session.user());
+    match session.flow() {
+        Ok(flow) => {
+            for line in render::to_text(flow).lines() {
+                let _ = writeln!(out, "│ {line}");
+            }
+            let mut leaves = flow.leaves();
+            leaves.sort();
+            for leaf in leaves {
+                let bound = session.binding().get(leaf);
+                let entity = flow
+                    .entity_of(leaf)
+                    .map(|e| session.schema().entity(e).name().to_owned())
+                    .unwrap_or_default();
+                let status = if bound.is_empty() {
+                    "(unbound)".to_owned()
+                } else {
+                    bound
+                        .iter()
+                        .map(|i| instance_label(session, *i))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                };
+                let _ = writeln!(out, "│ {leaf} {entity} ⇐ {status}");
+            }
+        }
+        Err(_) => {
+            let _ = writeln!(out, "│ (no task under construction — New Task…)");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "└─ menu: Expand · Unexpand · Specialize · Browse · Select · Run · History"
+    );
+    out
+}
+
+fn instance_label(session: &Session, id: InstanceId) -> String {
+    session
+        .db()
+        .instance(id)
+        .map(|i| {
+            if i.meta().name.is_empty() {
+                id.to_string()
+            } else {
+                format!("{id}\u{201c}{}\u{201d}", i.meta().name)
+            }
+        })
+        .unwrap_or_else(|_| id.to_string())
+}
+
+/// A scriptable UI shell over a session.
+#[derive(Debug)]
+pub struct Ui {
+    session: Session,
+}
+
+impl Ui {
+    /// Wraps a session.
+    pub fn new(session: Session) -> Ui {
+        Ui { session }
+    }
+
+    /// Returns the wrapped session.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Returns mutable access to the session.
+    pub fn session_mut(&mut self) -> &mut Session {
+        &mut self.session
+    }
+
+    /// Executes one command line, returning the transcript text the
+    /// user would see.
+    ///
+    /// # Errors
+    ///
+    /// Parse and execution errors, verbatim.
+    pub fn execute(&mut self, line: &str) -> Result<String, HerculesError> {
+        let command = Command::parse(line)?;
+        self.apply(command)
+    }
+
+    /// Executes a parsed command.
+    ///
+    /// # Errors
+    ///
+    /// Execution errors from the session.
+    pub fn apply(&mut self, command: Command) -> Result<String, HerculesError> {
+        match command {
+            Command::Goal(name) => {
+                let node = self.session.start_from_goal(&name)?;
+                Ok(format!("started from goal {name}: {node}\n"))
+            }
+            Command::Tool(name) => {
+                let node = self.session.start_from_tool(&name)?;
+                Ok(format!("started from tool {name}: {node}\n"))
+            }
+            Command::Data(instance) => {
+                let node = self.session.start_from_data(instance)?;
+                Ok(format!("started from data {instance}: {node}\n"))
+            }
+            Command::Plan(name) => {
+                let node = self.session.start_from_plan(&name)?;
+                Ok(format!("instantiated flow `{name}`; output {node}\n"))
+            }
+            Command::Expand(node) => {
+                let created = self.session.expand(node)?;
+                Ok(format!(
+                    "expanded {node}: +{}\n",
+                    created
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join(" +")
+                ))
+            }
+            Command::Unexpand(node) => {
+                let removed = self.session.unexpand(node)?;
+                Ok(format!("unexpanded {node}: removed {}\n", removed.len()))
+            }
+            Command::Specialize(node, subtype) => {
+                self.session.specialize(node, &subtype)?;
+                Ok(format!("specialized {node} to {subtype}\n"))
+            }
+            Command::Browse(node) => {
+                let instances = self.session.browse(node)?;
+                let mut out = format!("browser for {node}:\n");
+                for i in instances {
+                    let _ = writeln!(out, "  {}", instance_label(&self.session, i));
+                }
+                Ok(out)
+            }
+            Command::Select(node, instances) => {
+                self.session.select_many(node, &instances);
+                Ok(format!("selected {} instance(s) for {node}\n", instances.len()))
+            }
+            Command::BindLatest => {
+                let unbound = self.session.bind_latest()?;
+                Ok(format!("auto-bound; {} leaf(s) still unbound\n", unbound.len()))
+            }
+            Command::Run => {
+                let report = self.session.run()?;
+                Ok(format!(
+                    "ran {} subtask(s): {} invocation(s), {} cache hit(s)\n",
+                    report.tasks.len(),
+                    report.runs(),
+                    report.cache_hits()
+                ))
+            }
+            Command::History(instance) => {
+                let tree = self.session.history_of(instance, Some(1))?;
+                let mut out = format!("history of {}:\n", instance_label(&self.session, instance));
+                if let Some(tool) = tree.tool {
+                    let _ = writeln!(out, "  f← {}", instance_label(&self.session, tool));
+                }
+                for input in &tree.inputs {
+                    let _ = writeln!(
+                        out,
+                        "  d← {}",
+                        instance_label(&self.session, input.instance)
+                    );
+                }
+                if tree.tool.is_none() && tree.inputs.is_empty() {
+                    out.push_str("  (primary instance)\n");
+                }
+                Ok(out)
+            }
+            Command::Uses(instance) => {
+                let downstream = self.session.db().forward_chain(instance)?;
+                let mut out = format!(
+                    "derived from {}:\n",
+                    instance_label(&self.session, instance)
+                );
+                if downstream.is_empty() {
+                    out.push_str("  (nothing yet)\n");
+                }
+                for d in downstream {
+                    let _ = writeln!(out, "  {}", instance_label(&self.session, d));
+                }
+                Ok(out)
+            }
+            Command::Retrace(instance) => {
+                let report = self.session.retrace(instance)?;
+                Ok(if report.already_current {
+                    format!("{instance} is already current; nothing re-ran\n")
+                } else {
+                    format!(
+                        "retraced {instance}: {} invocation(s), {} cache hit(s); \
+                         current result(s): {}\n",
+                        report.report.runs(),
+                        report.report.cache_hits(),
+                        report
+                            .goal_instances
+                            .iter()
+                            .map(ToString::to_string)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                })
+            }
+            Command::Menu(node) => {
+                let flow = self.session.flow()?;
+                let menu = flow.menu_for(node)?;
+                let schema = self.session.schema().clone();
+                let names = |ids: &[hercules_schema::EntityTypeId]| {
+                    ids.iter()
+                        .map(|&e| schema.entity(e).name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                };
+                let mut out = format!("menu for {node}:\n");
+                if menu.can_expand {
+                    out.push_str("  Expand\n");
+                    if !menu.optional_inputs.is_empty() {
+                        let _ = writeln!(
+                            out,
+                            "  Expand with optional: {}",
+                            names(&menu.optional_inputs)
+                        );
+                    }
+                }
+                if !menu.specializations.is_empty() {
+                    let _ = writeln!(out, "  Specialize: {}", names(&menu.specializations));
+                }
+                if menu.can_unexpand {
+                    out.push_str("  Unexpand\n");
+                }
+                if menu.needs_instance {
+                    out.push_str("  Browse / Select\n");
+                }
+                if !menu.consumers.is_empty() {
+                    let _ = writeln!(out, "  Make from this: {}", names(&menu.consumers));
+                }
+                Ok(out)
+            }
+            Command::Store(name) => {
+                self.session.store_flow(&name, "stored from the UI")?;
+                Ok(format!("stored flow `{name}`\n"))
+            }
+            Command::Show => Ok(render_task_window(&self.session)),
+            Command::Clear => {
+                self.session.clear_flow();
+                Ok("cleared\n".to_owned())
+            }
+            Command::Catalogs => {
+                let mut out = String::from("entity catalog:\n");
+                for e in catalog::entity_catalog(self.session.schema()) {
+                    let mark = if e.is_tool { "T" } else { "D" };
+                    let _ = writeln!(out, "  [{mark}] {}", e.name);
+                }
+                let _ = writeln!(out, "flow catalog: {:?}", self.session.catalog().names());
+                Ok(out)
+            }
+        }
+    }
+
+    /// Runs a whole script (one command per line; `#` comments and
+    /// blank lines skipped), concatenating the transcript.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing command.
+    pub fn run_script(&mut self, script: &str) -> Result<String, HerculesError> {
+        let mut out = String::new();
+        for line in script.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let _ = writeln!(out, "> {line}");
+            out.push_str(&self.execute(line)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Convenience constructor mirroring [`Session::start`].
+impl From<Approach> for Command {
+    fn from(a: Approach) -> Command {
+        match a {
+            Approach::Goal(g) => Command::Goal(g),
+            Approach::Tool(t) => Command::Tool(t),
+            Approach::Data(d) => Command::Data(d),
+            Approach::Plan(p) => Command::Plan(p),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_commands() {
+        assert_eq!(
+            Command::parse("goal Performance").expect("ok"),
+            Command::Goal("Performance".into())
+        );
+        assert_eq!(
+            Command::parse("expand n3").expect("ok"),
+            Command::Expand(NodeId::from_index(3))
+        );
+        assert_eq!(
+            Command::parse("select n2 i7 i9").expect("ok"),
+            Command::Select(
+                NodeId::from_index(2),
+                vec![InstanceId::from_raw(7), InstanceId::from_raw(9)]
+            )
+        );
+        assert!(Command::parse("").is_err());
+        assert!(Command::parse("frobnicate").is_err());
+        assert!(Command::parse("expand x3").is_err());
+        assert!(Command::parse("select n2").is_err());
+    }
+
+    #[test]
+    fn task_window_renders_without_flow() {
+        let session = Session::odyssey("jbb");
+        let window = render_task_window(&session);
+        assert!(window.contains("no task under construction"));
+        assert!(window.contains("menu:"));
+    }
+
+    #[test]
+    fn scripted_session_builds_and_shows_a_flow() {
+        let mut ui = Ui::new(Session::odyssey("jbb"));
+        let transcript = ui
+            .run_script(
+                "# goal-based start\n\
+                 goal Performance\n\
+                 expand n0\n\
+                 show\n",
+            )
+            .expect("script runs");
+        assert!(transcript.contains("started from goal Performance"));
+        assert!(transcript.contains("Simulator"));
+        assert!(transcript.contains("⇐ (unbound)"));
+    }
+
+    #[test]
+    fn uses_command_forward_chains() {
+        let mut ui = Ui::new(Session::odyssey("jbb"));
+        ui.run_script(
+            "goal Layout\n\
+             expand n0\n\
+             specialize n2 EditedNetlist\n\
+             expand n2\n\
+             bind-latest\n\
+             run\n",
+        )
+        .expect("script runs");
+        // The editor leaf (n4) produced the netlist that fed the
+        // layout; `uses` on its bound script must list both products.
+        let bound = ui.session().binding().get(hercules_flow::NodeId::from_index(4))[0];
+        let out = ui
+            .execute(&format!("uses i{}", bound.raw()))
+            .expect("chains");
+        assert!(out.contains("derived from"));
+        assert!(!out.contains("nothing yet"));
+    }
+
+    #[test]
+    fn menu_command_shows_fig9_popup() {
+        let mut ui = Ui::new(Session::odyssey("jbb"));
+        ui.execute("goal Layout").expect("starts");
+        ui.execute("expand n0").expect("expands");
+        // n2 is the abstract Netlist input.
+        let out = ui.execute("menu n2").expect("shows");
+        assert!(out.contains("Specialize: EditedNetlist, ExtractedNetlist"));
+        assert!(out.contains("Browse / Select"));
+        let out = ui.execute("menu n0").expect("shows");
+        assert!(out.contains("Unexpand"));
+    }
+
+    #[test]
+    fn retrace_command_reports_current_and_stale() {
+        let mut ui = Ui::new(Session::odyssey("jbb"));
+        ui.run_script(
+            "goal Layout\n\
+             expand n0\n\
+             specialize n2 EditedNetlist\n\
+             expand n2\n\
+             bind-latest\n\
+             run\n",
+        )
+        .expect("script runs");
+        let report = ui.session().last_report().expect("ran").clone();
+        let layout = report.single(hercules_flow::NodeId::from_index(0));
+        let out = ui
+            .execute(&format!("retrace i{}", layout.raw()))
+            .expect("retraces");
+        assert!(out.contains("already current"), "{out}");
+    }
+
+    #[test]
+    fn approach_converts_to_command() {
+        let c: Command = Approach::Goal("Layout".into()).into();
+        assert_eq!(c, Command::Goal("Layout".into()));
+    }
+}

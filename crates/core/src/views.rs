@@ -1,0 +1,205 @@
+//! View management as flows (§3.3, Figs. 7–8).
+//!
+//! "If views of a design are associated with entities in a task schema,
+//! flows can be used to represent the transformations between views":
+//! the synthesis flow produces the physical view (layout) from the
+//! transistor/logic view (netlist), and the verification flow checks
+//! their correspondence by extraction and comparison.
+
+use hercules_eda::Verification;
+use hercules_flow::fixtures as flow_fixtures;
+use hercules_history::InstanceId;
+
+use crate::error::HerculesError;
+use crate::session::Session;
+
+/// The result of one synthesis + verification round trip.
+#[derive(Debug, Clone)]
+pub struct ViewReport {
+    /// The synthesized layout instance (physical view).
+    pub layout: InstanceId,
+    /// The verification instance.
+    pub verification: InstanceId,
+    /// The decoded verification report.
+    pub report: Verification,
+}
+
+/// Runs the Fig. 8a synthesis flow: a `Layout` placed from the given
+/// netlist instance. Returns the layout instance.
+///
+/// # Errors
+///
+/// Propagates flow and execution errors.
+pub fn synthesize_physical(
+    session: &mut Session,
+    netlist: InstanceId,
+) -> Result<InstanceId, HerculesError> {
+    let schema = session.schema().clone();
+    let flow = flow_fixtures::fig8_synthesis(schema.clone())?;
+    let layout_node = flow.outputs()[0];
+    let netlist_node = flow
+        .leaves()
+        .into_iter()
+        .find(|&l| {
+            flow.entity_of(l)
+                .map(|e| schema.entity(e).name() == "Netlist")
+                .unwrap_or(false)
+        })
+        .expect("synthesis flow has a netlist leaf");
+
+    session.clear_flow();
+    install_flow(session, flow);
+    session.select(netlist_node, netlist);
+    session.bind_latest()?;
+    session.run()?;
+    let report = session.last_report().expect("just ran");
+    Ok(report.single(layout_node))
+}
+
+/// Runs the Fig. 8b verification flow: extract the layout and compare
+/// against the reference netlist. Returns the decoded report.
+///
+/// # Errors
+///
+/// Propagates flow and execution errors.
+pub fn verify_views(
+    session: &mut Session,
+    netlist: InstanceId,
+    layout: InstanceId,
+) -> Result<ViewReport, HerculesError> {
+    let schema = session.schema().clone();
+    let flow = flow_fixtures::fig8_verification(schema.clone())?;
+    let verification_node = flow.outputs()[0];
+    let find_leaf = |name: &str| {
+        flow.leaves()
+            .into_iter()
+            .find(|&l| {
+                flow.entity_of(l)
+                    .map(|e| schema.entity(e).name() == name)
+                    .unwrap_or(false)
+            })
+            .expect("verification flow leaf")
+    };
+    let netlist_node = find_leaf("Netlist");
+    let layout_node = find_leaf("Layout");
+
+    session.clear_flow();
+    install_flow(session, flow);
+    session.select(netlist_node, netlist);
+    session.select(layout_node, layout);
+    session.bind_latest()?;
+    session.run()?;
+    let exec_report = session.last_report().expect("just ran");
+    let verification = exec_report.single(verification_node);
+    let bytes = session
+        .db()
+        .data_of(verification)?
+        .expect("verification has data")
+        .to_vec();
+    let report = Verification::from_bytes(&bytes)?;
+    Ok(ViewReport {
+        layout,
+        verification,
+        report,
+    })
+}
+
+/// Full Fig. 8 round trip: synthesize the physical view, then verify it
+/// against the source netlist.
+///
+/// # Errors
+///
+/// Propagates flow and execution errors.
+pub fn synthesize_and_verify(
+    session: &mut Session,
+    netlist: InstanceId,
+) -> Result<ViewReport, HerculesError> {
+    let layout = synthesize_physical(session, netlist)?;
+    verify_views(session, netlist, layout)
+}
+
+/// Installs an externally built flow into the session (used by the view
+/// flows, which come from the Fig. 8 fixtures rather than interactive
+/// expansion).
+fn install_flow(session: &mut Session, flow: hercules_flow::TaskGraph) {
+    // Seed an empty flow, then replace it wholesale.
+    *session.flow_slot() = Some(flow);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hercules_eda::Netlist;
+    use hercules_history::{Derivation, Metadata};
+
+    /// Records a full-adder EditedNetlist in the session history.
+    fn record_adder(session: &mut Session) -> InstanceId {
+        let schema = session.schema().clone();
+        let editor = schema.require("CircuitEditor").expect("known");
+        let edited = schema.require("EditedNetlist").expect("known");
+        let tool = session.db().instances_of(editor)[0];
+        let netlist = hercules_eda::cells::full_adder();
+        session
+            .db_mut()
+            .record_derived(
+                edited,
+                Metadata::by("tester").named("fa"),
+                &netlist.to_bytes(),
+                Derivation::by_tool(tool, []),
+            )
+            .expect("records")
+    }
+
+    #[test]
+    fn synthesis_then_verification_matches() {
+        let mut session = Session::odyssey("tester");
+        let netlist = record_adder(&mut session);
+        let report = synthesize_and_verify(&mut session, netlist).expect("round trip");
+        assert!(report.report.matched, "{:?}", report.report.mismatches);
+
+        // The layout is physically a Layout instance derived by the
+        // placer.
+        let layout = session.db().instance(report.layout).expect("present");
+        assert_eq!(
+            session.db().schema().entity(layout.entity()).name(),
+            "Layout"
+        );
+        let bytes = session
+            .db()
+            .data_of(report.layout)
+            .expect("ok")
+            .expect("data");
+        let decoded = hercules_eda::Layout::from_bytes(bytes).expect("layout bytes");
+        assert!(!decoded.cells.is_empty());
+        let _ = Netlist::new("unused"); // keep import used
+    }
+
+    #[test]
+    fn corrupted_layout_fails_verification() {
+        let mut session = Session::odyssey("tester");
+        let netlist = record_adder(&mut session);
+        let layout = synthesize_physical(&mut session, netlist).expect("synthesis");
+
+        // Record a tampered layout (one cell kind flipped) as if a
+        // manual edit had broken the correspondence.
+        let bytes = session.db().data_of(layout).expect("ok").expect("data").to_vec();
+        let mut decoded = hercules_eda::Layout::from_bytes(&bytes).expect("layout");
+        decoded.cells[0].kind = hercules_eda::GateKind::Nor;
+        let schema = session.schema().clone();
+        let placer = schema.require("Placer").expect("known");
+        let layout_entity = schema.require("Layout").expect("known");
+        let placer_inst = session.db().instances_of(placer)[0];
+        let tampered = session
+            .db_mut()
+            .record_derived(
+                layout_entity,
+                Metadata::by("tester").named("tampered"),
+                &decoded.to_bytes(),
+                Derivation::by_tool(placer_inst, []),
+            )
+            .expect("records");
+
+        let report = verify_views(&mut session, netlist, tampered).expect("runs");
+        assert!(!report.report.matched);
+    }
+}

@@ -1,0 +1,298 @@
+//! Cell generators: standard cells, ripple-carry adders, and a PLA
+//! generator.
+//!
+//! These produce the workloads the paper's scenarios need — the Fig. 9
+//! browser lists a "Low pass filter", "CMOS Full adder" and "Operational
+//! Amplifier"; Chiueh & Katz's scenario re-implements a standard-cell
+//! logic circuit as a PLA (§2).
+
+use crate::netlist::{GateKind, MosKind, Netlist};
+
+/// Builds a gate-level inverter.
+pub fn inverter() -> Netlist {
+    let mut n = Netlist::new("inverter");
+    let a = n.add_port_in("in");
+    let y = n.add_port_out("out");
+    n.add_gate(GateKind::Inv, &[a], y);
+    n
+}
+
+/// Builds the transistor-level (CMOS) inverter of Fig. 7's transistor
+/// view.
+pub fn inverter_transistors() -> Netlist {
+    let mut n = Netlist::new("inverter_xtor");
+    let a = n.add_port_in("in");
+    let y = n.add_port_out("out");
+    n.add_mos(MosKind::Pmos, a, Netlist::VDD, y);
+    n.add_mos(MosKind::Nmos, a, Netlist::GND, y);
+    n
+}
+
+/// Builds a gate-level CMOS full adder (the Fig. 9 browser entry).
+pub fn full_adder() -> Netlist {
+    let mut n = Netlist::new("full_adder");
+    let a = n.add_port_in("a");
+    let b = n.add_port_in("b");
+    let cin = n.add_port_in("cin");
+    let s1 = n.add_net("s1");
+    let c1 = n.add_net("c1");
+    let c2 = n.add_net("c2");
+    let sum = n.add_port_out("sum");
+    let cout = n.add_port_out("cout");
+    n.add_gate(GateKind::Xor, &[a, b], s1);
+    n.add_gate(GateKind::Xor, &[s1, cin], sum);
+    n.add_gate(GateKind::And, &[a, b], c1);
+    n.add_gate(GateKind::And, &[s1, cin], c2);
+    n.add_gate(GateKind::Or, &[c1, c2], cout);
+    n
+}
+
+/// Builds an `width`-bit ripple-carry adder from full-adder stages.
+///
+/// Ports: `a0..`, `b0..`, `cin`, outputs `s0..` and `cout`.
+///
+/// # Panics
+///
+/// Panics if `width` is zero.
+pub fn ripple_adder(width: usize) -> Netlist {
+    assert!(width > 0, "adder needs at least one bit");
+    let mut n = Netlist::new(&format!("adder{width}"));
+    let mut carry = n.add_port_in("cin");
+    for i in 0..width {
+        let a = n.add_port_in(&format!("a{i}"));
+        let b = n.add_port_in(&format!("b{i}"));
+        let s1 = n.add_net(&format!("s1_{i}"));
+        let c1 = n.add_net(&format!("c1_{i}"));
+        let c2 = n.add_net(&format!("c2_{i}"));
+        let sum = n.add_port_out(&format!("s{i}"));
+        let next_carry = if i + 1 == width {
+            n.add_port_out("cout")
+        } else {
+            n.add_net(&format!("c_{i}"))
+        };
+        n.add_gate(GateKind::Xor, &[a, b], s1);
+        n.add_gate(GateKind::Xor, &[s1, carry], sum);
+        n.add_gate(GateKind::And, &[a, b], c1);
+        n.add_gate(GateKind::And, &[s1, carry], c2);
+        n.add_gate(GateKind::Or, &[c1, c2], next_carry);
+        carry = next_carry;
+    }
+    n
+}
+
+/// Builds an `n`-stage shift register: `dout` reproduces `din` delayed
+/// by `n` rising clock edges. Ports: `din`, `clk`, `dout`, plus the
+/// intermediate taps `q0..`.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn shift_register(n: usize) -> Netlist {
+    assert!(n > 0, "shift register needs at least one stage");
+    let mut nl = Netlist::new(&format!("shift{n}"));
+    let mut d = nl.add_port_in("din");
+    let clk = nl.add_port_in("clk");
+    for i in 0..n {
+        let q = if i + 1 == n {
+            nl.add_port_out("dout")
+        } else {
+            nl.add_net(&format!("q{i}"))
+        };
+        nl.add_dff(d, clk, q);
+        d = q;
+    }
+    nl
+}
+
+/// A single-output truth table: `minterms` lists the input vectors (bit
+/// `i` = input `i`) for which the output is 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TruthTable {
+    /// Number of inputs (≤ 16).
+    pub inputs: usize,
+    /// Minterms producing 1.
+    pub minterms: Vec<u32>,
+}
+
+/// Generates a two-level PLA (AND plane of minterms into an OR plane)
+/// for the truth tables, sharing the input inverters.
+///
+/// This is the `create PLA` task of the Chiueh & Katz scenario: the
+/// same logic function as a standard-cell implementation, built with a
+/// different construction method.
+///
+/// # Panics
+///
+/// Panics if a table has more than 16 inputs or tables disagree on the
+/// input count.
+pub fn pla(name: &str, tables: &[TruthTable]) -> Netlist {
+    let inputs = tables.first().map_or(0, |t| t.inputs);
+    assert!(inputs <= 16, "pla limited to 16 inputs");
+    assert!(
+        tables.iter().all(|t| t.inputs == inputs),
+        "tables must agree on input count"
+    );
+    let mut n = Netlist::new(name);
+    let ins: Vec<usize> = (0..inputs)
+        .map(|i| n.add_port_in(&format!("i{i}")))
+        .collect();
+    let negs: Vec<usize> = (0..inputs)
+        .map(|i| {
+            let neg = n.add_net(&format!("ni{i}"));
+            neg
+        })
+        .collect();
+    for i in 0..inputs {
+        n.add_gate(GateKind::Inv, &[ins[i]], negs[i]);
+    }
+    // Shared AND plane: one product term per distinct minterm.
+    let mut products: Vec<(u32, usize)> = Vec::new();
+    let mut product_net = |n: &mut Netlist, m: u32| -> usize {
+        if let Some(&(_, net)) = products.iter().find(|&&(mm, _)| mm == m) {
+            return net;
+        }
+        let net = n.add_net(&format!("p{m}"));
+        let terms: Vec<usize> = (0..inputs)
+            .map(|i| if m >> i & 1 == 1 { ins[i] } else { negs[i] })
+            .collect();
+        if terms.len() == 1 {
+            n.add_gate(GateKind::Buf, &terms, net);
+        } else {
+            n.add_gate(GateKind::And, &terms, net);
+        }
+        products.push((m, net));
+        net
+    };
+    for (oi, table) in tables.iter().enumerate() {
+        let out = n.add_port_out(&format!("o{oi}"));
+        let nets: Vec<usize> = table
+            .minterms
+            .iter()
+            .map(|&m| product_net(&mut n, m))
+            .collect();
+        match nets.len() {
+            0 => {
+                // Constant 0: buffer from ground.
+                n.add_gate(GateKind::Buf, &[Netlist::GND], out);
+            }
+            1 => n.add_gate(GateKind::Buf, &nets, out),
+            _ => n.add_gate(GateKind::Or, &nets, out),
+        }
+    }
+    n
+}
+
+/// Generates the full-adder function as a PLA (sum and carry truth
+/// tables over inputs a, b, cin).
+pub fn full_adder_pla() -> Netlist {
+    let sum = TruthTable {
+        inputs: 3,
+        minterms: vec![0b001, 0b010, 0b100, 0b111],
+    };
+    let cout = TruthTable {
+        inputs: 3,
+        minterms: vec![0b011, 0b101, 0b110, 0b111],
+    };
+    pla("full_adder_pla", &[sum, cout])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic_sim::{simulate, NetDelays};
+    use crate::signal::Logic;
+    use crate::stimuli::Stimuli;
+
+    #[test]
+    fn inverter_views_have_matching_ports() {
+        let logic = inverter();
+        let xtor = inverter_transistors();
+        assert_eq!(logic.inputs().len(), xtor.inputs().len());
+        assert_eq!(logic.outputs().len(), xtor.outputs().len());
+        assert!(logic.is_gate_level());
+        assert!(xtor.is_transistor_level());
+    }
+
+    #[test]
+    fn ripple_adder_adds() {
+        let n = ripple_adder(4);
+        // 5 + 9 + 1 = 15: a=0101, b=1001, cin=1.
+        let mut s = Stimuli::new("v");
+        for (i, bit) in [true, false, true, false].iter().enumerate() {
+            s.set(0, &format!("a{i}"), Logic::from_bool(*bit));
+        }
+        for (i, bit) in [true, false, false, true].iter().enumerate() {
+            s.set(0, &format!("b{i}"), Logic::from_bool(*bit));
+        }
+        s.set(0, "cin", Logic::One);
+        let r = simulate(&n, &s, &NetDelays::default()).expect("ok");
+        let mut sum = 0u32;
+        for i in 0..4 {
+            if r.wave(&format!("s{i}")).expect("exists").last_value() == Logic::One {
+                sum |= 1 << i;
+            }
+        }
+        if r.wave("cout").expect("exists").last_value() == Logic::One {
+            sum |= 1 << 4;
+        }
+        assert_eq!(sum, 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_width_adder_panics() {
+        ripple_adder(0);
+    }
+
+    #[test]
+    fn pla_matches_standard_cell_full_adder() {
+        let std_cell = full_adder();
+        let as_pla = full_adder_pla();
+        for v in 0..8u32 {
+            let mut s_std = Stimuli::new("v");
+            let mut s_pla = Stimuli::new("v");
+            for (i, name) in ["a", "b", "cin"].iter().enumerate() {
+                let bit = Logic::from_bool(v >> i & 1 == 1);
+                s_std.set(0, name, bit);
+                s_pla.set(0, &format!("i{i}"), bit);
+            }
+            let r_std = simulate(&std_cell, &s_std, &NetDelays::default()).expect("ok");
+            let r_pla = simulate(&as_pla, &s_pla, &NetDelays::default()).expect("ok");
+            assert_eq!(
+                r_std.wave("sum").expect("exists").last_value(),
+                r_pla.wave("o0").expect("exists").last_value(),
+                "sum for {v:03b}"
+            );
+            assert_eq!(
+                r_std.wave("cout").expect("exists").last_value(),
+                r_pla.wave("o1").expect("exists").last_value(),
+                "cout for {v:03b}"
+            );
+        }
+    }
+
+    #[test]
+    fn pla_shares_product_terms() {
+        // Both outputs include minterm 0b111: the AND plane builds it
+        // once.
+        let n = full_adder_pla();
+        let product_count = n
+            .devices()
+            .iter()
+            .filter(|d| matches!(d, crate::netlist::Device::Gate { kind: GateKind::And, .. }))
+            .count();
+        assert_eq!(product_count, 7, "8 minterm references, 7 distinct");
+    }
+
+    #[test]
+    fn constant_zero_pla_output() {
+        let t = TruthTable {
+            inputs: 2,
+            minterms: vec![],
+        };
+        let n = pla("zero", &[t]);
+        let s = Stimuli::exhaustive(&["i0", "i1"], 10);
+        let r = simulate(&n, &s, &NetDelays::default()).expect("ok");
+        assert_eq!(r.wave("o0").expect("exists").last_value(), Logic::Zero);
+    }
+}

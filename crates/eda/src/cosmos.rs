@@ -1,0 +1,504 @@
+//! The COSMOS-style compiled switch-level simulator (Fig. 2).
+//!
+//! "An example of such a tool is the switch-level simulator COSMOS \[10\]
+//! which is compiled for a given netlist and can then be executed on
+//! different stimuli." [`compile`] turns a transistor-level netlist into
+//! a [`CompiledSimulator`] — a *design object that is itself a tool* —
+//! which then runs any number of stimulus sets. [`interpret`] is the
+//! uncompiled baseline that re-derives the channel structure on every
+//! vector, quantifying why compiling was worth it.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::EdaError;
+use crate::netlist::{Device, MosKind, Netlist};
+use crate::signal::{Logic, Waveform};
+use crate::stimuli::Stimuli;
+
+/// One channel edge of the compiled form: a transistor connecting two
+/// nets under the control of a gate net.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct Channel {
+    kind: MosKind,
+    gate: usize,
+    a: usize,
+    b: usize,
+}
+
+/// A compiled switch-level simulator: the channel graph, adjacency and
+/// evaluation order precomputed once at compile time.
+///
+/// In the task schema this is a **tool entity with a functional
+/// dependency** — it is created during the design by the
+/// `SimulatorCompiler` from a `Netlist`, and then constructs
+/// `SwitchSimulation` results from `Stimuli`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledSimulator {
+    /// Name of the netlist this simulator was compiled for.
+    pub circuit: String,
+    n_nets: usize,
+    input_nets: Vec<(String, usize)>,
+    output_nets: Vec<(String, usize)>,
+    channels: Vec<Channel>,
+    /// Per-net adjacency: indexes into `channels`.
+    adjacency: Vec<Vec<usize>>,
+}
+
+/// The result of a switch-level simulation (the `SwitchSimulation`
+/// entity of Fig. 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwitchSimulation {
+    /// Circuit name.
+    pub circuit: String,
+    /// Stimulus-set name.
+    pub stimuli: String,
+    /// Output waveforms, by output name.
+    pub outputs: Vec<(String, Waveform)>,
+    /// Input vectors evaluated.
+    pub vectors: usize,
+    /// Relaxation iterations spent in total.
+    pub iterations: u64,
+}
+
+impl SwitchSimulation {
+    /// Returns the waveform of a named output.
+    pub fn output(&self, name: &str) -> Option<&Waveform> {
+        self.outputs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, w)| w)
+    }
+
+    /// Emits the canonical byte form (JSON).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("simulation serializes")
+    }
+
+    /// Parses the canonical byte form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdaError::Parse`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<SwitchSimulation, EdaError> {
+        serde_json::from_slice(bytes).map_err(|e| EdaError::Parse {
+            what: "switch simulation".into(),
+            detail: e.to_string(),
+        })
+    }
+}
+
+/// Compiles a transistor-level netlist into a [`CompiledSimulator`].
+///
+/// # Errors
+///
+/// Returns [`EdaError::WrongNetlistLevel`] for gate-level netlists.
+///
+/// # Examples
+///
+/// ```
+/// use hercules_eda::{cells, cosmos, Logic, Stimuli};
+///
+/// # fn main() -> Result<(), hercules_eda::EdaError> {
+/// let sim = cosmos::compile(&cells::inverter_transistors())?;
+/// let mut s = Stimuli::new("step");
+/// s.set(0, "in", Logic::One);
+/// let result = sim.run(&s)?;
+/// assert_eq!(result.output("out").expect("exists").last_value(), Logic::Zero);
+/// # Ok(())
+/// # }
+/// ```
+pub fn compile(netlist: &Netlist) -> Result<CompiledSimulator, EdaError> {
+    if !netlist.is_transistor_level() {
+        return Err(EdaError::WrongNetlistLevel {
+            expected: "transistor".into(),
+        });
+    }
+    let n_nets = netlist.net_count();
+    let mut channels = Vec::new();
+    for d in netlist.devices() {
+        if let Device::Mos {
+            kind,
+            gate,
+            source,
+            drain,
+            ..
+        } = d
+        {
+            channels.push(Channel {
+                kind: *kind,
+                gate: *gate,
+                a: *source,
+                b: *drain,
+            });
+        }
+    }
+    let mut adjacency = vec![Vec::new(); n_nets];
+    for (ci, c) in channels.iter().enumerate() {
+        adjacency[c.a].push(ci);
+        adjacency[c.b].push(ci);
+    }
+    Ok(CompiledSimulator {
+        circuit: netlist.name.clone(),
+        n_nets,
+        input_nets: netlist
+            .inputs()
+            .iter()
+            .map(|&i| (netlist.net_name(i).to_owned(), i))
+            .collect(),
+        output_nets: netlist
+            .outputs()
+            .iter()
+            .map(|&o| (netlist.net_name(o).to_owned(), o))
+            .collect(),
+        channels,
+        adjacency,
+    })
+}
+
+/// How a transistor conducts for a given gate value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Conduction {
+    On,
+    Off,
+    Maybe,
+}
+
+fn conduction(kind: MosKind, gate: Logic) -> Conduction {
+    match (kind, gate) {
+        (MosKind::Nmos, Logic::One) | (MosKind::Pmos, Logic::Zero) => Conduction::On,
+        (MosKind::Nmos, Logic::Zero) | (MosKind::Pmos, Logic::One) => Conduction::Off,
+        _ => Conduction::Maybe,
+    }
+}
+
+impl CompiledSimulator {
+    /// Returns the input names, in port order.
+    pub fn inputs(&self) -> Vec<&str> {
+        self.input_nets.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Returns the output names, in port order.
+    pub fn outputs(&self) -> Vec<&str> {
+        self.output_nets.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Emits the canonical byte form (JSON) — this *is* the physical
+    /// data of the `CompiledSimulator` entity instance.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("compiled simulator serializes")
+    }
+
+    /// Parses the canonical byte form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdaError::Parse`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<CompiledSimulator, EdaError> {
+        serde_json::from_slice(bytes).map_err(|e| EdaError::Parse {
+            what: "compiled simulator".into(),
+            detail: e.to_string(),
+        })
+    }
+
+    /// Runs the compiled simulator over a stimulus set: each distinct
+    /// event time is one input vector; node values are solved to a
+    /// fixpoint per vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdaError::UnknownSignal`] if the stimuli drive a signal
+    /// that is not an input of the compiled circuit.
+    pub fn run(&self, stimuli: &Stimuli) -> Result<SwitchSimulation, EdaError> {
+        let mut inputs = vec![Logic::X; self.n_nets];
+        let mut waves: Vec<(String, Waveform)> = self
+            .output_nets
+            .iter()
+            .map(|(n, _)| (n.clone(), Waveform::new()))
+            .collect();
+        let mut iterations = 0u64;
+        let mut vectors = 0usize;
+
+        let mut times: Vec<u64> = stimuli.events().iter().map(|e| e.0).collect();
+        times.dedup();
+        let mut event_idx = 0usize;
+        for &t in &times {
+            while event_idx < stimuli.events().len() && stimuli.events()[event_idx].0 == t {
+                let (_, sig, v) = &stimuli.events()[event_idx];
+                let net = self
+                    .input_nets
+                    .iter()
+                    .find(|(n, _)| n == sig)
+                    .map(|(_, i)| *i)
+                    .ok_or_else(|| EdaError::UnknownSignal {
+                        signal: sig.clone(),
+                    })?;
+                inputs[net] = *v;
+                event_idx += 1;
+            }
+            vectors += 1;
+            let values = self.solve(&inputs, &mut iterations);
+            for ((_, wave), (_, net)) in waves.iter_mut().zip(self.output_nets.iter()) {
+                wave.push(t, values[*net]);
+            }
+        }
+        Ok(SwitchSimulation {
+            circuit: self.circuit.clone(),
+            stimuli: stimuli.name.clone(),
+            outputs: waves,
+            vectors,
+            iterations,
+        })
+    }
+
+    /// Solves node values for one input vector by relaxation over the
+    /// channel graph.
+    fn solve(&self, inputs: &[Logic], iterations: &mut u64) -> Vec<Logic> {
+        let mut values = vec![Logic::Z; self.n_nets];
+        values[Netlist::GND] = Logic::Zero;
+        values[Netlist::VDD] = Logic::One;
+        for (_, i) in &self.input_nets {
+            values[*i] = inputs[*i];
+        }
+        let is_fixed = |net: usize| {
+            net == Netlist::GND
+                || net == Netlist::VDD
+                || self.input_nets.iter().any(|(_, i)| *i == net)
+        };
+
+        // Iterate: gate values feed channel conduction feeds node values.
+        for _ in 0..self.n_nets + 2 {
+            *iterations += 1;
+            let mut next = values.clone();
+            for (net, slot) in next.iter_mut().enumerate() {
+                if is_fixed(net) {
+                    continue;
+                }
+                *slot = self.drive_of(net, &values);
+            }
+            if next == values {
+                break;
+            }
+            values = next;
+        }
+        values
+    }
+
+    /// Computes the driven value of `net`: BFS through conducting
+    /// channels towards the rails and driven inputs.
+    fn drive_of(&self, net: usize, values: &[Logic]) -> Logic {
+        let mut seen = vec![false; self.n_nets];
+        // (net, through_maybe)
+        let mut stack = vec![(net, false)];
+        seen[net] = true;
+        let mut found_zero = false;
+        let mut found_one = false;
+        let mut found_maybe = false;
+        let is_source = |n: usize| {
+            n == Netlist::GND
+                || n == Netlist::VDD
+                || self.input_nets.iter().any(|(_, i)| *i == n)
+        };
+        while let Some((cur, through_maybe)) = stack.pop() {
+            if cur != net && is_source(cur) {
+                let v = values[cur];
+                match (v, through_maybe) {
+                    (Logic::Zero, false) => found_zero = true,
+                    (Logic::One, false) => found_one = true,
+                    (Logic::X, _) | (Logic::Zero, true) | (Logic::One, true) => {
+                        found_maybe = true
+                    }
+                    (Logic::Z, _) => {}
+                }
+                continue; // driven nodes do not pass current onwards
+            }
+            for &ci in &self.adjacency[cur] {
+                let c = &self.channels[ci];
+                let other = if c.a == cur { c.b } else { c.a };
+                if seen[other] {
+                    continue;
+                }
+                match conduction(c.kind, values[c.gate]) {
+                    Conduction::On => {
+                        seen[other] = true;
+                        stack.push((other, through_maybe));
+                    }
+                    Conduction::Maybe => {
+                        seen[other] = true;
+                        stack.push((other, true));
+                    }
+                    Conduction::Off => {}
+                }
+            }
+        }
+        match (found_zero, found_one) {
+            (true, true) => Logic::X,
+            (true, false) => {
+                if found_maybe {
+                    Logic::X
+                } else {
+                    Logic::Zero
+                }
+            }
+            (false, true) => {
+                if found_maybe {
+                    Logic::X
+                } else {
+                    Logic::One
+                }
+            }
+            (false, false) => {
+                if found_maybe {
+                    Logic::X
+                } else {
+                    Logic::Z
+                }
+            }
+        }
+    }
+}
+
+/// Uncompiled baseline: recompiles the channel structure for *every*
+/// stimulus run. Same results as [`compile`] + [`CompiledSimulator::run`],
+/// paid-for per invocation — the cost the Fig. 2 flow avoids by making
+/// the compiled simulator a reusable design object.
+///
+/// # Errors
+///
+/// As [`compile`] and [`CompiledSimulator::run`].
+pub fn interpret(netlist: &Netlist, stimuli: &Stimuli) -> Result<SwitchSimulation, EdaError> {
+    compile(netlist)?.run(stimuli)
+}
+
+/// Builds a transistor-level 2-input NAND, for tests and examples.
+pub fn nand2_transistors() -> Netlist {
+    let mut n = Netlist::new("nand2_xtor");
+    let a = n.add_port_in("a");
+    let b = n.add_port_in("b");
+    let y = n.add_port_out("y");
+    let mid = n.add_net("mid");
+    // Parallel pull-up.
+    n.add_mos(MosKind::Pmos, a, Netlist::VDD, y);
+    n.add_mos(MosKind::Pmos, b, Netlist::VDD, y);
+    // Series pull-down.
+    n.add_mos(MosKind::Nmos, a, mid, y);
+    n.add_mos(MosKind::Nmos, b, Netlist::GND, mid);
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells;
+
+    #[test]
+    fn inverter_truth_table() {
+        let sim = compile(&cells::inverter_transistors()).expect("ok");
+        for (input, expected) in [(Logic::Zero, Logic::One), (Logic::One, Logic::Zero)] {
+            let mut s = Stimuli::new("v");
+            s.set(0, "in", input);
+            let r = sim.run(&s).expect("ok");
+            assert_eq!(r.output("out").expect("exists").last_value(), expected);
+        }
+    }
+
+    #[test]
+    fn nand_truth_table() {
+        let sim = compile(&nand2_transistors()).expect("ok");
+        for (a, b, y) in [
+            (Logic::Zero, Logic::Zero, Logic::One),
+            (Logic::Zero, Logic::One, Logic::One),
+            (Logic::One, Logic::Zero, Logic::One),
+            (Logic::One, Logic::One, Logic::Zero),
+        ] {
+            let mut s = Stimuli::new("v");
+            s.set(0, "a", a);
+            s.set(0, "b", b);
+            let r = sim.run(&s).expect("ok");
+            assert_eq!(
+                r.output("y").expect("exists").last_value(),
+                y,
+                "nand({a},{b})"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_gate_yields_x() {
+        let sim = compile(&cells::inverter_transistors()).expect("ok");
+        let mut s = Stimuli::new("v");
+        s.set(0, "in", Logic::X);
+        let r = sim.run(&s).expect("ok");
+        assert_eq!(r.output("out").expect("exists").last_value(), Logic::X);
+    }
+
+    #[test]
+    fn sequence_of_vectors_produces_waveform() {
+        let sim = compile(&cells::inverter_transistors()).expect("ok");
+        let mut s = Stimuli::new("toggle");
+        s.set(0, "in", Logic::Zero);
+        s.set(10, "in", Logic::One);
+        s.set(20, "in", Logic::Zero);
+        let r = sim.run(&s).expect("ok");
+        let out = r.output("out").expect("exists");
+        assert_eq!(out.at(0), Logic::One);
+        assert_eq!(out.at(10), Logic::Zero);
+        assert_eq!(out.at(20), Logic::One);
+        assert_eq!(r.vectors, 3);
+        assert!(r.iterations > 0);
+    }
+
+    #[test]
+    fn compiled_and_interpreted_agree() {
+        let n = nand2_transistors();
+        let mut s = Stimuli::new("walk");
+        for (t, (a, b)) in [(Logic::Zero, Logic::Zero), (Logic::One, Logic::Zero), (Logic::One, Logic::One)]
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i as u64 * 10, *v))
+        {
+            s.set(t, "a", a);
+            s.set(t, "b", b);
+        }
+        let compiled = compile(&n).expect("ok").run(&s).expect("ok");
+        let interpreted = interpret(&n, &s).expect("ok");
+        assert_eq!(compiled.outputs, interpreted.outputs);
+    }
+
+    #[test]
+    fn gate_level_netlist_is_rejected() {
+        assert!(matches!(
+            compile(&cells::inverter()).unwrap_err(),
+            EdaError::WrongNetlistLevel { .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_stimulus_signal_is_rejected() {
+        let sim = compile(&cells::inverter_transistors()).expect("ok");
+        let mut s = Stimuli::new("bad");
+        s.set(0, "ghost", Logic::One);
+        assert!(matches!(
+            sim.run(&s).unwrap_err(),
+            EdaError::UnknownSignal { .. }
+        ));
+    }
+
+    #[test]
+    fn compiled_simulator_round_trips_as_bytes() {
+        let sim = compile(&nand2_transistors()).expect("ok");
+        let back = CompiledSimulator::from_bytes(&sim.to_bytes()).expect("ok");
+        assert_eq!(back, sim);
+        assert_eq!(back.inputs(), vec!["a", "b"]);
+        assert_eq!(back.outputs(), vec!["y"]);
+        assert!(CompiledSimulator::from_bytes(b"x").is_err());
+    }
+
+    #[test]
+    fn simulation_round_trips_as_bytes() {
+        let sim = compile(&cells::inverter_transistors()).expect("ok");
+        let mut s = Stimuli::new("v");
+        s.set(0, "in", Logic::One);
+        let r = sim.run(&s).expect("ok");
+        assert_eq!(SwitchSimulation::from_bytes(&r.to_bytes()).expect("ok"), r);
+    }
+}

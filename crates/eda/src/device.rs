@@ -1,0 +1,183 @@
+//! Device models (the `DeviceModels` entity of Fig. 1): process
+//! parameters with statistical variation, consumed by the performance
+//! analyzer and the statistical optimizers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::EdaError;
+
+/// Process parameters for one device polarity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MosModel {
+    /// Threshold voltage (V).
+    pub vth: f64,
+    /// Transconductance factor (arbitrary units).
+    pub k: f64,
+    /// Relative 1-sigma process variation applied by Monte-Carlo
+    /// analyses.
+    pub sigma: f64,
+}
+
+/// A device-model set: NMOS and PMOS parameters plus a supply voltage.
+///
+/// # Examples
+///
+/// ```
+/// use hercules_eda::DeviceModels;
+///
+/// let m = DeviceModels::default_1993();
+/// let back = DeviceModels::parse(&m.to_text()).expect("round-trips");
+/// assert_eq!(back, m);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceModels {
+    /// Model-set name.
+    pub name: String,
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// N-channel parameters.
+    pub nmos: MosModel,
+    /// P-channel parameters.
+    pub pmos: MosModel,
+}
+
+impl DeviceModels {
+    /// A plausible 1993-era 0.8 µm CMOS model set.
+    pub fn default_1993() -> DeviceModels {
+        DeviceModels {
+            name: "cmos08".into(),
+            vdd: 5.0,
+            nmos: MosModel {
+                vth: 0.7,
+                k: 1.0,
+                sigma: 0.05,
+            },
+            pmos: MosModel {
+                vth: -0.8,
+                k: 0.4,
+                sigma: 0.07,
+            },
+        }
+    }
+
+    /// Emits the canonical text form.
+    pub fn to_text(&self) -> String {
+        format!(
+            ".models {}\nvdd {}\nnmos vth={} k={} sigma={}\npmos vth={} k={} sigma={}\n.end\n",
+            self.name,
+            self.vdd,
+            self.nmos.vth,
+            self.nmos.k,
+            self.nmos.sigma,
+            self.pmos.vth,
+            self.pmos.k,
+            self.pmos.sigma,
+        )
+    }
+
+    /// Emits the canonical byte form.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_text().into_bytes()
+    }
+
+    /// Parses the canonical text form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdaError::Parse`] on malformed input.
+    pub fn parse(text: &str) -> Result<DeviceModels, EdaError> {
+        let err = |detail: &str| EdaError::Parse {
+            what: "device models".into(),
+            detail: detail.to_owned(),
+        };
+        let mut name = None;
+        let mut vdd = None;
+        let mut nmos = None;
+        let mut pmos = None;
+        let parse_mos = |rest: &[&str]| -> Result<MosModel, EdaError> {
+            let mut vth = None;
+            let mut k = None;
+            let mut sigma = None;
+            for p in rest {
+                let (key, val) = p.split_once('=').ok_or_else(|| err("bad mos field"))?;
+                let val: f64 = val.parse().map_err(|_| err("bad number"))?;
+                match key {
+                    "vth" => vth = Some(val),
+                    "k" => k = Some(val),
+                    "sigma" => sigma = Some(val),
+                    _ => return Err(err("unknown mos field")),
+                }
+            }
+            Ok(MosModel {
+                vth: vth.ok_or_else(|| err("missing vth"))?,
+                k: k.ok_or_else(|| err("missing k"))?,
+                sigma: sigma.ok_or_else(|| err("missing sigma"))?,
+            })
+        };
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') || line == ".end" {
+                continue;
+            }
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            match parts[0] {
+                ".models" => name = parts.get(1).map(|s| (*s).to_owned()),
+                "vdd" => {
+                    vdd = Some(
+                        parts
+                            .get(1)
+                            .ok_or_else(|| err("missing vdd value"))?
+                            .parse()
+                            .map_err(|_| err("bad vdd"))?,
+                    )
+                }
+                "nmos" => nmos = Some(parse_mos(&parts[1..])?),
+                "pmos" => pmos = Some(parse_mos(&parts[1..])?),
+                other => return Err(err(&format!("unknown directive `{other}`"))),
+            }
+        }
+        Ok(DeviceModels {
+            name: name.ok_or_else(|| err("missing .models"))?,
+            vdd: vdd.ok_or_else(|| err("missing vdd"))?,
+            nmos: nmos.ok_or_else(|| err("missing nmos"))?,
+            pmos: pmos.ok_or_else(|| err("missing pmos"))?,
+        })
+    }
+
+    /// Parses the canonical byte form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdaError::Parse`] on malformed or non-UTF-8 input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<DeviceModels, EdaError> {
+        let text = std::str::from_utf8(bytes).map_err(|_| EdaError::Parse {
+            what: "device models".into(),
+            detail: "not utf-8".into(),
+        })?;
+        DeviceModels::parse(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let m = DeviceModels::default_1993();
+        let text = m.to_text();
+        assert!(text.contains("nmos vth=0.7"));
+        let back = DeviceModels::parse(&text).expect("ok");
+        assert_eq!(back, m);
+        assert_eq!(DeviceModels::from_bytes(&m.to_bytes()).expect("ok"), m);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(DeviceModels::parse("").is_err());
+        assert!(DeviceModels::parse(".models m\nvdd 5\nnmos vth=0.7 k=1").is_err());
+        assert!(DeviceModels::parse(".models m\nvdd x").is_err());
+        assert!(DeviceModels::parse(".models m\nfrob 1").is_err());
+        assert!(DeviceModels::from_bytes(&[0xff]).is_err());
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type for the simulated EDA substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the simulated EDA tools and data models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+#[allow(missing_docs)] // variant fields are self-describing names
+pub enum EdaError {
+    /// A textual artifact failed to parse.
+    Parse { what: String, detail: String },
+    /// A net name was referenced but never declared.
+    UnknownNet { net: String },
+    /// A signal name in the stimuli does not exist in the netlist.
+    UnknownSignal { signal: String },
+    /// The netlist contains a combinational cycle, which the levelizing
+    /// simulator cannot order.
+    CombinationalCycle,
+    /// Two netlists cannot be compared (e.g. different port counts).
+    Incomparable { reason: String },
+    /// A gate-level operation was applied to a transistor-level netlist
+    /// or vice versa.
+    WrongNetlistLevel { expected: String },
+    /// The optimizer ran out of devices to size.
+    NothingToOptimize,
+    /// A layout refers to a cell kind the extractor does not know.
+    UnknownCellKind { kind: String },
+}
+
+impl fmt::Display for EdaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdaError::Parse { what, detail } => write!(f, "cannot parse {what}: {detail}"),
+            EdaError::UnknownNet { net } => write!(f, "unknown net `{net}`"),
+            EdaError::UnknownSignal { signal } => {
+                write!(f, "stimuli drive unknown signal `{signal}`")
+            }
+            EdaError::CombinationalCycle => {
+                f.write_str("netlist contains a combinational cycle")
+            }
+            EdaError::Incomparable { reason } => {
+                write!(f, "netlists are not comparable: {reason}")
+            }
+            EdaError::WrongNetlistLevel { expected } => {
+                write!(f, "expected a {expected}-level netlist")
+            }
+            EdaError::NothingToOptimize => f.write_str("no sizable devices in the netlist"),
+            EdaError::UnknownCellKind { kind } => write!(f, "unknown cell kind `{kind}`"),
+        }
+    }
+}
+
+impl Error for EdaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        let errors = vec![
+            EdaError::Parse {
+                what: "netlist".into(),
+                detail: "line 3".into(),
+            },
+            EdaError::CombinationalCycle,
+            EdaError::NothingToOptimize,
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! The extractor tool (the `Extractor` of Fig. 1): layout →
+//! extracted netlist + extraction statistics.
+//!
+//! The extracted netlist carries wire parasitics, so simulating it gives
+//! different (slower) performance than the ideal netlist — the
+//! difference that makes the Fig. 8 verification flow worth running.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::EdaError;
+use crate::layout::Layout;
+use crate::logic_sim::NetDelays;
+use crate::netlist::Netlist;
+
+/// An extracted netlist: the recovered connectivity plus per-net wire
+/// lengths.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExtractedNetlist {
+    /// The recovered gate-level netlist.
+    pub netlist: Netlist,
+    /// Per-net wire lengths (net name → layout units).
+    pub wire_lengths: Vec<(String, i64)>,
+}
+
+impl ExtractedNetlist {
+    /// Converts the wire lengths into simulator net delays for the
+    /// recovered netlist, at `units_per_delay` layout units per time
+    /// unit.
+    pub fn parasitics(&self, units_per_delay: i64) -> NetDelays {
+        let mut out = NetDelays::default();
+        for (name, len) in &self.wire_lengths {
+            if let Some(net) = self.netlist.net_index(name) {
+                out.insert(net, (*len / units_per_delay.max(1)) as u64);
+            }
+        }
+        out
+    }
+
+    /// Emits the canonical byte form (JSON).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("extracted netlist serializes")
+    }
+
+    /// Parses the canonical byte form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdaError::Parse`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<ExtractedNetlist, EdaError> {
+        serde_json::from_slice(bytes).map_err(|e| EdaError::Parse {
+            what: "extracted netlist".into(),
+            detail: e.to_string(),
+        })
+    }
+}
+
+/// Extraction statistics (the `ExtractionStatistics` entity — the second
+/// output of the same extraction subtask in Fig. 5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExtractionStatistics {
+    /// Layout name.
+    pub layout: String,
+    /// Cells recovered.
+    pub cell_count: usize,
+    /// Nets recovered.
+    pub net_count: usize,
+    /// Total estimated wire length.
+    pub total_wire_length: i64,
+    /// Placement bounding-box area.
+    pub area: i64,
+}
+
+impl ExtractionStatistics {
+    /// Emits the canonical byte form (JSON).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("statistics serialize")
+    }
+
+    /// Parses the canonical byte form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdaError::Parse`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<ExtractionStatistics, EdaError> {
+        serde_json::from_slice(bytes).map_err(|e| EdaError::Parse {
+            what: "extraction statistics".into(),
+            detail: e.to_string(),
+        })
+    }
+}
+
+/// Extracts the netlist and statistics from a layout — one tool
+/// invocation, two outputs (Fig. 5's multi-output subtask).
+///
+/// # Examples
+///
+/// ```
+/// use hercules_eda::{cells, extract, place, PlacementRules};
+///
+/// # fn main() -> Result<(), hercules_eda::EdaError> {
+/// let adder = cells::full_adder();
+/// let layout = place(&adder, &PlacementRules::default())?;
+/// let (extracted, stats) = extract(&layout);
+/// assert_eq!(extracted.netlist.gate_count(), adder.gate_count());
+/// assert_eq!(stats.cell_count, adder.gate_count());
+/// # Ok(())
+/// # }
+/// ```
+pub fn extract(layout: &Layout) -> (ExtractedNetlist, ExtractionStatistics) {
+    let mut netlist = Netlist::new(&format!("{}_extracted", layout.name));
+    for i in &layout.inputs {
+        netlist.add_port_in(i);
+    }
+    for o in &layout.outputs {
+        netlist.add_port_out(o);
+    }
+    for cell in &layout.cells {
+        let inputs: Vec<usize> = cell.inputs.iter().map(|n| netlist.add_net(n)).collect();
+        let output = netlist.add_net(&cell.output);
+        netlist.add_gate(cell.kind, &inputs, output);
+    }
+    let wire_lengths = layout.wire_lengths();
+    let stats = ExtractionStatistics {
+        layout: layout.name.clone(),
+        cell_count: layout.cells.len(),
+        net_count: netlist.net_count(),
+        total_wire_length: layout.total_wire_length(),
+        area: layout.area(),
+    };
+    (
+        ExtractedNetlist {
+            netlist,
+            wire_lengths,
+        },
+        stats,
+    )
+}
+
+/// Convenience: per-net wire lengths by net index for a netlist.
+pub fn wire_length_index(extracted: &ExtractedNetlist) -> HashMap<usize, i64> {
+    extracted
+        .wire_lengths
+        .iter()
+        .filter_map(|(name, len)| extracted.netlist.net_index(name).map(|i| (i, *len)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells;
+    use crate::device::DeviceModels;
+    use crate::perf::Performance;
+    use crate::place::{place, PlacementRules};
+    use crate::stimuli::Stimuli;
+
+    #[test]
+    fn extraction_recovers_function() {
+        let n = cells::full_adder();
+        let layout = place(&n, &PlacementRules::default()).expect("ok");
+        let (ex, stats) = extract(&layout);
+        assert_eq!(ex.netlist.gate_count(), n.gate_count());
+        assert_eq!(stats.cell_count, 5);
+        assert!(stats.area > 0);
+        assert!(stats.total_wire_length > 0);
+
+        // Function preserved: exhaustive simulation matches.
+        let s = Stimuli::exhaustive(&["a", "b", "cin"], 100);
+        let m = DeviceModels::default_1993();
+        let ideal =
+            Performance::analyze(&n, &s, &m, &Default::default()).expect("ok");
+        let recovered =
+            Performance::analyze(&ex.netlist, &s, &m, &Default::default()).expect("ok");
+        assert_eq!(ideal.transitions, recovered.transitions);
+    }
+
+    #[test]
+    fn parasitics_make_extracted_netlist_slower() {
+        let n = cells::ripple_adder(8);
+        let layout = place(&n, &PlacementRules::default()).expect("ok");
+        let (ex, _) = extract(&layout);
+        let inputs: Vec<String> = (0..8)
+            .flat_map(|i| [format!("a{i}"), format!("b{i}")])
+            .chain(["cin".to_owned()])
+            .collect();
+        let input_refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
+        let s = Stimuli::random(&input_refs, 16, 200, 7);
+        let m = DeviceModels::default_1993();
+
+        let ideal = Performance::analyze(&ex.netlist, &s, &m, &Default::default())
+            .expect("ok");
+        let loaded =
+            Performance::analyze(&ex.netlist, &s, &m, &ex.parasitics(4)).expect("ok");
+        assert!(
+            loaded.delay > ideal.delay,
+            "wire parasitics must slow the circuit: {} vs {}",
+            loaded.delay,
+            ideal.delay
+        );
+    }
+
+    #[test]
+    fn byte_round_trips() {
+        let n = cells::full_adder();
+        let layout = place(&n, &PlacementRules::default()).expect("ok");
+        let (ex, stats) = extract(&layout);
+        assert_eq!(
+            ExtractedNetlist::from_bytes(&ex.to_bytes()).expect("ok"),
+            ex
+        );
+        assert_eq!(
+            ExtractionStatistics::from_bytes(&stats.to_bytes()).expect("ok"),
+            stats
+        );
+        assert!(ExtractedNetlist::from_bytes(b"x").is_err());
+        assert!(ExtractionStatistics::from_bytes(b"x").is_err());
+    }
+
+    #[test]
+    fn wire_length_index_maps_names_to_indexes() {
+        let n = cells::full_adder();
+        let layout = place(&n, &PlacementRules::default()).expect("ok");
+        let (ex, _) = extract(&layout);
+        let idx = wire_length_index(&ex);
+        assert!(!idx.is_empty());
+        for (net, len) in &idx {
+            assert!(*net < ex.netlist.net_count());
+            assert!(*len >= 0);
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! The physical layout data model (the `Layout` entity of Fig. 1).
+//!
+//! A layout is a row-based placement of library cells plus point-to-
+//! point wires. It carries enough information for the extractor to
+//! rebuild a netlist *with parasitics*, which is what makes the Fig. 8
+//! synthesis/verification flows meaningful.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::EdaError;
+use crate::netlist::GateKind;
+
+/// One placed cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacedCell {
+    /// Instance name (unique within the layout).
+    pub name: String,
+    /// Library cell implemented (a gate kind).
+    pub kind: GateKind,
+    /// Input net names in pin order.
+    pub inputs: Vec<String>,
+    /// Output net name.
+    pub output: String,
+    /// Lower-left x coordinate.
+    pub x: i64,
+    /// Lower-left y coordinate.
+    pub y: i64,
+}
+
+impl PlacedCell {
+    /// Cell width in layout units (wider cells for bigger gates).
+    pub fn width(&self) -> i64 {
+        match self.kind {
+            GateKind::Inv | GateKind::Buf => 4,
+            GateKind::Nand | GateKind::Nor => 6,
+            GateKind::And | GateKind::Or => 8,
+            GateKind::Xor | GateKind::Xnor => 10,
+        }
+    }
+
+    /// Cell height in layout units (single row height).
+    pub fn height(&self) -> i64 {
+        8
+    }
+
+    /// Cell center, used for wire-length estimation.
+    pub fn center(&self) -> (i64, i64) {
+        (self.x + self.width() / 2, self.y + self.height() / 2)
+    }
+}
+
+/// A physical layout: placed cells and the nets connecting them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Layout {
+    /// Layout name (usually the circuit name).
+    pub name: String,
+    /// Placed cells in placement order.
+    pub cells: Vec<PlacedCell>,
+    /// Primary input net names.
+    pub inputs: Vec<String>,
+    /// Primary output net names.
+    pub outputs: Vec<String>,
+}
+
+impl Layout {
+    /// Creates an empty layout.
+    pub fn new(name: &str) -> Layout {
+        Layout {
+            name: name.to_owned(),
+            cells: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Returns the bounding-box area of the placement.
+    pub fn area(&self) -> i64 {
+        if self.cells.is_empty() {
+            return 0;
+        }
+        let min_x = self.cells.iter().map(|c| c.x).min().expect("nonempty");
+        let max_x = self
+            .cells
+            .iter()
+            .map(|c| c.x + c.width())
+            .max()
+            .expect("nonempty");
+        let min_y = self.cells.iter().map(|c| c.y).min().expect("nonempty");
+        let max_y = self
+            .cells
+            .iter()
+            .map(|c| c.y + c.height())
+            .max()
+            .expect("nonempty");
+        (max_x - min_x) * (max_y - min_y)
+    }
+
+    /// Estimates each net's wire length as the half-perimeter of the
+    /// bounding box of the pins on it. Returns `(net name, length)`
+    /// pairs sorted by name.
+    pub fn wire_lengths(&self) -> Vec<(String, i64)> {
+        use std::collections::HashMap;
+        let mut pins: HashMap<&str, Vec<(i64, i64)>> = HashMap::new();
+        for c in &self.cells {
+            for i in &c.inputs {
+                pins.entry(i).or_default().push(c.center());
+            }
+            pins.entry(&c.output).or_default().push(c.center());
+        }
+        let mut out: Vec<(String, i64)> = pins
+            .into_iter()
+            .map(|(net, ps)| {
+                let min_x = ps.iter().map(|p| p.0).min().expect("nonempty");
+                let max_x = ps.iter().map(|p| p.0).max().expect("nonempty");
+                let min_y = ps.iter().map(|p| p.1).min().expect("nonempty");
+                let max_y = ps.iter().map(|p| p.1).max().expect("nonempty");
+                (net.to_owned(), (max_x - min_x) + (max_y - min_y))
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Returns the total estimated wire length.
+    pub fn total_wire_length(&self) -> i64 {
+        self.wire_lengths().iter().map(|(_, l)| l).sum()
+    }
+
+    /// Returns whether two placed cells overlap.
+    pub fn has_overlaps(&self) -> bool {
+        for (i, a) in self.cells.iter().enumerate() {
+            for b in &self.cells[i + 1..] {
+                let sep_x = a.x + a.width() <= b.x || b.x + b.width() <= a.x;
+                let sep_y = a.y + a.height() <= b.y || b.y + b.height() <= a.y;
+                if !sep_x && !sep_y {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Emits the canonical byte form (JSON).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("layout serializes")
+    }
+
+    /// Parses the canonical byte form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdaError::Parse`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Layout, EdaError> {
+        serde_json::from_slice(bytes).map_err(|e| EdaError::Parse {
+            what: "layout".into(),
+            detail: e.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cell_layout() -> Layout {
+        let mut l = Layout::new("t");
+        l.inputs.push("a".into());
+        l.outputs.push("y".into());
+        l.cells.push(PlacedCell {
+            name: "u1".into(),
+            kind: GateKind::Inv,
+            inputs: vec!["a".into()],
+            output: "m".into(),
+            x: 0,
+            y: 0,
+        });
+        l.cells.push(PlacedCell {
+            name: "u2".into(),
+            kind: GateKind::Inv,
+            inputs: vec!["m".into()],
+            output: "y".into(),
+            x: 10,
+            y: 0,
+        });
+        l
+    }
+
+    #[test]
+    fn area_and_wires() {
+        let l = two_cell_layout();
+        assert_eq!(l.area(), 14 * 8);
+        let wires = l.wire_lengths();
+        let m = wires.iter().find(|(n, _)| n == "m").expect("net m");
+        assert_eq!(m.1, 10, "half-perimeter between the two cell centers");
+        assert!(l.total_wire_length() >= 10);
+        assert!(!l.has_overlaps());
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let mut l = two_cell_layout();
+        l.cells[1].x = 2; // on top of u1
+        assert!(l.has_overlaps());
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let l = two_cell_layout();
+        let back = Layout::from_bytes(&l.to_bytes()).expect("ok");
+        assert_eq!(back, l);
+        assert!(Layout::from_bytes(b"junk").is_err());
+    }
+
+    #[test]
+    fn empty_layout_has_zero_area() {
+        let l = Layout::new("empty");
+        assert_eq!(l.area(), 0);
+        assert!(l.wire_lengths().is_empty());
+    }
+}

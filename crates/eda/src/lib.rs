@@ -1,0 +1,80 @@
+//! Simulated EDA tool substrate for the Hercules reproduction.
+//!
+//! The DAC'93 paper manages *real* 1993 CAD tools (HSPICE-class
+//! simulators, layout editors, COSMOS, extractors). The framework only
+//! ever observes tools through their encapsulations — typed inputs in,
+//! typed outputs out — so this crate provides deterministic, self-
+//! contained stand-ins that exercise the identical management code
+//! paths:
+//!
+//! * [`Netlist`] — gate- and transistor-level circuits with a canonical
+//!   text format (tools exchange bytes, as the originals exchanged
+//!   files); [`cells`] generates workloads (full adders, ripple adders,
+//!   PLAs — the Chiueh & Katz standard-cell-to-PLA scenario of §2);
+//! * [`simulate`] — an event-driven gate-level simulator producing
+//!   [`Performance`] reports; [`Plot`] renders them (the
+//!   `Simulator`/`Plotter` tasks of Fig. 1);
+//! * [`place`] / [`extract`] / [`verify`] — the physical flow of Fig. 8:
+//!   placement from [`PlacementRules`], extraction with parasitics plus
+//!   [`ExtractionStatistics`] (the two-output subtask of Fig. 5), and
+//!   LVS-style [`Verification`];
+//! * [`cosmos`] — the compiled switch-level simulator of Fig. 2: a tool
+//!   *created during the design*;
+//! * [`mod@optimize`] — three statistical optimizers sharing one
+//!   encapsulation signature (§3.3), consuming [`DeviceModels`];
+//! * [`views`] — the logic/transistor/physical views of Fig. 7 and the
+//!   `Circuit` composite with its implicit composition check.
+//!
+//! # Examples
+//!
+//! ```
+//! use hercules_eda::{cells, place, extract, verify, PlacementRules};
+//!
+//! # fn main() -> Result<(), hercules_eda::EdaError> {
+//! // The Fig. 8 synthesis + verification round trip.
+//! let netlist = cells::full_adder();
+//! let layout = place(&netlist, &PlacementRules::default())?;
+//! let (extracted, _stats) = extract(&layout);
+//! assert!(verify(&netlist, &extracted.netlist)?.matched);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod device;
+mod error;
+mod extract;
+mod layout;
+mod logic_sim;
+mod netlist;
+mod perf;
+mod place;
+mod plot;
+mod signal;
+mod stimuli;
+mod verify;
+mod xtor;
+
+pub mod cells;
+pub mod cosmos;
+pub mod optimize;
+pub mod views;
+
+pub use cosmos::{CompiledSimulator, SwitchSimulation};
+pub use device::{DeviceModels, MosModel};
+pub use error::EdaError;
+pub use extract::{extract, wire_length_index, ExtractedNetlist, ExtractionStatistics};
+pub use layout::{Layout, PlacedCell};
+pub use logic_sim::{eval_gate, simulate, NetDelays, SimResult};
+pub use netlist::{Device, GateKind, MosKind, Netlist};
+pub use optimize::{cost, optimize, OptReport, OptimizerKind};
+pub use perf::{parasitics_from_wire_lengths, OutputTiming, Performance};
+pub use place::{place, PlacementRules};
+pub use plot::Plot;
+pub use signal::{Logic, Waveform};
+pub use stimuli::Stimuli;
+pub use verify::{verify, Mismatch, Verification};
+pub use views::{inverter_views, CellViews, Circuit};
+pub use xtor::to_transistor_level;

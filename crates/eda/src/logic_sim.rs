@@ -1,0 +1,466 @@
+//! Event-driven gate-level logic simulator (the `Simulator` tool of
+//! Fig. 1).
+//!
+//! A classic event wheel: input events from the stimuli and gate
+//! re-evaluations propagate through the netlist with per-gate-kind
+//! delays, producing a [`Waveform`] per net.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::cmp::Reverse;
+
+use crate::error::EdaError;
+use crate::netlist::{Device, GateKind, Netlist};
+use crate::signal::{Logic, Waveform};
+use crate::stimuli::Stimuli;
+
+/// The result of a gate-level simulation: one waveform per net, plus
+/// bookkeeping used by the performance analyzer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Waveforms indexed like the netlist's nets.
+    pub waves: Vec<Waveform>,
+    /// Net names, for lookup by name.
+    pub net_names: Vec<String>,
+    /// Total gate evaluations performed.
+    pub evaluations: u64,
+    /// Simulation end time.
+    pub end_time: u64,
+}
+
+impl SimResult {
+    /// Returns the waveform of a named net.
+    pub fn wave(&self, net: &str) -> Option<&Waveform> {
+        self.net_names
+            .iter()
+            .position(|n| n == net)
+            .map(|i| &self.waves[i])
+    }
+
+    /// Returns the total number of transitions across all nets (a
+    /// dynamic-power proxy).
+    pub fn total_transitions(&self) -> usize {
+        self.waves.iter().map(Waveform::transitions).sum()
+    }
+}
+
+/// Extra per-net delays (e.g. extracted wire parasitics), keyed by net
+/// index; absent nets add zero.
+pub type NetDelays = HashMap<usize, u64>;
+
+/// Simulates a gate-level netlist under the given stimuli.
+///
+/// `extra_delay` models post-layout parasitics: each gate's propagation
+/// delay is increased by the delay attached to its output net, so an
+/// extracted netlist simulates slower than the ideal one.
+///
+/// # Errors
+///
+/// * [`EdaError::WrongNetlistLevel`] for transistor-level input (use the
+///   switch-level simulator);
+/// * [`EdaError::UnknownSignal`] if the stimuli drive a net that does
+///   not exist.
+///
+/// # Examples
+///
+/// ```
+/// use hercules_eda::{simulate, GateKind, Logic, Netlist, Stimuli};
+///
+/// # fn main() -> Result<(), hercules_eda::EdaError> {
+/// let mut n = Netlist::new("inv");
+/// let a = n.add_port_in("a");
+/// let y = n.add_port_out("y");
+/// n.add_gate(GateKind::Inv, &[a], y);
+///
+/// let mut s = Stimuli::new("step");
+/// s.set(0, "a", Logic::Zero);
+/// s.set(10, "a", Logic::One);
+///
+/// let result = simulate(&n, &s, &Default::default())?;
+/// assert_eq!(result.wave("y").expect("exists").at(11), Logic::Zero);
+/// # Ok(())
+/// # }
+/// ```
+pub fn simulate(
+    netlist: &Netlist,
+    stimuli: &Stimuli,
+    extra_delay: &NetDelays,
+) -> Result<SimResult, EdaError> {
+    if !netlist.is_gate_level() {
+        return Err(EdaError::WrongNetlistLevel {
+            expected: "gate".into(),
+        });
+    }
+
+    let n_nets = netlist.net_count();
+    let mut values = vec![Logic::X; n_nets];
+    values[Netlist::GND] = Logic::Zero;
+    values[Netlist::VDD] = Logic::One;
+    let mut waves = vec![Waveform::new(); n_nets];
+    waves[Netlist::GND].push(0, Logic::Zero);
+    waves[Netlist::VDD].push(0, Logic::One);
+
+    // Fan-out: which gate indexes read each net, and which flip-flops
+    // are clocked by it.
+    let mut fanout: Vec<Vec<usize>> = vec![Vec::new(); n_nets];
+    let mut clocked: Vec<Vec<usize>> = vec![Vec::new(); n_nets];
+    for (gi, dev) in netlist.devices().iter().enumerate() {
+        match dev {
+            Device::Gate { inputs, .. } => {
+                for &i in inputs {
+                    fanout[i].push(gi);
+                }
+            }
+            Device::Dff { clk, .. } => clocked[*clk].push(gi),
+            Device::Mos { .. } => {}
+        }
+    }
+
+    // Event queue: Reverse((time, seq, net, value)) for a stable order.
+    let mut queue: BinaryHeap<Reverse<(u64, u64, usize, Logic)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    for (t, sig, v) in stimuli.events() {
+        let net = netlist
+            .net_index(sig)
+            .ok_or_else(|| EdaError::UnknownSignal {
+                signal: sig.clone(),
+            })?;
+        queue.push(Reverse((*t, seq, net, *v)));
+        seq += 1;
+    }
+    // Evaluate every gate once at t=0 so constant nets settle.
+    let mut evaluations = 0u64;
+    let mut end_time = 0u64;
+    for gi in 0..netlist.devices().len() {
+        schedule_gate(netlist, gi, 0, &values, extra_delay, &mut queue, &mut seq, &mut evaluations);
+    }
+
+    const DFF_DELAY: u64 = 2;
+    while let Some(Reverse((t, _, net, v))) = queue.pop() {
+        end_time = end_time.max(t);
+        if values[net] == v {
+            continue;
+        }
+        let rising = values[net] == Logic::Zero && v == Logic::One;
+        values[net] = v;
+        waves[net].push(t, v);
+        for &gi in &fanout[net] {
+            schedule_gate(netlist, gi, t, &values, extra_delay, &mut queue, &mut seq, &mut evaluations);
+        }
+        // Rising clock edge: every flip-flop on this net samples its D
+        // input now and presents it on Q after the clock-to-Q delay.
+        if rising {
+            for &gi in &clocked[net] {
+                if let Device::Dff { d, q, .. } = &netlist.devices()[gi] {
+                    evaluations += 1;
+                    let delay = DFF_DELAY + extra_delay.get(q).copied().unwrap_or(0);
+                    queue.push(Reverse((t + delay, seq, *q, values[*d])));
+                    seq += 1;
+                }
+            }
+        }
+    }
+
+    let net_names = (0..n_nets)
+        .map(|i| netlist.net_name(i).to_owned())
+        .collect();
+    Ok(SimResult {
+        waves,
+        net_names,
+        evaluations,
+        end_time,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn schedule_gate(
+    netlist: &Netlist,
+    gi: usize,
+    now: u64,
+    values: &[Logic],
+    extra_delay: &NetDelays,
+    queue: &mut BinaryHeap<Reverse<(u64, u64, usize, Logic)>>,
+    seq: &mut u64,
+    evaluations: &mut u64,
+) {
+    let Device::Gate {
+        kind,
+        inputs,
+        output,
+    } = &netlist.devices()[gi]
+    else {
+        return;
+    };
+    *evaluations += 1;
+    let new = eval_gate(*kind, inputs.iter().map(|&i| values[i]));
+    let delay = kind.delay() + extra_delay.get(output).copied().unwrap_or(0);
+    queue.push(Reverse((now + delay, *seq, *output, new)));
+    *seq += 1;
+}
+
+/// Evaluates one gate over four-valued inputs.
+pub fn eval_gate<I: Iterator<Item = Logic>>(kind: GateKind, mut inputs: I) -> Logic {
+    match kind {
+        GateKind::Inv => !inputs.next().unwrap_or(Logic::X),
+        GateKind::Buf => inputs.next().unwrap_or(Logic::X),
+        GateKind::And => inputs.fold(Logic::One, Logic::and),
+        GateKind::Or => inputs.fold(Logic::Zero, Logic::or),
+        GateKind::Nand => !inputs.fold(Logic::One, Logic::and),
+        GateKind::Nor => !inputs.fold(Logic::Zero, Logic::or),
+        GateKind::Xor => inputs.fold(Logic::Zero, Logic::xor),
+        GateKind::Xnor => !inputs.fold(Logic::Zero, Logic::xor),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_adder() -> Netlist {
+        let mut n = Netlist::new("fa");
+        let a = n.add_port_in("a");
+        let b = n.add_port_in("b");
+        let cin = n.add_port_in("cin");
+        let s1 = n.add_net("s1");
+        let c1 = n.add_net("c1");
+        let c2 = n.add_net("c2");
+        let sum = n.add_port_out("sum");
+        let cout = n.add_port_out("cout");
+        n.add_gate(GateKind::Xor, &[a, b], s1);
+        n.add_gate(GateKind::Xor, &[s1, cin], sum);
+        n.add_gate(GateKind::And, &[a, b], c1);
+        n.add_gate(GateKind::And, &[s1, cin], c2);
+        n.add_gate(GateKind::Or, &[c1, c2], cout);
+        n
+    }
+
+    fn apply(n: &Netlist, bits: &[(&str, bool)]) -> SimResult {
+        let mut s = Stimuli::new("v");
+        for (name, b) in bits {
+            s.set(0, name, Logic::from_bool(*b));
+        }
+        simulate(n, &s, &NetDelays::default()).expect("simulates")
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        let n = full_adder();
+        for v in 0..8u32 {
+            let a = v & 1 == 1;
+            let b = v >> 1 & 1 == 1;
+            let c = v >> 2 & 1 == 1;
+            let r = apply(&n, &[("a", a), ("b", b), ("cin", c)]);
+            let total = u32::from(a) + u32::from(b) + u32::from(c);
+            assert_eq!(
+                r.wave("sum").expect("exists").last_value(),
+                Logic::from_bool(total & 1 == 1),
+                "sum for {v:03b}"
+            );
+            assert_eq!(
+                r.wave("cout").expect("exists").last_value(),
+                Logic::from_bool(total >= 2),
+                "cout for {v:03b}"
+            );
+        }
+    }
+
+    #[test]
+    fn glitches_propagate_with_delay() {
+        let mut n = Netlist::new("inv2");
+        let a = n.add_port_in("a");
+        let m = n.add_net("m");
+        let y = n.add_port_out("y");
+        n.add_gate(GateKind::Inv, &[a], m);
+        n.add_gate(GateKind::Inv, &[m], y);
+        let mut s = Stimuli::new("step");
+        s.set(0, "a", Logic::Zero);
+        s.set(10, "a", Logic::One);
+        let r = simulate(&n, &s, &NetDelays::default()).expect("ok");
+        // y follows a after two inverter delays.
+        assert_eq!(r.wave("y").expect("exists").at(11), Logic::Zero);
+        assert_eq!(r.wave("y").expect("exists").at(12), Logic::One);
+    }
+
+    #[test]
+    fn extra_net_delay_slows_outputs() {
+        let mut n = Netlist::new("inv");
+        let a = n.add_port_in("a");
+        let y = n.add_port_out("y");
+        n.add_gate(GateKind::Inv, &[a], y);
+        let mut s = Stimuli::new("step");
+        s.set(0, "a", Logic::Zero);
+        s.set(10, "a", Logic::One);
+
+        let fast = simulate(&n, &s, &NetDelays::default()).expect("ok");
+        let mut slow_delays = NetDelays::default();
+        slow_delays.insert(y, 7);
+        let slow = simulate(&n, &s, &slow_delays).expect("ok");
+        assert_eq!(fast.wave("y").expect("y").last_change(), 11);
+        assert_eq!(slow.wave("y").expect("y").last_change(), 18);
+    }
+
+    #[test]
+    fn transistor_netlist_is_rejected() {
+        let mut n = Netlist::new("inv");
+        let a = n.add_port_in("a");
+        let y = n.add_port_out("y");
+        n.add_mos(crate::netlist::MosKind::Nmos, a, Netlist::GND, y);
+        let s = Stimuli::new("s");
+        assert!(matches!(
+            simulate(&n, &s, &NetDelays::default()).unwrap_err(),
+            EdaError::WrongNetlistLevel { .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_stimulus_signal_is_rejected() {
+        let n = full_adder();
+        let mut s = Stimuli::new("bad");
+        s.set(0, "ghost", Logic::One);
+        assert!(matches!(
+            simulate(&n, &s, &NetDelays::default()).unwrap_err(),
+            EdaError::UnknownSignal { .. }
+        ));
+    }
+
+    #[test]
+    fn undriven_inputs_stay_x() {
+        let n = full_adder();
+        let r = apply(&n, &[("a", true), ("b", true)]); // cin undriven
+        assert_eq!(r.wave("cout").expect("exists").last_value(), Logic::One);
+        assert_eq!(r.wave("sum").expect("exists").last_value(), Logic::X);
+    }
+
+    #[test]
+    fn evaluation_count_is_positive() {
+        let n = full_adder();
+        let mut s = Stimuli::new("toggle");
+        for name in ["a", "b", "cin"] {
+            s.set(0, name, Logic::Zero);
+        }
+        s.set(50, "a", Logic::One);
+        let r = simulate(&n, &s, &NetDelays::default()).expect("ok");
+        assert!(r.evaluations >= 5, "every gate evaluated at least once");
+        assert!(r.total_transitions() > 0, "the toggle propagates");
+    }
+}
+
+#[cfg(test)]
+mod sequential_tests {
+    use super::*;
+    use crate::cells;
+
+    /// Drives `clk` with `pulses` rising edges, `period` apart,
+    /// starting at `offset`.
+    fn clock(s: &mut Stimuli, pulses: usize, period: u64, offset: u64) {
+        s.set(0, "clk", Logic::Zero);
+        for p in 0..pulses {
+            let rise = offset + p as u64 * period;
+            s.set(rise, "clk", Logic::One);
+            s.set(rise + period / 2, "clk", Logic::Zero);
+        }
+    }
+
+    #[test]
+    fn dff_samples_on_rising_edge_only() {
+        let sr = cells::shift_register(1);
+        let mut s = Stimuli::new("edge");
+        s.set(0, "din", Logic::Zero);
+        clock(&mut s, 1, 20, 10);
+        // din changes after the edge: must NOT be sampled.
+        s.set(12, "din", Logic::One);
+        let r = simulate(&sr, &s, &NetDelays::default()).expect("ok");
+        assert_eq!(
+            r.wave("dout").expect("exists").last_value(),
+            Logic::Zero,
+            "the post-edge din change is ignored until the next edge"
+        );
+    }
+
+    #[test]
+    fn shift_register_delays_by_n_cycles() {
+        let n = 4;
+        let sr = cells::shift_register(n);
+        let mut s = Stimuli::new("pattern");
+        // Pattern on din: 1,0,1,1 presented before edges at t=10,30,50,70.
+        let pattern = [Logic::One, Logic::Zero, Logic::One, Logic::One];
+        for (i, &bit) in pattern.iter().enumerate() {
+            s.set(i as u64 * 20 + 2, "din", bit);
+        }
+        clock(&mut s, 8, 20, 10);
+        let r = simulate(&sr, &s, &NetDelays::default()).expect("ok");
+        let dout = r.wave("dout").expect("exists");
+        // After edge k+n-1 (at t = 10 + (k+n-1)*20), dout shows
+        // pattern[k].
+        for (k, &bit) in pattern.iter().enumerate() {
+            let edge_t = 10 + (k as u64 + n as u64 - 1) * 20;
+            assert_eq!(
+                dout.at(edge_t + 5),
+                bit,
+                "pattern bit {k} appears {n} edges later"
+            );
+        }
+    }
+
+    #[test]
+    fn falling_edges_do_not_sample() {
+        let sr = cells::shift_register(1);
+        let mut s = Stimuli::new("fall");
+        s.set(0, "din", Logic::One);
+        s.set(0, "clk", Logic::One); // starts high: no 0->1 transition yet
+        s.set(10, "clk", Logic::Zero); // falling edge only
+        let r = simulate(&sr, &s, &NetDelays::default()).expect("ok");
+        assert_eq!(r.wave("dout").expect("exists").last_value(), Logic::X);
+    }
+
+    #[test]
+    fn mixed_sequential_and_combinational() {
+        // dout = NOT(q): an inverter fed by a flip-flop.
+        let mut n = Netlist::new("seqmix");
+        let din = n.add_port_in("din");
+        let clk = n.add_port_in("clk");
+        let q = n.add_net("q");
+        let out = n.add_port_out("out");
+        n.add_dff(din, clk, q);
+        n.add_gate(GateKind::Inv, &[q], out);
+        assert!(n.is_sequential());
+        assert!(n.is_gate_level());
+
+        let mut s = Stimuli::new("t");
+        s.set(0, "din", Logic::One);
+        clock(&mut s, 1, 20, 10);
+        let r = simulate(&n, &s, &NetDelays::default()).expect("ok");
+        assert_eq!(r.wave("q").expect("exists").last_value(), Logic::One);
+        assert_eq!(r.wave("out").expect("exists").last_value(), Logic::Zero);
+    }
+
+    #[test]
+    fn sequential_netlist_round_trips_as_text() {
+        let sr = cells::shift_register(3);
+        let text = sr.to_text();
+        assert!(text.contains(".dff d=din clk=clk q=q0"));
+        let back = Netlist::parse(&text).expect("parses");
+        assert_eq!(back, sr);
+        assert_eq!(back.dff_count(), 3);
+    }
+
+    #[test]
+    fn sequential_netlists_are_rejected_by_physical_tools() {
+        let sr = cells::shift_register(2);
+        assert!(crate::place::place(&sr, &crate::place::PlacementRules::default()).is_err());
+        assert!(crate::xtor::to_transistor_level(&sr).is_err());
+    }
+
+    #[test]
+    fn sequential_netlists_verify_against_themselves() {
+        let sr = cells::shift_register(2);
+        let report = crate::verify::verify(&sr, &sr).expect("comparable");
+        assert!(report.matched);
+        // A re-wired register is detected.
+        let mut other = cells::shift_register(2);
+        if let Device::Dff { d, .. } = &mut other.devices_mut()[1] {
+            *d = 0; // rewire to gnd
+        }
+        let report = crate::verify::verify(&sr, &other).expect("comparable");
+        assert!(!report.matched);
+    }
+}

@@ -1,0 +1,329 @@
+//! Statistical circuit optimizers.
+//!
+//! §3.3: "we have encapsulated three statistical circuit optimization
+//! tools that take exactly the same input arguments and produce the same
+//! type of output using this technique [shared encapsulation code]."
+//! The three tools here — hill climbing, annealing, random search — all
+//! have the signature `(netlist, device models, budget, seed) →
+//! optimized netlist + report`, sizing MOS widths to minimize expected
+//! delay under Monte-Carlo process variation.
+
+use rand::Rng as _;
+use rand::SeedableRng as _;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::device::DeviceModels;
+use crate::error::EdaError;
+use crate::netlist::{Device, MosKind, Netlist};
+
+/// Which of the three optimizers to run. All three share this module's
+/// encapsulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OptimizerKind {
+    /// Greedy coordinate hill climbing.
+    HillClimb,
+    /// Simulated annealing with a geometric cooling schedule.
+    Anneal,
+    /// Pure random search (the baseline of baselines).
+    RandomSearch,
+}
+
+impl OptimizerKind {
+    /// All three tools, in catalog order.
+    pub fn all() -> [OptimizerKind; 3] {
+        [
+            OptimizerKind::HillClimb,
+            OptimizerKind::Anneal,
+            OptimizerKind::RandomSearch,
+        ]
+    }
+
+    /// Display name used for tool instances.
+    pub fn name(self) -> &'static str {
+        match self {
+            OptimizerKind::HillClimb => "hillclimb",
+            OptimizerKind::Anneal => "anneal",
+            OptimizerKind::RandomSearch => "random-search",
+        }
+    }
+}
+
+/// The optimization report accompanying the optimized netlist.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptReport {
+    /// Optimizer that ran.
+    pub kind: OptimizerKind,
+    /// Cost of the input sizing.
+    pub initial_cost: f64,
+    /// Cost of the final sizing.
+    pub final_cost: f64,
+    /// Cost evaluations spent.
+    pub evaluations: u64,
+}
+
+impl OptReport {
+    /// Relative improvement, 0 when the optimizer achieved nothing.
+    pub fn improvement(&self) -> f64 {
+        if self.initial_cost <= 0.0 {
+            return 0.0;
+        }
+        (self.initial_cost - self.final_cost) / self.initial_cost
+    }
+}
+
+/// Expected-cost model: Monte-Carlo over process variation.
+///
+/// Per transistor: delay ≈ load / (k · width), with `k` sampled around
+/// the model value; area penalty proportional to total width. The load
+/// of a device is the fan-out of its drain net.
+pub fn cost(netlist: &Netlist, models: &DeviceModels, samples: u32, seed: u64) -> f64 {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut fanout = vec![0u32; netlist.net_count()];
+    for d in netlist.devices() {
+        if let Device::Mos { gate, .. } = d {
+            fanout[*gate] += 1;
+        }
+    }
+    let mut total = 0.0;
+    for _ in 0..samples.max(1) {
+        let mut sample_cost = 0.0;
+        for d in netlist.devices() {
+            if let Device::Mos {
+                kind, drain, width, ..
+            } = d
+            {
+                let m = match kind {
+                    MosKind::Nmos => &models.nmos,
+                    MosKind::Pmos => &models.pmos,
+                };
+                // Uniform variation in ±2 sigma, deterministic per seed.
+                let variation = 1.0 + m.sigma * (rng.random::<f64>() * 4.0 - 2.0);
+                let k = (m.k * variation).max(1e-6);
+                let load = 1.0 + f64::from(fanout[*drain]);
+                sample_cost += load / (k * width.max(0.05));
+            }
+        }
+        total += sample_cost;
+    }
+    let area: f64 = netlist
+        .devices()
+        .iter()
+        .filter_map(|d| match d {
+            Device::Mos { width, .. } => Some(*width),
+            Device::Gate { .. } | Device::Dff { .. } => None,
+        })
+        .sum();
+    total / f64::from(samples.max(1)) + 0.1 * area
+}
+
+fn widths(netlist: &Netlist) -> Vec<f64> {
+    netlist
+        .devices()
+        .iter()
+        .filter_map(|d| match d {
+            Device::Mos { width, .. } => Some(*width),
+            Device::Gate { .. } | Device::Dff { .. } => None,
+        })
+        .collect()
+}
+
+fn set_widths(netlist: &mut Netlist, ws: &[f64]) {
+    let mut i = 0;
+    for d in netlist.devices_mut() {
+        if let Device::Mos { width, .. } = d {
+            *width = ws[i].clamp(0.1, 16.0);
+            i += 1;
+        }
+    }
+}
+
+/// Runs one of the three optimizers for `budget` cost evaluations.
+/// Returns the re-sized netlist and its report. Deterministic per seed.
+///
+/// # Errors
+///
+/// Returns [`EdaError::NothingToOptimize`] for netlists without MOS
+/// devices.
+///
+/// # Examples
+///
+/// ```
+/// use hercules_eda::{cosmos, optimize, DeviceModels, OptimizerKind};
+///
+/// # fn main() -> Result<(), hercules_eda::EdaError> {
+/// let netlist = cosmos::nand2_transistors();
+/// let models = DeviceModels::default_1993();
+/// let (better, report) =
+///     optimize(OptimizerKind::HillClimb, &netlist, &models, 200, 1)?;
+/// assert!(report.final_cost <= report.initial_cost);
+/// assert_eq!(better.mos_count(), netlist.mos_count());
+/// # Ok(())
+/// # }
+/// ```
+pub fn optimize(
+    kind: OptimizerKind,
+    netlist: &Netlist,
+    models: &DeviceModels,
+    budget: u64,
+    seed: u64,
+) -> Result<(Netlist, OptReport), EdaError> {
+    let mut current = netlist.clone();
+    let n_widths = widths(&current).len();
+    if n_widths == 0 {
+        return Err(EdaError::NothingToOptimize);
+    }
+    let samples = 8u32;
+    let mut evaluations = 0u64;
+    let eval = |n: &Netlist, evals: &mut u64| {
+        *evals += 1;
+        cost(n, models, samples, seed)
+    };
+    let initial_cost = eval(&current, &mut evaluations);
+    let mut current_cost = initial_cost;
+    let mut best = current.clone();
+    let mut best_cost = current_cost;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(kind as u64));
+
+    while evaluations < budget {
+        let mut ws = widths(&current);
+        match kind {
+            OptimizerKind::HillClimb => {
+                let i = rng.random_range(0..n_widths);
+                let step = if rng.random::<bool>() { 1.25 } else { 0.8 };
+                ws[i] *= step;
+                let mut cand = current.clone();
+                set_widths(&mut cand, &ws);
+                let c = eval(&cand, &mut evaluations);
+                if c < current_cost {
+                    current = cand;
+                    current_cost = c;
+                }
+            }
+            OptimizerKind::Anneal => {
+                let i = rng.random_range(0..n_widths);
+                ws[i] *= 1.0 + (rng.random::<f64>() - 0.5);
+                let mut cand = current.clone();
+                set_widths(&mut cand, &ws);
+                let c = eval(&cand, &mut evaluations);
+                let temp = 1.0 * (1.0 - evaluations as f64 / budget as f64).max(1e-3);
+                let accept = c < current_cost
+                    || rng.random::<f64>() < (-(c - current_cost) / temp).exp();
+                if accept {
+                    current = cand;
+                    current_cost = c;
+                }
+            }
+            OptimizerKind::RandomSearch => {
+                for w in ws.iter_mut() {
+                    *w = 0.1 + rng.random::<f64>() * 7.9;
+                }
+                let mut cand = current.clone();
+                set_widths(&mut cand, &ws);
+                current_cost = eval(&cand, &mut evaluations);
+                current = cand;
+            }
+        }
+        if current_cost < best_cost {
+            best_cost = current_cost;
+            best = current.clone();
+        }
+    }
+
+    let mut optimized = best;
+    optimized.name = format!("{}_opt_{}", netlist.name, kind.name());
+    Ok((
+        optimized,
+        OptReport {
+            kind,
+            initial_cost,
+            final_cost: best_cost,
+            evaluations,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cosmos::nand2_transistors;
+
+    #[test]
+    fn all_three_optimizers_improve_or_hold() {
+        let n = nand2_transistors();
+        let m = DeviceModels::default_1993();
+        for kind in OptimizerKind::all() {
+            let (out, report) = optimize(kind, &n, &m, 300, 7).expect("ok");
+            assert!(
+                report.final_cost <= report.initial_cost,
+                "{kind:?} regressed"
+            );
+            assert!(report.improvement() >= 0.0);
+            assert_eq!(out.mos_count(), n.mos_count());
+            assert!(out.name.contains(kind.name()));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let n = nand2_transistors();
+        let m = DeviceModels::default_1993();
+        let (a, ra) = optimize(OptimizerKind::Anneal, &n, &m, 200, 11).expect("ok");
+        let (b, rb) = optimize(OptimizerKind::Anneal, &n, &m, 200, 11).expect("ok");
+        assert_eq!(a, b);
+        assert_eq!(ra, rb);
+        let (_, rc) = optimize(OptimizerKind::Anneal, &n, &m, 200, 12).expect("ok");
+        assert_ne!(ra.final_cost, rc.final_cost);
+    }
+
+    #[test]
+    fn hill_climb_beats_random_search_on_average() {
+        let n = nand2_transistors();
+        let m = DeviceModels::default_1993();
+        let mut hc_total = 0.0;
+        let mut rs_total = 0.0;
+        for seed in 0..5 {
+            hc_total += optimize(OptimizerKind::HillClimb, &n, &m, 400, seed)
+                .expect("ok")
+                .1
+                .final_cost;
+            rs_total += optimize(OptimizerKind::RandomSearch, &n, &m, 400, seed)
+                .expect("ok")
+                .1
+                .final_cost;
+        }
+        assert!(
+            hc_total <= rs_total * 1.05,
+            "hill climbing should be at least competitive: {hc_total} vs {rs_total}"
+        );
+    }
+
+    #[test]
+    fn gate_level_netlist_has_nothing_to_optimize() {
+        let n = crate::cells::full_adder();
+        let m = DeviceModels::default_1993();
+        assert_eq!(
+            optimize(OptimizerKind::HillClimb, &n, &m, 10, 0).unwrap_err(),
+            EdaError::NothingToOptimize
+        );
+    }
+
+    #[test]
+    fn widths_stay_in_bounds() {
+        let n = nand2_transistors();
+        let m = DeviceModels::default_1993();
+        let (out, _) = optimize(OptimizerKind::RandomSearch, &n, &m, 100, 3).expect("ok");
+        for d in out.devices() {
+            if let Device::Mos { width, .. } = d {
+                assert!(*width >= 0.1 && *width <= 16.0);
+            }
+        }
+    }
+
+    #[test]
+    fn cost_is_deterministic() {
+        let n = nand2_transistors();
+        let m = DeviceModels::default_1993();
+        assert_eq!(cost(&n, &m, 8, 5), cost(&n, &m, 8, 5));
+    }
+}

@@ -1,0 +1,198 @@
+//! Performance analysis: the `Performance` entity produced by the
+//! `Simulator` task of Fig. 1.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::DeviceModels;
+use crate::error::EdaError;
+use crate::logic_sim::{simulate, NetDelays, SimResult};
+use crate::netlist::Netlist;
+use crate::stimuli::Stimuli;
+
+/// Per-output timing of one simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OutputTiming {
+    /// Output net name.
+    pub net: String,
+    /// Time of the last change on this output.
+    pub settle_time: u64,
+    /// Number of transitions observed.
+    pub transitions: usize,
+}
+
+/// A circuit performance report: the artifact the simulator produces
+/// and the plotter consumes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Performance {
+    /// Circuit name.
+    pub circuit: String,
+    /// Stimulus-set name.
+    pub stimuli: String,
+    /// Worst-case output settle time (critical delay), scaled by the
+    /// device models' drive strength.
+    pub delay: f64,
+    /// Total transitions across all nets (dynamic activity).
+    pub transitions: usize,
+    /// Estimated dynamic power: activity × Vdd².
+    pub power: f64,
+    /// Gate evaluations spent by the simulator.
+    pub evaluations: u64,
+    /// Per-output detail.
+    pub outputs: Vec<OutputTiming>,
+}
+
+impl Performance {
+    /// Analyzes a gate-level netlist under stimuli and device models,
+    /// with optional extracted parasitics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors (wrong netlist level, unknown
+    /// signals).
+    pub fn analyze(
+        netlist: &Netlist,
+        stimuli: &Stimuli,
+        models: &DeviceModels,
+        parasitics: &NetDelays,
+    ) -> Result<Performance, EdaError> {
+        let result = simulate(netlist, stimuli, parasitics)?;
+        Ok(Performance::from_sim(netlist, stimuli, models, &result))
+    }
+
+    /// Builds the report from an existing simulation result.
+    pub fn from_sim(
+        netlist: &Netlist,
+        stimuli: &Stimuli,
+        models: &DeviceModels,
+        result: &SimResult,
+    ) -> Performance {
+        // Drive strength scales delay inversely: weaker k = slower.
+        let strength = (models.nmos.k + models.pmos.k) / 2.0;
+        let outputs: Vec<OutputTiming> = netlist
+            .outputs()
+            .iter()
+            .map(|&o| OutputTiming {
+                net: netlist.net_name(o).to_owned(),
+                settle_time: result.waves[o].last_change(),
+                transitions: result.waves[o].transitions(),
+            })
+            .collect();
+        let worst = outputs.iter().map(|o| o.settle_time).max().unwrap_or(0);
+        let transitions = result.total_transitions();
+        Performance {
+            circuit: netlist.name.clone(),
+            stimuli: stimuli.name.clone(),
+            delay: worst as f64 / strength.max(1e-9),
+            transitions,
+            power: transitions as f64 * models.vdd * models.vdd,
+            evaluations: result.evaluations,
+            outputs,
+        }
+    }
+
+    /// Emits the canonical byte form (JSON).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("performance serializes")
+    }
+
+    /// Parses the canonical byte form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdaError::Parse`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Performance, EdaError> {
+        serde_json::from_slice(bytes).map_err(|e| EdaError::Parse {
+            what: "performance".into(),
+            detail: e.to_string(),
+        })
+    }
+
+    /// Returns the settle-time series (output name, time) used by the
+    /// plotter.
+    pub fn series(&self) -> Vec<(&str, u64)> {
+        self.outputs
+            .iter()
+            .map(|o| (o.net.as_str(), o.settle_time))
+            .collect()
+    }
+}
+
+/// Computes extracted-parasitic delays from wire lengths: one extra
+/// time unit per `units_per_delay` of wire attached to each net.
+pub fn parasitics_from_wire_lengths(
+    wire_lengths: &HashMap<usize, u64>,
+    units_per_delay: u64,
+) -> NetDelays {
+    wire_lengths
+        .iter()
+        .map(|(&net, &len)| (net, len / units_per_delay.max(1)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells;
+
+    fn adder_perf(models: &DeviceModels) -> Performance {
+        let n = cells::full_adder();
+        let s = Stimuli::exhaustive(&["a", "b", "cin"], 50);
+        Performance::analyze(&n, &s, models, &NetDelays::default()).expect("ok")
+    }
+
+    #[test]
+    fn report_contains_outputs_and_positive_delay() {
+        let p = adder_perf(&DeviceModels::default_1993());
+        assert_eq!(p.circuit, "full_adder");
+        assert_eq!(p.outputs.len(), 2);
+        assert!(p.delay > 0.0);
+        assert!(p.power > 0.0);
+        assert!(p.evaluations > 0);
+        assert_eq!(p.series().len(), 2);
+    }
+
+    #[test]
+    fn weaker_models_report_longer_delay() {
+        let strong = DeviceModels::default_1993();
+        let mut weak = strong.clone();
+        weak.nmos.k = 0.5;
+        weak.pmos.k = 0.2;
+        let p_strong = adder_perf(&strong);
+        let p_weak = adder_perf(&weak);
+        assert!(p_weak.delay > p_strong.delay);
+    }
+
+    #[test]
+    fn parasitics_increase_delay() {
+        let n = cells::full_adder();
+        let s = Stimuli::exhaustive(&["a", "b", "cin"], 50);
+        let m = DeviceModels::default_1993();
+        let ideal = Performance::analyze(&n, &s, &m, &NetDelays::default()).expect("ok");
+        let mut heavy = NetDelays::default();
+        for i in 0..n.net_count() {
+            heavy.insert(i, 5);
+        }
+        let loaded = Performance::analyze(&n, &s, &m, &heavy).expect("ok");
+        assert!(loaded.delay > ideal.delay);
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let p = adder_perf(&DeviceModels::default_1993());
+        let back = Performance::from_bytes(&p.to_bytes()).expect("ok");
+        assert_eq!(back, p);
+        assert!(Performance::from_bytes(b"not json").is_err());
+    }
+
+    #[test]
+    fn wire_length_conversion() {
+        let mut lens = HashMap::new();
+        lens.insert(3usize, 100u64);
+        lens.insert(4usize, 9u64);
+        let d = parasitics_from_wire_lengths(&lens, 10);
+        assert_eq!(d.get(&3), Some(&10));
+        assert_eq!(d.get(&4), Some(&0));
+    }
+}

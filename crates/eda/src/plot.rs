@@ -1,0 +1,161 @@
+//! The plotter tool (the `Plotter` of Fig. 1): renders performance
+//! reports and waveforms as ASCII plots (the `PerformancePlot` entity).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::EdaError;
+use crate::perf::Performance;
+use crate::signal::{Logic, Waveform};
+
+/// A rendered plot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Plot {
+    /// Plot title.
+    pub title: String,
+    /// Rendered text lines.
+    pub lines: Vec<String>,
+}
+
+impl Plot {
+    /// Renders a bar chart of output settle times from a performance
+    /// report.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hercules_eda::{cells, DeviceModels, Performance, Plot, Stimuli};
+    ///
+    /// # fn main() -> Result<(), hercules_eda::EdaError> {
+    /// let adder = cells::full_adder();
+    /// let stim = Stimuli::exhaustive(&["a", "b", "cin"], 50);
+    /// let perf = Performance::analyze(
+    ///     &adder, &stim, &DeviceModels::default_1993(), &Default::default())?;
+    /// let plot = Plot::from_performance(&perf);
+    /// assert!(plot.to_text().contains("sum"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn from_performance(perf: &Performance) -> Plot {
+        let series = perf.series();
+        let max = series.iter().map(|&(_, v)| v).max().unwrap_or(0).max(1);
+        let width = 40usize;
+        let name_w = series.iter().map(|(n, _)| n.len()).max().unwrap_or(4);
+        let mut lines = Vec::new();
+        lines.push(format!(
+            "circuit {} / stimuli {} (delay {:.1}, power {:.0})",
+            perf.circuit, perf.stimuli, perf.delay, perf.power
+        ));
+        for (name, v) in series {
+            let bars = (v as usize * width) / max as usize;
+            lines.push(format!(
+                "{name:<name_w$} | {}{} {v}",
+                "#".repeat(bars),
+                " ".repeat(width - bars)
+            ));
+        }
+        Plot {
+            title: format!("settle times: {}", perf.circuit),
+            lines,
+        }
+    }
+
+    /// Renders waveforms as timing diagrams, one row per signal, with
+    /// `end_time / width` time units per column.
+    pub fn from_waveforms(title: &str, waves: &[(&str, &Waveform)], end_time: u64) -> Plot {
+        let width = 60usize;
+        let name_w = waves.iter().map(|(n, _)| n.len()).max().unwrap_or(4);
+        let mut lines = Vec::new();
+        for (name, w) in waves {
+            let mut row = String::new();
+            for col in 0..width {
+                let t = end_time * col as u64 / width.max(1) as u64;
+                row.push(match w.at(t) {
+                    Logic::Zero => '_',
+                    Logic::One => '#',
+                    Logic::X => 'x',
+                    Logic::Z => '.',
+                });
+            }
+            lines.push(format!("{name:<name_w$} {row}"));
+        }
+        Plot {
+            title: title.to_owned(),
+            lines,
+        }
+    }
+
+    /// Returns the full rendered text.
+    pub fn to_text(&self) -> String {
+        let mut out = format!("== {} ==\n", self.title);
+        for l in &self.lines {
+            out.push_str(l);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Emits the canonical byte form (JSON).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("plot serializes")
+    }
+
+    /// Parses the canonical byte form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdaError::Parse`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Plot, EdaError> {
+        serde_json::from_slice(bytes).map_err(|e| EdaError::Parse {
+            what: "plot".into(),
+            detail: e.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells;
+    use crate::device::DeviceModels;
+    use crate::stimuli::Stimuli;
+
+    fn perf() -> Performance {
+        let adder = cells::full_adder();
+        let stim = Stimuli::exhaustive(&["a", "b", "cin"], 50);
+        Performance::analyze(
+            &adder,
+            &stim,
+            &DeviceModels::default_1993(),
+            &Default::default(),
+        )
+        .expect("ok")
+    }
+
+    #[test]
+    fn performance_plot_shows_every_output() {
+        let plot = Plot::from_performance(&perf());
+        let text = plot.to_text();
+        assert!(text.contains("sum"));
+        assert!(text.contains("cout"));
+        assert!(text.contains('#'));
+    }
+
+    #[test]
+    fn waveform_plot_shows_levels() {
+        let mut w = Waveform::new();
+        w.push(0, Logic::Zero);
+        w.push(30, Logic::One);
+        let plot = Plot::from_waveforms("t", &[("sig", &w)], 60);
+        let text = plot.to_text();
+        assert!(text.contains('_'), "low level drawn");
+        assert!(text.contains('#'), "high level drawn");
+        assert!(text.starts_with("== t =="));
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let plot = Plot::from_performance(&perf());
+        assert_eq!(Plot::from_bytes(&plot.to_bytes()).expect("ok"), plot);
+        assert!(Plot::from_bytes(b"x").is_err());
+    }
+}

@@ -1,0 +1,204 @@
+//! Four-valued logic and waveforms.
+
+use std::fmt;
+use std::ops::Not;
+
+use serde::{Deserialize, Serialize};
+
+/// A four-valued logic level, as used by switch- and gate-level
+/// simulators of the COSMOS era.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Logic {
+    /// Strong low.
+    Zero,
+    /// Strong high.
+    One,
+    /// Unknown.
+    X,
+    /// High impedance.
+    Z,
+}
+
+impl Logic {
+    /// Parses a single-character logic level (`0`, `1`, `x`/`X`,
+    /// `z`/`Z`).
+    pub fn from_char(c: char) -> Option<Logic> {
+        match c {
+            '0' => Some(Logic::Zero),
+            '1' => Some(Logic::One),
+            'x' | 'X' => Some(Logic::X),
+            'z' | 'Z' => Some(Logic::Z),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for the two driven, known levels.
+    pub fn is_known(self) -> bool {
+        matches!(self, Logic::Zero | Logic::One)
+    }
+
+    /// Converts a boolean to a logic level.
+    pub fn from_bool(b: bool) -> Logic {
+        if b {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+
+    /// Three-input majority-style AND over four-valued logic.
+    pub fn and(self, other: Logic) -> Logic {
+        match (self, other) {
+            (Logic::Zero, _) | (_, Logic::Zero) => Logic::Zero,
+            (Logic::One, Logic::One) => Logic::One,
+            _ => Logic::X,
+        }
+    }
+
+    /// Four-valued OR.
+    pub fn or(self, other: Logic) -> Logic {
+        match (self, other) {
+            (Logic::One, _) | (_, Logic::One) => Logic::One,
+            (Logic::Zero, Logic::Zero) => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+
+    /// Four-valued XOR (unknown if either side is unknown/floating).
+    pub fn xor(self, other: Logic) -> Logic {
+        match (self, other) {
+            (Logic::Zero, Logic::Zero) | (Logic::One, Logic::One) => Logic::Zero,
+            (Logic::Zero, Logic::One) | (Logic::One, Logic::Zero) => Logic::One,
+            _ => Logic::X,
+        }
+    }
+}
+
+impl Not for Logic {
+    type Output = Logic;
+
+    fn not(self) -> Logic {
+        match self {
+            Logic::Zero => Logic::One,
+            Logic::One => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Logic::Zero => '0',
+            Logic::One => '1',
+            Logic::X => 'X',
+            Logic::Z => 'Z',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// One signal's value changes over time: `(time, value)` pairs in
+/// non-decreasing time order.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Waveform {
+    /// Change events in time order.
+    pub events: Vec<(u64, Logic)>,
+}
+
+impl Waveform {
+    /// Creates an empty waveform (implicitly `X` everywhere).
+    pub fn new() -> Waveform {
+        Waveform::default()
+    }
+
+    /// Appends a change, dropping it if the value did not change.
+    pub fn push(&mut self, time: u64, value: Logic) {
+        if let Some(&(_, last)) = self.events.last() {
+            if last == value {
+                return;
+            }
+        }
+        self.events.push((time, value));
+    }
+
+    /// Returns the value at `time` (the most recent change at or before
+    /// it), or `X` before the first event.
+    pub fn at(&self, time: u64) -> Logic {
+        self.events
+            .iter()
+            .take_while(|&&(t, _)| t <= time)
+            .last()
+            .map(|&(_, v)| v)
+            .unwrap_or(Logic::X)
+    }
+
+    /// Returns the number of value changes (transitions), not counting
+    /// the initial assignment.
+    pub fn transitions(&self) -> usize {
+        self.events.len().saturating_sub(1)
+    }
+
+    /// Returns the final value, or `X` for an empty waveform.
+    pub fn last_value(&self) -> Logic {
+        self.events.last().map(|&(_, v)| v).unwrap_or(Logic::X)
+    }
+
+    /// Returns the time of the last change, or 0 when empty.
+    pub fn last_change(&self) -> u64 {
+        self.events.last().map(|&(t, _)| t).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_tables() {
+        use Logic::{One, X, Zero, Z};
+        assert_eq!(Zero.and(One), Zero);
+        assert_eq!(One.and(One), One);
+        assert_eq!(X.and(One), X);
+        assert_eq!(X.and(Zero), Zero, "0 dominates and");
+        assert_eq!(One.or(X), One, "1 dominates or");
+        assert_eq!(Zero.or(Zero), Zero);
+        assert_eq!(Z.or(Zero), X);
+        assert_eq!(One.xor(Zero), One);
+        assert_eq!(One.xor(One), Zero);
+        assert_eq!(One.xor(X), X);
+        assert_eq!(!One, Zero);
+        assert_eq!(!Z, X);
+    }
+
+    #[test]
+    fn char_round_trip() {
+        for c in ['0', '1', 'X', 'Z'] {
+            let v = Logic::from_char(c).expect("valid");
+            assert_eq!(v.to_string(), c.to_string());
+        }
+        assert_eq!(Logic::from_char('q'), None);
+        assert!(Logic::One.is_known());
+        assert!(!Logic::Z.is_known());
+        assert_eq!(Logic::from_bool(true), Logic::One);
+    }
+
+    #[test]
+    fn waveform_queries() {
+        let mut w = Waveform::new();
+        w.push(0, Logic::Zero);
+        w.push(5, Logic::One);
+        w.push(5, Logic::One); // duplicate value dropped
+        w.push(9, Logic::Zero);
+        assert_eq!(w.at(0), Logic::Zero);
+        assert_eq!(w.at(4), Logic::Zero);
+        assert_eq!(w.at(5), Logic::One);
+        assert_eq!(w.at(100), Logic::Zero);
+        assert_eq!(w.transitions(), 2);
+        assert_eq!(w.last_change(), 9);
+        assert_eq!(Waveform::new().at(3), Logic::X);
+        assert_eq!(Waveform::new().transitions(), 0);
+    }
+}

@@ -1,0 +1,242 @@
+//! Simulation stimuli: timed input events with a text format and
+//! deterministic generators.
+
+use std::fmt;
+
+use rand::Rng as _;
+use rand::SeedableRng as _;
+use serde::{Deserialize, Serialize};
+
+use crate::error::EdaError;
+use crate::signal::Logic;
+
+/// A stimulus set: events `(time, signal, value)` applied to primary
+/// inputs during simulation.
+///
+/// # Examples
+///
+/// ```
+/// use hercules_eda::{Logic, Stimuli};
+///
+/// let mut s = Stimuli::new("pulse");
+/// s.set(0, "a", Logic::Zero);
+/// s.set(10, "a", Logic::One);
+/// assert_eq!(s.len(), 2);
+/// let back = Stimuli::parse(&s.to_text()).expect("round-trips");
+/// assert_eq!(back, s);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stimuli {
+    /// Stimulus-set name.
+    pub name: String,
+    events: Vec<(u64, String, Logic)>,
+}
+
+impl Stimuli {
+    /// Creates an empty stimulus set.
+    pub fn new(name: &str) -> Stimuli {
+        Stimuli {
+            name: name.to_owned(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Schedules `signal` to take `value` at `time`.
+    pub fn set(&mut self, time: u64, signal: &str, value: Logic) {
+        self.events.push((time, signal.to_owned(), value));
+        self.events.sort_by_key(|e| e.0);
+    }
+
+    /// Returns the events in time order.
+    pub fn events(&self) -> &[(u64, String, Logic)] {
+        &self.events
+    }
+
+    /// Returns the number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if there are no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Returns the latest event time (0 when empty).
+    pub fn end_time(&self) -> u64 {
+        self.events.iter().map(|e| e.0).max().unwrap_or(0)
+    }
+
+    /// Returns the distinct signal names driven, in first-use order.
+    pub fn signals(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for (_, s, _) in &self.events {
+            if !out.contains(&s.as_str()) {
+                out.push(s);
+            }
+        }
+        out
+    }
+
+    /// Generates an exhaustive walk over all 2^n combinations of the
+    /// given inputs, one combination every `period` time units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 16 inputs are requested (65536 vectors).
+    pub fn exhaustive(inputs: &[&str], period: u64) -> Stimuli {
+        assert!(inputs.len() <= 16, "exhaustive stimuli limited to 16 inputs");
+        let mut s = Stimuli::new("exhaustive");
+        for v in 0..(1u32 << inputs.len()) {
+            let t = u64::from(v) * period;
+            for (i, name) in inputs.iter().enumerate() {
+                s.set(t, name, Logic::from_bool(v >> i & 1 == 1));
+            }
+        }
+        s
+    }
+
+    /// Generates `vectors` random input combinations from a seed, one
+    /// every `period` time units. Deterministic for a given seed.
+    pub fn random(inputs: &[&str], vectors: usize, period: u64, seed: u64) -> Stimuli {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut s = Stimuli::new("random");
+        for v in 0..vectors {
+            let t = v as u64 * period;
+            for name in inputs {
+                s.set(t, name, Logic::from_bool(rng.random::<bool>()));
+            }
+        }
+        s
+    }
+
+    /// Emits the canonical text form.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, ".stimuli {}", self.name);
+        for (t, sig, v) in &self.events {
+            let _ = writeln!(out, "{t} {sig} {v}");
+        }
+        out.push_str(".end\n");
+        out
+    }
+
+    /// Emits the canonical byte form.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_text().into_bytes()
+    }
+
+    /// Parses the canonical text form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdaError::Parse`] on malformed input.
+    pub fn parse(text: &str) -> Result<Stimuli, EdaError> {
+        let err = |detail: &str| EdaError::Parse {
+            what: "stimuli".into(),
+            detail: detail.to_owned(),
+        };
+        let mut out: Option<Stimuli> = None;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix(".stimuli") {
+                out = Some(Stimuli::new(rest.trim()));
+                continue;
+            }
+            if line == ".end" {
+                break;
+            }
+            let s = out.as_mut().ok_or_else(|| err("event before .stimuli"))?;
+            let mut parts = line.split_whitespace();
+            let t: u64 = parts
+                .next()
+                .ok_or_else(|| err("missing time"))?
+                .parse()
+                .map_err(|_| err("bad time"))?;
+            let sig = parts.next().ok_or_else(|| err("missing signal"))?;
+            let v = parts
+                .next()
+                .and_then(|v| v.chars().next())
+                .and_then(Logic::from_char)
+                .ok_or_else(|| err("bad value"))?;
+            s.set(t, sig, v);
+        }
+        out.ok_or_else(|| err("no .stimuli directive"))
+    }
+
+    /// Parses the canonical byte form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdaError::Parse`] on malformed or non-UTF-8 input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Stimuli, EdaError> {
+        let text = std::str::from_utf8(bytes).map_err(|_| EdaError::Parse {
+            what: "stimuli".into(),
+            detail: "not utf-8".into(),
+        })?;
+        Stimuli::parse(text)
+    }
+}
+
+impl fmt::Display for Stimuli {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} events)", self.name, self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_sort_by_time() {
+        let mut s = Stimuli::new("t");
+        s.set(10, "a", Logic::One);
+        s.set(0, "a", Logic::Zero);
+        assert_eq!(s.events()[0].0, 0);
+        assert_eq!(s.end_time(), 10);
+        assert_eq!(s.signals(), vec!["a"]);
+    }
+
+    #[test]
+    fn exhaustive_covers_all_vectors() {
+        let s = Stimuli::exhaustive(&["a", "b"], 5);
+        assert_eq!(s.len(), 8, "4 vectors x 2 signals");
+        assert_eq!(s.end_time(), 15);
+        // Vector 3 = a=1, b=1 at t=15.
+        let last: Vec<_> = s.events().iter().filter(|e| e.0 == 15).collect();
+        assert!(last.iter().all(|e| e.2 == Logic::One));
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let a = Stimuli::random(&["x", "y"], 10, 3, 42);
+        let b = Stimuli::random(&["x", "y"], 10, 3, 42);
+        let c = Stimuli::random(&["x", "y"], 10, 3, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 20);
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let s = Stimuli::exhaustive(&["a"], 4);
+        let back = Stimuli::parse(&s.to_text()).expect("ok");
+        assert_eq!(back, s);
+        let back = Stimuli::from_bytes(&s.to_bytes()).expect("ok");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Stimuli::parse("").is_err());
+        assert!(Stimuli::parse("0 a 1").is_err());
+        assert!(Stimuli::parse(".stimuli s\nnope a 1").is_err());
+        assert!(Stimuli::parse(".stimuli s\n0 a q").is_err());
+        assert!(Stimuli::from_bytes(&[0xff]).is_err());
+    }
+}

@@ -1,0 +1,244 @@
+//! The verifier tool (the `Verifier` of Fig. 1): LVS-style comparison
+//! of two netlists, used by the Fig. 8b flow to check that the physical
+//! view corresponds to the transistor view.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::EdaError;
+use crate::netlist::{Device, Netlist};
+
+/// One discrepancy found during comparison.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mismatch {
+    /// Human-readable description.
+    pub description: String,
+}
+
+/// A verification report (the `Verification` entity).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Verification {
+    /// Name of the reference netlist.
+    pub reference: String,
+    /// Name of the compared netlist.
+    pub compared: String,
+    /// `true` when the netlists are structurally equivalent.
+    pub matched: bool,
+    /// Discrepancies, empty when matched.
+    pub mismatches: Vec<Mismatch>,
+}
+
+impl Verification {
+    /// Emits the canonical byte form (JSON).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("verification serializes")
+    }
+
+    /// Parses the canonical byte form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdaError::Parse`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Verification, EdaError> {
+        serde_json::from_slice(bytes).map_err(|e| EdaError::Parse {
+            what: "verification".into(),
+            detail: e.to_string(),
+        })
+    }
+}
+
+/// Canonical signature of one gate: kind plus the *names* of its nets,
+/// with inputs sorted (gate inputs are commutative in this library).
+fn gate_signature(netlist: &Netlist, device: &Device) -> Option<String> {
+    match device {
+        Device::Gate {
+            kind,
+            inputs,
+            output,
+        } => {
+            let mut ins: Vec<&str> = inputs.iter().map(|&i| netlist.net_name(i)).collect();
+            ins.sort_unstable();
+            Some(format!(
+                "{} ({}) -> {}",
+                kind.keyword(),
+                ins.join(","),
+                netlist.net_name(*output)
+            ))
+        }
+        Device::Dff { d, clk, q } => Some(format!(
+            "dff ({},{}) -> {}",
+            netlist.net_name(*d),
+            netlist.net_name(*clk),
+            netlist.net_name(*q)
+        )),
+        Device::Mos { .. } => None,
+    }
+}
+
+/// Compares two gate-level netlists structurally: same ports, and the
+/// same multiset of gate signatures (net-name based — the extractor
+/// preserves names, as real extractors preserve labels).
+///
+/// # Errors
+///
+/// Returns [`EdaError::Incomparable`] when either netlist is
+/// transistor-level (compare like with like).
+///
+/// # Examples
+///
+/// ```
+/// use hercules_eda::{cells, verify};
+///
+/// # fn main() -> Result<(), hercules_eda::EdaError> {
+/// let a = cells::full_adder();
+/// let report = verify(&a, &a)?;
+/// assert!(report.matched);
+/// # Ok(())
+/// # }
+/// ```
+pub fn verify(reference: &Netlist, compared: &Netlist) -> Result<Verification, EdaError> {
+    if !reference.is_gate_level() || !compared.is_gate_level() {
+        return Err(EdaError::Incomparable {
+            reason: "both netlists must be gate-level".into(),
+        });
+    }
+    let mut mismatches = Vec::new();
+
+    let ports = |n: &Netlist| -> (Vec<String>, Vec<String>) {
+        let mut ins: Vec<String> = n
+            .inputs()
+            .iter()
+            .map(|&i| n.net_name(i).to_owned())
+            .collect();
+        let mut outs: Vec<String> = n
+            .outputs()
+            .iter()
+            .map(|&o| n.net_name(o).to_owned())
+            .collect();
+        ins.sort();
+        outs.sort();
+        (ins, outs)
+    };
+    let (ri, ro) = ports(reference);
+    let (ci, co) = ports(compared);
+    if ri != ci {
+        mismatches.push(Mismatch {
+            description: format!("input ports differ: {ri:?} vs {ci:?}"),
+        });
+    }
+    if ro != co {
+        mismatches.push(Mismatch {
+            description: format!("output ports differ: {ro:?} vs {co:?}"),
+        });
+    }
+
+    let sigs = |n: &Netlist| -> Vec<String> {
+        let mut s: Vec<String> = n
+            .devices()
+            .iter()
+            .filter_map(|d| gate_signature(n, d))
+            .collect();
+        s.sort();
+        s
+    };
+    let rs = sigs(reference);
+    let cs = sigs(compared);
+    for s in &rs {
+        if !cs.contains(s) {
+            mismatches.push(Mismatch {
+                description: format!("missing in compared: {s}"),
+            });
+        }
+    }
+    for s in &cs {
+        if !rs.contains(s) {
+            mismatches.push(Mismatch {
+                description: format!("extra in compared: {s}"),
+            });
+        }
+    }
+
+    Ok(Verification {
+        reference: reference.name.clone(),
+        compared: compared.name.clone(),
+        matched: mismatches.is_empty(),
+        mismatches,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells;
+    use crate::extract::extract;
+    use crate::place::{place, PlacementRules};
+
+    #[test]
+    fn extracted_netlist_matches_source() {
+        let n = cells::ripple_adder(4);
+        let layout = place(&n, &PlacementRules::default()).expect("ok");
+        let (ex, _) = extract(&layout);
+        let report = verify(&n, &ex.netlist).expect("comparable");
+        assert!(report.matched, "{:?}", report.mismatches);
+    }
+
+    #[test]
+    fn modified_netlist_is_detected() {
+        let a = cells::full_adder();
+        let mut b = cells::full_adder();
+        // Swap a gate kind: a real LVS error.
+        if let Device::Gate { kind, .. } = &mut b.devices_mut()[0] {
+            *kind = crate::netlist::GateKind::Nand;
+        }
+        let report = verify(&a, &b).expect("comparable");
+        assert!(!report.matched);
+        assert!(report.mismatches.len() >= 2, "missing + extra signature");
+    }
+
+    #[test]
+    fn port_differences_are_reported() {
+        let a = cells::full_adder();
+        let b = cells::inverter();
+        let report = verify(&a, &b).expect("comparable");
+        assert!(!report.matched);
+        assert!(report
+            .mismatches
+            .iter()
+            .any(|m| m.description.contains("input ports differ")));
+    }
+
+    #[test]
+    fn transistor_netlists_are_incomparable() {
+        let a = cells::inverter();
+        let b = cells::inverter_transistors();
+        assert!(matches!(
+            verify(&a, &b).unwrap_err(),
+            EdaError::Incomparable { .. }
+        ));
+    }
+
+    #[test]
+    fn commutative_inputs_match() {
+        let mut a = Netlist::new("a");
+        let x = a.add_port_in("x");
+        let y = a.add_port_in("y");
+        let z = a.add_port_out("z");
+        a.add_gate(crate::netlist::GateKind::And, &[x, y], z);
+        let mut b = Netlist::new("b");
+        let y2 = b.add_port_in("y");
+        let x2 = b.add_port_in("x");
+        let z2 = b.add_port_out("z");
+        b.add_gate(crate::netlist::GateKind::And, &[y2, x2], z2);
+        assert!(verify(&a, &b).expect("comparable").matched);
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let a = cells::full_adder();
+        let report = verify(&a, &a).expect("ok");
+        assert_eq!(
+            Verification::from_bytes(&report.to_bytes()).expect("ok"),
+            report
+        );
+        assert!(Verification::from_bytes(b"x").is_err());
+    }
+}

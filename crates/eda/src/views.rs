@@ -1,0 +1,152 @@
+//! Multiple views of a cell (Fig. 7) and the circuit composite.
+//!
+//! "Designers often think of a design in terms of different views such
+//! as a logic view, a transistor level view, or a physical view"; flows
+//! represent the transformations between them (Fig. 8).
+
+use serde::{Deserialize, Serialize};
+
+use crate::cells;
+use crate::device::DeviceModels;
+use crate::error::EdaError;
+use crate::layout::Layout;
+use crate::netlist::Netlist;
+use crate::place::{place, PlacementRules};
+
+/// The three views of Fig. 7.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellViews {
+    /// Gate-level (logic) view.
+    pub logic: Netlist,
+    /// Transistor-level view.
+    pub transistor: Netlist,
+    /// Physical (layout) view.
+    pub physical: Layout,
+}
+
+/// Builds the three views of the Fig. 7 inverter cell.
+///
+/// # Examples
+///
+/// ```
+/// let views = hercules_eda::views::inverter_views();
+/// assert!(views.logic.is_gate_level());
+/// assert!(views.transistor.is_transistor_level());
+/// assert_eq!(views.physical.cells.len(), 1);
+/// ```
+pub fn inverter_views() -> CellViews {
+    let logic = cells::inverter();
+    let transistor = cells::inverter_transistors();
+    let physical = place(&logic, &PlacementRules::default()).expect("inverter places");
+    CellViews {
+        logic,
+        transistor,
+        physical,
+    }
+}
+
+/// The `Circuit` composite entity of Fig. 1: device models grouped with
+/// a netlist. Its implicit *composition function* checks consistency —
+/// "can these device models be used with this circuit?" (§3.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Circuit {
+    /// The grouped device models.
+    pub models: DeviceModels,
+    /// The grouped netlist.
+    pub netlist: Netlist,
+}
+
+impl Circuit {
+    /// Composes models and a netlist, running the implicit consistency
+    /// check: a transistor-level netlist needs a positive supply and
+    /// nonzero transconductances.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdaError::Incomparable`] when the models cannot drive
+    /// the netlist.
+    pub fn compose(models: DeviceModels, netlist: Netlist) -> Result<Circuit, EdaError> {
+        if models.vdd <= 0.0 {
+            return Err(EdaError::Incomparable {
+                reason: "device models have a non-positive supply".into(),
+            });
+        }
+        if netlist.mos_count() > 0 && (models.nmos.k <= 0.0 || models.pmos.k <= 0.0) {
+            return Err(EdaError::Incomparable {
+                reason: "zero transconductance cannot drive transistors".into(),
+            });
+        }
+        Ok(Circuit { models, netlist })
+    }
+
+    /// The implicit *decomposition function*: splits the composite back
+    /// into its parts.
+    pub fn decompose(self) -> (DeviceModels, Netlist) {
+        (self.models, self.netlist)
+    }
+
+    /// Emits the canonical byte form (JSON).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("circuit serializes")
+    }
+
+    /// Parses the canonical byte form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdaError::Parse`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Circuit, EdaError> {
+        serde_json::from_slice(bytes).map_err(|e| EdaError::Parse {
+            what: "circuit".into(),
+            detail: e.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::extract;
+    use crate::verify::verify;
+
+    #[test]
+    fn inverter_views_are_consistent() {
+        let v = inverter_views();
+        // Physical view corresponds to logic view (Fig. 8b, at the
+        // inverter scale): extract and compare.
+        let (ex, _) = extract(&v.physical);
+        let report = verify(&v.logic, &ex.netlist).expect("comparable");
+        assert!(report.matched);
+    }
+
+    #[test]
+    fn compose_checks_consistency() {
+        let m = DeviceModels::default_1993();
+        let n = cells::inverter_transistors();
+        let c = Circuit::compose(m.clone(), n.clone()).expect("consistent");
+        let (m2, n2) = c.decompose();
+        assert_eq!(m2, m);
+        assert_eq!(n2, n);
+
+        let mut bad = m.clone();
+        bad.vdd = 0.0;
+        assert!(Circuit::compose(bad, n.clone()).is_err());
+
+        let mut weak = m;
+        weak.nmos.k = 0.0;
+        assert!(Circuit::compose(weak.clone(), n).is_err());
+        // Gate-level netlists do not care about transconductance.
+        assert!(Circuit::compose(weak, cells::inverter()).is_ok());
+    }
+
+    #[test]
+    fn circuit_round_trips_as_bytes() {
+        let c = Circuit::compose(
+            DeviceModels::default_1993(),
+            cells::full_adder(),
+        )
+        .expect("ok");
+        assert_eq!(Circuit::from_bytes(&c.to_bytes()).expect("ok"), c);
+        assert!(Circuit::from_bytes(b"x").is_err());
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests for the simulated EDA substrate.
+
+use hercules_eda::{
+    cells, extract, place, simulate, to_transistor_level, verify, GateKind, Logic, NetDelays,
+    Netlist, PlacementRules, Stimuli,
+};
+use proptest::prelude::*;
+
+/// Strategy for small random combinational netlists: a layered DAG of
+/// gates over `inputs` primary inputs.
+fn random_netlist() -> impl Strategy<Value = Netlist> {
+    (
+        1usize..4,                                             // inputs
+        prop::collection::vec((0usize..8u8 as usize, prop::collection::vec(0usize..16, 1..3)), 1..8),
+    )
+        .prop_map(|(n_inputs, gates)| {
+            let mut n = Netlist::new("random");
+            let mut nets: Vec<usize> =
+                (0..n_inputs).map(|i| n.add_port_in(&format!("i{i}"))).collect();
+            for (gi, (kind_idx, input_idxs)) in gates.into_iter().enumerate() {
+                let kinds = [
+                    GateKind::Inv,
+                    GateKind::Buf,
+                    GateKind::And,
+                    GateKind::Or,
+                    GateKind::Nand,
+                    GateKind::Nor,
+                    GateKind::Xor,
+                    GateKind::Xnor,
+                ];
+                let kind = kinds[kind_idx % kinds.len()];
+                let arity = match kind {
+                    GateKind::Inv | GateKind::Buf => 1,
+                    GateKind::Xor | GateKind::Xnor => 2,
+                    _ => input_idxs.len().clamp(1, 2),
+                };
+                let inputs: Vec<usize> = (0..arity)
+                    .map(|k| {
+                        nets[input_idxs[k % input_idxs.len()] % nets.len()]
+                    })
+                    .collect();
+                let out = n.add_net(&format!("g{gi}"));
+                n.add_gate(kind, &inputs, out);
+                nets.push(out);
+            }
+            // The last gate output is the primary output.
+            let last = *nets.last().expect("nonempty");
+            let name = n.net_name(last).to_owned();
+            n.add_port_out(&name);
+            n
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The canonical text format round-trips every netlist exactly.
+    #[test]
+    fn netlist_text_round_trip(n in random_netlist()) {
+        let text = n.to_text();
+        let back = Netlist::parse(&text).expect("canonical format parses");
+        prop_assert_eq!(back, n);
+    }
+
+    /// place → extract → verify is the identity on function: the
+    /// extracted netlist always LVS-matches its source.
+    #[test]
+    fn physical_round_trip_matches(n in random_netlist()) {
+        let layout = place(&n, &PlacementRules::default()).expect("places");
+        prop_assert!(!layout.has_overlaps());
+        let (ex, stats) = extract(&layout);
+        prop_assert_eq!(stats.cell_count, n.gate_count());
+        let report = verify(&n, &ex.netlist).expect("comparable");
+        prop_assert!(report.matched, "{:?}", report.mismatches);
+    }
+
+    /// Gate-level and synthesized transistor-level netlists agree on
+    /// every input vector (checked through the compiled switch-level
+    /// simulator).
+    #[test]
+    fn cmos_synthesis_is_equivalent(n in random_netlist()) {
+        prop_assume!(n.inputs().len() <= 3);
+        let xt = to_transistor_level(&n).expect("synthesizes");
+        let sim = hercules_eda::cosmos::compile(&xt).expect("compiles");
+        let input_names: Vec<String> =
+            n.inputs().iter().map(|&i| n.net_name(i).to_owned()).collect();
+        let refs: Vec<&str> = input_names.iter().map(String::as_str).collect();
+        let walk = Stimuli::exhaustive(&refs, 64);
+        let gate_result = simulate(&n, &walk, &NetDelays::default()).expect("simulates");
+        let switch_result = sim.run(&walk).expect("runs");
+        for &o in n.outputs() {
+            let name = n.net_name(o);
+            let g = gate_result.wave(name).expect("gate wave");
+            let s = switch_result.output(name).expect("switch wave");
+            for v in 0..(1u64 << refs.len()) {
+                prop_assert_eq!(
+                    g.at(v * 64 + 63),
+                    s.at(v * 64),
+                    "output {} vector {}", name, v
+                );
+            }
+        }
+    }
+
+    /// Simulation is deterministic and monotone in stimulation: adding
+    /// parasitic delay never makes outputs settle earlier.
+    #[test]
+    fn parasitics_never_speed_things_up(n in random_netlist(), delay in 1u64..8) {
+        prop_assume!(n.inputs().len() <= 3);
+        let input_names: Vec<String> =
+            n.inputs().iter().map(|&i| n.net_name(i).to_owned()).collect();
+        let refs: Vec<&str> = input_names.iter().map(String::as_str).collect();
+        let walk = Stimuli::exhaustive(&refs, 100);
+        let ideal = simulate(&n, &walk, &NetDelays::default()).expect("simulates");
+        let mut heavy = NetDelays::default();
+        for i in 0..n.net_count() {
+            heavy.insert(i, delay);
+        }
+        let loaded = simulate(&n, &walk, &heavy).expect("simulates");
+        for &o in n.outputs() {
+            let name = n.net_name(o);
+            prop_assert!(
+                loaded.wave(name).expect("wave").last_change()
+                    >= ideal.wave(name).expect("wave").last_change()
+            );
+        }
+    }
+
+    /// Waveform queries: `at` is piecewise-constant between events.
+    #[test]
+    fn waveform_piecewise_constant(events in prop::collection::vec((0u64..100, 0u8..4), 0..12)) {
+        let mut w = hercules_eda::Waveform::new();
+        let mut sorted = events;
+        sorted.sort();
+        for (t, v) in sorted {
+            let level = [Logic::Zero, Logic::One, Logic::X, Logic::Z][v as usize];
+            w.push(t, level);
+        }
+        for t in 0..100u64 {
+            // The value only changes where an event is recorded.
+            if !w.events.iter().any(|&(et, _)| et == t + 1) {
+                prop_assert_eq!(w.at(t), w.at(t + 1));
+            }
+        }
+    }
+
+    /// PLA generation realizes exactly the requested truth table.
+    #[test]
+    fn pla_matches_truth_table(minterms in prop::collection::btree_set(0u32..8, 0..8)) {
+        let table = cells::TruthTable {
+            inputs: 3,
+            minterms: minterms.iter().copied().collect(),
+        };
+        let n = cells::pla("prop", &[table]);
+        let walk = Stimuli::exhaustive(&["i0", "i1", "i2"], 100);
+        let r = simulate(&n, &walk, &NetDelays::default()).expect("simulates");
+        let wave = r.wave("o0").expect("output");
+        for v in 0..8u32 {
+            let expect = Logic::from_bool(minterms.contains(&v));
+            prop_assert_eq!(
+                wave.at(u64::from(v) * 100 + 99),
+                expect,
+                "minterm {:03b}", v
+            );
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! Multi-machine schedule simulation (Fig. 6's "possibly on different
+//! machines").
+//!
+//! The 1993 setting ran tools on a farm of workstations; this module
+//! simulates list-scheduling a flow's subtasks onto `k` machines with a
+//! per-task cost model, producing the makespan and per-machine
+//! timeline. It is a *planning* tool — the real executor runs threads —
+//! used to answer "how many machines would this flow keep busy?" and to
+//! drive the distribution ablation bench.
+
+use std::collections::HashMap;
+
+use hercules_flow::{NodeId, TaskGraph};
+
+use crate::error::ExecError;
+
+/// Cost model: simulated duration of the task producing a node, in
+/// abstract work units.
+pub trait CostModel {
+    /// Returns the cost of the subtask whose (first) output is `node`.
+    fn cost(&self, flow: &TaskGraph, node: NodeId) -> u64;
+}
+
+/// Every task costs the same.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformCost(pub u64);
+
+impl CostModel for UniformCost {
+    fn cost(&self, _flow: &TaskGraph, _node: NodeId) -> u64 {
+        self.0
+    }
+}
+
+/// Cost proportional to the task's input count (a crude proxy for data
+/// volume).
+#[derive(Debug, Clone, Copy)]
+pub struct FaninCost {
+    /// Cost per input edge.
+    pub per_input: u64,
+    /// Fixed overhead per invocation.
+    pub base: u64,
+}
+
+impl CostModel for FaninCost {
+    fn cost(&self, flow: &TaskGraph, node: NodeId) -> u64 {
+        self.base + self.per_input * flow.producers_of(node).count() as u64
+    }
+}
+
+/// One scheduled task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledTask {
+    /// Output node identifying the subtask.
+    pub node: NodeId,
+    /// Machine index it ran on.
+    pub machine: usize,
+    /// Start time.
+    pub start: u64,
+    /// End time.
+    pub end: u64,
+}
+
+/// A simulated schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Tasks in start order.
+    pub tasks: Vec<ScheduledTask>,
+    /// Number of machines used.
+    pub machines: usize,
+    /// Completion time of the whole flow.
+    pub makespan: u64,
+    /// Sum of all task durations (the serial lower bound on one
+    /// machine).
+    pub total_work: u64,
+}
+
+impl Schedule {
+    /// Parallel efficiency: total work / (machines × makespan), 1.0
+    /// when every machine is busy the whole time.
+    pub fn efficiency(&self) -> f64 {
+        if self.makespan == 0 || self.machines == 0 {
+            return 1.0;
+        }
+        self.total_work as f64 / (self.machines as f64 * self.makespan as f64)
+    }
+
+    /// The speedup over running everything on one machine.
+    pub fn speedup(&self) -> f64 {
+        if self.makespan == 0 {
+            return 1.0;
+        }
+        self.total_work as f64 / self.makespan as f64
+    }
+}
+
+/// List-schedules the flow's interior tasks onto `machines` identical
+/// machines: at every point the earliest-available machine takes the
+/// ready task with the most downstream work (critical-path first).
+///
+/// # Errors
+///
+/// Returns [`ExecError::Flow`] for cyclic graphs; `machines` is
+/// clamped to at least 1.
+///
+/// # Examples
+///
+/// ```
+/// use hercules_exec::cluster::{simulate_schedule, UniformCost};
+/// use hercules_flow::fixtures;
+/// use hercules_schema::fixtures as schemas;
+///
+/// # fn main() -> Result<(), hercules_exec::ExecError> {
+/// let schema = std::sync::Arc::new(schemas::fig1());
+/// let flow = fixtures::fig6(schema)?;
+/// let one = simulate_schedule(&flow, &UniformCost(10), 1)?;
+/// let two = simulate_schedule(&flow, &UniformCost(10), 2)?;
+/// assert!(two.makespan < one.makespan, "the disjoint branches overlap");
+/// # Ok(())
+/// # }
+/// ```
+pub fn simulate_schedule(
+    flow: &TaskGraph,
+    costs: &dyn CostModel,
+    machines: usize,
+) -> Result<Schedule, ExecError> {
+    flow.validate_for_execution()?;
+    let machines = machines.max(1);
+    let order = flow.topo_order()?;
+    let interior: Vec<NodeId> = order
+        .iter()
+        .copied()
+        .filter(|&n| flow.is_expanded(n))
+        .collect();
+
+    // Downstream work per node (critical-path priority).
+    let mut downstream: HashMap<NodeId, u64> = HashMap::new();
+    for &node in order.iter().rev() {
+        let own = if flow.is_expanded(node) {
+            costs.cost(flow, node)
+        } else {
+            0
+        };
+        let below = flow
+            .consumers_of(node)
+            .map(|e| downstream.get(&e.target()).copied().unwrap_or(0))
+            .max()
+            .unwrap_or(0);
+        downstream.insert(node, own + below);
+    }
+
+    // Earliest time each node's data is available (leaves at 0).
+    let mut ready_at: HashMap<NodeId, u64> = HashMap::new();
+    for node in flow.node_ids() {
+        if !flow.is_expanded(node) {
+            ready_at.insert(node, 0);
+        }
+    }
+    let mut machine_free = vec![0u64; machines];
+    let mut pending: Vec<NodeId> = interior.clone();
+    let mut tasks = Vec::with_capacity(pending.len());
+    let mut total_work = 0u64;
+
+    while !pending.is_empty() {
+        // Ready tasks: all producers available.
+        let mut ready: Vec<(NodeId, u64)> = pending
+            .iter()
+            .filter_map(|&n| {
+                let inputs_ready: Option<u64> = flow
+                    .producers_of(n)
+                    .map(|e| ready_at.get(&e.source()).copied())
+                    .collect::<Option<Vec<u64>>>()
+                    .map(|v| v.into_iter().max().unwrap_or(0));
+                inputs_ready.map(|t| (n, t))
+            })
+            .collect();
+        if ready.is_empty() {
+            return Err(ExecError::Flow(hercules_flow::FlowError::Cycle));
+        }
+        // Critical-path-first tie-breaking, deterministic.
+        ready.sort_by_key(|&(n, t)| {
+            (t, std::cmp::Reverse(downstream[&n]), n)
+        });
+        let (node, data_ready) = ready[0];
+        pending.retain(|&p| p != node);
+
+        let (machine, &free_at) = machine_free
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &t)| (t, i))
+            .expect("at least one machine");
+        let start = free_at.max(data_ready);
+        let cost = costs.cost(flow, node);
+        let end = start + cost;
+        total_work += cost;
+        machine_free[machine] = end;
+        ready_at.insert(node, end);
+        tasks.push(ScheduledTask {
+            node,
+            machine,
+            start,
+            end,
+        });
+    }
+
+    tasks.sort_by_key(|t| (t.start, t.machine));
+    let makespan = tasks.iter().map(|t| t.end).max().unwrap_or(0);
+    Ok(Schedule {
+        tasks,
+        machines,
+        makespan,
+        total_work,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hercules_flow::fixtures;
+    use hercules_schema::fixtures as schemas;
+    use std::sync::Arc;
+
+    fn fig6_flow() -> TaskGraph {
+        let schema = Arc::new(schemas::fig1());
+        fixtures::fig6(schema).expect("fixture")
+    }
+
+    #[test]
+    fn one_machine_serializes_everything() {
+        let flow = fig6_flow();
+        let s = simulate_schedule(&flow, &UniformCost(10), 1).expect("schedules");
+        assert_eq!(s.makespan, s.total_work, "no overlap on one machine");
+        assert!((s.speedup() - 1.0).abs() < 1e-9);
+        assert_eq!(s.tasks.len(), flow.interior().len());
+    }
+
+    #[test]
+    fn two_machines_overlap_the_disjoint_branches() {
+        let flow = fig6_flow();
+        let one = simulate_schedule(&flow, &UniformCost(10), 1).expect("schedules");
+        let two = simulate_schedule(&flow, &UniformCost(10), 2).expect("schedules");
+        // Fig. 6: the edited-netlist branch and the extraction branch
+        // overlap; the verification still waits for both.
+        assert_eq!(one.makespan, 30, "3 tasks x 10");
+        assert_eq!(two.makespan, 20, "two branches in parallel, then verify");
+        assert!(two.efficiency() > 0.7);
+    }
+
+    #[test]
+    fn extra_machines_beyond_the_width_are_idle() {
+        let flow = fig6_flow();
+        let two = simulate_schedule(&flow, &UniformCost(10), 2).expect("schedules");
+        let ten = simulate_schedule(&flow, &UniformCost(10), 10).expect("schedules");
+        assert_eq!(two.makespan, ten.makespan, "width-2 flow");
+        assert!(ten.efficiency() < two.efficiency());
+    }
+
+    #[test]
+    fn dependencies_are_never_violated() {
+        let schema = Arc::new(schemas::fig1());
+        let flow = fixtures::fig5(schema).expect("fixture");
+        let s = simulate_schedule(&flow, &FaninCost { per_input: 3, base: 5 }, 3)
+            .expect("schedules");
+        let end_of: HashMap<NodeId, u64> =
+            s.tasks.iter().map(|t| (t.node, t.end)).collect();
+        for t in &s.tasks {
+            for e in flow.producers_of(t.node) {
+                if let Some(&producer_end) = end_of.get(&e.source()) {
+                    assert!(
+                        producer_end <= t.start,
+                        "{} started before its input finished",
+                        t.node
+                    );
+                }
+            }
+        }
+        // No machine runs two tasks at once.
+        for a in &s.tasks {
+            for b in &s.tasks {
+                if a.node != b.node && a.machine == b.machine {
+                    assert!(a.end <= b.start || b.end <= a.start);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let flow = fig6_flow();
+        let a = simulate_schedule(&flow, &UniformCost(7), 3).expect("schedules");
+        let b = simulate_schedule(&flow, &UniformCost(7), 3).expect("schedules");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_machines_clamps_to_one() {
+        let flow = fig6_flow();
+        let s = simulate_schedule(&flow, &UniformCost(1), 0).expect("schedules");
+        assert_eq!(s.machines, 1);
+    }
+}

@@ -1,0 +1,278 @@
+//! Tool encapsulations: the boundary between the framework and the
+//! tools it manages.
+//!
+//! The framework never sees inside a tool; it hands the encapsulation
+//! the instance *data* (bytes — the originals exchanged files) of the
+//! tool, its inputs, and the entity types of the expected products, and
+//! records whatever comes back. Everything §3.3 describes lives at this
+//! boundary: multi-function tools (one encapsulation registered for two
+//! entity types), shared encapsulations (three optimizers, one
+//! implementation), tools as data (the tool's own instance data is just
+//! another input), and per-instance vs single-call multi-instance
+//! behaviour.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use hercules_schema::{EntityTypeId, TaskSchema};
+
+use crate::error::ExecError;
+
+/// One data input slot of an invocation.
+#[derive(Debug, Clone)]
+pub struct ToolInput {
+    /// Entity type of the flow node feeding this slot.
+    pub entity: EntityTypeId,
+    /// The instance payloads selected for the slot. Exactly one under
+    /// [`MultiInstanceMode::RunPerInstance`]; possibly several under
+    /// [`MultiInstanceMode::SingleCall`].
+    pub instances: Vec<Vec<u8>>,
+}
+
+/// One tool invocation as the encapsulation sees it.
+#[derive(Debug, Clone)]
+pub struct Invocation {
+    /// Entity type of the tool node (or of the composite entity for
+    /// tool-less composition subtasks).
+    pub tool_entity: EntityTypeId,
+    /// Instance data of the tool itself — the tool is "just another
+    /// parameter", so a compiled simulator's program arrives here.
+    pub tool_data: Option<Vec<u8>>,
+    /// Data inputs, in the subtask's edge order.
+    pub inputs: Vec<ToolInput>,
+    /// Entity types of the expected products, in subtask order. More
+    /// than one for Fig. 5's multi-output subtasks.
+    pub outputs: Vec<EntityTypeId>,
+}
+
+impl Invocation {
+    /// Returns the single payload of the first input slot of the given
+    /// entity family.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::ToolFailed`] if the slot is absent or holds
+    /// more than one instance.
+    pub fn input_of(&self, schema: &TaskSchema, entity: EntityTypeId) -> Result<&[u8], ExecError> {
+        let slot = self
+            .inputs
+            .iter()
+            .find(|i| schema.is_subtype_of(i.entity, entity))
+            .ok_or_else(|| ExecError::ToolFailed {
+                tool: schema.entity(self.tool_entity).name().to_owned(),
+                message: format!("missing input `{}`", schema.entity(entity).name()),
+            })?;
+        if slot.instances.len() != 1 {
+            return Err(ExecError::ToolFailed {
+                tool: schema.entity(self.tool_entity).name().to_owned(),
+                message: format!(
+                    "expected one `{}` instance, got {}",
+                    schema.entity(entity).name(),
+                    slot.instances.len()
+                ),
+            });
+        }
+        Ok(&slot.instances[0])
+    }
+}
+
+/// One produced artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ToolOutput {
+    /// Entity type of the product.
+    pub entity: EntityTypeId,
+    /// Payload bytes.
+    pub data: Vec<u8>,
+    /// Optional annotation name for the instance.
+    pub name: String,
+}
+
+impl ToolOutput {
+    /// Creates an unnamed output.
+    pub fn new(entity: EntityTypeId, data: Vec<u8>) -> ToolOutput {
+        ToolOutput {
+            entity,
+            data,
+            name: String::new(),
+        }
+    }
+
+    /// Creates a named output.
+    pub fn named(entity: EntityTypeId, data: Vec<u8>, name: &str) -> ToolOutput {
+        ToolOutput {
+            entity,
+            data,
+            name: name.to_owned(),
+        }
+    }
+}
+
+/// How an encapsulation wants multi-instance selections delivered
+/// (§4.1: "the relevant encapsulation may cause the tool to be run for
+/// each instance selected or it may pass all of the data to a single
+/// call of the tool").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MultiInstanceMode {
+    /// One invocation per combination of selected instances.
+    #[default]
+    RunPerInstance,
+    /// One invocation receiving every selected instance.
+    SingleCall,
+}
+
+/// A tool encapsulation.
+pub trait Encapsulation: Send + Sync {
+    /// Runs the tool for one invocation, producing one payload per
+    /// requested output entity (in `invocation.outputs` order).
+    ///
+    /// # Errors
+    ///
+    /// Implementations report failures as [`ExecError::ToolFailed`].
+    fn run(&self, schema: &TaskSchema, invocation: &Invocation)
+        -> Result<Vec<ToolOutput>, ExecError>;
+
+    /// Multi-instance delivery preference; defaults to per-instance
+    /// runs.
+    fn multi_instance_mode(&self) -> MultiInstanceMode {
+        MultiInstanceMode::default()
+    }
+}
+
+/// Registry mapping tool (and composite) entity types to
+/// encapsulations.
+///
+/// Registering one `Arc` under several entity types is the paper's
+/// shared-encapsulation technique; lookups walk the subtype chain so a
+/// tool subtype inherits its family's encapsulation.
+#[derive(Clone, Default)]
+pub struct EncapsulationRegistry {
+    map: HashMap<EntityTypeId, Arc<dyn Encapsulation>>,
+}
+
+impl std::fmt::Debug for EncapsulationRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut ids: Vec<_> = self.map.keys().collect();
+        ids.sort();
+        f.debug_struct("EncapsulationRegistry")
+            .field("entities", &ids)
+            .finish()
+    }
+}
+
+impl EncapsulationRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> EncapsulationRegistry {
+        EncapsulationRegistry::default()
+    }
+
+    /// Registers an encapsulation for an entity type (a tool, or a
+    /// composite entity's composition function). Re-registration
+    /// replaces the previous entry.
+    pub fn register(&mut self, entity: EntityTypeId, enc: Arc<dyn Encapsulation>) {
+        self.map.insert(entity, enc);
+    }
+
+    /// Looks up the encapsulation for `entity`, walking up the subtype
+    /// chain.
+    pub fn lookup(
+        &self,
+        schema: &TaskSchema,
+        entity: EntityTypeId,
+    ) -> Option<&Arc<dyn Encapsulation>> {
+        let mut cur = Some(entity);
+        while let Some(e) = cur {
+            if let Some(enc) = self.map.get(&e) {
+                return Some(enc);
+            }
+            cur = schema.entity(e).supertype();
+        }
+        None
+    }
+
+    /// Returns the number of registered entity types.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hercules_schema::SchemaBuilder;
+
+    struct Echo;
+    impl Encapsulation for Echo {
+        fn run(
+            &self,
+            _schema: &TaskSchema,
+            invocation: &Invocation,
+        ) -> Result<Vec<ToolOutput>, ExecError> {
+            Ok(invocation
+                .outputs
+                .iter()
+                .map(|&e| ToolOutput::new(e, b"echo".to_vec()))
+                .collect())
+        }
+    }
+
+    #[test]
+    fn lookup_walks_subtype_chain() {
+        let mut b = SchemaBuilder::new();
+        let sim = b.tool("Simulator");
+        let fast = b.subtype("FastSimulator", sim);
+        let schema = b.build().expect("valid");
+        let mut reg = EncapsulationRegistry::new();
+        assert!(reg.is_empty());
+        reg.register(sim, Arc::new(Echo));
+        assert_eq!(reg.len(), 1);
+        assert!(reg.lookup(&schema, fast).is_some(), "inherited");
+        assert!(reg.lookup(&schema, sim).is_some());
+    }
+
+    #[test]
+    fn shared_encapsulation_under_two_entities() {
+        let mut b = SchemaBuilder::new();
+        let t1 = b.tool("LayoutEditor");
+        let t2 = b.tool("Extractor");
+        let schema = b.build().expect("valid");
+        let shared: Arc<dyn Encapsulation> = Arc::new(Echo);
+        let mut reg = EncapsulationRegistry::new();
+        reg.register(t1, shared.clone());
+        reg.register(t2, shared);
+        assert!(reg.lookup(&schema, t1).is_some());
+        assert!(reg.lookup(&schema, t2).is_some());
+    }
+
+    #[test]
+    fn missing_lookup_returns_none() {
+        let mut b = SchemaBuilder::new();
+        let t = b.tool("Mystery");
+        let schema = b.build().expect("valid");
+        let reg = EncapsulationRegistry::new();
+        assert!(reg.lookup(&schema, t).is_none());
+    }
+
+    #[test]
+    fn invocation_input_of() {
+        let mut b = SchemaBuilder::new();
+        let sim = b.tool("Simulator");
+        let net = b.data("Netlist");
+        let schema = b.build().expect("valid");
+        let inv = Invocation {
+            tool_entity: sim,
+            tool_data: None,
+            inputs: vec![ToolInput {
+                entity: net,
+                instances: vec![b"n1".to_vec()],
+            }],
+            outputs: vec![],
+        };
+        assert_eq!(inv.input_of(&schema, net).expect("present"), b"n1");
+        assert!(inv.input_of(&schema, sim).is_err());
+    }
+}

@@ -1,0 +1,943 @@
+//! The execution engine: automatic task sequencing, multi-output
+//! subtasks, multi-instance fan-out, caching, and parallel disjoint
+//! branches.
+
+use std::collections::HashMap;
+
+use hercules_flow::{NodeId, TaskGraph};
+use hercules_history::{Derivation, HistoryDb, InstanceId, Metadata};
+use hercules_schema::EntityTypeId;
+
+use crate::binding::Binding;
+use crate::encapsulation::{
+    Encapsulation, EncapsulationRegistry, Invocation, MultiInstanceMode, ToolInput, ToolOutput,
+};
+use crate::error::ExecError;
+
+/// Options controlling one execution.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// User recorded on produced instances.
+    pub user: String,
+    /// Execute independent ready subtasks on separate threads (Fig. 6:
+    /// "disjoint branches in the flow can be executed in parallel").
+    pub parallel: bool,
+    /// Reuse current cached results instead of re-running tools
+    /// (§3.3's "has this extraction already been performed?").
+    pub reuse_cached: bool,
+    /// Upper bound on multi-instance fan-out per subtask.
+    pub fanout_limit: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> ExecOptions {
+        ExecOptions {
+            user: "hercules".into(),
+            parallel: false,
+            reuse_cached: false,
+            fanout_limit: 1024,
+        }
+    }
+}
+
+/// What happened to one subtask.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskAction {
+    /// The tool ran this many times (fan-out counts as several runs).
+    Ran {
+        /// Number of tool invocations.
+        runs: usize,
+    },
+    /// Every output was served from a current cached instance.
+    Cached,
+}
+
+/// Per-subtask record of one execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskRecord {
+    /// Output nodes of the subtask.
+    pub outputs: Vec<NodeId>,
+    /// What happened.
+    pub action: TaskAction,
+}
+
+/// The result of executing a flow.
+#[derive(Debug, Clone, Default)]
+pub struct ExecReport {
+    produced: HashMap<NodeId, Vec<InstanceId>>,
+    /// Subtask records in execution order.
+    pub tasks: Vec<TaskRecord>,
+}
+
+impl ExecReport {
+    /// Returns the instances produced for (or bound to) a node.
+    pub fn instances_of(&self, node: NodeId) -> &[InstanceId] {
+        self.produced.get(&node).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Returns the single instance of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node has zero or several instances; use
+    /// [`ExecReport::instances_of`] for fanned-out nodes.
+    pub fn single(&self, node: NodeId) -> InstanceId {
+        let all = self.instances_of(node);
+        assert_eq!(all.len(), 1, "node {node} has {} instances", all.len());
+        all[0]
+    }
+
+    /// Total tool invocations across all subtasks.
+    pub fn runs(&self) -> usize {
+        self.tasks
+            .iter()
+            .map(|t| match t.action {
+                TaskAction::Ran { runs } => runs,
+                TaskAction::Cached => 0,
+            })
+            .sum()
+    }
+
+    /// Number of subtasks fully served from cache.
+    pub fn cache_hits(&self) -> usize {
+        self.tasks
+            .iter()
+            .filter(|t| t.action == TaskAction::Cached)
+            .count()
+    }
+}
+
+/// One grouped subtask: output nodes sharing a tool application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Subtask {
+    outputs: Vec<NodeId>,
+    tool: Option<NodeId>,
+    inputs: Vec<NodeId>,
+}
+
+/// The flow executor.
+///
+/// # Examples
+///
+/// See the crate-level documentation for an end-to-end run.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    registry: EncapsulationRegistry,
+    options: ExecOptions,
+}
+
+impl Executor {
+    /// Creates an executor over a registry with default options.
+    pub fn new(registry: EncapsulationRegistry) -> Executor {
+        Executor {
+            registry,
+            options: ExecOptions::default(),
+        }
+    }
+
+    /// Creates an executor with explicit options.
+    pub fn with_options(registry: EncapsulationRegistry, options: ExecOptions) -> Executor {
+        Executor { registry, options }
+    }
+
+    /// Returns the options.
+    pub fn options(&self) -> &ExecOptions {
+        &self.options
+    }
+
+    /// Returns mutable options.
+    pub fn options_mut(&mut self) -> &mut ExecOptions {
+        &mut self.options
+    }
+
+    /// Returns the registry.
+    pub fn registry(&self) -> &EncapsulationRegistry {
+        &self.registry
+    }
+
+    /// Executes a flow: binds leaves, sequences subtasks automatically
+    /// from the dependencies (flow automation, §3.3), runs tools through
+    /// their encapsulations and records every product in the design
+    /// history.
+    ///
+    /// # Errors
+    ///
+    /// Structural errors ([`ExecError::Flow`]), binding errors, missing
+    /// encapsulations, tool failures, and fan-out overflows.
+    pub fn execute(
+        &self,
+        flow: &TaskGraph,
+        binding: &Binding,
+        db: &mut HistoryDb,
+    ) -> Result<ExecReport, ExecError> {
+        flow.validate_for_execution()?;
+        binding.validate(flow, db)?;
+
+        let mut report = ExecReport::default();
+        // Available instances per node: bindings seed the leaves.
+        let mut available: HashMap<NodeId, Vec<InstanceId>> = HashMap::new();
+        for (node, instances) in binding.iter() {
+            available.insert(node, instances.to_vec());
+            report.produced.insert(node, instances.to_vec());
+        }
+
+        // Identical invocations within one execution record one shared
+        // product: "each design object may be uniquely identified
+        // according to the sequence of tool/data transformations used in
+        // creating that object" (section 1) — performing the same
+        // transformation twice yields the same object, not a duplicate.
+        #[allow(clippy::type_complexity)]
+        let mut invocation_cache: HashMap<
+            (Option<InstanceId>, Vec<InstanceId>, Vec<EntityTypeId>),
+            Vec<InstanceId>,
+        > = HashMap::new();
+
+        let mut pending = group_subtasks(flow)?;
+        while !pending.is_empty() {
+            // Ready: all inputs (and the tool) have instances.
+            let ready: Vec<Subtask> = pending
+                .iter()
+                .filter(|s| {
+                    s.inputs.iter().all(|i| available.contains_key(i))
+                        && s.tool.is_none_or(|t| available.contains_key(&t))
+                })
+                .cloned()
+                .collect();
+            if ready.is_empty() {
+                // validate_for_execution guarantees progress; this is a
+                // defensive check against corrupt graphs.
+                return Err(ExecError::Flow(hercules_flow::FlowError::Cycle));
+            }
+            pending.retain(|s| !ready.contains(s));
+
+            let prepared: Vec<PreparedSubtask> = ready
+                .iter()
+                .map(|s| self.prepare(flow, s, &available, db))
+                .collect::<Result<_, _>>()?;
+
+            let results: Vec<Vec<RunResult>> = if self.options.parallel {
+                run_parallel(&prepared, flow, db)?
+            } else {
+                prepared
+                    .iter()
+                    .map(|p| p.run_all(flow.schema(), db))
+                    .collect::<Result<_, _>>()?
+            };
+
+            // Commit serially, in subtask order, for determinism.
+            for (p, runs) in prepared.iter().zip(results) {
+                let mut per_output: Vec<Vec<InstanceId>> =
+                    vec![Vec::new(); p.subtask.outputs.len()];
+                let mut executed = 0usize;
+                for run in runs {
+                    match run {
+                        RunResult::Cached(instances) => {
+                            for (slot, inst) in instances.into_iter().enumerate() {
+                                per_output[slot].push(inst);
+                            }
+                        }
+                        RunResult::Produced {
+                            tool_instance,
+                            input_instances,
+                            outputs,
+                        } => {
+                            let key = (
+                                tool_instance,
+                                input_instances.clone(),
+                                outputs.iter().map(|o| o.entity).collect::<Vec<_>>(),
+                            );
+                            if let Some(shared) = invocation_cache.get(&key) {
+                                // An identical invocation already
+                                // committed in this execution: share its
+                                // products instead of recording twins.
+                                for (slot, &inst) in shared.iter().enumerate() {
+                                    per_output[slot].push(inst);
+                                }
+                                continue;
+                            }
+                            executed += 1;
+                            let mut recorded = Vec::with_capacity(outputs.len());
+                            for (slot, out) in outputs.into_iter().enumerate() {
+                                let derivation = match tool_instance {
+                                    Some(t) => Derivation::by_tool(
+                                        t,
+                                        input_instances.iter().copied(),
+                                    ),
+                                    None => Derivation::by_composition(
+                                        input_instances.iter().copied(),
+                                    ),
+                                };
+                                let mut meta = Metadata::by(&self.options.user);
+                                if !out.name.is_empty() {
+                                    meta = meta.named(&out.name);
+                                }
+                                let inst = db.record_derived(
+                                    out.entity,
+                                    meta,
+                                    &out.data,
+                                    derivation,
+                                )?;
+                                per_output[slot].push(inst);
+                                recorded.push(inst);
+                            }
+                            invocation_cache.insert(key, recorded);
+                        }
+                    }
+                }
+                for (slot, &node) in p.subtask.outputs.iter().enumerate() {
+                    available.insert(node, per_output[slot].clone());
+                    report
+                        .produced
+                        .insert(node, per_output[slot].clone());
+                }
+                report.tasks.push(TaskRecord {
+                    outputs: p.subtask.outputs.clone(),
+                    action: if executed == 0 {
+                        TaskAction::Cached
+                    } else {
+                        TaskAction::Ran { runs: executed }
+                    },
+                });
+            }
+        }
+        Ok(report)
+    }
+
+    /// Prepares one subtask: resolves instances, computes the fan-out
+    /// and clones the payloads so runs can execute off-thread.
+    fn prepare(
+        &self,
+        flow: &TaskGraph,
+        subtask: &Subtask,
+        available: &HashMap<NodeId, Vec<InstanceId>>,
+        db: &HistoryDb,
+    ) -> Result<PreparedSubtask, ExecError> {
+        let schema = flow.schema();
+        let lookup_entity = match subtask.tool {
+            Some(t) => flow.entity_of(t)?,
+            None => flow.entity_of(subtask.outputs[0])?,
+        };
+        let enc = self
+            .registry
+            .lookup(schema, lookup_entity)
+            .ok_or_else(|| ExecError::MissingEncapsulation {
+                entity: schema.entity(lookup_entity).name().to_owned(),
+            })?
+            .clone();
+
+        let tool_instances: Vec<InstanceId> = match subtask.tool {
+            Some(t) => available.get(&t).cloned().unwrap_or_default(),
+            None => Vec::new(),
+        };
+        let input_instances: Vec<(NodeId, Vec<InstanceId>)> = subtask
+            .inputs
+            .iter()
+            .map(|&i| (i, available.get(&i).cloned().unwrap_or_default()))
+            .collect();
+
+        // Fan-out: cartesian product over multi-instance slots under
+        // RunPerInstance; a single call under SingleCall.
+        let mode = enc.multi_instance_mode();
+        let combos: Vec<RunInputs> = match mode {
+            MultiInstanceMode::SingleCall => {
+                let tools = if subtask.tool.is_some() {
+                    if tool_instances.len() != 1 {
+                        return Err(ExecError::ToolFailed {
+                            tool: schema.entity(lookup_entity).name().to_owned(),
+                            message: "single-call tools need exactly one tool instance"
+                                .into(),
+                        });
+                    }
+                    Some(tool_instances[0])
+                } else {
+                    None
+                };
+                vec![RunInputs {
+                    tool: tools,
+                    inputs: input_instances.clone(),
+                }]
+            }
+            MultiInstanceMode::RunPerInstance => {
+                let mut combos = vec![RunInputs {
+                    tool: None,
+                    inputs: Vec::new(),
+                }];
+                if subtask.tool.is_some() {
+                    combos = tool_instances
+                        .iter()
+                        .map(|&t| RunInputs {
+                            tool: Some(t),
+                            inputs: Vec::new(),
+                        })
+                        .collect();
+                }
+                for (node, instances) in &input_instances {
+                    let mut next = Vec::with_capacity(combos.len() * instances.len());
+                    for combo in &combos {
+                        for &inst in instances {
+                            let mut c = combo.clone();
+                            c.inputs.push((*node, vec![inst]));
+                            next.push(c);
+                        }
+                    }
+                    combos = next;
+                    if combos.len() > self.options.fanout_limit {
+                        return Err(ExecError::FanOutTooLarge {
+                            runs: combos.len(),
+                            limit: self.options.fanout_limit,
+                        });
+                    }
+                }
+                combos
+            }
+        };
+
+        // Pre-resolve payload bytes and cache hits for every run.
+        let output_entities: Vec<EntityTypeId> = subtask
+            .outputs
+            .iter()
+            .map(|&o| flow.entity_of(o))
+            .collect::<Result<_, _>>()?;
+        let mut runs = Vec::with_capacity(combos.len());
+        for combo in combos {
+            let flat_inputs: Vec<InstanceId> = combo
+                .inputs
+                .iter()
+                .flat_map(|(_, v)| v.iter().copied())
+                .collect();
+            if self.options.reuse_cached {
+                let cached: Option<Vec<InstanceId>> = output_entities
+                    .iter()
+                    .map(|&e| db.current_cached(e, combo.tool, &flat_inputs))
+                    .collect();
+                if let Some(instances) = cached {
+                    runs.push(PreparedRun::Cached(instances));
+                    continue;
+                }
+            }
+            let tool_data = match combo.tool {
+                Some(t) => db.data_of(t)?.map(<[u8]>::to_vec),
+                None => None,
+            };
+            let inputs: Vec<ToolInput> = combo
+                .inputs
+                .iter()
+                .map(|(node, instances)| {
+                    let entity = flow.entity_of(*node)?;
+                    let payloads: Result<Vec<Vec<u8>>, ExecError> = instances
+                        .iter()
+                        .map(|&i| {
+                            Ok(db
+                                .data_of(i)?
+                                .map(<[u8]>::to_vec)
+                                .unwrap_or_default())
+                        })
+                        .collect();
+                    Ok(ToolInput {
+                        entity,
+                        instances: payloads?,
+                    })
+                })
+                .collect::<Result<_, ExecError>>()?;
+            runs.push(PreparedRun::Invoke {
+                invocation: Invocation {
+                    tool_entity: lookup_entity,
+                    tool_data,
+                    inputs,
+                    outputs: output_entities.clone(),
+                },
+                tool_instance: combo.tool,
+                input_instances: flat_inputs,
+            });
+        }
+        Ok(PreparedSubtask {
+            subtask: subtask.clone(),
+            enc,
+            runs,
+            output_entities,
+        })
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RunInputs {
+    tool: Option<InstanceId>,
+    inputs: Vec<(NodeId, Vec<InstanceId>)>,
+}
+
+enum PreparedRun {
+    Cached(Vec<InstanceId>),
+    Invoke {
+        invocation: Invocation,
+        tool_instance: Option<InstanceId>,
+        input_instances: Vec<InstanceId>,
+    },
+}
+
+/// The outcome of one run, before recording.
+enum RunResult {
+    Cached(Vec<InstanceId>),
+    Produced {
+        tool_instance: Option<InstanceId>,
+        input_instances: Vec<InstanceId>,
+        outputs: Vec<ToolOutput>,
+    },
+}
+
+struct PreparedSubtask {
+    subtask: Subtask,
+    enc: std::sync::Arc<dyn Encapsulation>,
+    runs: Vec<PreparedRun>,
+    output_entities: Vec<EntityTypeId>,
+}
+
+impl PreparedSubtask {
+    fn run_all(
+        &self,
+        schema: &hercules_schema::TaskSchema,
+        _db: &HistoryDb,
+    ) -> Result<Vec<RunResult>, ExecError> {
+        self.runs
+            .iter()
+            .map(|run| match run {
+                PreparedRun::Cached(instances) => Ok(RunResult::Cached(instances.clone())),
+                PreparedRun::Invoke {
+                    invocation,
+                    tool_instance,
+                    input_instances,
+                } => {
+                    let outputs = self.enc.run(schema, invocation)?;
+                    if outputs.len() != self.output_entities.len() {
+                        return Err(ExecError::WrongOutputs {
+                            tool: schema.entity(invocation.tool_entity).name().to_owned(),
+                            detail: format!(
+                                "expected {} outputs, got {}",
+                                self.output_entities.len(),
+                                outputs.len()
+                            ),
+                        });
+                    }
+                    for (out, &want) in outputs.iter().zip(&self.output_entities) {
+                        if !schema.is_subtype_of(out.entity, want) {
+                            return Err(ExecError::WrongOutputs {
+                                tool: schema
+                                    .entity(invocation.tool_entity)
+                                    .name()
+                                    .to_owned(),
+                                detail: format!(
+                                    "expected `{}`, got `{}`",
+                                    schema.entity(want).name(),
+                                    schema.entity(out.entity).name()
+                                ),
+                            });
+                        }
+                    }
+                    Ok(RunResult::Produced {
+                        tool_instance: *tool_instance,
+                        input_instances: input_instances.clone(),
+                        outputs,
+                    })
+                }
+            })
+            .collect()
+    }
+}
+
+/// Runs every prepared subtask of a wave on its own thread — the
+/// "separate branches can be executed in parallel" of Fig. 6.
+fn run_parallel(
+    prepared: &[PreparedSubtask],
+    flow: &TaskGraph,
+    db: &HistoryDb,
+) -> Result<Vec<Vec<RunResult>>, ExecError> {
+    let schema = flow.schema();
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = prepared
+            .iter()
+            .map(|p| scope.spawn(move |_| p.run_all(schema, db)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("subtask thread panicked"))
+            .collect()
+    })
+    .expect("execution scope")
+}
+
+/// Groups the interior nodes of a flow into subtasks: nodes sharing the
+/// same tool node *and* the same data-input set form one multi-output
+/// subtask (Fig. 5).
+fn group_subtasks(flow: &TaskGraph) -> Result<Vec<Subtask>, ExecError> {
+    let order = flow.topo_order()?;
+    let mut subtasks: Vec<Subtask> = Vec::new();
+    for node in order {
+        if !flow.is_expanded(node) {
+            continue;
+        }
+        let tool = flow.tool_of(node);
+        let mut inputs = flow.data_inputs_of(node);
+        inputs.sort();
+        if let Some(existing) = subtasks
+            .iter_mut()
+            .find(|s| s.tool == tool && tool.is_some() && s.inputs == inputs)
+        {
+            existing.outputs.push(node);
+            continue;
+        }
+        subtasks.push(Subtask {
+            outputs: vec![node],
+            tool,
+            inputs,
+        });
+    }
+    Ok(subtasks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::{self, TextTool};
+    use hercules_flow::Expansion;
+    use hercules_schema::fixtures;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn setup() -> (Arc<hercules_schema::TaskSchema>, HistoryDb, Executor) {
+        let schema = Arc::new(fixtures::fig1());
+        let mut db = HistoryDb::new(schema.clone());
+        toy::seed_everything(&mut db, "setup");
+        let executor = Executor::new(toy::text_registry(&schema));
+        (schema, db, executor)
+    }
+
+    fn perf_flow(schema: &Arc<hercules_schema::TaskSchema>) -> (TaskGraph, NodeId) {
+        let mut flow = TaskGraph::new(schema.clone());
+        let perf = flow
+            .seed(schema.require("Performance").expect("known"))
+            .expect("ok");
+        flow.expand(perf).expect("ok");
+        (flow, perf)
+    }
+
+    #[test]
+    fn executes_single_task_and_records_derivation() {
+        let (schema, mut db, executor) = setup();
+        let (mut flow, perf) = perf_flow(&schema);
+        let circuit = flow.data_inputs_of(perf)[0];
+        flow.expand(circuit).expect("ok");
+        let netlist = flow.data_inputs_of(circuit)[1];
+        flow.specialize(netlist, schema.require("EditedNetlist").expect("known"))
+            .expect("ok");
+        flow.expand(netlist).expect("ok");
+
+        let mut binding = Binding::new();
+        assert!(binding.bind_latest(&flow, &db).is_empty());
+        let before = db.len();
+        let report = executor.execute(&flow, &binding, &mut db).expect("runs");
+        assert_eq!(report.runs(), 3, "editor, compose, simulator");
+        assert_eq!(db.len(), before + 3);
+
+        let inst = report.single(perf);
+        let text = String::from_utf8_lossy(db.data_of(inst).expect("ok").expect("data"));
+        assert_eq!(
+            text,
+            "Simulator(Circuit(DeviceModels, CircuitEditor()), Stimuli)"
+        );
+        // The derivation records the immediate tool and inputs.
+        let d = db.instance(inst).expect("ok").derivation().expect("derived");
+        assert!(d.tool.is_some());
+        assert_eq!(d.inputs.len(), 2);
+    }
+
+    #[test]
+    fn unbound_leaf_fails() {
+        let (schema, mut db, executor) = setup();
+        let (flow, _) = perf_flow(&schema);
+        let binding = Binding::new();
+        assert!(matches!(
+            executor.execute(&flow, &binding, &mut db).unwrap_err(),
+            ExecError::UnboundLeaf { .. }
+        ));
+    }
+
+    #[test]
+    fn missing_encapsulation_fails() {
+        let (schema, mut db, _) = setup();
+        let (flow, _) = perf_flow(&schema);
+        let mut binding = Binding::new();
+        binding.bind_latest(&flow, &db);
+        let empty = Executor::new(EncapsulationRegistry::new());
+        assert!(matches!(
+            empty.execute(&flow, &binding, &mut db).unwrap_err(),
+            ExecError::MissingEncapsulation { .. }
+        ));
+    }
+
+    #[test]
+    fn multi_output_subtask_runs_tool_once() {
+        let (schema, mut db, executor) = setup();
+        let mut flow = TaskGraph::new(schema.clone());
+        let ext = flow
+            .seed(schema.require("ExtractedNetlist").expect("known"))
+            .expect("ok");
+        let created = flow.expand(ext).expect("ok");
+        let (extractor, layout) = (created[0], created[1]);
+        let stats = flow
+            .seed(schema.require("ExtractionStatistics").expect("known"))
+            .expect("ok");
+        flow.expand_with(
+            stats,
+            &Expansion::new()
+                .reusing(schema.require("Extractor").expect("known"), extractor)
+                .reusing(schema.require("Layout").expect("known"), layout),
+        )
+        .expect("ok");
+        // Layout is interior-free here (a leaf); bind it and the tool.
+        let mut binding = Binding::new();
+        binding.bind_latest(&flow, &db);
+        let report = executor.execute(&flow, &binding, &mut db).expect("runs");
+        assert_eq!(report.tasks.len(), 1, "one grouped subtask");
+        assert_eq!(report.runs(), 1, "tool invoked once for two outputs");
+        let ext_text =
+            String::from_utf8_lossy(db.data_of(report.single(ext)).expect("ok").expect("d"))
+                .into_owned();
+        let stats_text =
+            String::from_utf8_lossy(db.data_of(report.single(stats)).expect("ok").expect("d"))
+                .into_owned();
+        assert!(ext_text.contains(".ExtractedNetlist"));
+        assert!(stats_text.contains(".ExtractionStatistics"));
+        // Both derivations share the same tool and inputs.
+        let d1 = db.instance(report.single(ext)).expect("ok").derivation().cloned();
+        let d2 = db.instance(report.single(stats)).expect("ok").derivation().cloned();
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn multi_instance_selection_fans_out() {
+        let (schema, mut db, executor) = setup();
+        let (flow, perf) = perf_flow(&schema);
+        // Three stimulus sets selected at once (§4.1).
+        let stim_ty = schema.require("Stimuli").expect("known");
+        let extra1 = db
+            .record_primary(stim_ty, Metadata::by("u").named("s2"), b"S2")
+            .expect("ok");
+        let extra2 = db
+            .record_primary(stim_ty, Metadata::by("u").named("s3"), b"S3")
+            .expect("ok");
+        let mut binding = Binding::new();
+        binding.bind_latest(&flow, &db);
+        let stim_leaf = flow
+            .leaves()
+            .into_iter()
+            .find(|&l| flow.entity_of(l).expect("live") == stim_ty)
+            .expect("stimuli leaf");
+        let first = db.instances_of(stim_ty)[0];
+        binding.bind_many(stim_leaf, &[first, extra1, extra2]);
+
+        let report = executor.execute(&flow, &binding, &mut db).expect("runs");
+        assert_eq!(report.runs(), 3, "one run per selected stimulus");
+        assert_eq!(report.instances_of(perf).len(), 3);
+    }
+
+    #[test]
+    fn single_call_mode_receives_all_instances() {
+        let (schema, mut db, _) = setup();
+        let (flow, perf) = perf_flow(&schema);
+        let stim_ty = schema.require("Stimuli").expect("known");
+        let extra = db
+            .record_primary(stim_ty, Metadata::by("u").named("s2"), b"S2")
+            .expect("ok");
+        let mut binding = Binding::new();
+        binding.bind_latest(&flow, &db);
+        let stim_leaf = flow
+            .leaves()
+            .into_iter()
+            .find(|&l| flow.entity_of(l).expect("live") == stim_ty)
+            .expect("leaf");
+        let first = db.instances_of(stim_ty)[0];
+        binding.bind_many(stim_leaf, &[first, extra]);
+
+        let registry = toy::text_registry_with(
+            &schema,
+            TextTool {
+                mode: MultiInstanceMode::SingleCall,
+                work: Duration::ZERO,
+            },
+        );
+        let executor = Executor::new(registry);
+        let report = executor.execute(&flow, &binding, &mut db).expect("runs");
+        assert_eq!(report.runs(), 1, "all instances in one call");
+        let text = String::from_utf8_lossy(
+            db.data_of(report.single(perf)).expect("ok").expect("d"),
+        )
+        .into_owned();
+        assert!(text.contains("Stimuli") && text.contains("S2"));
+    }
+
+    #[test]
+    fn fanout_limit_is_enforced() {
+        let (schema, mut db, mut_exec) = setup();
+        let mut executor = mut_exec;
+        executor.options_mut().fanout_limit = 2;
+        let (flow, _) = perf_flow(&schema);
+        let stim_ty = schema.require("Stimuli").expect("known");
+        let mut stims = vec![db.instances_of(stim_ty)[0]];
+        for i in 0..3 {
+            stims.push(
+                db.record_primary(stim_ty, Metadata::by("u"), format!("s{i}").as_bytes())
+                    .expect("ok"),
+            );
+        }
+        let mut binding = Binding::new();
+        binding.bind_latest(&flow, &db);
+        let stim_leaf = flow
+            .leaves()
+            .into_iter()
+            .find(|&l| flow.entity_of(l).expect("live") == stim_ty)
+            .expect("leaf");
+        binding.bind_many(stim_leaf, &stims);
+        assert!(matches!(
+            executor.execute(&flow, &binding, &mut db).unwrap_err(),
+            ExecError::FanOutTooLarge { .. }
+        ));
+    }
+
+    #[test]
+    fn caching_reuses_current_results() {
+        let (schema, mut db, mut executor) = setup();
+        executor.options_mut().reuse_cached = true;
+        let (flow, perf) = perf_flow(&schema);
+        let mut binding = Binding::new();
+        binding.bind_latest(&flow, &db);
+
+        let first = executor.execute(&flow, &binding, &mut db).expect("runs");
+        assert_eq!(first.runs(), 1);
+        let len_after_first = db.len();
+
+        let second = executor.execute(&flow, &binding, &mut db).expect("runs");
+        assert_eq!(second.runs(), 0, "cache hit");
+        assert_eq!(second.cache_hits(), 1);
+        assert_eq!(db.len(), len_after_first, "nothing re-recorded");
+        assert_eq!(second.single(perf), first.single(perf));
+    }
+
+    #[test]
+    fn without_caching_tasks_rerun() {
+        let (schema, mut db, executor) = setup();
+        let (flow, _) = perf_flow(&schema);
+        let mut binding = Binding::new();
+        binding.bind_latest(&flow, &db);
+        executor.execute(&flow, &binding, &mut db).expect("runs");
+        let report = executor.execute(&flow, &binding, &mut db).expect("runs");
+        assert_eq!(report.runs(), 1, "no caching by default");
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let (schema, _, _) = setup();
+        let flow = hercules_flow::fixtures::fig6(schema.clone()).expect("fixture");
+
+        let run = |parallel: bool| -> Vec<u8> {
+            let mut db = HistoryDb::new(schema.clone());
+            toy::seed_everything(&mut db, "setup");
+            let registry = toy::text_registry_with(
+                &schema,
+                TextTool {
+                    mode: MultiInstanceMode::RunPerInstance,
+                    work: Duration::from_millis(2),
+                },
+            );
+            let mut executor = Executor::new(registry);
+            executor.options_mut().parallel = parallel;
+            let mut binding = Binding::new();
+            binding.bind_latest(&flow, &db);
+            let report = executor.execute(&flow, &binding, &mut db).expect("runs");
+            let out = flow.outputs()[0];
+            db.data_of(report.single(out)).expect("ok").expect("d").to_vec()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn parallel_branches_are_faster_with_real_work() {
+        let (schema, _, _) = setup();
+        let flow = hercules_flow::fixtures::fig6(schema.clone()).expect("fixture");
+        let time = |parallel: bool| -> std::time::Duration {
+            let mut db = HistoryDb::new(schema.clone());
+            toy::seed_everything(&mut db, "setup");
+            let registry = toy::text_registry_with(
+                &schema,
+                TextTool {
+                    mode: MultiInstanceMode::RunPerInstance,
+                    work: Duration::from_millis(25),
+                },
+            );
+            let mut executor = Executor::new(registry);
+            executor.options_mut().parallel = parallel;
+            let mut binding = Binding::new();
+            binding.bind_latest(&flow, &db);
+            let start = std::time::Instant::now();
+            executor.execute(&flow, &binding, &mut db).expect("runs");
+            start.elapsed()
+        };
+        let serial = time(false);
+        let parallel = time(true);
+        assert!(
+            parallel < serial,
+            "disjoint branches should overlap: {parallel:?} vs {serial:?}"
+        );
+    }
+
+    #[test]
+    fn full_fig5_flow_executes() {
+        let (schema, mut db, executor) = setup();
+        let flow = hercules_flow::fixtures::fig5(schema.clone()).expect("fixture");
+        let mut binding = Binding::new();
+        assert!(binding.bind_latest(&flow, &db).is_empty());
+        let report = executor.execute(&flow, &binding, &mut db).expect("runs");
+        // Subtasks: editor?? fig5 leaves are primary; interior: verification,
+        // extraction (multi-output), compose, performance, plot = 5
+        // subtasks but extraction groups two outputs.
+        assert_eq!(report.tasks.len(), 5);
+        for out in flow.outputs() {
+            assert_eq!(report.instances_of(out).len(), 1);
+        }
+    }
+
+    #[test]
+    fn failing_tool_propagates_in_parallel_mode_too() {
+        let (schema, mut db, _) = setup();
+        let flow = hercules_flow::fixtures::fig6(schema.clone()).expect("fixture");
+        let mut registry = toy::text_registry(&schema);
+        let verifier = schema.require("Verifier").expect("known");
+        registry.register(verifier, std::sync::Arc::new(crate::toy::FailingTool));
+        let mut binding = Binding::new();
+        binding.bind_latest(&flow, &db);
+        let mut executor = Executor::new(registry);
+        executor.options_mut().parallel = true;
+        assert!(matches!(
+            executor.execute(&flow, &binding, &mut db).unwrap_err(),
+            ExecError::ToolFailed { .. }
+        ));
+        // The branches that succeeded before the failure were recorded;
+        // the failed product was not (only the seed instance exists).
+        let verification = schema.require("Verification").expect("known");
+        assert_eq!(db.instances_of(verification).len(), 1, "seed only");
+    }
+
+    #[test]
+    fn failing_tool_propagates() {
+        let (schema, mut db, _) = setup();
+        let (flow, _) = perf_flow(&schema);
+        let mut registry = EncapsulationRegistry::new();
+        let sim = schema.require("Simulator").expect("known");
+        registry.register(sim, std::sync::Arc::new(crate::toy::FailingTool));
+        let mut binding = Binding::new();
+        binding.bind_latest(&flow, &db);
+        let executor = Executor::new(registry);
+        assert!(matches!(
+            executor.execute(&flow, &binding, &mut db).unwrap_err(),
+            ExecError::ToolFailed { .. }
+        ));
+    }
+}

@@ -1,0 +1,123 @@
+//! Error type for flow execution.
+
+use std::error::Error;
+use std::fmt;
+
+use hercules_flow::{FlowError, NodeId};
+use hercules_history::HistoryError;
+
+/// Errors raised while executing a flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+#[allow(missing_docs)] // variant fields are self-describing names/ids
+pub enum ExecError {
+    /// The flow is structurally unfit to run.
+    Flow(FlowError),
+    /// The history database rejected an operation.
+    History(HistoryError),
+    /// A leaf node has no instance bound to it. "Once instances have
+    /// been selected for the leaf nodes, the non-leaf nodes become
+    /// executable" (§4.1) — and not before.
+    UnboundLeaf { node: NodeId, entity: String },
+    /// An interior (computed) node was bound to an instance.
+    BoundInteriorNode(NodeId),
+    /// No encapsulation is registered for the tool (or composite)
+    /// entity.
+    MissingEncapsulation { entity: String },
+    /// The tool ran but failed.
+    ToolFailed { tool: String, message: String },
+    /// The tool returned outputs that do not match the subtask's
+    /// products.
+    WrongOutputs { tool: String, detail: String },
+    /// Multi-instance fan-out exceeded the configured limit.
+    FanOutTooLarge { runs: usize, limit: usize },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Flow(e) => write!(f, "flow error: {e}"),
+            ExecError::History(e) => write!(f, "history error: {e}"),
+            ExecError::UnboundLeaf { node, entity } => write!(
+                f,
+                "leaf {node} (`{entity}`) has no instance selected"
+            ),
+            ExecError::BoundInteriorNode(node) => write!(
+                f,
+                "node {node} is computed by the flow and cannot be bound"
+            ),
+            ExecError::MissingEncapsulation { entity } => {
+                write!(f, "no encapsulation registered for `{entity}`")
+            }
+            ExecError::ToolFailed { tool, message } => {
+                write!(f, "tool `{tool}` failed: {message}")
+            }
+            ExecError::WrongOutputs { tool, detail } => {
+                write!(f, "tool `{tool}` returned mismatched outputs: {detail}")
+            }
+            ExecError::FanOutTooLarge { runs, limit } => write!(
+                f,
+                "multi-instance selection fans out to {runs} runs (limit {limit})"
+            ),
+        }
+    }
+}
+
+impl Error for ExecError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExecError::Flow(e) => Some(e),
+            ExecError::History(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FlowError> for ExecError {
+    fn from(e: FlowError) -> ExecError {
+        ExecError::Flow(e)
+    }
+}
+
+impl From<HistoryError> for ExecError {
+    fn from(e: HistoryError) -> ExecError {
+        ExecError::History(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        let errors = vec![
+            ExecError::UnboundLeaf {
+                node: NodeId::from_index(1),
+                entity: "Stimuli".into(),
+            },
+            ExecError::MissingEncapsulation {
+                entity: "Simulator".into(),
+            },
+            ExecError::FanOutTooLarge {
+                runs: 4096,
+                limit: 1024,
+            },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn sources_chain() {
+        use std::error::Error as _;
+        let e: ExecError = FlowError::Cycle.into();
+        assert!(e.source().is_some());
+        let e: ExecError =
+            HistoryError::UnknownInstance(hercules_history::InstanceId::from_raw(0)).into();
+        assert!(e.source().is_some());
+    }
+}

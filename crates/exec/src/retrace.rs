@@ -1,0 +1,133 @@
+//! Automatic retracing for design-consistency maintenance (§3.3).
+//!
+//! "Design consistency maintenance (i.e., automatic retracing of a flow
+//! to update derived design data) is readily supported through the
+//! storage of the design history." [`retrace`] recalls the flow that
+//! produced an instance from its derivation history, *cuts* the recall
+//! at every instance that has been superseded by a newer version
+//! (binding the newest version there instead of re-running its
+//! producer), and re-executes with caching on — so only the tasks
+//! affected by newer inputs actually re-run.
+
+use std::collections::HashMap;
+
+use hercules_flow::{NodeId, TaskGraph};
+use hercules_history::{HistoryDb, InstanceId};
+use hercules_schema::DepKind;
+
+use crate::binding::Binding;
+use crate::engine::{ExecReport, Executor};
+use crate::error::ExecError;
+
+/// The result of a retrace.
+#[derive(Debug, Clone)]
+pub struct RetraceReport {
+    /// The underlying execution report.
+    pub report: ExecReport,
+    /// Up-to-date instances for the retraced goal.
+    pub goal_instances: Vec<InstanceId>,
+    /// `true` when nothing had to re-run (the goal was already
+    /// current).
+    pub already_current: bool,
+}
+
+/// Recall-flow builder: derivation history → task graph with a version
+/// cutoff.
+struct Recall<'a> {
+    db: &'a HistoryDb,
+    flow: TaskGraph,
+    binding: Binding,
+    node_of: HashMap<InstanceId, NodeId>,
+}
+
+impl<'a> Recall<'a> {
+    fn new(db: &'a HistoryDb) -> Recall<'a> {
+        Recall {
+            db,
+            flow: TaskGraph::new(db.schema().clone()),
+            binding: Binding::new(),
+            node_of: HashMap::new(),
+        }
+    }
+
+    /// Visits one instance. With `fast_forward`, a superseded instance
+    /// becomes a leaf bound to its newest version; the exception is an
+    /// edit's own version predecessor, which is pinned as-is (an edit
+    /// is never "stale" with respect to the version it edits).
+    fn visit(&mut self, inst: InstanceId, fast_forward: bool) -> Result<NodeId, ExecError> {
+        if let Some(&node) = self.node_of.get(&inst) {
+            return Ok(node);
+        }
+        let record = self.db.instance(inst)?;
+        let entity = record.entity();
+        let node = self.flow.add_node_raw(entity)?;
+        self.node_of.insert(inst, node);
+
+        if fast_forward {
+            let newest = self.db.newest_version_of(inst)?;
+            if newest != inst {
+                self.binding.bind(node, newest);
+                return Ok(node);
+            }
+        }
+        let Some(derivation) = record.derivation().cloned() else {
+            // Primary instance: a leaf bound to itself.
+            self.binding.bind(node, inst);
+            return Ok(node);
+        };
+        let version_parent = self.db.version_parent(inst)?;
+        if let Some(tool) = derivation.tool {
+            let tool_node = self.visit(tool, true)?;
+            self.flow
+                .add_edge_raw(tool_node, node, DepKind::Functional)?;
+        }
+        for input in derivation.inputs {
+            let pinned = Some(input) == version_parent;
+            let input_node = self.visit(input, !pinned)?;
+            if pinned && !self.flow.is_expanded(input_node) {
+                // Pinned predecessor stays a leaf bound to itself.
+                self.binding.bind(input_node, input);
+            }
+            self.flow.add_edge_raw(input_node, node, DepKind::Data)?;
+        }
+        Ok(node)
+    }
+}
+
+/// Retraces the flow that produced `goal`: recalls its derivation
+/// history as a task graph with a version cutoff, and re-executes with
+/// result caching. Unaffected sub-results are served from the cache;
+/// tasks whose inputs gained newer versions re-run against those
+/// versions.
+///
+/// # Errors
+///
+/// Propagates history and execution errors.
+///
+/// # Examples
+///
+/// See `tests/consistency.rs` for an end-to-end out-of-date /
+/// retrace cycle.
+pub fn retrace(
+    executor: &Executor,
+    db: &mut HistoryDb,
+    goal: InstanceId,
+) -> Result<RetraceReport, ExecError> {
+    let mut recall = Recall::new(db);
+    let goal_node = recall.visit(goal, false)?;
+    let Recall { flow, binding, .. } = recall;
+
+    // Force caching on: unchanged sub-results must be reused, that is
+    // the whole point of consistency maintenance.
+    let mut executor = executor.clone();
+    executor.options_mut().reuse_cached = true;
+    let report = executor.execute(&flow, &binding, db)?;
+
+    let goal_instances = report.instances_of(goal_node).to_vec();
+    let already_current = report.runs() == 0;
+    Ok(RetraceReport {
+        report,
+        goal_instances,
+        already_current,
+    })
+}

@@ -1,0 +1,229 @@
+//! A deterministic toy tool set over the Fig. 1 schema.
+//!
+//! Every toy tool emits a readable trace of its invocation —
+//! `Tool(input, input, …)` — so tests can assert the exact tool/data
+//! composition a flow performed without a real EDA substrate. The
+//! `hercules` crate registers the real simulated tools; this module
+//! exists for unit tests, baselines and micro-benchmarks of the engine
+//! itself.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use hercules_history::{HistoryDb, InstanceId, Metadata};
+use hercules_schema::{EntityKind, TaskSchema};
+
+use crate::encapsulation::{
+    Encapsulation, EncapsulationRegistry, Invocation, MultiInstanceMode, ToolOutput,
+};
+use crate::error::ExecError;
+
+/// A tool that renders its invocation as text, optionally sleeping to
+/// simulate compute (for parallel-speedup experiments).
+#[derive(Debug, Clone)]
+pub struct TextTool {
+    /// Delivery mode for multi-instance selections.
+    pub mode: MultiInstanceMode,
+    /// Artificial compute time per invocation.
+    pub work: Duration,
+}
+
+impl Default for TextTool {
+    fn default() -> TextTool {
+        TextTool {
+            mode: MultiInstanceMode::RunPerInstance,
+            work: Duration::ZERO,
+        }
+    }
+}
+
+impl Encapsulation for TextTool {
+    fn run(
+        &self,
+        schema: &TaskSchema,
+        invocation: &Invocation,
+    ) -> Result<Vec<ToolOutput>, ExecError> {
+        if !self.work.is_zero() {
+            std::thread::sleep(self.work);
+        }
+        let tool_name = match &invocation.tool_data {
+            Some(data) if !data.is_empty() => {
+                String::from_utf8_lossy(data).into_owned()
+            }
+            _ => schema.entity(invocation.tool_entity).name().to_owned(),
+        };
+        let mut args = Vec::new();
+        for input in &invocation.inputs {
+            for inst in &input.instances {
+                args.push(String::from_utf8_lossy(inst).into_owned());
+            }
+        }
+        let call = format!("{tool_name}({})", args.join(", "));
+        Ok(invocation
+            .outputs
+            .iter()
+            .map(|&e| {
+                let text = if invocation.outputs.len() == 1 {
+                    call.clone()
+                } else {
+                    format!("{call}.{}", schema.entity(e).name())
+                };
+                ToolOutput::new(e, text.into_bytes())
+            })
+            .collect())
+    }
+
+    fn multi_instance_mode(&self) -> MultiInstanceMode {
+        self.mode
+    }
+}
+
+/// A tool that always fails, for error-path tests.
+#[derive(Debug, Clone, Default)]
+pub struct FailingTool;
+
+impl Encapsulation for FailingTool {
+    fn run(
+        &self,
+        schema: &TaskSchema,
+        invocation: &Invocation,
+    ) -> Result<Vec<ToolOutput>, ExecError> {
+        Err(ExecError::ToolFailed {
+            tool: schema.entity(invocation.tool_entity).name().to_owned(),
+            message: "synthetic failure".into(),
+        })
+    }
+}
+
+/// Registers a [`TextTool`] for every tool entity *and* every composite
+/// entity of the schema — one shared encapsulation, as §3.3 suggests.
+pub fn text_registry(schema: &TaskSchema) -> EncapsulationRegistry {
+    text_registry_with(schema, TextTool::default())
+}
+
+/// As [`text_registry`], with an explicit tool configuration (e.g. a
+/// sleep duration for parallel experiments).
+pub fn text_registry_with(schema: &TaskSchema, tool: TextTool) -> EncapsulationRegistry {
+    let shared: Arc<dyn Encapsulation> = Arc::new(tool);
+    let mut reg = EncapsulationRegistry::new();
+    for id in schema.entity_ids() {
+        if schema.entity(id).kind() == EntityKind::Tool || schema.is_composite(id) {
+            reg.register(id, shared.clone());
+        }
+    }
+    reg
+}
+
+/// Records one primary instance for every primary entity of the schema
+/// (tools, libraries, stimuli…), with the entity name as payload.
+/// Returns the recorded ids in entity order.
+pub fn seed_primaries(db: &mut HistoryDb, user: &str) -> Vec<InstanceId> {
+    let schema = db.schema().clone();
+    let mut out = Vec::new();
+    for id in schema.entity_ids() {
+        if schema.is_primary(id) {
+            let name = schema.entity(id).name().to_owned();
+            let inst = db
+                .record_primary(id, Metadata::by(user).named(&name), name.as_bytes())
+                .expect("primary entity records");
+            out.push(inst);
+        }
+    }
+    out
+}
+
+/// Seeds the database with one instance of *every* bindable entity:
+/// primaries as primary instances, constructible entities as derived
+/// instances (tool recorded first, in topological order). Abstract
+/// entities get no direct instance but are reachable through their
+/// subtypes. Returns the ids in recording order.
+pub fn seed_everything(db: &mut HistoryDb, user: &str) -> Vec<InstanceId> {
+    use hercules_history::Derivation;
+    let schema = db.schema().clone();
+    let mut out = Vec::new();
+    let mut instance_of: std::collections::HashMap<_, InstanceId> =
+        std::collections::HashMap::new();
+    for id in schema.topo_order() {
+        if schema.is_abstract(id) {
+            continue;
+        }
+        let name = schema.entity(id).name().to_owned();
+        let meta = Metadata::by(user).named(&name);
+        let inst = if let Some(tool_entity) = schema.constructing_tool(id) {
+            let tool = instance_of
+                .get(&tool_entity)
+                .copied()
+                .expect("topological order records tools first");
+            db.record_derived(id, meta, name.as_bytes(), Derivation::by_tool(tool, []))
+                .expect("derived seed records")
+        } else if schema.is_composite(id) {
+            let components: Vec<InstanceId> = schema
+                .components_of(id)
+                .into_iter()
+                .filter_map(|c| {
+                    instance_of.get(&c).copied().or_else(|| {
+                        // Abstract component: use any subtype instance.
+                        schema
+                            .all_subtypes(c)
+                            .into_iter()
+                            .find_map(|s| instance_of.get(&s).copied())
+                    })
+                })
+                .collect();
+            db.record_derived(
+                id,
+                meta,
+                name.as_bytes(),
+                Derivation::by_composition(components),
+            )
+            .expect("composite seed records")
+        } else {
+            db.record_primary(id, meta, name.as_bytes())
+                .expect("primary seed records")
+        };
+        instance_of.insert(id, inst);
+        out.push(inst);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hercules_schema::fixtures;
+    use std::sync::Arc as StdArc;
+
+    #[test]
+    fn registry_covers_all_tools_and_composites() {
+        let schema = fixtures::fig1();
+        let reg = text_registry(&schema);
+        assert_eq!(reg.len(), schema.tools().len() + 1 /* Circuit */);
+    }
+
+    #[test]
+    fn seed_primaries_records_tools_and_data() {
+        let schema = StdArc::new(fixtures::fig1());
+        let mut db = HistoryDb::new(schema.clone());
+        let ids = seed_primaries(&mut db, "setup");
+        assert!(!ids.is_empty());
+        // All seven tools plus primary data entities.
+        assert!(db.len() >= schema.tools().len());
+    }
+
+    #[test]
+    fn failing_tool_reports_failure() {
+        let schema = fixtures::fig1();
+        let sim = schema.require("Simulator").expect("known");
+        let perf = schema.require("Performance").expect("known");
+        let inv = Invocation {
+            tool_entity: sim,
+            tool_data: None,
+            inputs: vec![],
+            outputs: vec![perf],
+        };
+        assert!(matches!(
+            FailingTool.run(&schema, &inv).unwrap_err(),
+            ExecError::ToolFailed { .. }
+        ));
+    }
+}

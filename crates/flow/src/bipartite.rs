@@ -1,0 +1,226 @@
+//! The traditional bipartite flow-diagram view of a flow (Fig. 3a).
+//!
+//! Older flow managers (JESSI [3], NELSIS [5], flowmaps [4]) draw a flow
+//! as a bipartite graph of *activities* (tool applications) and *data
+//! items*. The paper's task graph (Fig. 3b) carries the same information
+//! with tools as first-class nodes; this module converts a task graph
+//! into the bipartite form, grouping nodes that share a tool application
+//! into one multi-output activity.
+
+use hercules_schema::EntityKind;
+
+use crate::error::FlowError;
+use crate::graph::TaskGraph;
+use crate::node::NodeId;
+
+/// One activity of a bipartite flow diagram: a tool application with its
+/// input and output data items.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Activity {
+    /// Display name (the tool's entity name, or `compose` for the
+    /// implicit composition function of a composite entity).
+    pub name: String,
+    /// The task-graph tool node, if the activity has one.
+    pub tool: Option<NodeId>,
+    /// Task-graph nodes consumed.
+    pub inputs: Vec<NodeId>,
+    /// Task-graph nodes produced. More than one models Fig. 5's
+    /// "multiple outputs from the same subtask".
+    pub outputs: Vec<NodeId>,
+}
+
+/// A bipartite flow diagram derived from a task graph.
+///
+/// # Examples
+///
+/// ```
+/// use hercules_flow::{fixtures, FlowDiagram};
+/// use hercules_schema::fixtures as schemas;
+///
+/// # fn main() -> Result<(), hercules_flow::FlowError> {
+/// let schema = std::sync::Arc::new(schemas::fig1());
+/// let flow = fixtures::fig3(schema)?;
+/// let diagram = FlowDiagram::from_task_graph(&flow)?;
+/// assert_eq!(diagram.activities().len(), 2); // editor, placer
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowDiagram {
+    activities: Vec<Activity>,
+    items: Vec<NodeId>,
+}
+
+impl FlowDiagram {
+    /// Converts a task graph into its bipartite view.
+    ///
+    /// Interior nodes that share the same tool node *and* the same data
+    /// input set are merged into a single multi-output activity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Cycle`] or a dead-node error if the graph is
+    /// corrupt; checked-built graphs always convert.
+    pub fn from_task_graph(flow: &TaskGraph) -> Result<FlowDiagram, FlowError> {
+        let order = flow.topo_order()?;
+        let mut activities: Vec<Activity> = Vec::new();
+        for &id in &order {
+            if !flow.is_expanded(id) {
+                continue;
+            }
+            let tool = flow.tool_of(id);
+            let mut inputs = flow.data_inputs_of(id);
+            inputs.sort();
+            if let Some(existing) = activities
+                .iter_mut()
+                .find(|a| a.tool == tool && a.tool.is_some() && a.inputs == inputs)
+            {
+                existing.outputs.push(id);
+                continue;
+            }
+            let name = match tool {
+                Some(t) => flow
+                    .schema()
+                    .entity(flow.entity_of(t)?)
+                    .name()
+                    .to_owned(),
+                None => "compose".to_owned(),
+            };
+            activities.push(Activity {
+                name,
+                tool,
+                inputs,
+                outputs: vec![id],
+            });
+        }
+        // Data items: every node that is not serving purely as a tool.
+        let mut items = Vec::new();
+        for (id, node) in flow.nodes() {
+            let kind = flow.schema().entity(node.entity()).kind();
+            let used_as_tool_only = kind == EntityKind::Tool
+                && flow
+                    .consumers_of(id)
+                    .all(|e| e.is_functional())
+                && flow.consumers_of(id).next().is_some()
+                && !flow.is_expanded(id);
+            if !used_as_tool_only {
+                items.push(id);
+            }
+        }
+        Ok(FlowDiagram { activities, items })
+    }
+
+    /// Returns the activities in topological order.
+    pub fn activities(&self) -> &[Activity] {
+        &self.activities
+    }
+
+    /// Returns the data items (task-graph nodes that appear as data in
+    /// the diagram).
+    pub fn items(&self) -> &[NodeId] {
+        &self.items
+    }
+
+    /// Renders the diagram as text, one activity per line:
+    /// `inputs =[tool]=> outputs`.
+    pub fn to_text(&self, flow: &TaskGraph) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for a in &self.activities {
+            let name_of = |id: &NodeId| {
+                flow.schema()
+                    .entity(flow.node(*id).map(|n| n.entity()).unwrap_or_else(|_| {
+                        hercules_schema::EntityTypeId::from_index(0)
+                    }))
+                    .name()
+                    .to_owned()
+            };
+            let ins: Vec<String> = a.inputs.iter().map(&name_of).collect();
+            let outs: Vec<String> = a.outputs.iter().map(&name_of).collect();
+            let _ = writeln!(
+                out,
+                "{} =[{}]=> {}",
+                if ins.is_empty() {
+                    "()".to_owned()
+                } else {
+                    ins.join(" + ")
+                },
+                a.name,
+                outs.join(" + ")
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hercules_schema::fixtures as schemas;
+    use std::sync::Arc;
+
+    #[test]
+    fn simulate_flow_has_one_activity() {
+        let schema = Arc::new(schemas::fig1());
+        let mut flow = TaskGraph::new(schema.clone());
+        let perf = flow
+            .seed(schema.require("Performance").expect("known"))
+            .expect("ok");
+        flow.expand(perf).expect("ok");
+        let d = FlowDiagram::from_task_graph(&flow).expect("acyclic");
+        assert_eq!(d.activities().len(), 1);
+        let a = &d.activities()[0];
+        assert_eq!(a.name, "Simulator");
+        assert_eq!(a.inputs.len(), 2);
+        assert_eq!(a.outputs, vec![perf]);
+        // The simulator node is pure tool, not a data item.
+        assert_eq!(d.items().len(), 3, "perf + circuit + stimuli");
+    }
+
+    #[test]
+    fn shared_tool_application_merges_into_multi_output_activity() {
+        // Extractor produces both ExtractedNetlist and
+        // ExtractionStatistics from the same Layout: one activity, two
+        // outputs (Fig. 5).
+        let schema = Arc::new(schemas::fig1());
+        let mut flow = TaskGraph::new(schema.clone());
+        let ext = flow
+            .seed(schema.require("ExtractedNetlist").expect("known"))
+            .expect("ok");
+        let created = flow.expand(ext).expect("ok");
+        let extractor = created[0];
+        let layout = created[1];
+        let stats_ty = schema.require("ExtractionStatistics").expect("known");
+        let extractor_ty = schema.require("Extractor").expect("known");
+        let layout_ty = schema.require("Layout").expect("known");
+        let stats = flow.seed(stats_ty).expect("ok");
+        flow.expand_with(
+            stats,
+            &crate::Expansion::new()
+                .reusing(extractor_ty, extractor)
+                .reusing(layout_ty, layout),
+        )
+        .expect("ok");
+
+        let d = FlowDiagram::from_task_graph(&flow).expect("acyclic");
+        assert_eq!(d.activities().len(), 1, "merged into one subtask");
+        assert_eq!(d.activities()[0].outputs.len(), 2);
+        let text = d.to_text(&flow);
+        assert!(text.contains("Extractor"));
+        assert!(text.contains(" + "), "two outputs rendered");
+    }
+
+    #[test]
+    fn composite_activity_is_named_compose() {
+        let schema = Arc::new(schemas::fig1());
+        let mut flow = TaskGraph::new(schema.clone());
+        let cct = flow
+            .seed(schema.require("Circuit").expect("known"))
+            .expect("ok");
+        flow.expand(cct).expect("ok");
+        let d = FlowDiagram::from_task_graph(&flow).expect("acyclic");
+        assert_eq!(d.activities().len(), 1);
+        assert_eq!(d.activities()[0].name, "compose");
+        assert!(d.activities()[0].tool.is_none());
+    }
+}

@@ -1,0 +1,182 @@
+//! The flow catalog: named, stored flows for the plan-based approach.
+//!
+//! §3.4: "The plan- or flow-based approach allows designers to choose
+//! from a set or library of flows that they (or another user) have built
+//! up previously. This approach would normally be used when repeating a
+//! common design activity."
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use hercules_schema::TaskSchema;
+use serde::{Deserialize, Serialize};
+
+use crate::error::FlowError;
+use crate::graph::TaskGraph;
+use crate::spec::FlowSpec;
+
+/// One stored flow with its provenance metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CatalogEntry {
+    /// The flow structure.
+    pub spec: FlowSpec,
+    /// Free-form description shown by the catalog browser.
+    pub description: String,
+    /// User who stored the flow.
+    pub author: String,
+}
+
+/// A library of named flows.
+///
+/// # Examples
+///
+/// ```
+/// use hercules_flow::{fixtures, FlowCatalog};
+/// use hercules_schema::fixtures as schemas;
+///
+/// # fn main() -> Result<(), hercules_flow::FlowError> {
+/// let schema = std::sync::Arc::new(schemas::fig1());
+/// let flow = fixtures::fig3(schema.clone())?;
+/// let mut catalog = FlowCatalog::new();
+/// catalog.store("place-edited-netlist", &flow, "synthesize a layout", "sutton");
+/// let again = catalog.instantiate("place-edited-netlist", schema)?;
+/// assert_eq!(again.len(), flow.len());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FlowCatalog {
+    entries: BTreeMap<String, CatalogEntry>,
+}
+
+impl FlowCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> FlowCatalog {
+        FlowCatalog::default()
+    }
+
+    /// Stores a flow under `name`, replacing any previous entry. Returns
+    /// the previous entry if one existed.
+    pub fn store(
+        &mut self,
+        name: &str,
+        flow: &TaskGraph,
+        description: &str,
+        author: &str,
+    ) -> Option<CatalogEntry> {
+        self.entries.insert(
+            name.to_owned(),
+            CatalogEntry {
+                spec: FlowSpec::from_task_graph(flow),
+                description: description.to_owned(),
+                author: author.to_owned(),
+            },
+        )
+    }
+
+    /// Rebuilds the named flow over `schema`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::UnknownFlow`] for unknown names and any
+    /// instantiation error from [`FlowSpec::instantiate`].
+    pub fn instantiate(
+        &self,
+        name: &str,
+        schema: Arc<TaskSchema>,
+    ) -> Result<TaskGraph, FlowError> {
+        let entry = self
+            .entries
+            .get(name)
+            .ok_or_else(|| FlowError::UnknownFlow(name.to_owned()))?;
+        entry.spec.instantiate(schema)
+    }
+
+    /// Returns the entry stored under `name`.
+    pub fn get(&self, name: &str) -> Option<&CatalogEntry> {
+        self.entries.get(name)
+    }
+
+    /// Removes and returns the entry stored under `name`.
+    pub fn remove(&mut self, name: &str) -> Option<CatalogEntry> {
+        self.entries.remove(name)
+    }
+
+    /// Iterates over `(name, entry)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &CatalogEntry)> + '_ {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Returns the stored flow names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.keys().map(String::as_str).collect()
+    }
+
+    /// Returns the number of stored flows.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hercules_schema::fixtures as schemas;
+
+    fn catalog_with_fig3() -> (Arc<TaskSchema>, FlowCatalog) {
+        let schema = Arc::new(schemas::fig1());
+        let flow = crate::fixtures::fig3(schema.clone()).expect("fixture");
+        let mut catalog = FlowCatalog::new();
+        catalog.store("fig3", &flow, "the Fig. 3 placement flow", "jbb");
+        (schema, catalog)
+    }
+
+    #[test]
+    fn store_and_instantiate() {
+        let (schema, catalog) = catalog_with_fig3();
+        assert_eq!(catalog.len(), 1);
+        assert_eq!(catalog.names(), vec!["fig3"]);
+        let flow = catalog.instantiate("fig3", schema).expect("stored");
+        assert_eq!(flow.len(), 6);
+        assert_eq!(catalog.get("fig3").expect("stored").author, "jbb");
+    }
+
+    #[test]
+    fn unknown_flow_errors() {
+        let (schema, catalog) = catalog_with_fig3();
+        assert_eq!(
+            catalog.instantiate("nope", schema).unwrap_err(),
+            FlowError::UnknownFlow("nope".into())
+        );
+    }
+
+    #[test]
+    fn replace_returns_previous_entry() {
+        let (schema, mut catalog) = catalog_with_fig3();
+        let flow = crate::fixtures::fig3(schema).expect("fixture");
+        let prev = catalog.store("fig3", &flow, "updated", "sutton");
+        assert_eq!(prev.expect("replaced").author, "jbb");
+        assert_eq!(catalog.get("fig3").expect("stored").author, "sutton");
+    }
+
+    #[test]
+    fn remove_and_empty() {
+        let (_, mut catalog) = catalog_with_fig3();
+        assert!(catalog.remove("fig3").is_some());
+        assert!(catalog.is_empty());
+        assert!(catalog.remove("fig3").is_none());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let (_, catalog) = catalog_with_fig3();
+        let json = serde_json::to_string(&catalog).expect("serialize");
+        let back: FlowCatalog = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, catalog);
+    }
+}

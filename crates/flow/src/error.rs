@@ -1,0 +1,162 @@
+//! Error type for flow construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use hercules_schema::SchemaError;
+
+use crate::node::NodeId;
+
+/// Errors raised while building, editing or validating a task graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+#[allow(missing_docs)] // variant fields are self-describing names/ids
+pub enum FlowError {
+    /// A node id does not refer to a live node of this graph.
+    NodeNotFound(NodeId),
+    /// An entity name or id is not declared in the schema the flow was
+    /// built against.
+    Schema(SchemaError),
+    /// The node's entity is abstract; it must be specialized to a
+    /// subtype before it can be expanded (§3.2: "the circuit in Fig. 4b
+    /// was specialized to an ExtractedNetlist before expansion").
+    ExpandNeedsSpecialization { entity: String },
+    /// The node's entity has no dependencies, so there is nothing to
+    /// expand. Primary entities are instantiated, not constructed.
+    NothingToExpand { entity: String },
+    /// The node already has producer edges; expanding it again would
+    /// duplicate its task.
+    AlreadyExpanded(NodeId),
+    /// Specialization target is not a (transitive) subtype of the node's
+    /// current entity.
+    NotASubtype { entity: String, requested: String },
+    /// The node has already been expanded; its construction method is
+    /// fixed, so it can no longer be specialized.
+    SpecializeAfterExpand(NodeId),
+    /// A reused node's entity is not compatible with the dependency it
+    /// was offered for.
+    ReuseTypeMismatch {
+        dep_source: String,
+        offered: String,
+    },
+    /// Downward expansion was requested towards an entity that has no
+    /// dependency on the node's entity.
+    NoDependencyPath { from: String, to: String },
+    /// An edge does not correspond to any dependency arc of the schema.
+    EdgeNotInSchema { source: String, target: String },
+    /// A node carries two functional (producer-tool) edges.
+    DuplicateFunctionalEdge(NodeId),
+    /// The same (source, target, kind) edge appears twice.
+    DuplicateEdge(NodeId, NodeId),
+    /// The graph contains a cycle; task graphs are DAGs (§3.2).
+    Cycle,
+    /// A required dependency of an expanded node has no incoming edge.
+    IncompleteExpansion { entity: String, missing: String },
+    /// The flow and an operand (catalog entry, instance binding) were
+    /// built against different schemas.
+    SchemaMismatch,
+    /// The flow catalog has no flow with this name.
+    UnknownFlow(String),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::NodeNotFound(id) => write!(f, "no node {id} in this flow"),
+            FlowError::Schema(e) => write!(f, "schema error: {e}"),
+            FlowError::ExpandNeedsSpecialization { entity } => write!(
+                f,
+                "entity `{entity}` is abstract; specialize it to a subtype before expanding"
+            ),
+            FlowError::NothingToExpand { entity } => write!(
+                f,
+                "entity `{entity}` is primary and has no construction task to expand"
+            ),
+            FlowError::AlreadyExpanded(id) => {
+                write!(f, "node {id} is already expanded")
+            }
+            FlowError::NotASubtype { entity, requested } => write!(
+                f,
+                "`{requested}` is not a subtype of `{entity}`"
+            ),
+            FlowError::SpecializeAfterExpand(id) => write!(
+                f,
+                "node {id} is already expanded and can no longer be specialized"
+            ),
+            FlowError::ReuseTypeMismatch { dep_source, offered } => write!(
+                f,
+                "cannot reuse a `{offered}` node for a dependency on `{dep_source}`"
+            ),
+            FlowError::NoDependencyPath { from, to } => write!(
+                f,
+                "`{to}` has no dependency on `{from}`; cannot expand in that direction"
+            ),
+            FlowError::EdgeNotInSchema { source, target } => write!(
+                f,
+                "edge `{source}` -> `{target}` matches no dependency in the task schema"
+            ),
+            FlowError::DuplicateFunctionalEdge(id) => {
+                write!(f, "node {id} has two functional (tool) edges")
+            }
+            FlowError::DuplicateEdge(s, t) => {
+                write!(f, "edge {s} -> {t} appears twice")
+            }
+            FlowError::Cycle => f.write_str("task graphs must be acyclic"),
+            FlowError::IncompleteExpansion { entity, missing } => write!(
+                f,
+                "expanded node `{entity}` is missing its required dependency on `{missing}`"
+            ),
+            FlowError::SchemaMismatch => {
+                f.write_str("operands were built against different task schemas")
+            }
+            FlowError::UnknownFlow(name) => {
+                write!(f, "no flow named `{name}` in the catalog")
+            }
+        }
+    }
+}
+
+impl Error for FlowError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FlowError::Schema(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SchemaError> for FlowError {
+    fn from(e: SchemaError) -> FlowError {
+        FlowError::Schema(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        let errors = vec![
+            FlowError::NodeNotFound(NodeId::from_index(3)),
+            FlowError::ExpandNeedsSpecialization {
+                entity: "Netlist".into(),
+            },
+            FlowError::Cycle,
+            FlowError::SchemaMismatch,
+            FlowError::UnknownFlow("synth".into()),
+        ];
+        for err in errors {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn schema_error_is_wrapped_with_source() {
+        use std::error::Error as _;
+        let err: FlowError = SchemaError::UnknownEntity("X".into()).into();
+        assert!(err.source().is_some());
+    }
+}

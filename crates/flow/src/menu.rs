@@ -1,0 +1,210 @@
+//! The pop-up menu model of Fig. 9: what operations are available on a
+//! node right now.
+//!
+//! The Hercules UI attaches a menu to every entity icon (*Unexpand /
+//! Expand / Browse / Help* in Fig. 9, plus *Specialize* and the
+//! downward expansions). [`TaskGraph::menu_for`] computes exactly which
+//! entries apply, so a front end never offers an operation the flow
+//! rules would reject.
+
+use hercules_schema::EntityTypeId;
+
+use crate::error::FlowError;
+use crate::graph::TaskGraph;
+use crate::node::NodeId;
+
+/// The menu state for one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeMenu {
+    /// The node this menu belongs to.
+    pub node: NodeId,
+    /// `Expand` applies: the node is unexpanded and its entity is
+    /// concrete with at least one dependency.
+    pub can_expand: bool,
+    /// Optional (dashed) dependencies `Expand…` could include, by
+    /// source entity.
+    pub optional_inputs: Vec<EntityTypeId>,
+    /// `Specialize` choices: concrete subtypes the node can become
+    /// (empty when expanded or the entity has no subtypes).
+    pub specializations: Vec<EntityTypeId>,
+    /// `Unexpand` applies: the node has producer edges.
+    pub can_unexpand: bool,
+    /// Downward expansions: entities with a dependency on this node's
+    /// entity (what the designer could make *from* this node).
+    pub consumers: Vec<EntityTypeId>,
+    /// `Browse`/`Select` apply: the node is a leaf awaiting an
+    /// instance.
+    pub needs_instance: bool,
+}
+
+impl TaskGraph {
+    /// Computes the Fig. 9 pop-up menu for `node`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::NodeNotFound`] for dead nodes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hercules_flow::TaskGraph;
+    /// use hercules_schema::fixtures;
+    ///
+    /// # fn main() -> Result<(), hercules_flow::FlowError> {
+    /// let schema = std::sync::Arc::new(fixtures::fig1());
+    /// let mut flow = TaskGraph::new(schema.clone());
+    /// let netlist = flow.seed(schema.require("Netlist")?)?;
+    /// let menu = flow.menu_for(netlist)?;
+    /// assert!(!menu.can_expand, "abstract: specialize first");
+    /// assert_eq!(menu.specializations.len(), 2);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn menu_for(&self, node: NodeId) -> Result<NodeMenu, FlowError> {
+        let entity = self.entity_of(node)?;
+        let schema = self.schema();
+        let expanded = self.is_expanded(node);
+        let is_abstract = schema.is_abstract(entity);
+        let deps = schema.deps_of(entity);
+
+        let specializations = if expanded {
+            Vec::new()
+        } else {
+            schema
+                .all_subtypes(entity)
+                .into_iter()
+                .filter(|&s| !schema.is_abstract(s))
+                .collect()
+        };
+        let optional_inputs = if expanded || is_abstract {
+            Vec::new()
+        } else {
+            deps.iter()
+                .filter(|d| d.is_optional())
+                .map(|d| d.source())
+                .collect()
+        };
+        let mut consumers: Vec<EntityTypeId> = Vec::new();
+        // Direct consumers of this entity and of every supertype it
+        // satisfies.
+        let mut sources = vec![entity];
+        sources.extend(schema.supertype_chain(entity));
+        for src in sources {
+            for dep in schema.dependents_of(src) {
+                if !schema.is_abstract(dep.target()) && !consumers.contains(&dep.target()) {
+                    consumers.push(dep.target());
+                }
+            }
+        }
+        consumers.sort();
+
+        Ok(NodeMenu {
+            node,
+            can_expand: !expanded && !is_abstract && !deps.is_empty(),
+            optional_inputs,
+            specializations,
+            can_unexpand: expanded,
+            consumers,
+            needs_instance: !expanded,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hercules_schema::fixtures;
+    use std::sync::Arc;
+
+    fn flow() -> (Arc<hercules_schema::TaskSchema>, TaskGraph) {
+        let schema = Arc::new(fixtures::fig1());
+        let flow = TaskGraph::new(schema.clone());
+        (schema, flow)
+    }
+
+    #[test]
+    fn abstract_node_offers_specializations_not_expand() {
+        let (schema, mut flow) = flow();
+        let node = flow
+            .seed(schema.require("Netlist").expect("known"))
+            .expect("seeds");
+        let menu = flow.menu_for(node).expect("live");
+        assert!(!menu.can_expand);
+        assert!(!menu.can_unexpand);
+        assert!(menu.needs_instance);
+        let names: Vec<&str> = menu
+            .specializations
+            .iter()
+            .map(|&s| schema.entity(s).name())
+            .collect();
+        assert_eq!(names, vec!["EditedNetlist", "ExtractedNetlist"]);
+    }
+
+    #[test]
+    fn concrete_node_offers_expand_with_optional_inputs() {
+        let (schema, mut flow) = flow();
+        let node = flow
+            .seed(schema.require("EditedNetlist").expect("known"))
+            .expect("seeds");
+        let menu = flow.menu_for(node).expect("live");
+        assert!(menu.can_expand);
+        assert_eq!(menu.optional_inputs.len(), 1, "the prior-netlist arc");
+        assert_eq!(
+            schema.entity(menu.optional_inputs[0]).name(),
+            "Netlist"
+        );
+    }
+
+    #[test]
+    fn expanded_node_offers_unexpand_only() {
+        let (schema, mut flow) = flow();
+        let node = flow
+            .seed(schema.require("Layout").expect("known"))
+            .expect("seeds");
+        flow.expand(node).expect("expands");
+        let menu = flow.menu_for(node).expect("live");
+        assert!(!menu.can_expand);
+        assert!(menu.can_unexpand);
+        assert!(!menu.needs_instance);
+        assert!(menu.specializations.is_empty());
+    }
+
+    #[test]
+    fn consumers_list_downward_expansions_including_supertype_slots() {
+        let (schema, mut flow) = flow();
+        let node = flow
+            .seed(schema.require("ExtractedNetlist").expect("known"))
+            .expect("seeds");
+        let menu = flow.menu_for(node).expect("live");
+        let names: Vec<&str> = menu
+            .consumers
+            .iter()
+            .map(|&c| schema.entity(c).name())
+            .collect();
+        // Direct: Verification (d on ExtractedNetlist). Via the Netlist
+        // supertype: Layout, Circuit, Verification, EditedNetlist
+        // (optional arc).
+        assert!(names.contains(&"Verification"));
+        assert!(names.contains(&"Layout"));
+        assert!(names.contains(&"Circuit"));
+        assert!(names.contains(&"EditedNetlist"));
+    }
+
+    #[test]
+    fn primary_node_can_only_browse_and_feed_consumers() {
+        let (schema, mut flow) = flow();
+        let node = flow
+            .seed(schema.require("Stimuli").expect("known"))
+            .expect("seeds");
+        let menu = flow.menu_for(node).expect("live");
+        assert!(!menu.can_expand, "nothing to expand");
+        assert!(menu.needs_instance);
+        assert!(!menu.consumers.is_empty());
+    }
+
+    #[test]
+    fn dead_node_reports_not_found() {
+        let (_, flow) = flow();
+        assert!(flow.menu_for(NodeId::from_index(3)).is_err());
+    }
+}

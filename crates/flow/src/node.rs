@@ -1,0 +1,160 @@
+//! Nodes and edges of a task graph.
+
+use std::fmt;
+
+use hercules_schema::{DepKind, EntityTypeId};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node within one [`TaskGraph`].
+///
+/// Node ids are stable for the lifetime of the graph: removing a node
+/// (e.g. by [`TaskGraph::unexpand`]) leaves a tombstone rather than
+/// renumbering.
+///
+/// [`TaskGraph`]: crate::TaskGraph
+/// [`TaskGraph::unexpand`]: crate::TaskGraph::unexpand
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Returns the raw dense index of this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates an id from a raw index (for deserialization and tests).
+    pub fn from_index(index: usize) -> NodeId {
+        NodeId(index as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One node of a task graph: an occurrence of a schema entity type.
+///
+/// The paper's task-graph representation (Fig. 3b) gives tools and data
+/// the same standing — "we are treating the tool as just another
+/// parameter" — so a node may be of either kind.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowNode {
+    pub(crate) entity: EntityTypeId,
+    /// Entity the node was originally created as, before any
+    /// specialization. `None` when never specialized.
+    pub(crate) declared: Option<EntityTypeId>,
+    /// Node whose expansion created this node, or `None` for seeded and
+    /// raw-added nodes. Drives [`TaskGraph::unexpand`]'s garbage
+    /// collection: only nodes an expansion created may be collected when
+    /// that expansion is undone.
+    ///
+    /// [`TaskGraph::unexpand`]: crate::TaskGraph::unexpand
+    pub(crate) created_by: Option<NodeId>,
+}
+
+impl FlowNode {
+    /// Returns the node's current (possibly specialized) entity type.
+    pub fn entity(&self) -> EntityTypeId {
+        self.entity
+    }
+
+    /// Returns the entity the node had before specialization, if the node
+    /// was specialized.
+    pub fn declared_entity(&self) -> Option<EntityTypeId> {
+        self.declared
+    }
+
+    /// Returns `true` if [`specialize`](crate::TaskGraph::specialize) has
+    /// been applied to this node.
+    pub fn is_specialized(&self) -> bool {
+        self.declared.is_some()
+    }
+
+    /// Returns the node whose expansion created this one, or `None` for
+    /// seeded and raw-added nodes.
+    pub fn created_by(&self) -> Option<NodeId> {
+        self.created_by
+    }
+}
+
+/// One edge of a task graph: `target` depends on `source`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FlowEdge {
+    pub(crate) source: NodeId,
+    pub(crate) target: NodeId,
+    pub(crate) kind: DepKind,
+}
+
+impl FlowEdge {
+    /// Returns the input (depended-upon) node.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Returns the dependent node.
+    pub fn target(&self) -> NodeId {
+        self.target
+    }
+
+    /// Returns whether the edge is functional (tool) or data.
+    pub fn kind(&self) -> DepKind {
+        self.kind
+    }
+
+    /// Returns `true` for functional (tool) edges.
+    pub fn is_functional(&self) -> bool {
+        self.kind == DepKind::Functional
+    }
+
+    /// Returns `true` for data edges.
+    pub fn is_data(&self) -> bool {
+        self.kind == DepKind::Data
+    }
+}
+
+impl fmt::Display for FlowEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} —{}→ {}", self.source, self.kind, self.target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trips() {
+        let id = NodeId::from_index(5);
+        assert_eq!(id.index(), 5);
+        assert_eq!(id.to_string(), "n5");
+    }
+
+    #[test]
+    fn edge_accessors() {
+        let e = FlowEdge {
+            source: NodeId::from_index(0),
+            target: NodeId::from_index(1),
+            kind: DepKind::Functional,
+        };
+        assert!(e.is_functional());
+        assert!(!e.is_data());
+        assert_eq!(e.source().index(), 0);
+        assert_eq!(e.target().index(), 1);
+    }
+
+    #[test]
+    fn unspecialized_node_reports_no_declared_entity() {
+        let n = FlowNode {
+            entity: EntityTypeId::from_index(2),
+            declared: None,
+            created_by: None,
+        };
+        assert!(!n.is_specialized());
+        assert_eq!(n.entity().index(), 2);
+        assert_eq!(n.declared_entity(), None);
+    }
+}

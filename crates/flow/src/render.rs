@@ -1,0 +1,289 @@
+//! Textual renderings of task graphs.
+//!
+//! Footnote 2 of the paper: "Our representation of a flow is analogous
+//! to the Lisp representation of a function, whereas a traditional
+//! flowmap is analogous to the C or Pascal representation. For example,
+//! we may write Fig. 3b as `placement = (placer, (circuit_editor,
+//! circuit), placement_rules)` whereas Fig. 3a may be written as
+//! `placement = placer(circuit_editor(circuit), placement_rules)`."
+//! [`to_sexpr`] and [`to_call`] produce exactly those two forms.
+
+use std::fmt::Write as _;
+
+use crate::error::FlowError;
+use crate::graph::TaskGraph;
+use crate::node::NodeId;
+
+fn snake(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.extend(c.to_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Renders the flow rooted at `node` in the paper's Lisp-like task-graph
+/// form: `(tool, input…)`, with leaves as bare names.
+///
+/// # Errors
+///
+/// Returns [`FlowError::NodeNotFound`] for dead nodes and
+/// [`FlowError::Cycle`] if recursion detects a cycle.
+///
+/// # Examples
+///
+/// ```
+/// use hercules_flow::{fixtures, render};
+/// use hercules_schema::fixtures as schemas;
+///
+/// # fn main() -> Result<(), hercules_flow::FlowError> {
+/// let schema = std::sync::Arc::new(schemas::fig1());
+/// let flow = fixtures::fig3(schema)?;
+/// let root = flow.outputs()[0];
+/// assert_eq!(
+///     render::to_sexpr(&flow, root)?,
+///     "(placer, (circuit_editor, netlist), placement_rules)"
+/// );
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_sexpr(flow: &TaskGraph, node: NodeId) -> Result<String, FlowError> {
+    let mut depth = 0usize;
+    sexpr_inner(flow, node, &mut depth)
+}
+
+fn sexpr_inner(flow: &TaskGraph, node: NodeId, depth: &mut usize) -> Result<String, FlowError> {
+    *depth += 1;
+    if *depth > flow.len() + 1 {
+        return Err(FlowError::Cycle);
+    }
+    let name = snake(flow.schema().entity(flow.entity_of(node)?).name());
+    if !flow.is_expanded(node) {
+        *depth -= 1;
+        return Ok(name);
+    }
+    let mut parts = Vec::new();
+    match flow.tool_of(node) {
+        Some(t) => parts.push(sexpr_inner(flow, t, depth)?),
+        None => parts.push("compose".to_owned()),
+    }
+    for input in flow.data_inputs_of(node) {
+        parts.push(sexpr_inner(flow, input, depth)?);
+    }
+    *depth -= 1;
+    Ok(format!("({})", parts.join(", ")))
+}
+
+/// Renders the flow rooted at `node` in the traditional C-like flowmap
+/// form: `tool(input…)`. A constructed tool is parenthesized:
+/// `(simulator_compiler(netlist))(stimuli)`.
+///
+/// # Errors
+///
+/// As [`to_sexpr`].
+pub fn to_call(flow: &TaskGraph, node: NodeId) -> Result<String, FlowError> {
+    let mut depth = 0usize;
+    call_inner(flow, node, &mut depth)
+}
+
+fn call_inner(flow: &TaskGraph, node: NodeId, depth: &mut usize) -> Result<String, FlowError> {
+    *depth += 1;
+    if *depth > flow.len() + 1 {
+        return Err(FlowError::Cycle);
+    }
+    let name = snake(flow.schema().entity(flow.entity_of(node)?).name());
+    if !flow.is_expanded(node) {
+        *depth -= 1;
+        return Ok(name);
+    }
+    let tool_expr = match flow.tool_of(node) {
+        Some(t) => {
+            let e = call_inner(flow, t, depth)?;
+            if flow.is_expanded(t) {
+                format!("({e})")
+            } else {
+                e
+            }
+        }
+        None => "compose".to_owned(),
+    };
+    let inputs: Result<Vec<String>, FlowError> = flow
+        .data_inputs_of(node)
+        .into_iter()
+        .map(|i| call_inner(flow, i, depth))
+        .collect();
+    *depth -= 1;
+    Ok(format!("{tool_expr}({})", inputs?.join(", ")))
+}
+
+/// Renders the whole flow as an indented text tree, the form the
+/// Hercules task window displays (Fig. 9a).
+pub fn to_text(flow: &TaskGraph) -> String {
+    let mut out = String::new();
+    let mut outputs = flow.outputs();
+    outputs.sort();
+    for root in outputs {
+        render_tree(flow, root, 0, &mut out, &mut Vec::new());
+    }
+    out
+}
+
+fn render_tree(
+    flow: &TaskGraph,
+    node: NodeId,
+    indent: usize,
+    out: &mut String,
+    path: &mut Vec<NodeId>,
+) {
+    let name = flow
+        .node(node)
+        .map(|n| flow.schema().entity(n.entity()).name().to_owned())
+        .unwrap_or_else(|_| "<dead>".to_owned());
+    let marker = if flow.is_expanded(node) { "" } else { " *" };
+    let _ = writeln!(out, "{}{name}{marker}", "  ".repeat(indent));
+    if path.contains(&node) {
+        let _ = writeln!(out, "{}<cycle>", "  ".repeat(indent + 1));
+        return;
+    }
+    path.push(node);
+    if let Some(t) = flow.tool_of(node) {
+        let _ = write!(out, "{}f: ", "  ".repeat(indent + 1));
+        let mut sub = String::new();
+        render_tree(flow, t, 0, &mut sub, path);
+        out.push_str(&indent_tail(&sub, indent + 1));
+    }
+    for input in flow.data_inputs_of(node) {
+        let _ = write!(out, "{}d: ", "  ".repeat(indent + 1));
+        let mut sub = String::new();
+        render_tree(flow, input, 0, &mut sub, path);
+        out.push_str(&indent_tail(&sub, indent + 1));
+    }
+    path.pop();
+}
+
+fn indent_tail(s: &str, indent: usize) -> String {
+    let mut lines = s.lines();
+    let mut out = String::new();
+    if let Some(first) = lines.next() {
+        out.push_str(first);
+        out.push('\n');
+    }
+    for line in lines {
+        out.push_str(&"  ".repeat(indent));
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the task graph as a Graphviz digraph (nodes labelled with
+/// entity names, `f`/`d` edge labels, leaves drawn dashed to show they
+/// await instantiation).
+pub fn to_dot(flow: &TaskGraph) -> String {
+    let mut out = String::from("digraph task_graph {\n  rankdir=BT;\n");
+    for (id, node) in flow.nodes() {
+        let name = flow.schema().entity(node.entity()).name();
+        let style = if flow.is_expanded(id) {
+            "solid"
+        } else {
+            "dashed"
+        };
+        let _ = writeln!(out, "  {id} [label=\"{name}\", style={style}];");
+    }
+    for e in flow.edges() {
+        let _ = writeln!(
+            out,
+            "  {} -> {} [label=\"{}\"];",
+            e.source(),
+            e.target(),
+            e.kind()
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hercules_schema::fixtures as schemas;
+    use std::sync::Arc;
+
+    #[test]
+    fn snake_case_conversion() {
+        assert_eq!(snake("PerformancePlot"), "performance_plot");
+        assert_eq!(snake("Netlist"), "netlist");
+        assert_eq!(snake("COSMOS"), "c_o_s_m_o_s");
+    }
+
+    #[test]
+    fn sexpr_and_call_agree_with_footnote_2() {
+        let schema = Arc::new(schemas::fig1());
+        let flow = crate::fixtures::fig3(schema).expect("fixture");
+        let root = flow.outputs()[0];
+        assert_eq!(
+            to_sexpr(&flow, root).expect("render"),
+            "(placer, (circuit_editor, netlist), placement_rules)"
+        );
+        assert_eq!(
+            to_call(&flow, root).expect("render"),
+            "placer(circuit_editor(netlist), placement_rules)"
+        );
+    }
+
+    #[test]
+    fn constructed_tool_is_parenthesized_in_call_form() {
+        let schema = Arc::new(schemas::fig2());
+        let mut flow = TaskGraph::new(schema.clone());
+        let sim = flow
+            .seed(schema.require("SwitchSimulation").expect("known"))
+            .expect("ok");
+        flow.expand_all(sim).expect("ok");
+        let call = to_call(&flow, sim).expect("render");
+        assert_eq!(
+            call,
+            "(simulator_compiler(netlist))(stimuli)"
+        );
+        let sexpr = to_sexpr(&flow, sim).expect("render");
+        assert_eq!(
+            sexpr,
+            "((simulator_compiler, netlist), stimuli)"
+        );
+    }
+
+    #[test]
+    fn text_tree_marks_unexpanded_leaves() {
+        let schema = Arc::new(schemas::fig1());
+        let mut flow = TaskGraph::new(schema.clone());
+        let perf = flow
+            .seed(schema.require("Performance").expect("known"))
+            .expect("ok");
+        flow.expand(perf).expect("ok");
+        let text = to_text(&flow);
+        assert!(text.contains("Performance\n"));
+        assert!(text.contains("Simulator *"), "leaf marked with *");
+        assert!(text.contains("f: "));
+        assert!(text.contains("d: "));
+    }
+
+    #[test]
+    fn dot_output_shape() {
+        let schema = Arc::new(schemas::fig1());
+        let mut flow = TaskGraph::new(schema.clone());
+        let perf = flow
+            .seed(schema.require("Performance").expect("known"))
+            .expect("ok");
+        flow.expand(perf).expect("ok");
+        let dot = to_dot(&flow);
+        assert!(dot.starts_with("digraph task_graph {"));
+        assert_eq!(dot.matches("->").count(), flow.edge_count());
+        assert!(dot.contains("style=dashed"));
+    }
+}

@@ -1,0 +1,244 @@
+//! Serializable form of a task graph.
+//!
+//! A [`TaskGraph`] holds an `Arc<TaskSchema>`, so it does not serialize
+//! directly; [`FlowSpec`] is its declarative form (entity *names*, dense
+//! node indexes) used by the flow catalog and for persistence. Rebuilding
+//! from a spec re-validates against the schema, so a loaded flow is
+//! always consistent.
+
+use std::sync::Arc;
+
+use hercules_schema::{DepKind, TaskSchema};
+use serde::{Deserialize, Serialize};
+
+use crate::error::FlowError;
+use crate::graph::TaskGraph;
+use crate::node::NodeId;
+
+/// Declaration of one flow node by entity name.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowNodeSpec {
+    /// Current (possibly specialized) entity name.
+    pub entity: String,
+    /// Pre-specialization entity name, if the node was specialized.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub declared: Option<String>,
+    /// Index of the node whose expansion created this one, if any.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub created_by: Option<usize>,
+}
+
+/// Declaration of one flow edge by dense node index.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowEdgeSpec {
+    /// Index of the source node in [`FlowSpec::nodes`].
+    pub source: usize,
+    /// Index of the target node in [`FlowSpec::nodes`].
+    pub target: usize,
+    /// Functional (`f`) or data (`d`).
+    pub kind: DepKind,
+}
+
+/// The complete serializable form of a flow.
+///
+/// # Examples
+///
+/// ```
+/// use hercules_flow::{fixtures, FlowSpec};
+/// use hercules_schema::fixtures as schemas;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let schema = std::sync::Arc::new(schemas::fig1());
+/// let flow = fixtures::fig3(schema.clone())?;
+/// let spec = FlowSpec::from_task_graph(&flow);
+/// let rebuilt = spec.instantiate(schema)?;
+/// assert_eq!(rebuilt.len(), flow.len());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FlowSpec {
+    /// Node declarations; edge indexes refer to this list.
+    pub nodes: Vec<FlowNodeSpec>,
+    /// Edge declarations.
+    pub edges: Vec<FlowEdgeSpec>,
+}
+
+impl FlowSpec {
+    /// Captures a task graph as a spec, compacting away tombstones.
+    pub fn from_task_graph(flow: &TaskGraph) -> FlowSpec {
+        let live: Vec<NodeId> = flow.node_ids().collect();
+        let index_of = |id: NodeId| live.iter().position(|&x| x == id).expect("live");
+        let nodes = live
+            .iter()
+            .map(|&id| {
+                let n = flow.node(id).expect("live");
+                let schema = flow.schema();
+                FlowNodeSpec {
+                    entity: schema.entity(n.entity()).name().to_owned(),
+                    declared: n
+                        .declared_entity()
+                        .map(|d| schema.entity(d).name().to_owned()),
+                    created_by: n
+                        .created_by()
+                        .filter(|c| live.contains(c))
+                        .map(&index_of),
+                }
+            })
+            .collect();
+        let edges = flow
+            .edges()
+            .map(|e| FlowEdgeSpec {
+                source: index_of(e.source()),
+                target: index_of(e.target()),
+                kind: e.kind(),
+            })
+            .collect();
+        FlowSpec { nodes, edges }
+    }
+
+    /// Rebuilds a validated task graph over `schema`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Schema`] for unknown entity names,
+    /// [`FlowError::NodeNotFound`] for out-of-range edge indexes, and any
+    /// structural violation from [`TaskGraph::validate`].
+    pub fn instantiate(&self, schema: Arc<TaskSchema>) -> Result<TaskGraph, FlowError> {
+        let mut flow = TaskGraph::new(schema.clone());
+        for n in &self.nodes {
+            let entity = schema.require(&n.entity)?;
+            let id = flow.add_node_raw(entity)?;
+            if let Some(declared) = &n.declared {
+                let declared = schema.require(declared)?;
+                let slot = flow.nodes[id.index()].as_mut().expect("just added");
+                slot.declared = Some(declared);
+            }
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let Some(creator) = n.created_by {
+                if creator >= self.nodes.len() {
+                    return Err(FlowError::NodeNotFound(NodeId::from_index(creator)));
+                }
+                let slot = flow.nodes[i].as_mut().expect("just added");
+                slot.created_by = Some(NodeId::from_index(creator));
+            }
+        }
+        for e in &self.edges {
+            flow.add_edge_raw(
+                NodeId::from_index(e.source),
+                NodeId::from_index(e.target),
+                e.kind,
+            )?;
+        }
+        flow.validate()?;
+        Ok(flow)
+    }
+
+    /// Returns the number of node declarations.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the spec declares no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hercules_schema::fixtures as schemas;
+
+    #[test]
+    fn round_trip_preserves_structure_and_specialization() {
+        let schema = Arc::new(schemas::fig1());
+        let mut flow = TaskGraph::new(schema.clone());
+        let net = flow
+            .seed(schema.require("Netlist").expect("known"))
+            .expect("ok");
+        flow.specialize(net, schema.require("ExtractedNetlist").expect("known"))
+            .expect("ok");
+        flow.expand(net).expect("ok");
+
+        let spec = FlowSpec::from_task_graph(&flow);
+        assert_eq!(spec.len(), 3);
+        let rebuilt = spec.instantiate(schema.clone()).expect("valid");
+        assert_eq!(rebuilt.len(), 3);
+        let rebuilt_net = rebuilt
+            .nodes()
+            .find(|(_, n)| n.is_specialized())
+            .expect("specialized node survives");
+        assert_eq!(
+            schema.entity(rebuilt_net.1.entity()).name(),
+            "ExtractedNetlist"
+        );
+        assert_eq!(
+            rebuilt_net.1.declared_entity().map(|d| schema.entity(d).name()),
+            Some("Netlist")
+        );
+    }
+
+    #[test]
+    fn tombstones_are_compacted() {
+        let schema = Arc::new(schemas::fig1());
+        let mut flow = TaskGraph::new(schema.clone());
+        let layout = flow
+            .seed(schema.require("Layout").expect("known"))
+            .expect("ok");
+        flow.expand(layout).expect("ok");
+        flow.unexpand(layout).expect("ok");
+        assert_eq!(flow.len(), 1);
+        let spec = FlowSpec::from_task_graph(&flow);
+        assert_eq!(spec.len(), 1);
+        assert!(spec.edges.is_empty());
+        spec.instantiate(schema).expect("valid");
+    }
+
+    #[test]
+    fn unknown_entity_name_fails_instantiation() {
+        let schema = Arc::new(schemas::fig1());
+        let spec = FlowSpec {
+            nodes: vec![FlowNodeSpec {
+                entity: "Ghost".into(),
+                declared: None,
+                created_by: None,
+            }],
+            edges: vec![],
+        };
+        assert!(matches!(
+            spec.instantiate(schema).unwrap_err(),
+            FlowError::Schema(_)
+        ));
+    }
+
+    #[test]
+    fn invalid_edges_fail_instantiation() {
+        let schema = Arc::new(schemas::fig1());
+        let spec = FlowSpec {
+            nodes: vec![FlowNodeSpec {
+                entity: "Stimuli".into(),
+                declared: None,
+                created_by: None,
+            }],
+            edges: vec![FlowEdgeSpec {
+                source: 0,
+                target: 5,
+                kind: DepKind::Data,
+            }],
+        };
+        assert!(spec.instantiate(schema).is_err());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let schema = Arc::new(schemas::fig1());
+        let flow = crate::fixtures::fig3(schema.clone()).expect("fixture");
+        let spec = FlowSpec::from_task_graph(&flow);
+        let json = serde_json::to_string(&spec).expect("serialize");
+        let back: FlowSpec = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, spec);
+        back.instantiate(schema).expect("valid");
+    }
+}

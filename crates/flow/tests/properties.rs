@@ -1,0 +1,163 @@
+//! Property-based tests for dynamically defined flows: random
+//! sequences of designer operations keep every invariant.
+
+use std::sync::Arc;
+
+use hercules_flow::{Expansion, FlowSpec, TaskGraph};
+use hercules_schema::{fixtures, EntityTypeId, TaskSchema};
+use proptest::prelude::*;
+
+/// One random designer operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Seed(usize),
+    Expand(usize),
+    ExpandOptional(usize),
+    Specialize(usize, usize),
+    Unexpand(usize),
+    ExpandDown(usize, usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..64).prop_map(Op::Seed),
+        (0usize..64).prop_map(Op::Expand),
+        (0usize..64).prop_map(Op::ExpandOptional),
+        (0usize..64, 0usize..64).prop_map(|(a, b)| Op::Specialize(a, b)),
+        (0usize..64).prop_map(Op::Unexpand),
+        (0usize..64, 0usize..64).prop_map(|(a, b)| Op::ExpandDown(a, b)),
+    ]
+}
+
+/// Applies an operation best-effort (errors are legal designer
+/// mistakes; panics are not).
+fn apply(flow: &mut TaskGraph, schema: &Arc<TaskSchema>, op: &Op) {
+    let nodes: Vec<_> = flow.node_ids().collect();
+    let pick_node = |i: usize| nodes.get(i % nodes.len().max(1)).copied();
+    let pick_entity = |i: usize| EntityTypeId::from_index(i % schema.len());
+    match op {
+        Op::Seed(e) => {
+            let _ = flow.seed(pick_entity(*e));
+        }
+        Op::Expand(n) => {
+            if let Some(node) = pick_node(*n) {
+                let _ = flow.expand(node);
+            }
+        }
+        Op::ExpandOptional(n) => {
+            if let Some(node) = pick_node(*n) {
+                if let Ok(entity) = flow.entity_of(node) {
+                    let optional: Vec<EntityTypeId> = schema
+                        .deps_of(entity)
+                        .iter()
+                        .filter(|d| d.is_optional())
+                        .map(|d| d.source())
+                        .collect();
+                    let mut exp = Expansion::new();
+                    for o in optional {
+                        exp = exp.with_optional(o);
+                    }
+                    let _ = flow.expand_with(node, &exp);
+                }
+            }
+        }
+        Op::Specialize(n, e) => {
+            if let Some(node) = pick_node(*n) {
+                let _ = flow.specialize(node, pick_entity(*e));
+            }
+        }
+        Op::Unexpand(n) => {
+            if let Some(node) = pick_node(*n) {
+                let _ = flow.unexpand(node);
+            }
+        }
+        Op::ExpandDown(n, e) => {
+            if let Some(node) = pick_node(*n) {
+                let _ = flow.expand_down(node, pick_entity(*e), &Expansion::new());
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any sequence of checked operations leaves a structurally valid,
+    /// acyclic flow whose leaves/interior partition the nodes.
+    #[test]
+    fn random_editing_preserves_invariants(ops in prop::collection::vec(op_strategy(), 0..40)) {
+        let schema = Arc::new(fixtures::fig1());
+        let mut flow = TaskGraph::new(schema.clone());
+        for op in &ops {
+            apply(&mut flow, &schema, op);
+        }
+        flow.validate().expect("checked ops keep the flow valid");
+        let order = flow.topo_order().expect("acyclic");
+        prop_assert_eq!(order.len(), flow.len());
+        let leaves = flow.leaves();
+        let interior = flow.interior();
+        prop_assert_eq!(leaves.len() + interior.len(), flow.len());
+        for l in &leaves {
+            prop_assert!(!flow.is_expanded(*l));
+        }
+        for i in &interior {
+            prop_assert!(flow.is_expanded(*i));
+        }
+    }
+
+    /// FlowSpec round trips are the identity on live structure.
+    #[test]
+    fn spec_round_trip(ops in prop::collection::vec(op_strategy(), 0..30)) {
+        let schema = Arc::new(fixtures::fig1());
+        let mut flow = TaskGraph::new(schema.clone());
+        for op in &ops {
+            apply(&mut flow, &schema, op);
+        }
+        let spec = FlowSpec::from_task_graph(&flow);
+        let rebuilt = spec.instantiate(schema.clone()).expect("valid spec");
+        prop_assert_eq!(rebuilt.len(), flow.len());
+        prop_assert_eq!(rebuilt.edge_count(), flow.edge_count());
+        // Entity multiset preserved.
+        let names = |f: &TaskGraph| {
+            let mut v: Vec<&str> = f
+                .nodes()
+                .map(|(_, n)| schema.entity(n.entity()).name())
+                .collect();
+            v.sort();
+            v
+        };
+        prop_assert_eq!(names(&rebuilt), names(&flow));
+    }
+
+    /// expand / unexpand is a no-net-change pair when nothing is shared.
+    #[test]
+    fn expand_unexpand_restores_size(entity_idx in 0usize..64) {
+        let schema = Arc::new(fixtures::fig1());
+        let entity = EntityTypeId::from_index(entity_idx % schema.len());
+        let mut flow = TaskGraph::new(schema.clone());
+        let node = flow.seed(entity).expect("any entity seeds");
+        let before = (flow.len(), flow.edge_count());
+        if flow.expand(node).is_ok() {
+            flow.unexpand(node).expect("expanded nodes unexpand");
+            prop_assert_eq!((flow.len(), flow.edge_count()), before);
+        }
+    }
+
+    /// Sub-flows are closed: every producer edge of a kept node is kept.
+    #[test]
+    fn subflows_are_dependency_closed(ops in prop::collection::vec(op_strategy(), 1..30)) {
+        let schema = Arc::new(fixtures::fig1());
+        let mut flow = TaskGraph::new(schema.clone());
+        for op in &ops {
+            apply(&mut flow, &schema, op);
+        }
+        for root in flow.node_ids() {
+            let (sub, _) = flow.subflow(root).expect("live root");
+            sub.validate().expect("sub-flows stay valid");
+            // Interior nodes of the sub-flow keep all their inputs.
+            for node in sub.interior() {
+                prop_assert!(sub.producers_of(node).count() > 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Deterministic logical time for instance metadata.
+//!
+//! The paper's browser filters instances by creation date (Fig. 9's
+//! "Date Limits: From 10/1/1992 To 10/31/1992"). For reproducibility the
+//! history database stamps instances from a monotonically increasing
+//! *logical clock* rather than wall time; a [`Timestamp`] is an opaque
+//! tick that tests and benchmarks can partition into "days" however they
+//! like.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A logical creation time. Higher is later.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// Returns the raw tick value.
+    pub fn tick(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` if `self` is strictly later than `other`.
+    pub fn is_after(self, other: Timestamp) -> bool {
+        self.0 > other.0
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// The database's monotone clock.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogicalClock {
+    next: u64,
+}
+
+impl LogicalClock {
+    /// Creates a clock starting at tick 0.
+    pub fn new() -> LogicalClock {
+        LogicalClock::default()
+    }
+
+    /// Returns the next timestamp and advances the clock.
+    pub fn now(&mut self) -> Timestamp {
+        let t = Timestamp(self.next);
+        self.next += 1;
+        t
+    }
+
+    /// Returns the timestamp the next call to [`LogicalClock::now`] will
+    /// produce, without advancing.
+    pub fn peek(&self) -> Timestamp {
+        Timestamp(self.next)
+    }
+
+    /// Advances the clock so the next timestamp is at least `to`. Useful
+    /// for simulating gaps ("a day later").
+    pub fn advance_to(&mut self, to: Timestamp) {
+        self.next = self.next.max(to.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotone() {
+        let mut c = LogicalClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b.is_after(a));
+        assert!(!a.is_after(b));
+        assert!(!a.is_after(a));
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut c = LogicalClock::new();
+        assert_eq!(c.peek(), c.peek());
+        let t = c.now();
+        assert_eq!(t, Timestamp(0));
+    }
+
+    #[test]
+    fn advance_to_skips_forward_but_never_back() {
+        let mut c = LogicalClock::new();
+        c.advance_to(Timestamp(100));
+        assert_eq!(c.now(), Timestamp(100));
+        c.advance_to(Timestamp(5));
+        assert_eq!(c.now(), Timestamp(101));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Timestamp(7).to_string(), "t7");
+    }
+}

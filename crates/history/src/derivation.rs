@@ -1,0 +1,79 @@
+//! Immediate derivation records.
+
+use serde::{Deserialize, Serialize};
+
+use crate::instance::InstanceId;
+
+/// The immediate derivation of an instance: "the immediate tool and data
+/// used in creating that object" (§1).
+///
+/// The full derivation history of a design is the transitive closure of
+/// these records, reconstructed on demand by backward chaining
+/// ([`HistoryDb::backward_chain`]) — nothing more than this record is
+/// ever stored per object.
+///
+/// [`HistoryDb::backward_chain`]: crate::HistoryDb::backward_chain
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Derivation {
+    /// The tool instance that ran, or `None` for implicit composition
+    /// functions of composite entities.
+    pub tool: Option<InstanceId>,
+    /// The data instances consumed, in the task's input order.
+    pub inputs: Vec<InstanceId>,
+}
+
+impl Derivation {
+    /// Creates a derivation by a tool over inputs.
+    pub fn by_tool<I>(tool: InstanceId, inputs: I) -> Derivation
+    where
+        I: IntoIterator<Item = InstanceId>,
+    {
+        Derivation {
+            tool: Some(tool),
+            inputs: inputs.into_iter().collect(),
+        }
+    }
+
+    /// Creates a tool-less derivation (implicit composition of a
+    /// composite entity).
+    pub fn by_composition<I>(inputs: I) -> Derivation
+    where
+        I: IntoIterator<Item = InstanceId>,
+    {
+        Derivation {
+            tool: None,
+            inputs: inputs.into_iter().collect(),
+        }
+    }
+
+    /// Iterates over every instance referenced: tool (if any) first,
+    /// then inputs.
+    pub fn referenced(&self) -> impl Iterator<Item = InstanceId> + '_ {
+        self.tool.into_iter().chain(self.inputs.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn by_tool_records_tool_and_inputs() {
+        let d = Derivation::by_tool(
+            InstanceId::from_raw(0),
+            [InstanceId::from_raw(1), InstanceId::from_raw(2)],
+        );
+        assert_eq!(d.tool, Some(InstanceId::from_raw(0)));
+        assert_eq!(d.inputs.len(), 2);
+        let refs: Vec<_> = d.referenced().collect();
+        assert_eq!(refs.len(), 3);
+        assert_eq!(refs[0], InstanceId::from_raw(0));
+    }
+
+    #[test]
+    fn composition_has_no_tool() {
+        let d = Derivation::by_composition([InstanceId::from_raw(4)]);
+        assert!(d.tool.is_none());
+        assert_eq!(d.referenced().count(), 1);
+    }
+}

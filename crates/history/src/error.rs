@@ -1,0 +1,133 @@
+//! Error type for the design-history database.
+
+use std::error::Error;
+use std::fmt;
+
+use hercules_schema::SchemaError;
+
+use crate::instance::InstanceId;
+
+/// Errors raised by the design-history database and its queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+#[allow(missing_docs)] // variant fields are self-describing names/ids
+pub enum HistoryError {
+    /// An instance id does not exist in this database.
+    UnknownInstance(InstanceId),
+    /// A schema lookup failed.
+    Schema(SchemaError),
+    /// An instance was recorded with an entity type incompatible with
+    /// the requested operation.
+    TypeMismatch { expected: String, found: String },
+    /// A derivation references the instance being created, or otherwise
+    /// cannot be part of a well-founded history.
+    CircularDerivation(InstanceId),
+    /// The derivation's tool instance is not an instance of the entity's
+    /// constructing tool.
+    WrongTool { entity: String, tool: String },
+    /// The derivation's inputs cannot be matched to the entity's data
+    /// dependencies.
+    BadDerivationInputs { entity: String },
+    /// A blob hash is not present in the store.
+    UnknownBlob,
+    /// A flow-template query mixed flows and databases built against
+    /// different schemas.
+    SchemaMismatch,
+    /// A template query bound a node to an instance of an incompatible
+    /// entity type.
+    BindingTypeMismatch { node_entity: String, instance_entity: String },
+    /// A flow error surfaced while using a task graph as a template.
+    Flow(hercules_flow::FlowError),
+}
+
+impl fmt::Display for HistoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistoryError::UnknownInstance(id) => {
+                write!(f, "no instance {id} in the design history")
+            }
+            HistoryError::Schema(e) => write!(f, "schema error: {e}"),
+            HistoryError::TypeMismatch { expected, found } => {
+                write!(f, "expected an instance of `{expected}`, found `{found}`")
+            }
+            HistoryError::CircularDerivation(id) => {
+                write!(f, "derivation of {id} refers to itself or a descendant")
+            }
+            HistoryError::WrongTool { entity, tool } => write!(
+                f,
+                "`{entity}` is not constructed by the tool `{tool}` in the schema"
+            ),
+            HistoryError::BadDerivationInputs { entity } => write!(
+                f,
+                "derivation inputs do not match the data dependencies of `{entity}`"
+            ),
+            HistoryError::UnknownBlob => f.write_str("blob hash not present in the store"),
+            HistoryError::SchemaMismatch => {
+                f.write_str("flow and history database use different schemas")
+            }
+            HistoryError::BindingTypeMismatch {
+                node_entity,
+                instance_entity,
+            } => write!(
+                f,
+                "cannot bind a `{instance_entity}` instance to a `{node_entity}` node"
+            ),
+            HistoryError::Flow(e) => write!(f, "flow error: {e}"),
+        }
+    }
+}
+
+impl Error for HistoryError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HistoryError::Schema(e) => Some(e),
+            HistoryError::Flow(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SchemaError> for HistoryError {
+    fn from(e: SchemaError) -> HistoryError {
+        HistoryError::Schema(e)
+    }
+}
+
+impl From<hercules_flow::FlowError> for HistoryError {
+    fn from(e: hercules_flow::FlowError) -> HistoryError {
+        HistoryError::Flow(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        let errors = vec![
+            HistoryError::UnknownInstance(InstanceId::from_raw(1)),
+            HistoryError::UnknownBlob,
+            HistoryError::SchemaMismatch,
+            HistoryError::TypeMismatch {
+                expected: "Netlist".into(),
+                found: "Layout".into(),
+            },
+        ];
+        for err in errors {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn sources_are_chained() {
+        use std::error::Error as _;
+        let e: HistoryError = SchemaError::UnknownEntity("X".into()).into();
+        assert!(e.source().is_some());
+        let e: HistoryError =
+            hercules_flow::FlowError::Cycle.into();
+        assert!(e.source().is_some());
+    }
+}

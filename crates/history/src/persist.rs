@@ -1,0 +1,193 @@
+//! Persistence of the history database.
+//!
+//! The paper's design history lives in the Odyssey framework's database;
+//! here it serializes to a declarative [`HistorySpec`] (entity *names*
+//! instead of schema-relative ids) so a database survives schema
+//! reloads. Loading replays the records through the normal checked
+//! entry points, so a loaded database is always consistent.
+
+use std::sync::Arc;
+
+use hercules_schema::TaskSchema;
+use serde::{Deserialize, Serialize};
+
+use crate::clock::Timestamp;
+use crate::db::HistoryDb;
+use crate::derivation::Derivation;
+use crate::error::HistoryError;
+use crate::instance::{InstanceId, Metadata};
+
+/// Serializable record of one instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstanceSpec {
+    /// Entity type name.
+    pub entity: String,
+    /// User-id of the creator.
+    pub user: String,
+    /// Logical creation time (restored verbatim).
+    pub created: Timestamp,
+    /// Annotation name.
+    #[serde(default, skip_serializing_if = "String::is_empty")]
+    pub name: String,
+    /// Annotation comment.
+    #[serde(default, skip_serializing_if = "String::is_empty")]
+    pub comment: String,
+    /// Browser keywords.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub keywords: Vec<String>,
+    /// Physical data (omitted for data-less instances).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub data: Option<Vec<u8>>,
+    /// Tool instance index of the derivation, if derived by a tool.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub tool: Option<u64>,
+    /// Input instance indexes of the derivation; `None` for primary
+    /// instances (an empty list still means "derived").
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub inputs: Option<Vec<u64>>,
+}
+
+/// The complete serializable form of a history database.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct HistorySpec {
+    /// Instance records in creation (= id) order.
+    pub instances: Vec<InstanceSpec>,
+}
+
+impl HistorySpec {
+    /// Captures a database.
+    pub fn from_db(db: &HistoryDb) -> HistorySpec {
+        let instances = db
+            .instances()
+            .map(|i| {
+                let m = i.meta();
+                InstanceSpec {
+                    entity: db.schema().entity(i.entity()).name().to_owned(),
+                    user: m.user.clone(),
+                    created: m.created,
+                    name: m.name.clone(),
+                    comment: m.comment.clone(),
+                    keywords: m.keywords.clone(),
+                    data: i
+                        .data()
+                        .and_then(|h| db.store().get(h))
+                        .map(<[u8]>::to_vec),
+                    tool: i.derivation().and_then(|d| d.tool).map(InstanceId::raw),
+                    inputs: i
+                        .derivation()
+                        .map(|d| d.inputs.iter().map(|x| x.raw()).collect()),
+                }
+            })
+            .collect();
+        HistorySpec { instances }
+    }
+
+    /// Replays the records into a fresh database over `schema`.
+    ///
+    /// # Errors
+    ///
+    /// Returns schema errors for unknown entity names and the usual
+    /// derivation checks for corrupt records.
+    pub fn load(&self, schema: Arc<TaskSchema>) -> Result<HistoryDb, HistoryError> {
+        let mut db = HistoryDb::new(schema.clone());
+        for spec in &self.instances {
+            let entity = schema.require(&spec.entity)?;
+            let meta = Metadata {
+                user: spec.user.clone(),
+                created: Timestamp(0), // overwritten below via clock
+                name: spec.name.clone(),
+                comment: spec.comment.clone(),
+                keywords: spec.keywords.clone(),
+            };
+            db.clock_mut().advance_to(spec.created);
+            let data = spec.data.clone().unwrap_or_default();
+            match &spec.inputs {
+                None => {
+                    db.record_primary(entity, meta, &data)?;
+                }
+                Some(inputs) => {
+                    let derivation = Derivation {
+                        tool: spec.tool.map(InstanceId::from_raw),
+                        inputs: inputs.iter().copied().map(InstanceId::from_raw).collect(),
+                    };
+                    db.record_derived(entity, meta, &data, derivation)?;
+                }
+            }
+        }
+        Ok(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hercules_schema::fixtures;
+
+    fn sample() -> (Arc<TaskSchema>, HistoryDb) {
+        let schema = Arc::new(fixtures::fig1());
+        let mut db = HistoryDb::new(schema.clone());
+        let t = |n: &str| schema.require(n).expect("known");
+        let editor = db
+            .record_primary(
+                t("CircuitEditor"),
+                Metadata::by("jbb").named("sced").keyword("editor"),
+                b"ed",
+            )
+            .expect("ok");
+        db.clock_mut().advance_to(Timestamp(50));
+        db.record_derived(
+            t("EditedNetlist"),
+            Metadata::by("sutton").named("lpf").commented("low pass"),
+            b"netlist-bytes",
+            Derivation::by_tool(editor, []),
+        )
+        .expect("ok");
+        (schema, db)
+    }
+
+    #[test]
+    fn spec_round_trips_through_load() {
+        let (schema, db) = sample();
+        let spec = HistorySpec::from_db(&db);
+        let loaded = spec.load(schema).expect("replay");
+        assert_eq!(loaded.len(), db.len());
+        for (a, b) in db.instances().zip(loaded.instances()) {
+            assert_eq!(a.meta(), b.meta());
+            assert_eq!(a.entity(), b.entity());
+            assert_eq!(a.derivation(), b.derivation());
+        }
+        assert_eq!(
+            loaded.data_of(InstanceId::from_raw(1)).expect("ok"),
+            Some(&b"netlist-bytes"[..])
+        );
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let (schema, db) = sample();
+        let spec = HistorySpec::from_db(&db);
+        let json = serde_json::to_string(&spec).expect("serialize");
+        let back: HistorySpec = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, spec);
+        back.load(schema).expect("replay");
+    }
+
+    #[test]
+    fn timestamps_survive_persistence() {
+        let (schema, db) = sample();
+        let spec = HistorySpec::from_db(&db);
+        let loaded = spec.load(schema).expect("replay");
+        assert_eq!(
+            loaded.created_at(InstanceId::from_raw(1)).expect("ok"),
+            Timestamp(50)
+        );
+    }
+
+    #[test]
+    fn corrupt_record_is_rejected() {
+        let (schema, db) = sample();
+        let mut spec = HistorySpec::from_db(&db);
+        spec.instances[1].entity = "Ghost".into();
+        assert!(spec.load(schema).is_err());
+    }
+}

@@ -1,0 +1,321 @@
+//! Flow traces: the design history rendered as a task graph
+//! (§4.2, Fig. 11b).
+//!
+//! "Our representation — a flow trace — is a semantically richer
+//! superset of a version tree, not only showing the relationship between
+//! the data, but also showing the tools that were used in creating that
+//! data. A flow trace has the same form as a task graph and can be built
+//! up using the forward- and backward-chaining approaches."
+
+use std::collections::HashMap;
+
+use hercules_flow::{NodeId, TaskGraph};
+use hercules_schema::DepKind;
+
+use crate::db::HistoryDb;
+use crate::error::HistoryError;
+use crate::instance::InstanceId;
+use crate::version::VersionForest;
+
+/// A flow trace: the derivation closure of a set of instances, in task-
+/// graph form, with the node ↔ instance correspondence retained.
+///
+/// Because a trace *is* a task graph, it can be stored in the flow
+/// catalog, used as a query template, or re-executed — "previously
+/// executed tasks to be recalled, possibly modified, and executed"
+/// (§4.1).
+#[derive(Debug, Clone)]
+pub struct FlowTrace {
+    graph: TaskGraph,
+    node_of: HashMap<InstanceId, NodeId>,
+    instance_of: HashMap<NodeId, InstanceId>,
+}
+
+impl FlowTrace {
+    /// Builds the trace of everything that led to `roots` (backward
+    /// chaining), merged into one task graph. Shared ancestors become
+    /// shared nodes, exactly as Fig. 5 reuses entities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistoryError::UnknownInstance`] for out-of-range roots.
+    pub fn backward(db: &HistoryDb, roots: &[InstanceId]) -> Result<FlowTrace, HistoryError> {
+        let mut members: Vec<InstanceId> = Vec::new();
+        for &r in roots {
+            db.instance(r)?;
+            if !members.contains(&r) {
+                members.push(r);
+            }
+            for a in db.ancestors(r)? {
+                if !members.contains(&a) {
+                    members.push(a);
+                }
+            }
+        }
+        members.sort();
+        FlowTrace::over(db, &members)
+    }
+
+    /// Builds the trace of everything derived from `root` (forward
+    /// chaining), including `root` itself and, for each dependent, its
+    /// immediate tool so the graph stays well-formed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistoryError::UnknownInstance`] for out-of-range roots.
+    pub fn forward(db: &HistoryDb, root: InstanceId) -> Result<FlowTrace, HistoryError> {
+        let mut members = vec![root];
+        members.extend(db.forward_chain(root)?);
+        // Pull in the tools of member derivations so functional edges
+        // have sources.
+        let mut extra = Vec::new();
+        for &m in &members {
+            if let Some(d) = db.instance(m)?.derivation() {
+                if let Some(t) = d.tool {
+                    if !members.contains(&t) && !extra.contains(&t) {
+                        extra.push(t);
+                    }
+                }
+            }
+        }
+        members.extend(extra);
+        members.sort();
+        members.dedup();
+        FlowTrace::over(db, &members)
+    }
+
+    /// Builds a trace over exactly `members`: one node per instance,
+    /// edges for every derivation reference whose endpoints are both
+    /// members.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistoryError::UnknownInstance`] for out-of-range
+    /// members.
+    pub fn over(db: &HistoryDb, members: &[InstanceId]) -> Result<FlowTrace, HistoryError> {
+        let mut graph = TaskGraph::new(db.schema().clone());
+        let mut node_of = HashMap::new();
+        let mut instance_of = HashMap::new();
+        for &m in members {
+            let inst = db.instance(m)?;
+            let node = graph.add_node_raw(inst.entity())?;
+            node_of.insert(m, node);
+            instance_of.insert(node, m);
+        }
+        for &m in members {
+            let inst = db.instance(m)?;
+            let Some(d) = inst.derivation() else { continue };
+            let target = node_of[&m];
+            if let Some(tool) = d.tool {
+                if let Some(&src) = node_of.get(&tool) {
+                    graph.add_edge_raw(src, target, DepKind::Functional)?;
+                }
+            }
+            for &input in &d.inputs {
+                if let Some(&src) = node_of.get(&input) {
+                    graph.add_edge_raw(src, target, DepKind::Data)?;
+                }
+            }
+        }
+        Ok(FlowTrace {
+            graph,
+            node_of,
+            instance_of,
+        })
+    }
+
+    /// Returns the trace as a task graph.
+    pub fn graph(&self) -> &TaskGraph {
+        &self.graph
+    }
+
+    /// Consumes the trace, yielding the task graph (for catalog storage
+    /// or re-execution).
+    pub fn into_graph(self) -> TaskGraph {
+        self.graph
+    }
+
+    /// Returns the node representing `instance`, if it is in the trace.
+    pub fn node_of(&self, instance: InstanceId) -> Option<NodeId> {
+        self.node_of.get(&instance).copied()
+    }
+
+    /// Returns the instance represented by `node`, if any.
+    pub fn instance_of(&self, node: NodeId) -> Option<InstanceId> {
+        self.instance_of.get(&node).copied()
+    }
+
+    /// Returns the number of instances in the trace.
+    pub fn len(&self) -> usize {
+        self.node_of.len()
+    }
+
+    /// Returns `true` if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.node_of.is_empty()
+    }
+
+    /// Projects the trace onto the version forest of an entity family —
+    /// the demonstration that "a flow trace is a semantically richer
+    /// superset of a version tree": dropping the tools and the
+    /// cross-family data edges yields exactly Fig. 11a from Fig. 11b.
+    ///
+    /// # Errors
+    ///
+    /// Returns a schema error for unknown entities.
+    pub fn to_version_forest(
+        &self,
+        db: &HistoryDb,
+        entity: hercules_schema::EntityTypeId,
+    ) -> Result<VersionForest, HistoryError> {
+        db.version_forest(entity)
+    }
+
+    /// Renders the trace with instance annotations: each node shows the
+    /// entity type and the instance name (the inverse-video icons of
+    /// Fig. 10).
+    pub fn to_text(&self, db: &HistoryDb) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut nodes: Vec<(&NodeId, &InstanceId)> = self.instance_of.iter().collect();
+        nodes.sort();
+        for (node, inst) in nodes {
+            let i = db.instance(*inst).expect("trace member exists");
+            let entity = db.schema().entity(i.entity()).name();
+            let name = if i.meta().name.is_empty() {
+                inst.to_string()
+            } else {
+                i.meta().name.clone()
+            };
+            let _ = write!(out, "[{entity} \"{name}\"]");
+            let mut produced_by = Vec::new();
+            if let Some(d) = i.derivation() {
+                if let Some(t) = d.tool {
+                    if let Some(tn) = self.node_of(t) {
+                        produced_by.push(format!("f:{tn}"));
+                    }
+                }
+                for &input in &d.inputs {
+                    if let Some(inn) = self.node_of(input) {
+                        produced_by.push(format!("d:{inn}"));
+                    }
+                }
+            }
+            if produced_by.is_empty() {
+                let _ = writeln!(out, " ({node}, primary)");
+            } else {
+                let _ = writeln!(out, " ({node} <- {})", produced_by.join(" "));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::derivation::Derivation;
+    use crate::instance::Metadata;
+    use hercules_schema::fixtures;
+    use std::sync::Arc;
+
+    fn sample() -> (HistoryDb, Vec<InstanceId>) {
+        let schema = Arc::new(fixtures::fig1());
+        let mut db = HistoryDb::new(schema.clone());
+        let t = |n: &str| schema.require(n).expect("known");
+        let editor = db
+            .record_primary(t("CircuitEditor"), Metadata::by("u").named("sced"), b"ed")
+            .expect("ok");
+        let n1 = db
+            .record_derived(
+                t("EditedNetlist"),
+                Metadata::by("u").named("v1"),
+                b"n1",
+                Derivation::by_tool(editor, []),
+            )
+            .expect("ok");
+        let n2 = db
+            .record_derived(
+                t("EditedNetlist"),
+                Metadata::by("u").named("v2"),
+                b"n2",
+                Derivation::by_tool(editor, [n1]),
+            )
+            .expect("ok");
+        (db, vec![editor, n1, n2])
+    }
+
+    #[test]
+    fn backward_trace_contains_closure() {
+        let (db, ids) = sample();
+        let trace = FlowTrace::backward(&db, &[ids[2]]).expect("ok");
+        assert_eq!(trace.len(), 3);
+        let g = trace.graph();
+        assert_eq!(g.edge_count(), 3, "two f edges + one d edge");
+        g.validate().expect("trace is a valid task graph");
+        // Node/instance mappings are mutual inverses.
+        for &i in &ids {
+            let n = trace.node_of(i).expect("member");
+            assert_eq!(trace.instance_of(n), Some(i));
+        }
+    }
+
+    #[test]
+    fn forward_trace_includes_tools_of_dependents() {
+        let (db, ids) = sample();
+        let trace = FlowTrace::forward(&db, ids[1]).expect("ok");
+        // n1 itself, n2, plus the editor pulled in as n2's tool.
+        assert_eq!(trace.len(), 3);
+        assert!(trace.node_of(ids[0]).is_some());
+    }
+
+    #[test]
+    fn trace_is_reusable_as_task_graph() {
+        let (db, ids) = sample();
+        let trace = FlowTrace::backward(&db, &[ids[2]]).expect("ok");
+        let graph = trace.into_graph();
+        // The trace validates and can be stored in a catalog.
+        let mut catalog = hercules_flow::FlowCatalog::new();
+        catalog.store("recalled", &graph, "recalled from history", "u");
+        let again = catalog
+            .instantiate("recalled", db.schema().clone())
+            .expect("stored");
+        assert_eq!(again.len(), 3);
+    }
+
+    #[test]
+    fn trace_text_shows_tools_and_versions() {
+        let (db, _) = sample();
+        let all: Vec<InstanceId> = db.instances().map(|i| i.id()).collect();
+        let trace = FlowTrace::over(&db, &all).expect("ok");
+        let text = trace.to_text(&db);
+        assert!(text.contains("[CircuitEditor \"sced\"]"));
+        assert!(text.contains("[EditedNetlist \"v2\"]"));
+        assert!(text.contains("primary"));
+        assert!(text.contains("f:"), "tools appear, unlike a version tree");
+        assert!(text.contains("d:"), "version arcs appear");
+    }
+
+    #[test]
+    fn superset_claim_version_forest_is_a_projection() {
+        let (db, ids) = sample();
+        let trace = FlowTrace::backward(&db, &[ids[2]]).expect("ok");
+        let schema = db.schema().clone();
+        let forest = trace
+            .to_version_forest(&db, schema.require("Netlist").expect("known"))
+            .expect("ok");
+        // The version forest has exactly the data instances, no tools.
+        assert_eq!(forest.members(), &[ids[1], ids[2]]);
+        assert_eq!(forest.parent(ids[2]), Some(ids[1]));
+        // The trace has strictly more information (the editor node).
+        assert!(trace.len() > forest.members().len());
+    }
+
+    #[test]
+    fn empty_trace() {
+        let (db, _) = sample();
+        let trace = FlowTrace::over(&db, &[]).expect("ok");
+        assert!(trace.is_empty());
+        assert_eq!(trace.len(), 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests for the design-history database.
+
+use std::sync::Arc;
+
+use hercules_history::{Derivation, HistoryDb, HistorySpec, InstanceId, Metadata};
+use hercules_schema::fixtures;
+use proptest::prelude::*;
+
+/// Builds a random but well-formed history: an editor plus `n` edited
+/// netlists, each deriving from a random earlier version (or none).
+fn random_history(parents: &[Option<usize>]) -> (HistoryDb, Vec<InstanceId>) {
+    let schema = Arc::new(fixtures::fig1());
+    let mut db = HistoryDb::new(schema.clone());
+    let editor = db
+        .record_primary(
+            schema.require("CircuitEditor").expect("known"),
+            Metadata::by("prop").named("ed"),
+            b"ed",
+        )
+        .expect("records");
+    let edited = schema.require("EditedNetlist").expect("known");
+    let mut ids = vec![editor];
+    for (i, parent) in parents.iter().enumerate() {
+        let from = if i == 0 {
+            None
+        } else {
+            parent.map(|p| ids[1 + (p % i)])
+        };
+        let inst = db
+            .record_derived(
+                edited,
+                Metadata::by("prop").named(&format!("v{i}")),
+                format!("v{i}").as_bytes(),
+                Derivation::by_tool(editor, from),
+            )
+            .expect("records");
+        ids.push(inst);
+    }
+    (db, ids)
+}
+
+fn parent_vec() -> impl Strategy<Value = Vec<Option<usize>>> {
+    prop::collection::vec(prop::option::of(0usize..16), 1..16)
+}
+
+proptest! {
+    /// Forward and backward chaining are duals:
+    /// `b ∈ forward(a)` iff `a ∈ ancestors(b)`.
+    #[test]
+    fn chaining_duality(parents in parent_vec()) {
+        let (db, ids) = random_history(&parents);
+        for &a in &ids {
+            let forward = db.forward_chain(a).expect("chains");
+            for &b in &ids {
+                let ancestors = db.ancestors(b).expect("chains");
+                prop_assert_eq!(
+                    forward.contains(&b),
+                    ancestors.contains(&a),
+                    "duality between {} and {}", a, b
+                );
+            }
+        }
+    }
+
+    /// Ancestor sets are transitively closed and never contain the
+    /// instance itself.
+    #[test]
+    fn ancestors_are_closed(parents in parent_vec()) {
+        let (db, ids) = random_history(&parents);
+        for &x in &ids {
+            let anc = db.ancestors(x).expect("chains");
+            prop_assert!(!anc.contains(&x));
+            for &a in &anc {
+                for &aa in &db.ancestors(a).expect("chains") {
+                    prop_assert!(anc.contains(&aa), "closure broken at {}", aa);
+                }
+            }
+        }
+    }
+
+    /// The version forest's parent/children maps are mutually
+    /// consistent and every member is a root or has a parent chain to
+    /// one.
+    #[test]
+    fn version_forest_consistency(parents in parent_vec()) {
+        let (db, ids) = random_history(&parents);
+        let entity = db.instance(ids[1]).expect("present").entity();
+        let forest = db.version_forest(entity).expect("builds");
+        for &m in forest.members() {
+            match forest.parent(m) {
+                Some(p) => prop_assert!(forest.children(p).contains(&m)),
+                None => prop_assert!(forest.roots().contains(&m)),
+            }
+            // Depth terminates (no cycles).
+            prop_assert!(forest.depth(m) <= forest.members().len());
+        }
+        for &r in forest.roots() {
+            prop_assert!(forest.parent(r).is_none());
+        }
+    }
+
+    /// newest_version_of is idempotent and always at least as new.
+    #[test]
+    fn newest_version_is_a_fixpoint(parents in parent_vec()) {
+        let (db, ids) = random_history(&parents);
+        for &x in &ids[1..] {
+            let newest = db.newest_version_of(x).expect("checks");
+            prop_assert_eq!(db.newest_version_of(newest).expect("checks"), newest);
+            let tx = db.created_at(x).expect("present");
+            let tn = db.created_at(newest).expect("present");
+            prop_assert!(tn >= tx);
+        }
+    }
+
+    /// Persistence round trips preserve every record.
+    #[test]
+    fn persistence_round_trip(parents in parent_vec()) {
+        let (db, _) = random_history(&parents);
+        let spec = HistorySpec::from_db(&db);
+        let json = serde_json::to_string(&spec).expect("serializes");
+        let back: HistorySpec = serde_json::from_str(&json).expect("deserializes");
+        let reloaded = back.load(db.schema().clone()).expect("replays");
+        prop_assert_eq!(reloaded.len(), db.len());
+        for (a, b) in db.instances().zip(reloaded.instances()) {
+            prop_assert_eq!(a.meta(), b.meta());
+            prop_assert_eq!(a.entity(), b.entity());
+            prop_assert_eq!(a.derivation(), b.derivation());
+        }
+    }
+
+    /// The blob store shares identical payloads: stored bytes never
+    /// exceed logical bytes, and equal payload count means shared blobs.
+    #[test]
+    fn blob_sharing_invariant(payloads in prop::collection::vec(0u8..4, 1..30)) {
+        let schema = Arc::new(fixtures::fig1());
+        let mut db = HistoryDb::new(schema.clone());
+        let stim = schema.require("Stimuli").expect("known");
+        for p in &payloads {
+            db.record_primary(stim, Metadata::by("prop"), &[*p]).expect("records");
+        }
+        let distinct: std::collections::HashSet<u8> = payloads.iter().copied().collect();
+        prop_assert_eq!(db.store().blob_count(), distinct.len());
+        prop_assert!(db.store().stored_bytes() <= db.store().logical_bytes());
+    }
+}

@@ -1,0 +1,466 @@
+//! Fluent construction of task schemas.
+
+use std::collections::HashMap;
+
+use crate::dependency::{DepKind, Dependency};
+use crate::entity::{EntityKind, EntityType, EntityTypeId};
+use crate::error::SchemaError;
+use crate::schema::TaskSchema;
+use crate::validate;
+
+/// Incremental builder for a [`TaskSchema`].
+///
+/// Declaration methods are infallible and hand back [`EntityTypeId`]s
+/// immediately so that dependencies can be declared in any order; all
+/// rule checking happens in [`SchemaBuilder::build`].
+///
+/// # Examples
+///
+/// Building a three-entity simulate task:
+///
+/// ```
+/// use hercules_schema::SchemaBuilder;
+///
+/// # fn main() -> Result<(), hercules_schema::SchemaError> {
+/// let mut b = SchemaBuilder::new();
+/// let simulator = b.tool("Simulator");
+/// let netlist = b.data("Netlist");
+/// let performance = b.data("Performance");
+/// b.functional(performance, simulator);
+/// b.data_dep(performance, netlist);
+/// let schema = b.build()?;
+/// assert_eq!(schema.constructing_tool(performance), Some(simulator));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SchemaBuilder {
+    pub(crate) names: Vec<String>,
+    pub(crate) kinds: Vec<Option<EntityKind>>,
+    pub(crate) supertypes: Vec<Option<EntityTypeId>>,
+    pub(crate) descriptions: Vec<String>,
+    pub(crate) composites: Vec<bool>,
+    pub(crate) deps: Vec<Dependency>,
+}
+
+impl SchemaBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> SchemaBuilder {
+        SchemaBuilder::default()
+    }
+
+    fn declare(
+        &mut self,
+        name: &str,
+        kind: Option<EntityKind>,
+        supertype: Option<EntityTypeId>,
+        composite: bool,
+    ) -> EntityTypeId {
+        let id = EntityTypeId::from_index(self.names.len());
+        self.names.push(name.to_owned());
+        self.kinds.push(kind);
+        self.supertypes.push(supertype);
+        self.descriptions.push(String::new());
+        self.composites.push(composite);
+        id
+    }
+
+    /// Declares a tool entity (editor, simulator, extractor, …).
+    pub fn tool(&mut self, name: &str) -> EntityTypeId {
+        self.declare(name, Some(EntityKind::Tool), None, false)
+    }
+
+    /// Declares a data entity (netlist, layout, performance, …).
+    pub fn data(&mut self, name: &str) -> EntityTypeId {
+        self.declare(name, Some(EntityKind::Data), None, false)
+    }
+
+    /// Declares a subtype of an existing entity; the kind is inherited
+    /// from the supertype. Subtypes separate alternative construction
+    /// methods (§3.1): `ExtractedNetlist` and `EditedNetlist` under
+    /// `Netlist`.
+    pub fn subtype(&mut self, name: &str, supertype: EntityTypeId) -> EntityTypeId {
+        self.declare(name, None, Some(supertype), false)
+    }
+
+    /// Declares a composite entity grouping `components` (§3.1): data
+    /// dependencies only, no functional dependency, with implicit
+    /// composition/decomposition functions.
+    pub fn composite(&mut self, name: &str, components: &[EntityTypeId]) -> EntityTypeId {
+        let id = self.declare(name, Some(EntityKind::Data), None, true);
+        for &c in components {
+            self.data_dep(id, c);
+        }
+        id
+    }
+
+    /// Attaches a free-form description to an entity, shown by the
+    /// catalogs and renderers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this builder.
+    pub fn describe(&mut self, id: EntityTypeId, text: &str) -> &mut SchemaBuilder {
+        self.descriptions[id.index()] = text.to_owned();
+        self
+    }
+
+    /// Declares that `target` is functionally dependent on the tool
+    /// `source` ("a Performance is functionally dependent on a
+    /// Simulator").
+    pub fn functional(&mut self, target: EntityTypeId, source: EntityTypeId) -> &mut SchemaBuilder {
+        self.deps.push(Dependency {
+            target,
+            source,
+            kind: DepKind::Functional,
+            optional: false,
+        });
+        self
+    }
+
+    /// Declares that `target` has a required data dependency on `source`.
+    pub fn data_dep(&mut self, target: EntityTypeId, source: EntityTypeId) -> &mut SchemaBuilder {
+        self.deps.push(Dependency {
+            target,
+            source,
+            kind: DepKind::Data,
+            optional: false,
+        });
+        self
+    }
+
+    /// Declares an *optional* data dependency (dashed arc). Optional arcs
+    /// are how the paper breaks schema loops: "an EditedNetlist depends
+    /// (optionally) on a Netlist" (Fig. 1).
+    pub fn optional_data_dep(
+        &mut self,
+        target: EntityTypeId,
+        source: EntityTypeId,
+    ) -> &mut SchemaBuilder {
+        self.deps.push(Dependency {
+            target,
+            source,
+            kind: DepKind::Data,
+            optional: true,
+        });
+        self
+    }
+
+    /// Returns the number of entities declared so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if no entities have been declared.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Validates the declarations and produces an immutable
+    /// [`TaskSchema`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first rule violation found; see [`SchemaError`] for
+    /// the full list of rules (unique names, single functional dependency,
+    /// functional dependencies point at tools, required-dependency graph
+    /// acyclic, subtype relation a forest with consistent kinds, composite
+    /// entities well-formed).
+    pub fn build(self) -> Result<TaskSchema, SchemaError> {
+        let n = self.names.len();
+
+        // Unique names.
+        let mut by_name: HashMap<String, EntityTypeId> = HashMap::with_capacity(n);
+        for (i, name) in self.names.iter().enumerate() {
+            if by_name
+                .insert(name.clone(), EntityTypeId::from_index(i))
+                .is_some()
+            {
+                return Err(SchemaError::DuplicateEntityName(name.clone()));
+            }
+        }
+
+        // Supertype ids must be in range and acyclic; then resolve kinds
+        // down the subtype forest.
+        for (i, sup) in self.supertypes.iter().enumerate() {
+            if let Some(s) = sup {
+                if s.index() >= n {
+                    return Err(SchemaError::UnknownEntityId(*s));
+                }
+                if s.index() == i {
+                    return Err(SchemaError::SubtypeCycle {
+                        entity: self.names[i].clone(),
+                    });
+                }
+            }
+        }
+        let kinds = validate::resolve_kinds(&self.names, &self.kinds, &self.supertypes)?;
+
+        // Dependency endpoints must be in range.
+        for dep in &self.deps {
+            for id in [dep.target(), dep.source()] {
+                if id.index() >= n {
+                    return Err(SchemaError::UnknownEntityId(id));
+                }
+            }
+        }
+
+        let entities: Vec<EntityType> = (0..n)
+            .map(|i| EntityType {
+                id: EntityTypeId::from_index(i),
+                name: self.names[i].clone(),
+                kind: kinds[i],
+                supertype: self.supertypes[i],
+                description: self.descriptions[i].clone(),
+                composite: self.composites[i],
+            })
+            .collect();
+
+        // Build derived indexes, catching multiple functional deps and
+        // duplicates as we go.
+        let mut functional: Vec<Option<usize>> = vec![None; n];
+        let mut data: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, dep) in self.deps.iter().enumerate() {
+            let t = dep.target().index();
+            let duplicate = functional[t]
+                .iter()
+                .chain(data[t].iter())
+                .any(|&j: &usize| {
+                    let prev = &self.deps[j];
+                    prev.source() == dep.source() && prev.kind() == dep.kind()
+                });
+            if duplicate {
+                return Err(SchemaError::DuplicateDependency {
+                    source: entities[dep.source().index()].name.clone(),
+                    target: entities[t].name.clone(),
+                });
+            }
+            match dep.kind() {
+                DepKind::Functional => {
+                    if dep.is_optional() {
+                        return Err(SchemaError::OptionalFunctionalDep {
+                            entity: entities[t].name.clone(),
+                        });
+                    }
+                    if functional[t].is_some() {
+                        return Err(SchemaError::MultipleFunctionalDeps {
+                            entity: entities[t].name.clone(),
+                        });
+                    }
+                    functional[t] = Some(i);
+                }
+                DepKind::Data => data[t].push(i),
+            }
+            dependents[dep.source().index()].push(i);
+        }
+
+        let mut subtypes: Vec<Vec<EntityTypeId>> = vec![Vec::new(); n];
+        for e in &entities {
+            if let Some(s) = e.supertype {
+                subtypes[s.index()].push(e.id);
+            }
+        }
+
+        let schema = TaskSchema {
+            entities,
+            deps: self.deps,
+            by_name,
+            functional,
+            data,
+            dependents,
+            subtypes,
+        };
+        validate::validate(&schema)?;
+        Ok(schema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_builder_builds_empty_schema() {
+        let s = SchemaBuilder::new().build().expect("empty is valid");
+        assert!(s.is_empty());
+        assert!(SchemaBuilder::new().is_empty());
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let mut b = SchemaBuilder::new();
+        b.data("Netlist");
+        b.data("Netlist");
+        assert_eq!(
+            b.build().unwrap_err(),
+            SchemaError::DuplicateEntityName("Netlist".into())
+        );
+    }
+
+    #[test]
+    fn two_functional_deps_are_rejected() {
+        let mut b = SchemaBuilder::new();
+        let t1 = b.tool("Sim1");
+        let t2 = b.tool("Sim2");
+        let d = b.data("Performance");
+        b.functional(d, t1);
+        b.functional(d, t2);
+        assert_eq!(
+            b.build().unwrap_err(),
+            SchemaError::MultipleFunctionalDeps {
+                entity: "Performance".into()
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_dependency_is_rejected() {
+        let mut b = SchemaBuilder::new();
+        let a = b.data("A");
+        let bb = b.data("B");
+        b.data_dep(bb, a);
+        b.data_dep(bb, a);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            SchemaError::DuplicateDependency { .. }
+        ));
+    }
+
+    #[test]
+    fn functional_dep_must_point_at_tool() {
+        let mut b = SchemaBuilder::new();
+        let d1 = b.data("Netlist");
+        let d2 = b.data("Performance");
+        b.functional(d2, d1);
+        assert_eq!(
+            b.build().unwrap_err(),
+            SchemaError::FunctionalDepOnNonTool {
+                entity: "Performance".into(),
+                source: "Netlist".into()
+            }
+        );
+    }
+
+    #[test]
+    fn required_cycle_is_rejected_and_optional_breaks_it() {
+        let mut b = SchemaBuilder::new();
+        let ed = b.tool("Editor");
+        let net = b.data("Netlist");
+        b.functional(net, ed);
+        b.data_dep(net, net);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            SchemaError::RequiredSelfDependency { .. }
+        ));
+
+        let mut b = SchemaBuilder::new();
+        let ed = b.tool("Editor");
+        let net = b.data("Netlist");
+        b.functional(net, ed);
+        b.optional_data_dep(net, net);
+        assert!(b.build().is_ok(), "optional arc breaks the loop");
+    }
+
+    #[test]
+    fn longer_required_cycle_is_reported_with_members() {
+        let mut b = SchemaBuilder::new();
+        let a = b.data("A");
+        let c = b.data("C");
+        b.data_dep(a, c);
+        b.data_dep(c, a);
+        match b.build().unwrap_err() {
+            SchemaError::RequiredDependencyCycle { entities } => {
+                assert!(entities.contains(&"A".to_owned()));
+                assert!(entities.contains(&"C".to_owned()));
+            }
+            other => panic!("expected cycle error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn subtype_inherits_kind() {
+        let mut b = SchemaBuilder::new();
+        let sim = b.tool("Simulator");
+        let fast = b.subtype("FastSimulator", sim);
+        let s = b.build().expect("valid");
+        assert!(s.entity(fast).kind().is_tool());
+    }
+
+    #[test]
+    fn subtype_cycle_is_rejected() {
+        let mut b = SchemaBuilder::new();
+        let a = b.data("A");
+        let bb = b.subtype("B", a);
+        b.supertypes[a.index()] = Some(bb); // simulate a corrupted spec
+        assert!(matches!(
+            b.build().unwrap_err(),
+            SchemaError::SubtypeCycle { .. }
+        ));
+    }
+
+    #[test]
+    fn abstract_supertype_with_own_functional_dep_is_rejected() {
+        let mut b = SchemaBuilder::new();
+        let tool = b.tool("Extractor");
+        let editor = b.tool("CircuitEditor");
+        let net = b.data("Netlist");
+        let sub = b.subtype("ExtractedNetlist", net);
+        b.functional(sub, tool);
+        b.functional(net, editor);
+        assert_eq!(
+            b.build().unwrap_err(),
+            SchemaError::AbstractEntityWithFunctionalDep {
+                entity: "Netlist".into()
+            }
+        );
+    }
+
+    #[test]
+    fn composite_must_not_have_functional_dep() {
+        let mut b = SchemaBuilder::new();
+        let dm = b.data("DeviceModels");
+        let tool = b.tool("Grouper");
+        let cct = b.composite("Circuit", &[dm]);
+        b.functional(cct, tool);
+        assert_eq!(
+            b.build().unwrap_err(),
+            SchemaError::InvalidComposite {
+                entity: "Circuit".into()
+            }
+        );
+    }
+
+    #[test]
+    fn composite_needs_components() {
+        let mut b = SchemaBuilder::new();
+        b.composite("Circuit", &[]);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            SchemaError::InvalidComposite { .. }
+        ));
+    }
+
+    #[test]
+    fn describe_is_stored() {
+        let mut b = SchemaBuilder::new();
+        let net = b.data("Netlist");
+        b.describe(net, "a transistor-level connection list");
+        let s = b.build().expect("valid");
+        assert_eq!(
+            s.entity(net).description(),
+            "a transistor-level connection list"
+        );
+    }
+
+    #[test]
+    fn out_of_range_dependency_is_rejected() {
+        let mut b = SchemaBuilder::new();
+        let a = b.data("A");
+        b.data_dep(a, EntityTypeId::from_index(42));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            SchemaError::UnknownEntityId(_)
+        ));
+    }
+}

@@ -1,0 +1,133 @@
+//! Dependency arcs of a task schema.
+//!
+//! A task schema connects entities "by directed arcs labelled with *f* or
+//! *d*" (§3.1): *functional* dependencies name the tool that constructs an
+//! entity, *data* dependencies name its inputs. Loops (such as
+//! *EditedNetlist → Netlist* in Fig. 1) are broken by marking a data
+//! dependency *optional*, drawn as a dashed arc in the paper.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::entity::EntityTypeId;
+
+/// The label on a dependency arc.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum DepKind {
+    /// `f`: the target entity is produced by running the source tool.
+    Functional,
+    /// `d`: the target entity consumes the source entity as input.
+    Data,
+}
+
+impl fmt::Display for DepKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DepKind::Functional => f.write_str("f"),
+            DepKind::Data => f.write_str("d"),
+        }
+    }
+}
+
+/// One dependency arc: `target` depends on `source`.
+///
+/// Reading Fig. 1: "a Performance is functionally dependent on a
+/// Simulator" is `Dependency { target: Performance, source: Simulator,
+/// kind: Functional, optional: false }`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Dependency {
+    pub(crate) target: EntityTypeId,
+    pub(crate) source: EntityTypeId,
+    pub(crate) kind: DepKind,
+    pub(crate) optional: bool,
+}
+
+impl Dependency {
+    /// Returns the dependent entity (the arc's target).
+    pub fn target(&self) -> EntityTypeId {
+        self.target
+    }
+
+    /// Returns the entity depended upon (the arc's source).
+    pub fn source(&self) -> EntityTypeId {
+        self.source
+    }
+
+    /// Returns whether this is a functional (`f`) or data (`d`) arc.
+    pub fn kind(&self) -> DepKind {
+        self.kind
+    }
+
+    /// Returns `true` if this dependency may be omitted when building a
+    /// flow (dashed arc; used to break loops in the schema).
+    pub fn is_optional(&self) -> bool {
+        self.optional
+    }
+
+    /// Returns `true` if this dependency must be satisfied in every flow.
+    pub fn is_required(&self) -> bool {
+        !self.optional
+    }
+
+    /// Returns `true` for functional (`f`) arcs.
+    pub fn is_functional(&self) -> bool {
+        self.kind == DepKind::Functional
+    }
+
+    /// Returns `true` for data (`d`) arcs.
+    pub fn is_data(&self) -> bool {
+        self.kind == DepKind::Data
+    }
+}
+
+impl fmt::Display for Dependency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let dash = if self.optional { "--" } else { "—" };
+        write!(f, "{} {dash}{}→ {}", self.source, self.kind, self.target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dep(kind: DepKind, optional: bool) -> Dependency {
+        Dependency {
+            target: EntityTypeId::from_index(1),
+            source: EntityTypeId::from_index(0),
+            kind,
+            optional,
+        }
+    }
+
+    #[test]
+    fn predicates_match_kind_and_optionality() {
+        let f = dep(DepKind::Functional, false);
+        assert!(f.is_functional());
+        assert!(!f.is_data());
+        assert!(f.is_required());
+        assert!(!f.is_optional());
+
+        let d = dep(DepKind::Data, true);
+        assert!(d.is_data());
+        assert!(d.is_optional());
+        assert!(!d.is_required());
+    }
+
+    #[test]
+    fn accessors_expose_endpoints() {
+        let d = dep(DepKind::Data, false);
+        assert_eq!(d.source().index(), 0);
+        assert_eq!(d.target().index(), 1);
+        assert_eq!(d.kind(), DepKind::Data);
+    }
+
+    #[test]
+    fn display_labels_arcs_like_the_paper() {
+        assert_eq!(DepKind::Functional.to_string(), "f");
+        assert_eq!(DepKind::Data.to_string(), "d");
+    }
+}

@@ -1,0 +1,178 @@
+//! Design-entity types: the nodes of a task schema.
+//!
+//! The paper treats *tools and data uniformly* as "design entities"
+//! (§3.1): a `Simulator` is an entity just like a `Netlist`. This is what
+//! lets tools be created during the design (Fig. 2) and passed as data to
+//! other tools (§3.3).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an entity *type* within one [`TaskSchema`].
+///
+/// Ids are dense indices assigned in declaration order by the
+/// [`SchemaBuilder`]; they are only meaningful relative to the schema that
+/// produced them.
+///
+/// # Examples
+///
+/// ```
+/// use hercules_schema::fixtures;
+///
+/// let schema = fixtures::fig1();
+/// let netlist = schema.entity_id("Netlist").expect("declared in fig. 1");
+/// assert_eq!(schema.entity(netlist).name(), "Netlist");
+/// ```
+///
+/// [`TaskSchema`]: crate::TaskSchema
+/// [`SchemaBuilder`]: crate::SchemaBuilder
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct EntityTypeId(pub(crate) u32);
+
+impl EntityTypeId {
+    /// Returns the raw dense index of this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates an id from a raw index.
+    ///
+    /// Intended for deserialization and testing; an id fabricated for the
+    /// wrong schema is detected by the accessors, which return
+    /// [`SchemaError::UnknownEntityId`](crate::SchemaError::UnknownEntityId).
+    pub fn from_index(index: usize) -> EntityTypeId {
+        EntityTypeId(index as u32)
+    }
+}
+
+impl fmt::Display for EntityTypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Whether an entity type denotes a tool or a piece of design data.
+///
+/// Functional dependencies must point at [`EntityKind::Tool`] entities;
+/// data dependencies may point at either kind, which is how "tools
+/// themselves may serve as data input to other tools" (§3.3).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum EntityKind {
+    /// An executable design function (editor, simulator, extractor, …).
+    Tool,
+    /// A design datum (netlist, layout, performance, …).
+    Data,
+}
+
+impl EntityKind {
+    /// Returns `true` for [`EntityKind::Tool`].
+    pub fn is_tool(self) -> bool {
+        matches!(self, EntityKind::Tool)
+    }
+
+    /// Returns `true` for [`EntityKind::Data`].
+    pub fn is_data(self) -> bool {
+        matches!(self, EntityKind::Data)
+    }
+}
+
+impl fmt::Display for EntityKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EntityKind::Tool => f.write_str("tool"),
+            EntityKind::Data => f.write_str("data"),
+        }
+    }
+}
+
+/// One declared entity type of a task schema.
+///
+/// Construction-related facts (functional dependency, data dependencies,
+/// subtypes) live on the schema itself and are reached through
+/// [`TaskSchema`](crate::TaskSchema) accessors; `EntityType` carries the
+/// intrinsic declaration: name, kind, optional supertype and an optional
+/// free-form description.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EntityType {
+    pub(crate) id: EntityTypeId,
+    pub(crate) name: String,
+    pub(crate) kind: EntityKind,
+    pub(crate) supertype: Option<EntityTypeId>,
+    pub(crate) description: String,
+    /// Explicit composite annotation (§3.1: "composed entities"): the
+    /// entity groups other entities and has implicit composition /
+    /// decomposition functions instead of a tool.
+    pub(crate) composite: bool,
+}
+
+impl EntityType {
+    /// Returns the id of this entity type.
+    pub fn id(&self) -> EntityTypeId {
+        self.id
+    }
+
+    /// Returns the unique name of this entity type.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns whether this entity is a tool or data.
+    pub fn kind(&self) -> EntityKind {
+        self.kind
+    }
+
+    /// Returns the direct supertype, if this entity was declared as a
+    /// subtype (e.g. `ExtractedNetlist` under `Netlist` in Fig. 1).
+    pub fn supertype(&self) -> Option<EntityTypeId> {
+        self.supertype
+    }
+
+    /// Returns the free-form description given at declaration time.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// Returns `true` if this entity was annotated as a composite
+    /// (grouping) entity, such as `Circuit` = `DeviceModels` + `Netlist`.
+    pub fn is_composite(&self) -> bool {
+        self.composite
+    }
+}
+
+impl fmt::Display for EntityType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_round_trips_through_index() {
+        let id = EntityTypeId::from_index(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "#7");
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(EntityKind::Tool.is_tool());
+        assert!(!EntityKind::Tool.is_data());
+        assert!(EntityKind::Data.is_data());
+        assert!(!EntityKind::Data.is_tool());
+        assert_eq!(EntityKind::Tool.to_string(), "tool");
+        assert_eq!(EntityKind::Data.to_string(), "data");
+    }
+
+    #[test]
+    fn ids_order_by_declaration_index() {
+        assert!(EntityTypeId::from_index(0) < EntityTypeId::from_index(1));
+    }
+}

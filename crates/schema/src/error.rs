@@ -1,0 +1,164 @@
+//! Error type for schema construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::entity::EntityTypeId;
+
+/// Errors raised while building or validating a [`TaskSchema`].
+///
+/// [`TaskSchema`]: crate::TaskSchema
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+#[allow(missing_docs)] // variant fields are self-describing entity names
+pub enum SchemaError {
+    /// Two entity types were declared with the same name.
+    DuplicateEntityName(String),
+    /// An entity name or id was referenced but never declared.
+    UnknownEntity(String),
+    /// An entity type id was out of range for this schema.
+    UnknownEntityId(EntityTypeId),
+    /// An entity was given more than one functional dependency.
+    ///
+    /// The paper (§3.1) requires "at most one functional dependency and an
+    /// unlimited number of data dependencies".
+    MultipleFunctionalDeps { entity: String },
+    /// A functional dependency's source is not a tool entity.
+    ///
+    /// Functional dependencies express "produced by running this tool", so
+    /// their source must be of kind [`EntityKind::Tool`].
+    ///
+    /// [`EntityKind::Tool`]: crate::EntityKind::Tool
+    FunctionalDepOnNonTool { entity: String, source: String },
+    /// The required (non-optional) dependency graph contains a cycle.
+    ///
+    /// The paper breaks loops such as *EditedNetlist → Netlist* by marking
+    /// the offending data dependency *optional* (dashed arc in Fig. 1).
+    RequiredDependencyCycle { entities: Vec<String> },
+    /// An entity depends on itself through a required dependency.
+    RequiredSelfDependency { entity: String },
+    /// The subtype relation contains a cycle.
+    SubtypeCycle { entity: String },
+    /// A subtype's kind (tool/data) differs from its supertype's kind.
+    SubtypeKindMismatch { subtype: String, supertype: String },
+    /// The same dependency (source, target, kind) was declared twice.
+    DuplicateDependency { source: String, target: String },
+    /// A functional dependency was marked optional.
+    ///
+    /// Only data dependencies may be optional; a construction method either
+    /// applies or it does not.
+    OptionalFunctionalDep { entity: String },
+    /// An entity declared abstract (has subtypes used for construction)
+    /// also carries its own functional dependency.
+    AbstractEntityWithFunctionalDep { entity: String },
+    /// A composite annotation was placed on an entity that has a
+    /// functional dependency or no data dependencies.
+    InvalidComposite { entity: String },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::DuplicateEntityName(name) => {
+                write!(f, "duplicate entity type name `{name}`")
+            }
+            SchemaError::UnknownEntity(name) => {
+                write!(f, "unknown entity type `{name}`")
+            }
+            SchemaError::UnknownEntityId(id) => {
+                write!(f, "unknown entity type id {id}")
+            }
+            SchemaError::MultipleFunctionalDeps { entity } => {
+                write!(f, "entity `{entity}` has more than one functional dependency")
+            }
+            SchemaError::FunctionalDepOnNonTool { entity, source } => write!(
+                f,
+                "functional dependency of `{entity}` on `{source}` which is not a tool"
+            ),
+            SchemaError::RequiredDependencyCycle { entities } => write!(
+                f,
+                "required dependencies form a cycle through [{}]; mark a data \
+                 dependency optional to break it",
+                entities.join(", ")
+            ),
+            SchemaError::RequiredSelfDependency { entity } => write!(
+                f,
+                "entity `{entity}` requires itself; mark the dependency optional"
+            ),
+            SchemaError::SubtypeCycle { entity } => {
+                write!(f, "subtype relation cycles through `{entity}`")
+            }
+            SchemaError::SubtypeKindMismatch { subtype, supertype } => write!(
+                f,
+                "subtype `{subtype}` has a different kind than its supertype `{supertype}`"
+            ),
+            SchemaError::DuplicateDependency { source, target } => {
+                write!(f, "dependency `{target}` on `{source}` declared twice")
+            }
+            SchemaError::OptionalFunctionalDep { entity } => {
+                write!(f, "functional dependency of `{entity}` cannot be optional")
+            }
+            SchemaError::AbstractEntityWithFunctionalDep { entity } => write!(
+                f,
+                "entity `{entity}` has subtypes with construction methods but also \
+                 its own functional dependency"
+            ),
+            SchemaError::InvalidComposite { entity } => write!(
+                f,
+                "entity `{entity}` cannot be composite: composites have only data \
+                 dependencies and at least one of them"
+            ),
+        }
+    }
+}
+
+impl Error for SchemaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        let errors: Vec<SchemaError> = vec![
+            SchemaError::DuplicateEntityName("Netlist".into()),
+            SchemaError::UnknownEntity("Ghost".into()),
+            SchemaError::MultipleFunctionalDeps {
+                entity: "Performance".into(),
+            },
+            SchemaError::FunctionalDepOnNonTool {
+                entity: "Performance".into(),
+                source: "Netlist".into(),
+            },
+            SchemaError::RequiredDependencyCycle {
+                entities: vec!["A".into(), "B".into()],
+            },
+            SchemaError::RequiredSelfDependency { entity: "A".into() },
+            SchemaError::SubtypeCycle { entity: "A".into() },
+            SchemaError::SubtypeKindMismatch {
+                subtype: "A".into(),
+                supertype: "B".into(),
+            },
+            SchemaError::DuplicateDependency {
+                source: "A".into(),
+                target: "B".into(),
+            },
+            SchemaError::OptionalFunctionalDep { entity: "A".into() },
+            SchemaError::AbstractEntityWithFunctionalDep { entity: "A".into() },
+            SchemaError::InvalidComposite { entity: "A".into() },
+        ];
+        for err in errors {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'), "trailing punctuation in {msg:?}");
+            let first = msg.chars().next().expect("nonempty");
+            assert!(first.is_lowercase() || !first.is_alphabetic());
+        }
+    }
+
+    #[test]
+    fn error_trait_object_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SchemaError>();
+    }
+}

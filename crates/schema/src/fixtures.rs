@@ -1,0 +1,324 @@
+//! Reference schemas reconstructed from the paper's figures.
+//!
+//! The DAC'93 paper shows two task schemas: the running example of Fig. 1
+//! (editors, simulator, extractor, verifier, plotter, with subtyping, an
+//! optional loop-breaking arc, and the composite `Circuit` entity) and the
+//! Fig. 2 subgraph in which a tool — a COSMOS-style compiled simulator —
+//! is itself created during the design.
+//!
+//! The figures in the available text are partially OCR-damaged; the
+//! reconstruction below keeps every feature the prose attributes to them:
+//!
+//! * `Netlist` is abstract with subtypes `ExtractedNetlist` and
+//!   `EditedNetlist` (§3.1, "two subtypes of entity type Netlist that have
+//!   different construction methods");
+//! * `EditedNetlist` optionally depends on a `Netlist` (the dashed,
+//!   loop-breaking arc of Fig. 1);
+//! * `Circuit` is a composite of `DeviceModels` and `Netlist` (§3.1);
+//! * `SimulatorOptions` is the "options or arguments themselves as an
+//!   entity type" example (§3.3);
+//! * Fig. 3's flow `placement = placer(circuit_editor(circuit),
+//!   placement_rules)` is expressible;
+//! * Fig. 8's synthesis (`Netlist → Placer → Layout`) and verification
+//!   (`Layout → Extractor → ExtractedNetlist → Verifier ← Netlist`) flows
+//!   are expressible.
+
+use crate::builder::SchemaBuilder;
+use crate::schema::TaskSchema;
+
+/// Builds the Fig. 1 example task schema.
+///
+/// # Examples
+///
+/// ```
+/// let schema = hercules_schema::fixtures::fig1();
+/// let netlist = schema.entity_id("Netlist").expect("declared");
+/// assert!(schema.is_abstract(netlist));
+/// assert_eq!(schema.subtypes(netlist).len(), 2);
+/// ```
+pub fn fig1() -> TaskSchema {
+    let mut b = SchemaBuilder::new();
+
+    // Tools.
+    let device_model_editor = b.tool("DeviceModelEditor");
+    let circuit_editor = b.tool("CircuitEditor");
+    let placer = b.tool("Placer");
+    let extractor = b.tool("Extractor");
+    let simulator = b.tool("Simulator");
+    let verifier = b.tool("Verifier");
+    let plotter = b.tool("Plotter");
+    b.describe(circuit_editor, "interactive schematic/netlist editor");
+    b.describe(simulator, "circuit simulator (HSpice-class)");
+
+    // Data.
+    let device_models = b.data("DeviceModels");
+    let netlist = b.data("Netlist");
+    let edited_netlist = b.subtype("EditedNetlist", netlist);
+    let extracted_netlist = b.subtype("ExtractedNetlist", netlist);
+    let circuit = b.composite("Circuit", &[device_models, netlist]);
+    let placement_rules = b.data("PlacementRules");
+    let layout = b.data("Layout");
+    let extraction_statistics = b.data("ExtractionStatistics");
+    let stimuli = b.data("Stimuli");
+    let simulator_options = b.data("SimulatorOptions");
+    let performance = b.data("Performance");
+    let verification = b.data("Verification");
+    let performance_plot = b.data("PerformancePlot");
+    b.describe(netlist, "abstract netlist; specialize before expansion");
+    b.describe(circuit, "composite entity: device models + netlist");
+    b.describe(
+        simulator_options,
+        "tool arguments modelled as an entity type (section 3.3)",
+    );
+
+    // Construction rules.
+    b.functional(device_models, device_model_editor);
+    b.functional(edited_netlist, circuit_editor);
+    b.optional_data_dep(edited_netlist, netlist); // dashed loop-breaking arc
+    b.functional(extracted_netlist, extractor);
+    b.data_dep(extracted_netlist, layout);
+    b.functional(extraction_statistics, extractor);
+    b.data_dep(extraction_statistics, layout);
+    b.functional(layout, placer);
+    b.data_dep(layout, netlist);
+    b.data_dep(layout, placement_rules);
+    b.functional(performance, simulator);
+    b.data_dep(performance, circuit);
+    b.data_dep(performance, stimuli);
+    b.optional_data_dep(performance, simulator_options);
+    b.functional(verification, verifier);
+    b.data_dep(verification, netlist);
+    b.data_dep(verification, extracted_netlist);
+    b.functional(performance_plot, plotter);
+    b.data_dep(performance_plot, performance);
+
+    b.build().expect("fig. 1 schema is valid by construction")
+}
+
+/// Builds the Fig. 2 subgraph: a tool created during the design.
+///
+/// A `SimulatorCompiler` (COSMOS \[10\] style) compiles a `Netlist` into a
+/// `CompiledSimulator` — a *tool* entity with a functional dependency —
+/// which then produces `SwitchSimulation` results from `Stimuli`.
+///
+/// # Examples
+///
+/// ```
+/// use hercules_schema::EntityKind;
+///
+/// let schema = hercules_schema::fixtures::fig2();
+/// let sim = schema.entity_id("CompiledSimulator").expect("declared");
+/// assert_eq!(schema.entity(sim).kind(), EntityKind::Tool);
+/// assert!(schema.functional_dep(sim).is_some(), "a tool with a derivation");
+/// ```
+pub fn fig2() -> TaskSchema {
+    let mut b = SchemaBuilder::new();
+    fig2_into(&mut b);
+    b.build().expect("fig. 2 schema is valid by construction")
+}
+
+/// Adds the Fig. 2 entities to an existing builder, declaring `Netlist`
+/// and `Stimuli` only if absent (so it can be merged into Fig. 1).
+fn fig2_into(b: &mut SchemaBuilder) {
+    let netlist = match b.names.iter().position(|n| n == "Netlist") {
+        Some(i) => crate::EntityTypeId::from_index(i),
+        None => b.data("Netlist"),
+    };
+    let stimuli = match b.names.iter().position(|n| n == "Stimuli") {
+        Some(i) => crate::EntityTypeId::from_index(i),
+        None => b.data("Stimuli"),
+    };
+    let compiler = b.tool("SimulatorCompiler");
+    b.describe(compiler, "compiles a netlist into a switch-level simulator");
+    let compiled = b.tool("CompiledSimulator");
+    b.describe(
+        compiled,
+        "tool created during the design (COSMOS-style compiled simulator)",
+    );
+    let stats = b.data("SwitchSimulation");
+    b.functional(compiled, compiler);
+    b.data_dep(compiled, netlist);
+    b.functional(stats, compiled);
+    b.data_dep(stats, stimuli);
+}
+
+/// Builds the combined Odyssey schema: Fig. 1 merged with Fig. 2, plus
+/// the §3.3 extras — an `Optimizer` tool whose product takes a
+/// `Simulator` *as data input* ("an optimization procedure may have a
+/// circuit simulator passed to it as an argument").
+///
+/// This is the schema the `hercules` task manager, the examples and the
+/// benchmarks use.
+///
+/// # Examples
+///
+/// ```
+/// let schema = hercules_schema::fixtures::odyssey();
+/// let opt = schema.entity_id("OptimizedNetlist").expect("declared");
+/// let sim = schema.entity_id("Simulator").expect("declared");
+/// // A tool appearing as a *data* input of another task:
+/// assert!(schema
+///     .data_deps(opt)
+///     .any(|d| d.source() == sim));
+/// ```
+pub fn odyssey() -> TaskSchema {
+    let mut b = odyssey_builder();
+    b_finish(&mut b);
+    b.build().expect("odyssey schema is valid by construction")
+}
+
+fn odyssey_builder() -> SchemaBuilder {
+    // Rebuild fig. 1 declarations inside a builder we can extend.
+    let mut b = SchemaBuilder::new();
+    let spec = fig1().to_spec();
+    for e in &spec.entities {
+        b.names.push(e.name.clone());
+        b.kinds.push(e.kind);
+        b.supertypes.push(None);
+        b.descriptions.push(e.description.clone());
+        b.composites.push(e.composite);
+    }
+    let lookup = |b: &SchemaBuilder, name: &str| {
+        crate::EntityTypeId::from_index(
+            b.names.iter().position(|n| n == name).expect("fig. 1 name"),
+        )
+    };
+    for (i, e) in spec.entities.iter().enumerate() {
+        if let Some(sup) = &e.supertype {
+            b.supertypes[i] = Some(lookup(&b, sup));
+        }
+    }
+    for d in &spec.deps {
+        let target = lookup(&b, &d.target);
+        let source = lookup(&b, &d.source);
+        match (d.kind, d.optional) {
+            (crate::DepKind::Functional, _) => {
+                b.functional(target, source);
+            }
+            (crate::DepKind::Data, false) => {
+                b.data_dep(target, source);
+            }
+            (crate::DepKind::Data, true) => {
+                b.optional_data_dep(target, source);
+            }
+        }
+    }
+    b
+}
+
+fn b_finish(b: &mut SchemaBuilder) {
+    fig2_into(b);
+    let lookup = |b: &SchemaBuilder, name: &str| {
+        crate::EntityTypeId::from_index(b.names.iter().position(|n| n == name).expect("name"))
+    };
+    let netlist = lookup(b, "Netlist");
+    let simulator = lookup(b, "Simulator");
+    let device_models = lookup(b, "DeviceModels");
+    let optimizer = b.tool("Optimizer");
+    b.describe(
+        optimizer,
+        "statistical circuit optimizer; three tool instances share one encapsulation",
+    );
+    let optimized = b.subtype("OptimizedNetlist", netlist);
+    b.functional(optimized, optimizer);
+    b.data_dep(optimized, netlist);
+    b.data_dep(optimized, device_models);
+    // A tool as a data input to another task (section 3.3).
+    b.data_dep(optimized, simulator);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::EntityKind;
+
+    #[test]
+    fn fig1_has_the_paper_features() {
+        let s = fig1();
+        let netlist = s.require("Netlist").expect("present");
+        let edited = s.require("EditedNetlist").expect("present");
+        let extracted = s.require("ExtractedNetlist").expect("present");
+        let circuit = s.require("Circuit").expect("present");
+        let performance = s.require("Performance").expect("present");
+
+        // Subtyping separates construction methods.
+        assert!(s.is_abstract(netlist));
+        assert_eq!(s.subtypes(netlist), &[edited, extracted]);
+
+        // Dashed loop-breaking arc.
+        let loop_arc = s
+            .data_deps(edited)
+            .find(|d| d.source() == netlist)
+            .expect("edited netlist optionally uses a netlist");
+        assert!(loop_arc.is_optional());
+
+        // Composite Circuit = DeviceModels + Netlist.
+        assert!(s.is_composite(circuit));
+        assert_eq!(s.components_of(circuit).len(), 2);
+
+        // Performance is functionally dependent on a Simulator.
+        let sim = s.require("Simulator").expect("present");
+        assert_eq!(s.constructing_tool(performance), Some(sim));
+
+        // Options-as-entity arc is optional.
+        let opts = s.require("SimulatorOptions").expect("present");
+        assert!(s
+            .data_deps(performance)
+            .find(|d| d.source() == opts)
+            .expect("options arc")
+            .is_optional());
+    }
+
+    #[test]
+    fn fig1_counts_are_stable() {
+        let s = fig1();
+        assert_eq!(s.len(), 20);
+        assert_eq!(s.tools().len(), 7);
+        assert_eq!(s.data_entities().len(), 13);
+    }
+
+    #[test]
+    fn fig2_compiled_simulator_is_a_constructed_tool() {
+        let s = fig2();
+        let compiled = s.require("CompiledSimulator").expect("present");
+        assert_eq!(s.entity(compiled).kind(), EntityKind::Tool);
+        let f = s.functional_dep(compiled).expect("constructed");
+        assert_eq!(
+            s.entity(f.source()).name(),
+            "SimulatorCompiler",
+            "built by the compiler"
+        );
+        let stats = s.require("SwitchSimulation").expect("present");
+        assert_eq!(s.constructing_tool(stats), Some(compiled));
+    }
+
+    #[test]
+    fn odyssey_merges_both_figures_plus_optimizer() {
+        let s = odyssey();
+        for name in [
+            "CircuitEditor",
+            "Netlist",
+            "CompiledSimulator",
+            "SwitchSimulation",
+            "Optimizer",
+            "OptimizedNetlist",
+        ] {
+            assert!(s.entity_id(name).is_some(), "missing {name}");
+        }
+        // OptimizedNetlist is a third Netlist subtype.
+        let netlist = s.require("Netlist").expect("present");
+        assert_eq!(s.subtypes(netlist).len(), 3);
+        // Netlist and Stimuli are shared, not duplicated.
+        assert_eq!(
+            s.entities().filter(|e| e.name() == "Stimuli").count(),
+            1
+        );
+    }
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        assert_eq!(fig1(), fig1());
+        assert_eq!(fig2(), fig2());
+        assert_eq!(odyssey(), odyssey());
+    }
+}

@@ -1,0 +1,76 @@
+//! Task schemas for dynamically defined design flows.
+//!
+//! This crate implements the *task schema* of Sutton, Brockman &
+//! Director, ["Design Management Using Dynamically Defined
+//! Flows"](https://doi.org/10.1145/157485.164600) (DAC 1993), §3.1: a
+//! graph of design-entity types — tools **and** data, treated uniformly —
+//! connected by *functional* (`f`) and *data* (`d`) dependency arcs.
+//!
+//! The schema serves two purposes in the Hercules/Odyssey framework this
+//! workspace reproduces:
+//!
+//! 1. it states the **construction rules** by which tasks (tool-
+//!    independent design functions) can be built into flows, and
+//! 2. it is the **data schema** for the design-history database — every
+//!    design object is an instance of one of these entity types.
+//!
+//! # Features from the paper
+//!
+//! * at most one functional dependency per entity, unlimited data
+//!   dependencies;
+//! * *optional* (dashed) data dependencies that break schema loops such
+//!   as `EditedNetlist → Netlist`;
+//! * *subtyping* to separate alternative construction methods
+//!   (`ExtractedNetlist` vs `EditedNetlist`);
+//! * *composite* entities with data dependencies only (`Circuit` =
+//!   `DeviceModels` + `Netlist`) and implicit composition functions;
+//! * tools created during the design (the Fig. 2 compiled simulator) and
+//!   tools appearing as *data* inputs to other tools.
+//!
+//! # Examples
+//!
+//! ```
+//! use hercules_schema::{SchemaBuilder, EntityKind};
+//!
+//! # fn main() -> Result<(), hercules_schema::SchemaError> {
+//! let mut b = SchemaBuilder::new();
+//! let extractor = b.tool("Extractor");
+//! let layout = b.data("Layout");
+//! let netlist = b.data("Netlist");
+//! let extracted = b.subtype("ExtractedNetlist", netlist);
+//! b.functional(extracted, extractor);
+//! b.data_dep(extracted, layout);
+//! let schema = b.build()?;
+//!
+//! assert!(schema.is_abstract(netlist));
+//! assert!(schema.is_subtype_of(extracted, netlist));
+//! assert_eq!(schema.constructing_tool(extracted), Some(extractor));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The reference schemas of the paper's figures live in [`fixtures`];
+//! synthetic schemas for benchmarks in [`synth`]; renderers in
+//! [`render`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod dependency;
+mod entity;
+mod error;
+mod schema;
+mod spec;
+mod validate;
+
+pub mod fixtures;
+pub mod render;
+pub mod synth;
+
+pub use builder::SchemaBuilder;
+pub use dependency::{DepKind, Dependency};
+pub use entity::{EntityKind, EntityType, EntityTypeId};
+pub use error::SchemaError;
+pub use schema::TaskSchema;
+pub use spec::{DepSpec, EntitySpec, SchemaSpec};

@@ -1,0 +1,140 @@
+//! Textual and Graphviz renderings of a task schema.
+//!
+//! The paper draws schemas as boxes connected by `f`/`d` arcs (Fig. 1);
+//! [`to_text`] prints the same information as an indented listing and
+//! [`to_dot`] emits Graphviz for a faithful visual reproduction (dashed
+//! arcs for optional dependencies, double borders for composites).
+
+use std::fmt::Write as _;
+
+use crate::entity::EntityKind;
+use crate::schema::TaskSchema;
+
+/// Renders the schema as an indented text listing, one entity per block.
+///
+/// # Examples
+///
+/// ```
+/// let schema = hercules_schema::fixtures::fig2();
+/// let text = hercules_schema::render::to_text(&schema);
+/// assert!(text.contains("CompiledSimulator"));
+/// assert!(text.contains("f← SimulatorCompiler"));
+/// ```
+pub fn to_text(schema: &TaskSchema) -> String {
+    let mut out = String::new();
+    for e in schema.entities() {
+        let mut tags = Vec::new();
+        match e.kind() {
+            EntityKind::Tool => tags.push("tool".to_owned()),
+            EntityKind::Data => tags.push("data".to_owned()),
+        }
+        if e.is_composite() {
+            tags.push("composite".to_owned());
+        }
+        if schema.is_abstract(e.id()) {
+            tags.push("abstract".to_owned());
+        }
+        if let Some(sup) = e.supertype() {
+            tags.push(format!("subtype of {}", schema.entity(sup).name()));
+        }
+        let _ = writeln!(out, "{} [{}]", e.name(), tags.join(", "));
+        if !e.description().is_empty() {
+            let _ = writeln!(out, "    // {}", e.description());
+        }
+        if let Some(f) = schema.functional_dep(e.id()) {
+            let _ = writeln!(out, "    f← {}", schema.entity(f.source()).name());
+        }
+        for d in schema.data_deps(e.id()) {
+            let opt = if d.is_optional() { " (optional)" } else { "" };
+            let _ = writeln!(out, "    d← {}{}", schema.entity(d.source()).name(), opt);
+        }
+    }
+    out
+}
+
+/// Renders the schema as a Graphviz digraph.
+///
+/// Tools are drawn as ellipses, data entities as rectangles, composites
+/// with doubled borders. Functional arcs are solid and labelled `f`, data
+/// arcs are labelled `d`, optional arcs are dashed, and subtype relations
+/// are dotted open-headed arcs, matching the visual conventions of
+/// Fig. 1.
+pub fn to_dot(schema: &TaskSchema) -> String {
+    let mut out = String::from("digraph task_schema {\n  rankdir=BT;\n");
+    for e in schema.entities() {
+        let shape = match e.kind() {
+            EntityKind::Tool => "ellipse",
+            EntityKind::Data => "box",
+        };
+        let peripheries = if e.is_composite() { 2 } else { 1 };
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape={shape}, peripheries={peripheries}];",
+            e.name()
+        );
+    }
+    for d in schema.deps() {
+        let style = if d.is_optional() { "dashed" } else { "solid" };
+        let _ = writeln!(
+            out,
+            "  \"{}\" -> \"{}\" [label=\"{}\", style={style}];",
+            schema.entity(d.source()).name(),
+            schema.entity(d.target()).name(),
+            d.kind()
+        );
+    }
+    for e in schema.entities() {
+        if let Some(sup) = e.supertype() {
+            let _ = writeln!(
+                out,
+                "  \"{}\" -> \"{}\" [style=dotted, arrowhead=onormal];",
+                e.name(),
+                schema.entity(sup).name()
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn text_lists_every_entity() {
+        let s = fixtures::fig1();
+        let text = to_text(&s);
+        for e in s.entities() {
+            assert!(text.contains(e.name()), "missing {}", e.name());
+        }
+    }
+
+    #[test]
+    fn text_marks_optional_arcs() {
+        let s = fixtures::fig1();
+        let text = to_text(&s);
+        assert!(text.contains("d← Netlist (optional)"));
+    }
+
+    #[test]
+    fn text_marks_abstract_and_composite() {
+        let s = fixtures::fig1();
+        let text = to_text(&s);
+        assert!(text.contains("Netlist [data, abstract]"));
+        assert!(text.contains("Circuit [data, composite]"));
+    }
+
+    #[test]
+    fn dot_is_well_formed() {
+        let s = fixtures::fig1();
+        let dot = to_dot(&s);
+        assert!(dot.starts_with("digraph task_schema {"));
+        assert!(dot.trim_end().ends_with('}'));
+        let subtype_arcs = s.entities().filter(|e| e.supertype().is_some()).count();
+        assert_eq!(dot.matches("->").count(), s.dep_count() + subtype_arcs);
+        assert!(dot.contains("style=dashed"), "optional arcs are dashed");
+        assert!(dot.contains("peripheries=2"), "composite drawn doubled");
+    }
+}

@@ -1,0 +1,270 @@
+//! Declarative, serializable form of a task schema.
+//!
+//! A [`SchemaSpec`] is the on-disk representation: names instead of dense
+//! ids, so it survives reordering and hand editing. [`TaskSchema`]
+//! serializes *through* this type (`#[serde(try_from, into)]`), which
+//! means a deserialized schema is always re-validated.
+
+use serde::{Deserialize, Serialize};
+
+use crate::builder::SchemaBuilder;
+use crate::dependency::DepKind;
+use crate::entity::EntityKind;
+use crate::error::SchemaError;
+use crate::schema::TaskSchema;
+
+/// Declaration of one entity type by name.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EntitySpec {
+    /// Unique entity name.
+    pub name: String,
+    /// Tool or data. Subtypes may omit this to inherit it.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub kind: Option<EntityKind>,
+    /// Name of the supertype, if any.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub supertype: Option<String>,
+    /// Free-form description.
+    #[serde(default, skip_serializing_if = "String::is_empty")]
+    pub description: String,
+    /// Composite (grouping) entity annotation.
+    #[serde(default, skip_serializing_if = "std::ops::Not::not")]
+    pub composite: bool,
+}
+
+/// Declaration of one dependency arc by entity names.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DepSpec {
+    /// The dependent entity.
+    pub target: String,
+    /// The entity depended upon.
+    pub source: String,
+    /// Functional (`f`) or data (`d`).
+    pub kind: DepKind,
+    /// Optional (dashed) arc.
+    #[serde(default, skip_serializing_if = "std::ops::Not::not")]
+    pub optional: bool,
+}
+
+/// The complete declarative form of a schema.
+///
+/// # Examples
+///
+/// ```
+/// use hercules_schema::{SchemaSpec, TaskSchema, fixtures};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let spec = fixtures::fig1().to_spec();
+/// let json = serde_json::to_string(&spec)?;
+/// let back: TaskSchema = serde_json::from_str(&json)?;
+/// assert_eq!(back, fixtures::fig1());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SchemaSpec {
+    /// Entity declarations, in id order.
+    pub entities: Vec<EntitySpec>,
+    /// Dependency declarations.
+    pub deps: Vec<DepSpec>,
+}
+
+impl SchemaSpec {
+    /// Creates an empty spec.
+    pub fn new() -> SchemaSpec {
+        SchemaSpec::default()
+    }
+
+    /// Builds and validates a [`TaskSchema`] from this spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemaError::UnknownEntity`] for dangling names and any
+    /// rule violation detected by
+    /// [`SchemaBuilder::build`](crate::SchemaBuilder::build).
+    pub fn build(&self) -> Result<TaskSchema, SchemaError> {
+        let mut b = SchemaBuilder::new();
+        // First pass: declare all names so forward references resolve.
+        for e in &self.entities {
+            b.names.push(e.name.clone());
+            b.kinds.push(e.kind);
+            b.supertypes.push(None);
+            b.descriptions.push(e.description.clone());
+            b.composites.push(e.composite);
+        }
+        let lookup = |name: &str| -> Result<crate::EntityTypeId, SchemaError> {
+            self.entities
+                .iter()
+                .position(|e| e.name == name)
+                .map(crate::EntityTypeId::from_index)
+                .ok_or_else(|| SchemaError::UnknownEntity(name.to_owned()))
+        };
+        for (i, e) in self.entities.iter().enumerate() {
+            if let Some(sup) = &e.supertype {
+                b.supertypes[i] = Some(lookup(sup)?);
+            }
+        }
+        for d in &self.deps {
+            let target = lookup(&d.target)?;
+            let source = lookup(&d.source)?;
+            match d.kind {
+                DepKind::Functional => {
+                    if d.optional {
+                        return Err(SchemaError::OptionalFunctionalDep {
+                            entity: d.target.clone(),
+                        });
+                    }
+                    b.functional(target, source);
+                }
+                DepKind::Data => {
+                    if d.optional {
+                        b.optional_data_dep(target, source);
+                    } else {
+                        b.data_dep(target, source);
+                    }
+                }
+            }
+        }
+        b.build()
+    }
+}
+
+impl From<TaskSchema> for SchemaSpec {
+    fn from(schema: TaskSchema) -> SchemaSpec {
+        let entities = schema
+            .entities()
+            .map(|e| EntitySpec {
+                name: e.name().to_owned(),
+                kind: Some(e.kind()),
+                supertype: e.supertype().map(|s| schema.entity(s).name().to_owned()),
+                description: e.description().to_owned(),
+                composite: e.is_composite(),
+            })
+            .collect();
+        let deps = schema
+            .deps()
+            .map(|d| DepSpec {
+                target: schema.entity(d.target()).name().to_owned(),
+                source: schema.entity(d.source()).name().to_owned(),
+                kind: d.kind(),
+                optional: d.is_optional(),
+            })
+            .collect();
+        SchemaSpec { entities, deps }
+    }
+}
+
+impl TryFrom<SchemaSpec> for TaskSchema {
+    type Error = SchemaError;
+
+    fn try_from(spec: SchemaSpec) -> Result<TaskSchema, SchemaError> {
+        spec.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SchemaBuilder;
+
+    fn small_schema() -> TaskSchema {
+        let mut b = SchemaBuilder::new();
+        let sim = b.tool("Simulator");
+        let net = b.data("Netlist");
+        let ext = b.subtype("ExtractedNetlist", net);
+        let x = b.tool("Extractor");
+        let lay = b.data("Layout");
+        let perf = b.data("Performance");
+        b.functional(ext, x);
+        b.data_dep(ext, lay);
+        b.functional(perf, sim);
+        b.data_dep(perf, net);
+        b.describe(net, "connection list");
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn spec_round_trips_exactly() {
+        let schema = small_schema();
+        let spec = schema.to_spec();
+        let rebuilt = spec.build().expect("valid");
+        assert_eq!(rebuilt, schema);
+    }
+
+    #[test]
+    fn json_round_trips_through_serde_attrs() {
+        let schema = small_schema();
+        let json = serde_json::to_string_pretty(&schema).expect("serialize");
+        let back: TaskSchema = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, schema);
+    }
+
+    #[test]
+    fn dangling_supertype_is_rejected() {
+        let spec = SchemaSpec {
+            entities: vec![EntitySpec {
+                name: "A".into(),
+                kind: None,
+                supertype: Some("Ghost".into()),
+                description: String::new(),
+                composite: false,
+            }],
+            deps: vec![],
+        };
+        assert_eq!(
+            spec.build().unwrap_err(),
+            SchemaError::UnknownEntity("Ghost".into())
+        );
+    }
+
+    #[test]
+    fn invalid_spec_fails_to_deserialize() {
+        // Two functional deps on the same entity must be rejected *at
+        // deserialization time* thanks to try_from.
+        let json = r#"{
+            "entities": [
+                {"name": "T1", "kind": "Tool"},
+                {"name": "T2", "kind": "Tool"},
+                {"name": "D", "kind": "Data"}
+            ],
+            "deps": [
+                {"target": "D", "source": "T1", "kind": "Functional"},
+                {"target": "D", "source": "T2", "kind": "Functional"}
+            ]
+        }"#;
+        let res: Result<TaskSchema, _> = serde_json::from_str(json);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn optional_functional_in_spec_is_rejected() {
+        let spec = SchemaSpec {
+            entities: vec![
+                EntitySpec {
+                    name: "T".into(),
+                    kind: Some(crate::EntityKind::Tool),
+                    supertype: None,
+                    description: String::new(),
+                    composite: false,
+                },
+                EntitySpec {
+                    name: "D".into(),
+                    kind: Some(crate::EntityKind::Data),
+                    supertype: None,
+                    description: String::new(),
+                    composite: false,
+                },
+            ],
+            deps: vec![DepSpec {
+                target: "D".into(),
+                source: "T".into(),
+                kind: DepKind::Functional,
+                optional: true,
+            }],
+        };
+        assert!(matches!(
+            spec.build().unwrap_err(),
+            SchemaError::OptionalFunctionalDep { .. }
+        ));
+    }
+}

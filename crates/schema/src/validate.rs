@@ -1,0 +1,241 @@
+//! Schema validation rules.
+//!
+//! The rules implement §3.1 of the paper: at most one functional
+//! dependency per entity, functional dependencies name tools, loops must
+//! be broken by optional arcs, subtyping forms a forest of consistent
+//! kind, composite entities have data dependencies only.
+
+use crate::entity::{EntityKind, EntityTypeId};
+use crate::error::SchemaError;
+use crate::schema::TaskSchema;
+
+/// Resolves the kind of every declared entity, inheriting down the
+/// subtype forest, and rejects kind mismatches and subtype cycles.
+pub(crate) fn resolve_kinds(
+    names: &[String],
+    declared: &[Option<EntityKind>],
+    supertypes: &[Option<EntityTypeId>],
+) -> Result<Vec<EntityKind>, SchemaError> {
+    let n = names.len();
+
+    // Explicit cycle check of the supertype relation: declared kinds may
+    // otherwise short-circuit the chain walk below before a cycle closes.
+    for start in 0..n {
+        let mut steps = 0usize;
+        let mut cur = supertypes[start];
+        while let Some(s) = cur {
+            steps += 1;
+            if steps > n {
+                return Err(SchemaError::SubtypeCycle {
+                    entity: names[start].clone(),
+                });
+            }
+            cur = supertypes[s.index()];
+        }
+    }
+
+    let mut resolved: Vec<Option<EntityKind>> = vec![None; n];
+    for start in 0..n {
+        if resolved[start].is_some() {
+            continue;
+        }
+        // Walk up the supertype chain; detect cycles with a step bound.
+        let mut chain = Vec::new();
+        let mut cur = start;
+        let kind = loop {
+            if chain.len() > n {
+                return Err(SchemaError::SubtypeCycle {
+                    entity: names[start].clone(),
+                });
+            }
+            chain.push(cur);
+            if let Some(k) = resolved[cur].or(declared[cur]) {
+                break k;
+            }
+            match supertypes[cur] {
+                Some(s) => cur = s.index(),
+                // A root with no declared kind defaults to data.
+                None => break EntityKind::Data,
+            }
+        };
+        for &i in &chain {
+            if let Some(k) = declared[i] {
+                if k != kind {
+                    return Err(SchemaError::SubtypeKindMismatch {
+                        subtype: names[start].clone(),
+                        supertype: names[cur].clone(),
+                    });
+                }
+            }
+            resolved[i] = Some(kind);
+        }
+    }
+    let kinds: Vec<EntityKind> = resolved.into_iter().map(|k| k.expect("resolved")).collect();
+
+    // Every entity's kind must match its supertype's kind.
+    for i in 0..n {
+        if let Some(s) = supertypes[i] {
+            if kinds[i] != kinds[s.index()] {
+                return Err(SchemaError::SubtypeKindMismatch {
+                    subtype: names[i].clone(),
+                    supertype: names[s.index()].clone(),
+                });
+            }
+        }
+    }
+    Ok(kinds)
+}
+
+/// Validates a fully indexed schema. Called by
+/// [`SchemaBuilder::build`](crate::SchemaBuilder::build) after the
+/// structural indexes exist.
+pub(crate) fn validate(schema: &TaskSchema) -> Result<(), SchemaError> {
+    check_functional_sources(schema)?;
+    check_abstract_entities(schema)?;
+    check_composites(schema)?;
+    check_required_acyclic(schema)?;
+    Ok(())
+}
+
+fn check_functional_sources(schema: &TaskSchema) -> Result<(), SchemaError> {
+    for id in schema.entity_ids() {
+        if let Some(dep) = schema.functional_dep(id) {
+            let src = schema.entity(dep.source());
+            if src.kind() != EntityKind::Tool {
+                return Err(SchemaError::FunctionalDepOnNonTool {
+                    entity: schema.entity(id).name().to_owned(),
+                    source: src.name().to_owned(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_abstract_entities(schema: &TaskSchema) -> Result<(), SchemaError> {
+    for id in schema.entity_ids() {
+        let has_constructing_subtype = schema
+            .subtypes(id)
+            .iter()
+            .any(|&s| schema.functional_dep(s).is_some());
+        if has_constructing_subtype && schema.functional_dep(id).is_some() {
+            return Err(SchemaError::AbstractEntityWithFunctionalDep {
+                entity: schema.entity(id).name().to_owned(),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn check_composites(schema: &TaskSchema) -> Result<(), SchemaError> {
+    for id in schema.entity_ids() {
+        let e = schema.entity(id);
+        if e.is_composite()
+            && (schema.functional_dep(id).is_some() || schema.data_deps(id).next().is_none())
+        {
+            return Err(SchemaError::InvalidComposite {
+                entity: e.name().to_owned(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Kahn's algorithm over required arcs; any leftover entities form the
+/// cycle we report.
+fn check_required_acyclic(schema: &TaskSchema) -> Result<(), SchemaError> {
+    let n = schema.len();
+    // A required self-loop gets its own, more actionable error.
+    for dep in schema.deps() {
+        if dep.is_required() && dep.source() == dep.target() {
+            return Err(SchemaError::RequiredSelfDependency {
+                entity: schema.entity(dep.source()).name().to_owned(),
+            });
+        }
+    }
+
+    let mut indegree = vec![0usize; n];
+    for dep in schema.deps() {
+        if dep.is_required() {
+            indegree[dep.target().index()] += 1;
+        }
+    }
+    let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut seen = 0usize;
+    while let Some(i) = ready.pop() {
+        seen += 1;
+        for dep in schema.dependents_of(EntityTypeId::from_index(i)) {
+            if dep.is_required() {
+                let t = dep.target().index();
+                indegree[t] -= 1;
+                if indegree[t] == 0 {
+                    ready.push(t);
+                }
+            }
+        }
+    }
+    if seen == n {
+        return Ok(());
+    }
+    let members: Vec<String> = (0..n)
+        .filter(|&i| indegree[i] > 0)
+        .map(|i| schema.entity(EntityTypeId::from_index(i)).name().to_owned())
+        .collect();
+    Err(SchemaError::RequiredDependencyCycle { entities: members })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::SchemaBuilder;
+    use crate::error::SchemaError;
+
+    #[test]
+    fn three_node_cycle_reports_all_members() {
+        let mut b = SchemaBuilder::new();
+        let a = b.data("A");
+        let c = b.data("B");
+        let d = b.data("C");
+        b.data_dep(a, c);
+        b.data_dep(c, d);
+        b.data_dep(d, a);
+        match b.build().unwrap_err() {
+            SchemaError::RequiredDependencyCycle { entities } => {
+                assert_eq!(entities.len(), 3);
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn cycle_through_optional_arc_is_accepted() {
+        // A requires B, B optionally uses A: legal (Fig. 1 loop breaking).
+        let mut b = SchemaBuilder::new();
+        let a = b.data("A");
+        let c = b.data("B");
+        b.data_dep(a, c);
+        b.optional_data_dep(c, a);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn kind_mismatch_between_subtype_and_supertype() {
+        let mut b = SchemaBuilder::new();
+        let sim = b.tool("Simulator");
+        // Force a declared kind that conflicts with the supertype's.
+        let bad = b.data("BadSubtype");
+        b.supertypes[bad.index()] = Some(sim);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            SchemaError::SubtypeKindMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn undeclared_kind_defaults_to_data() {
+        let mut b = SchemaBuilder::new();
+        let root = b.data("Root");
+        let sub = b.subtype("Sub", root);
+        let s = b.build().expect("valid");
+        assert!(s.entity(sub).kind().is_data());
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for task schemas.
+
+use hercules_schema::{synth::SynthConfig, DepKind, SchemaBuilder, TaskSchema};
+use proptest::prelude::*;
+
+fn synth_config() -> impl Strategy<Value = SynthConfig> {
+    (1usize..6, 1usize..6, 1usize..4, 0usize..3).prop_map(|(layers, width, fanin, subtypes)| {
+        SynthConfig {
+            layers,
+            width,
+            fanin,
+            subtypes,
+        }
+    })
+}
+
+proptest! {
+    /// Every generated synthetic schema is valid and topologically
+    /// orderable over its required dependencies.
+    #[test]
+    fn synthetic_schemas_are_valid(cfg in synth_config()) {
+        let schema = cfg.generate();
+        let order = schema.topo_order();
+        prop_assert_eq!(order.len(), schema.len());
+        // Sources come before targets along required arcs.
+        let pos = |id| order.iter().position(|&x| x == id).expect("present");
+        for dep in schema.deps() {
+            if dep.is_required() {
+                prop_assert!(pos(dep.source()) < pos(dep.target()));
+            }
+        }
+    }
+
+    /// Spec round trips are the identity on valid schemas.
+    #[test]
+    fn spec_round_trip_identity(cfg in synth_config()) {
+        let schema = cfg.generate();
+        let spec = schema.to_spec();
+        let rebuilt = spec.build().expect("valid spec rebuilds");
+        prop_assert_eq!(rebuilt, schema);
+    }
+
+    /// JSON round trips through the try_from-validated serde path.
+    #[test]
+    fn json_round_trip(cfg in synth_config()) {
+        let schema = cfg.generate();
+        let json = serde_json::to_string(&schema).expect("serializes");
+        let back: TaskSchema = serde_json::from_str(&json).expect("deserializes");
+        prop_assert_eq!(back, schema);
+    }
+
+    /// The subtype relation is consistent: every entity's transitive
+    /// subtypes report it as a supertype, with matching kinds.
+    #[test]
+    fn subtype_relation_is_consistent(cfg in synth_config()) {
+        let schema = cfg.generate();
+        for id in schema.entity_ids() {
+            for sub in schema.all_subtypes(id) {
+                prop_assert!(schema.is_subtype_of(sub, id));
+                prop_assert_eq!(
+                    schema.entity(sub).kind(),
+                    schema.entity(id).kind()
+                );
+            }
+            prop_assert!(schema.is_subtype_of(id, id), "reflexive");
+        }
+    }
+
+    /// Random dependency soups never break the validator's guarantees:
+    /// if `build` succeeds, the schema upholds its invariants; if it
+    /// fails, the error is one of the documented rule violations.
+    #[test]
+    fn validator_accepts_only_invariant_holding_schemas(
+        n_entities in 2usize..8,
+        edges in prop::collection::vec((0usize..8, 0usize..8, prop::bool::ANY, prop::bool::ANY), 0..12),
+    ) {
+        let mut b = SchemaBuilder::new();
+        let ids: Vec<_> = (0..n_entities)
+            .map(|i| if i % 3 == 0 {
+                b.tool(&format!("T{i}"))
+            } else {
+                b.data(&format!("D{i}"))
+            })
+            .collect();
+        for (s, t, functional, optional) in edges {
+            let (s, t) = (ids[s % n_entities], ids[t % n_entities]);
+            match (functional, optional) {
+                (true, _) => { b.functional(t, s); }
+                (false, false) => { b.data_dep(t, s); }
+                (false, true) => { b.optional_data_dep(t, s); }
+            }
+        }
+        if let Ok(schema) = b.build() {
+            // Invariant: at most one functional dep each, and it points
+            // at a tool.
+            for id in schema.entity_ids() {
+                if let Some(f) = schema.functional_dep(id) {
+                    prop_assert!(schema.entity(f.source()).kind().is_tool());
+                    prop_assert_eq!(f.kind(), DepKind::Functional);
+                }
+            }
+            // Invariant: required arcs are acyclic.
+            prop_assert_eq!(schema.topo_order().len(), schema.len());
+        }
+    }
+}

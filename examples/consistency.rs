@@ -1,0 +1,87 @@
+//! §3.3: design-consistency maintenance through the design history.
+//!
+//! Place and extract a circuit, then re-edit the source netlist: the
+//! history detects the out-of-date layout, and an automatic retrace
+//! recomputes exactly the affected tasks against the new version.
+//!
+//! ```sh
+//! cargo run --example consistency
+//! ```
+
+use hercules::{eda, history::Derivation, history::Metadata, Session};
+
+fn main() -> Result<(), hercules::HerculesError> {
+    let mut session = Session::odyssey("jbb");
+    let schema = session.schema().clone();
+    let editor_inst = session
+        .db()
+        .instances_of(schema.require("CircuitEditor")?)[0];
+
+    // Version 1 of the design.
+    let v1 = session.db_mut().record_derived(
+        schema.require("EditedNetlist")?,
+        Metadata::by("jbb").named("adder v1"),
+        &eda::cells::ripple_adder(2).to_bytes(),
+        Derivation::by_tool(editor_inst, []),
+    )?;
+
+    // Extraction flow: ExtractedNetlist <- Extractor <- Layout <-
+    // Placer <- netlist.
+    let ext = session.start_from_goal("ExtractedNetlist")?;
+    let created = session.expand(ext)?;
+    let layout_node = created[1];
+    let created = session.expand(layout_node)?;
+    session.select(created[1], v1);
+    session.bind_latest()?;
+    session.run()?;
+    let report = session.last_report().expect("ran").clone();
+    let layout = report.single(layout_node);
+    let extracted = report.single(ext);
+    println!("extracted {extracted} from layout {layout} (netlist v1)");
+    println!(
+        "everything current? {}\n",
+        session.db().stale_instances()?.is_empty()
+    );
+
+    // The designer edits the netlist: version 2 (a 4-bit adder now).
+    let v2 = session.db_mut().record_derived(
+        schema.require("EditedNetlist")?,
+        Metadata::by("jbb").named("adder v2"),
+        &eda::cells::ripple_adder(4).to_bytes(),
+        Derivation::by_tool(editor_inst, [v1]),
+    )?;
+    println!("edited the netlist: v2 = {v2}");
+    for stale in session.db().stale_instances()? {
+        let name = session.db().instance(stale.instance)?.meta().name.clone();
+        println!(
+            "  stale: {} {:?} (input {} superseded by {})",
+            stale.instance, name, stale.outdated_input, stale.newer_version
+        );
+    }
+
+    // Automatic retrace: only the affected tasks re-run.
+    let retrace = session.retrace(extracted)?;
+    println!(
+        "\nretrace: {} invocation(s), {} cache hit(s), current again: {}",
+        retrace.report.runs(),
+        retrace.report.cache_hits(),
+        !retrace.already_current
+    );
+    let new_extracted = retrace.goal_instances[0];
+    let bytes = session.db().data_of(new_extracted)?.expect("produced");
+    let decoded = eda::ExtractedNetlist::from_bytes(bytes)?;
+    println!(
+        "new extraction {new_extracted}: {} gates (v2 has more than v1's {})",
+        decoded.netlist.gate_count(),
+        eda::cells::ripple_adder(2).gate_count()
+    );
+
+    // Retracing again is a pure cache hit.
+    let again = session.retrace(new_extracted)?;
+    println!(
+        "retrace again: already current = {}, {} invocation(s)",
+        again.already_current,
+        again.report.runs()
+    );
+    Ok(())
+}

@@ -1,0 +1,109 @@
+//! Fig. 2: a tool created during the design.
+//!
+//! The simulator compiler turns a netlist into a compiled switch-level
+//! simulator — a design object that is itself a tool — which then runs
+//! several stimulus sets. The example also shows why compiling is worth
+//! it: the compiled program is reused across runs while the uncompiled
+//! baseline re-derives everything per run.
+//!
+//! ```sh
+//! cargo run --example cosmos_flow
+//! ```
+
+use std::time::Instant;
+
+use hercules::{eda, history::Derivation, history::Metadata, Session};
+
+fn main() -> Result<(), hercules::HerculesError> {
+    let mut session = Session::odyssey("jbb");
+    let schema = session.schema().clone();
+
+    // Record the design to simulate.
+    let editor = schema.require("CircuitEditor")?;
+    let edited = schema.require("EditedNetlist")?;
+    let editor_inst = session.db().instances_of(editor)[0];
+    let netlist = session.db_mut().record_derived(
+        edited,
+        Metadata::by("jbb").named("8-bit adder"),
+        &eda::cells::ripple_adder(8).to_bytes(),
+        Derivation::by_tool(editor_inst, []),
+    )?;
+
+    // Flow 1: CompiledSimulator <- SimulatorCompiler <- Netlist.
+    let compiled_node = session.start_from_goal("CompiledSimulator")?;
+    let created = session.expand(compiled_node)?;
+    session.select(created[1], netlist);
+    session.bind_latest()?;
+    let compile_start = Instant::now();
+    session.run()?;
+    let compile_time = compile_start.elapsed();
+    let compiled = session.last_report().expect("ran").single(compiled_node);
+    println!(
+        "compiled simulator instance {compiled} in {compile_time:?} — a tool with a derivation:"
+    );
+    let d = session
+        .db()
+        .instance(compiled)?
+        .derivation()
+        .expect("created during the design")
+        .clone();
+    println!("  f← {:?}  d← {:?}\n", d.tool, d.inputs);
+
+    // Record a batch of stimulus sets.
+    let inputs: Vec<String> = (0..8)
+        .flat_map(|i| [format!("a{i}"), format!("b{i}")])
+        .chain(["cin".to_owned()])
+        .collect();
+    let input_refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
+    let stimuli_entity = schema.require("Stimuli")?;
+    let mut selections = Vec::new();
+    for seed in 0..5u64 {
+        let s = eda::Stimuli::random(&input_refs, 32, 10, seed);
+        selections.push(session.db_mut().record_primary(
+            stimuli_entity,
+            Metadata::by("jbb").named(&format!("random batch {seed}")),
+            &s.to_bytes(),
+        )?);
+    }
+
+    // Flow 2: SwitchSimulation <- CompiledSimulator <- Stimuli, fanned
+    // out over all five stimulus sets with one multi-select (§4.1).
+    session.clear_flow();
+    let sim_node = session.start_from_goal("SwitchSimulation")?;
+    let created = session.expand(sim_node)?;
+    session.select(created[0], compiled);
+    session.select_many(created[1], &selections);
+    let run_start = Instant::now();
+    session.run()?;
+    let run_time = run_start.elapsed();
+    let report = session.last_report().expect("ran").clone();
+    println!(
+        "ran the compiled simulator {} times in {run_time:?} (compile once, run many)",
+        report.runs()
+    );
+    for &inst in report.instances_of(sim_node) {
+        let bytes = session.db().data_of(inst)?.expect("produced");
+        let sim = eda::SwitchSimulation::from_bytes(bytes)?;
+        println!(
+            "  {} on {:<16} — {} vectors, {} relaxation iterations",
+            inst, sim.stimuli, sim.vectors, sim.iterations
+        );
+    }
+
+    // Baseline: the uncompiled path re-derives the channel structure
+    // for every stimulus set.
+    let netlist_bytes = session.db().data_of(netlist)?.expect("present").to_vec();
+    let gate_netlist = eda::Netlist::from_bytes(&netlist_bytes)?;
+    let xtors = eda::to_transistor_level(&gate_netlist)?;
+    let interp_start = Instant::now();
+    for seed in 0..5u64 {
+        let s = eda::Stimuli::random(&input_refs, 32, 10, seed);
+        eda::cosmos::interpret(&xtors, &s)?;
+    }
+    println!(
+        "\nuncompiled baseline (recompile per run): {:?}",
+        interp_start.elapsed()
+    );
+    println!("(see the fig02 bench for the measured crossover)");
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! An interactive Hercules shell.
+//!
+//! Reads Fig. 9 commands from stdin (`goal`, `expand`, `specialize`,
+//! `browse`, `select`, `bind-latest`, `run`, `history`, `uses`,
+//! `store`, `plan`, `show`, `catalogs`, `clear`); when stdin is closed
+//! or empty a short demo script runs instead.
+//!
+//! ```sh
+//! cargo run --example hercules_repl            # demo script
+//! cargo run --example hercules_repl -- -i      # interactive (pipe commands)
+//! ```
+
+use std::io::BufRead as _;
+
+use hercules::ui::Ui;
+use hercules::Session;
+
+const DEMO: &str = "\
+catalogs
+goal Performance
+expand n0
+expand n2
+specialize n5 EditedNetlist
+expand n5
+expand n4
+browse n6
+bind-latest
+show
+run
+";
+
+fn main() {
+    let interactive = std::env::args().any(|a| a == "-i" || a == "--interactive");
+    let mut ui = Ui::new(Session::odyssey("designer"));
+
+    if !interactive {
+        println!("(running the demo script; pass -i and pipe commands for interactive use)\n");
+        match ui.run_script(DEMO) {
+            Ok(transcript) => print!("{transcript}"),
+            Err(e) => eprintln!("demo failed: {e}"),
+        }
+        return;
+    }
+
+    println!("Hercules task manager — type commands, ctrl-d to exit.");
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "quit" || line == "exit" {
+            break;
+        }
+        match ui.execute(line) {
+            Ok(out) => print!("{out}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

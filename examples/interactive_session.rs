@@ -1,0 +1,72 @@
+//! Fig. 9: the Hercules user interface, scripted.
+//!
+//! The same text interface serves all four design approaches; this
+//! example drives a goal-based session through the command loop and
+//! prints the transcript — catalogs, expansion menu, instance browser,
+//! execution and history.
+//!
+//! ```sh
+//! cargo run --example interactive_session
+//! ```
+
+use hercules::ui::Ui;
+use hercules::Session;
+
+fn main() -> Result<(), hercules::HerculesError> {
+    let mut ui = Ui::new(Session::odyssey("sutton"));
+
+    // The scripted session. Each line is exactly what a user would
+    // type; `show` renders the Fig. 9 task window.
+    let script = "\
+        catalogs\n\
+        goal Performance\n\
+        expand n0\n\
+        expand n2\n\
+        specialize n5 EditedNetlist\n\
+        expand n5\n\
+        expand n4\n\
+        browse n6\n\
+        show\n";
+    print!("{}", ui.run_script(script)?);
+
+    // Pick the operational-amplifier editor script from the browser by
+    // name (the inverse-video selection of Fig. 9).
+    let browse = ui.execute("browse n6")?;
+    let id = browse
+        .lines()
+        .find(|l| l.contains("Operational Amplifier"))
+        .and_then(|l| l.trim().split('\u{201c}').next())
+        .map(str::trim)
+        .expect("seeded script");
+    print!("{}", ui.execute(&format!("select n6 {id}"))?);
+
+    // The op-amp needs its own stimuli; switch the default selection.
+    let session = ui.session_mut();
+    let schema = session.schema().clone();
+    let stimuli_entity = schema.require("Stimuli")?;
+    let mut opamp_stimuli = hercules::eda::Stimuli::new("diff step");
+    opamp_stimuli.set(0, "plus", hercules::eda::Logic::Zero);
+    opamp_stimuli.set(0, "minus", hercules::eda::Logic::Zero);
+    opamp_stimuli.set(25, "plus", hercules::eda::Logic::One);
+    let inst = session.db_mut().record_primary(
+        stimuli_entity,
+        hercules::history::Metadata::by("sutton").named("diff step"),
+        &opamp_stimuli.to_bytes(),
+    )?;
+    print!("{}", ui.execute(&format!("select n3 i{}", inst.raw()))?);
+
+    print!("{}", ui.execute("bind-latest")?);
+    print!("{}", ui.execute("show")?);
+    print!("{}", ui.execute("run")?);
+
+    // History of the produced performance, through the same UI.
+    let report = ui.session().last_report().expect("ran").clone();
+    let perf = report.single(hercules::flow::NodeId::from_index(0));
+    print!("{}", ui.execute(&format!("history i{}", perf.raw()))?);
+
+    // Store the flow for the next designer (plan-based approach).
+    print!("{}", ui.execute("store simulate-opamp")?);
+    print!("{}", ui.execute("clear")?);
+    print!("{}", ui.execute("plan simulate-opamp")?);
+    Ok(())
+}

@@ -1,0 +1,111 @@
+//! Quickstart: the paper's core loop in one sitting.
+//!
+//! Build a simulate task goal-first (Fig. 3 style), run it against the
+//! simulated tools, then browse the design history it recorded
+//! (Fig. 10 style).
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use hercules::{ui::render_task_window, Session};
+
+fn main() -> Result<(), hercules::HerculesError> {
+    // The standard Odyssey environment: Fig. 1 + Fig. 2 schema,
+    // simulated tools, seeded library.
+    let mut session = Session::odyssey("jbb");
+    println!("== schema ==");
+    println!(
+        "{}",
+        hercules::schema::render::to_text(session.schema())
+            .lines()
+            .take(12)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    println!("   … ({} entities)\n", session.schema().len());
+
+    // Goal-based approach: "I want a Performance."
+    let perf = session.start_from_goal("Performance")?;
+    let created = session.expand(perf)?; // simulator, circuit, stimuli
+    let circuit = created[1];
+    let created = session.expand(circuit)?; // device models, netlist
+    let netlist = created[1];
+    session.specialize(netlist, "EditedNetlist")?;
+    session.expand(netlist)?; // circuit editor
+
+    // The flow in the paper's own notation (footnote 2).
+    let flow = session.flow()?;
+    println!("== the dynamically defined flow ==");
+    println!(
+        "task-graph form : {}",
+        hercules::flow::render::to_sexpr(flow, perf)?
+    );
+    println!(
+        "flowmap form    : {}\n",
+        hercules::flow::render::to_call(flow, perf)?
+    );
+
+    // Browse the editor scripts and pick the full adder.
+    let editor_node = session.flow()?.tool_of(netlist).expect("expanded");
+    let script = session
+        .browse(editor_node)?
+        .into_iter()
+        .find(|&i| {
+            session
+                .db()
+                .instance(i)
+                .map(|x| x.meta().name.contains("Full adder"))
+                .unwrap_or(false)
+        })
+        .expect("seeded full-adder script");
+    session.select(editor_node, script);
+    session.bind_latest()?;
+
+    println!("== task window (Fig. 9) ==");
+    println!("{}", render_task_window(&session));
+
+    // Run: automatic task sequencing executes editor → compose →
+    // simulate.
+    let report = session.run()?.clone();
+    println!(
+        "executed {} subtasks ({} tool invocations)\n",
+        report.tasks.len(),
+        report.runs()
+    );
+
+    // Decode the real performance artifact.
+    let perf_instance = report.single(perf);
+    let bytes = session.db().data_of(perf_instance)?.expect("produced");
+    let decoded = hercules::eda::Performance::from_bytes(bytes)?;
+    println!("== performance ==");
+    println!(
+        "circuit {} / stimuli {}: delay {:.1}, {} transitions, power {:.0}\n",
+        decoded.circuit, decoded.stimuli, decoded.delay, decoded.transitions, decoded.power
+    );
+
+    // Fig. 10: the History menu — immediate tool and data.
+    let history = session.history_of(perf_instance, Some(1))?;
+    println!("== history of the performance (Fig. 10) ==");
+    if let Some(tool) = history.tool {
+        let name = session.db().instance(tool)?.meta().name.clone();
+        println!("f← {name}");
+    }
+    for input in &history.inputs {
+        let name = session.db().instance(input.instance)?.meta().name.clone();
+        let entity = session
+            .db()
+            .instance(input.instance)?
+            .entity();
+        println!(
+            "d← {} ({})",
+            if name.is_empty() {
+                input.instance.to_string()
+            } else {
+                name
+            },
+            session.schema().entity(entity).name()
+        );
+    }
+    Ok(())
+}

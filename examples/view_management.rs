@@ -1,0 +1,85 @@
+//! Figs. 7–8: view management as flows.
+//!
+//! The three views of a cell (logic, transistor, physical) are related
+//! by flows: a synthesis flow produces the physical view from the
+//! netlist, a verification flow checks their correspondence by
+//! extraction and LVS comparison.
+//!
+//! ```sh
+//! cargo run --example view_management
+//! ```
+
+use hercules::{eda, history::Derivation, history::Metadata, views, Session};
+
+fn main() -> Result<(), hercules::HerculesError> {
+    // Fig. 7: the three views of an inverter cell.
+    let inverter = eda::inverter_views();
+    println!("== Fig. 7: three views of the inverter ==");
+    println!("logic view     : {}", inverter.logic);
+    println!("transistor view: {}", inverter.transistor);
+    println!(
+        "physical view  : {} cell(s), area {}\n",
+        inverter.physical.cells.len(),
+        inverter.physical.area()
+    );
+
+    // Record the full adder as the design to manage.
+    let mut session = Session::odyssey("jbb");
+    let schema = session.schema().clone();
+    let editor_inst = session
+        .db()
+        .instances_of(schema.require("CircuitEditor")?)[0];
+    let netlist = session.db_mut().record_derived(
+        schema.require("EditedNetlist")?,
+        Metadata::by("jbb").named("full adder (transistor view)"),
+        &eda::cells::full_adder().to_bytes(),
+        Derivation::by_tool(editor_inst, []),
+    )?;
+
+    // Fig. 8a: synthesize the physical view.
+    let layout = views::synthesize_physical(&mut session, netlist)?;
+    let bytes = session.db().data_of(layout)?.expect("produced");
+    let decoded = eda::Layout::from_bytes(bytes)?;
+    println!("== Fig. 8a: synthesis flow ==");
+    println!(
+        "physical view {layout}: {} cells, area {}, wire length {}\n",
+        decoded.cells.len(),
+        decoded.area(),
+        decoded.total_wire_length()
+    );
+
+    // Fig. 8b: verify the correspondence.
+    let report = views::verify_views(&mut session, netlist, layout)?;
+    println!("== Fig. 8b: verification flow ==");
+    println!(
+        "{} — {}",
+        session.db().instance(report.verification)?.meta().name,
+        if report.report.matched {
+            "views correspond"
+        } else {
+            "views diverge!"
+        }
+    );
+
+    // Tamper with the layout and watch verification fail.
+    let mut broken = decoded.clone();
+    broken.cells[0].kind = eda::GateKind::Nor;
+    let placer_inst = session.db().instances_of(schema.require("Placer")?)[0];
+    let tampered = session.db_mut().record_derived(
+        schema.require("Layout")?,
+        Metadata::by("jbb").named("hand-hacked layout"),
+        &broken.to_bytes(),
+        Derivation::by_tool(placer_inst, [netlist]),
+    )?;
+    let report = views::verify_views(&mut session, netlist, tampered)?;
+    println!("\n== tampered layout ==");
+    println!(
+        "matched: {} ({} mismatch(es))",
+        report.report.matched,
+        report.report.mismatches.len()
+    );
+    for m in report.report.mismatches.iter().take(3) {
+        println!("  {}", m.description);
+    }
+    Ok(())
+}

@@ -1,0 +1,211 @@
+//! Experiment E3: the four design approaches (§3.4) — goal-based,
+//! tool-based, data-based and plan-based — all reach the same
+//! executable simulate task through the same session interface, and
+//! produce identical results.
+
+use hercules::{history::Metadata, Approach, Session};
+
+/// Builds the simulate flow goal-first and returns the performance
+/// bytes.
+fn run_goal_based(session: &mut Session) -> Vec<u8> {
+    let perf = session.start_from_goal("Performance").expect("starts");
+    finish_simulate_flow(session, perf)
+}
+
+/// Common tail: expand the flow around the Performance node `perf`,
+/// bind the full-adder script, run, return the performance payload.
+fn finish_simulate_flow(session: &mut Session, perf: hercules::flow::NodeId) -> Vec<u8> {
+    let created = session.expand(perf).expect("expands");
+    let circuit = created[1];
+    let created = session.expand(circuit).expect("expands");
+    let models = created[0];
+    let netlist = created[1];
+    session.specialize(netlist, "EditedNetlist").expect("subtype");
+    session.expand(netlist).expect("expands");
+    session.expand(models).expect("expands");
+
+    let editor_node = session.flow().expect("flow").tool_of(netlist).expect("tool");
+    let script = session
+        .browse(editor_node)
+        .expect("browses")
+        .into_iter()
+        .find(|&i| {
+            session
+                .db()
+                .instance(i)
+                .map(|x| x.meta().name.contains("Full adder"))
+                .unwrap_or(false)
+        })
+        .expect("seeded script");
+    session.select(editor_node, script);
+    session.bind_latest().expect("binds");
+    session.run().expect("runs");
+    let report = session.last_report().expect("ran").clone();
+    session
+        .db()
+        .data_of(report.single(perf))
+        .expect("present")
+        .expect("data")
+        .to_vec()
+}
+
+#[test]
+fn goal_tool_data_and_plan_based_agree() {
+    // Goal-based.
+    let mut goal_session = Session::odyssey("jbb");
+    let goal_result = run_goal_based(&mut goal_session);
+
+    // Store the goal-based flow for the plan-based designer.
+    goal_session
+        .store_flow("simulate-adder", "full simulate task")
+        .expect("stores");
+    let catalog = goal_session.catalog().clone();
+
+    // Tool-based: start from the Simulator, expand downward to the
+    // Performance it produces.
+    let mut tool_session = Session::odyssey("jbb");
+    let sim_node = tool_session.start_from_tool("Simulator").expect("starts");
+    let (perf_node, _) = tool_session
+        .expand_down(sim_node, "Performance")
+        .expect("expands down");
+    let tool_result = finish_continue(&mut tool_session, perf_node);
+    assert_eq!(goal_result, tool_result, "tool-based result identical");
+
+    // Data-based: start from an existing stimuli instance and expand
+    // downward to the Performance that consumes it.
+    let mut data_session = Session::odyssey("jbb");
+    let stimuli_entity = data_session
+        .schema()
+        .require("Stimuli")
+        .expect("known");
+    let stim = data_session
+        .db()
+        .latest_of_family(stimuli_entity)
+        .expect("seeded");
+    let stim_node = data_session
+        .start_from_data(stim)
+        .expect("starts");
+    let (perf_node, _) = data_session
+        .expand_down(stim_node, "Performance")
+        .expect("expands down");
+    let data_result = finish_continue(&mut data_session, perf_node);
+    assert_eq!(goal_result, data_result, "data-based result identical");
+
+    // Plan-based: replay the stored flow in a fresh session.
+    let mut plan_session = Session::odyssey("jbb");
+    *plan_session.catalog_mut() = catalog;
+    let perf_node = plan_session
+        .start_from_plan("simulate-adder")
+        .expect("instantiates");
+    // The stored flow is already fully expanded; just bind and run.
+    let editor_entity = plan_session
+        .schema()
+        .require("CircuitEditor")
+        .expect("known");
+    let script = plan_session
+        .db()
+        .instances_of(editor_entity)
+        .into_iter()
+        .find(|&i| {
+            plan_session
+                .db()
+                .instance(i)
+                .map(|x| x.meta().name.contains("Full adder"))
+                .unwrap_or(false)
+        })
+        .expect("seeded script");
+    let flow = plan_session.flow().expect("instantiated").clone();
+    let editor_node = flow
+        .leaves()
+        .into_iter()
+        .find(|&l| {
+            flow.entity_of(l)
+                .map(|e| e == editor_entity)
+                .unwrap_or(false)
+        })
+        .expect("editor leaf");
+    plan_session.select(editor_node, script);
+    plan_session.bind_latest().expect("binds");
+    plan_session.run().expect("runs");
+    let report = plan_session.last_report().expect("ran").clone();
+    let plan_result = plan_session
+        .db()
+        .data_of(report.single(perf_node))
+        .expect("present")
+        .expect("data")
+        .to_vec();
+    assert_eq!(goal_result, plan_result, "plan-based result identical");
+}
+
+/// Tail for sessions whose Performance node came from downward
+/// expansion (its circuit/stimuli inputs were created by expand_down).
+fn finish_continue(session: &mut Session, perf: hercules::flow::NodeId) -> Vec<u8> {
+    let inputs = session.flow().expect("flow").data_inputs_of(perf);
+    let schema = session.schema().clone();
+    let circuit = inputs
+        .into_iter()
+        .find(|&n| {
+            session
+                .flow()
+                .expect("flow")
+                .entity_of(n)
+                .map(|e| schema.entity(e).name() == "Circuit")
+                .unwrap_or(false)
+        })
+        .expect("circuit input");
+    let created = session.expand(circuit).expect("expands");
+    let models = created[0];
+    let netlist = created[1];
+    session.specialize(netlist, "EditedNetlist").expect("subtype");
+    session.expand(netlist).expect("expands");
+    session.expand(models).expect("expands");
+
+    let editor_node = session.flow().expect("flow").tool_of(netlist).expect("tool");
+    let script = session
+        .browse(editor_node)
+        .expect("browses")
+        .into_iter()
+        .find(|&i| {
+            session
+                .db()
+                .instance(i)
+                .map(|x| x.meta().name.contains("Full adder"))
+                .unwrap_or(false)
+        })
+        .expect("seeded script");
+    session.select(editor_node, script);
+    session.bind_latest().expect("binds");
+    session.run().expect("runs");
+    let report = session.last_report().expect("ran").clone();
+    session
+        .db()
+        .data_of(report.single(perf))
+        .expect("present")
+        .expect("data")
+        .to_vec()
+}
+
+#[test]
+fn approach_enum_drives_the_same_entry_points() {
+    let mut session = Session::odyssey("jbb");
+    let node = session
+        .start(Approach::Goal("Layout".into()))
+        .expect("starts");
+    assert_eq!(
+        session
+            .schema()
+            .entity(session.flow().expect("flow").entity_of(node).expect("live"))
+            .name(),
+        "Layout"
+    );
+
+    // Data-based via the enum.
+    let mut session = Session::odyssey("jbb");
+    let stim = session
+        .db()
+        .latest_of_family(session.schema().require("Stimuli").expect("known"))
+        .expect("seeded");
+    let node = session.start(Approach::Data(stim)).expect("starts");
+    assert_eq!(session.binding().get(node), &[stim], "bound on start");
+    let _ = Metadata::by("unused");
+}

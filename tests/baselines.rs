@@ -1,0 +1,102 @@
+//! Experiment E1: quantifying §2's comparison — dynamically defined
+//! flows vs predefined flows vs raw traces, over randomized designer
+//! sessions on both the paper's schema and larger synthetic schemas.
+
+use hercules::baseline::{
+    flexibility::{evaluate, Outcome},
+    random_session, DynamicManager, FlowManager, StaticFlowManager, TraceManager,
+};
+use hercules::schema::{fixtures, synth::SynthConfig, TaskSchema};
+
+fn total_outcome<F>(schema: &TaskSchema, sessions: usize, mut make: F) -> Outcome
+where
+    F: FnMut() -> Box<dyn FlowManager>,
+{
+    let mut total = Outcome::default();
+    for seed in 0..sessions as u64 {
+        let session = random_session(schema, 60, 0.7, seed);
+        let mut manager = make();
+        total.merge(evaluate(schema, manager.as_mut(), &session));
+    }
+    total
+}
+
+fn run_comparison(schema: &TaskSchema) -> (Outcome, Outcome, Outcome) {
+    let dynamic = total_outcome(schema, 25, || Box::new(DynamicManager::new(schema)));
+    let static_ = total_outcome(schema, 25, || {
+        Box::new(StaticFlowManager::reference_flow(schema))
+    });
+    let trace = total_outcome(schema, 25, || Box::new(TraceManager::new()));
+    (dynamic, static_, trace)
+}
+
+#[test]
+fn fig1_schema_ordering() {
+    let schema = fixtures::fig1();
+    let (dynamic, static_, trace) = run_comparison(&schema);
+
+    // Dynamic: perfect on both axes.
+    assert_eq!(dynamic.flexibility(), 1.0);
+    assert_eq!(dynamic.enforcement(), 1.0);
+
+    // Static: enforces but rejects a substantial share of valid moves
+    // (the straight-jacket).
+    assert!(static_.enforcement() > 0.9);
+    assert!(
+        static_.flexibility() < 0.7,
+        "straight-jacket visible: {}",
+        static_.flexibility()
+    );
+
+    // Trace: flexible but enforcement-free.
+    assert_eq!(trace.flexibility(), 1.0);
+    assert_eq!(trace.enforcement(), 0.0);
+}
+
+#[test]
+fn ordering_holds_on_larger_synthetic_schemas() {
+    for cfg in [
+        SynthConfig {
+            layers: 4,
+            width: 4,
+            fanin: 2,
+            subtypes: 0,
+        },
+        SynthConfig {
+            layers: 6,
+            width: 8,
+            fanin: 3,
+            subtypes: 0,
+        },
+    ] {
+        let schema = cfg.generate();
+        let (dynamic, static_, trace) = run_comparison(&schema);
+        let combined = |o: &Outcome| o.flexibility() + o.enforcement();
+        assert!(
+            combined(&dynamic) >= combined(&static_),
+            "{cfg:?}: dynamic {} vs static {}",
+            combined(&dynamic),
+            combined(&static_)
+        );
+        assert!(combined(&dynamic) >= combined(&trace));
+        assert_eq!(dynamic.flexibility(), 1.0);
+        assert_eq!(dynamic.enforcement(), 1.0);
+    }
+}
+
+#[test]
+fn trace_prototype_replay_is_as_rigid_as_a_static_flow() {
+    // Casotto's only reuse mechanism — replaying a trace as a prototype
+    // — reintroduces the straight-jacket it avoided while recording.
+    let schema = fixtures::fig1();
+    let mut recorder = TraceManager::new();
+    let session = random_session(&schema, 30, 1.0, 7);
+    evaluate(&schema, &mut recorder, &session);
+    let mut replay = recorder.as_prototype();
+    let other = random_session(&schema, 30, 1.0, 8);
+    let outcome = evaluate(&schema, &mut replay, &other);
+    assert!(
+        outcome.flexibility() < 1.0,
+        "prototype replay rejects valid moves"
+    );
+}

@@ -1,0 +1,152 @@
+//! Experiment E2: design-consistency maintenance (§3.3). After an
+//! input is re-edited, the derived data is detected out-of-date and an
+//! automatic retrace re-runs exactly the affected tasks.
+
+use hercules::{eda, history::Derivation, history::Metadata, Session};
+
+/// Runs extraction over a placed full adder; returns (session, netlist
+/// instance, layout instance, extracted instance).
+fn place_and_extract() -> (
+    Session,
+    hercules::history::InstanceId,
+    hercules::history::InstanceId,
+    hercules::history::InstanceId,
+) {
+    let mut session = Session::odyssey("tester");
+    let schema = session.schema().clone();
+
+    // Record the source netlist.
+    let editor = schema.require("CircuitEditor").expect("known");
+    let edited = schema.require("EditedNetlist").expect("known");
+    let editor_inst = session.db().instances_of(editor)[0];
+    let netlist = session
+        .db_mut()
+        .record_derived(
+            edited,
+            Metadata::by("tester").named("adder v1"),
+            &eda::cells::full_adder().to_bytes(),
+            Derivation::by_tool(editor_inst, []),
+        )
+        .expect("records");
+
+    // Flow: ExtractedNetlist <- Extractor <- Layout <- Placer <- netlist.
+    let ext = session.start_from_goal("ExtractedNetlist").expect("starts");
+    let created = session.expand(ext).expect("expands"); // extractor, layout
+    let layout_node = created[1];
+    let created = session.expand(layout_node).expect("expands"); // placer, netlist, rules
+    let netlist_node = created[1];
+    session.select(netlist_node, netlist);
+    session.bind_latest().expect("binds");
+    session.run().expect("runs");
+    let report = session.last_report().expect("ran").clone();
+    (
+        session,
+        netlist,
+        report.single(layout_node),
+        report.single(ext),
+    )
+}
+
+#[test]
+fn fresh_results_are_up_to_date() {
+    let (session, _, layout, extracted) = place_and_extract();
+    assert!(session.db().is_up_to_date(layout).expect("checks"));
+    assert!(session.db().is_up_to_date(extracted).expect("checks"));
+    assert!(session.db().stale_instances().expect("scans").is_empty());
+}
+
+#[test]
+fn editing_an_input_marks_derived_data_stale_and_retrace_updates_it() {
+    let (mut session, netlist, layout, _extracted) = place_and_extract();
+    let schema = session.schema().clone();
+
+    // Re-edit the netlist: v2 supersedes v1 (an 8-bit adder now).
+    let editor = schema.require("CircuitEditor").expect("known");
+    let edited = schema.require("EditedNetlist").expect("known");
+    let editor_inst = session.db().instances_of(editor)[0];
+    let v2 = session
+        .db_mut()
+        .record_derived(
+            edited,
+            Metadata::by("tester").named("adder v2"),
+            &eda::cells::ripple_adder(2).to_bytes(),
+            Derivation::by_tool(editor_inst, [netlist]),
+        )
+        .expect("records");
+
+    // The layout is now out of date with respect to its netlist input.
+    let stale = session
+        .db()
+        .staleness_of(layout)
+        .expect("checks")
+        .expect("stale");
+    assert_eq!(stale.outdated_input, netlist);
+    assert_eq!(stale.newer_version, v2);
+
+    // Automatic retrace: re-run the flow behind the layout against the
+    // newest versions.
+    let before = session.db().len();
+    let retrace = session.retrace(layout).expect("retraces");
+    assert!(!retrace.already_current);
+    assert_eq!(retrace.goal_instances.len(), 1);
+    let new_layout = retrace.goal_instances[0];
+    assert_ne!(new_layout, layout, "a new layout version was produced");
+    assert!(session.db().len() > before);
+
+    // The new layout is derived from v2 and is current.
+    let derivation = session
+        .db()
+        .instance(new_layout)
+        .expect("present")
+        .derivation()
+        .expect("derived")
+        .clone();
+    assert!(derivation.inputs.contains(&v2));
+    assert!(session.db().is_up_to_date(new_layout).expect("checks"));
+
+    // Its contents really are the new circuit.
+    let bytes = session
+        .db()
+        .data_of(new_layout)
+        .expect("present")
+        .expect("data");
+    let decoded = eda::Layout::from_bytes(bytes).expect("layout");
+    assert_eq!(decoded.name, "adder2", "placed from the v2 netlist");
+}
+
+#[test]
+fn retrace_with_no_changes_reuses_everything() {
+    let (mut session, _, layout, _) = place_and_extract();
+    let before = session.db().len();
+    let retrace = session.retrace(layout).expect("retraces");
+    assert!(retrace.already_current, "nothing to re-run");
+    assert_eq!(retrace.goal_instances, vec![layout]);
+    assert_eq!(session.db().len(), before, "no new instances");
+}
+
+#[test]
+fn cached_query_answers_has_this_extraction_been_performed() {
+    let (session, _, layout, extracted) = place_and_extract();
+    let schema = session.schema().clone();
+    let extractor = schema.require("Extractor").expect("known");
+    let ext_entity = schema.require("ExtractedNetlist").expect("known");
+    let extractor_inst = session.db().instances_of(extractor)[0];
+
+    // §3.3: "a query such as 'find the netlist that was extracted from
+    // this layout' could determine whether such an extraction had yet
+    // been performed".
+    assert_eq!(
+        session
+            .db()
+            .current_cached(ext_entity, Some(extractor_inst), &[layout]),
+        Some(extracted)
+    );
+    // An extraction that never happened.
+    let other = session.db().instances_of(extractor)[0];
+    assert_eq!(
+        session
+            .db()
+            .current_cached(ext_entity, Some(other), &[extractor_inst]),
+        None
+    );
+}

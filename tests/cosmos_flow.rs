@@ -1,0 +1,135 @@
+//! Experiment F2: a tool created during the design (Fig. 2). The
+//! simulator compiler turns a netlist into a `CompiledSimulator` — a
+//! tool entity instance with a derivation — which then produces
+//! `SwitchSimulation` results from stimuli.
+
+use hercules::{eda, history::Derivation, history::Metadata, Session};
+
+fn seed_adder(session: &mut Session) -> hercules::history::InstanceId {
+    let schema = session.schema().clone();
+    let editor = schema.require("CircuitEditor").expect("known");
+    let edited = schema.require("EditedNetlist").expect("known");
+    let tool = session.db().instances_of(editor)[0];
+    session
+        .db_mut()
+        .record_derived(
+            edited,
+            Metadata::by("tester").named("fa"),
+            &eda::cells::full_adder().to_bytes(),
+            Derivation::by_tool(tool, []),
+        )
+        .expect("records")
+}
+
+#[test]
+fn compile_then_simulate_through_flows() {
+    let mut session = Session::odyssey("tester");
+    let netlist = seed_adder(&mut session);
+
+    // Flow 1 (Fig. 2 upper half): CompiledSimulator <- SimulatorCompiler
+    // <- Netlist.
+    let compiled_node = session
+        .start_from_goal("CompiledSimulator")
+        .expect("starts");
+    let created = session.expand(compiled_node).expect("expands");
+    let netlist_node = created[1];
+    session.select(netlist_node, netlist);
+    session.bind_latest().expect("binds");
+    session.run().expect("runs");
+    let report = session.last_report().expect("ran").clone();
+    let compiled = report.single(compiled_node);
+
+    // The compiled simulator is a *tool instance with a derivation*.
+    let inst = session.db().instance(compiled).expect("present");
+    assert!(session.db().is_tool_instance(compiled).expect("checks"));
+    let derivation = inst.derivation().expect("created during the design");
+    assert!(derivation.inputs.contains(&netlist));
+
+    // Its payload is a real compiled program.
+    let program = session
+        .db()
+        .data_of(compiled)
+        .expect("present")
+        .expect("data")
+        .to_vec();
+    let decoded = eda::CompiledSimulator::from_bytes(&program).expect("program");
+    assert_eq!(decoded.inputs().len(), 3);
+
+    // Flow 2 (Fig. 2 lower half): SwitchSimulation <- CompiledSimulator
+    // <- Stimuli, binding the tool node to the *instance we just made*.
+    session.clear_flow();
+    let sim_node = session.start_from_goal("SwitchSimulation").expect("starts");
+    let created = session.expand(sim_node).expect("expands");
+    let tool_node = created[0];
+    session.select(tool_node, compiled);
+    session.bind_latest().expect("binds");
+    session.run().expect("runs");
+    let report = session.last_report().expect("ran").clone();
+    let sim_result = report.single(sim_node);
+
+    let bytes = session
+        .db()
+        .data_of(sim_result)
+        .expect("present")
+        .expect("data")
+        .to_vec();
+    let decoded = eda::SwitchSimulation::from_bytes(&bytes).expect("simulation");
+    assert!(decoded.vectors >= 8, "adder walk has 8 vectors");
+
+    // The switch-level results agree with the gate-level truth table.
+    let sum = decoded.output("sum").expect("sum output");
+    assert!(sum.transitions() > 0);
+
+    // Backward chaining from the simulation reaches the *netlist* via
+    // the compiled tool: the derivation history spans the tool's own
+    // creation.
+    let ancestors = session.db().ancestors(sim_result).expect("chains");
+    assert!(ancestors.contains(&compiled));
+    assert!(ancestors.contains(&netlist));
+}
+
+#[test]
+fn one_compiled_simulator_runs_many_stimuli() {
+    let mut session = Session::odyssey("tester");
+    let netlist = seed_adder(&mut session);
+
+    // Compile once.
+    let compiled_node = session
+        .start_from_goal("CompiledSimulator")
+        .expect("starts");
+    let created = session.expand(compiled_node).expect("expands");
+    session.select(created[1], netlist);
+    session.bind_latest().expect("binds");
+    session.run().expect("runs");
+    let compiled = session.last_report().expect("ran").single(compiled_node);
+
+    // Record three more stimulus sets and fan out over all of them with
+    // multi-select (§4.1) — one compiled tool, several runs.
+    let schema = session.schema().clone();
+    let stimuli_entity = schema.require("Stimuli").expect("known");
+    let mut selections = Vec::new();
+    for seed in 0..3u64 {
+        let s = eda::Stimuli::random(&["a", "b", "cin"], 8, 25, seed);
+        let inst = session
+            .db_mut()
+            .record_primary(
+                stimuli_entity,
+                Metadata::by("tester").named(&format!("random{seed}")),
+                &s.to_bytes(),
+            )
+            .expect("records");
+        selections.push(inst);
+    }
+
+    session.clear_flow();
+    let sim_node = session.start_from_goal("SwitchSimulation").expect("starts");
+    let created = session.expand(sim_node).expect("expands");
+    let tool_node = created[0];
+    let stim_node = created[1];
+    session.select(tool_node, compiled);
+    session.select_many(stim_node, &selections);
+    session.run().expect("runs");
+    let report = session.last_report().expect("ran").clone();
+    assert_eq!(report.runs(), 3, "one run per stimulus set");
+    assert_eq!(report.instances_of(sim_node).len(), 3);
+}

@@ -1,0 +1,149 @@
+//! Experiment F10: browsing the design history (Fig. 10) — backward
+//! chaining reveals the tool and data behind a performance, forward
+//! chaining finds dependents, and the flow doubles as a query template.
+
+use hercules::{history::BrowserQuery, Session};
+
+/// Runs the full simulate task once; returns (session, netlist editor
+/// script instance, performance instance).
+fn simulate_adder() -> (
+    Session,
+    hercules::history::InstanceId,
+    hercules::history::InstanceId,
+) {
+    let mut session = Session::odyssey("jbb");
+    let perf = session.start_from_goal("Performance").expect("starts");
+    let created = session.expand(perf).expect("expands");
+    let circuit = created[1];
+    let created = session.expand(circuit).expect("expands");
+    let netlist = created[1];
+    session.specialize(netlist, "EditedNetlist").expect("subtype");
+    session.expand(netlist).expect("expands");
+    let models = session.flow().expect("flow").data_inputs_of(circuit)[0];
+    session.expand(models).expect("expands");
+
+    // Select the full-adder editor script.
+    let editor_node = session.flow().expect("flow").tool_of(netlist).expect("tool");
+    let script = session
+        .browse(editor_node)
+        .expect("browses")
+        .into_iter()
+        .find(|&i| {
+            session
+                .db()
+                .instance(i)
+                .map(|x| x.meta().name.contains("Full adder"))
+                .unwrap_or(false)
+        })
+        .expect("seeded script");
+    session.select(editor_node, script);
+    session.bind_latest().expect("binds");
+    session.run().expect("runs");
+
+    let report = session.last_report().expect("ran").clone();
+    let perf_instance = report.single(perf);
+    (session, script, perf_instance)
+}
+
+#[test]
+fn history_menu_reveals_tool_and_inputs_one_level_at_a_time() {
+    let (session, _, perf) = simulate_adder();
+
+    // Fig. 10: "the Simulator and Netlist entities do not appear until
+    // after History is chosen."
+    let level0 = session.history_of(perf, Some(0)).expect("chains");
+    assert!(level0.tool.is_none() && level0.inputs.is_empty());
+
+    let level1 = session.history_of(perf, Some(1)).expect("chains");
+    let tool = level1.tool.expect("derived by the simulator");
+    let tool_name = session
+        .db()
+        .instance(tool)
+        .expect("present")
+        .meta()
+        .name
+        .clone();
+    assert!(tool_name.contains("hspice"), "simulator revealed: {tool_name}");
+    assert_eq!(level1.inputs.len(), 2, "circuit + stimuli revealed");
+    // But the circuit's own derivation stays hidden at depth 1.
+    assert!(level1.inputs[0].inputs.is_empty());
+
+    // Unlimited chaining reaches the primary editor script:
+    // perf ← circuit ← netlist (two data steps), with the script as the
+    // netlist's tool.
+    let full = session.history_of(perf, None).expect("chains");
+    assert_eq!(full.depth(), 2);
+    let flat = full.flatten();
+    let has_script = flat.iter().any(|&i| {
+        session
+            .db()
+            .instance(i)
+            .map(|x| x.meta().name.contains("Full adder"))
+            .unwrap_or(false)
+    });
+    assert!(has_script, "the editor script appears in the full chain");
+}
+
+#[test]
+fn forward_chaining_finds_all_performances_of_a_netlist() {
+    let (session, script, perf) = simulate_adder();
+    let schema = session.schema().clone();
+    let perf_entity = schema.require("Performance").expect("known");
+
+    // "Finding all of the circuit performances derived from a given
+    // netlist": chase forward from the editor script that produced it.
+    let derived = session
+        .db()
+        .find_derived(script, perf_entity)
+        .expect("chains");
+    assert_eq!(derived, vec![perf]);
+}
+
+#[test]
+fn flow_is_a_query_template() {
+    let (session, _, perf) = simulate_adder();
+    let schema = session.schema().clone();
+
+    // Template: Performance <- (Simulator, Circuit, Stimuli).
+    let mut template = hercules::flow::TaskGraph::new(schema.clone());
+    let perf_node = template
+        .seed(schema.require("Performance").expect("known"))
+        .expect("seeds");
+    template.expand(perf_node).expect("expands");
+
+    let matches = session
+        .db()
+        .query_template(&template, &[], None)
+        .expect("queries");
+    assert_eq!(matches.len(), 1);
+    let assigned = matches[0]
+        .iter()
+        .find(|(n, _)| *n == perf_node)
+        .expect("assigned")
+        .1;
+    assert_eq!(assigned, perf);
+}
+
+#[test]
+fn browser_filters_match_fig9() {
+    let (session, _, _) = simulate_adder();
+    let schema = session.schema().clone();
+    let editor = schema.require("CircuitEditor").expect("known");
+
+    // The Fig. 9 browser: filter CircuitEditor instances by user.
+    let by_director = BrowserQuery::family(editor)
+        .user("director")
+        .run(session.db())
+        .expect("queries");
+    assert_eq!(by_director.len(), 1);
+    let inst = session.db().instance(by_director[0]).expect("present");
+    assert!(inst.meta().name.contains("Full adder"));
+
+    // Keyword filter on stimuli.
+    let stimuli = schema.require("Stimuli").expect("known");
+    let exhaustive = BrowserQuery::family(stimuli)
+        .keyword("exhaustive")
+        .run(session.db())
+        .expect("queries");
+    assert_eq!(exhaustive.len(), 1);
+}

@@ -1,0 +1,138 @@
+//! Experiment F5: the Fig. 5 complex flow — entity reuse across
+//! subtasks, multiple flow outputs, and multiple outputs from one
+//! subtask — executed end-to-end against the real simulated tools.
+
+use hercules::{eda, flow::fixtures, history::Metadata, Session};
+
+/// Seeds a full-adder edited netlist the flow's shared `Netlist` node
+/// will bind to.
+fn seed_adder(session: &mut Session) -> hercules::history::InstanceId {
+    let schema = session.schema().clone();
+    let editor = schema.require("CircuitEditor").expect("known");
+    let edited = schema.require("EditedNetlist").expect("known");
+    let tool = session.db().instances_of(editor)[0];
+    session
+        .db_mut()
+        .record_derived(
+            edited,
+            Metadata::by("tester").named("fa"),
+            &eda::cells::full_adder().to_bytes(),
+            hercules::history::Derivation::by_tool(tool, []),
+        )
+        .expect("records")
+}
+
+#[test]
+fn fig5_executes_with_real_tools_and_three_outputs() {
+    let mut session = Session::odyssey("tester");
+    let netlist_instance = seed_adder(&mut session);
+    let schema = session.schema().clone();
+
+    // Seed a prior Layout (the Fig. 5 extraction input): place the
+    // adder once through the placer.
+    let placer = schema.require("Placer").expect("known");
+    let layout_entity = schema.require("Layout").expect("known");
+    let placer_inst = session.db().instances_of(placer)[0];
+    let layout = eda::place(
+        &eda::cells::full_adder(),
+        &eda::PlacementRules::default(),
+    )
+    .expect("places");
+    session
+        .db_mut()
+        .record_derived(
+            layout_entity,
+            Metadata::by("tester").named("adder layout"),
+            &layout.to_bytes(),
+            hercules::history::Derivation::by_tool(placer_inst, [netlist_instance]),
+        )
+        .expect("records");
+
+    let flow = fixtures::fig5(schema.clone()).expect("fixture");
+    let outputs = flow.outputs();
+    assert_eq!(outputs.len(), 3);
+
+    // Identify the shared netlist node and bind it to the adder.
+    let netlist_node = flow
+        .nodes()
+        .find(|(_, n)| schema.entity(n.entity()).name() == "Netlist")
+        .map(|(id, _)| id)
+        .expect("shared netlist node");
+    session.install_flow(flow);
+    session.select(netlist_node, netlist_instance);
+    let unbound = session.bind_latest().expect("flow installed");
+    assert!(unbound.is_empty(), "library covers all leaves: {unbound:?}");
+
+    let report = session.run().expect("executes").clone();
+
+    // The extraction subtask ran once for two outputs.
+    let multi = report
+        .tasks
+        .iter()
+        .find(|t| t.outputs.len() == 2)
+        .expect("multi-output subtask");
+    assert_eq!(
+        multi.action,
+        hercules::exec::TaskAction::Ran { runs: 1 },
+        "one invocation, two products"
+    );
+
+    // Decode each real artifact.
+    let flow_ref = session.flow().expect("installed");
+    for out in flow_ref.outputs() {
+        let inst = report.single(out);
+        let entity = session
+            .db()
+            .instance(inst)
+            .expect("present")
+            .entity();
+        let name = schema.entity(entity).name().to_owned();
+        let bytes = session
+            .db()
+            .data_of(inst)
+            .expect("ok")
+            .expect("has data")
+            .to_vec();
+        match name.as_str() {
+            "Verification" => {
+                let v = eda::Verification::from_bytes(&bytes).expect("decodes");
+                assert!(v.matched, "extracted netlist matches: {:?}", v.mismatches);
+            }
+            "ExtractionStatistics" => {
+                let s = eda::ExtractionStatistics::from_bytes(&bytes).expect("decodes");
+                assert_eq!(s.cell_count, 5, "full adder has five gates");
+                assert!(s.area > 0);
+            }
+            "PerformancePlot" => {
+                let p = eda::Plot::from_bytes(&bytes).expect("decodes");
+                assert!(p.to_text().contains("sum"));
+            }
+            other => panic!("unexpected output entity {other}"),
+        }
+    }
+
+    // Entity reuse is visible in the recorded history: the netlist
+    // instance has at least two direct dependents (the verification and
+    // the circuit composite).
+    let dependents = session
+        .db()
+        .direct_dependents(netlist_instance)
+        .expect("present");
+    assert!(
+        dependents.len() >= 2,
+        "netlist reused by several subtasks: {dependents:?}"
+    );
+}
+
+#[test]
+fn fig5_bipartite_view_groups_the_extraction() {
+    let schema = std::sync::Arc::new(hercules::schema::fixtures::fig1());
+    let flow = fixtures::fig5(schema).expect("fixture");
+    let diagram = hercules::flow::FlowDiagram::from_task_graph(&flow).expect("acyclic");
+    let extraction = diagram
+        .activities()
+        .iter()
+        .find(|a| a.name == "Extractor")
+        .expect("extraction activity");
+    assert_eq!(extraction.outputs.len(), 2, "Fig. 5 multi-output subtask");
+}

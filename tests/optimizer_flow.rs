@@ -1,0 +1,127 @@
+//! Experiment E4: §3.3's encapsulation techniques end to end —
+//! three optimizer tool instances sharing one encapsulation, with a
+//! `Simulator` passed to the optimizer *as data* ("an optimization
+//! procedure may have a circuit simulator passed to it as an
+//! argument").
+
+use hercules::{eda, history::Derivation, history::Metadata, Session};
+
+fn seed_netlist(session: &mut Session) -> hercules::history::InstanceId {
+    let schema = session.schema().clone();
+    let editor = schema.require("CircuitEditor").expect("known");
+    let edited = schema.require("EditedNetlist").expect("known");
+    let tool = session.db().instances_of(editor)[0];
+    session
+        .db_mut()
+        .record_derived(
+            edited,
+            Metadata::by("tester").named("nand-under-optimization"),
+            &eda::cosmos::nand2_transistors().to_bytes(),
+            Derivation::by_tool(tool, []),
+        )
+        .expect("records")
+}
+
+#[test]
+fn optimizer_flow_with_tool_as_data_input() {
+    let mut session = Session::odyssey("tester");
+    let schema = session.schema().clone();
+    let netlist = seed_netlist(&mut session);
+
+    // OptimizedNetlist <- Optimizer(f) <- Netlist, DeviceModels,
+    // Simulator(d!) — the simulator is a data input here.
+    let opt = session.start_from_goal("OptimizedNetlist").expect("starts");
+    let created = session.expand(opt).expect("expands");
+    // created = [Optimizer, Netlist, DeviceModels, Simulator-as-data].
+    assert_eq!(created.len(), 4);
+    let netlist_node = created[1];
+    session.select(netlist_node, netlist);
+    session.bind_latest().expect("binds");
+    session.run().expect("runs");
+    let report = session.last_report().expect("ran").clone();
+    let optimized = report.single(opt);
+
+    // The product is a re-sized transistor netlist.
+    let bytes = session
+        .db()
+        .data_of(optimized)
+        .expect("present")
+        .expect("data");
+    let decoded = eda::Netlist::from_bytes(bytes).expect("netlist bytes");
+    assert!(decoded.is_transistor_level());
+    assert_eq!(decoded.mos_count(), 4);
+
+    // The derivation records the simulator *instance* among the inputs.
+    let simulator = schema.require("Simulator").expect("known");
+    let sim_inst = session.db().instances_of(simulator)[0];
+    let derivation = session
+        .db()
+        .instance(optimized)
+        .expect("present")
+        .derivation()
+        .expect("derived")
+        .clone();
+    assert!(
+        derivation.inputs.contains(&sim_inst),
+        "the tool-as-data input is part of the derivation history"
+    );
+}
+
+#[test]
+fn three_optimizer_instances_fan_out_through_one_encapsulation() {
+    let mut session = Session::odyssey("tester");
+    let schema = session.schema().clone();
+    let netlist = seed_netlist(&mut session);
+
+    let opt = session.start_from_goal("OptimizedNetlist").expect("starts");
+    let created = session.expand(opt).expect("expands");
+    let optimizer_node = created[0];
+    let netlist_node = created[1];
+    session.select(netlist_node, netlist);
+
+    // Multi-select ALL THREE optimizer tool instances: the task runs
+    // once per tool, all through the single shared encapsulation.
+    let optimizer_entity = schema.require("Optimizer").expect("known");
+    let all_three = session.db().instances_of(optimizer_entity);
+    assert_eq!(all_three.len(), 3);
+    session.select_many(optimizer_node, &all_three);
+    session.bind_latest().expect("binds");
+    session.run().expect("runs");
+    let report = session.last_report().expect("ran").clone();
+    assert_eq!(report.runs(), 3, "one run per optimizer instance");
+    let results = report.instances_of(opt);
+    assert_eq!(results.len(), 3);
+
+    // Each product names the optimizer that made it, and all three are
+    // distinct instances with distinct derivations.
+    let mut names = Vec::new();
+    for &r in results {
+        let inst = session.db().instance(r).expect("present");
+        names.push(inst.meta().name.clone());
+    }
+    assert!(names.iter().any(|n| n.contains("hillclimb")), "{names:?}");
+    assert!(names.iter().any(|n| n.contains("anneal")), "{names:?}");
+    assert!(names.iter().any(|n| n.contains("random")), "{names:?}");
+}
+
+#[test]
+fn optimizer_results_are_deterministic_per_simulator_instance() {
+    // Same inputs, same simulator => identical optimized netlist.
+    let run = || {
+        let mut session = Session::odyssey("tester");
+        let netlist = seed_netlist(&mut session);
+        let opt = session.start_from_goal("OptimizedNetlist").expect("starts");
+        let created = session.expand(opt).expect("expands");
+        session.select(created[1], netlist);
+        session.bind_latest().expect("binds");
+        session.run().expect("runs");
+        let report = session.last_report().expect("ran").clone();
+        session
+            .db()
+            .data_of(report.single(opt))
+            .expect("present")
+            .expect("data")
+            .to_vec()
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,109 @@
+//! Experiment F6 (parallel disjoint branches) with the real tools, and
+//! persistence round trips for schema, history and flow catalog.
+
+use hercules::{eda, history::Derivation, history::HistorySpec, history::Metadata, Session};
+
+fn seed_two_netlists(session: &mut Session) -> Vec<hercules::history::InstanceId> {
+    let schema = session.schema().clone();
+    let editor = schema.require("CircuitEditor").expect("known");
+    let edited = schema.require("EditedNetlist").expect("known");
+    let tool = session.db().instances_of(editor)[0];
+    [eda::cells::full_adder(), eda::cells::full_adder_pla()]
+        .iter()
+        .map(|n| {
+            session
+                .db_mut()
+                .record_derived(
+                    edited,
+                    Metadata::by("tester").named(&n.name),
+                    &n.to_bytes(),
+                    Derivation::by_tool(tool, []),
+                )
+                .expect("records")
+        })
+        .collect()
+}
+
+/// Builds the Fig. 6 verification flow with its two disjoint input
+/// branches and runs it with the given parallelism; returns the
+/// verification payload.
+fn run_fig6(parallel: bool) -> Vec<u8> {
+    let mut session = Session::odyssey("tester");
+    session.executor_mut().options_mut().parallel = parallel;
+    let ids = seed_two_netlists(&mut session);
+
+    // Verification <- (Netlist branch, ExtractedNetlist branch).
+    let verification = session.start_from_goal("Verification").expect("starts");
+    let created = session.expand(verification).expect("expands");
+    let netlist_node = created[1];
+    let extracted_node = created[2];
+    session.select(netlist_node, ids[0]);
+    let created = session.expand(extracted_node).expect("expands"); // extractor, layout
+    let layout_node = created[1];
+    let created = session.expand(layout_node).expect("expands"); // placer, netlist, rules
+    session.select(created[1], ids[0]);
+    session.bind_latest().expect("binds");
+    session.run().expect("runs");
+    let report = session.last_report().expect("ran").clone();
+    session
+        .db()
+        .data_of(report.single(verification))
+        .expect("present")
+        .expect("data")
+        .to_vec()
+}
+
+#[test]
+fn parallel_and_serial_executions_agree_with_real_tools() {
+    let serial = run_fig6(false);
+    let parallel = run_fig6(true);
+    assert_eq!(serial, parallel);
+    let report = eda::Verification::from_bytes(&serial).expect("decodes");
+    assert!(report.matched, "{:?}", report.mismatches);
+}
+
+#[test]
+fn history_database_persists_and_reloads() {
+    let mut session = Session::odyssey("tester");
+    seed_two_netlists(&mut session);
+
+    // Run something so the history has derivations.
+    let layout = session.start_from_goal("Layout").expect("starts");
+    session.expand(layout).expect("expands");
+    session.bind_latest().expect("binds");
+    session.run().expect("runs");
+
+    let spec = HistorySpec::from_db(session.db());
+    let json = serde_json::to_string(&spec).expect("serializes");
+    let back: HistorySpec = serde_json::from_str(&json).expect("deserializes");
+    let reloaded = back.load(session.schema().clone()).expect("replays");
+    assert_eq!(reloaded.len(), session.db().len());
+    // Derivations survive byte-for-byte.
+    for (a, b) in session.db().instances().zip(reloaded.instances()) {
+        assert_eq!(a.derivation(), b.derivation());
+        assert_eq!(a.meta(), b.meta());
+    }
+}
+
+#[test]
+fn schema_and_catalog_persist_and_reload() {
+    let mut session = Session::odyssey("tester");
+    let layout = session.start_from_goal("Layout").expect("starts");
+    session.expand(layout).expect("expands");
+    session.store_flow("place", "placement flow").expect("stores");
+
+    // Schema round trip.
+    let schema_json = serde_json::to_string(session.schema().as_ref()).expect("serializes");
+    let schema_back: hercules::schema::TaskSchema =
+        serde_json::from_str(&schema_json).expect("deserializes + revalidates");
+    assert_eq!(&schema_back, session.schema().as_ref());
+
+    // Catalog round trip, instantiated against the reloaded schema.
+    let catalog_json = serde_json::to_string(session.catalog()).expect("serializes");
+    let catalog_back: hercules::flow::FlowCatalog =
+        serde_json::from_str(&catalog_json).expect("deserializes");
+    let flow = catalog_back
+        .instantiate("place", std::sync::Arc::new(schema_back))
+        .expect("instantiates");
+    assert_eq!(flow.len(), 4);
+}

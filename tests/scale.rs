@@ -1,0 +1,131 @@
+//! Scale test: a large synthetic schema driven end to end — hundreds of
+//! subtasks sequenced automatically, recorded in the history, and
+//! queried back.
+
+use std::sync::Arc;
+
+use hercules::exec::{toy, Binding, Executor};
+use hercules::flow::TaskGraph;
+use hercules::history::HistoryDb;
+use hercules::schema::synth::SynthConfig;
+
+#[test]
+fn deep_wide_flow_executes_and_records_everything() {
+    let cfg = SynthConfig {
+        layers: 6,
+        width: 8,
+        fanin: 2,
+        subtypes: 0,
+    };
+    let schema = Arc::new(cfg.generate());
+
+    // One flow constructing every goal-layer entity, sharing whatever
+    // intermediate nodes opportunistic reuse finds.
+    let mut flow = TaskGraph::new(schema.clone());
+    for goal in cfg.goal_layer(&schema) {
+        let node = flow.seed(goal).expect("seeds");
+        flow.expand_all(node).expect("expands");
+    }
+    flow.validate_for_execution().expect("complete");
+    assert!(flow.len() > 200, "a genuinely large flow: {}", flow.len());
+
+    let mut db = HistoryDb::new(schema.clone());
+    toy::seed_everything(&mut db, "scale");
+    let mut binding = Binding::new();
+    assert!(binding.bind_latest(&flow, &db).is_empty());
+
+    let executor = Executor::new(toy::text_registry(&schema));
+    let before = db.len();
+    let report = executor.execute(&flow, &binding, &mut db).expect("runs");
+    // Identical transformations are deduplicated: exactly one run per
+    // distinct (tool, inputs) pair — (layers-1) × width of them.
+    assert_eq!(report.runs(), (cfg.layers - 1) * cfg.width);
+    assert_eq!(db.len(), before + report.runs());
+
+    // Every interior node produced exactly one instance, every
+    // derivation is well-formed, and backward chains terminate.
+    for node in flow.interior() {
+        let instances = report.instances_of(node);
+        assert_eq!(instances.len(), 1);
+        let tree = db.backward_chain(instances[0], None).expect("chains");
+        assert!(tree.depth() <= cfg.layers);
+    }
+
+    // Forward chain from one primary input fans across the layers.
+    let primary = cfg.primary_layer(&schema)[0];
+    let seed_inst = db.instances_of(primary)[0];
+    let downstream = db.forward_chain(seed_inst).expect("chains");
+    assert!(
+        downstream.len() > 10,
+        "primary input feeds many products: {}",
+        downstream.len()
+    );
+}
+
+#[test]
+fn caching_makes_the_second_large_run_free() {
+    let cfg = SynthConfig {
+        layers: 5,
+        width: 6,
+        fanin: 2,
+        subtypes: 0,
+    };
+    let schema = Arc::new(cfg.generate());
+    let mut flow = TaskGraph::new(schema.clone());
+    for goal in cfg.goal_layer(&schema) {
+        let node = flow.seed(goal).expect("seeds");
+        flow.expand_all(node).expect("expands");
+    }
+    let mut db = HistoryDb::new(schema.clone());
+    toy::seed_everything(&mut db, "scale");
+    let mut binding = Binding::new();
+    binding.bind_latest(&flow, &db);
+
+    let mut executor = Executor::new(toy::text_registry(&schema));
+    executor.options_mut().reuse_cached = true;
+
+    let first = executor.execute(&flow, &binding, &mut db).expect("runs");
+    assert_eq!(first.runs(), (cfg.layers - 1) * cfg.width);
+    let len_after_first = db.len();
+
+    let second = executor.execute(&flow, &binding, &mut db).expect("runs");
+    assert_eq!(second.runs(), 0, "everything cached");
+    assert_eq!(second.cache_hits(), second.tasks.len());
+    assert_eq!(db.len(), len_after_first);
+}
+
+#[test]
+fn parallel_execution_matches_serial_at_scale() {
+    let cfg = SynthConfig {
+        layers: 4,
+        width: 8,
+        fanin: 2,
+        subtypes: 0,
+    };
+    let schema = Arc::new(cfg.generate());
+    let mut flow = TaskGraph::new(schema.clone());
+    for goal in cfg.goal_layer(&schema) {
+        let node = flow.seed(goal).expect("seeds");
+        flow.expand_all(node).expect("expands");
+    }
+
+    let run = |parallel: bool| -> Vec<Vec<u8>> {
+        let mut db = HistoryDb::new(schema.clone());
+        toy::seed_everything(&mut db, "scale");
+        let mut binding = Binding::new();
+        binding.bind_latest(&flow, &db);
+        let mut executor = Executor::new(toy::text_registry(&schema));
+        executor.options_mut().parallel = parallel;
+        let report = executor.execute(&flow, &binding, &mut db).expect("runs");
+        flow.outputs()
+            .into_iter()
+            .map(|o| {
+                db.data_of(report.single(o))
+                    .expect("present")
+                    .expect("data")
+                    .to_vec()
+            })
+            .collect()
+    };
+    assert_eq!(run(false), run(true));
+}

@@ -1,0 +1,147 @@
+//! §3.3: "they also make methodology maintenance easier by avoiding the
+//! requirement for the maintenance of a set of flows (only the task
+//! schema need be maintained), and by simplifying the incorporation of
+//! new tools."
+//!
+//! These tests evolve the schema — add tools, add subtypes — and check
+//! that existing histories, catalogs and encapsulations keep working.
+
+use std::sync::Arc;
+
+use hercules::exec::toy;
+use hercules::flow::{FlowCatalog, TaskGraph};
+use hercules::history::HistorySpec;
+use hercules::schema::{fixtures, DepKind, DepSpec, EntitySpec, TaskSchema};
+
+/// Extends the Fig. 1 schema with a new tool: a `FastExtractor`
+/// subtype of `Extractor` (a drop-in alternative implementation).
+fn fig1_with_fast_extractor() -> TaskSchema {
+    let mut spec = fixtures::fig1().to_spec();
+    spec.entities.push(EntitySpec {
+        name: "FastExtractor".into(),
+        kind: None, // inherited from the supertype
+        supertype: Some("Extractor".into()),
+        description: "drop-in hierarchical extractor".into(),
+        composite: false,
+    });
+    spec.build().expect("extended schema is valid")
+}
+
+/// Extends the Fig. 1 schema with a brand-new task: a `Router` tool
+/// producing a `RoutedLayout` from a `Layout`. (`Layout` already has
+/// its own construction method, so the new product is a sibling entity
+/// rather than a subtype — the validator enforces that subtypes are
+/// only used to separate construction methods under an *abstract*
+/// supertype.)
+fn fig1_with_router() -> TaskSchema {
+    let mut spec = fixtures::fig1().to_spec();
+    spec.entities.push(EntitySpec {
+        name: "Router".into(),
+        kind: Some(hercules::schema::EntityKind::Tool),
+        supertype: None,
+        description: String::new(),
+        composite: false,
+    });
+    spec.entities.push(EntitySpec {
+        name: "RoutedLayout".into(),
+        kind: Some(hercules::schema::EntityKind::Data),
+        supertype: None,
+        description: String::new(),
+        composite: false,
+    });
+    spec.deps.push(DepSpec {
+        target: "RoutedLayout".into(),
+        source: "Router".into(),
+        kind: DepKind::Functional,
+        optional: false,
+    });
+    spec.deps.push(DepSpec {
+        target: "RoutedLayout".into(),
+        source: "Layout".into(),
+        kind: DepKind::Data,
+        optional: false,
+    });
+    spec.build().expect("extended schema is valid")
+}
+
+#[test]
+fn histories_survive_schema_extension() {
+    // Record work under the original schema...
+    let old_schema = Arc::new(fixtures::fig1());
+    let mut db = hercules::history::HistoryDb::new(old_schema.clone());
+    toy::seed_everything(&mut db, "evolve");
+    let saved = HistorySpec::from_db(&db);
+
+    // ...then reload it under the *extended* schema: every name still
+    // resolves, derivations replay unchanged.
+    let new_schema = Arc::new(fig1_with_router());
+    let reloaded = saved.load(new_schema.clone()).expect("replays");
+    assert_eq!(reloaded.len(), db.len());
+
+    // And under the much larger Odyssey superset too.
+    let odyssey = Arc::new(fixtures::odyssey());
+    let reloaded = saved.load(odyssey).expect("replays under superset");
+    assert_eq!(reloaded.len(), db.len());
+}
+
+#[test]
+fn stored_flows_survive_schema_extension() {
+    let old_schema = Arc::new(fixtures::fig1());
+    let flow = hercules::flow::fixtures::fig5(old_schema.clone()).expect("fixture");
+    let mut catalog = FlowCatalog::new();
+    catalog.store("fig5", &flow, "complex flow", "evolve");
+
+    // The same stored flow instantiates against the extended schema.
+    let new_schema = Arc::new(fig1_with_router());
+    let again = catalog.instantiate("fig5", new_schema).expect("instantiates");
+    assert_eq!(again.len(), flow.len());
+}
+
+#[test]
+fn new_tool_subtype_inherits_the_family_encapsulation() {
+    // Register an encapsulation for `Extractor` only; the new
+    // `FastExtractor` subtype finds it through the subtype chain — "the
+    // incorporation of new tools" without touching existing glue.
+    let schema = fig1_with_fast_extractor();
+    let registry = toy::text_registry(&schema);
+    let fast = schema.require("FastExtractor").expect("declared");
+    assert!(
+        registry.lookup(&schema, fast).is_some(),
+        "subtype inherits the Extractor encapsulation"
+    );
+}
+
+#[test]
+fn new_task_is_immediately_usable_in_flows() {
+    let schema = Arc::new(fig1_with_router());
+    let mut flow = TaskGraph::new(schema.clone());
+    let routed = flow
+        .seed(schema.require("RoutedLayout").expect("declared"))
+        .expect("seeds");
+    let created = flow.expand(routed).expect("expands");
+    assert_eq!(created.len(), 2, "router + layout input");
+    // The Layout input expands with the *old* placer task: old and new
+    // methodology compose.
+    let layout_node = created[1];
+    let created = flow.expand(layout_node).expect("expands");
+    assert_eq!(created.len(), 3, "placer + netlist + rules");
+    flow.validate_for_execution().expect("complete");
+}
+
+#[test]
+fn removing_an_entity_breaks_loading_loudly() {
+    // The converse guarantee: a history that references a removed
+    // entity fails to load with a clear error instead of corrupting.
+    let old_schema = Arc::new(fixtures::fig1());
+    let mut db = hercules::history::HistoryDb::new(old_schema.clone());
+    toy::seed_everything(&mut db, "evolve");
+    let saved = HistorySpec::from_db(&db);
+
+    let mut spec = fixtures::fig1().to_spec();
+    // Remove the plotter (and its dependency arcs).
+    spec.entities.retain(|e| e.name != "Plotter");
+    spec.deps
+        .retain(|d| d.source != "Plotter" && d.target != "Plotter");
+    let shrunk = Arc::new(spec.build().expect("still valid"));
+    assert!(saved.load(shrunk).is_err(), "missing entity is reported");
+}

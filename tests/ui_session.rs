@@ -1,0 +1,95 @@
+//! Experiment F9: the scripted Fig. 9 session — one user interface for
+//! every approach, with browser, selection, execution and history
+//! browsing driven through the text UI.
+
+use hercules::ui::{render_task_window, Ui};
+use hercules::Session;
+
+#[test]
+fn full_scripted_session() {
+    let mut ui = Ui::new(Session::odyssey("sutton"));
+
+    // Build the simulate flow goal-first, exactly as §4.1 narrates.
+    let transcript = ui
+        .run_script(
+            "goal Performance\n\
+             expand n0\n\
+             expand n2\n\
+             specialize n5 EditedNetlist\n\
+             expand n5\n\
+             expand n4\n\
+             show\n",
+        )
+        .expect("script runs");
+    assert!(transcript.contains("started from goal Performance"));
+    assert!(transcript.contains("Simulator"));
+    assert!(transcript.contains("CircuitEditor"));
+
+    // Browse the editor scripts (Fig. 9b) and select the full adder.
+    let browse = ui.execute("browse n6").expect("browses");
+    assert!(browse.contains("Full adder"));
+    assert!(browse.contains("Low pass filter"));
+    let adder_line = browse
+        .lines()
+        .find(|l| l.contains("Full adder"))
+        .expect("listed");
+    let id = adder_line
+        .trim()
+        .split('\u{201c}')
+        .next()
+        .expect("id prefix")
+        .trim()
+        .to_owned();
+    ui.execute(&format!("select n6 {id}")).expect("selects");
+
+    // Bind the rest, run, and check the report line.
+    let out = ui.execute("bind-latest").expect("binds");
+    assert!(out.contains("0 leaf(s) still unbound"));
+    let out = ui.execute("run").expect("runs");
+    assert!(out.contains("invocation(s)"));
+
+    // History menu on the produced performance.
+    let report = ui.session().last_report().expect("ran").clone();
+    let perf = report.single(hercules::flow::NodeId::from_index(0));
+    let out = ui.execute(&format!("history i{}", perf.raw())).expect("chains");
+    assert!(out.contains("f←"), "tool revealed: {out}");
+    assert!(out.contains("d←"), "inputs revealed: {out}");
+
+    // The task window now shows bound leaves.
+    let window = render_task_window(ui.session());
+    assert!(window.contains("⇐"));
+    assert!(!window.contains("(unbound)"));
+}
+
+#[test]
+fn store_and_replay_through_the_ui() {
+    let mut ui = Ui::new(Session::odyssey("jbb"));
+    ui.run_script(
+        "goal Layout\n\
+         expand n0\n\
+         store place-netlist\n\
+         clear\n",
+    )
+    .expect("script runs");
+    // Plan-based restart from the catalog.
+    let out = ui.execute("plan place-netlist").expect("instantiates");
+    assert!(out.contains("instantiated flow"));
+    assert_eq!(ui.session().flow().expect("instantiated").len(), 4);
+}
+
+#[test]
+fn catalogs_command_lists_tools_and_flows() {
+    let mut ui = Ui::new(Session::odyssey("jbb"));
+    let out = ui.execute("catalogs").expect("lists");
+    assert!(out.contains("[T] Simulator"));
+    assert!(out.contains("[D] Netlist"));
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    let mut ui = Ui::new(Session::odyssey("jbb"));
+    assert!(ui.execute("expand n0").is_err(), "no flow yet");
+    assert!(ui.execute("wibble").is_err());
+    ui.execute("goal Performance").expect("starts");
+    assert!(ui.execute("specialize n0 Layout").is_err(), "not a subtype");
+}
