@@ -57,11 +57,7 @@ impl Outcome {
 }
 
 /// Offers every move of a session to a manager and tallies the outcome.
-pub fn evaluate(
-    schema: &TaskSchema,
-    manager: &mut dyn FlowManager,
-    session: &Session,
-) -> Outcome {
+pub fn evaluate(schema: &TaskSchema, manager: &mut dyn FlowManager, session: &Session) -> Outcome {
     let mut out = Outcome::default();
     for &(mv, valid) in &session.moves {
         let accepted = manager.offer(schema, mv);

@@ -76,9 +76,7 @@ impl StaticFlowManager {
             .topo_order()
             .into_iter()
             .filter(|&id| {
-                !schema.is_abstract(id)
-                    && !schema.is_primary(id)
-                    && schema.is_constructible(id)
+                !schema.is_abstract(id) && !schema.is_primary(id) && schema.is_constructible(id)
             })
             .collect();
         StaticFlowManager::new(sequence)

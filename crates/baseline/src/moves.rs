@@ -90,12 +90,7 @@ impl Session {
 /// Generates a random design session of `length` moves over `schema`.
 /// Valid moves are preferred with probability `valid_bias` (0–1);
 /// deterministic per seed.
-pub fn random_session(
-    schema: &TaskSchema,
-    length: usize,
-    valid_bias: f64,
-    seed: u64,
-) -> Session {
+pub fn random_session(schema: &TaskSchema, length: usize, valid_bias: f64, seed: u64) -> Session {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut holdings = Holdings::initial(schema);
     let all: Vec<EntityTypeId> = schema.entity_ids().collect();

@@ -6,13 +6,10 @@
 //! the `fig11_trace` bench) measures what that costs: per-object
 //! metadata is smaller, but derivation queries are unanswerable.
 
-
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a version in one [`VersionTreeStore`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct VersionId(u64);
 
 impl VersionId {

@@ -11,7 +11,9 @@ fn build_goal_based(session: &mut Session) {
     let circuit = created[1];
     let created = session.expand(circuit).expect("expands");
     let netlist = created[1];
-    session.specialize(netlist, "EditedNetlist").expect("subtype");
+    session
+        .specialize(netlist, "EditedNetlist")
+        .expect("subtype");
     session.expand(netlist).expect("expands");
     session.expand(created[0]).expect("expands");
 }
@@ -51,9 +53,7 @@ fn bench_approaches(c: &mut Criterion) {
                 let session = Session::odyssey("bench");
                 let stim = session
                     .db()
-                    .latest_of_family(
-                        session.schema().require("Stimuli").expect("known"),
-                    )
+                    .latest_of_family(session.schema().require("Stimuli").expect("known"))
                     .expect("seeded");
                 (session, stim)
             },

@@ -4,8 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hercules::baseline::{
-    flexibility::evaluate, random_session, DynamicManager, StaticFlowManager,
-    TraceManager,
+    flexibility::evaluate, random_session, DynamicManager, StaticFlowManager, TraceManager,
 };
 use hercules::schema::synth::SynthConfig;
 

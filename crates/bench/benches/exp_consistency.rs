@@ -17,11 +17,7 @@ fn extraction_scenario(
     hercules::history::InstanceId,
 ) {
     let mut session = Session::odyssey("bench");
-    let v1 = hercules_bench::record_netlist(
-        &mut session,
-        "v1",
-        &eda::cells::ripple_adder(width),
-    );
+    let v1 = hercules_bench::record_netlist(&mut session, "v1", &eda::cells::ripple_adder(width));
     let ext = session.start_from_goal("ExtractedNetlist").expect("starts");
     let created = session.expand(ext).expect("expands");
     let layout_node = created[1];
@@ -69,9 +65,7 @@ fn bench_retrace(c: &mut Criterion) {
             |b, &width| {
                 b.iter_batched(
                     || extraction_scenario(width),
-                    |(mut session, _, extracted)| {
-                        session.retrace(extracted).expect("retraces")
-                    },
+                    |(mut session, _, extracted)| session.retrace(extracted).expect("retraces"),
                     criterion::BatchSize::SmallInput,
                 )
             },
@@ -98,9 +92,7 @@ fn bench_retrace(c: &mut Criterion) {
                             .expect("records");
                         (session, extracted)
                     },
-                    |(mut session, extracted)| {
-                        session.retrace(extracted).expect("retraces")
-                    },
+                    |(mut session, extracted)| session.retrace(extracted).expect("retraces"),
                     criterion::BatchSize::SmallInput,
                 )
             },

@@ -49,7 +49,9 @@ fn bench_queries(c: &mut Criterion) {
     let schema = fixtures::odyssey();
     let netlist = schema.require("Netlist").expect("known");
     let mut group = c.benchmark_group("fig01/queries");
-    group.bench_function("name_lookup", |b| b.iter(|| schema.entity_id("Performance")));
+    group.bench_function("name_lookup", |b| {
+        b.iter(|| schema.entity_id("Performance"))
+    });
     group.bench_function("topo_order", |b| b.iter(|| schema.topo_order()));
     group.bench_function("all_subtypes", |b| b.iter(|| schema.all_subtypes(netlist)));
     group.bench_function("render_text", |b| {

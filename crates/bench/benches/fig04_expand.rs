@@ -34,7 +34,10 @@ fn configs() -> Vec<(usize, SynthConfig)> {
 
 /// Fully expands every goal entity of a synthetic schema through the
 /// checked operations.
-fn build_checked(cfg: &SynthConfig, schema: &std::sync::Arc<hercules::schema::TaskSchema>) -> TaskGraph {
+fn build_checked(
+    cfg: &SynthConfig,
+    schema: &std::sync::Arc<hercules::schema::TaskSchema>,
+) -> TaskGraph {
     let mut flow = TaskGraph::new(schema.clone());
     for goal in cfg.goal_layer(schema) {
         let node = flow.seed(goal).expect("seeds");
@@ -70,7 +73,9 @@ fn bench_single_operations(c: &mut Criterion) {
     group.bench_function("seed_expand_layout", |b| {
         b.iter(|| {
             let mut flow = TaskGraph::new(schema.clone());
-            let layout = flow.seed(schema.require("Layout").expect("known")).expect("seeds");
+            let layout = flow
+                .seed(schema.require("Layout").expect("known"))
+                .expect("seeds");
             flow.expand(layout).expect("expands");
             flow
         })
@@ -90,7 +95,9 @@ fn bench_single_operations(c: &mut Criterion) {
     group.bench_function("expand_then_unexpand", |b| {
         b.iter(|| {
             let mut flow = TaskGraph::new(schema.clone());
-            let layout = flow.seed(schema.require("Layout").expect("known")).expect("seeds");
+            let layout = flow
+                .seed(schema.require("Layout").expect("known"))
+                .expect("seeds");
             flow.expand(layout).expect("expands");
             flow.unexpand(layout).expect("unexpands");
             flow

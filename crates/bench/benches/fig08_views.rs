@@ -16,18 +16,14 @@ fn bench_view_flows(c: &mut Criterion) {
             |b, n| b.iter(|| place(n, &rules).expect("places")),
         );
         let layout = place(&netlist, &rules).expect("places");
-        group.bench_with_input(
-            BenchmarkId::new("extract", gates),
-            &layout,
-            |b, l| b.iter(|| extract(l)),
-        );
+        group.bench_with_input(BenchmarkId::new("extract", gates), &layout, |b, l| {
+            b.iter(|| extract(l))
+        });
         let (extracted, _) = extract(&layout);
         group.bench_with_input(
             BenchmarkId::new("verify_views", gates),
             &(netlist.clone(), extracted.netlist.clone()),
-            |b, (reference, compared)| {
-                b.iter(|| verify(reference, compared).expect("comparable"))
-            },
+            |b, (reference, compared)| b.iter(|| verify(reference, compared).expect("comparable")),
         );
         group.bench_with_input(
             BenchmarkId::new("full_round_trip", gates),

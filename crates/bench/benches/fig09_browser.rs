@@ -40,18 +40,14 @@ fn bench_browser(c: &mut Criterion) {
                     .expect("queries")
             })
         });
-        group.bench_with_input(
-            BenchmarkId::new("use_dependencies", size),
-            &db,
-            |b, db| {
-                b.iter(|| {
-                    BrowserQuery::family(edited)
-                        .use_dependencies(InstanceId::from_raw(0))
-                        .run(db)
-                        .expect("queries")
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("use_dependencies", size), &db, |b, db| {
+            b.iter(|| {
+                BrowserQuery::family(edited)
+                    .use_dependencies(InstanceId::from_raw(0))
+                    .run(db)
+                    .expect("queries")
+            })
+        });
         group.bench_with_input(BenchmarkId::new("combined", size), &db, |b, db| {
             b.iter(|| {
                 BrowserQuery::family(edited)

@@ -36,11 +36,9 @@ fn bench_chaining(c: &mut Criterion) {
             &db,
             |b, db| b.iter(|| db.forward_chain(root).expect("chains")),
         );
-        group.bench_with_input(
-            BenchmarkId::new("ancestors_dedup", depth),
-            &db,
-            |b, db| b.iter(|| db.ancestors(newest).expect("chains")),
-        );
+        group.bench_with_input(BenchmarkId::new("ancestors_dedup", depth), &db, |b, db| {
+            b.iter(|| db.ancestors(newest).expect("chains"))
+        });
     }
     group.finish();
 }
@@ -73,7 +71,7 @@ fn bench_immediate_vs_materialized(c: &mut Criterion) {
 }
 
 fn bench_template_query(c: &mut Criterion) {
-    let (session, _, ) = {
+    let (session, _) = {
         let (mut session, netlist) = hercules_bench::session_with_adder();
         // Populate: run the simulate flow a few times with different
         // stimuli so the template has several candidate matches.
@@ -105,8 +103,7 @@ fn bench_template_query(c: &mut Criterion) {
             .into_iter()
             .filter(|&i| {
                 let name = &session.db().instance(i).expect("present").meta().name;
-                name.contains("adder")
-                    || (name.len() == 2 && name.starts_with('s'))
+                name.contains("adder") || (name.len() == 2 && name.starts_with('s'))
             })
             .collect();
         session.select_many(stim_node, &adder_stims);

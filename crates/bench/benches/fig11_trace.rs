@@ -11,11 +11,9 @@ fn bench_reconstruction(c: &mut Criterion) {
     for depth in [10usize, 100, 500] {
         let (db, newest) = hercules_bench::edit_chain(depth);
         let entity = db.instance(newest).expect("present").entity();
-        group.bench_with_input(
-            BenchmarkId::new("version_forest", depth),
-            &db,
-            |b, db| b.iter(|| db.version_forest(entity).expect("builds")),
-        );
+        group.bench_with_input(BenchmarkId::new("version_forest", depth), &db, |b, db| {
+            b.iter(|| db.version_forest(entity).expect("builds"))
+        });
         group.bench_with_input(
             BenchmarkId::new("flow_trace_backward", depth),
             &db,

@@ -34,11 +34,7 @@ pub fn session_with_adder() -> (Session, InstanceId) {
 
 /// Records a gate-level netlist as an `EditedNetlist` in the session's
 /// history.
-pub fn record_netlist(
-    session: &mut Session,
-    name: &str,
-    netlist: &eda::Netlist,
-) -> InstanceId {
+pub fn record_netlist(session: &mut Session, name: &str, netlist: &eda::Netlist) -> InstanceId {
     let schema = session.schema().clone();
     let editor = schema.require("CircuitEditor").expect("known");
     let edited = schema.require("EditedNetlist").expect("known");

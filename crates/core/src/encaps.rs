@@ -15,9 +15,7 @@
 use std::sync::Arc;
 
 use hercules_eda as eda;
-use hercules_exec::{
-    Encapsulation, EncapsulationRegistry, ExecError, Invocation, ToolOutput,
-};
+use hercules_exec::{Encapsulation, EncapsulationRegistry, ExecError, Invocation, ToolOutput};
 use hercules_schema::TaskSchema;
 
 fn fail(schema: &TaskSchema, inv: &Invocation, msg: impl std::fmt::Display) -> ExecError {
@@ -47,11 +45,7 @@ pub fn parse_any_netlist(
 pub struct DeviceModelEditor;
 
 impl Encapsulation for DeviceModelEditor {
-    fn run(
-        &self,
-        schema: &TaskSchema,
-        inv: &Invocation,
-    ) -> Result<Vec<ToolOutput>, ExecError> {
+    fn run(&self, schema: &TaskSchema, inv: &Invocation) -> Result<Vec<ToolOutput>, ExecError> {
         // Tool data is a scripted model deck when it looks like one;
         // otherwise it is just the tool's path and the editor produces
         // the default deck.
@@ -77,11 +71,7 @@ impl Encapsulation for DeviceModelEditor {
 pub struct CircuitEditor;
 
 impl Encapsulation for CircuitEditor {
-    fn run(
-        &self,
-        schema: &TaskSchema,
-        inv: &Invocation,
-    ) -> Result<Vec<ToolOutput>, ExecError> {
+    fn run(&self, schema: &TaskSchema, inv: &Invocation) -> Result<Vec<ToolOutput>, ExecError> {
         let script = inv.tool_data.as_deref().unwrap_or(&[]);
         let netlist = if !script.is_empty() && script.starts_with(b".circuit") {
             eda::Netlist::from_bytes(script).map_err(|e| fail(schema, inv, e))?
@@ -111,11 +101,7 @@ impl Encapsulation for CircuitEditor {
 pub struct CircuitComposer;
 
 impl Encapsulation for CircuitComposer {
-    fn run(
-        &self,
-        schema: &TaskSchema,
-        inv: &Invocation,
-    ) -> Result<Vec<ToolOutput>, ExecError> {
+    fn run(&self, schema: &TaskSchema, inv: &Invocation) -> Result<Vec<ToolOutput>, ExecError> {
         let models_entity = schema
             .entity_id("DeviceModels")
             .ok_or_else(|| fail(schema, inv, "schema lacks DeviceModels"))?;
@@ -126,8 +112,7 @@ impl Encapsulation for CircuitComposer {
             .map_err(|e| fail(schema, inv, e))?;
         let (netlist, _) = parse_any_netlist(inv.input_of(schema, netlist_entity)?)
             .map_err(|e| fail(schema, inv, e))?;
-        let circuit =
-            eda::Circuit::compose(models, netlist).map_err(|e| fail(schema, inv, e))?;
+        let circuit = eda::Circuit::compose(models, netlist).map_err(|e| fail(schema, inv, e))?;
         let name = circuit.netlist.name.clone();
         Ok(vec![ToolOutput::named(
             inv.outputs[0],
@@ -178,11 +163,7 @@ impl SimOptions {
 pub struct Simulator;
 
 impl Encapsulation for Simulator {
-    fn run(
-        &self,
-        schema: &TaskSchema,
-        inv: &Invocation,
-    ) -> Result<Vec<ToolOutput>, ExecError> {
+    fn run(&self, schema: &TaskSchema, inv: &Invocation) -> Result<Vec<ToolOutput>, ExecError> {
         let circuit_entity = schema
             .entity_id("Circuit")
             .ok_or_else(|| fail(schema, inv, "schema lacks Circuit"))?;
@@ -225,11 +206,7 @@ impl Encapsulation for Simulator {
 pub struct Placer;
 
 impl Encapsulation for Placer {
-    fn run(
-        &self,
-        schema: &TaskSchema,
-        inv: &Invocation,
-    ) -> Result<Vec<ToolOutput>, ExecError> {
+    fn run(&self, schema: &TaskSchema, inv: &Invocation) -> Result<Vec<ToolOutput>, ExecError> {
         let netlist_entity = schema
             .entity_id("Netlist")
             .ok_or_else(|| fail(schema, inv, "schema lacks Netlist"))?;
@@ -256,11 +233,7 @@ impl Encapsulation for Placer {
 pub struct Extractor;
 
 impl Encapsulation for Extractor {
-    fn run(
-        &self,
-        schema: &TaskSchema,
-        inv: &Invocation,
-    ) -> Result<Vec<ToolOutput>, ExecError> {
+    fn run(&self, schema: &TaskSchema, inv: &Invocation) -> Result<Vec<ToolOutput>, ExecError> {
         let layout_entity = schema
             .entity_id("Layout")
             .ok_or_else(|| fail(schema, inv, "schema lacks Layout"))?;
@@ -299,11 +272,7 @@ impl Encapsulation for Extractor {
 pub struct Verifier;
 
 impl Encapsulation for Verifier {
-    fn run(
-        &self,
-        schema: &TaskSchema,
-        inv: &Invocation,
-    ) -> Result<Vec<ToolOutput>, ExecError> {
+    fn run(&self, schema: &TaskSchema, inv: &Invocation) -> Result<Vec<ToolOutput>, ExecError> {
         let extracted_entity = schema
             .entity_id("ExtractedNetlist")
             .ok_or_else(|| fail(schema, inv, "schema lacks ExtractedNetlist"))?;
@@ -323,12 +292,9 @@ impl Encapsulation for Verifier {
         }
         let reference = reference.ok_or_else(|| fail(schema, inv, "missing reference"))?;
         let compared = compared.ok_or_else(|| fail(schema, inv, "missing extracted"))?;
-        let (ref_netlist, _) =
-            parse_any_netlist(reference).map_err(|e| fail(schema, inv, e))?;
-        let (cmp_netlist, _) =
-            parse_any_netlist(compared).map_err(|e| fail(schema, inv, e))?;
-        let report =
-            eda::verify(&ref_netlist, &cmp_netlist).map_err(|e| fail(schema, inv, e))?;
+        let (ref_netlist, _) = parse_any_netlist(reference).map_err(|e| fail(schema, inv, e))?;
+        let (cmp_netlist, _) = parse_any_netlist(compared).map_err(|e| fail(schema, inv, e))?;
+        let report = eda::verify(&ref_netlist, &cmp_netlist).map_err(|e| fail(schema, inv, e))?;
         let name = format!(
             "{} vs {}: {}",
             report.reference,
@@ -348,11 +314,7 @@ impl Encapsulation for Verifier {
 pub struct Plotter;
 
 impl Encapsulation for Plotter {
-    fn run(
-        &self,
-        schema: &TaskSchema,
-        inv: &Invocation,
-    ) -> Result<Vec<ToolOutput>, ExecError> {
+    fn run(&self, schema: &TaskSchema, inv: &Invocation) -> Result<Vec<ToolOutput>, ExecError> {
         let perf_entity = schema
             .entity_id("Performance")
             .ok_or_else(|| fail(schema, inv, "schema lacks Performance"))?;
@@ -375,11 +337,7 @@ impl Encapsulation for Plotter {
 pub struct SimulatorCompiler;
 
 impl Encapsulation for SimulatorCompiler {
-    fn run(
-        &self,
-        schema: &TaskSchema,
-        inv: &Invocation,
-    ) -> Result<Vec<ToolOutput>, ExecError> {
+    fn run(&self, schema: &TaskSchema, inv: &Invocation) -> Result<Vec<ToolOutput>, ExecError> {
         let netlist_entity = schema
             .entity_id("Netlist")
             .ok_or_else(|| fail(schema, inv, "schema lacks Netlist"))?;
@@ -406,17 +364,12 @@ impl Encapsulation for SimulatorCompiler {
 pub struct CompiledSimulatorTool;
 
 impl Encapsulation for CompiledSimulatorTool {
-    fn run(
-        &self,
-        schema: &TaskSchema,
-        inv: &Invocation,
-    ) -> Result<Vec<ToolOutput>, ExecError> {
+    fn run(&self, schema: &TaskSchema, inv: &Invocation) -> Result<Vec<ToolOutput>, ExecError> {
         let program = inv
             .tool_data
             .as_deref()
             .ok_or_else(|| fail(schema, inv, "compiled simulator has no program"))?;
-        let sim =
-            eda::CompiledSimulator::from_bytes(program).map_err(|e| fail(schema, inv, e))?;
+        let sim = eda::CompiledSimulator::from_bytes(program).map_err(|e| fail(schema, inv, e))?;
         let stimuli_entity = schema
             .entity_id("Stimuli")
             .ok_or_else(|| fail(schema, inv, "schema lacks Stimuli"))?;
@@ -440,11 +393,7 @@ impl Encapsulation for CompiledSimulatorTool {
 pub struct Optimizer;
 
 impl Encapsulation for Optimizer {
-    fn run(
-        &self,
-        schema: &TaskSchema,
-        inv: &Invocation,
-    ) -> Result<Vec<ToolOutput>, ExecError> {
+    fn run(&self, schema: &TaskSchema, inv: &Invocation) -> Result<Vec<ToolOutput>, ExecError> {
         let kind = match inv.tool_data.as_deref() {
             Some(b"hillclimb") => eda::OptimizerKind::HillClimb,
             Some(b"anneal") => eda::OptimizerKind::Anneal,
@@ -544,11 +493,7 @@ mod tests {
         fixtures::odyssey()
     }
 
-    fn single_input(
-        schema: &TaskSchema,
-        entity: &str,
-        data: &[u8],
-    ) -> ToolInput {
+    fn single_input(schema: &TaskSchema, entity: &str, data: &[u8]) -> ToolInput {
         ToolInput {
             entity: schema.entity_id(entity).expect("known"),
             instances: vec![data.to_vec()],
@@ -633,11 +578,7 @@ mod tests {
             tool_data: None,
             inputs: vec![
                 single_input(&schema, "DeviceModels", &bad.to_bytes()),
-                single_input(
-                    &schema,
-                    "Netlist",
-                    &eda::cells::inverter().to_bytes(),
-                ),
+                single_input(&schema, "Netlist", &eda::cells::inverter().to_bytes()),
             ],
             outputs: vec![circuit],
         };
@@ -650,11 +591,8 @@ mod tests {
     #[test]
     fn extractor_produces_only_known_outputs() {
         let schema = schema();
-        let layout = eda::place(
-            &eda::cells::inverter(),
-            &eda::PlacementRules::default(),
-        )
-        .expect("places");
+        let layout =
+            eda::place(&eda::cells::inverter(), &eda::PlacementRules::default()).expect("places");
         let extractor = schema.entity_id("Extractor").expect("known");
         let perf = schema.entity_id("Performance").expect("known");
         let inv = Invocation {

@@ -74,7 +74,7 @@ pub mod views;
 
 pub use error::HerculesError;
 pub use persist::SessionSpec;
-pub use session::{Approach, Session};
+pub use session::{Approach, ExecEvent, Session};
 
 // Re-export the substrate crates so downstream users need only one
 // dependency.

@@ -84,11 +84,15 @@ mod tests {
         let layout = session.start_from_goal("Layout").expect("starts");
         session.expand(layout).expect("expands");
         let netlist = session.flow().expect("flow").data_inputs_of(layout)[0];
-        session.specialize(netlist, "EditedNetlist").expect("subtype");
+        session
+            .specialize(netlist, "EditedNetlist")
+            .expect("subtype");
         session.expand(netlist).expect("expands");
         session.bind_latest().expect("binds");
         session.run().expect("runs");
-        session.store_flow("place-flow", "the placement flow").expect("stores");
+        session
+            .store_flow("place-flow", "the placement flow")
+            .expect("stores");
 
         let spec = SessionSpec::from_session(&session);
         let json = spec.to_json();
@@ -105,7 +109,9 @@ mod tests {
         // The restored session is fully operational: replay the stored
         // flow and run it against the restored history.
         let mut restored = restored;
-        restored.start_from_plan("place-flow").expect("instantiates");
+        restored
+            .start_from_plan("place-flow")
+            .expect("instantiates");
         restored.bind_latest().expect("binds");
         restored.run().expect("runs on restored state");
     }

@@ -3,12 +3,78 @@
 
 use std::sync::Arc;
 
-use hercules_exec::{Binding, EncapsulationRegistry, ExecReport, Executor};
+use hercules_exec::{Binding, EncapsulationRegistry, ExecReport, Executor, TaskAction};
 use hercules_flow::{Expansion, FlowCatalog, NodeId, TaskGraph};
 use hercules_history::{DerivationTree, HistoryDb, InstanceId};
 use hercules_schema::{EntityTypeId, TaskSchema};
 
 use crate::error::HerculesError;
+
+/// One entry in the session's execution event log: what an execution
+/// (run, subflow run, or retrace) did, including failures and skips —
+/// the audit trail of the fault-tolerant engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecEvent {
+    /// What triggered the execution: `run`, `run-subflow`, or
+    /// `retrace`.
+    pub operation: String,
+    /// Subtasks the execution touched (including failed and skipped).
+    pub tasks: usize,
+    /// Tool invocations that ran to completion.
+    pub runs: usize,
+    /// Subtasks served entirely from cache.
+    pub cache_hits: usize,
+    /// Subtasks that failed permanently.
+    pub failed: usize,
+    /// Subtasks skipped because something upstream failed.
+    pub skipped: usize,
+    /// Rendered error of each permanently failed subtask, in execution
+    /// order.
+    pub failures: Vec<String>,
+    /// The error that aborted the execution, when it returned `Err`.
+    pub error: Option<String>,
+}
+
+impl ExecEvent {
+    fn from_report(operation: &str, report: &ExecReport) -> ExecEvent {
+        ExecEvent {
+            operation: operation.to_owned(),
+            tasks: report.tasks.len(),
+            runs: report.runs(),
+            cache_hits: report.cache_hits(),
+            failed: report.failed(),
+            skipped: report.skipped(),
+            failures: report
+                .tasks
+                .iter()
+                .filter_map(|t| match &t.action {
+                    TaskAction::Failed { error } => Some(error.to_string()),
+                    _ => None,
+                })
+                .collect(),
+            error: None,
+        }
+    }
+
+    fn aborted(operation: &str, error: &HerculesError) -> ExecEvent {
+        ExecEvent {
+            operation: operation.to_owned(),
+            tasks: 0,
+            runs: 0,
+            cache_hits: 0,
+            failed: 0,
+            skipped: 0,
+            failures: Vec::new(),
+            error: Some(error.to_string()),
+        }
+    }
+
+    /// Returns `true` when the execution finished without failures,
+    /// skips, or an abort.
+    pub fn is_clean(&self) -> bool {
+        self.failed == 0 && self.skipped == 0 && self.error.is_none()
+    }
+}
 
 /// The four §3.4 design approaches: "Any one of four different
 /// approaches may be selected."
@@ -51,6 +117,7 @@ pub struct Session {
     binding: Binding,
     user: String,
     last_report: Option<ExecReport>,
+    events: Vec<ExecEvent>,
 }
 
 impl Session {
@@ -69,6 +136,7 @@ impl Session {
             binding: Binding::new(),
             user: user.to_owned(),
             last_report: None,
+            events: Vec::new(),
         }
     }
 
@@ -150,6 +218,13 @@ impl Session {
     /// Returns the last execution report, if any.
     pub fn last_report(&self) -> Option<&ExecReport> {
         self.last_report.as_ref()
+    }
+
+    /// Returns the execution event log: one entry per `run`,
+    /// `run_subflow`, or `retrace` call, oldest first, including
+    /// executions that failed or were aborted.
+    pub fn events(&self) -> &[ExecEvent] {
+        &self.events
     }
 
     /// Abandons the flow under construction (the `Clear` button of
@@ -353,9 +428,18 @@ impl Session {
     /// See [`Executor::execute`].
     pub fn run(&mut self) -> Result<&ExecReport, HerculesError> {
         let flow = self.flow.as_ref().ok_or(HerculesError::NoActiveFlow)?;
-        let report = self.executor.execute(flow, &self.binding, &mut self.db)?;
-        self.last_report = Some(report);
-        Ok(self.last_report.as_ref().expect("just set"))
+        match self.executor.execute(flow, &self.binding, &mut self.db) {
+            Ok(report) => {
+                self.events.push(ExecEvent::from_report("run", &report));
+                self.last_report = Some(report);
+                Ok(self.last_report.as_ref().expect("just set"))
+            }
+            Err(e) => {
+                let e: HerculesError = e.into();
+                self.events.push(ExecEvent::aborted("run", &e));
+                Err(e)
+            }
+        }
     }
 
     /// Executes only the sub-flow rooted at `node` ("a subflow may be
@@ -375,7 +459,18 @@ impl Session {
                 sub_binding.bind_many(new, bound);
             }
         }
-        Ok(self.executor.execute(&sub, &sub_binding, &mut self.db)?)
+        match self.executor.execute(&sub, &sub_binding, &mut self.db) {
+            Ok(report) => {
+                self.events
+                    .push(ExecEvent::from_report("run-subflow", &report));
+                Ok(report)
+            }
+            Err(e) => {
+                let e: HerculesError = e.into();
+                self.events.push(ExecEvent::aborted("run-subflow", &e));
+                Err(e)
+            }
+        }
     }
 
     /// Stores the current flow in the catalog for the plan-based
@@ -419,10 +514,17 @@ impl Session {
         &mut self,
         instance: InstanceId,
     ) -> Result<hercules_exec::RetraceReport, HerculesError> {
-        Ok(hercules_exec::retrace(
-            &self.executor,
-            &mut self.db,
-            instance,
-        )?)
+        match hercules_exec::retrace(&self.executor, &mut self.db, instance) {
+            Ok(report) => {
+                self.events
+                    .push(ExecEvent::from_report("retrace", &report.report));
+                Ok(report)
+            }
+            Err(e) => {
+                let e: HerculesError = e.into();
+                self.events.push(ExecEvent::aborted("retrace", &e));
+                Err(e)
+            }
+        }
     }
 }

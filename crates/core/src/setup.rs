@@ -79,17 +79,15 @@ pub fn odyssey_session(user: &str) -> Session {
         tool("Optimizer", "random-search", b"random-search");
 
         // Scripted editor sessions = the Fig. 9 designs.
-        let scripted = |db: &mut hercules_history::HistoryDb,
-                        user: &str,
-                        name: &str,
-                        netlist: &Netlist| {
-            db.record_primary(
-                id("CircuitEditor"),
-                Metadata::by(user).named(&format!("sced script: {name}")),
-                netlist.to_bytes().as_slice(),
-            )
-            .expect("script seeds")
-        };
+        let scripted =
+            |db: &mut hercules_history::HistoryDb, user: &str, name: &str, netlist: &Netlist| {
+                db.record_primary(
+                    id("CircuitEditor"),
+                    Metadata::by(user).named(&format!("sced script: {name}")),
+                    netlist.to_bytes().as_slice(),
+                )
+                .expect("script seeds")
+            };
         scripted(db, "jbb", "Low pass filter", &low_pass_filter());
         scripted(db, "director", "CMOS Full adder", &cells::full_adder());
         scripted(db, "sutton", "Operational Amplifier", &op_amp());
@@ -131,7 +129,9 @@ pub fn odyssey_session(user: &str) -> Session {
         let walk = Stimuli::exhaustive(&["a", "b", "cin"], 50);
         db.record_primary(
             id("Stimuli"),
-            Metadata::by("cad").named("adder walk").keyword("exhaustive"),
+            Metadata::by("cad")
+                .named("adder walk")
+                .keyword("exhaustive"),
             &walk.to_bytes(),
         )
         .expect("stimuli seed");

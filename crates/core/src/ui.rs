@@ -54,6 +54,8 @@ pub enum Command {
     Menu(NodeId),
     /// `store <name>` — store the flow in the catalog.
     Store(String),
+    /// `log` — list the session's execution events, including failures.
+    Log,
     /// `show` — render the task window.
     Show,
     /// `clear` — abandon the flow.
@@ -134,6 +136,7 @@ impl Command {
             "store" => Ok(Command::Store(
                 parts.next().ok_or_else(|| bad("missing name"))?.into(),
             )),
+            "log" => Ok(Command::Log),
             "show" => Ok(Command::Show),
             "clear" => Ok(Command::Clear),
             "catalogs" => Ok(Command::Catalogs),
@@ -282,20 +285,39 @@ impl Ui {
             }
             Command::Select(node, instances) => {
                 self.session.select_many(node, &instances);
-                Ok(format!("selected {} instance(s) for {node}\n", instances.len()))
+                Ok(format!(
+                    "selected {} instance(s) for {node}\n",
+                    instances.len()
+                ))
             }
             Command::BindLatest => {
                 let unbound = self.session.bind_latest()?;
-                Ok(format!("auto-bound; {} leaf(s) still unbound\n", unbound.len()))
+                Ok(format!(
+                    "auto-bound; {} leaf(s) still unbound\n",
+                    unbound.len()
+                ))
             }
             Command::Run => {
                 let report = self.session.run()?;
-                Ok(format!(
-                    "ran {} subtask(s): {} invocation(s), {} cache hit(s)\n",
+                let mut out = format!(
+                    "ran {} subtask(s): {} invocation(s), {} cache hit(s)",
                     report.tasks.len(),
                     report.runs(),
                     report.cache_hits()
-                ))
+                );
+                if !report.is_complete() {
+                    let _ = write!(
+                        out,
+                        ", {} failed, {} skipped",
+                        report.failed(),
+                        report.skipped()
+                    );
+                }
+                out.push('\n');
+                if let Some(error) = report.first_error() {
+                    let _ = writeln!(out, "  first failure: {error}");
+                }
+                Ok(out)
             }
             Command::History(instance) => {
                 let tree = self.session.history_of(instance, Some(1))?;
@@ -386,6 +408,31 @@ impl Ui {
             Command::Store(name) => {
                 self.session.store_flow(&name, "stored from the UI")?;
                 Ok(format!("stored flow `{name}`\n"))
+            }
+            Command::Log => {
+                let events = self.session.events();
+                if events.is_empty() {
+                    return Ok("event log: (empty)\n".to_owned());
+                }
+                let mut out = String::from("event log:\n");
+                for (n, event) in events.iter().enumerate() {
+                    let _ = write!(
+                        out,
+                        "  #{n} {}: {} task(s), {} run(s), {} cache hit(s)",
+                        event.operation, event.tasks, event.runs, event.cache_hits
+                    );
+                    if event.failed > 0 || event.skipped > 0 {
+                        let _ = write!(out, ", {} failed, {} skipped", event.failed, event.skipped);
+                    }
+                    out.push('\n');
+                    for failure in &event.failures {
+                        let _ = writeln!(out, "      ✗ {failure}");
+                    }
+                    if let Some(error) = &event.error {
+                        let _ = writeln!(out, "      aborted: {error}");
+                    }
+                }
+                Ok(out)
             }
             Command::Show => Ok(render_task_window(&self.session)),
             Command::Clear => {
@@ -501,7 +548,10 @@ mod tests {
         .expect("script runs");
         // The editor leaf (n4) produced the netlist that fed the
         // layout; `uses` on its bound script must list both products.
-        let bound = ui.session().binding().get(hercules_flow::NodeId::from_index(4))[0];
+        let bound = ui
+            .session()
+            .binding()
+            .get(hercules_flow::NodeId::from_index(4))[0];
         let out = ui
             .execute(&format!("uses i{}", bound.raw()))
             .expect("chains");
@@ -540,6 +590,25 @@ mod tests {
             .execute(&format!("retrace i{}", layout.raw()))
             .expect("retraces");
         assert!(out.contains("already current"), "{out}");
+    }
+
+    #[test]
+    fn log_command_lists_execution_events() {
+        let mut ui = Ui::new(Session::odyssey("jbb"));
+        assert_eq!(ui.execute("log").expect("empty ok"), "event log: (empty)\n");
+        ui.run_script(
+            "goal Layout\n\
+             expand n0\n\
+             specialize n2 EditedNetlist\n\
+             expand n2\n\
+             bind-latest\n\
+             run\n",
+        )
+        .expect("script runs");
+        let out = ui.execute("log").expect("lists");
+        assert!(out.contains("#0 run:"), "{out}");
+        assert!(out.contains("cache hit(s)"), "{out}");
+        assert!(!out.contains("failed"), "clean run: {out}");
     }
 
     #[test]

@@ -182,7 +182,12 @@ mod tests {
 
         // Record a tampered layout (one cell kind flipped) as if a
         // manual edit had broken the correspondence.
-        let bytes = session.db().data_of(layout).expect("ok").expect("data").to_vec();
+        let bytes = session
+            .db()
+            .data_of(layout)
+            .expect("ok")
+            .expect("data")
+            .to_vec();
         let mut decoded = hercules_eda::Layout::from_bytes(&bytes).expect("layout");
         decoded.cells[0].kind = hercules_eda::GateKind::Nor;
         let schema = session.schema().clone();

@@ -279,7 +279,15 @@ mod tests {
         let product_count = n
             .devices()
             .iter()
-            .filter(|d| matches!(d, crate::netlist::Device::Gate { kind: GateKind::And, .. }))
+            .filter(|d| {
+                matches!(
+                    d,
+                    crate::netlist::Device::Gate {
+                        kind: GateKind::And,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(product_count, 7, "8 minterm references, 7 distinct");
     }

@@ -63,10 +63,7 @@ pub struct SwitchSimulation {
 impl SwitchSimulation {
     /// Returns the waveform of a named output.
     pub fn output(&self, name: &str) -> Option<&Waveform> {
-        self.outputs
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, w)| w)
+        self.outputs.iter().find(|(n, _)| n == name).map(|(_, w)| w)
     }
 
     /// Emits the canonical byte form (JSON).
@@ -294,9 +291,7 @@ impl CompiledSimulator {
         let mut found_one = false;
         let mut found_maybe = false;
         let is_source = |n: usize| {
-            n == Netlist::GND
-                || n == Netlist::VDD
-                || self.input_nets.iter().any(|(_, i)| *i == n)
+            n == Netlist::GND || n == Netlist::VDD || self.input_nets.iter().any(|(_, i)| *i == n)
         };
         while let Some((cur, through_maybe)) = stack.pop() {
             if cur != net && is_source(cur) {
@@ -304,9 +299,7 @@ impl CompiledSimulator {
                 match (v, through_maybe) {
                     (Logic::Zero, false) => found_zero = true,
                     (Logic::One, false) => found_one = true,
-                    (Logic::X, _) | (Logic::Zero, true) | (Logic::One, true) => {
-                        found_maybe = true
-                    }
+                    (Logic::X, _) | (Logic::Zero, true) | (Logic::One, true) => found_maybe = true,
                     (Logic::Z, _) => {}
                 }
                 continue; // driven nodes do not pass current onwards
@@ -451,10 +444,14 @@ mod tests {
     fn compiled_and_interpreted_agree() {
         let n = nand2_transistors();
         let mut s = Stimuli::new("walk");
-        for (t, (a, b)) in [(Logic::Zero, Logic::Zero), (Logic::One, Logic::Zero), (Logic::One, Logic::One)]
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (i as u64 * 10, *v))
+        for (t, (a, b)) in [
+            (Logic::Zero, Logic::Zero),
+            (Logic::One, Logic::Zero),
+            (Logic::One, Logic::One),
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (i as u64 * 10, *v))
         {
             s.set(t, "a", a);
             s.set(t, "b", b);

@@ -36,9 +36,7 @@ impl fmt::Display for EdaError {
             EdaError::UnknownSignal { signal } => {
                 write!(f, "stimuli drive unknown signal `{signal}`")
             }
-            EdaError::CombinationalCycle => {
-                f.write_str("netlist contains a combinational cycle")
-            }
+            EdaError::CombinationalCycle => f.write_str("netlist contains a combinational cycle"),
             EdaError::Incomparable { reason } => {
                 write!(f, "netlists are not comparable: {reason}")
             }

@@ -169,10 +169,8 @@ mod tests {
         // Function preserved: exhaustive simulation matches.
         let s = Stimuli::exhaustive(&["a", "b", "cin"], 100);
         let m = DeviceModels::default_1993();
-        let ideal =
-            Performance::analyze(&n, &s, &m, &Default::default()).expect("ok");
-        let recovered =
-            Performance::analyze(&ex.netlist, &s, &m, &Default::default()).expect("ok");
+        let ideal = Performance::analyze(&n, &s, &m, &Default::default()).expect("ok");
+        let recovered = Performance::analyze(&ex.netlist, &s, &m, &Default::default()).expect("ok");
         assert_eq!(ideal.transitions, recovered.transitions);
     }
 
@@ -189,10 +187,8 @@ mod tests {
         let s = Stimuli::random(&input_refs, 16, 200, 7);
         let m = DeviceModels::default_1993();
 
-        let ideal = Performance::analyze(&ex.netlist, &s, &m, &Default::default())
-            .expect("ok");
-        let loaded =
-            Performance::analyze(&ex.netlist, &s, &m, &ex.parasitics(4)).expect("ok");
+        let ideal = Performance::analyze(&ex.netlist, &s, &m, &Default::default()).expect("ok");
+        let loaded = Performance::analyze(&ex.netlist, &s, &m, &ex.parasitics(4)).expect("ok");
         assert!(
             loaded.delay > ideal.delay,
             "wire parasitics must slow the circuit: {} vs {}",

@@ -5,8 +5,8 @@
 //! re-evaluations propagate through the netlist with per-gate-kind
 //! delays, producing a [`Waveform`] per net.
 
-use std::collections::{BinaryHeap, HashMap};
 use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 use crate::error::EdaError;
 use crate::netlist::{Device, GateKind, Netlist};
@@ -131,7 +131,16 @@ pub fn simulate(
     let mut evaluations = 0u64;
     let mut end_time = 0u64;
     for gi in 0..netlist.devices().len() {
-        schedule_gate(netlist, gi, 0, &values, extra_delay, &mut queue, &mut seq, &mut evaluations);
+        schedule_gate(
+            netlist,
+            gi,
+            0,
+            &values,
+            extra_delay,
+            &mut queue,
+            &mut seq,
+            &mut evaluations,
+        );
     }
 
     const DFF_DELAY: u64 = 2;
@@ -144,7 +153,16 @@ pub fn simulate(
         values[net] = v;
         waves[net].push(t, v);
         for &gi in &fanout[net] {
-            schedule_gate(netlist, gi, t, &values, extra_delay, &mut queue, &mut seq, &mut evaluations);
+            schedule_gate(
+                netlist,
+                gi,
+                t,
+                &values,
+                extra_delay,
+                &mut queue,
+                &mut seq,
+                &mut evaluations,
+            );
         }
         // Rising clock edge: every flip-flop on this net samples its D
         // input now and presents it on Q after the clock-to-Q delay.

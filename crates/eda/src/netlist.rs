@@ -13,9 +13,7 @@ use serde::{Deserialize, Serialize};
 use crate::error::EdaError;
 
 /// A combinational gate kind.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum GateKind {
     /// Inverter (1 input).
     Inv,
@@ -47,7 +45,7 @@ impl GateKind {
             "nor" => Some(GateKind::Nor),
             "xor" => Some(GateKind::Xor),
             "xnor" => Some(GateKind::Xnor),
-        _ => None,
+            _ => None,
         }
     }
 
@@ -83,9 +81,7 @@ impl fmt::Display for GateKind {
 }
 
 /// MOS transistor polarity.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum MosKind {
     /// N-channel device (passes 0 when gate is 1).
     Nmos,
@@ -350,8 +346,7 @@ impl Netlist {
                     inputs,
                     output,
                 } => {
-                    let ins: Vec<&str> =
-                        inputs.iter().map(|&i| self.nets[i].as_str()).collect();
+                    let ins: Vec<&str> = inputs.iter().map(|&i| self.nets[i].as_str()).collect();
                     let _ = writeln!(
                         out,
                         ".gate {} {} -> {}",
@@ -425,23 +420,19 @@ impl Netlist {
                         .ok_or_else(|| err("directive before .circuit"))?;
                     match keyword {
                         ".net" => {
-                            let name =
-                                parts.next().ok_or_else(|| err("missing net name"))?;
+                            let name = parts.next().ok_or_else(|| err("missing net name"))?;
                             n.add_net(name);
                         }
                         ".input" => {
-                            let name =
-                                parts.next().ok_or_else(|| err("missing input name"))?;
+                            let name = parts.next().ok_or_else(|| err("missing input name"))?;
                             n.add_port_in(name);
                         }
                         ".output" => {
-                            let name =
-                                parts.next().ok_or_else(|| err("missing output name"))?;
+                            let name = parts.next().ok_or_else(|| err("missing output name"))?;
                             n.add_port_out(name);
                         }
                         ".gate" => {
-                            let kindkw =
-                                parts.next().ok_or_else(|| err("missing gate kind"))?;
+                            let kindkw = parts.next().ok_or_else(|| err("missing gate kind"))?;
                             let kind = GateKind::from_keyword(kindkw).ok_or_else(|| {
                                 err(&format!("unknown gate kind `{kindkw}` (line {lineno})"))
                             })?;

@@ -207,8 +207,8 @@ pub fn optimize(
                 set_widths(&mut cand, &ws);
                 let c = eval(&cand, &mut evaluations);
                 let temp = 1.0 * (1.0 - evaluations as f64 / budget as f64).max(1e-3);
-                let accept = c < current_cost
-                    || rng.random::<f64>() < (-(c - current_cost) / temp).exp();
+                let accept =
+                    c < current_cost || rng.random::<f64>() < (-(c - current_cost) / temp).exp();
                 if accept {
                     current = cand;
                     current_cost = c;

@@ -7,9 +7,7 @@ use serde::{Deserialize, Serialize};
 
 /// A four-valued logic level, as used by switch- and gate-level
 /// simulators of the COSMOS era.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Logic {
     /// Strong low.
     Zero,
@@ -158,7 +156,7 @@ mod tests {
 
     #[test]
     fn truth_tables() {
-        use Logic::{One, X, Zero, Z};
+        use Logic::{One, Zero, X, Z};
         assert_eq!(Zero.and(One), Zero);
         assert_eq!(One.and(One), One);
         assert_eq!(X.and(One), X);

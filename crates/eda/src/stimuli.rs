@@ -85,7 +85,10 @@ impl Stimuli {
     ///
     /// Panics if more than 16 inputs are requested (65536 vectors).
     pub fn exhaustive(inputs: &[&str], period: u64) -> Stimuli {
-        assert!(inputs.len() <= 16, "exhaustive stimuli limited to 16 inputs");
+        assert!(
+            inputs.len() <= 16,
+            "exhaustive stimuli limited to 16 inputs"
+        );
         let mut s = Stimuli::new("exhaustive");
         for v in 0..(1u32 << inputs.len()) {
             let t = u64::from(v) * period;

@@ -141,11 +141,7 @@ mod tests {
 
     #[test]
     fn circuit_round_trips_as_bytes() {
-        let c = Circuit::compose(
-            DeviceModels::default_1993(),
-            cells::full_adder(),
-        )
-        .expect("ok");
+        let c = Circuit::compose(DeviceModels::default_1993(), cells::full_adder()).expect("ok");
         assert_eq!(Circuit::from_bytes(&c.to_bytes()).expect("ok"), c);
         assert!(Circuit::from_bytes(b"x").is_err());
     }

@@ -184,11 +184,7 @@ mod tests {
             for v in 0..(1u64 << input_names.len()) {
                 // Gate-level values settle within the vector period;
                 // switch-level values are instantaneous.
-                assert_eq!(
-                    g.at(v * 32 + 31),
-                    s.at(v * 32),
-                    "output {name} vector {v}"
-                );
+                assert_eq!(g.at(v * 32 + 31), s.at(v * 32), "output {name} vector {v}");
             }
         }
         let _ = Logic::X; // keep the import obviously used

@@ -10,13 +10,20 @@ use proptest::prelude::*;
 /// gates over `inputs` primary inputs.
 fn random_netlist() -> impl Strategy<Value = Netlist> {
     (
-        1usize..4,                                             // inputs
-        prop::collection::vec((0usize..8u8 as usize, prop::collection::vec(0usize..16, 1..3)), 1..8),
+        1usize..4, // inputs
+        prop::collection::vec(
+            (
+                0usize..8u8 as usize,
+                prop::collection::vec(0usize..16, 1..3),
+            ),
+            1..8,
+        ),
     )
         .prop_map(|(n_inputs, gates)| {
             let mut n = Netlist::new("random");
-            let mut nets: Vec<usize> =
-                (0..n_inputs).map(|i| n.add_port_in(&format!("i{i}"))).collect();
+            let mut nets: Vec<usize> = (0..n_inputs)
+                .map(|i| n.add_port_in(&format!("i{i}")))
+                .collect();
             for (gi, (kind_idx, input_idxs)) in gates.into_iter().enumerate() {
                 let kinds = [
                     GateKind::Inv,
@@ -35,9 +42,7 @@ fn random_netlist() -> impl Strategy<Value = Netlist> {
                     _ => input_idxs.len().clamp(1, 2),
                 };
                 let inputs: Vec<usize> = (0..arity)
-                    .map(|k| {
-                        nets[input_idxs[k % input_idxs.len()] % nets.len()]
-                    })
+                    .map(|k| nets[input_idxs[k % input_idxs.len()] % nets.len()])
                     .collect();
                 let out = n.add_net(&format!("g{gi}"));
                 n.add_gate(kind, &inputs, out);

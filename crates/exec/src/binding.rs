@@ -235,10 +235,7 @@ mod tests {
     fn bind_many_enables_fanout() {
         let mut binding = Binding::new();
         let n = NodeId::from_index(0);
-        binding.bind_many(
-            n,
-            &[InstanceId::from_raw(1), InstanceId::from_raw(2)],
-        );
+        binding.bind_many(n, &[InstanceId::from_raw(1), InstanceId::from_raw(2)]);
         assert_eq!(binding.get(n).len(), 2);
     }
 }

@@ -177,9 +177,7 @@ pub fn simulate_schedule(
             return Err(ExecError::Flow(hercules_flow::FlowError::Cycle));
         }
         // Critical-path-first tie-breaking, deterministic.
-        ready.sort_by_key(|&(n, t)| {
-            (t, std::cmp::Reverse(downstream[&n]), n)
-        });
+        ready.sort_by_key(|&(n, t)| (t, std::cmp::Reverse(downstream[&n]), n));
         let (node, data_ready) = ready[0];
         pending.retain(|&p| p != node);
 
@@ -258,10 +256,16 @@ mod tests {
     fn dependencies_are_never_violated() {
         let schema = Arc::new(schemas::fig1());
         let flow = fixtures::fig5(schema).expect("fixture");
-        let s = simulate_schedule(&flow, &FaninCost { per_input: 3, base: 5 }, 3)
-            .expect("schedules");
-        let end_of: HashMap<NodeId, u64> =
-            s.tasks.iter().map(|t| (t.node, t.end)).collect();
+        let s = simulate_schedule(
+            &flow,
+            &FaninCost {
+                per_input: 3,
+                base: 5,
+            },
+            3,
+        )
+        .expect("schedules");
+        let end_of: HashMap<NodeId, u64> = s.tasks.iter().map(|t| (t.node, t.end)).collect();
         for t in &s.tasks {
             for e in flow.producers_of(t.node) {
                 if let Some(&producer_end) = end_of.get(&e.source()) {

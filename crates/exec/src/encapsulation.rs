@@ -128,8 +128,11 @@ pub trait Encapsulation: Send + Sync {
     /// # Errors
     ///
     /// Implementations report failures as [`ExecError::ToolFailed`].
-    fn run(&self, schema: &TaskSchema, invocation: &Invocation)
-        -> Result<Vec<ToolOutput>, ExecError>;
+    fn run(
+        &self,
+        schema: &TaskSchema,
+        invocation: &Invocation,
+    ) -> Result<Vec<ToolOutput>, ExecError>;
 
     /// Multi-instance delivery preference; defaults to per-instance
     /// runs.

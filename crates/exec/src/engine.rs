@@ -1,18 +1,22 @@
 //! The execution engine: automatic task sequencing, multi-output
-//! subtasks, multi-instance fan-out, caching, and parallel disjoint
-//! branches.
+//! subtasks, multi-instance fan-out, caching, parallel disjoint
+//! branches, and fault-tolerant supervision of every tool run.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::time::{Duration, Instant};
 
 use hercules_flow::{NodeId, TaskGraph};
 use hercules_history::{Derivation, HistoryDb, InstanceId, Metadata};
-use hercules_schema::EntityTypeId;
+use hercules_schema::{EntityTypeId, TaskSchema};
 
 use crate::binding::Binding;
 use crate::encapsulation::{
     Encapsulation, EncapsulationRegistry, Invocation, MultiInstanceMode, ToolInput, ToolOutput,
 };
 use crate::error::ExecError;
+use crate::policy::{FailurePolicy, RetryPolicy};
+use crate::supervise;
 
 /// Options controlling one execution.
 #[derive(Debug, Clone)]
@@ -27,6 +31,15 @@ pub struct ExecOptions {
     pub reuse_cached: bool,
     /// Upper bound on multi-instance fan-out per subtask.
     pub fanout_limit: usize,
+    /// Per-invocation watchdog deadline. `None` waits indefinitely;
+    /// with a deadline set, an overrunning tool is abandoned and
+    /// reported as [`ExecError::ToolTimedOut`].
+    pub deadline: Option<Duration>,
+    /// Retry schedule for failed invocations.
+    pub retry: RetryPolicy,
+    /// What one subtask's permanent failure means for the rest of the
+    /// flow.
+    pub failure: FailurePolicy,
 }
 
 impl Default for ExecOptions {
@@ -36,6 +49,9 @@ impl Default for ExecOptions {
             parallel: false,
             reuse_cached: false,
             fanout_limit: 1024,
+            deadline: None,
+            retry: RetryPolicy::default(),
+            failure: FailurePolicy::default(),
         }
     }
 }
@@ -50,6 +66,15 @@ pub enum TaskAction {
     },
     /// Every output was served from a current cached instance.
     Cached,
+    /// The subtask failed permanently (after exhausting retries) and
+    /// execution continued under
+    /// [`FailurePolicy::ContinueDisjoint`].
+    Failed {
+        /// The final error of the last attempt.
+        error: ExecError,
+    },
+    /// The subtask never ran: something upstream of it failed.
+    Skipped,
 }
 
 /// Per-subtask record of one execution.
@@ -59,6 +84,12 @@ pub struct TaskRecord {
     pub outputs: Vec<NodeId>,
     /// What happened.
     pub action: TaskAction,
+    /// Largest number of attempts any single invocation of this
+    /// subtask needed (0 when nothing was invoked).
+    pub attempts: u32,
+    /// Wall-clock time spent running (and retrying) the subtask's
+    /// invocations.
+    pub duration: Duration,
 }
 
 /// The result of executing a flow.
@@ -75,16 +106,37 @@ impl ExecReport {
         self.produced.get(&node).map(Vec::as_slice).unwrap_or(&[])
     }
 
+    /// Returns the single instance of a node, or an error when the
+    /// node has zero or several — the non-panicking companion of
+    /// [`ExecReport::single`].
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::NotSingleInstance`] with the offending count.
+    pub fn try_single(&self, node: NodeId) -> Result<InstanceId, ExecError> {
+        let all = self.instances_of(node);
+        if all.len() == 1 {
+            Ok(all[0])
+        } else {
+            Err(ExecError::NotSingleInstance {
+                node,
+                count: all.len(),
+            })
+        }
+    }
+
     /// Returns the single instance of a node.
     ///
     /// # Panics
     ///
     /// Panics if the node has zero or several instances; use
+    /// [`ExecReport::try_single`] to handle that case, or
     /// [`ExecReport::instances_of`] for fanned-out nodes.
     pub fn single(&self, node: NodeId) -> InstanceId {
-        let all = self.instances_of(node);
-        assert_eq!(all.len(), 1, "node {node} has {} instances", all.len());
-        all[0]
+        match self.try_single(node) {
+            Ok(inst) => inst,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Total tool invocations across all subtasks.
@@ -93,7 +145,7 @@ impl ExecReport {
             .iter()
             .map(|t| match t.action {
                 TaskAction::Ran { runs } => runs,
-                TaskAction::Cached => 0,
+                TaskAction::Cached | TaskAction::Failed { .. } | TaskAction::Skipped => 0,
             })
             .sum()
     }
@@ -104,6 +156,35 @@ impl ExecReport {
             .iter()
             .filter(|t| t.action == TaskAction::Cached)
             .count()
+    }
+
+    /// Number of subtasks that failed permanently.
+    pub fn failed(&self) -> usize {
+        self.tasks
+            .iter()
+            .filter(|t| matches!(t.action, TaskAction::Failed { .. }))
+            .count()
+    }
+
+    /// Number of subtasks skipped because something upstream failed.
+    pub fn skipped(&self) -> usize {
+        self.tasks
+            .iter()
+            .filter(|t| t.action == TaskAction::Skipped)
+            .count()
+    }
+
+    /// The first failure in execution order, if any subtask failed.
+    pub fn first_error(&self) -> Option<&ExecError> {
+        self.tasks.iter().find_map(|t| match &t.action {
+            TaskAction::Failed { error } => Some(error),
+            _ => None,
+        })
+    }
+
+    /// Returns `true` when every subtask ran or was served from cache.
+    pub fn is_complete(&self) -> bool {
+        self.failed() == 0 && self.skipped() == 0
     }
 }
 
@@ -155,6 +236,12 @@ impl Executor {
         &self.registry
     }
 
+    /// Returns mutable access to the registry — e.g. to wrap a tool in
+    /// a [`crate::FaultyEncapsulation`] for chaos testing.
+    pub fn registry_mut(&mut self) -> &mut EncapsulationRegistry {
+        &mut self.registry
+    }
+
     /// Executes a flow: binds leaves, sequences subtasks automatically
     /// from the dependencies (flow automation, §3.3), runs tools through
     /// their encapsulations and records every product in the design
@@ -192,8 +279,41 @@ impl Executor {
             Vec<InstanceId>,
         > = HashMap::new();
 
+        // Nodes downstream of a permanent failure: their subtasks are
+        // reported as skipped instead of executed.
+        let mut dead: HashSet<NodeId> = HashSet::new();
+
         let mut pending = group_subtasks(flow)?;
-        while !pending.is_empty() {
+        loop {
+            // Skip the downstream cone of failed subtasks: a subtask
+            // whose tool or any input is dead can never run, and its
+            // outputs kill their dependents in turn.
+            let mut culling = true;
+            while culling {
+                culling = false;
+                let mut still_pending = Vec::with_capacity(pending.len());
+                for s in pending {
+                    let doomed = s.inputs.iter().any(|i| dead.contains(i))
+                        || s.tool.is_some_and(|t| dead.contains(&t));
+                    if doomed {
+                        dead.extend(s.outputs.iter().copied());
+                        report.tasks.push(TaskRecord {
+                            outputs: s.outputs,
+                            action: TaskAction::Skipped,
+                            attempts: 0,
+                            duration: Duration::ZERO,
+                        });
+                        culling = true;
+                    } else {
+                        still_pending.push(s);
+                    }
+                }
+                pending = still_pending;
+            }
+            if pending.is_empty() {
+                break;
+            }
+
             // Ready: all inputs (and the tool) have instances.
             let ready: Vec<Subtask> = pending
                 .iter()
@@ -215,17 +335,42 @@ impl Executor {
                 .map(|s| self.prepare(flow, s, &available, db))
                 .collect::<Result<_, _>>()?;
 
-            let results: Vec<Vec<RunResult>> = if self.options.parallel {
-                run_parallel(&prepared, flow, db)?
+            let outcomes: Vec<SubtaskOutcome> = if self.options.parallel {
+                run_parallel(&prepared, flow, &self.options)
             } else {
                 prepared
                     .iter()
-                    .map(|p| p.run_all(flow.schema(), db))
-                    .collect::<Result<_, _>>()?
+                    .map(|p| p.run_all(flow.schema(), &self.options))
+                    .collect()
             };
 
+            // Under Abort, a failure anywhere in the wave discards the
+            // whole wave: nothing commits, the error propagates.
+            if self.options.failure == FailurePolicy::Abort {
+                for outcome in &outcomes {
+                    if let Err(error) = &outcome.result {
+                        return Err(error.clone());
+                    }
+                }
+            }
+
             // Commit serially, in subtask order, for determinism.
-            for (p, runs) in prepared.iter().zip(results) {
+            for (p, outcome) in prepared.iter().zip(outcomes) {
+                let runs = match outcome.result {
+                    Ok(runs) => runs,
+                    Err(error) => {
+                        // ContinueDisjoint: report the failure, kill
+                        // the downstream cone, keep going.
+                        dead.extend(p.subtask.outputs.iter().copied());
+                        report.tasks.push(TaskRecord {
+                            outputs: p.subtask.outputs.clone(),
+                            action: TaskAction::Failed { error },
+                            attempts: outcome.attempts,
+                            duration: outcome.duration,
+                        });
+                        continue;
+                    }
+                };
                 let mut per_output: Vec<Vec<InstanceId>> =
                     vec![Vec::new(); p.subtask.outputs.len()];
                 let mut executed = 0usize;
@@ -259,24 +404,19 @@ impl Executor {
                             let mut recorded = Vec::with_capacity(outputs.len());
                             for (slot, out) in outputs.into_iter().enumerate() {
                                 let derivation = match tool_instance {
-                                    Some(t) => Derivation::by_tool(
-                                        t,
-                                        input_instances.iter().copied(),
-                                    ),
-                                    None => Derivation::by_composition(
-                                        input_instances.iter().copied(),
-                                    ),
+                                    Some(t) => {
+                                        Derivation::by_tool(t, input_instances.iter().copied())
+                                    }
+                                    None => {
+                                        Derivation::by_composition(input_instances.iter().copied())
+                                    }
                                 };
                                 let mut meta = Metadata::by(&self.options.user);
                                 if !out.name.is_empty() {
                                     meta = meta.named(&out.name);
                                 }
-                                let inst = db.record_derived(
-                                    out.entity,
-                                    meta,
-                                    &out.data,
-                                    derivation,
-                                )?;
+                                let inst =
+                                    db.record_derived(out.entity, meta, &out.data, derivation)?;
                                 per_output[slot].push(inst);
                                 recorded.push(inst);
                             }
@@ -286,9 +426,7 @@ impl Executor {
                 }
                 for (slot, &node) in p.subtask.outputs.iter().enumerate() {
                     available.insert(node, per_output[slot].clone());
-                    report
-                        .produced
-                        .insert(node, per_output[slot].clone());
+                    report.produced.insert(node, per_output[slot].clone());
                 }
                 report.tasks.push(TaskRecord {
                     outputs: p.subtask.outputs.clone(),
@@ -297,6 +435,8 @@ impl Executor {
                     } else {
                         TaskAction::Ran { runs: executed }
                     },
+                    attempts: outcome.attempts,
+                    duration: outcome.duration,
                 });
             }
         }
@@ -344,8 +484,7 @@ impl Executor {
                     if tool_instances.len() != 1 {
                         return Err(ExecError::ToolFailed {
                             tool: schema.entity(lookup_entity).name().to_owned(),
-                            message: "single-call tools need exactly one tool instance"
-                                .into(),
+                            message: "single-call tools need exactly one tool instance".into(),
                         });
                     }
                     Some(tool_instances[0])
@@ -426,12 +565,7 @@ impl Executor {
                     let entity = flow.entity_of(*node)?;
                     let payloads: Result<Vec<Vec<u8>>, ExecError> = instances
                         .iter()
-                        .map(|&i| {
-                            Ok(db
-                                .data_of(i)?
-                                .map(<[u8]>::to_vec)
-                                .unwrap_or_default())
-                        })
+                        .map(|&i| Ok(db.data_of(i)?.map(<[u8]>::to_vec).unwrap_or_default()))
                         .collect();
                     Ok(ToolInput {
                         entity,
@@ -491,55 +625,131 @@ struct PreparedSubtask {
     output_entities: Vec<EntityTypeId>,
 }
 
+/// What one subtask's run phase produced: either every run's result,
+/// or the first permanent error — plus bookkeeping for the report.
+struct SubtaskOutcome {
+    result: Result<Vec<RunResult>, ExecError>,
+    /// Largest number of attempts any single invocation needed.
+    attempts: u32,
+    duration: Duration,
+}
+
 impl PreparedSubtask {
+    /// Deterministic jitter salt for one invocation of this subtask.
+    fn retry_salt(&self, run_index: usize) -> u64 {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        (self.subtask.outputs.first(), run_index).hash(&mut hasher);
+        hasher.finish()
+    }
+
+    /// Validates one invocation's outputs against the subtask's
+    /// products.
+    fn check_outputs(
+        &self,
+        schema: &TaskSchema,
+        invocation: &Invocation,
+        outputs: &[ToolOutput],
+    ) -> Result<(), ExecError> {
+        if outputs.len() != self.output_entities.len() {
+            return Err(ExecError::WrongOutputs {
+                tool: schema.entity(invocation.tool_entity).name().to_owned(),
+                detail: format!(
+                    "expected {} outputs, got {}",
+                    self.output_entities.len(),
+                    outputs.len()
+                ),
+            });
+        }
+        for (out, &want) in outputs.iter().zip(&self.output_entities) {
+            if !schema.is_subtype_of(out.entity, want) {
+                return Err(ExecError::WrongOutputs {
+                    tool: schema.entity(invocation.tool_entity).name().to_owned(),
+                    detail: format!(
+                        "expected `{}`, got `{}`",
+                        schema.entity(want).name(),
+                        schema.entity(out.entity).name()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs one invocation under supervision, retrying per the policy.
+    /// Returns the validated outputs and the number of attempts made.
+    fn run_one(
+        &self,
+        schema: &std::sync::Arc<TaskSchema>,
+        invocation: &Invocation,
+        options: &ExecOptions,
+        salt: u64,
+    ) -> (Result<Vec<ToolOutput>, ExecError>, u32) {
+        let mut attempt = 1u32;
+        loop {
+            let result = supervise::run_supervised(&self.enc, schema, invocation, options.deadline)
+                .and_then(|outputs| {
+                    self.check_outputs(schema, invocation, &outputs)?;
+                    Ok(outputs)
+                });
+            match result {
+                Ok(outputs) => return (Ok(outputs), attempt),
+                Err(error) => {
+                    if attempt >= options.retry.max_attempts || !options.retry.is_retryable(&error)
+                    {
+                        return (Err(error), attempt);
+                    }
+                    attempt += 1;
+                    std::thread::sleep(options.retry.delay_before(attempt, salt));
+                }
+            }
+        }
+    }
+
+    /// Runs every prepared invocation of the subtask, with supervision
+    /// and retries; stops at the first permanent failure.
     fn run_all(
         &self,
-        schema: &hercules_schema::TaskSchema,
-        _db: &HistoryDb,
-    ) -> Result<Vec<RunResult>, ExecError> {
-        self.runs
-            .iter()
-            .map(|run| match run {
-                PreparedRun::Cached(instances) => Ok(RunResult::Cached(instances.clone())),
+        schema: &std::sync::Arc<TaskSchema>,
+        options: &ExecOptions,
+    ) -> SubtaskOutcome {
+        let started = Instant::now();
+        let mut attempts = 0u32;
+        let mut results = Vec::with_capacity(self.runs.len());
+        for (run_index, run) in self.runs.iter().enumerate() {
+            match run {
+                PreparedRun::Cached(instances) => {
+                    results.push(RunResult::Cached(instances.clone()));
+                }
                 PreparedRun::Invoke {
                     invocation,
                     tool_instance,
                     input_instances,
                 } => {
-                    let outputs = self.enc.run(schema, invocation)?;
-                    if outputs.len() != self.output_entities.len() {
-                        return Err(ExecError::WrongOutputs {
-                            tool: schema.entity(invocation.tool_entity).name().to_owned(),
-                            detail: format!(
-                                "expected {} outputs, got {}",
-                                self.output_entities.len(),
-                                outputs.len()
-                            ),
-                        });
-                    }
-                    for (out, &want) in outputs.iter().zip(&self.output_entities) {
-                        if !schema.is_subtype_of(out.entity, want) {
-                            return Err(ExecError::WrongOutputs {
-                                tool: schema
-                                    .entity(invocation.tool_entity)
-                                    .name()
-                                    .to_owned(),
-                                detail: format!(
-                                    "expected `{}`, got `{}`",
-                                    schema.entity(want).name(),
-                                    schema.entity(out.entity).name()
-                                ),
-                            });
+                    let (result, used) =
+                        self.run_one(schema, invocation, options, self.retry_salt(run_index));
+                    attempts = attempts.max(used);
+                    match result {
+                        Ok(outputs) => results.push(RunResult::Produced {
+                            tool_instance: *tool_instance,
+                            input_instances: input_instances.clone(),
+                            outputs,
+                        }),
+                        Err(error) => {
+                            return SubtaskOutcome {
+                                result: Err(error),
+                                attempts,
+                                duration: started.elapsed(),
+                            };
                         }
                     }
-                    Ok(RunResult::Produced {
-                        tool_instance: *tool_instance,
-                        input_instances: input_instances.clone(),
-                        outputs,
-                    })
                 }
-            })
-            .collect()
+            }
+        }
+        SubtaskOutcome {
+            result: Ok(results),
+            attempts,
+            duration: started.elapsed(),
+        }
     }
 }
 
@@ -548,20 +758,31 @@ impl PreparedSubtask {
 fn run_parallel(
     prepared: &[PreparedSubtask],
     flow: &TaskGraph,
-    db: &HistoryDb,
-) -> Result<Vec<Vec<RunResult>>, ExecError> {
+    options: &ExecOptions,
+) -> Vec<SubtaskOutcome> {
     let schema = flow.schema();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = prepared
             .iter()
-            .map(|p| scope.spawn(move |_| p.run_all(schema, db)))
+            .map(|p| scope.spawn(move || p.run_all(schema, options)))
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("subtask thread panicked"))
+            .map(|h| {
+                // run_all catches tool panics itself; this guards the
+                // engine against panics in its own plumbing so one
+                // subtask thread can never abort the whole execution.
+                h.join().unwrap_or_else(|payload| SubtaskOutcome {
+                    result: Err(ExecError::ToolPanicked {
+                        tool: "subtask worker".into(),
+                        message: supervise::panic_message(payload.as_ref()),
+                    }),
+                    attempts: 0,
+                    duration: Duration::ZERO,
+                })
+            })
             .collect()
     })
-    .expect("execution scope")
 }
 
 /// Groups the interior nodes of a flow into subtasks: nodes sharing the
@@ -644,7 +865,11 @@ mod tests {
             "Simulator(Circuit(DeviceModels, CircuitEditor()), Stimuli)"
         );
         // The derivation records the immediate tool and inputs.
-        let d = db.instance(inst).expect("ok").derivation().expect("derived");
+        let d = db
+            .instance(inst)
+            .expect("ok")
+            .derivation()
+            .expect("derived");
         assert!(d.tool.is_some());
         assert_eq!(d.inputs.len(), 2);
     }
@@ -707,8 +932,16 @@ mod tests {
         assert!(ext_text.contains(".ExtractedNetlist"));
         assert!(stats_text.contains(".ExtractionStatistics"));
         // Both derivations share the same tool and inputs.
-        let d1 = db.instance(report.single(ext)).expect("ok").derivation().cloned();
-        let d2 = db.instance(report.single(stats)).expect("ok").derivation().cloned();
+        let d1 = db
+            .instance(report.single(ext))
+            .expect("ok")
+            .derivation()
+            .cloned();
+        let d2 = db
+            .instance(report.single(stats))
+            .expect("ok")
+            .derivation()
+            .cloned();
         assert_eq!(d1, d2);
     }
 
@@ -767,10 +1000,9 @@ mod tests {
         let executor = Executor::new(registry);
         let report = executor.execute(&flow, &binding, &mut db).expect("runs");
         assert_eq!(report.runs(), 1, "all instances in one call");
-        let text = String::from_utf8_lossy(
-            db.data_of(report.single(perf)).expect("ok").expect("d"),
-        )
-        .into_owned();
+        let text =
+            String::from_utf8_lossy(db.data_of(report.single(perf)).expect("ok").expect("d"))
+                .into_owned();
         assert!(text.contains("Stimuli") && text.contains("S2"));
     }
 
@@ -853,7 +1085,10 @@ mod tests {
             binding.bind_latest(&flow, &db);
             let report = executor.execute(&flow, &binding, &mut db).expect("runs");
             let out = flow.outputs()[0];
-            db.data_of(report.single(out)).expect("ok").expect("d").to_vec()
+            db.data_of(report.single(out))
+                .expect("ok")
+                .expect("d")
+                .to_vec()
         };
         assert_eq!(run(false), run(true));
     }

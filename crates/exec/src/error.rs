@@ -26,11 +26,21 @@ pub enum ExecError {
     MissingEncapsulation { entity: String },
     /// The tool ran but failed.
     ToolFailed { tool: String, message: String },
+    /// The tool panicked; the supervisor caught the unwind instead of
+    /// letting it take down the engine.
+    ToolPanicked { tool: String, message: String },
+    /// The tool exceeded the per-invocation deadline and was abandoned
+    /// by its watchdog.
+    ToolTimedOut { tool: String, deadline_ms: u64 },
     /// The tool returned outputs that do not match the subtask's
     /// products.
     WrongOutputs { tool: String, detail: String },
     /// Multi-instance fan-out exceeded the configured limit.
     FanOutTooLarge { runs: usize, limit: usize },
+    /// [`ExecReport::try_single`](crate::ExecReport::try_single) was
+    /// asked for the single instance of a node that has zero or
+    /// several.
+    NotSingleInstance { node: NodeId, count: usize },
 }
 
 impl fmt::Display for ExecError {
@@ -38,19 +48,23 @@ impl fmt::Display for ExecError {
         match self {
             ExecError::Flow(e) => write!(f, "flow error: {e}"),
             ExecError::History(e) => write!(f, "history error: {e}"),
-            ExecError::UnboundLeaf { node, entity } => write!(
-                f,
-                "leaf {node} (`{entity}`) has no instance selected"
-            ),
-            ExecError::BoundInteriorNode(node) => write!(
-                f,
-                "node {node} is computed by the flow and cannot be bound"
-            ),
+            ExecError::UnboundLeaf { node, entity } => {
+                write!(f, "leaf {node} (`{entity}`) has no instance selected")
+            }
+            ExecError::BoundInteriorNode(node) => {
+                write!(f, "node {node} is computed by the flow and cannot be bound")
+            }
             ExecError::MissingEncapsulation { entity } => {
                 write!(f, "no encapsulation registered for `{entity}`")
             }
             ExecError::ToolFailed { tool, message } => {
                 write!(f, "tool `{tool}` failed: {message}")
+            }
+            ExecError::ToolPanicked { tool, message } => {
+                write!(f, "tool `{tool}` panicked: {message}")
+            }
+            ExecError::ToolTimedOut { tool, deadline_ms } => {
+                write!(f, "tool `{tool}` exceeded its {deadline_ms}ms deadline")
             }
             ExecError::WrongOutputs { tool, detail } => {
                 write!(f, "tool `{tool}` returned mismatched outputs: {detail}")
@@ -59,6 +73,9 @@ impl fmt::Display for ExecError {
                 f,
                 "multi-instance selection fans out to {runs} runs (limit {limit})"
             ),
+            ExecError::NotSingleInstance { node, count } => {
+                write!(f, "node {node} has {count} instances, expected exactly one")
+            }
         }
     }
 }
@@ -103,6 +120,18 @@ mod tests {
                 runs: 4096,
                 limit: 1024,
             },
+            ExecError::ToolPanicked {
+                tool: "Simulator".into(),
+                message: "index out of bounds".into(),
+            },
+            ExecError::ToolTimedOut {
+                tool: "Simulator".into(),
+                deadline_ms: 50,
+            },
+            ExecError::NotSingleInstance {
+                node: NodeId::from_index(3),
+                count: 0,
+            },
         ];
         for e in errors {
             let msg = e.to_string();
@@ -119,5 +148,20 @@ mod tests {
         let e: ExecError =
             HistoryError::UnknownInstance(hercules_history::InstanceId::from_raw(0)).into();
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn leaf_errors_have_no_source() {
+        use std::error::Error as _;
+        let e = ExecError::ToolPanicked {
+            tool: "t".into(),
+            message: "boom".into(),
+        };
+        assert!(e.source().is_none());
+        let e = ExecError::ToolTimedOut {
+            tool: "t".into(),
+            deadline_ms: 10,
+        };
+        assert!(e.source().is_none());
     }
 }

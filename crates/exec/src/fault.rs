@@ -1,0 +1,202 @@
+//! Fault injection for exercising the engine's failure paths.
+//!
+//! [`FaultyEncapsulation`] wraps any real encapsulation and misbehaves
+//! according to a deterministic [`FaultPlan`]: failing the first *n*
+//! calls, panicking, sleeping past a watchdog deadline, or corrupting
+//! its outputs. The chaos test-suite drives the Fig. 5 / Fig. 6
+//! fixtures through these plans to prove that supervision, retry and
+//! partial-failure reporting behave as specified.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use hercules_schema::TaskSchema;
+
+use crate::encapsulation::{Encapsulation, Invocation, MultiInstanceMode, ToolOutput};
+use crate::error::ExecError;
+
+/// The deterministic misbehaviour of a [`FaultyEncapsulation`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultPlan {
+    /// Fail the first `n` calls with [`ExecError::ToolFailed`], then
+    /// delegate — a flaky tool that recovers under retry.
+    FailTimes(u32),
+    /// Panic on every call — proves a panicking tool cannot abort the
+    /// engine.
+    AlwaysPanic,
+    /// Sleep this long before delegating — long enough to trip a
+    /// watchdog deadline.
+    SleepFor(Duration),
+    /// Sleep on the first `times` calls, then delegate promptly — a
+    /// hung tool that recovers when retried.
+    SleepTimes {
+        /// Number of initial slow calls.
+        times: u32,
+        /// Sleep duration of each slow call.
+        duration: Duration,
+    },
+    /// Delegate, then drop the last output so the engine sees a
+    /// non-retryable [`ExecError::WrongOutputs`].
+    CorruptOutputs,
+}
+
+/// An encapsulation wrapper that injects faults per a [`FaultPlan`].
+///
+/// Call counting is atomic, so plans behave deterministically under the
+/// parallel execution path too (each wrapped tool has its own counter).
+pub struct FaultyEncapsulation {
+    inner: Arc<dyn Encapsulation>,
+    plan: FaultPlan,
+    calls: AtomicUsize,
+}
+
+impl FaultyEncapsulation {
+    /// Wraps `inner` with the given fault plan.
+    pub fn new(inner: Arc<dyn Encapsulation>, plan: FaultPlan) -> FaultyEncapsulation {
+        FaultyEncapsulation {
+            inner,
+            plan,
+            calls: AtomicUsize::new(0),
+        }
+    }
+
+    /// Wraps `inner` and returns the wrapper ready for registration.
+    pub fn wrap(inner: Arc<dyn Encapsulation>, plan: FaultPlan) -> Arc<FaultyEncapsulation> {
+        Arc::new(FaultyEncapsulation::new(inner, plan))
+    }
+
+    /// Number of times the engine has invoked this encapsulation
+    /// (including calls that failed, panicked, or slept).
+    pub fn calls(&self) -> usize {
+        self.calls.load(Ordering::SeqCst)
+    }
+}
+
+impl std::fmt::Debug for FaultyEncapsulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultyEncapsulation")
+            .field("plan", &self.plan)
+            .field("calls", &self.calls())
+            .finish()
+    }
+}
+
+impl Encapsulation for FaultyEncapsulation {
+    fn run(
+        &self,
+        schema: &TaskSchema,
+        invocation: &Invocation,
+    ) -> Result<Vec<ToolOutput>, ExecError> {
+        let call = self.calls.fetch_add(1, Ordering::SeqCst) as u32;
+        let tool = schema.entity(invocation.tool_entity).name().to_owned();
+        match &self.plan {
+            FaultPlan::FailTimes(n) if call < *n => Err(ExecError::ToolFailed {
+                tool,
+                message: format!("injected fault, call {} of {n} doomed", call + 1),
+            }),
+            FaultPlan::FailTimes(_) => self.inner.run(schema, invocation),
+            FaultPlan::AlwaysPanic => panic!("injected panic in `{tool}`"),
+            FaultPlan::SleepFor(duration) => {
+                std::thread::sleep(*duration);
+                self.inner.run(schema, invocation)
+            }
+            FaultPlan::SleepTimes { times, duration } => {
+                if call < *times {
+                    std::thread::sleep(*duration);
+                }
+                self.inner.run(schema, invocation)
+            }
+            FaultPlan::CorruptOutputs => {
+                let mut outputs = self.inner.run(schema, invocation)?;
+                outputs.pop();
+                Ok(outputs)
+            }
+        }
+    }
+
+    fn multi_instance_mode(&self) -> MultiInstanceMode {
+        self.inner.multi_instance_mode()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hercules_schema::SchemaBuilder;
+
+    struct Echo;
+    impl Encapsulation for Echo {
+        fn run(
+            &self,
+            _schema: &TaskSchema,
+            invocation: &Invocation,
+        ) -> Result<Vec<ToolOutput>, ExecError> {
+            Ok(invocation
+                .outputs
+                .iter()
+                .map(|&e| ToolOutput::new(e, b"ok".to_vec()))
+                .collect())
+        }
+    }
+
+    fn fixture() -> (TaskSchema, Invocation) {
+        let mut b = SchemaBuilder::new();
+        let sim = b.tool("Simulator");
+        let perf = b.data("Performance");
+        let schema = b.build().expect("valid");
+        let invocation = Invocation {
+            tool_entity: sim,
+            tool_data: None,
+            inputs: vec![],
+            outputs: vec![perf],
+        };
+        (schema, invocation)
+    }
+
+    #[test]
+    fn fail_times_then_succeed() {
+        let (schema, invocation) = fixture();
+        let faulty = FaultyEncapsulation::new(Arc::new(Echo), FaultPlan::FailTimes(2));
+        assert!(faulty.run(&schema, &invocation).is_err());
+        assert!(faulty.run(&schema, &invocation).is_err());
+        let out = faulty.run(&schema, &invocation).expect("third succeeds");
+        assert_eq!(out.len(), 1);
+        assert_eq!(faulty.calls(), 3);
+    }
+
+    #[test]
+    fn corrupt_outputs_drops_one() {
+        let (schema, invocation) = fixture();
+        let faulty = FaultyEncapsulation::new(Arc::new(Echo), FaultPlan::CorruptOutputs);
+        let out = faulty.run(&schema, &invocation).expect("delegates");
+        assert!(out.is_empty(), "one expected output was dropped");
+    }
+
+    #[test]
+    fn sleep_times_recovers() {
+        let (schema, invocation) = fixture();
+        let faulty = FaultyEncapsulation::new(
+            Arc::new(Echo),
+            FaultPlan::SleepTimes {
+                times: 1,
+                duration: Duration::from_millis(20),
+            },
+        );
+        let start = std::time::Instant::now();
+        faulty.run(&schema, &invocation).expect("slow but ok");
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        let start = std::time::Instant::now();
+        faulty.run(&schema, &invocation).expect("prompt");
+        assert!(start.elapsed() < Duration::from_millis(20));
+    }
+
+    #[test]
+    fn mode_is_delegated() {
+        let faulty = FaultyEncapsulation::new(Arc::new(Echo), FaultPlan::FailTimes(0));
+        assert_eq!(
+            faulty.multi_instance_mode(),
+            MultiInstanceMode::RunPerInstance
+        );
+    }
+}

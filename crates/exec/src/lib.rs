@@ -16,7 +16,13 @@
 //!   (§3.3), and records every product with its immediate derivation;
 //! * [`retrace`] recalls the flow behind an instance and re-executes it
 //!   against the newest input versions — design-consistency
-//!   maintenance.
+//!   maintenance;
+//! * every tool invocation is *supervised* ([`run_supervised`]): panics
+//!   and watchdog-deadline overruns become structured errors, failed
+//!   invocations retry per [`RetryPolicy`], and under
+//!   [`FailurePolicy::ContinueDisjoint`] a permanent failure only skips
+//!   its downstream cone while disjoint branches complete — the
+//!   [`fault`] module injects deterministic faults to test all of this.
 //!
 //! # Examples
 //!
@@ -62,7 +68,10 @@ pub mod cluster;
 mod encapsulation;
 mod engine;
 mod error;
+pub mod fault;
+mod policy;
 mod retrace;
+mod supervise;
 
 pub mod toy;
 
@@ -72,4 +81,7 @@ pub use encapsulation::{
 };
 pub use engine::{ExecOptions, ExecReport, Executor, TaskAction, TaskRecord};
 pub use error::ExecError;
+pub use fault::{FaultPlan, FaultyEncapsulation};
+pub use policy::{FailurePolicy, RetryPolicy};
 pub use retrace::{retrace, RetraceReport};
+pub use supervise::run_supervised;

@@ -1,0 +1,210 @@
+//! Supervised tool invocation: panics and hangs become structured
+//! errors.
+//!
+//! Encapsulations wrap arbitrary tool code, and §3.3's framework
+//! promise — "the framework keeps running whatever the tools do" — only
+//! holds if a panicking or wedged tool cannot take the engine with it.
+//! [`run_supervised`] gives every invocation two layers of protection:
+//!
+//! * the call runs under `catch_unwind`, so a panic surfaces as
+//!   [`ExecError::ToolPanicked`] instead of unwinding through the
+//!   scheduler;
+//! * with a deadline set, the call runs on a detached watchdog thread
+//!   and the supervisor waits at most that long, reporting
+//!   [`ExecError::ToolTimedOut`] when the tool overstays.
+//!
+//! A timed-out tool's thread is *abandoned*, not killed — Rust offers
+//! no safe thread cancellation — so a truly wedged tool leaks one
+//! thread. The abandoned thread's eventual result is discarded; nothing
+//! it produces is recorded.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use hercules_schema::TaskSchema;
+
+use crate::encapsulation::{Encapsulation, Invocation, ToolOutput};
+use crate::error::ExecError;
+
+/// Renders a panic payload as a human-readable message.
+pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+fn tool_name(schema: &TaskSchema, invocation: &Invocation) -> String {
+    schema.entity(invocation.tool_entity).name().to_owned()
+}
+
+/// Runs `enc` once under `catch_unwind` on the current thread.
+fn run_caught(
+    enc: &dyn Encapsulation,
+    schema: &TaskSchema,
+    invocation: &Invocation,
+) -> Result<Vec<ToolOutput>, ExecError> {
+    catch_unwind(AssertUnwindSafe(|| enc.run(schema, invocation))).unwrap_or_else(|payload| {
+        Err(ExecError::ToolPanicked {
+            tool: tool_name(schema, invocation),
+            message: panic_message(payload.as_ref()),
+        })
+    })
+}
+
+/// Runs one tool invocation under supervision.
+///
+/// Panics inside the encapsulation become
+/// [`ExecError::ToolPanicked`]. When `deadline` is set, the invocation
+/// runs on a watchdog thread and [`ExecError::ToolTimedOut`] is
+/// returned if no result arrives in time.
+///
+/// # Errors
+///
+/// Whatever the encapsulation returns, plus the two supervision errors
+/// above.
+pub fn run_supervised(
+    enc: &Arc<dyn Encapsulation>,
+    schema: &Arc<TaskSchema>,
+    invocation: &Invocation,
+    deadline: Option<Duration>,
+) -> Result<Vec<ToolOutput>, ExecError> {
+    let Some(deadline) = deadline else {
+        return run_caught(enc.as_ref(), schema, invocation);
+    };
+
+    let (tx, rx) = mpsc::channel();
+    let worker_enc = Arc::clone(enc);
+    let worker_schema = Arc::clone(schema);
+    let worker_invocation = invocation.clone();
+    // Detached on purpose: joining would wait out the hang we are
+    // guarding against. The send fails harmlessly once the supervisor
+    // has given up and dropped the receiver.
+    std::thread::spawn(move || {
+        let result = run_caught(worker_enc.as_ref(), &worker_schema, &worker_invocation);
+        let _ = tx.send(result);
+    });
+
+    match rx.recv_timeout(deadline) {
+        Ok(result) => result,
+        Err(mpsc::RecvTimeoutError::Timeout) => Err(ExecError::ToolTimedOut {
+            tool: tool_name(schema, invocation),
+            deadline_ms: deadline.as_millis() as u64,
+        }),
+        // The worker always sends (panics are caught), so a hangup
+        // means the channel died abnormally; report it as a panic.
+        Err(mpsc::RecvTimeoutError::Disconnected) => Err(ExecError::ToolPanicked {
+            tool: tool_name(schema, invocation),
+            message: "worker thread vanished without reporting".into(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hercules_schema::SchemaBuilder;
+
+    struct Panicker;
+    impl Encapsulation for Panicker {
+        fn run(
+            &self,
+            _schema: &TaskSchema,
+            _invocation: &Invocation,
+        ) -> Result<Vec<ToolOutput>, ExecError> {
+            panic!("injected panic");
+        }
+    }
+
+    struct Sleeper(Duration);
+    impl Encapsulation for Sleeper {
+        fn run(
+            &self,
+            _schema: &TaskSchema,
+            invocation: &Invocation,
+        ) -> Result<Vec<ToolOutput>, ExecError> {
+            std::thread::sleep(self.0);
+            Ok(invocation
+                .outputs
+                .iter()
+                .map(|&e| ToolOutput::new(e, b"done".to_vec()))
+                .collect())
+        }
+    }
+
+    fn fixture() -> (Arc<TaskSchema>, Invocation) {
+        let mut b = SchemaBuilder::new();
+        let sim = b.tool("Simulator");
+        let schema = Arc::new(b.build().expect("valid"));
+        let invocation = Invocation {
+            tool_entity: sim,
+            tool_data: None,
+            inputs: vec![],
+            outputs: vec![],
+        };
+        (schema, invocation)
+    }
+
+    #[test]
+    fn panics_become_errors_without_deadline() {
+        let (schema, invocation) = fixture();
+        let enc: Arc<dyn Encapsulation> = Arc::new(Panicker);
+        let err = run_supervised(&enc, &schema, &invocation, None).unwrap_err();
+        assert!(
+            matches!(err, ExecError::ToolPanicked { ref message, .. } if message == "injected panic"),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn panics_become_errors_with_deadline() {
+        let (schema, invocation) = fixture();
+        let enc: Arc<dyn Encapsulation> = Arc::new(Panicker);
+        let err =
+            run_supervised(&enc, &schema, &invocation, Some(Duration::from_secs(5))).unwrap_err();
+        assert!(matches!(err, ExecError::ToolPanicked { .. }), "got {err}");
+    }
+
+    #[test]
+    fn slow_tools_trip_the_deadline() {
+        let (schema, invocation) = fixture();
+        let enc: Arc<dyn Encapsulation> = Arc::new(Sleeper(Duration::from_secs(10)));
+        let err = run_supervised(&enc, &schema, &invocation, Some(Duration::from_millis(30)))
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ExecError::ToolTimedOut {
+                    deadline_ms: 30,
+                    ..
+                }
+            ),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn fast_tools_pass_under_a_deadline() {
+        let (schema, invocation) = fixture();
+        let enc: Arc<dyn Encapsulation> = Arc::new(Sleeper(Duration::ZERO));
+        let out = run_supervised(&enc, &schema, &invocation, Some(Duration::from_secs(5)))
+            .expect("completes");
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn panic_messages_render() {
+        let payload: Box<dyn Any + Send> = Box::new("boom");
+        assert_eq!(panic_message(payload.as_ref()), "boom");
+        let payload: Box<dyn Any + Send> = Box::new(String::from("heap boom"));
+        assert_eq!(panic_message(payload.as_ref()), "heap boom");
+        let payload: Box<dyn Any + Send> = Box::new(42u32);
+        assert_eq!(panic_message(payload.as_ref()), "non-string panic payload");
+    }
+}

@@ -47,9 +47,7 @@ impl Encapsulation for TextTool {
             std::thread::sleep(self.work);
         }
         let tool_name = match &invocation.tool_data {
-            Some(data) if !data.is_empty() => {
-                String::from_utf8_lossy(data).into_owned()
-            }
+            Some(data) if !data.is_empty() => String::from_utf8_lossy(data).into_owned(),
             _ => schema.entity(invocation.tool_entity).name().to_owned(),
         };
         let mut args = Vec::new();

@@ -79,11 +79,7 @@ impl FlowDiagram {
                 continue;
             }
             let name = match tool {
-                Some(t) => flow
-                    .schema()
-                    .entity(flow.entity_of(t)?)
-                    .name()
-                    .to_owned(),
+                Some(t) => flow.schema().entity(flow.entity_of(t)?).name().to_owned(),
                 None => "compose".to_owned(),
             };
             activities.push(Activity {
@@ -98,9 +94,7 @@ impl FlowDiagram {
         for (id, node) in flow.nodes() {
             let kind = flow.schema().entity(node.entity()).kind();
             let used_as_tool_only = kind == EntityKind::Tool
-                && flow
-                    .consumers_of(id)
-                    .all(|e| e.is_functional())
+                && flow.consumers_of(id).all(|e| e.is_functional())
                 && flow.consumers_of(id).next().is_some()
                 && !flow.is_expanded(id);
             if !used_as_tool_only {
@@ -129,9 +123,11 @@ impl FlowDiagram {
         for a in &self.activities {
             let name_of = |id: &NodeId| {
                 flow.schema()
-                    .entity(flow.node(*id).map(|n| n.entity()).unwrap_or_else(|_| {
-                        hercules_schema::EntityTypeId::from_index(0)
-                    }))
+                    .entity(
+                        flow.node(*id)
+                            .map(|n| n.entity())
+                            .unwrap_or_else(|_| hercules_schema::EntityTypeId::from_index(0)),
+                    )
                     .name()
                     .to_owned()
             };

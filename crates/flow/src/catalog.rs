@@ -80,11 +80,7 @@ impl FlowCatalog {
     ///
     /// Returns [`FlowError::UnknownFlow`] for unknown names and any
     /// instantiation error from [`FlowSpec::instantiate`].
-    pub fn instantiate(
-        &self,
-        name: &str,
-        schema: Arc<TaskSchema>,
-    ) -> Result<TaskGraph, FlowError> {
+    pub fn instantiate(&self, name: &str, schema: Arc<TaskSchema>) -> Result<TaskGraph, FlowError> {
         let entry = self
             .entries
             .get(name)

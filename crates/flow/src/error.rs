@@ -35,10 +35,7 @@ pub enum FlowError {
     SpecializeAfterExpand(NodeId),
     /// A reused node's entity is not compatible with the dependency it
     /// was offered for.
-    ReuseTypeMismatch {
-        dep_source: String,
-        offered: String,
-    },
+    ReuseTypeMismatch { dep_source: String, offered: String },
     /// Downward expansion was requested towards an entity that has no
     /// dependency on the node's entity.
     NoDependencyPath { from: String, to: String },
@@ -75,15 +72,17 @@ impl fmt::Display for FlowError {
             FlowError::AlreadyExpanded(id) => {
                 write!(f, "node {id} is already expanded")
             }
-            FlowError::NotASubtype { entity, requested } => write!(
-                f,
-                "`{requested}` is not a subtype of `{entity}`"
-            ),
+            FlowError::NotASubtype { entity, requested } => {
+                write!(f, "`{requested}` is not a subtype of `{entity}`")
+            }
             FlowError::SpecializeAfterExpand(id) => write!(
                 f,
                 "node {id} is already expanded and can no longer be specialized"
             ),
-            FlowError::ReuseTypeMismatch { dep_source, offered } => write!(
+            FlowError::ReuseTypeMismatch {
+                dep_source,
+                offered,
+            } => write!(
                 f,
                 "cannot reuse a `{offered}` node for a dependency on `{dep_source}`"
             ),

@@ -195,12 +195,7 @@ impl TaskGraph {
         options: &Expansion,
     ) -> Result<Vec<NodeId>, FlowError> {
         let mut created = Vec::new();
-        let deps: Vec<Dependency> = self
-            .schema
-            .deps_of(entity)
-            .into_iter()
-            .copied()
-            .collect();
+        let deps: Vec<Dependency> = self.schema.deps_of(entity).into_iter().copied().collect();
         let mut skipped = false;
         for dep in deps {
             if let Some(s) = skip {
@@ -209,9 +204,7 @@ impl TaskGraph {
                     continue;
                 }
             }
-            if dep.is_optional()
-                && !options.include_optional.contains(&dep.source())
-            {
+            if dep.is_optional() && !options.include_optional.contains(&dep.source()) {
                 continue;
             }
             let source_node = self.pick_source(target, &dep, options)?;
@@ -428,7 +421,9 @@ mod tests {
     #[test]
     fn expand_layout_creates_placer_task() {
         let (schema, mut flow) = fig1_flow();
-        let layout = flow.seed(schema.require("Layout").expect("known")).expect("ok");
+        let layout = flow
+            .seed(schema.require("Layout").expect("known"))
+            .expect("ok");
         let created = flow.expand(layout).expect("expandable");
         assert_eq!(created.len(), 3, "placer + netlist + rules");
         assert_eq!(flow.name_of(flow.tool_of(layout).expect("tool")), "Placer");
@@ -438,7 +433,9 @@ mod tests {
     #[test]
     fn expanding_twice_fails() {
         let (schema, mut flow) = fig1_flow();
-        let layout = flow.seed(schema.require("Layout").expect("known")).expect("ok");
+        let layout = flow
+            .seed(schema.require("Layout").expect("known"))
+            .expect("ok");
         flow.expand(layout).expect("first expand");
         assert_eq!(
             flow.expand(layout).unwrap_err(),
@@ -465,7 +462,9 @@ mod tests {
     #[test]
     fn primary_entity_has_nothing_to_expand() {
         let (schema, mut flow) = fig1_flow();
-        let stim = flow.seed(schema.require("Stimuli").expect("known")).expect("ok");
+        let stim = flow
+            .seed(schema.require("Stimuli").expect("known"))
+            .expect("ok");
         assert!(matches!(
             flow.expand(stim).unwrap_err(),
             FlowError::NothingToExpand { .. }
@@ -534,7 +533,9 @@ mod tests {
     #[test]
     fn unexpand_garbage_collects_unshared_inputs() {
         let (schema, mut flow) = fig1_flow();
-        let layout = flow.seed(schema.require("Layout").expect("known")).expect("ok");
+        let layout = flow
+            .seed(schema.require("Layout").expect("known"))
+            .expect("ok");
         flow.expand(layout).expect("ok");
         assert_eq!(flow.len(), 4);
         let removed = flow.unexpand(layout).expect("ok");
@@ -579,10 +580,13 @@ mod tests {
     #[test]
     fn expand_down_rejects_unrelated_entities() {
         let (schema, mut flow) = fig1_flow();
-        let stim = flow.seed(schema.require("Stimuli").expect("known")).expect("ok");
+        let stim = flow
+            .seed(schema.require("Stimuli").expect("known"))
+            .expect("ok");
         let plot_ty = schema.require("PerformancePlot").expect("known");
         assert!(matches!(
-            flow.expand_down(stim, plot_ty, &Expansion::new()).unwrap_err(),
+            flow.expand_down(stim, plot_ty, &Expansion::new())
+                .unwrap_err(),
             FlowError::NoDependencyPath { .. }
         ));
     }
@@ -685,7 +689,9 @@ mod tests {
     #[test]
     fn composite_expansion_adds_components_without_tool() {
         let (schema, mut flow) = fig1_flow();
-        let cct = flow.seed(schema.require("Circuit").expect("known")).expect("ok");
+        let cct = flow
+            .seed(schema.require("Circuit").expect("known"))
+            .expect("ok");
         let created = flow.expand(cct).expect("composite expands");
         assert_eq!(created.len(), 2, "device models + netlist");
         assert!(flow.tool_of(cct).is_none(), "implicit composition function");

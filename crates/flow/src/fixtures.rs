@@ -276,7 +276,11 @@ mod tests {
         let names = |f: &TaskGraph| -> Vec<String> {
             f.leaves()
                 .into_iter()
-                .map(|l| s.entity(f.node(l).expect("live").entity()).name().to_owned())
+                .map(|l| {
+                    s.entity(f.node(l).expect("live").entity())
+                        .name()
+                        .to_owned()
+                })
                 .collect()
         };
         assert!(names(&synth).contains(&"Netlist".to_owned()));

@@ -162,7 +162,9 @@ impl TaskGraph {
     /// design database (§3.2: "the entities can be instantiated (an
     /// instance selected for each leaf node) and the task executed").
     pub fn leaves(&self) -> Vec<NodeId> {
-        self.node_ids().filter(|&id| !self.is_expanded(id)).collect()
+        self.node_ids()
+            .filter(|&id| !self.is_expanded(id))
+            .collect()
     }
 
     /// Returns the *output* nodes: nodes that feed no other task. A flow
@@ -263,12 +265,7 @@ impl TaskGraph {
             sub.nodes.push(Some(node));
             mapping.push((old, new));
         }
-        let map = |old: NodeId| {
-            mapping
-                .iter()
-                .find(|(o, _)| *o == old)
-                .map(|(_, n)| *n)
-        };
+        let map = |old: NodeId| mapping.iter().find(|(o, _)| *o == old).map(|(_, n)| *n);
         for e in &self.edges {
             if let (Some(s), Some(t)) = (map(e.source), map(e.target)) {
                 sub.edges.push(FlowEdge {
@@ -436,9 +433,7 @@ mod tests {
     #[test]
     fn unknown_entity_rejected_by_raw_add() {
         let mut g = TaskGraph::new(fig1_arc());
-        assert!(g
-            .add_node_raw(EntityTypeId::from_index(999))
-            .is_err());
+        assert!(g.add_node_raw(EntityTypeId::from_index(999)).is_err());
     }
 
     #[test]

@@ -149,10 +149,7 @@ mod tests {
         let menu = flow.menu_for(node).expect("live");
         assert!(menu.can_expand);
         assert_eq!(menu.optional_inputs.len(), 1, "the prior-netlist arc");
-        assert_eq!(
-            schema.entity(menu.optional_inputs[0]).name(),
-            "Netlist"
-        );
+        assert_eq!(schema.entity(menu.optional_inputs[0]).name(), "Netlist");
     }
 
     #[test]

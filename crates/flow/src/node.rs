@@ -13,9 +13,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// [`TaskGraph`]: crate::TaskGraph
 /// [`TaskGraph::unexpand`]: crate::TaskGraph::unexpand
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeId(pub(crate) u32);
 
 impl NodeId {

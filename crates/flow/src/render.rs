@@ -247,15 +247,9 @@ mod tests {
             .expect("ok");
         flow.expand_all(sim).expect("ok");
         let call = to_call(&flow, sim).expect("render");
-        assert_eq!(
-            call,
-            "(simulator_compiler(netlist))(stimuli)"
-        );
+        assert_eq!(call, "(simulator_compiler(netlist))(stimuli)");
         let sexpr = to_sexpr(&flow, sim).expect("render");
-        assert_eq!(
-            sexpr,
-            "((simulator_compiler, netlist), stimuli)"
-        );
+        assert_eq!(sexpr, "((simulator_compiler, netlist), stimuli)");
     }
 
     #[test]

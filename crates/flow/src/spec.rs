@@ -79,10 +79,7 @@ impl FlowSpec {
                     declared: n
                         .declared_entity()
                         .map(|d| schema.entity(d).name().to_owned()),
-                    created_by: n
-                        .created_by()
-                        .filter(|c| live.contains(c))
-                        .map(&index_of),
+                    created_by: n.created_by().filter(|c| live.contains(c)).map(&index_of),
                 }
             })
             .collect();
@@ -175,7 +172,10 @@ mod tests {
             "ExtractedNetlist"
         );
         assert_eq!(
-            rebuilt_net.1.declared_entity().map(|d| schema.entity(d).name()),
+            rebuilt_net
+                .1
+                .declared_entity()
+                .map(|d| schema.entity(d).name()),
             Some("Netlist")
         );
     }

@@ -6,9 +6,9 @@
 //! "unchecked build, validate once" ablation) and as the executable-flow
 //! gate used by the execution engine.
 
-use hercules_schema::Dependency;
 #[cfg(test)]
 use hercules_schema::DepKind;
+use hercules_schema::Dependency;
 
 use crate::error::FlowError;
 use crate::graph::TaskGraph;
@@ -31,18 +31,14 @@ impl TaskGraph {
         for (i, e) in self.edges.iter().enumerate() {
             self.node(e.source())?;
             self.node(e.target())?;
-            if self.edges[..i]
-                .iter()
-                .any(|p| p.source() == e.source() && p.target() == e.target() && p.kind() == e.kind())
-            {
+            if self.edges[..i].iter().any(|p| {
+                p.source() == e.source() && p.target() == e.target() && p.kind() == e.kind()
+            }) {
                 return Err(FlowError::DuplicateEdge(e.source(), e.target()));
             }
         }
         for id in self.node_ids() {
-            let functional = self
-                .producers_of(id)
-                .filter(|e| e.is_functional())
-                .count();
+            let functional = self.producers_of(id).filter(|e| e.is_functional()).count();
             if functional > 1 {
                 return Err(FlowError::DuplicateFunctionalEdge(id));
             }
@@ -64,11 +60,7 @@ impl TaskGraph {
         for id in self.interior() {
             if let Some(missing) = self.missing_deps(id)?.first() {
                 return Err(FlowError::IncompleteExpansion {
-                    entity: self
-                        .schema()
-                        .entity(self.entity_of(id)?)
-                        .name()
-                        .to_owned(),
+                    entity: self.schema().entity(self.entity_of(id)?).name().to_owned(),
                     missing: self.schema().entity(missing.source()).name().to_owned(),
                 });
             }
@@ -125,9 +117,7 @@ impl TaskGraph {
         for (ei, edge) in incoming.iter().enumerate() {
             let src_entity = self.entity_of(edge.source())?;
             for (di, dep) in deps.iter().enumerate() {
-                if dep.kind() == edge.kind()
-                    && schema.is_subtype_of(src_entity, dep.source())
-                {
+                if dep.kind() == edge.kind() && schema.is_subtype_of(src_entity, dep.source()) {
                     compat[ei].push(di);
                 }
             }
@@ -220,7 +210,8 @@ mod tests {
         let plot = flow
             .add_node_raw(schema.require("PerformancePlot").expect("known"))
             .expect("ok");
-        flow.add_edge_raw(stim, plot, DepKind::Data).expect("raw ok");
+        flow.add_edge_raw(stim, plot, DepKind::Data)
+            .expect("raw ok");
         assert!(matches!(
             flow.validate().unwrap_err(),
             FlowError::EdgeNotInSchema { .. }
@@ -240,8 +231,10 @@ mod tests {
         let perf = flow
             .add_node_raw(schema.require("Performance").expect("known"))
             .expect("ok");
-        flow.add_edge_raw(s1, perf, DepKind::Functional).expect("ok");
-        flow.add_edge_raw(s2, perf, DepKind::Functional).expect("ok");
+        flow.add_edge_raw(s1, perf, DepKind::Functional)
+            .expect("ok");
+        flow.add_edge_raw(s2, perf, DepKind::Functional)
+            .expect("ok");
         assert!(matches!(
             flow.validate().unwrap_err(),
             FlowError::DuplicateFunctionalEdge(_)
@@ -309,7 +302,8 @@ mod tests {
         let verifier = flow
             .add_node_raw(schema.require("Verifier").expect("known"))
             .expect("ok");
-        flow.add_edge_raw(verifier, v, DepKind::Functional).expect("ok");
+        flow.add_edge_raw(verifier, v, DepKind::Functional)
+            .expect("ok");
         flow.add_edge_raw(e1, v, DepKind::Data).expect("ok");
         flow.add_edge_raw(e2, v, DepKind::Data).expect("ok");
         flow.validate().expect("perfect matching exists");
@@ -326,7 +320,8 @@ mod tests {
         let perf = flow
             .add_node_raw(schema.require("Performance").expect("known"))
             .expect("ok");
-        flow.add_edge_raw(sim, perf, DepKind::Functional).expect("ok");
+        flow.add_edge_raw(sim, perf, DepKind::Functional)
+            .expect("ok");
         flow.validate().expect("structurally fine");
         assert!(matches!(
             flow.validate_for_execution().unwrap_err(),
@@ -347,7 +342,8 @@ mod tests {
         flow.expand(perf).expect("ok");
         // SimulatorOptions (optional) was not included; still complete.
         assert!(flow.is_fully_expanded(perf).expect("live"));
-        flow.validate_for_execution().expect("complete without optional");
+        flow.validate_for_execution()
+            .expect("complete without optional");
     }
 
     #[test]

@@ -227,7 +227,15 @@ impl HistoryDb {
 
         let mut matches = Vec::new();
         let mut assignment: HashMap<NodeId, InstanceId> = HashMap::new();
-        self.search(flow, bindings, &order, 0, &mut assignment, &mut matches, limit)?;
+        self.search(
+            flow,
+            bindings,
+            &order,
+            0,
+            &mut assignment,
+            &mut matches,
+            limit,
+        )?;
         matches.sort();
         Ok(matches)
     }
@@ -276,11 +284,10 @@ impl HistoryDb {
         let entity = flow.entity_of(node)?;
 
         // Start from the binding or the whole family.
-        let mut candidates: Vec<InstanceId> =
-            match bindings.iter().find(|(n, _)| *n == node) {
-                Some(&(_, inst)) => vec![inst],
-                None => self.instances_of_family(entity),
-            };
+        let mut candidates: Vec<InstanceId> = match bindings.iter().find(|(n, _)| *n == node) {
+            Some(&(_, inst)) => vec![inst],
+            None => self.instances_of_family(entity),
+        };
 
         // Constrain by every already-assigned consumer.
         for edge in flow.consumers_of(node) {
@@ -303,11 +310,7 @@ impl HistoryDb {
         // node has a functional producer edge, primary instances cannot
         // match.
         if flow.is_expanded(node) {
-            candidates.retain(|&c| {
-                self.instance(c)
-                    .map(|i| !i.is_primary())
-                    .unwrap_or(false)
-            });
+            candidates.retain(|&c| self.instance(c).map(|i| !i.is_primary()).unwrap_or(false));
         }
         Ok(candidates)
     }
@@ -456,15 +459,9 @@ mod tests {
         let (schema, db, ids) = sample();
         let (sim, stim, c1, c2, p1) = (ids[1], ids[3], ids[6], ids[7], ids[8]);
         let perf_ty = schema.require("Performance").expect("known");
-        assert_eq!(
-            db.find_cached(perf_ty, Some(sim), &[c1, stim]),
-            Some(p1)
-        );
+        assert_eq!(db.find_cached(perf_ty, Some(sim), &[c1, stim]), Some(p1));
         // Input order is irrelevant.
-        assert_eq!(
-            db.find_cached(perf_ty, Some(sim), &[stim, c1]),
-            Some(p1)
-        );
+        assert_eq!(db.find_cached(perf_ty, Some(sim), &[stim, c1]), Some(p1));
         // Different inputs: p2, not p1.
         assert_eq!(
             db.find_cached(perf_ty, Some(sim), &[c2, stim]),

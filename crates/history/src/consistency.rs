@@ -37,10 +37,7 @@ impl HistoryDb {
         let forest = self.version_forest(entity)?;
         let mut best = id;
         for d in forest.descendants(id) {
-            if self
-                .created_at(d)?
-                .is_after(self.created_at(best)?)
-            {
+            if self.created_at(d)?.is_after(self.created_at(best)?) {
                 best = d;
             }
         }

@@ -233,9 +233,9 @@ impl HistoryDb {
     /// Returns the most recently created instance of the entity family,
     /// if any.
     pub fn latest_of_family(&self, entity: EntityTypeId) -> Option<InstanceId> {
-        self.instances_of_family(entity).into_iter().max_by_key(|&id| {
-            self.instances[id.index()].meta().created
-        })
+        self.instances_of_family(entity)
+            .into_iter()
+            .max_by_key(|&id| self.instances[id.index()].meta().created)
     }
 
     /// Returns the instances whose derivations directly reference `id`
@@ -303,11 +303,7 @@ impl HistoryDb {
     /// # Errors
     ///
     /// Returns [`HistoryError::TypeMismatch`] when it does not.
-    pub fn check_type(
-        &self,
-        id: InstanceId,
-        expected: EntityTypeId,
-    ) -> Result<(), HistoryError> {
+    pub fn check_type(&self, id: InstanceId, expected: EntityTypeId) -> Result<(), HistoryError> {
         let found = self.instance(id)?.entity();
         if self.schema.is_subtype_of(found, expected) {
             Ok(())
@@ -367,7 +363,10 @@ mod tests {
         let b = db
             .record_primary(stim_ty, Metadata::by("b"), b"2")
             .expect("ok");
-        assert!(db.created_at(b).expect("ok").is_after(db.created_at(a).expect("ok")));
+        assert!(db
+            .created_at(b)
+            .expect("ok")
+            .is_after(db.created_at(a).expect("ok")));
     }
 
     #[test]
@@ -454,7 +453,13 @@ mod tests {
                 Derivation::by_composition([dm, net]),
             )
             .expect("ok");
-        assert!(db.instance(cct).expect("present").derivation().expect("derived").tool.is_none());
+        assert!(db
+            .instance(cct)
+            .expect("present")
+            .derivation()
+            .expect("derived")
+            .tool
+            .is_none());
 
         // A tool on a composite is rejected.
         assert!(matches!(
@@ -577,7 +582,8 @@ mod tests {
         let (schema, mut db) = db();
         let stim_ty = schema.require("Stimuli").expect("known");
         for u in ["sutton", "jbb", "sutton", "director"] {
-            db.record_primary(stim_ty, Metadata::by(u), b"s").expect("ok");
+            db.record_primary(stim_ty, Metadata::by(u), b"s")
+                .expect("ok");
         }
         assert_eq!(db.users(), vec!["director", "jbb", "sutton"]);
     }

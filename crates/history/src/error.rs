@@ -35,7 +35,10 @@ pub enum HistoryError {
     SchemaMismatch,
     /// A template query bound a node to an instance of an incompatible
     /// entity type.
-    BindingTypeMismatch { node_entity: String, instance_entity: String },
+    BindingTypeMismatch {
+        node_entity: String,
+        instance_entity: String,
+    },
     /// A flow error surfaced while using a task graph as a template.
     Flow(hercules_flow::FlowError),
 }
@@ -126,8 +129,7 @@ mod tests {
         use std::error::Error as _;
         let e: HistoryError = SchemaError::UnknownEntity("X".into()).into();
         assert!(e.source().is_some());
-        let e: HistoryError =
-            hercules_flow::FlowError::Cycle.into();
+        let e: HistoryError = hercules_flow::FlowError::Cycle.into();
         assert!(e.source().is_some());
     }
 }

@@ -18,9 +18,7 @@ use crate::store::BlobHash;
 /// Identifier of an entity instance in one [`HistoryDb`].
 ///
 /// [`HistoryDb`]: crate::HistoryDb
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct InstanceId(pub(crate) u64);
 
 impl InstanceId {

@@ -68,10 +68,7 @@ impl HistorySpec {
                     name: m.name.clone(),
                     comment: m.comment.clone(),
                     keywords: m.keywords.clone(),
-                    data: i
-                        .data()
-                        .and_then(|h| db.store().get(h))
-                        .map(<[u8]>::to_vec),
+                    data: i.data().and_then(|h| db.store().get(h)).map(<[u8]>::to_vec),
                     tool: i.derivation().and_then(|d| d.tool).map(InstanceId::raw),
                     inputs: i
                         .derivation()

@@ -170,7 +170,9 @@ mod tests {
         let n1 = db
             .record_derived(
                 t("EditedNetlist"),
-                Metadata::by("jbb").named("Low pass filter").keyword("filter"),
+                Metadata::by("jbb")
+                    .named("Low pass filter")
+                    .keyword("filter"),
                 b"n1",
                 Derivation::by_tool(editor, []),
             )
@@ -241,7 +243,10 @@ mod tests {
     fn keyword_filters_conjunctively() {
         let (schema, db, ids) = db();
         let net = schema.require("Netlist").expect("known");
-        let hits = BrowserQuery::family(net).keyword("filter").run(&db).expect("ok");
+        let hits = BrowserQuery::family(net)
+            .keyword("filter")
+            .run(&db)
+            .expect("ok");
         assert_eq!(hits, vec![ids[1], ids[3]]);
         let hits = BrowserQuery::family(net)
             .keyword("filter")

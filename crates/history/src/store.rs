@@ -14,9 +14,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 /// Content hash of a stored blob (64-bit FNV-1a over the bytes).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct BlobHash(u64);
 
 impl BlobHash {
@@ -74,13 +72,10 @@ impl BlobStore {
     pub fn put(&mut self, bytes: &[u8]) -> BlobHash {
         let hash = BlobHash::of(bytes);
         self.logical_bytes += bytes.len() as u64;
-        let entry = self
-            .blobs
-            .entry(hash.0)
-            .or_insert_with(|| {
-                self.stored_bytes += bytes.len() as u64;
-                (bytes.to_vec(), 0)
-            });
+        let entry = self.blobs.entry(hash.0).or_insert_with(|| {
+            self.stored_bytes += bytes.len() as u64;
+            (bytes.to_vec(), 0)
+        });
         entry.1 += 1;
         hash
     }

@@ -229,7 +229,10 @@ mod tests {
         assert_eq!(forest.roots(), &[ids[1], ids[6]]);
         assert_eq!(forest.children(ids[2]), &[ids[3], ids[4]]);
         assert_eq!(forest.parent(ids[4]), Some(ids[2]));
-        assert_eq!(forest.descendants(ids[1]), vec![ids[2], ids[3], ids[4], ids[5]]);
+        assert_eq!(
+            forest.descendants(ids[1]),
+            vec![ids[2], ids[3], ids[4], ids[5]]
+        );
         assert_eq!(forest.depth(ids[5]), 3);
         assert_eq!(forest.members().len(), 6);
     }

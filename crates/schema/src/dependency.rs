@@ -13,9 +13,7 @@ use serde::{Deserialize, Serialize};
 use crate::entity::EntityTypeId;
 
 /// The label on a dependency arc.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum DepKind {
     /// `f`: the target entity is produced by running the source tool.
     Functional,

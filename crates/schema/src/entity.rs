@@ -27,9 +27,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// [`TaskSchema`]: crate::TaskSchema
 /// [`SchemaBuilder`]: crate::SchemaBuilder
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct EntityTypeId(pub(crate) u32);
 
 impl EntityTypeId {
@@ -59,9 +57,7 @@ impl fmt::Display for EntityTypeId {
 /// Functional dependencies must point at [`EntityKind::Tool`] entities;
 /// data dependencies may point at either kind, which is how "tools
 /// themselves may serve as data input to other tools" (§3.3).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum EntityKind {
     /// An executable design function (editor, simulator, extractor, …).
     Tool,

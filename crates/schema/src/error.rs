@@ -69,7 +69,10 @@ impl fmt::Display for SchemaError {
                 write!(f, "unknown entity type id {id}")
             }
             SchemaError::MultipleFunctionalDeps { entity } => {
-                write!(f, "entity `{entity}` has more than one functional dependency")
+                write!(
+                    f,
+                    "entity `{entity}` has more than one functional dependency"
+                )
             }
             SchemaError::FunctionalDepOnNonTool { entity, source } => write!(
                 f,

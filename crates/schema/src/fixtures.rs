@@ -309,10 +309,7 @@ mod tests {
         let netlist = s.require("Netlist").expect("present");
         assert_eq!(s.subtypes(netlist).len(), 3);
         // Netlist and Stimuli are shared, not duplicated.
-        assert_eq!(
-            s.entities().filter(|e| e.name() == "Stimuli").count(),
-            1
-        );
+        assert_eq!(s.entities().filter(|e| e.name() == "Stimuli").count(), 1);
     }
 
     #[test]

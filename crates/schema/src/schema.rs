@@ -238,9 +238,7 @@ impl TaskSchema {
         if self.functional_dep(id).is_some() || self.is_composite(id) {
             return true;
         }
-        self.subtypes(id)
-            .iter()
-            .any(|&s| self.is_constructible(s))
+        self.subtypes(id).iter().any(|&s| self.is_constructible(s))
     }
 
     /// Returns all tool entity ids (the tool catalog of §4.1).

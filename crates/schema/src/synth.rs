@@ -99,7 +99,8 @@ impl SynthConfig {
                 !(dep.is_functional() && name.starts_with("D1_"))
             });
         }
-        b.build().expect("synthetic schema is valid by construction")
+        b.build()
+            .expect("synthetic schema is valid by construction")
     }
 
     /// Returns the ids of the final (goal) layer entities of `schema`,

@@ -1,0 +1,105 @@
+//! Fault-tolerant execution: retries, watchdog deadlines, and
+//! partial-failure reporting, demonstrated by injecting faults into the
+//! Odyssey Placer.
+//!
+//! A flaky placer fails twice and lands on the third attempt under a
+//! retry policy; then a placer that panics outright fails one branch of
+//! the Fig. 6 verification flow while the disjoint editor branch still
+//! completes and commits — the report and the session event log carry
+//! the full audit trail.
+//!
+//! ```sh
+//! cargo run --release --example chaos_flow
+//! ```
+
+use hercules::exec::{FailurePolicy, FaultPlan, FaultyEncapsulation, RetryPolicy};
+use hercules::Session;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ------------------------------------------------------------------
+    // Act 1: a flaky tool recovers under retry.
+    // ------------------------------------------------------------------
+    let mut session = Session::odyssey("chaos");
+    let schema = session.schema().clone();
+    let placer = schema.require("Placer")?;
+    let real = session
+        .executor_mut()
+        .registry()
+        .lookup(&schema, placer)
+        .expect("placer registered")
+        .clone();
+    let flaky = FaultyEncapsulation::wrap(real.clone(), FaultPlan::FailTimes(2));
+    session
+        .executor_mut()
+        .registry_mut()
+        .register(placer, flaky.clone());
+    session.executor_mut().options_mut().retry = RetryPolicy::attempts(3);
+
+    let layout = session.start_from_goal("Layout")?;
+    let created = session.expand(layout)?; // placer, netlist, rules
+    let netlist = created[1];
+    session.specialize(netlist, "EditedNetlist")?;
+    session.expand(netlist)?; // editor
+    session.bind_latest()?;
+    let report = session.run()?.clone();
+    let record = report
+        .tasks
+        .iter()
+        .find(|t| t.outputs.contains(&layout))
+        .expect("placer subtask recorded");
+    println!(
+        "flaky placer: {} call(s), subtask took {} attempt(s) in {:?} — layout {}",
+        flaky.calls(),
+        record.attempts,
+        record.duration,
+        report.try_single(layout)?,
+    );
+
+    // ------------------------------------------------------------------
+    // Act 2: a panicking tool fails one Fig. 6 branch; the disjoint
+    // branch completes anyway.
+    // ------------------------------------------------------------------
+    let mut session = Session::odyssey("chaos");
+    session.executor_mut().registry_mut().register(
+        placer,
+        FaultyEncapsulation::wrap(real, FaultPlan::AlwaysPanic),
+    );
+    session.executor_mut().options_mut().failure = FailurePolicy::ContinueDisjoint;
+
+    let verification = session.start_from_goal("Verification")?;
+    let created = session.expand(verification)?;
+    let edited = created[1];
+    let extracted = created[2];
+    session.specialize(edited, "EditedNetlist")?;
+    session.expand(edited)?; // editor branch
+    let created = session.expand(extracted)?; // extractor, layout
+    let created = session.expand(created[1])?; // placer, netlist, rules
+    let placer_netlist = created[1];
+    session.specialize(placer_netlist, "EditedNetlist")?;
+    session.expand(placer_netlist)?; // a second editor run feeds the placer
+    session.bind_latest()?;
+
+    let report = session.run()?.clone();
+    println!(
+        "\npanicking placer under ContinueDisjoint: {} subtask(s), {} failed, {} skipped",
+        report.tasks.len(),
+        report.failed(),
+        report.skipped()
+    );
+    println!(
+        "  disjoint editor branch committed: {}",
+        report.try_single(edited)?
+    );
+    println!(
+        "  verification produced {} instance(s); first failure: {}",
+        report.instances_of(verification).len(),
+        report.first_error().expect("one failed")
+    );
+    for event in session.events() {
+        println!(
+            "  event `{}`: {} task(s), {} failed, {} skipped",
+            event.operation, event.tasks, event.failed, event.skipped
+        );
+    }
+    Ok(())
+}

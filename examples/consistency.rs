@@ -13,9 +13,7 @@ use hercules::{eda, history::Derivation, history::Metadata, Session};
 fn main() -> Result<(), hercules::HerculesError> {
     let mut session = Session::odyssey("jbb");
     let schema = session.schema().clone();
-    let editor_inst = session
-        .db()
-        .instances_of(schema.require("CircuitEditor")?)[0];
+    let editor_inst = session.db().instances_of(schema.require("CircuitEditor")?)[0];
 
     // Version 1 of the design.
     let v1 = session.db_mut().record_derived(

@@ -19,7 +19,11 @@ use std::sync::Arc;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let schema = Arc::new(schemas::fig1());
     let flow = fixtures::fig6(schema.clone())?;
-    println!("Fig. 6 flow: {} nodes, {} outputs", flow.len(), flow.outputs().len());
+    println!(
+        "Fig. 6 flow: {} nodes, {} outputs",
+        flow.len(),
+        flow.outputs().len()
+    );
     let verification = flow.outputs()[0];
     let inputs = flow.data_inputs_of(verification);
     println!(

@@ -93,10 +93,7 @@ fn main() -> Result<(), hercules::HerculesError> {
     }
     for input in &history.inputs {
         let name = session.db().instance(input.instance)?.meta().name.clone();
-        let entity = session
-            .db()
-            .instance(input.instance)?
-            .entity();
+        let entity = session.db().instance(input.instance)?.entity();
         println!(
             "d← {} ({})",
             if name.is_empty() {

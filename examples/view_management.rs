@@ -26,9 +26,7 @@ fn main() -> Result<(), hercules::HerculesError> {
     // Record the full adder as the design to manage.
     let mut session = Session::odyssey("jbb");
     let schema = session.schema().clone();
-    let editor_inst = session
-        .db()
-        .instances_of(schema.require("CircuitEditor")?)[0];
+    let editor_inst = session.db().instances_of(schema.require("CircuitEditor")?)[0];
     let netlist = session.db_mut().record_derived(
         schema.require("EditedNetlist")?,
         Metadata::by("jbb").named("full adder (transistor view)"),

@@ -20,11 +20,17 @@ fn finish_simulate_flow(session: &mut Session, perf: hercules::flow::NodeId) -> 
     let created = session.expand(circuit).expect("expands");
     let models = created[0];
     let netlist = created[1];
-    session.specialize(netlist, "EditedNetlist").expect("subtype");
+    session
+        .specialize(netlist, "EditedNetlist")
+        .expect("subtype");
     session.expand(netlist).expect("expands");
     session.expand(models).expect("expands");
 
-    let editor_node = session.flow().expect("flow").tool_of(netlist).expect("tool");
+    let editor_node = session
+        .flow()
+        .expect("flow")
+        .tool_of(netlist)
+        .expect("tool");
     let script = session
         .browse(editor_node)
         .expect("browses")
@@ -74,17 +80,12 @@ fn goal_tool_data_and_plan_based_agree() {
     // Data-based: start from an existing stimuli instance and expand
     // downward to the Performance that consumes it.
     let mut data_session = Session::odyssey("jbb");
-    let stimuli_entity = data_session
-        .schema()
-        .require("Stimuli")
-        .expect("known");
+    let stimuli_entity = data_session.schema().require("Stimuli").expect("known");
     let stim = data_session
         .db()
         .latest_of_family(stimuli_entity)
         .expect("seeded");
-    let stim_node = data_session
-        .start_from_data(stim)
-        .expect("starts");
+    let stim_node = data_session.start_from_data(stim).expect("starts");
     let (perf_node, _) = data_session
         .expand_down(stim_node, "Performance")
         .expect("expands down");
@@ -156,11 +157,17 @@ fn finish_continue(session: &mut Session, perf: hercules::flow::NodeId) -> Vec<u
     let created = session.expand(circuit).expect("expands");
     let models = created[0];
     let netlist = created[1];
-    session.specialize(netlist, "EditedNetlist").expect("subtype");
+    session
+        .specialize(netlist, "EditedNetlist")
+        .expect("subtype");
     session.expand(netlist).expect("expands");
     session.expand(models).expect("expands");
 
-    let editor_node = session.flow().expect("flow").tool_of(netlist).expect("tool");
+    let editor_node = session
+        .flow()
+        .expect("flow")
+        .tool_of(netlist)
+        .expect("tool");
     let script = session
         .browse(editor_node)
         .expect("browses")

@@ -17,13 +17,19 @@ fn simulate_adder() -> (
     let circuit = created[1];
     let created = session.expand(circuit).expect("expands");
     let netlist = created[1];
-    session.specialize(netlist, "EditedNetlist").expect("subtype");
+    session
+        .specialize(netlist, "EditedNetlist")
+        .expect("subtype");
     session.expand(netlist).expect("expands");
     let models = session.flow().expect("flow").data_inputs_of(circuit)[0];
     session.expand(models).expect("expands");
 
     // Select the full-adder editor script.
-    let editor_node = session.flow().expect("flow").tool_of(netlist).expect("tool");
+    let editor_node = session
+        .flow()
+        .expect("flow")
+        .tool_of(netlist)
+        .expect("tool");
     let script = session
         .browse(editor_node)
         .expect("browses")
@@ -63,7 +69,10 @@ fn history_menu_reveals_tool_and_inputs_one_level_at_a_time() {
         .meta()
         .name
         .clone();
-    assert!(tool_name.contains("hspice"), "simulator revealed: {tool_name}");
+    assert!(
+        tool_name.contains("hspice"),
+        "simulator revealed: {tool_name}"
+    );
     assert_eq!(level1.inputs.len(), 2, "circuit + stimuli revealed");
     // But the circuit's own derivation stays hidden at depth 1.
     assert!(level1.inputs[0].inputs.is_empty());

@@ -64,7 +64,10 @@ fn flow_trace_shows_the_tools_a_version_tree_loses() {
 
     // Flow trace of c5 (Fig. 11b): versions AND the editor.
     let trace = FlowTrace::backward(&db, &[ids[5]]).expect("builds");
-    assert!(trace.node_of(ids[0]).is_some(), "the editor is in the trace");
+    assert!(
+        trace.node_of(ids[0]).is_some(),
+        "the editor is in the trace"
+    );
     let text = trace.to_text(&db);
     assert!(text.contains("Cct E."), "tool shown per version");
 

@@ -33,11 +33,8 @@ fn fig5_executes_with_real_tools_and_three_outputs() {
     let placer = schema.require("Placer").expect("known");
     let layout_entity = schema.require("Layout").expect("known");
     let placer_inst = session.db().instances_of(placer)[0];
-    let layout = eda::place(
-        &eda::cells::full_adder(),
-        &eda::PlacementRules::default(),
-    )
-    .expect("places");
+    let layout =
+        eda::place(&eda::cells::full_adder(), &eda::PlacementRules::default()).expect("places");
     session
         .db_mut()
         .record_derived(
@@ -81,11 +78,7 @@ fn fig5_executes_with_real_tools_and_three_outputs() {
     let flow_ref = session.flow().expect("installed");
     for out in flow_ref.outputs() {
         let inst = report.single(out);
-        let entity = session
-            .db()
-            .instance(inst)
-            .expect("present")
-            .entity();
+        let entity = session.db().instance(inst).expect("present").entity();
         let name = schema.entity(entity).name().to_owned();
         let bytes = session
             .db()

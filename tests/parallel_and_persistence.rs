@@ -90,7 +90,9 @@ fn schema_and_catalog_persist_and_reload() {
     let mut session = Session::odyssey("tester");
     let layout = session.start_from_goal("Layout").expect("starts");
     session.expand(layout).expect("expands");
-    session.store_flow("place", "placement flow").expect("stores");
+    session
+        .store_flow("place", "placement flow")
+        .expect("stores");
 
     // Schema round trip.
     let schema_json = serde_json::to_string(session.schema().as_ref()).expect("serializes");

@@ -93,7 +93,9 @@ fn stored_flows_survive_schema_extension() {
 
     // The same stored flow instantiates against the extended schema.
     let new_schema = Arc::new(fig1_with_router());
-    let again = catalog.instantiate("fig5", new_schema).expect("instantiates");
+    let again = catalog
+        .instantiate("fig5", new_schema)
+        .expect("instantiates");
     assert_eq!(again.len(), flow.len());
 }
 

@@ -42,10 +42,7 @@ fn standard_cell_and_pla_branches_share_history() {
         .expect("records");
 
     // Both branches appear in the version forest under one root.
-    let forest = session
-        .db()
-        .version_forest(edited)
-        .expect("builds");
+    let forest = session.db().version_forest(edited).expect("builds");
     assert_eq!(forest.parent(as_pla), Some(std_cell));
 
     // Functional equivalence via the switch-level simulator: compile

@@ -51,7 +51,9 @@ fn full_scripted_session() {
     // History menu on the produced performance.
     let report = ui.session().last_report().expect("ran").clone();
     let perf = report.single(hercules::flow::NodeId::from_index(0));
-    let out = ui.execute(&format!("history i{}", perf.raw())).expect("chains");
+    let out = ui
+        .execute(&format!("history i{}", perf.raw()))
+        .expect("chains");
     assert!(out.contains("f←"), "tool revealed: {out}");
     assert!(out.contains("d←"), "inputs revealed: {out}");
 

@@ -1,0 +1,550 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace uses: the [`proptest!`] macro,
+//! [`Strategy`] with `prop_map`, [`prop_oneof!`], integer-range and
+//! tuple strategies, `prop::collection::{vec, btree_set}`,
+//! `prop::option::of`, `prop::bool::ANY`, and the `prop_assert*` /
+//! `prop_assume!` macros. Cases are generated from a generator seeded
+//! by the test name, so runs are fully deterministic; failing inputs
+//! are reported but **not shrunk**.
+
+use std::fmt;
+
+/// Deterministic case generator (SplitMix64 seeded from the test
+/// name).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Builds a generator whose stream is a pure function of `name`.
+    pub fn new(name: &str) -> TestRng {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { state: seed }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a value uniform in `[0, bound)`; `bound` must be > 0.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// A failed or rejected test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Runner configuration, honoured by the [`proptest!`] macro.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of random values of one type.
+///
+/// Object safe: `prop_oneof!` and `prop::collection` box strategies as
+/// `Box<dyn Strategy<Value = T>>`.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Boxes a strategy; used by [`prop_oneof!`] so type inference can
+/// unify the variants' value types.
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed alternatives, built by
+/// [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over non-empty `options`.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (u128::from(rng.next_u64()) % span) as i128;
+                (self.start as i128 + offset) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128 + 1) as u128;
+                let offset = (u128::from(rng.next_u64()) % span) as i128;
+                (start as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Strategy namespace mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use std::collections::BTreeSet;
+        use std::ops::Range;
+
+        /// Strategy for vectors with length drawn from `len`.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        /// Generates `Vec`s of `element` values, sized within `len`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            assert!(len.start < len.end, "empty length range");
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.len.end - self.len.start) as u64;
+                let n = self.len.start + rng.below(span) as usize;
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// Strategy for ordered sets with size drawn from `size`.
+        pub struct BTreeSetStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// Generates `BTreeSet`s of `element` values, sized within
+        /// `size` when the element domain allows it.
+        pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            assert!(size.start < size.end, "empty size range");
+            BTreeSetStrategy { element, size }
+        }
+
+        impl<S> Strategy for BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            type Value = BTreeSet<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+                let span = (self.size.end - self.size.start) as u64;
+                let target = self.size.start + rng.below(span) as usize;
+                let mut set = BTreeSet::new();
+                // Duplicates shrink the set below target; bound the
+                // attempts so narrow domains still terminate.
+                for _ in 0..target.saturating_mul(4) {
+                    if set.len() >= target {
+                        break;
+                    }
+                    set.insert(self.element.generate(rng));
+                }
+                set
+            }
+        }
+    }
+
+    /// Option strategies.
+    pub mod option {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy yielding `None` about a quarter of the time.
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        /// Wraps `inner`'s values in `Option`.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.below(4) == 0 {
+                    None
+                } else {
+                    Some(self.inner.generate(rng))
+                }
+            }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::{Strategy, TestRng};
+
+        /// Uniform boolean strategy.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// Uniformly random booleans.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 1
+            }
+        }
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not the
+/// process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Asserts two values differ inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let left = &$left;
+        let right = &$right;
+        if *left == *right {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+/// Skips the current case when the assumption does not hold.
+///
+/// The stub counts skipped cases as passes instead of re-drawing.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed($strategy)),+])
+    };
+}
+
+/// Defines deterministic property tests.
+///
+/// Supports the form used in this workspace: an optional
+/// `#![proptest_config(..)]` header followed by `#[test]` functions
+/// whose arguments are `ident in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_each! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_each! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_each {
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::TestRng::new(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(err) = outcome {
+                    panic!(
+                        "property {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        err
+                    );
+                }
+            }
+        }
+        $crate::__proptest_each! { ($config) $($rest)* }
+    };
+    (($config:expr)) => {};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = crate::TestRng::new("x");
+        let mut b = crate::TestRng::new("x");
+        let mut c = crate::TestRng::new("y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in 0u8..4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 4);
+        }
+
+        #[test]
+        fn vec_lengths_respect_bounds(v in prop::collection::vec(0u32..8, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            for x in &v {
+                prop_assert!(*x < 8);
+            }
+        }
+
+        #[test]
+        fn oneof_and_map_compose(op in prop_oneof![
+            (0usize..4).prop_map(|n| n * 2),
+            (0usize..4).prop_map(|n| n * 2 + 1),
+        ]) {
+            prop_assert!(op < 8);
+        }
+
+        #[test]
+        fn options_and_sets_generate(
+            o in prop::option::of(0u64..10),
+            s in prop::collection::btree_set(0u32..8, 0..8),
+            b in prop::bool::ANY,
+        ) {
+            if let Some(x) = o {
+                prop_assert!(x < 10);
+            }
+            prop_assert!(s.len() < 8);
+            prop_assume!(b || s.len() < 8);
+            prop_assert_eq!(s.iter().filter(|&&x| x < 8).count(), s.len());
+            prop_assert_ne!(10u64, 11u64);
+        }
+    }
+}

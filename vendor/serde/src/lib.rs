@@ -1,0 +1,459 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build container has no network access, so the workspace vendors a
+//! minimal serialization framework under the same crate name. It keeps
+//! the *surface* the workspace actually uses — `#[derive(Serialize,
+//! Deserialize)]` with the `default`, `skip_serializing_if`, `try_from`
+//! and `into` attributes — but simplifies the data model: values
+//! serialize into an owned JSON-like [`value::Value`] tree instead of
+//! driving a streaming `Serializer`. `serde_json` (also vendored)
+//! renders and parses that tree.
+
+pub use value::Value;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The JSON-like value tree all (de)serialization goes through.
+pub mod value {
+    /// An owned, JSON-shaped value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// JSON `null`.
+        Null,
+        /// JSON boolean.
+        Bool(bool),
+        /// Signed integer.
+        Int(i64),
+        /// Unsigned integer too large for `i64`.
+        UInt(u64),
+        /// Floating-point number.
+        Float(f64),
+        /// String.
+        Str(String),
+        /// Array.
+        Seq(Vec<Value>),
+        /// Object, in insertion order.
+        Map(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Looks up a key in a map value.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// A short name for error messages.
+        pub fn kind(&self) -> &'static str {
+            match self {
+                Value::Null => "null",
+                Value::Bool(_) => "bool",
+                Value::Int(_) | Value::UInt(_) => "integer",
+                Value::Float(_) => "number",
+                Value::Str(_) => "string",
+                Value::Seq(_) => "array",
+                Value::Map(_) => "object",
+            }
+        }
+    }
+}
+
+/// Deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl DeError {
+    /// Creates an error with a message.
+    pub fn custom(message: impl std::fmt::Display) -> DeError {
+        DeError {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+fn expected(what: &str, got: &Value) -> DeError {
+    DeError::custom(format!("expected {what}, found {}", got.kind()))
+}
+
+/// A type that can render itself into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the value tree.
+    fn serialize_value(&self) -> Value;
+}
+
+/// A type that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from the value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] on shape or type mismatches.
+    fn deserialize_value(value: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls.
+// ---------------------------------------------------------------------
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Int(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::custom("integer out of range")),
+                    Value::UInt(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::custom("integer out of range")),
+                    other => Err(expected("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Int(n) if *n >= 0 => <$t>::try_from(*n as u64)
+                        .map_err(|_| DeError::custom("integer out of range")),
+                    Value::UInt(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::custom("integer out of range")),
+                    other => Err(expected("unsigned integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Float(x) => Ok(*x),
+            Value::Int(n) => Ok(*n as f64),
+            Value::UInt(n) => Ok(*n as f64),
+            other => Err(expected("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        f64::deserialize_value(value).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            other => Err(expected("single-character string", other)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        T::deserialize_value(value).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Seq(items) => {
+                        let mut it = items.iter();
+                        let out = ($(
+                            $name::deserialize_value(
+                                it.next().ok_or_else(|| {
+                                    DeError::custom("tuple too short")
+                                })?,
+                            )?,
+                        )+);
+                        if it.next().is_some() {
+                            return Err(DeError::custom("tuple too long"));
+                        }
+                        Ok(out)
+                    }
+                    other => Err(expected("array", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Map keys: JSON objects only have string keys, so integer keys render
+/// through their decimal form (the behaviour of real `serde_json`).
+pub trait MapKey: Sized {
+    /// Renders the key.
+    fn to_key(&self) -> String;
+    /// Parses the key back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the text does not parse.
+    fn from_key(key: &str) -> Result<Self, DeError>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(key: &str) -> Result<Self, DeError> {
+        Ok(key.to_owned())
+    }
+}
+
+macro_rules! impl_int_key {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(key: &str) -> Result<Self, DeError> {
+                key.parse()
+                    .map_err(|_| DeError::custom("invalid integer map key"))
+            }
+        }
+    )*};
+}
+
+impl_int_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn serialize_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_key(), v.serialize_value()))
+            .collect();
+        // Deterministic output regardless of hash order.
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<K, V, S> Deserialize for std::collections::HashMap<K, V, S>
+where
+    K: MapKey + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::deserialize_value(v)?)))
+                .collect(),
+            other => Err(expected("object", other)),
+        }
+    }
+}
+
+impl<K: MapKey + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.serialize_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::deserialize_value(v)?)))
+                .collect(),
+            other => Err(expected("object", other)),
+        }
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(expected("array", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(42u64.serialize_value(), Value::UInt(42));
+        assert_eq!(u64::deserialize_value(&Value::UInt(42)).unwrap(), 42);
+        assert_eq!(
+            Option::<String>::deserialize_value(&Value::Null).unwrap(),
+            None
+        );
+        let v = vec![1u32, 2, 3];
+        assert_eq!(
+            Vec::<u32>::deserialize_value(&v.serialize_value()).unwrap(),
+            v
+        );
+    }
+
+    #[test]
+    fn integer_map_keys_stringify() {
+        let mut m: HashMap<u64, (Vec<u8>, usize)> = HashMap::new();
+        m.insert(7, (vec![1, 2], 3));
+        let v = m.serialize_value();
+        assert!(v.get("7").is_some());
+        let back = HashMap::<u64, (Vec<u8>, usize)>::deserialize_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+}

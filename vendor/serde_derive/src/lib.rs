@@ -1,0 +1,540 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored `serde` crate with a hand-rolled token parser (the real
+//! `syn`/`quote` stack is unavailable offline). Supported input shapes
+//! are exactly what this workspace uses:
+//!
+//! * named-field structs, with the field attributes
+//!   `#[serde(default)]` and `#[serde(skip_serializing_if = "path")]`
+//!   and the container attributes `#[serde(try_from = "Type")]` /
+//!   `#[serde(into = "Type")]`;
+//! * tuple structs (newtypes serialize transparently, wider tuples as
+//!   arrays);
+//! * enums with unit, tuple and struct variants (externally tagged,
+//!   like real serde).
+//!
+//! Generics are intentionally unsupported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Container- or field-level `#[serde(...)]` options.
+#[derive(Default, Clone)]
+struct SerdeOpts {
+    default: bool,
+    skip_serializing_if: Option<String>,
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+#[derive(Clone)]
+struct Field {
+    name: String,
+    ty: String,
+    opts: SerdeOpts,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+        opts: SerdeOpts,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Token-level parsing.
+// ---------------------------------------------------------------------
+
+type Tokens = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Consumes leading attributes, folding `#[serde(...)]` contents into
+/// one options struct (doc comments and other attrs are skipped).
+fn parse_attrs(tokens: &mut Tokens) -> SerdeOpts {
+    let mut opts = SerdeOpts::default();
+    while let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        tokens.next();
+        let Some(TokenTree::Group(group)) = tokens.next() else {
+            panic!("expected attribute body after `#`");
+        };
+        let mut inner = group.stream().into_iter();
+        match (inner.next(), inner.next()) {
+            (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+                if name.to_string() == "serde" =>
+            {
+                parse_serde_args(args.stream(), &mut opts);
+            }
+            _ => {} // doc comments, derives, lint attrs…
+        }
+    }
+    opts
+}
+
+/// Parses `default`, `skip_serializing_if = "…"`, `try_from = "…"`,
+/// `into = "…"` from one `serde(...)` argument list.
+fn parse_serde_args(stream: TokenStream, opts: &mut SerdeOpts) {
+    let mut tokens = stream.into_iter().peekable();
+    while let Some(token) = tokens.next() {
+        let TokenTree::Ident(key) = token else {
+            continue;
+        };
+        let key = key.to_string();
+        let mut value = None;
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '=' {
+                tokens.next();
+                if let Some(TokenTree::Literal(lit)) = tokens.next() {
+                    let text = lit.to_string();
+                    value = Some(text.trim_matches('"').to_owned());
+                }
+            }
+        }
+        match key.as_str() {
+            "default" => opts.default = true,
+            "skip_serializing_if" => opts.skip_serializing_if = value,
+            "try_from" => opts.try_from = value,
+            "into" => opts.into = value,
+            other => panic!("unsupported serde attribute `{other}` (vendored serde_derive)"),
+        }
+    }
+}
+
+/// Skips `pub` / `pub(crate)` visibility if present.
+fn skip_visibility(tokens: &mut Tokens) {
+    if let Some(TokenTree::Ident(id)) = tokens.peek() {
+        if id.to_string() == "pub" {
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    tokens.next();
+                }
+            }
+        }
+    }
+}
+
+/// Collects a type's tokens up to a top-level `,` (respecting `<>`
+/// nesting) and renders them back to source text.
+fn parse_type(tokens: &mut Tokens) -> String {
+    let mut depth = 0i32;
+    let mut out = String::new();
+    while let Some(token) = tokens.peek() {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => break,
+                _ => {}
+            }
+        }
+        out.push_str(&tokens.next().expect("peeked").to_string());
+        out.push(' ');
+    }
+    out
+}
+
+/// Parses the named fields of a brace group.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let opts = parse_attrs(&mut tokens);
+        skip_visibility(&mut tokens);
+        let Some(TokenTree::Ident(name)) = tokens.next() else {
+            break;
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        let ty = parse_type(&mut tokens);
+        fields.push(Field {
+            name: name.to_string(),
+            ty,
+            opts,
+        });
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            _ => break,
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple group (`(pub(crate) u32, …)`).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut tokens = stream.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        parse_attrs(&mut tokens);
+        skip_visibility(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        parse_type(&mut tokens);
+        count += 1;
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            _ => break,
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        parse_attrs(&mut tokens);
+        let Some(TokenTree::Ident(name)) = tokens.next() else {
+            break;
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantShape::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantShape::Tuple(arity)
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push(Variant {
+            name: name.to_string(),
+            shape,
+        });
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            _ => break,
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    let opts = parse_attrs(&mut tokens);
+    skip_visibility(&mut tokens);
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive does not support generic types (`{name}`)");
+        }
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+                opts,
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            other => panic!("unsupported struct shape for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("expected enum body for `{name}`, got {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}`"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Code generation (source text, reparsed into a TokenStream).
+// ---------------------------------------------------------------------
+
+fn serialize_named_fields(fields: &[Field], access: &str) -> String {
+    let mut body = String::from(
+        "let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for f in fields {
+        let push = format!(
+            "entries.push((\"{n}\".to_string(), \
+             ::serde::Serialize::serialize_value({access}{n})));\n",
+            n = f.name,
+        );
+        match &f.opts.skip_serializing_if {
+            Some(path) => {
+                body.push_str(&format!(
+                    "if !({path})({access}{n}) {{ {push} }}\n",
+                    n = f.name,
+                ));
+            }
+            None => body.push_str(&push),
+        }
+    }
+    body.push_str("::serde::Value::Map(entries)\n");
+    body
+}
+
+fn deserialize_named_fields(fields: &[Field], container: &str, ctor: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let missing = if f.opts.default {
+            "::core::default::Default::default()".to_owned()
+        } else {
+            format!(
+                "return ::core::result::Result::Err(::serde::DeError::custom(\
+                 \"missing field `{n}` in `{container}`\"))",
+                n = f.name,
+            )
+        };
+        inits.push_str(&format!(
+            "{n}: match value.get(\"{n}\") {{\n\
+             Some(v) => <{ty} as ::serde::Deserialize>::deserialize_value(v)?,\n\
+             None => {missing},\n\
+             }},\n",
+            n = f.name,
+            ty = f.ty,
+        ));
+    }
+    format!(
+        "match value {{\n\
+         ::serde::Value::Map(_) => ::core::result::Result::Ok({ctor} {{ {inits} }}),\n\
+         other => ::core::result::Result::Err(::serde::DeError::custom(format!(\
+         \"expected object for `{container}`, found {{}}\", other.kind()))),\n\
+         }}"
+    )
+}
+
+fn generate_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields, opts } => {
+            let body = if let Some(into) = &opts.into {
+                format!(
+                    "let via: {into} = ::core::convert::Into::into(\
+                     ::core::clone::Clone::clone(self));\n\
+                     ::serde::Serialize::serialize_value(&via)"
+                )
+            } else {
+                serialize_named_fields(fields, "&self.")
+            };
+            impl_serialize(name, &body)
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::serialize_value(&self.0)".to_owned()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+            };
+            impl_serialize(name, &body)
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(f0) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                         ::serde::Serialize::serialize_value(f0))]),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::Value::Map(vec![(\
+                             \"{vn}\".to_string(), ::serde::Value::Seq(vec![{items}]))]),\n",
+                            binds = binds.join(", "),
+                            items = items.join(", "),
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let inner = serialize_named_fields(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\nlet inner = {{ {inner} }};\n\
+                             ::serde::Value::Map(vec![(\"{vn}\".to_string(), inner)])\n}}\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                }
+            }
+            impl_serialize(name, &format!("match self {{\n{arms}\n}}"))
+        }
+    }
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(value: &::serde::Value) \
+         -> ::core::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields, opts } => {
+            let body = if let Some(try_from) = &opts.try_from {
+                format!(
+                    "let via = <{try_from} as ::serde::Deserialize>::deserialize_value(value)?;\n\
+                     ::core::convert::TryFrom::try_from(via)\
+                     .map_err(::serde::DeError::custom)"
+                )
+            } else {
+                deserialize_named_fields(fields, name, name)
+            };
+            impl_deserialize(name, &body)
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!(
+                    "::core::result::Result::Ok({name}(\
+                     ::serde::Deserialize::deserialize_value(value)?))"
+                )
+            } else {
+                let mut fields = String::new();
+                for i in 0..*arity {
+                    fields.push_str(&format!(
+                        "::serde::Deserialize::deserialize_value(\
+                         items.get({i}).ok_or_else(|| ::serde::DeError::custom(\
+                         \"tuple struct `{name}` too short\"))?)?,\n"
+                    ));
+                }
+                format!(
+                    "match value {{\n\
+                     ::serde::Value::Seq(items) => \
+                     ::core::result::Result::Ok({name}({fields})),\n\
+                     other => ::core::result::Result::Err(::serde::DeError::custom(\
+                     format!(\"expected array for `{name}`, found {{}}\", other.kind()))),\n\
+                     }}"
+                )
+            };
+            impl_deserialize(name, &body)
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantShape::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::deserialize_value(inner)?)),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let mut items = String::new();
+                        for i in 0..*n {
+                            items.push_str(&format!(
+                                "::serde::Deserialize::deserialize_value(\
+                                 items.get({i}).ok_or_else(|| ::serde::DeError::custom(\
+                                 \"variant `{vn}` too short\"))?)?,\n"
+                            ));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => match inner {{\n\
+                             ::serde::Value::Seq(items) => \
+                             ::core::result::Result::Ok({name}::{vn}({items})),\n\
+                             other => ::core::result::Result::Err(::serde::DeError::custom(\
+                             format!(\"expected array for variant `{vn}`, found {{}}\", \
+                             other.kind()))),\n}},\n"
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let inner_match = deserialize_named_fields(
+                            fields,
+                            &format!("{name}::{vn}"),
+                            &format!("{name}::{vn}"),
+                        )
+                        .replace("match value {", "match inner {")
+                        .replace("value.get(", "inner.get(");
+                        tagged_arms.push_str(&format!("\"{vn}\" => {inner_match},\n"));
+                    }
+                }
+            }
+            let body = format!(
+                "match value {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n{unit_arms}\n\
+                 other => ::core::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"unknown variant `{{other}}` of `{name}`\"))),\n}},\n\
+                 ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 let (tag, inner) = &entries[0];\n\
+                 match tag.as_str() {{\n{tagged_arms}\n\
+                 other => ::core::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"unknown variant `{{other}}` of `{name}`\"))),\n}}\n}},\n\
+                 other => ::core::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"expected variant of `{name}`, found {{}}\", other.kind()))),\n\
+                 }}"
+            );
+            impl_deserialize(name, &body)
+        }
+    }
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
