@@ -22,6 +22,12 @@ pub enum HerculesError {
     NoActiveFlow,
     /// A UI command could not be parsed.
     BadCommand { input: String, reason: String },
+    /// Durable-store failure (I/O, corruption beyond recovery, or no
+    /// workspace attached).
+    Store { message: String },
+    /// `resume` was requested but there is no failed execution to pick
+    /// up.
+    NothingToResume { reason: String },
 }
 
 impl fmt::Display for HerculesError {
@@ -37,6 +43,10 @@ impl fmt::Display for HerculesError {
             }
             HerculesError::BadCommand { input, reason } => {
                 write!(f, "cannot parse command `{input}`: {reason}")
+            }
+            HerculesError::Store { message } => write!(f, "store: {message}"),
+            HerculesError::NothingToResume { reason } => {
+                write!(f, "nothing to resume: {reason}")
             }
         }
     }

@@ -69,12 +69,14 @@ mod session;
 pub mod catalog;
 pub mod encaps;
 pub mod setup;
+pub mod store;
 pub mod ui;
 pub mod views;
 
 pub use error::HerculesError;
-pub use persist::SessionSpec;
+pub use persist::{ExecReportSpec, FlowOp, SessionSpec, TaskActionSpec, TaskRecordSpec};
 pub use session::{Approach, ExecEvent, Session};
+pub use store::{JournalOp, RecoveryReport, StoreError, Workspace};
 
 // Re-export the substrate crates so downstream users need only one
 // dependency.

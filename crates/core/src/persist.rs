@@ -1,23 +1,281 @@
-//! Whole-session persistence: schema, history and flow catalog bundled
-//! into one serializable document.
+//! Whole-session persistence: schema, history, flow catalog, the flow
+//! under construction, bindings, event log and last execution report
+//! bundled into one serializable document.
 //!
 //! The Odyssey framework kept all of this in its database; here a
 //! [`SessionSpec`] is the JSON equivalent. Loading re-validates the
-//! schema, replays the history through the checked entry points, and
-//! re-attaches the tool registry (code cannot be serialized — the
-//! caller supplies the encapsulations, usually
+//! schema, replays the history through the checked entry points,
+//! replays the flow-construction tape through the normal [`Session`]
+//! methods, and re-attaches the tool registry (code cannot be
+//! serialized — the caller supplies the encapsulations, usually
 //! [`encaps::odyssey_registry`](crate::encaps::odyssey_registry)).
+//!
+//! # Why a construction tape?
+//!
+//! [`hercules_flow::FlowSpec`] compacts tombstones away, so capturing a
+//! mid-construction flow structurally would renumber node ids and break
+//! every persisted reference to them (bindings, journal frames, task
+//! records). Instead the session records the operations that built the
+//! flow — the [`FlowOp`] tape — and a restore replays them, reproducing
+//! the exact node ids including any tombstones left by `unexpand`.
 
 use std::sync::Arc;
+use std::time::Duration;
 
-use hercules_exec::EncapsulationRegistry;
-use hercules_flow::FlowCatalog;
-use hercules_history::HistorySpec;
-use hercules_schema::SchemaSpec;
+use hercules_exec::{
+    Binding, EncapsulationRegistry, ExecError, ExecReport, TaskAction, TaskRecord,
+};
+use hercules_flow::{Expansion, FlowCatalog, FlowSpec, NodeId};
+use hercules_history::{HistorySpec, InstanceId};
+use hercules_schema::{SchemaSpec, TaskSchema};
 use serde::{Deserialize, Serialize};
 
 use crate::error::HerculesError;
-use crate::session::Session;
+use crate::session::{ExecEvent, Session};
+
+/// One recorded flow-construction step (the session's tape).
+///
+/// Node references are raw [`NodeId`] indexes, valid because replay
+/// reproduces ids deterministically — tombstones included.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FlowOp {
+    /// Seed one entity (goal-, tool-, and data-based starts).
+    Seed {
+        /// Entity type name.
+        entity: String,
+    },
+    /// Install an externally built flow (plan-based starts, view flows).
+    /// The structure is captured at install time so later catalog edits
+    /// cannot change what replay rebuilds.
+    Install {
+        /// The installed flow's structure.
+        spec: FlowSpec,
+    },
+    /// Expand a node, with the [`Expansion`] options by entity name.
+    Expand {
+        /// Target node index.
+        node: usize,
+        /// Optional dependencies included, by source entity name.
+        optional: Vec<String>,
+        /// Explicit node reuse: (source entity name, reused node index).
+        reuse: Vec<(String, usize)>,
+        /// Whether opportunistic reuse of compatible nodes was enabled.
+        reuse_existing: bool,
+    },
+    /// Expand downward towards a consumer entity.
+    ExpandDown {
+        /// Source node index.
+        node: usize,
+        /// Consumer entity name.
+        consumer: String,
+    },
+    /// Expand everything reachable from a node.
+    ExpandAll {
+        /// Root node index.
+        node: usize,
+    },
+    /// Specialize an abstract node to a subtype.
+    Specialize {
+        /// Target node index.
+        node: usize,
+        /// Subtype entity name.
+        subtype: String,
+    },
+    /// Unexpand a node (leaves tombstones — the reason this tape
+    /// exists).
+    Unexpand {
+        /// Target node index.
+        node: usize,
+    },
+}
+
+impl FlowOp {
+    /// Replays this step through the session's normal methods (which
+    /// re-record it on the session's own tape).
+    ///
+    /// # Errors
+    ///
+    /// The same validation errors the original operation could raise;
+    /// on a faithfully persisted tape these indicate corruption.
+    pub fn replay(&self, session: &mut Session) -> Result<(), HerculesError> {
+        match self {
+            FlowOp::Seed { entity } => {
+                session.start_from_goal(entity)?;
+            }
+            FlowOp::Install { spec } => {
+                let flow = spec.instantiate(session.schema().clone())?;
+                session.install_flow(flow);
+            }
+            FlowOp::Expand {
+                node,
+                optional,
+                reuse,
+                reuse_existing,
+            } => {
+                let schema = session.schema().clone();
+                let mut options = Expansion::new();
+                for name in optional {
+                    options = options.with_optional(schema.require(name)?);
+                }
+                for (name, reused) in reuse {
+                    options = options.reusing(schema.require(name)?, NodeId::from_index(*reused));
+                }
+                if *reuse_existing {
+                    options = options.reuse_existing();
+                }
+                session.expand_with(NodeId::from_index(*node), &options)?;
+            }
+            FlowOp::ExpandDown { node, consumer } => {
+                session.expand_down(NodeId::from_index(*node), consumer)?;
+            }
+            FlowOp::ExpandAll { node } => {
+                session.expand_all(NodeId::from_index(*node))?;
+            }
+            FlowOp::Specialize { node, subtype } => {
+                session.specialize(NodeId::from_index(*node), subtype)?;
+            }
+            FlowOp::Unexpand { node } => {
+                session.unexpand(NodeId::from_index(*node))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Serializable form of one [`TaskAction`]. Failures are persisted as
+/// rendered text and restored as [`ExecError::Restored`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskActionSpec {
+    /// The tool ran this many times.
+    Ran {
+        /// Number of tool invocations.
+        runs: usize,
+    },
+    /// Served entirely from cache.
+    Cached,
+    /// Failed permanently; the error rendered to text.
+    Failed {
+        /// Rendered error message.
+        error: String,
+    },
+    /// Skipped because something upstream failed.
+    Skipped,
+}
+
+impl TaskActionSpec {
+    fn of(action: &TaskAction) -> TaskActionSpec {
+        match action {
+            TaskAction::Ran { runs } => TaskActionSpec::Ran { runs: *runs },
+            TaskAction::Cached => TaskActionSpec::Cached,
+            TaskAction::Failed { error } => TaskActionSpec::Failed {
+                error: error.to_string(),
+            },
+            TaskAction::Skipped => TaskActionSpec::Skipped,
+        }
+    }
+
+    fn restore(&self) -> TaskAction {
+        match self {
+            TaskActionSpec::Ran { runs } => TaskAction::Ran { runs: *runs },
+            TaskActionSpec::Cached => TaskAction::Cached,
+            TaskActionSpec::Failed { error } => TaskAction::Failed {
+                error: ExecError::Restored {
+                    message: error.clone(),
+                },
+            },
+            TaskActionSpec::Skipped => TaskAction::Skipped,
+        }
+    }
+}
+
+/// Serializable form of one [`TaskRecord`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskRecordSpec {
+    /// Output node indexes of the subtask.
+    pub outputs: Vec<usize>,
+    /// What happened.
+    pub action: TaskActionSpec,
+    /// Largest number of attempts any invocation needed.
+    pub attempts: u32,
+    /// Wall-clock duration, in milliseconds.
+    pub duration_ms: u64,
+}
+
+impl TaskRecordSpec {
+    fn of(record: &TaskRecord) -> TaskRecordSpec {
+        TaskRecordSpec {
+            outputs: record.outputs.iter().map(|n| n.index()).collect(),
+            action: TaskActionSpec::of(&record.action),
+            attempts: record.attempts,
+            duration_ms: record.duration.as_millis() as u64,
+        }
+    }
+
+    fn restore(&self) -> TaskRecord {
+        TaskRecord {
+            outputs: self
+                .outputs
+                .iter()
+                .map(|&i| NodeId::from_index(i))
+                .collect(),
+            action: self.action.restore(),
+            attempts: self.attempts,
+            duration: Duration::from_millis(self.duration_ms),
+        }
+    }
+}
+
+/// Serializable form of an [`ExecReport`]: produced instances per node
+/// (extensionally, by raw id) plus the subtask records.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecReportSpec {
+    /// `(node index, instance raw ids)` pairs, sorted by node.
+    pub produced: Vec<(usize, Vec<u64>)>,
+    /// Subtask records in execution order.
+    pub tasks: Vec<TaskRecordSpec>,
+}
+
+impl ExecReportSpec {
+    /// Captures a report.
+    pub fn from_report(report: &ExecReport) -> ExecReportSpec {
+        let mut produced: Vec<(usize, Vec<u64>)> = report
+            .produced()
+            .map(|(node, instances)| {
+                (
+                    node.index(),
+                    instances.iter().map(|i| i.raw()).collect::<Vec<u64>>(),
+                )
+            })
+            .collect();
+        produced.sort();
+        ExecReportSpec {
+            produced,
+            tasks: report.tasks.iter().map(TaskRecordSpec::of).collect(),
+        }
+    }
+
+    /// Reconstructs the report. Failure records come back as
+    /// [`ExecError::Restored`]; durations are millisecond-truncated.
+    pub fn restore(&self) -> ExecReport {
+        let produced = self
+            .produced
+            .iter()
+            .map(|(node, instances)| {
+                (
+                    NodeId::from_index(*node),
+                    instances
+                        .iter()
+                        .map(|&raw| InstanceId::from_raw(raw))
+                        .collect(),
+                )
+            })
+            .collect();
+        ExecReport::from_parts(
+            produced,
+            self.tasks.iter().map(TaskRecordSpec::restore).collect(),
+        )
+    }
+}
 
 /// A complete serializable snapshot of a session's durable state.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -30,6 +288,20 @@ pub struct SessionSpec {
     pub catalog: FlowCatalog,
     /// The user the session belonged to.
     pub user: String,
+    /// The flow under construction, as its construction tape.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub flow_ops: Vec<FlowOp>,
+    /// Leaf bindings, extensionally: `(node index, instance raw ids)`.
+    /// Extensional because `bind_latest` depends on database state.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub binding: Vec<(usize, Vec<u64>)>,
+    /// The execution event log.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub events: Vec<ExecEvent>,
+    /// The last execution report, enabling [`Session::resume`] after a
+    /// restore.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub last_exec: Option<ExecReportSpec>,
 }
 
 impl SessionSpec {
@@ -40,6 +312,19 @@ impl SessionSpec {
             history: HistorySpec::from_db(session.db()),
             catalog: session.catalog().clone(),
             user: session.user().to_owned(),
+            flow_ops: session.flow_ops().to_vec(),
+            binding: session
+                .binding()
+                .iter()
+                .map(|(node, instances)| {
+                    (
+                        node.index(),
+                        instances.iter().map(|i| i.raw()).collect::<Vec<u64>>(),
+                    )
+                })
+                .collect(),
+            events: session.events().to_vec(),
+            last_exec: session.last_report().map(ExecReportSpec::from_report),
         }
     }
 
@@ -47,26 +332,58 @@ impl SessionSpec {
     ///
     /// # Errors
     ///
-    /// Returns schema/history errors for corrupt documents.
+    /// Returns schema/history/flow errors for corrupt documents.
     pub fn restore(&self, registry: EncapsulationRegistry) -> Result<Session, HerculesError> {
+        self.restore_with(|_| registry)
+    }
+
+    /// Restores a session, building the tool registry from the restored
+    /// schema — the form needed when opening from disk, where no schema
+    /// exists until this document is loaded.
+    ///
+    /// # Errors
+    ///
+    /// Returns schema/history/flow errors for corrupt documents.
+    pub fn restore_with<F>(&self, registry_for: F) -> Result<Session, HerculesError>
+    where
+        F: FnOnce(&Arc<TaskSchema>) -> EncapsulationRegistry,
+    {
         let schema = Arc::new(self.schema.build()?);
+        let registry = registry_for(&schema);
         let mut session = Session::new(schema.clone(), registry, &self.user);
         *session.db_mut() = self.history.load(schema)?;
         *session.catalog_mut() = self.catalog.clone();
+        for op in &self.flow_ops {
+            op.replay(&mut session)?;
+        }
+        let mut binding = Binding::new();
+        for (node, instances) in &self.binding {
+            let ids: Vec<InstanceId> = instances
+                .iter()
+                .map(|&raw| InstanceId::from_raw(raw))
+                .collect();
+            binding.bind_many(NodeId::from_index(*node), &ids);
+        }
+        session.set_binding(binding);
+        session.set_events(self.events.clone());
+        session.set_last_report(self.last_exec.as_ref().map(ExecReportSpec::restore));
         Ok(session)
     }
 
     /// Serializes to JSON.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("session spec serializes")
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying serializer error instead of panicking.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
     }
 
     /// Deserializes from JSON.
     ///
     /// # Errors
     ///
-    /// Returns a parse error wrapped as [`HerculesError::BadCommand`]
-    /// style schema error for malformed documents.
+    /// Returns a parse error for malformed documents.
     pub fn from_json(json: &str) -> Result<SessionSpec, serde_json::Error> {
         serde_json::from_str(json)
     }
@@ -95,7 +412,7 @@ mod tests {
             .expect("stores");
 
         let spec = SessionSpec::from_session(&session);
-        let json = spec.to_json();
+        let json = spec.to_json().expect("serializes");
         let back = SessionSpec::from_json(&json).expect("parses");
         assert_eq!(back, spec);
 
@@ -105,6 +422,21 @@ mod tests {
         assert_eq!(restored.db().len(), session.db().len());
         assert_eq!(restored.user(), "jbb");
         assert_eq!(restored.catalog().names(), vec!["place-flow"]);
+
+        // The in-progress flow, binding, events and last report all
+        // survived — the restored session IS the captured one.
+        assert_eq!(
+            restored.flow().expect("flow").len(),
+            session.flow().expect("flow").len()
+        );
+        assert_eq!(restored.binding(), session.binding());
+        assert_eq!(restored.events(), session.events());
+        assert!(restored.last_report().expect("report").is_complete());
+        assert_eq!(
+            SessionSpec::from_session(&restored),
+            spec,
+            "re-capturing the restored session reproduces the document"
+        );
 
         // The restored session is fully operational: replay the stored
         // flow and run it against the restored history.
@@ -117,6 +449,82 @@ mod tests {
     }
 
     #[test]
+    fn tombstoned_flow_round_trips_with_stable_node_ids() {
+        let mut session = Session::odyssey("jbb");
+        let layout = session.start_from_goal("Layout").expect("starts");
+        session.expand(layout).expect("expands"); // n1..n3
+        session.unexpand(layout).expect("unexpands"); // tombstones n1..n3
+        let perf = session.start_from_goal("Performance").expect("seeds");
+        assert_eq!(perf.index(), 4, "allocated after the tombstones");
+        session.expand(perf).expect("expands");
+        session.bind_latest().expect("binds");
+
+        let spec = SessionSpec::from_session(&session);
+        let restored = spec
+            .restore(odyssey_registry(session.schema()))
+            .expect("restores");
+        // Same node ids — including the gap left by the tombstones.
+        let live: Vec<usize> = restored
+            .flow()
+            .expect("flow")
+            .node_ids()
+            .map(|n| n.index())
+            .collect();
+        let original: Vec<usize> = session
+            .flow()
+            .expect("flow")
+            .node_ids()
+            .map(|n| n.index())
+            .collect();
+        assert_eq!(live, original);
+        assert_eq!(restored.binding(), session.binding());
+    }
+
+    #[test]
+    fn partial_failure_report_survives_restore() {
+        use hercules_exec::{FailurePolicy, FaultPlan, FaultyEncapsulation};
+
+        let mut session = Session::odyssey("jbb");
+        session.executor_mut().options_mut().failure = FailurePolicy::ContinueDisjoint;
+        // Make the placer fail so the report carries Failed + Skipped.
+        let schema = session.schema().clone();
+        let placer = schema.require("Placer").expect("known");
+        let inner = session
+            .executor_mut()
+            .registry()
+            .lookup(&schema, placer)
+            .expect("registered")
+            .clone();
+        session.executor_mut().registry_mut().register(
+            placer,
+            FaultyEncapsulation::wrap(inner, FaultPlan::AlwaysPanic),
+        );
+
+        let layout = session.start_from_goal("Layout").expect("starts");
+        session.expand(layout).expect("expands");
+        let netlist = session.flow().expect("flow").data_inputs_of(layout)[0];
+        session.specialize(netlist, "EditedNetlist").expect("ok");
+        session.expand(netlist).expect("expands");
+        session.bind_latest().expect("binds");
+        session.run().expect("continues past the failure");
+        assert!(!session.last_report().expect("report").is_complete());
+
+        let spec = SessionSpec::from_session(&session);
+        let restored = spec
+            .restore(odyssey_registry(session.schema()))
+            .expect("restores");
+        let report = restored.last_report().expect("report restored");
+        assert!(!report.is_complete());
+        assert_eq!(report.failed(), session.last_report().unwrap().failed());
+        let restored_error = report.first_error().expect("failure kept");
+        assert!(
+            matches!(restored_error, ExecError::Restored { .. }),
+            "{restored_error:?}"
+        );
+        assert!(restored_error.to_string().contains("injected"));
+    }
+
+    #[test]
     fn corrupt_documents_are_rejected() {
         assert!(SessionSpec::from_json("{").is_err());
         let spec = SessionSpec {
@@ -124,9 +532,20 @@ mod tests {
             history: HistorySpec::default(),
             catalog: FlowCatalog::new(),
             user: "x".into(),
+            flow_ops: Vec::new(),
+            binding: Vec::new(),
+            events: Vec::new(),
+            last_exec: None,
         };
         // Empty schema loads fine; history referencing unknown entities
         // would not.
         assert!(spec.restore(EncapsulationRegistry::new()).is_ok());
+
+        // A tape referencing an unknown entity is rejected on restore.
+        let mut bad = spec;
+        bad.flow_ops.push(FlowOp::Seed {
+            entity: "Ghost".into(),
+        });
+        assert!(bad.restore(EncapsulationRegistry::new()).is_err());
     }
 }

@@ -4,19 +4,21 @@
 use std::sync::Arc;
 
 use hercules_exec::{Binding, EncapsulationRegistry, ExecReport, Executor, TaskAction};
-use hercules_flow::{Expansion, FlowCatalog, NodeId, TaskGraph};
+use hercules_flow::{Expansion, FlowCatalog, FlowSpec, NodeId, TaskGraph};
 use hercules_history::{DerivationTree, HistoryDb, InstanceId};
 use hercules_schema::{EntityTypeId, TaskSchema};
+use serde::{Deserialize, Serialize};
 
 use crate::error::HerculesError;
+use crate::persist::FlowOp;
 
 /// One entry in the session's execution event log: what an execution
-/// (run, subflow run, or retrace) did, including failures and skips —
-/// the audit trail of the fault-tolerant engine.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// (run, subflow run, retrace, or resume) did, including failures and
+/// skips — the audit trail of the fault-tolerant engine.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ExecEvent {
-    /// What triggered the execution: `run`, `run-subflow`, or
-    /// `retrace`.
+    /// What triggered the execution: `run`, `run-subflow`, `retrace`,
+    /// or `resume`.
     pub operation: String,
     /// Subtasks the execution touched (including failed and skipped).
     pub tasks: usize,
@@ -114,6 +116,12 @@ pub struct Session {
     executor: Executor,
     catalog: FlowCatalog,
     flow: Option<TaskGraph>,
+    /// Flow-construction tape: the operations that built `flow`, in
+    /// order. [`FlowSpec`] compacts tombstones away, so the flow under
+    /// construction is persisted as this tape instead — replaying it
+    /// reproduces the exact node ids (including tombstones) that the
+    /// binding and journal refer to.
+    tape: Vec<FlowOp>,
     binding: Binding,
     user: String,
     last_report: Option<ExecReport>,
@@ -133,6 +141,7 @@ impl Session {
             executor,
             catalog: FlowCatalog::new(),
             flow: None,
+            tape: Vec::new(),
             binding: Binding::new(),
             user: user.to_owned(),
             last_report: None,
@@ -196,15 +205,17 @@ impl Session {
         self.flow.as_mut().ok_or(HerculesError::NoActiveFlow)
     }
 
-    /// Direct access to the flow slot, for installing externally built
-    /// flows (view-management fixtures, recalled traces).
-    pub(crate) fn flow_slot(&mut self) -> &mut Option<TaskGraph> {
-        &mut self.flow
-    }
-
     /// Installs an externally built flow (e.g. a recalled trace or a
     /// Fig. 8 fixture), clearing previous bindings.
+    ///
+    /// Persistence caveat: the construction tape records the installed
+    /// flow via [`FlowSpec`], which compacts tombstones — a restored
+    /// session renumbers any dead node slots the installed flow carried.
+    /// Flows built through the session's own methods are unaffected.
     pub fn install_flow(&mut self, flow: TaskGraph) {
+        self.tape = vec![FlowOp::Install {
+            spec: FlowSpec::from_task_graph(&flow),
+        }];
         self.flow = Some(flow);
         self.binding = Binding::new();
         self.last_report = None;
@@ -231,8 +242,38 @@ impl Session {
     /// Fig. 9).
     pub fn clear_flow(&mut self) {
         self.flow = None;
+        self.tape.clear();
         self.binding = Binding::new();
         self.last_report = None;
+    }
+
+    // ------------------------------------------------------------------
+    // Persistence hooks (crate-internal; see `persist` and `store`).
+    // ------------------------------------------------------------------
+
+    /// The flow-construction tape since the last clear/install.
+    pub(crate) fn flow_ops(&self) -> &[FlowOp] {
+        &self.tape
+    }
+
+    /// Replaces the binding wholesale (extensional restore).
+    pub(crate) fn set_binding(&mut self, binding: Binding) {
+        self.binding = binding;
+    }
+
+    /// Replaces the event log wholesale.
+    pub(crate) fn set_events(&mut self, events: Vec<ExecEvent>) {
+        self.events = events;
+    }
+
+    /// Appends one replayed event.
+    pub(crate) fn push_event(&mut self, event: ExecEvent) {
+        self.events.push(event);
+    }
+
+    /// Replaces the last execution report (restored extensionally).
+    pub(crate) fn set_last_report(&mut self, report: Option<ExecReport>) {
+        self.last_report = report;
     }
 
     // ------------------------------------------------------------------
@@ -297,8 +338,9 @@ impl Session {
     pub fn start_from_plan(&mut self, name: &str) -> Result<NodeId, HerculesError> {
         let flow = self.catalog.instantiate(name, self.schema.clone())?;
         let out = flow.outputs().first().copied();
-        self.flow = Some(flow);
-        self.binding = Binding::new();
+        // Record the instantiated structure, not the name: the catalog
+        // entry may be overwritten later, the tape must not change.
+        self.install_flow(flow);
         out.ok_or(HerculesError::NoActiveFlow)
     }
 
@@ -306,7 +348,11 @@ impl Session {
         if self.flow.is_none() {
             self.flow = Some(TaskGraph::new(self.schema.clone()));
         }
-        Ok(self.flow_mut()?.seed(entity)?)
+        let node = self.flow_mut()?.seed(entity)?;
+        self.tape.push(FlowOp::Seed {
+            entity: self.schema.entity(entity).name().to_owned(),
+        });
+        Ok(node)
     }
 
     // ------------------------------------------------------------------
@@ -319,7 +365,7 @@ impl Session {
     ///
     /// See [`TaskGraph::expand`].
     pub fn expand(&mut self, node: NodeId) -> Result<Vec<NodeId>, HerculesError> {
-        Ok(self.flow_mut()?.expand(node)?)
+        self.expand_with(node, &Expansion::new())
     }
 
     /// Expands a node with options (optional deps, reuse).
@@ -332,7 +378,19 @@ impl Session {
         node: NodeId,
         options: &Expansion,
     ) -> Result<Vec<NodeId>, HerculesError> {
-        Ok(self.flow_mut()?.expand_with(node, options)?)
+        let created = self.flow_mut()?.expand_with(node, options)?;
+        let name = |e: EntityTypeId| self.schema.entity(e).name().to_owned();
+        self.tape.push(FlowOp::Expand {
+            node: node.index(),
+            optional: options.include_optional.iter().map(|&e| name(e)).collect(),
+            reuse: options
+                .reuse
+                .iter()
+                .map(|&(e, n)| (name(e), n.index()))
+                .collect(),
+            reuse_existing: options.reuse_existing,
+        });
+        Ok(created)
     }
 
     /// Expands downward towards a consumer entity.
@@ -346,9 +404,14 @@ impl Session {
         consumer: &str,
     ) -> Result<(NodeId, Vec<NodeId>), HerculesError> {
         let entity = self.schema.require(consumer)?;
-        Ok(self
+        let created = self
             .flow_mut()?
-            .expand_down(node, entity, &Expansion::new())?)
+            .expand_down(node, entity, &Expansion::new())?;
+        self.tape.push(FlowOp::ExpandDown {
+            node: node.index(),
+            consumer: consumer.to_owned(),
+        });
+        Ok(created)
     }
 
     /// Specializes an abstract node to a subtype.
@@ -358,7 +421,12 @@ impl Session {
     /// See [`TaskGraph::specialize`].
     pub fn specialize(&mut self, node: NodeId, subtype: &str) -> Result<(), HerculesError> {
         let entity = self.schema.require(subtype)?;
-        Ok(self.flow_mut()?.specialize(node, entity)?)
+        self.flow_mut()?.specialize(node, entity)?;
+        self.tape.push(FlowOp::Specialize {
+            node: node.index(),
+            subtype: subtype.to_owned(),
+        });
+        Ok(())
     }
 
     /// Unexpands a node (the `Unexpand` menu entry).
@@ -367,7 +435,9 @@ impl Session {
     ///
     /// See [`TaskGraph::unexpand`].
     pub fn unexpand(&mut self, node: NodeId) -> Result<Vec<NodeId>, HerculesError> {
-        Ok(self.flow_mut()?.unexpand(node)?)
+        let removed = self.flow_mut()?.unexpand(node)?;
+        self.tape.push(FlowOp::Unexpand { node: node.index() });
+        Ok(removed)
     }
 
     /// Expands everything reachable from a node down to primary or
@@ -377,7 +447,9 @@ impl Session {
     ///
     /// See [`TaskGraph::expand_all`].
     pub fn expand_all(&mut self, node: NodeId) -> Result<Vec<NodeId>, HerculesError> {
-        Ok(self.flow_mut()?.expand_all(node)?)
+        let created = self.flow_mut()?.expand_all(node)?;
+        self.tape.push(FlowOp::ExpandAll { node: node.index() });
+        Ok(created)
     }
 
     // ------------------------------------------------------------------
@@ -437,6 +509,54 @@ impl Session {
             Err(e) => {
                 let e: HerculesError = e.into();
                 self.events.push(ExecEvent::aborted("run", &e));
+                Err(e)
+            }
+        }
+    }
+
+    /// Resumes the last partially failed execution: re-runs only the
+    /// subtasks that failed or were skipped, serving every already
+    /// committed subtask from the design history as a cache hit. This
+    /// is how a [`FailurePolicy::ContinueDisjoint`] run (or a restored
+    /// session) is completed without repeating finished work.
+    ///
+    /// [`FailurePolicy::ContinueDisjoint`]:
+    /// hercules_exec::FailurePolicy::ContinueDisjoint
+    ///
+    /// # Errors
+    ///
+    /// [`HerculesError::NothingToResume`] when there is no last report
+    /// or the last execution completed; otherwise as [`Session::run`].
+    pub fn resume(&mut self) -> Result<&ExecReport, HerculesError> {
+        match self.last_report.as_ref() {
+            None => {
+                return Err(HerculesError::NothingToResume {
+                    reason: "no execution to resume".into(),
+                })
+            }
+            Some(report) if report.is_complete() => {
+                return Err(HerculesError::NothingToResume {
+                    reason: "last execution completed; nothing failed or was skipped".into(),
+                })
+            }
+            Some(_) => {}
+        }
+        let flow = self.flow.as_ref().ok_or(HerculesError::NoActiveFlow)?;
+        // Committed subtasks must come back as cache hits, whatever the
+        // executor's normal caching preference is.
+        let prev = self.executor.options().reuse_cached;
+        self.executor.options_mut().reuse_cached = true;
+        let result = self.executor.execute(flow, &self.binding, &mut self.db);
+        self.executor.options_mut().reuse_cached = prev;
+        match result {
+            Ok(report) => {
+                self.events.push(ExecEvent::from_report("resume", &report));
+                self.last_report = Some(report);
+                Ok(self.last_report.as_ref().expect("just set"))
+            }
+            Err(e) => {
+                let e: HerculesError = e.into();
+                self.events.push(ExecEvent::aborted("resume", &e));
                 Err(e)
             }
         }

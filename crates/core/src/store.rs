@@ -1,0 +1,792 @@
+//! Crash-safe durable workspace: an append-only, checksummed journal of
+//! session mutations plus atomic checkpoint snapshots, with torn-write
+//! recovery and resumable execution.
+//!
+//! # On-disk layout
+//!
+//! A workspace is a directory holding three kinds of files:
+//!
+//! - `MANIFEST` — a tiny JSON document naming the current generation
+//!   and its checkpoint/journal files. Swapped atomically (temp file +
+//!   fsync + rename + directory fsync), so it always points at a valid
+//!   pair.
+//! - `checkpoint-N.json` — a full [`SessionSpec`] snapshot, written
+//!   atomically the same way. Never modified after the rename.
+//! - `journal-N.log` — an append-only sequence of frames, one per
+//!   mutating UI command since checkpoint `N`. Each append is followed
+//!   by `fsync` before the command's result is reported, so an
+//!   acknowledged command survives power loss.
+//!
+//! # Frame format
+//!
+//! ```text
+//! [payload length: u32 LE][CRC32(payload): u32 LE][payload: JSON JournalOp]
+//! ```
+//!
+//! The CRC is IEEE 802.3 (the zlib/PNG polynomial). A torn tail — a
+//! frame whose length field runs past end-of-file, or whose checksum
+//! does not match — ends the journal: recovery truncates the file back
+//! to the last valid frame, reports how many bytes were discarded, and
+//! never panics or fails on any prefix of a well-formed journal.
+//!
+//! # Guarantees (and non-guarantees)
+//!
+//! - Every operation acknowledged before a crash is replayed on open;
+//!   an operation interrupted mid-write is discarded cleanly. State
+//!   after recovery is always a *prefix* of the acknowledged history.
+//! - Instances and execution reports are journaled *extensionally*
+//!   (the recorded products, not the tool invocations), so replay
+//!   never re-runs tools and cannot diverge on nondeterministic ones.
+//! - Only mutations made through [`Ui`](crate::ui::Ui) commands are
+//!   journaled. Direct [`Session::db_mut`] edits bypass the journal;
+//!   take a [`Workspace::checkpoint`] after making any.
+//!
+//! After reopening, [`Session::resume`] re-runs only the failed and
+//! skipped subtasks of an interrupted partial execution, serving the
+//! already committed ones from the design history as cache hits.
+
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use hercules_exec::EncapsulationRegistry;
+use hercules_flow::NodeId;
+use hercules_history::{InstanceId, InstanceSpec};
+use hercules_schema::TaskSchema;
+use serde::{Deserialize, Serialize};
+
+use crate::error::HerculesError;
+use crate::persist::{ExecReportSpec, FlowOp, SessionSpec};
+use crate::session::{ExecEvent, Session};
+
+// ---------------------------------------------------------------------
+// Checksummed frames.
+// ---------------------------------------------------------------------
+
+/// CRC32 (IEEE 802.3 polynomial, bit-reflected) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Encodes one journal frame: `[len u32 LE][crc32 u32 LE][payload]`.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// The result of scanning a journal buffer for valid frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameScan {
+    /// Payloads of the valid frames, in order.
+    pub payloads: Vec<Vec<u8>>,
+    /// End offset of each valid frame (`offsets[i]` is the byte length
+    /// of the journal prefix containing frames `0..=i`).
+    pub offsets: Vec<usize>,
+    /// Length of the valid prefix; equals the last offset (or 0).
+    pub valid_len: usize,
+    /// Bytes after the valid prefix — a torn or corrupt tail.
+    pub trailing: usize,
+}
+
+/// Scans `buf` for consecutive valid frames, stopping at the first
+/// torn (length past end-of-buffer) or corrupt (checksum mismatch)
+/// frame. Never panics: any byte sequence yields a valid prefix.
+pub fn scan_frames(buf: &[u8]) -> FrameScan {
+    let mut payloads = Vec::new();
+    let mut offsets = Vec::new();
+    let mut pos = 0usize;
+    while buf.len() - pos >= 8 {
+        let len = u32::from_le_bytes([buf[pos], buf[pos + 1], buf[pos + 2], buf[pos + 3]]) as usize;
+        let crc = u32::from_le_bytes([buf[pos + 4], buf[pos + 5], buf[pos + 6], buf[pos + 7]]);
+        if len > buf.len() - pos - 8 {
+            break; // torn: the frame was not fully written
+        }
+        let payload = &buf[pos + 8..pos + 8 + len];
+        if crc32(payload) != crc {
+            break; // corrupt: bit rot or a torn overwrite
+        }
+        payloads.push(payload.to_vec());
+        pos += 8 + len;
+        offsets.push(pos);
+    }
+    FrameScan {
+        payloads,
+        offsets,
+        valid_len: pos,
+        trailing: buf.len() - pos,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Errors.
+// ---------------------------------------------------------------------
+
+/// Errors from the durable store.
+#[derive(Debug)]
+#[allow(missing_docs)] // variant payloads are the wrapped errors
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// A file is damaged beyond recovery (manifest or checkpoint — the
+    /// journal is always recoverable by truncation).
+    Corrupt { detail: String },
+    /// A document failed to serialize or deserialize.
+    Format(String),
+    /// Restoring or replaying into the session failed.
+    Session(HerculesError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::Corrupt { detail } => write!(f, "corrupt store: {detail}"),
+            StoreError::Format(detail) => write!(f, "bad document: {detail}"),
+            StoreError::Session(e) => write!(f, "session error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Session(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for StoreError {
+    fn from(e: serde_json::Error) -> StoreError {
+        StoreError::Format(e.to_string())
+    }
+}
+
+impl From<HerculesError> for StoreError {
+    fn from(e: HerculesError) -> StoreError {
+        StoreError::Session(e)
+    }
+}
+
+impl From<StoreError> for HerculesError {
+    fn from(e: StoreError) -> HerculesError {
+        HerculesError::Store {
+            message: e.to_string(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Journal operations.
+// ---------------------------------------------------------------------
+
+/// The extensional record of one execution (`run`, `resume`, or
+/// `retrace`): the instances it committed, the report it left behind,
+/// and the event it logged. Replay records the products directly —
+/// tools are never re-run during recovery.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecSpec {
+    /// Instances the execution committed, in creation order.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub instances: Vec<InstanceSpec>,
+    /// The report, when the operation replaced the session's last
+    /// report (`run`/`resume`; `retrace` leaves it untouched).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub report: Option<ExecReportSpec>,
+    /// The event the operation appended to the log, if any.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub event: Option<ExecEvent>,
+}
+
+/// One journaled session mutation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JournalOp {
+    /// A flow-construction step (goal/tool/plan starts, expand,
+    /// unexpand, specialize).
+    Flow(FlowOp),
+    /// A data-based start: seed from an existing instance and bind it.
+    DataStart {
+        /// Raw id of the seeding instance.
+        instance: u64,
+    },
+    /// Instances selected for a leaf node.
+    Select {
+        /// Node index.
+        node: usize,
+        /// Raw instance ids bound to the node.
+        instances: Vec<u64>,
+    },
+    /// Auto-bind every unbound leaf to the newest instance. Safe to
+    /// journal intensionally: replay evolves the database identically,
+    /// so "newest" resolves to the same instances.
+    BindLatest,
+    /// The current flow stored into the catalog.
+    StoreFlow {
+        /// Catalog name.
+        name: String,
+        /// Catalog description.
+        description: String,
+    },
+    /// The flow under construction abandoned.
+    Clear,
+    /// An execution's committed effects (extensional).
+    Exec(ExecSpec),
+}
+
+impl JournalOp {
+    /// Replays this operation into `session`.
+    ///
+    /// # Errors
+    ///
+    /// Validation errors from the session; on a faithfully journaled
+    /// sequence these indicate corruption, and recovery treats the
+    /// failing operation as the start of a corrupt tail.
+    pub fn replay(&self, session: &mut Session) -> Result<(), HerculesError> {
+        match self {
+            JournalOp::Flow(op) => op.replay(session)?,
+            JournalOp::DataStart { instance } => {
+                session.start_from_data(InstanceId::from_raw(*instance))?;
+            }
+            JournalOp::Select { node, instances } => {
+                let ids: Vec<InstanceId> = instances
+                    .iter()
+                    .map(|&raw| InstanceId::from_raw(raw))
+                    .collect();
+                session.select_many(NodeId::from_index(*node), &ids);
+            }
+            JournalOp::BindLatest => {
+                session.bind_latest()?;
+            }
+            JournalOp::StoreFlow { name, description } => {
+                session.store_flow(name, description)?;
+            }
+            JournalOp::Clear => session.clear_flow(),
+            JournalOp::Exec(spec) => {
+                for instance in &spec.instances {
+                    instance.replay(session.db_mut())?;
+                }
+                if let Some(report) = &spec.report {
+                    session.set_last_report(Some(report.restore()));
+                }
+                if let Some(event) = &spec.event {
+                    session.push_event(event.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Manifest and recovery report.
+// ---------------------------------------------------------------------
+
+/// The workspace manifest: which generation is current. Swapped
+/// atomically so it always names a complete checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct Manifest {
+    generation: u64,
+    checkpoint: String,
+    journal: String,
+}
+
+/// What [`Workspace::open_session`] found and did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Generation of the checkpoint that was restored.
+    pub generation: u64,
+    /// Journaled operations replayed on top of the checkpoint.
+    pub ops_replayed: usize,
+    /// Bytes of torn, corrupt, or unreplayable journal tail discarded
+    /// (the journal file was truncated back to the valid prefix).
+    pub bytes_discarded: u64,
+    /// `true` when a tail was discarded.
+    pub truncated: bool,
+}
+
+impl fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "generation {}, {} journaled operation(s) replayed",
+            self.generation, self.ops_replayed
+        )?;
+        if self.truncated {
+            write!(
+                f,
+                "; {} byte(s) of torn tail discarded",
+                self.bytes_discarded
+            )?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// The workspace.
+// ---------------------------------------------------------------------
+
+fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+    }
+    Ok(())
+}
+
+/// Writes `name` under `dir` atomically: temp file, fsync, rename,
+/// directory fsync. Readers see either the old file or the new one,
+/// never a torn mixture.
+fn write_atomic(dir: &Path, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+    let tmp = dir.join(format!("{name}.tmp"));
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, dir.join(name))?;
+    sync_dir(dir)?;
+    Ok(())
+}
+
+fn checkpoint_name(generation: u64) -> String {
+    format!("checkpoint-{generation}.json")
+}
+
+fn journal_name(generation: u64) -> String {
+    format!("journal-{generation}.log")
+}
+
+/// A durable workspace directory: the current journal handle plus the
+/// generation bookkeeping. Create one with [`Workspace::create`], or
+/// recover one (plus its session) with [`Workspace::open_session`].
+#[derive(Debug)]
+pub struct Workspace {
+    root: PathBuf,
+    generation: u64,
+    journal: File,
+    journal_path: PathBuf,
+}
+
+impl Workspace {
+    /// Creates a fresh workspace at `root` (the directory is created if
+    /// missing) holding a generation-0 checkpoint of `session` and an
+    /// empty journal.
+    ///
+    /// # Errors
+    ///
+    /// I/O and serialization errors.
+    pub fn create(root: &Path, session: &Session) -> Result<Workspace, StoreError> {
+        fs::create_dir_all(root)?;
+        let spec = SessionSpec::from_session(session);
+        let json = spec.to_json().map_err(StoreError::from)?;
+        write_atomic(root, &checkpoint_name(0), json.as_bytes())?;
+        let journal_path = root.join(journal_name(0));
+        let journal = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&journal_path)?;
+        journal.sync_all()?;
+        let manifest = Manifest {
+            generation: 0,
+            checkpoint: checkpoint_name(0),
+            journal: journal_name(0),
+        };
+        write_atomic(
+            root,
+            "MANIFEST",
+            serde_json::to_string(&manifest)?.as_bytes(),
+        )?;
+        Ok(Workspace {
+            root: root.to_owned(),
+            generation: 0,
+            journal,
+            journal_path,
+        })
+    }
+
+    /// Opens the workspace at `root` and recovers its session:
+    /// restores the manifest's checkpoint, replays the journal, and
+    /// truncates any torn, corrupt, or unreplayable tail back to the
+    /// last valid operation. Recovery never panics and never fails on
+    /// a torn journal — only on I/O errors or a damaged
+    /// manifest/checkpoint (which are written atomically and therefore
+    /// only damaged by media corruption).
+    ///
+    /// `registry_for` builds the tool registry for the restored schema
+    /// (code cannot be persisted); pass
+    /// `|s| hercules::encaps::odyssey_registry(s)` for the standard
+    /// tool set.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, damaged manifest/checkpoint, or a checkpoint whose
+    /// own restore fails.
+    pub fn open_session<F>(
+        root: &Path,
+        registry_for: F,
+    ) -> Result<(Workspace, Session, RecoveryReport), StoreError>
+    where
+        F: FnOnce(&Arc<TaskSchema>) -> EncapsulationRegistry,
+    {
+        let manifest_bytes = fs::read(root.join("MANIFEST"))?;
+        let manifest: Manifest =
+            serde_json::from_slice(&manifest_bytes).map_err(|e| StoreError::Corrupt {
+                detail: format!("manifest: {e}"),
+            })?;
+        let checkpoint_bytes = fs::read(root.join(&manifest.checkpoint))?;
+        let spec = serde_json::from_slice::<SessionSpec>(&checkpoint_bytes).map_err(|e| {
+            StoreError::Corrupt {
+                detail: format!("{}: {e}", manifest.checkpoint),
+            }
+        })?;
+        let mut session = spec.restore_with(registry_for)?;
+
+        let journal_path = root.join(&manifest.journal);
+        let buf = fs::read(&journal_path)?;
+        let scan = scan_frames(&buf);
+
+        // Parse and replay frame by frame; the first frame that fails
+        // either step becomes the start of the discarded tail. The
+        // session state is then exactly checkpoint + the replayed
+        // prefix — a prefix of the acknowledged history.
+        let mut keep = scan.valid_len;
+        let mut ops_replayed = 0usize;
+        for (i, payload) in scan.payloads.iter().enumerate() {
+            let parsed: Result<JournalOp, _> = serde_json::from_slice(payload);
+            let ok = match parsed {
+                Ok(op) => op.replay(&mut session).is_ok(),
+                Err(_) => false,
+            };
+            if !ok {
+                keep = if i == 0 { 0 } else { scan.offsets[i - 1] };
+                break;
+            }
+            ops_replayed += 1;
+        }
+
+        let bytes_discarded = (buf.len() - keep) as u64;
+        if bytes_discarded > 0 {
+            let f = OpenOptions::new().write(true).open(&journal_path)?;
+            f.set_len(keep as u64)?;
+            f.sync_all()?;
+        }
+
+        let journal = OpenOptions::new().append(true).open(&journal_path)?;
+        let report = RecoveryReport {
+            generation: manifest.generation,
+            ops_replayed,
+            bytes_discarded,
+            truncated: bytes_discarded > 0,
+        };
+        let workspace = Workspace {
+            root: root.to_owned(),
+            generation: manifest.generation,
+            journal,
+            journal_path,
+        };
+        Ok((workspace, session, report))
+    }
+
+    /// Returns the workspace directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Returns the current checkpoint generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Appends one operation to the journal and fsyncs before
+    /// returning — once this returns, the operation survives a crash.
+    ///
+    /// # Errors
+    ///
+    /// I/O and serialization errors.
+    pub fn append(&mut self, op: &JournalOp) -> Result<(), StoreError> {
+        let payload = serde_json::to_vec(op)?;
+        self.journal.write_all(&encode_frame(&payload))?;
+        self.journal.sync_data()?;
+        Ok(())
+    }
+
+    /// Takes a new checkpoint of `session` and rotates the journal:
+    /// writes `checkpoint-(N+1)` atomically, starts an empty
+    /// `journal-(N+1)`, swaps the manifest, then deletes the old
+    /// generation's files (best-effort — a crash between the manifest
+    /// swap and the deletes leaves harmless orphans).
+    ///
+    /// # Errors
+    ///
+    /// I/O and serialization errors; on error the old generation is
+    /// still intact and current.
+    pub fn checkpoint(&mut self, session: &Session) -> Result<(), StoreError> {
+        let next = self.generation + 1;
+        let spec = SessionSpec::from_session(session);
+        let json = spec.to_json().map_err(StoreError::from)?;
+        write_atomic(&self.root, &checkpoint_name(next), json.as_bytes())?;
+        let next_journal_path = self.root.join(journal_name(next));
+        let next_journal = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&next_journal_path)?;
+        next_journal.sync_all()?;
+        let manifest = Manifest {
+            generation: next,
+            checkpoint: checkpoint_name(next),
+            journal: journal_name(next),
+        };
+        write_atomic(
+            &self.root,
+            "MANIFEST",
+            serde_json::to_string(&manifest)?.as_bytes(),
+        )?;
+        // The swap is durable; retire the previous generation.
+        let _ = fs::remove_file(self.root.join(checkpoint_name(self.generation)));
+        let _ = fs::remove_file(&self.journal_path);
+        self.generation = next;
+        self.journal = next_journal;
+        self.journal_path = next_journal_path;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_root(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("hercules-store-{tag}-{}-{n}", std::process::id()))
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frames_round_trip_and_scan() {
+        let mut buf = Vec::new();
+        for payload in [b"alpha".as_slice(), b"".as_slice(), b"gamma!".as_slice()] {
+            buf.extend_from_slice(&encode_frame(payload));
+        }
+        let scan = scan_frames(&buf);
+        assert_eq!(
+            scan.payloads,
+            vec![b"alpha".to_vec(), Vec::new(), b"gamma!".to_vec()]
+        );
+        assert_eq!(scan.valid_len, buf.len());
+        assert_eq!(scan.trailing, 0);
+        assert_eq!(scan.offsets.last(), Some(&buf.len()));
+    }
+
+    #[test]
+    fn torn_and_corrupt_tails_stop_the_scan() {
+        let mut buf = encode_frame(b"keep me");
+        let keep = buf.len();
+        buf.extend_from_slice(&encode_frame(b"torn"));
+        buf.truncate(keep + 5); // mid-header tear
+        let scan = scan_frames(&buf);
+        assert_eq!(scan.payloads.len(), 1);
+        assert_eq!(scan.valid_len, keep);
+        assert_eq!(scan.trailing, 5);
+
+        let mut buf = encode_frame(b"keep me");
+        let mut second = encode_frame(b"rotted");
+        let last = second.len() - 1;
+        second[last] ^= 0x40; // flip a payload bit
+        buf.extend_from_slice(&second);
+        let scan = scan_frames(&buf);
+        assert_eq!(scan.payloads.len(), 1);
+        assert_eq!(scan.valid_len, keep);
+    }
+
+    #[test]
+    fn every_byte_of_garbage_yields_a_valid_prefix() {
+        // scan_frames on arbitrary prefixes/suffixes must never panic.
+        let mut buf = encode_frame(b"one");
+        buf.extend_from_slice(&encode_frame(b"two"));
+        for cut in 0..=buf.len() {
+            let _ = scan_frames(&buf[..cut]);
+        }
+        let _ = scan_frames(&[0xFF; 64]);
+    }
+
+    #[test]
+    fn workspace_create_append_reopen() {
+        let root = temp_root("basic");
+        let session = Session::odyssey("jbb");
+        let mut ws = Workspace::create(&root, &session).expect("creates");
+        ws.append(&JournalOp::Flow(FlowOp::Seed {
+            entity: "Layout".into(),
+        }))
+        .expect("appends");
+        ws.append(&JournalOp::Flow(FlowOp::Expand {
+            node: 0,
+            optional: Vec::new(),
+            reuse: Vec::new(),
+            reuse_existing: false,
+        }))
+        .expect("appends");
+        drop(ws);
+
+        let (ws, restored, report) =
+            Workspace::open_session(&root, |s| crate::encaps::odyssey_registry(s))
+                .expect("reopens");
+        assert_eq!(report.ops_replayed, 2);
+        assert!(!report.truncated);
+        assert_eq!(ws.generation(), 0);
+        assert_eq!(restored.flow().expect("flow").len(), 4);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn torn_journal_tail_is_truncated_on_open() {
+        let root = temp_root("torn");
+        let session = Session::odyssey("jbb");
+        let mut ws = Workspace::create(&root, &session).expect("creates");
+        ws.append(&JournalOp::Flow(FlowOp::Seed {
+            entity: "Layout".into(),
+        }))
+        .expect("appends");
+        let journal_path = ws.journal_path.clone();
+        drop(ws);
+        // Simulate a crash mid-append: garbage half-frame at the tail.
+        let mut bytes = fs::read(&journal_path).expect("reads");
+        let valid = bytes.len();
+        bytes.extend_from_slice(&[0x12, 0x34, 0x56]);
+        fs::write(&journal_path, &bytes).expect("writes");
+
+        let (_ws, restored, report) =
+            Workspace::open_session(&root, |s| crate::encaps::odyssey_registry(s))
+                .expect("recovers");
+        assert_eq!(report.ops_replayed, 1);
+        assert!(report.truncated);
+        assert_eq!(report.bytes_discarded, 3);
+        assert!(restored.flow().is_ok());
+        assert_eq!(
+            fs::read(&journal_path).expect("reads").len(),
+            valid,
+            "the torn tail was truncated away"
+        );
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn unreplayable_op_becomes_the_corrupt_tail() {
+        let root = temp_root("unreplayable");
+        let session = Session::odyssey("jbb");
+        let mut ws = Workspace::create(&root, &session).expect("creates");
+        ws.append(&JournalOp::Flow(FlowOp::Seed {
+            entity: "Layout".into(),
+        }))
+        .expect("appends");
+        // CRC-valid but semantically impossible (unknown entity).
+        ws.append(&JournalOp::Flow(FlowOp::Seed {
+            entity: "Ghost".into(),
+        }))
+        .expect("appends");
+        drop(ws);
+
+        let (_ws, restored, report) =
+            Workspace::open_session(&root, |s| crate::encaps::odyssey_registry(s))
+                .expect("recovers");
+        assert_eq!(report.ops_replayed, 1);
+        assert!(report.truncated);
+        assert!(restored.flow().is_ok());
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn checkpoint_rotates_generations() {
+        let root = temp_root("rotate");
+        let mut session = Session::odyssey("jbb");
+        let mut ws = Workspace::create(&root, &session).expect("creates");
+        session.start_from_goal("Layout").expect("starts");
+        ws.append(&JournalOp::Flow(FlowOp::Seed {
+            entity: "Layout".into(),
+        }))
+        .expect("appends");
+        ws.checkpoint(&session).expect("rotates");
+        assert_eq!(ws.generation(), 1);
+        assert!(!root.join(checkpoint_name(0)).exists());
+        assert!(!root.join(journal_name(0)).exists());
+        drop(ws);
+
+        let (ws, restored, report) =
+            Workspace::open_session(&root, |s| crate::encaps::odyssey_registry(s))
+                .expect("reopens");
+        assert_eq!(ws.generation(), 1);
+        assert_eq!(report.ops_replayed, 0, "the journal was rotated empty");
+        assert!(restored.flow().is_ok(), "the flow came from the checkpoint");
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn exec_ops_replay_extensionally() {
+        // Journal a run's committed products and replay them into a
+        // fresh copy of the pre-run session — the databases must agree
+        // without any tool re-running.
+        let mut session = Session::odyssey("jbb");
+        let layout = session.start_from_goal("Layout").expect("starts");
+        session.expand(layout).expect("expands");
+        let netlist = session.flow().expect("flow").data_inputs_of(layout)[0];
+        session.specialize(netlist, "EditedNetlist").expect("ok");
+        session.expand(netlist).expect("expands");
+        session.bind_latest().expect("binds");
+        let before = SessionSpec::from_session(&session);
+        let db_before = session.db().len();
+        session.run().expect("runs");
+
+        let spec = ExecSpec {
+            instances: (db_before..session.db().len())
+                .map(|i| InstanceSpec::capture(session.db(), i))
+                .collect(),
+            report: session.last_report().map(ExecReportSpec::from_report),
+            event: session.events().last().cloned(),
+        };
+        let mut replayed = before
+            .restore(crate::encaps::odyssey_registry(session.schema()))
+            .expect("restores");
+        JournalOp::Exec(spec)
+            .replay(&mut replayed)
+            .expect("replays");
+        assert_eq!(replayed.db().len(), session.db().len());
+        assert_eq!(replayed.events(), session.events());
+        assert_eq!(
+            SessionSpec::from_session(&replayed),
+            SessionSpec::from_session(&session)
+        );
+    }
+}

@@ -8,13 +8,16 @@
 //! Unexpand, Browse, History, Select, Run…).
 
 use std::fmt::Write as _;
+use std::path::Path;
 
 use hercules_flow::{render, NodeId};
-use hercules_history::InstanceId;
+use hercules_history::{InstanceId, InstanceSpec};
 
 use crate::catalog;
 use crate::error::HerculesError;
+use crate::persist::ExecReportSpec;
 use crate::session::{Approach, Session};
+use crate::store::{ExecSpec, JournalOp, Workspace};
 
 /// One parsed UI command.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +45,9 @@ pub enum Command {
     BindLatest,
     /// `run`.
     Run,
+    /// `resume` — re-run only the failed/skipped subtasks of the last
+    /// partial execution, serving committed work from the history.
+    Resume,
     /// `history <iN>`.
     History(InstanceId),
     /// `uses <iN>` — forward-chain: everything derived from the
@@ -62,6 +68,14 @@ pub enum Command {
     Clear,
     /// `catalogs` — list entity/tool/flow catalogs.
     Catalogs,
+    /// `save <dir>` — create a durable workspace at the directory and
+    /// journal every later mutating command into it.
+    Save(String),
+    /// `open <dir>` — recover the session from a durable workspace
+    /// (replaying its journal, truncating any torn tail).
+    Open(String),
+    /// `checkpoint` — snapshot the session and rotate the journal.
+    Checkpoint,
 }
 
 impl Command {
@@ -123,6 +137,7 @@ impl Command {
             }
             "bind-latest" => Ok(Command::BindLatest),
             "run" => Ok(Command::Run),
+            "resume" => Ok(Command::Resume),
             "history" => Ok(Command::History(parse_instance(
                 parts.next().ok_or_else(|| bad("missing instance"))?,
             )?)),
@@ -140,6 +155,13 @@ impl Command {
             "show" => Ok(Command::Show),
             "clear" => Ok(Command::Clear),
             "catalogs" => Ok(Command::Catalogs),
+            "save" => Ok(Command::Save(
+                parts.next().ok_or_else(|| bad("missing directory"))?.into(),
+            )),
+            "open" => Ok(Command::Open(
+                parts.next().ok_or_else(|| bad("missing directory"))?.into(),
+            )),
+            "checkpoint" => Ok(Command::Checkpoint),
             other => Err(bad(&format!("unknown verb `{other}`"))),
         }
     }
@@ -200,16 +222,23 @@ fn instance_label(session: &Session, id: InstanceId) -> String {
         .unwrap_or_else(|_| id.to_string())
 }
 
-/// A scriptable UI shell over a session.
+/// A scriptable UI shell over a session, optionally backed by a
+/// durable [`Workspace`]: after `save <dir>` (or `open <dir>`), every
+/// mutating command is journaled — fsynced before its result is
+/// reported — so an acknowledged command survives a crash.
 #[derive(Debug)]
 pub struct Ui {
     session: Session,
+    workspace: Option<Workspace>,
 }
 
 impl Ui {
-    /// Wraps a session.
+    /// Wraps a session (no workspace attached; use `save <dir>`).
     pub fn new(session: Session) -> Ui {
-        Ui { session }
+        Ui {
+            session,
+            workspace: None,
+        }
     }
 
     /// Returns the wrapped session.
@@ -218,8 +247,16 @@ impl Ui {
     }
 
     /// Returns mutable access to the session.
+    ///
+    /// Mutations made this way bypass the journal; take a `checkpoint`
+    /// afterwards if a workspace is attached.
     pub fn session_mut(&mut self) -> &mut Session {
         &mut self.session
+    }
+
+    /// Returns the attached durable workspace, if any.
+    pub fn workspace(&self) -> Option<&Workspace> {
+        self.workspace.as_ref()
     }
 
     /// Executes one command line, returning the transcript text the
@@ -233,12 +270,120 @@ impl Ui {
         self.apply(command)
     }
 
-    /// Executes a parsed command.
+    /// Executes a parsed command, journaling its effect when a
+    /// workspace is attached.
     ///
     /// # Errors
     ///
-    /// Execution errors from the session.
+    /// Execution errors from the session; journaling errors (an
+    /// acknowledged command must be durable, so a failed fsync is
+    /// reported even though the in-memory command succeeded).
     pub fn apply(&mut self, command: Command) -> Result<String, HerculesError> {
+        let db_before = self.session.db().len();
+        let events_before = self.session.events().len();
+        let journaled = command.clone();
+        let result = self.dispatch(command);
+        let op = self
+            .workspace
+            .is_some()
+            .then(|| self.journal_op(&journaled, db_before, events_before, result.is_ok()))
+            .flatten();
+        if let (Some(op), Some(ws)) = (op, self.workspace.as_mut()) {
+            ws.append(&op).map_err(HerculesError::from)?;
+        }
+        result
+    }
+
+    /// Maps an executed command to the journal operation recording its
+    /// effect, or `None` for read-only commands (and failed ones that
+    /// changed nothing).
+    fn journal_op(
+        &self,
+        command: &Command,
+        db_before: usize,
+        events_before: usize,
+        ok: bool,
+    ) -> Option<JournalOp> {
+        match command {
+            // Flow mutations: on success the session's construction
+            // tape ends with exactly the op just performed (a plan
+            // start resets the tape to its single Install op).
+            Command::Goal(_)
+            | Command::Tool(_)
+            | Command::Plan(_)
+            | Command::Expand(_)
+            | Command::Unexpand(_)
+            | Command::Specialize(_, _) => {
+                if !ok {
+                    return None;
+                }
+                self.session.flow_ops().last().cloned().map(JournalOp::Flow)
+            }
+            Command::Data(instance) => ok.then(|| JournalOp::DataStart {
+                instance: instance.raw(),
+            }),
+            Command::Select(node, instances) => ok.then(|| JournalOp::Select {
+                node: node.index(),
+                instances: instances.iter().map(|i| i.raw()).collect(),
+            }),
+            Command::BindLatest => ok.then_some(JournalOp::BindLatest),
+            Command::Store(name) => ok.then(|| JournalOp::StoreFlow {
+                name: name.clone(),
+                description: "stored from the UI".to_owned(),
+            }),
+            Command::Clear => ok.then_some(JournalOp::Clear),
+            // Executions are journaled extensionally — committed
+            // instances, the report, the logged event — even when they
+            // returned an error, because an aborted run may still have
+            // committed disjoint branches.
+            Command::Run | Command::Resume => self.exec_op(db_before, events_before, ok),
+            Command::Retrace(_) => self.exec_op(db_before, events_before, false),
+            // Read-only commands, and the workspace commands
+            // themselves, are not journaled.
+            Command::Browse(_)
+            | Command::History(_)
+            | Command::Uses(_)
+            | Command::Menu(_)
+            | Command::Log
+            | Command::Show
+            | Command::Catalogs
+            | Command::Save(_)
+            | Command::Open(_)
+            | Command::Checkpoint => None,
+        }
+    }
+
+    /// Captures the extensional effect of an execution command: the
+    /// instances committed since `db_before`, the event it logged, and
+    /// (for `run`/`resume` that succeeded, `sets_report`) the report it
+    /// installed.
+    fn exec_op(
+        &self,
+        db_before: usize,
+        events_before: usize,
+        sets_report: bool,
+    ) -> Option<JournalOp> {
+        let db = self.session.db();
+        let instances: Vec<InstanceSpec> = (db_before..db.len())
+            .map(|i| InstanceSpec::capture(db, i))
+            .collect();
+        let event = self.session.events().get(events_before).cloned();
+        if instances.is_empty() && event.is_none() && !sets_report {
+            return None;
+        }
+        let report = if sets_report {
+            self.session.last_report().map(ExecReportSpec::from_report)
+        } else {
+            None
+        };
+        Some(JournalOp::Exec(ExecSpec {
+            instances,
+            report,
+            event,
+        }))
+    }
+
+    fn dispatch(&mut self, command: Command) -> Result<String, HerculesError> {
         match command {
             Command::Goal(name) => {
                 let node = self.session.start_from_goal(&name)?;
@@ -301,6 +446,28 @@ impl Ui {
                 let report = self.session.run()?;
                 let mut out = format!(
                     "ran {} subtask(s): {} invocation(s), {} cache hit(s)",
+                    report.tasks.len(),
+                    report.runs(),
+                    report.cache_hits()
+                );
+                if !report.is_complete() {
+                    let _ = write!(
+                        out,
+                        ", {} failed, {} skipped",
+                        report.failed(),
+                        report.skipped()
+                    );
+                }
+                out.push('\n');
+                if let Some(error) = report.first_error() {
+                    let _ = writeln!(out, "  first failure: {error}");
+                }
+                Ok(out)
+            }
+            Command::Resume => {
+                let report = self.session.resume()?;
+                let mut out = format!(
+                    "resumed {} subtask(s): {} invocation(s), {} cache hit(s)",
                     report.tasks.len(),
                     report.runs(),
                     report.cache_hits()
@@ -448,6 +615,35 @@ impl Ui {
                 let _ = writeln!(out, "flow catalog: {:?}", self.session.catalog().names());
                 Ok(out)
             }
+            Command::Save(path) => {
+                let ws = Workspace::create(Path::new(&path), &self.session)
+                    .map_err(HerculesError::from)?;
+                self.workspace = Some(ws);
+                Ok(format!(
+                    "workspace saved to `{path}`; mutating commands are now journaled\n"
+                ))
+            }
+            Command::Open(path) => {
+                let (ws, session, recovery) = Workspace::open_session(Path::new(&path), |s| {
+                    crate::encaps::odyssey_registry(s)
+                })
+                .map_err(HerculesError::from)?;
+                self.session = session;
+                self.workspace = Some(ws);
+                Ok(format!("opened workspace `{path}`: {recovery}\n"))
+            }
+            Command::Checkpoint => match self.workspace.as_mut() {
+                None => Err(HerculesError::Store {
+                    message: "no workspace attached; `save <path>` first".into(),
+                }),
+                Some(ws) => {
+                    ws.checkpoint(&self.session).map_err(HerculesError::from)?;
+                    Ok(format!(
+                        "checkpointed; now at generation {}\n",
+                        ws.generation()
+                    ))
+                }
+            },
         }
     }
 
@@ -615,5 +811,77 @@ mod tests {
     fn approach_converts_to_command() {
         let c: Command = Approach::Goal("Layout".into()).into();
         assert_eq!(c, Command::Goal("Layout".into()));
+    }
+
+    #[test]
+    fn parse_workspace_commands() {
+        assert_eq!(
+            Command::parse("save /tmp/ws").expect("ok"),
+            Command::Save("/tmp/ws".into())
+        );
+        assert_eq!(
+            Command::parse("open /tmp/ws").expect("ok"),
+            Command::Open("/tmp/ws".into())
+        );
+        assert_eq!(
+            Command::parse("checkpoint").expect("ok"),
+            Command::Checkpoint
+        );
+        assert_eq!(Command::parse("resume").expect("ok"), Command::Resume);
+        assert!(Command::parse("save").is_err());
+        assert!(Command::parse("open").is_err());
+    }
+
+    #[test]
+    fn checkpoint_without_workspace_is_an_error() {
+        let mut ui = Ui::new(Session::odyssey("jbb"));
+        let err = ui.execute("checkpoint").expect_err("no workspace");
+        assert!(err.to_string().contains("save <path>"), "{err}");
+    }
+
+    #[test]
+    fn resume_without_failure_is_an_error() {
+        let mut ui = Ui::new(Session::odyssey("jbb"));
+        assert!(matches!(
+            ui.execute("resume"),
+            Err(HerculesError::NothingToResume { .. })
+        ));
+    }
+
+    #[test]
+    fn saved_session_reopens_with_full_state() {
+        let root = std::env::temp_dir().join(format!("hercules-ui-ws-{}", std::process::id()));
+        std::fs::remove_dir_all(&root).ok();
+        let mut ui = Ui::new(Session::odyssey("jbb"));
+        let script = format!(
+            "save {}\n\
+             goal Layout\n\
+             expand n0\n\
+             specialize n2 EditedNetlist\n\
+             expand n2\n\
+             bind-latest\n\
+             run\n\
+             store place-flow\n",
+            root.display()
+        );
+        let transcript = ui.run_script(&script).expect("script runs");
+        assert!(transcript.contains("workspace saved"));
+        let db_len = ui.session().db().len();
+        drop(ui);
+
+        // A brand-new UI recovers the whole session from disk.
+        let mut ui = Ui::new(Session::odyssey("someone-else"));
+        let out = ui
+            .execute(&format!("open {}", root.display()))
+            .expect("reopens");
+        assert!(out.contains("7 journaled operation(s) replayed"), "{out}");
+        assert_eq!(ui.session().user(), "jbb");
+        assert_eq!(ui.session().db().len(), db_len);
+        assert_eq!(ui.session().catalog().names(), vec!["place-flow"]);
+        assert!(ui.session().last_report().expect("report").is_complete());
+        // And it keeps journaling: later commands land in the journal.
+        ui.execute("clear").expect("clears");
+        ui.execute("plan place-flow").expect("instantiates");
+        std::fs::remove_dir_all(&root).ok();
     }
 }

@@ -122,8 +122,7 @@ pub fn synthesize_and_verify(
 /// flows, which come from the Fig. 8 fixtures rather than interactive
 /// expansion).
 fn install_flow(session: &mut Session, flow: hercules_flow::TaskGraph) {
-    // Seed an empty flow, then replace it wholesale.
-    *session.flow_slot() = Some(flow);
+    session.install_flow(flow);
 }
 
 #[cfg(test)]

@@ -101,6 +101,21 @@ pub struct ExecReport {
 }
 
 impl ExecReport {
+    /// Reassembles a report from its parts — the inverse of
+    /// [`ExecReport::produced`] plus `tasks`, used when restoring a
+    /// persisted report from disk.
+    pub fn from_parts(
+        produced: HashMap<NodeId, Vec<InstanceId>>,
+        tasks: Vec<TaskRecord>,
+    ) -> ExecReport {
+        ExecReport { produced, tasks }
+    }
+
+    /// Iterates over every node's produced (or bound) instances.
+    pub fn produced(&self) -> impl Iterator<Item = (NodeId, &[InstanceId])> + '_ {
+        self.produced.iter().map(|(&n, v)| (n, v.as_slice()))
+    }
+
     /// Returns the instances produced for (or bound to) a node.
     pub fn instances_of(&self, node: NodeId) -> &[InstanceId] {
         self.produced.get(&node).map(Vec::as_slice).unwrap_or(&[])
@@ -1158,6 +1173,73 @@ mod tests {
         // the failed product was not (only the seed instance exists).
         let verification = schema.require("Verification").expect("known");
         assert_eq!(db.instances_of(verification).len(), 1, "seed only");
+    }
+
+    #[test]
+    fn empty_report_edge_cases() {
+        let report = ExecReport::default();
+        assert!(report.is_complete(), "vacuously complete");
+        assert!(report.first_error().is_none());
+        assert_eq!(report.runs(), 0);
+        assert_eq!(report.cache_hits(), 0);
+        assert_eq!(report.failed(), 0);
+        assert_eq!(report.skipped(), 0);
+        assert_eq!(report.instances_of(NodeId::from_index(0)), &[]);
+        assert!(matches!(
+            report.try_single(NodeId::from_index(0)),
+            Err(ExecError::NotSingleInstance { count: 0, .. })
+        ));
+        assert_eq!(report.produced().count(), 0);
+    }
+
+    #[test]
+    fn only_skipped_report_edge_cases() {
+        let node = NodeId::from_index(7);
+        let report = ExecReport::from_parts(
+            HashMap::new(),
+            vec![
+                TaskRecord {
+                    outputs: vec![node],
+                    action: TaskAction::Skipped,
+                    attempts: 0,
+                    duration: Duration::ZERO,
+                },
+                TaskRecord {
+                    outputs: vec![NodeId::from_index(8)],
+                    action: TaskAction::Skipped,
+                    attempts: 0,
+                    duration: Duration::ZERO,
+                },
+            ],
+        );
+        assert!(!report.is_complete(), "skipped subtasks are incomplete");
+        assert!(
+            report.first_error().is_none(),
+            "skips carry no error of their own"
+        );
+        assert_eq!(report.runs(), 0);
+        assert_eq!(report.cache_hits(), 0);
+        assert_eq!(report.failed(), 0);
+        assert_eq!(report.skipped(), 2);
+        assert!(matches!(
+            report.try_single(node),
+            Err(ExecError::NotSingleInstance { count: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn report_round_trips_through_parts() {
+        let (schema, mut db, executor) = setup();
+        let (flow, perf) = perf_flow(&schema);
+        let mut binding = Binding::new();
+        binding.bind_latest(&flow, &db);
+        let report = executor.execute(&flow, &binding, &mut db).expect("runs");
+        let produced: HashMap<NodeId, Vec<InstanceId>> =
+            report.produced().map(|(n, v)| (n, v.to_vec())).collect();
+        let rebuilt = ExecReport::from_parts(produced, report.tasks.clone());
+        assert_eq!(rebuilt.single(perf), report.single(perf));
+        assert_eq!(rebuilt.tasks, report.tasks);
+        assert_eq!(rebuilt.is_complete(), report.is_complete());
     }
 
     #[test]

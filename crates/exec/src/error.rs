@@ -41,6 +41,10 @@ pub enum ExecError {
     /// asked for the single instance of a node that has zero or
     /// several.
     NotSingleInstance { node: NodeId, count: usize },
+    /// A failure restored from a persisted report: the original error
+    /// was rendered to text when journaled, so only its message
+    /// survives.
+    Restored { message: String },
 }
 
 impl fmt::Display for ExecError {
@@ -76,6 +80,7 @@ impl fmt::Display for ExecError {
             ExecError::NotSingleInstance { node, count } => {
                 write!(f, "node {node} has {count} instances, expected exactly one")
             }
+            ExecError::Restored { message } => write!(f, "{message}"),
         }
     }
 }
@@ -131,6 +136,9 @@ mod tests {
             ExecError::NotSingleInstance {
                 node: NodeId::from_index(3),
                 count: 0,
+            },
+            ExecError::Restored {
+                message: "tool `Placer` failed: grid overflow".into(),
             },
         ];
         for e in errors {

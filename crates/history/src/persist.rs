@@ -54,29 +54,70 @@ pub struct HistorySpec {
     pub instances: Vec<InstanceSpec>,
 }
 
+impl InstanceSpec {
+    /// Captures one instance of a database (the `index`-th record, in
+    /// creation order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn capture(db: &HistoryDb, index: usize) -> InstanceSpec {
+        let i = db.instances().nth(index).expect("index in range");
+        let m = i.meta();
+        InstanceSpec {
+            entity: db.schema().entity(i.entity()).name().to_owned(),
+            user: m.user.clone(),
+            created: m.created,
+            name: m.name.clone(),
+            comment: m.comment.clone(),
+            keywords: m.keywords.clone(),
+            data: i.data().and_then(|h| db.store().get(h)).map(<[u8]>::to_vec),
+            tool: i.derivation().and_then(|d| d.tool).map(InstanceId::raw),
+            inputs: i
+                .derivation()
+                .map(|d| d.inputs.iter().map(|x| x.raw()).collect()),
+        }
+    }
+
+    /// Replays this record into `db` through the normal checked entry
+    /// points, restoring its timestamp; returns the new instance id.
+    ///
+    /// # Errors
+    ///
+    /// Returns schema errors for unknown entity names and the usual
+    /// derivation checks for corrupt records.
+    pub fn replay(&self, db: &mut HistoryDb) -> Result<InstanceId, HistoryError> {
+        let entity = db.schema().require(&self.entity)?;
+        let meta = Metadata {
+            user: self.user.clone(),
+            created: Timestamp(0), // overwritten below via clock
+            name: self.name.clone(),
+            comment: self.comment.clone(),
+            keywords: self.keywords.clone(),
+        };
+        db.clock_mut().advance_to(self.created);
+        let data = self.data.clone().unwrap_or_default();
+        match &self.inputs {
+            None => db.record_primary(entity, meta, &data),
+            Some(inputs) => {
+                let derivation = Derivation {
+                    tool: self.tool.map(InstanceId::from_raw),
+                    inputs: inputs.iter().copied().map(InstanceId::from_raw).collect(),
+                };
+                db.record_derived(entity, meta, &data, derivation)
+            }
+        }
+    }
+}
+
 impl HistorySpec {
     /// Captures a database.
     pub fn from_db(db: &HistoryDb) -> HistorySpec {
-        let instances = db
-            .instances()
-            .map(|i| {
-                let m = i.meta();
-                InstanceSpec {
-                    entity: db.schema().entity(i.entity()).name().to_owned(),
-                    user: m.user.clone(),
-                    created: m.created,
-                    name: m.name.clone(),
-                    comment: m.comment.clone(),
-                    keywords: m.keywords.clone(),
-                    data: i.data().and_then(|h| db.store().get(h)).map(<[u8]>::to_vec),
-                    tool: i.derivation().and_then(|d| d.tool).map(InstanceId::raw),
-                    inputs: i
-                        .derivation()
-                        .map(|d| d.inputs.iter().map(|x| x.raw()).collect()),
-                }
-            })
-            .collect();
-        HistorySpec { instances }
+        HistorySpec {
+            instances: (0..db.len())
+                .map(|index| InstanceSpec::capture(db, index))
+                .collect(),
+        }
     }
 
     /// Replays the records into a fresh database over `schema`.
@@ -86,30 +127,9 @@ impl HistorySpec {
     /// Returns schema errors for unknown entity names and the usual
     /// derivation checks for corrupt records.
     pub fn load(&self, schema: Arc<TaskSchema>) -> Result<HistoryDb, HistoryError> {
-        let mut db = HistoryDb::new(schema.clone());
+        let mut db = HistoryDb::new(schema);
         for spec in &self.instances {
-            let entity = schema.require(&spec.entity)?;
-            let meta = Metadata {
-                user: spec.user.clone(),
-                created: Timestamp(0), // overwritten below via clock
-                name: spec.name.clone(),
-                comment: spec.comment.clone(),
-                keywords: spec.keywords.clone(),
-            };
-            db.clock_mut().advance_to(spec.created);
-            let data = spec.data.clone().unwrap_or_default();
-            match &spec.inputs {
-                None => {
-                    db.record_primary(entity, meta, &data)?;
-                }
-                Some(inputs) => {
-                    let derivation = Derivation {
-                        tool: spec.tool.map(InstanceId::from_raw),
-                        inputs: inputs.iter().copied().map(InstanceId::from_raw).collect(),
-                    };
-                    db.record_derived(entity, meta, &data, derivation)?;
-                }
-            }
+            spec.replay(&mut db)?;
         }
         Ok(db)
     }

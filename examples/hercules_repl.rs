@@ -2,8 +2,10 @@
 //!
 //! Reads Fig. 9 commands from stdin (`goal`, `expand`, `specialize`,
 //! `browse`, `select`, `bind-latest`, `run`, `history`, `uses`,
-//! `store`, `plan`, `show`, `catalogs`, `clear`); when stdin is closed
-//! or empty a short demo script runs instead.
+//! `store`, `plan`, `show`, `catalogs`, `clear`, plus the durable
+//! workspace commands `save <dir>`, `open <dir>`, `checkpoint`, and
+//! `resume`); when stdin is closed or empty a short demo script runs
+//! instead.
 //!
 //! ```sh
 //! cargo run --example hercules_repl            # demo script

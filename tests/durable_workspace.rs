@@ -1,0 +1,300 @@
+//! Durability suite: crash-injection over the journaled workspace and
+//! resumable execution.
+//!
+//! The crash test truncates the journal at *every* byte offset and
+//! asserts that recovery (a) never fails or panics, (b) restores
+//! exactly the state after the last fully journaled command — a prefix
+//! of the acknowledged history — and (c) never resurrects state from
+//! the torn tail.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use hercules::encaps::odyssey_registry;
+use hercules::exec::{ExecError, FailurePolicy, FaultPlan, FaultyEncapsulation, TaskAction};
+use hercules::flow::NodeId;
+use hercules::history::{Derivation, InstanceId, Metadata};
+use hercules::store::{scan_frames, Workspace};
+use hercules::ui::{Command, Ui};
+use hercules::{eda, Session, SessionSpec};
+
+fn temp_root(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("hercules-durable-{tag}-{}-{n}", std::process::id()))
+}
+
+/// Wraps the registered encapsulation of `tool` in a fault injector and
+/// re-registers the wrapper; returns it for call-count inspection.
+fn inject(session: &mut Session, tool: &str, plan: FaultPlan) -> Arc<FaultyEncapsulation> {
+    let schema = session.schema().clone();
+    let entity = schema.require(tool).expect("known tool");
+    let executor = session.executor_mut();
+    let inner = executor
+        .registry()
+        .lookup(&schema, entity)
+        .expect("tool registered")
+        .clone();
+    let faulty = FaultyEncapsulation::wrap(inner, plan);
+    executor.registry_mut().register(entity, faulty.clone());
+    faulty
+}
+
+/// Records one EditedNetlist instance so abstract netlist leaves have
+/// something to bind to.
+fn seed_netlist(session: &mut Session) -> InstanceId {
+    let schema = session.schema().clone();
+    let editor = schema.require("CircuitEditor").expect("known");
+    let edited = schema.require("EditedNetlist").expect("known");
+    let tool = session.db().instances_of(editor)[0];
+    let cell = eda::cells::full_adder();
+    session
+        .db_mut()
+        .record_derived(
+            edited,
+            Metadata::by("chaos").named(&cell.name),
+            &cell.to_bytes(),
+            Derivation::by_tool(tool, []),
+        )
+        .expect("records")
+}
+
+/// The Fig. 6 verification flow with both branches expanded (see
+/// `chaos_flow.rs`): branch A edits the netlist, branch B places and
+/// extracts the layout, and the comparator consumes both.
+struct Fig6 {
+    verification: NodeId,
+    edited: NodeId,
+    layout: NodeId,
+    extracted: NodeId,
+}
+
+fn fig6_flow(session: &mut Session) -> Fig6 {
+    let seeded = seed_netlist(session);
+    let verification = session.start_from_goal("Verification").expect("starts");
+    let created = session.expand(verification).expect("expands");
+    let edited = created[1];
+    let extracted = created[2];
+    session
+        .specialize(edited, "EditedNetlist")
+        .expect("specializes");
+    session.expand(edited).expect("expands"); // editor
+    let created = session.expand(extracted).expect("expands"); // extractor, layout
+    let layout = created[1];
+    let created = session.expand(layout).expect("expands"); // placer, netlist, rules
+    session.select(created[1], seeded);
+    session.bind_latest().expect("binds");
+    Fig6 {
+        verification,
+        edited,
+        layout,
+        extracted,
+    }
+}
+
+#[test]
+fn crash_at_every_journal_byte_offset_recovers_a_committed_prefix() {
+    let root = temp_root("crash");
+    let mut ui = Ui::new(Session::odyssey("jbb"));
+    ui.execute(&format!("save {}", root.display()))
+        .expect("saves");
+
+    // Seven mutating commands — each acknowledged, hence each one a
+    // fsynced journal frame. Reference snapshots after each.
+    let mut refs = vec![SessionSpec::from_session(ui.session())];
+    for cmd in [
+        "goal Layout",
+        "expand n0",
+        "specialize n2 EditedNetlist",
+        "expand n2",
+        "bind-latest",
+        "run",
+        "store place-flow",
+    ] {
+        ui.execute(cmd).expect(cmd);
+        refs.push(SessionSpec::from_session(ui.session()));
+    }
+    drop(ui);
+
+    let journal = fs::read(root.join("journal-0.log")).expect("journal exists");
+    let scan = scan_frames(&journal);
+    assert_eq!(scan.payloads.len(), 7, "one frame per mutating command");
+    assert_eq!(scan.trailing, 0);
+
+    for cut in 0..=journal.len() {
+        // Simulate a crash that tore the journal at byte `cut`.
+        let dir = temp_root("cut");
+        fs::create_dir_all(&dir).expect("mkdir");
+        fs::copy(root.join("MANIFEST"), dir.join("MANIFEST")).expect("manifest");
+        fs::copy(
+            root.join("checkpoint-0.json"),
+            dir.join("checkpoint-0.json"),
+        )
+        .expect("checkpoint");
+        fs::write(dir.join("journal-0.log"), &journal[..cut]).expect("prefix");
+
+        // Recovery must never fail and never panic.
+        let (_ws, session, report) = Workspace::open_session(&dir, |s| odyssey_registry(s))
+            .unwrap_or_else(|e| panic!("recovery failed at byte {cut}: {e}"));
+
+        // It restores exactly the last fully journaled command...
+        let frames = scan.offsets.iter().filter(|&&end| end <= cut).count();
+        assert_eq!(report.ops_replayed, frames, "at byte {cut}");
+        assert_eq!(
+            SessionSpec::from_session(&session),
+            refs[frames],
+            "state after recovery at byte {cut} must equal the state \
+             after the {frames} committed command(s) — no more, no less"
+        );
+
+        // ...and truncates the torn remainder away.
+        let valid = scan
+            .offsets
+            .get(frames.wrapping_sub(1))
+            .copied()
+            .unwrap_or(0);
+        assert_eq!(
+            report.bytes_discarded,
+            (cut - valid) as u64,
+            "at byte {cut}"
+        );
+        assert_eq!(
+            fs::metadata(dir.join("journal-0.log")).expect("meta").len(),
+            valid as u64,
+            "journal truncated to the valid prefix at byte {cut}"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn resume_reruns_only_failed_and_skipped_subtasks() {
+    let mut session = Session::odyssey("chaos");
+    session.executor_mut().options_mut().failure = FailurePolicy::ContinueDisjoint;
+    let schema = session.schema().clone();
+    let placer = schema.require("Placer").expect("known");
+    let real = session
+        .executor_mut()
+        .registry()
+        .lookup(&schema, placer)
+        .expect("registered")
+        .clone();
+    let faulty = inject(&mut session, "Placer", FaultPlan::AlwaysPanic);
+    let nodes = fig6_flow(&mut session);
+
+    session.run().expect("continues past the failure");
+    let first = session.last_report().expect("report").clone();
+    assert_eq!((first.failed(), first.skipped()), (1, 2));
+    let committed = first.try_single(nodes.edited).expect("branch A committed");
+
+    // Lift the fault, then resume: only the failed cone re-runs.
+    session.executor_mut().registry_mut().register(placer, real);
+    let report = session.resume().expect("completes").clone();
+    assert!(report.is_complete());
+    assert_eq!(
+        report.cache_hits(),
+        1,
+        "the committed editor branch came from the history"
+    );
+    assert_eq!(report.runs(), 3, "placer, extractor, comparator re-ran");
+    assert_eq!(
+        report.try_single(nodes.edited).expect("bound"),
+        committed,
+        "resume reuses the committed instance, not a re-run"
+    );
+    let record = report
+        .tasks
+        .iter()
+        .find(|t| t.outputs.contains(&nodes.edited))
+        .expect("recorded");
+    assert_eq!(record.action, TaskAction::Cached);
+    for node in [nodes.layout, nodes.extracted, nodes.verification] {
+        assert!(report.try_single(node).is_ok(), "{node} produced");
+    }
+    assert_eq!(faulty.calls(), 1, "the faulty placer never ran again");
+
+    let events = session.events();
+    assert_eq!(events.len(), 2);
+    assert_eq!(events[1].operation, "resume");
+    assert!(events[1].is_clean());
+    assert_eq!(events[1].cache_hits, 1);
+
+    // A second resume has nothing left to do.
+    assert!(matches!(
+        session.resume(),
+        Err(hercules::HerculesError::NothingToResume { .. })
+    ));
+}
+
+#[test]
+fn interrupted_run_resumes_after_reopen_from_disk() {
+    let root = temp_root("resume");
+    let mut session = Session::odyssey("jbb");
+    session.executor_mut().options_mut().failure = FailurePolicy::ContinueDisjoint;
+    inject(&mut session, "Placer", FaultPlan::AlwaysPanic);
+    let seeded = seed_netlist(&mut session);
+
+    let mut ui = Ui::new(session);
+    ui.execute(&format!("save {}", root.display()))
+        .expect("saves");
+    for cmd in [
+        "goal Verification".to_owned(),
+        "expand n0".to_owned(),
+        "specialize n2 EditedNetlist".to_owned(),
+        "expand n2".to_owned(),
+        "expand n3".to_owned(),
+        "expand n6".to_owned(),
+        format!("select n8 i{}", seeded.raw()),
+        "bind-latest".to_owned(),
+    ] {
+        ui.execute(&cmd).expect(&cmd);
+    }
+    let out = ui.apply(Command::Run).expect("continues past the failure");
+    assert!(out.contains("1 failed, 2 skipped"), "{out}");
+    drop(ui); // crash
+
+    // A fresh process recovers the partial execution from disk. `open`
+    // attaches the standard (un-faulted) registry, so the placer works.
+    let mut ui = Ui::new(Session::odyssey("someone-else"));
+    ui.execute(&format!("open {}", root.display()))
+        .expect("recovers");
+    let report = ui.session().last_report().expect("restored");
+    assert!(!report.is_complete());
+    assert!(
+        matches!(report.first_error(), Some(ExecError::Restored { .. })),
+        "failures survive as restored (textual) errors"
+    );
+
+    let out = ui.execute("resume").expect("completes");
+    assert!(out.contains("cache hit(s)"), "{out}");
+    let report = ui.session().last_report().expect("resumed");
+    assert!(report.is_complete());
+    assert_eq!(report.cache_hits(), 1, "committed branch A reused");
+    assert_eq!(report.runs(), 3, "only the failed cone re-ran");
+    let record = report
+        .tasks
+        .iter()
+        .find(|t| t.outputs.contains(&NodeId::from_index(2)))
+        .expect("editor subtask recorded");
+    assert_eq!(record.action, TaskAction::Cached);
+    drop(ui); // crash again
+
+    // The resume itself was journaled: a third process sees completion.
+    let mut ui = Ui::new(Session::odyssey("third"));
+    ui.execute(&format!("open {}", root.display()))
+        .expect("reopens");
+    assert!(ui.session().last_report().expect("present").is_complete());
+
+    // Checkpoint rotates the generation; reopening lands on it.
+    ui.execute("checkpoint").expect("rotates");
+    drop(ui);
+    let (ws, session, recovery) =
+        Workspace::open_session(&root, |s| odyssey_registry(s)).expect("opens gen 1");
+    assert_eq!(ws.generation(), 1);
+    assert_eq!(recovery.ops_replayed, 0, "rotated journal is empty");
+    assert!(session.last_report().expect("present").is_complete());
+    fs::remove_dir_all(&root).ok();
+}
