@@ -1,0 +1,176 @@
+//! Flow lint passes (`HL02xx`).
+//!
+//! These run over §3.2 structures: dynamically defined task graphs. The
+//! structural gate (now [`TaskGraph::validate_all`]) catches illegal
+//! graphs; these passes find legal flows that can never become
+//! executable or contain pointless work — abstract nodes awaiting
+//! specialization, half-expanded tasks, redundant duplicate expansions,
+//! and sub-flows with nothing to run.
+
+use std::collections::BTreeMap;
+
+use hercules_flow::{NodeId, TaskGraph};
+use hercules_schema::EntityTypeId;
+
+use crate::diag::{Diagnostic, Diagnostics, Severity, Span};
+
+/// Runs every flow pass. The caller is expected to have reported gate
+/// errors from [`TaskGraph::validate_all`] already; these passes are
+/// robust to (and skip) nodes the gate rejected.
+pub fn lint_flow_passes(flow: &TaskGraph, out: &mut Diagnostics) {
+    abstract_node(flow, out);
+    incomplete_expansion(flow, out);
+    duplicate_expansion(flow, out);
+    inert_subflow(flow, out);
+    unconsumed_tool(flow, out);
+}
+
+/// HL0201: a node whose entity is abstract. An abstract *interior*
+/// node is a real defect — the expand gate refuses to expand abstract
+/// nodes (§3.2: "the circuit in Fig. 4b was specialized to an
+/// ExtractedNetlist before expansion"), so one can only arise through
+/// raw construction, and executing it would instantiate an abstract
+/// entity. An abstract *leaf* is merely advisory: binding resolves it
+/// to the family's latest instance (Fig. 3 binds its optional prior
+/// netlist exactly this way), but which subtype it gets depends on
+/// history contents rather than the flow's author.
+fn abstract_node(flow: &TaskGraph, out: &mut Diagnostics) {
+    let schema = flow.schema();
+    for (id, node) in flow.nodes() {
+        let entity = schema.entity(node.entity());
+        if !schema.is_abstract(node.entity()) {
+            continue;
+        }
+        if flow.is_expanded(id) {
+            out.push(Diagnostic::new(
+                "HL0201",
+                Severity::Warn,
+                Span::node(id, entity.name()),
+                format!(
+                    "interior node {id} is the abstract entity `{}`; executing it would \
+                     instantiate an abstract entity — specialize before expansion",
+                    entity.name()
+                ),
+            ));
+        } else {
+            out.push(Diagnostic::new(
+                "HL0201",
+                Severity::Info,
+                Span::node(id, entity.name()),
+                format!(
+                    "leaf node {id} is the abstract entity `{}`; it will bind to whatever \
+                     subtype the history holds — specialize it to pin the type",
+                    entity.name()
+                ),
+            ));
+        }
+    }
+}
+
+/// HL0202: an interior (expanded) node missing required inputs. Legal
+/// mid-construction, but the flow is not runnable until they are
+/// supplied; this reports *all* of them at once.
+fn incomplete_expansion(flow: &TaskGraph, out: &mut Diagnostics) {
+    let schema = flow.schema();
+    for id in flow.interior() {
+        let Ok(missing) = flow.missing_deps(id) else {
+            continue; // unmatchable edges were reported by the gate
+        };
+        if missing.is_empty() {
+            continue;
+        }
+        let Ok(entity) = flow.entity_of(id) else {
+            continue;
+        };
+        let names: Vec<&str> = missing
+            .iter()
+            .map(|d| schema.entity(d.source()).name())
+            .collect();
+        out.push(Diagnostic::new(
+            "HL0202",
+            Severity::Warn,
+            Span::node(id, schema.entity(entity).name()),
+            format!(
+                "expansion of node {id} is missing required input(s): {}",
+                names.join(", ")
+            ),
+        ));
+    }
+}
+
+/// HL0203: redundant duplicate expansions — two interior nodes of the
+/// same entity fed by exactly the same producers. The engine would
+/// schedule the construction twice for one result.
+fn duplicate_expansion(flow: &TaskGraph, out: &mut Diagnostics) {
+    /// Construction signature: the entity plus its exact producer set.
+    type Construction = (EntityTypeId, Vec<(NodeId, bool)>);
+    let schema = flow.schema();
+    let mut groups: BTreeMap<Construction, Vec<NodeId>> = BTreeMap::new();
+    for id in flow.interior() {
+        let Ok(entity) = flow.entity_of(id) else {
+            continue;
+        };
+        let mut producers: Vec<(NodeId, bool)> = flow
+            .producers_of(id)
+            .map(|e| (e.source(), e.is_functional()))
+            .collect();
+        producers.sort_unstable();
+        groups.entry((entity, producers)).or_default().push(id);
+    }
+    for ((entity, _), ids) in groups {
+        if ids.len() < 2 {
+            continue;
+        }
+        let name = schema.entity(entity).name();
+        out.push(Diagnostic::new(
+            "HL0203",
+            Severity::Warn,
+            Span::subflow(ids.iter()),
+            format!(
+                "nodes {} all construct `{name}` from the same producers; \
+                 the duplicate expansions are redundant",
+                ids.iter()
+                    .map(|i| i.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        ));
+    }
+}
+
+/// HL0204: a weakly connected component with no interior node — a
+/// sub-flow with no task to execute.
+fn inert_subflow(flow: &TaskGraph, out: &mut Diagnostics) {
+    for component in flow.components() {
+        if component.iter().any(|&id| flow.is_expanded(id)) {
+            continue;
+        }
+        out.push(Diagnostic::new(
+            "HL0204",
+            Severity::Info,
+            Span::subflow(component.iter()),
+            format!(
+                "sub-flow of {} node(s) contains no task to execute",
+                component.len()
+            ),
+        ));
+    }
+}
+
+/// HL0205: a tool node that feeds nothing. A tool placed in a flow
+/// exists to run a task; one with no consumers is dead weight (its
+/// sub-flow's outputs feed nothing).
+fn unconsumed_tool(flow: &TaskGraph, out: &mut Diagnostics) {
+    let schema = flow.schema();
+    for (id, node) in flow.nodes() {
+        let entity = schema.entity(node.entity());
+        if entity.kind().is_tool() && flow.consumers_of(id).next().is_none() {
+            out.push(Diagnostic::new(
+                "HL0205",
+                Severity::Warn,
+                Span::node(id, entity.name()),
+                format!("tool node {id} (`{}`) feeds no task", entity.name()),
+            ));
+        }
+    }
+}

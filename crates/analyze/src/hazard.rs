@@ -1,0 +1,218 @@
+//! The parallel-hazard detector (`HL03xx`).
+//!
+//! §3.3 claims disjoint sub-flows "could be executed in parallel"; the
+//! execution engine (`crates/exec/src/engine.rs`) and the cluster
+//! scheduler (`cluster.rs`) do exactly that — any two subtasks with no
+//! dependency path between them may run concurrently. This pass
+//! computes the engine's subtask grouping (interior nodes sharing one
+//! tool node and one data-input set form a single multi-output
+//! subtask), derives the may-run-concurrently relation from graph
+//! reachability, and flags the conflicts the parallel-execution claim
+//! otherwise takes on faith:
+//!
+//! * **write/write** (`HL0301`) — two concurrent subtasks both record
+//!   instances of the same entity type; which becomes the "latest"
+//!   version in the design history depends on scheduling.
+//! * **read/write** (`HL0302`) — one subtask reads a *bound* instance
+//!   (a leaf) of an entity type a concurrent subtask is producing a new
+//!   instance of; the read result is stale the moment it is used.
+//! * **family overlap** (`HL0303`, advisory) — concurrent subtasks
+//!   touch distinct entity types of one subtype family, so version
+//!   queries over the family (`browse`, `bind-latest`) become
+//!   schedule-sensitive.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+use hercules_flow::{NodeId, TaskGraph};
+use hercules_schema::EntityTypeId;
+
+use crate::diag::{Diagnostic, Diagnostics, Severity, Span};
+
+/// One scheduled unit, as the engine groups it: the interior nodes a
+/// single tool invocation produces, plus what it consumes.
+#[derive(Debug, Clone)]
+struct Subtask {
+    /// Interior nodes this invocation constructs.
+    outputs: Vec<NodeId>,
+    /// Data-input nodes (leaves or other subtasks' outputs).
+    inputs: Vec<NodeId>,
+}
+
+/// Groups interior nodes exactly as the engine does: same tool node +
+/// same sorted data-input set = one multi-output subtask.
+fn group_subtasks(flow: &TaskGraph) -> Vec<Subtask> {
+    let mut groups: BTreeMap<(Option<NodeId>, Vec<NodeId>), Vec<NodeId>> = BTreeMap::new();
+    for id in flow.interior() {
+        let tool = flow.tool_of(id);
+        let mut inputs = flow.data_inputs_of(id);
+        inputs.sort_unstable();
+        groups.entry((tool, inputs)).or_default().push(id);
+    }
+    groups
+        .into_iter()
+        .map(|((tool, mut inputs), outputs)| {
+            if let Some(t) = tool {
+                inputs.push(t);
+            }
+            Subtask { outputs, inputs }
+        })
+        .collect()
+}
+
+/// Runs the hazard passes. Skipped entirely on cyclic graphs (the gate
+/// reports those; reachability is undefined).
+pub fn lint_hazards(flow: &TaskGraph, out: &mut Diagnostics) {
+    let Ok(order) = flow.topo_order() else {
+        return;
+    };
+    let subtasks = group_subtasks(flow);
+    if subtasks.len() < 2 {
+        return;
+    }
+
+    // Descendant sets per node, accumulated in reverse topological
+    // order: desc[n] = {n} ∪ desc[every consumer of n].
+    let mut desc: HashMap<NodeId, HashSet<NodeId>> = HashMap::new();
+    for &n in order.iter().rev() {
+        let mut set: HashSet<NodeId> = HashSet::new();
+        set.insert(n);
+        for e in flow.consumers_of(n) {
+            if let Some(d) = desc.get(&e.target()) {
+                set.extend(d.iter().copied());
+            }
+        }
+        desc.insert(n, set);
+    }
+    let reaches = |a: NodeId, b: NodeId| a != b && desc.get(&a).is_some_and(|d| d.contains(&b));
+    // Subtask A precedes B when any output of A reaches any output of B.
+    let precedes = |a: &Subtask, b: &Subtask| {
+        a.outputs
+            .iter()
+            .any(|&x| b.outputs.iter().any(|&y| reaches(x, y)))
+    };
+
+    let schema = flow.schema();
+    let family = |t: EntityTypeId| {
+        let mut f: BTreeSet<EntityTypeId> = BTreeSet::new();
+        f.insert(t);
+        f.extend(schema.supertype_chain(t));
+        f
+    };
+    let produced = |s: &Subtask| -> BTreeSet<EntityTypeId> {
+        s.outputs
+            .iter()
+            .filter_map(|&n| flow.entity_of(n).ok())
+            .collect()
+    };
+    // Leaf reads: bound instances consumed straight from the history.
+    let leaf_reads = |s: &Subtask| -> BTreeSet<EntityTypeId> {
+        s.inputs
+            .iter()
+            .filter(|&&n| !flow.is_expanded(n))
+            .filter_map(|&n| flow.entity_of(n).ok())
+            .collect()
+    };
+
+    for i in 0..subtasks.len() {
+        for j in (i + 1)..subtasks.len() {
+            let (a, b) = (&subtasks[i], &subtasks[j]);
+            if precedes(a, b) || precedes(b, a) {
+                continue;
+            }
+            let span = || {
+                Span::subflow(
+                    a.outputs
+                        .iter()
+                        .chain(b.outputs.iter())
+                        .map(|n| n.to_string()),
+                )
+            };
+            let (pa, pb) = (produced(a), produced(b));
+            let mut family_hits: BTreeSet<EntityTypeId> = BTreeSet::new();
+
+            // Write/write: both concurrently produce the same type.
+            for &t in pa.intersection(&pb) {
+                out.push(Diagnostic::new(
+                    "HL0301",
+                    Severity::Warn,
+                    span(),
+                    format!(
+                        "subtasks [{}] and [{}] can run in parallel and both produce `{}`; \
+                         which instance becomes the latest version is schedule-dependent",
+                        names(a),
+                        names(b),
+                        schema.entity(t).name()
+                    ),
+                ));
+                family_hits.insert(t);
+            }
+
+            // Read/write: one side reads a bound instance of a type the
+            // other side is producing.
+            for (reader, writer, pw) in [(a, b, &pb), (b, a, &pa)] {
+                for &t in leaf_reads(reader).intersection(pw) {
+                    out.push(Diagnostic::new(
+                        "HL0302",
+                        Severity::Warn,
+                        span(),
+                        format!(
+                            "subtask [{}] reads a bound `{}` instance while concurrent \
+                             subtask [{}] produces a new one; the read is stale the \
+                             moment it is used",
+                            names(reader),
+                            schema.entity(t).name(),
+                            names(writer)
+                        ),
+                    ));
+                    family_hits.insert(t);
+                }
+            }
+
+            // Family overlap (advisory): distinct types, shared family.
+            let mut reported: BTreeSet<(EntityTypeId, EntityTypeId)> = BTreeSet::new();
+            let touched_b: BTreeSet<EntityTypeId> = pb.union(&leaf_reads(b)).copied().collect();
+            for &ta in pa.union(&leaf_reads(a)) {
+                for &tb in &touched_b {
+                    if ta == tb || family_hits.contains(&ta) || family_hits.contains(&tb) {
+                        continue;
+                    }
+                    let shared: Vec<EntityTypeId> =
+                        family(ta).intersection(&family(tb)).copied().collect();
+                    let Some(&root) = shared.first() else {
+                        continue;
+                    };
+                    let key = if ta < tb { (ta, tb) } else { (tb, ta) };
+                    if !reported.insert(key) {
+                        continue;
+                    }
+                    // Only producer-involved overlaps matter; two reads
+                    // of one family are harmless.
+                    if !pa.contains(&ta) && !pb.contains(&tb) {
+                        continue;
+                    }
+                    out.push(Diagnostic::new(
+                        "HL0303",
+                        Severity::Info,
+                        span(),
+                        format!(
+                            "concurrent subtasks touch `{}` and `{}` of the same subtype \
+                             family (`{}`); family-wide version queries are \
+                             schedule-sensitive",
+                            schema.entity(ta).name(),
+                            schema.entity(tb).name(),
+                            schema.entity(root).name()
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn names(s: &Subtask) -> String {
+    s.outputs
+        .iter()
+        .map(|n| n.to_string())
+        .collect::<Vec<_>>()
+        .join("+")
+}

@@ -1,0 +1,236 @@
+//! Schema lint passes (`HL01xx`).
+//!
+//! These run over §3.1 structures: entity types, functional/data
+//! dependency arcs, optional (loop-breaking) arcs, subtype forests, and
+//! composite annotations. The build gate already rejects malformed
+//! schemas; these passes find *legal but broken-in-practice* designs —
+//! entities no tool run can ever produce, subtypes that change nothing,
+//! tool-typed inputs that deadlock construction.
+
+use std::collections::HashMap;
+
+use hercules_schema::{SchemaSpec, TaskSchema};
+
+use crate::diag::{Diagnostic, Diagnostics, Severity, Span};
+
+/// Runs every schema pass over a valid schema.
+pub fn lint_schema(schema: &TaskSchema, out: &mut Diagnostics) {
+    inconstructible_entity(schema, out);
+    unused_tool(schema, out);
+    subtype_passes(schema, out);
+    tool_input_deadlock(schema, out);
+    orphan_entity(schema, out);
+}
+
+/// HL0101: required-dependency cycles detected directly on a
+/// [`SchemaSpec`], before the build gate. The gate reports the same
+/// condition as `HL0006` but stops at the first error; this pass runs
+/// even when the spec has other problems, so a broken spec still gets a
+/// complete cycle report. Arcs naming unknown entities are ignored
+/// (they are reported separately by the gate).
+pub fn spec_cycle_pass(spec: &SchemaSpec, out: &mut Diagnostics) {
+    let index: HashMap<&str, usize> = spec
+        .entities
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (e.name.as_str(), i))
+        .collect();
+    let n = spec.entities.len();
+    let mut indegree = vec![0usize; n];
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for dep in &spec.deps {
+        if dep.optional {
+            continue;
+        }
+        let (Some(&s), Some(&t)) = (
+            index.get(dep.source.as_str()),
+            index.get(dep.target.as_str()),
+        ) else {
+            continue;
+        };
+        indegree[t] += 1;
+        dependents[s].push(t);
+    }
+    let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut seen = 0usize;
+    while let Some(i) = ready.pop() {
+        seen += 1;
+        for &t in &dependents[i] {
+            indegree[t] -= 1;
+            if indegree[t] == 0 {
+                ready.push(t);
+            }
+        }
+    }
+    if seen == n {
+        return;
+    }
+    let members: Vec<&str> = (0..n)
+        .filter(|&i| indegree[i] > 0)
+        .map(|i| spec.entities[i].name.as_str())
+        .collect();
+    out.push(Diagnostic::new(
+        "HL0101",
+        Severity::Error,
+        Span::entity(&members.join(", ")),
+        format!(
+            "required dependencies cycle through [{}] and no optional arc breaks the loop; \
+             construction of these entities can never finish",
+            members.join(", ")
+        ),
+    ));
+}
+
+/// HL0102: an entity that declares data dependencies but has no way to
+/// come into existence — no functional dependency, not a composite, and
+/// no constructible subtype. It is unreachable from any tool output,
+/// yet its declared inputs suggest it was meant to be constructed.
+fn inconstructible_entity(schema: &TaskSchema, out: &mut Diagnostics) {
+    for id in schema.entity_ids() {
+        if !schema.supertype_chain(id).is_empty() {
+            continue; // subtype defects get the more specific HL0104/HL0105
+        }
+        if schema.data_deps(id).next().is_some() && !schema.is_constructible(id) {
+            let e = schema.entity(id);
+            out.push(Diagnostic::new(
+                "HL0102",
+                Severity::Warn,
+                Span::entity(e.name()),
+                format!(
+                    "`{}` declares data dependencies but no tool, composition, or subtype \
+                     produces it; it is unreachable from any tool output",
+                    e.name()
+                ),
+            ));
+        }
+    }
+}
+
+/// HL0103: a tool that no construction rule references — neither the
+/// tool itself nor any of its supertypes is the source of any arc, and
+/// it has no subtypes that could be referenced in its place.
+fn unused_tool(schema: &TaskSchema, out: &mut Diagnostics) {
+    for id in schema.entity_ids() {
+        let e = schema.entity(id);
+        if !e.kind().is_tool() || !schema.subtypes(id).is_empty() {
+            continue;
+        }
+        let mut family = vec![id];
+        family.extend(schema.supertype_chain(id));
+        if family
+            .iter()
+            .all(|&f| schema.dependents_of(f).next().is_none())
+        {
+            out.push(Diagnostic::new(
+                "HL0103",
+                Severity::Warn,
+                Span::entity(e.name()),
+                format!(
+                    "tool `{}` is not referenced by any functional or data dependency; \
+                     no task can ever invoke it",
+                    e.name()
+                ),
+            ));
+        }
+    }
+}
+
+/// HL0104 / HL0105: subtypes that change nothing. A subtype with no
+/// construction method of its own either *never specializes* (HL0104:
+/// nothing anywhere in its family constructs, so selecting it is a
+/// no-op) or *shadows* an ancestor's construction method (HL0105: the
+/// ancestor has a functional dependency, but expansion of the
+/// specialized node uses the subtype's — empty — dependency set, hiding
+/// the method).
+fn subtype_passes(schema: &TaskSchema, out: &mut Diagnostics) {
+    for id in schema.entity_ids() {
+        let chain = schema.supertype_chain(id);
+        if chain.is_empty() || schema.is_constructible(id) {
+            continue;
+        }
+        let e = schema.entity(id);
+        let ancestor_method = chain.iter().find(|&&a| schema.functional_dep(a).is_some());
+        if let Some(&a) = ancestor_method {
+            out.push(Diagnostic::new(
+                "HL0105",
+                Severity::Warn,
+                Span::entity(e.name()),
+                format!(
+                    "subtype `{}` shadows the construction method of `{}`: specializing to it \
+                     hides the ancestor's functional dependency and adds none of its own",
+                    e.name(),
+                    schema.entity(a).name()
+                ),
+            ));
+        } else if schema.deps_of(id).is_empty() && schema.subtypes(id).is_empty() {
+            out.push(Diagnostic::new(
+                "HL0104",
+                Severity::Warn,
+                Span::entity(e.name()),
+                format!(
+                    "subtype `{}` never specializes: it adds no construction method, \
+                     dependencies, or further subtypes over `{}`",
+                    e.name(),
+                    schema.entity(chain[0]).name()
+                ),
+            ));
+        }
+    }
+}
+
+/// HL0106: a required *data* dependency on a tool entity that wants to
+/// be constructed (it has data dependencies of its own) but cannot be
+/// (no functional dependency, composition, or constructible subtype).
+/// Any flow needing the dependent entity deadlocks waiting for a tool
+/// no task can produce (§3.3 builds tools *during* design — Fig. 2 —
+/// which is exactly when this wiring mistake happens).
+fn tool_input_deadlock(schema: &TaskSchema, out: &mut Diagnostics) {
+    for dep in schema.deps() {
+        if !dep.is_data() || !dep.is_required() {
+            continue;
+        }
+        let src = schema.entity(dep.source());
+        if src.kind().is_tool()
+            && schema.data_deps(dep.source()).next().is_some()
+            && !schema.is_constructible(dep.source())
+        {
+            let target = schema.entity(dep.target());
+            out.push(Diagnostic::new(
+                "HL0106",
+                Severity::Warn,
+                Span::dependency(target.name(), src.name()),
+                format!(
+                    "`{}` requires tool `{}` as a data input, but that tool declares inputs \
+                     and has no construction method: the dependency can deadlock",
+                    target.name(),
+                    src.name()
+                ),
+            ));
+        }
+    }
+}
+
+/// HL0107: a data entity that participates in nothing — no
+/// dependencies, no dependents, no subtype relations. Dead weight in
+/// the schema.
+fn orphan_entity(schema: &TaskSchema, out: &mut Diagnostics) {
+    for id in schema.entity_ids() {
+        let e = schema.entity(id);
+        if e.kind().is_data()
+            && schema.deps_of(id).is_empty()
+            && schema.dependents_of(id).next().is_none()
+            && schema.supertype_chain(id).is_empty()
+            && schema.subtypes(id).is_empty()
+        {
+            out.push(Diagnostic::new(
+                "HL0107",
+                Severity::Info,
+                Span::entity(e.name()),
+                format!(
+                    "entity `{}` participates in no dependency or subtype relation",
+                    e.name()
+                ),
+            ));
+        }
+    }
+}

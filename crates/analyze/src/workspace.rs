@@ -1,0 +1,228 @@
+//! Workspace lint passes (`HL04xx`): journal/manifest invariant checks
+//! over a saved durable workspace (`crates/core/src/store.rs` layout).
+//!
+//! The layout under audit: a `MANIFEST` JSON document naming the
+//! current generation's `checkpoint-N.json` (a [`SessionSpec`]) and
+//! `journal-N.log` (CRC32-framed [`JournalOp`] records). `herclint
+//! --workspace <dir>` checks every invariant [`Workspace::open_session`]
+//! relies on — without mutating anything: recovery *truncates* a torn
+//! journal tail, the linter merely reports it.
+
+use std::path::Path;
+
+use hercules::exec::EncapsulationRegistry;
+use hercules::store::scan_frames;
+use hercules::{JournalOp, Session, SessionSpec};
+use serde::Deserialize;
+
+use crate::diag::{Diagnostic, Diagnostics, Severity, Span};
+use crate::lint_session;
+
+/// Mirror of the store's private manifest document. The store owns the
+/// write path; the linter only needs the read shape, so it keeps its
+/// own deserializer rather than widening the store's API.
+#[derive(Debug, Deserialize)]
+struct ManifestDoc {
+    generation: u64,
+    checkpoint: String,
+    journal: String,
+}
+
+/// Lints a durable workspace directory. Each invariant violation is
+/// one diagnostic; once the checkpoint restores and the journal
+/// replays cleanly, the recovered session is linted like a live one
+/// (schema, flow, hazard, and staleness passes).
+pub fn lint_workspace(root: &Path, out: &mut Diagnostics) {
+    let manifest_path = root.join("MANIFEST");
+    let text = match std::fs::read_to_string(&manifest_path) {
+        Ok(text) => text,
+        Err(e) => {
+            out.push(Diagnostic::new(
+                "HL0401",
+                Severity::Error,
+                Span::file("MANIFEST"),
+                format!("workspace has no readable MANIFEST: {e}"),
+            ));
+            return;
+        }
+    };
+    let manifest: ManifestDoc = match serde_json::from_str(&text) {
+        Ok(m) => m,
+        Err(e) => {
+            out.push(Diagnostic::new(
+                "HL0402",
+                Severity::Error,
+                Span::file("MANIFEST"),
+                format!("MANIFEST is not a valid manifest document: {e}"),
+            ));
+            return;
+        }
+    };
+
+    orphan_generations(root, &manifest, out);
+
+    let session = restore_checkpoint(root, &manifest, out);
+    let replayed = check_journal(root, &manifest, session, out);
+    if let Some(session) = replayed {
+        lint_session(&session, out);
+    }
+}
+
+/// HL0403/HL0404: the checkpoint named by MANIFEST must exist, parse,
+/// and restore. Restoration uses an empty encapsulation registry —
+/// journal replay is extensional (recorded instances and reports, no
+/// tool execution), so no real tool bindings are needed.
+fn restore_checkpoint(
+    root: &Path,
+    manifest: &ManifestDoc,
+    out: &mut Diagnostics,
+) -> Option<Session> {
+    let text = match std::fs::read_to_string(root.join(&manifest.checkpoint)) {
+        Ok(text) => text,
+        Err(e) => {
+            out.push(Diagnostic::new(
+                "HL0403",
+                Severity::Error,
+                Span::file(&manifest.checkpoint),
+                format!(
+                    "checkpoint `{}` named by MANIFEST (generation {}) is unreadable: {e}",
+                    manifest.checkpoint, manifest.generation
+                ),
+            ));
+            return None;
+        }
+    };
+    let spec = match SessionSpec::from_json(&text) {
+        Ok(spec) => spec,
+        Err(e) => {
+            out.push(Diagnostic::new(
+                "HL0404",
+                Severity::Error,
+                Span::file(&manifest.checkpoint),
+                format!("checkpoint does not parse as a session: {e}"),
+            ));
+            return None;
+        }
+    };
+    match spec.restore_with(|_| EncapsulationRegistry::new()) {
+        Ok(session) => Some(session),
+        Err(e) => {
+            out.push(Diagnostic::new(
+                "HL0404",
+                Severity::Error,
+                Span::file(&manifest.checkpoint),
+                format!("checkpoint does not restore to a session: {e}"),
+            ));
+            None
+        }
+    }
+}
+
+/// HL0405–HL0408: the journal must exist; its tail may be torn (warn —
+/// recovery truncates it); every checksummed frame must parse as a
+/// [`JournalOp`]; every parsed op must replay against the checkpoint.
+/// Returns the fully replayed session when everything is clean enough
+/// to keep linting.
+fn check_journal(
+    root: &Path,
+    manifest: &ManifestDoc,
+    session: Option<Session>,
+    out: &mut Diagnostics,
+) -> Option<Session> {
+    let buf = match std::fs::read(root.join(&manifest.journal)) {
+        Ok(buf) => buf,
+        Err(e) => {
+            out.push(Diagnostic::new(
+                "HL0405",
+                Severity::Error,
+                Span::file(&manifest.journal),
+                format!(
+                    "journal `{}` named by MANIFEST (generation {}) is unreadable: {e}",
+                    manifest.journal, manifest.generation
+                ),
+            ));
+            return session;
+        }
+    };
+    let scan = scan_frames(&buf);
+    if scan.trailing > 0 {
+        out.push(Diagnostic::new(
+            "HL0406",
+            Severity::Warn,
+            Span::file(&manifest.journal),
+            format!(
+                "journal ends in a torn or corrupt tail of {} byte(s) after {} valid frame(s); \
+                 recovery will truncate it",
+                scan.trailing,
+                scan.payloads.len()
+            ),
+        ));
+    }
+    let mut session = session;
+    let mut replay_ok = session.is_some();
+    for (i, payload) in scan.payloads.iter().enumerate() {
+        let op: JournalOp = match serde_json::from_slice(payload) {
+            Ok(op) => op,
+            Err(e) => {
+                out.push(Diagnostic::new(
+                    "HL0407",
+                    Severity::Error,
+                    Span::frame(i),
+                    format!("checksummed journal frame does not parse as an operation: {e}"),
+                ));
+                replay_ok = false;
+                continue;
+            }
+        };
+        if !replay_ok {
+            continue; // one failure poisons everything downstream
+        }
+        if let Some(s) = session.as_mut() {
+            if let Err(e) = op.replay(s) {
+                out.push(Diagnostic::new(
+                    "HL0408",
+                    Severity::Error,
+                    Span::frame(i),
+                    format!("journaled operation does not replay against the checkpoint: {e}"),
+                ));
+                replay_ok = false;
+            }
+        }
+    }
+    if replay_ok {
+        session
+    } else {
+        None
+    }
+}
+
+/// HL0409: generation files present on disk but not named by MANIFEST.
+/// Harmless (checkpointing leaves the previous generation behind until
+/// the next rotation) but worth knowing about when auditing disk use.
+fn orphan_generations(root: &Path, manifest: &ManifestDoc, out: &mut Diagnostics) {
+    let Ok(entries) = std::fs::read_dir(root) else {
+        return;
+    };
+    let mut orphans: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|name| {
+            let generation_file = (name.starts_with("checkpoint-") && name.ends_with(".json"))
+                || (name.starts_with("journal-") && name.ends_with(".log"));
+            generation_file && *name != manifest.checkpoint && *name != manifest.journal
+        })
+        .collect();
+    orphans.sort();
+    for name in orphans {
+        out.push(Diagnostic::new(
+            "HL0409",
+            Severity::Info,
+            Span::file(&name),
+            format!(
+                "`{name}` belongs to a generation MANIFEST does not reference \
+                 (current generation is {})",
+                manifest.generation
+            ),
+        ));
+    }
+}

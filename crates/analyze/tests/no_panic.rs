@@ -1,0 +1,133 @@
+//! Robustness properties: herclint never panics and always terminates,
+//! whatever schema spec or task graph it is pointed at.
+
+use std::sync::Arc;
+
+use hercules_analyze::{lint_flow, lint_schema_spec, Diagnostics};
+use hercules_flow::TaskGraph;
+use hercules_schema::{synth::SynthConfig, DepKind, DepSpec, EntityKind, EntitySpec, SchemaSpec};
+use proptest::prelude::*;
+
+/// Arbitrary entity declarations over a small, colliding name pool —
+/// duplicates, dangling supertypes, and composites included.
+fn entity_soup() -> impl Strategy<Value = Vec<EntitySpec>> {
+    prop::collection::vec(
+        (
+            0usize..6,
+            prop::option::of(Just(EntityKind::Tool)),
+            prop::option::of(0usize..6),
+            prop::bool::ANY,
+        ),
+        0..8,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .map(|(n, tool, sup, composite)| EntitySpec {
+                name: format!("E{n}"),
+                kind: Some(if tool.is_some() {
+                    EntityKind::Tool
+                } else {
+                    EntityKind::Data
+                }),
+                supertype: sup.map(|s| format!("E{s}")),
+                description: String::new(),
+                composite,
+            })
+            .collect()
+    })
+}
+
+/// Arbitrary dependency declarations — unknown names, self-loops,
+/// duplicates, optional functional arcs, everything.
+fn dep_soup() -> impl Strategy<Value = Vec<DepSpec>> {
+    prop::collection::vec(
+        (0usize..8, 0usize..8, prop::bool::ANY, prop::bool::ANY),
+        0..12,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .map(|(t, s, functional, optional)| DepSpec {
+                target: format!("E{t}"),
+                source: format!("E{s}"),
+                kind: if functional {
+                    DepKind::Functional
+                } else {
+                    DepKind::Data
+                },
+                optional,
+            })
+            .collect()
+    })
+}
+
+fn synth_config() -> impl Strategy<Value = SynthConfig> {
+    (1usize..5, 1usize..5, 1usize..4, 0usize..3).prop_map(|(layers, width, fanin, subtypes)| {
+        SynthConfig {
+            layers,
+            width,
+            fanin,
+            subtypes,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `lint_schema_spec` terminates without panicking on arbitrary —
+    /// mostly malformed — specs, and never reports anything when it
+    /// builds a clean synthetic schema's spec.
+    #[test]
+    fn schema_linting_never_panics(entities in entity_soup(), deps in dep_soup()) {
+        let spec = SchemaSpec { entities, deps };
+        let mut out = Diagnostics::new();
+        let _ = lint_schema_spec(&spec, &mut out);
+        // Codes are well-formed whatever happened.
+        for d in out.iter() {
+            prop_assert!(d.code.starts_with("HL"), "bad code {}", d.code);
+        }
+    }
+
+    /// Raw graph soup over a valid synthetic schema: `lint_flow` (gates,
+    /// flow passes, hazard detector) never panics, including on cyclic
+    /// graphs and schema-illegal edges.
+    #[test]
+    fn flow_linting_never_panics(
+        cfg in synth_config(),
+        nodes in prop::collection::vec(0usize..64, 1..10),
+        edges in prop::collection::vec((0usize..10, 0usize..10, prop::bool::ANY), 0..16),
+    ) {
+        let schema = Arc::new(cfg.generate());
+        let mut flow = TaskGraph::new(schema.clone());
+        let ids: Vec<_> = nodes
+            .iter()
+            .map(|&n| {
+                let ents: Vec<_> = schema.entity_ids().collect();
+                flow.add_node_raw(ents[n % ents.len()]).expect("in range")
+            })
+            .collect();
+        for (s, t, functional) in edges {
+            let kind = if functional { DepKind::Functional } else { DepKind::Data };
+            let _ = flow.add_edge_raw(ids[s % ids.len()], ids[t % ids.len()], kind);
+        }
+        let mut out = Diagnostics::new();
+        lint_flow(&flow, &mut out);
+        for d in out.iter() {
+            prop_assert!(d.code.starts_with("HL"), "bad code {}", d.code);
+        }
+    }
+
+    /// Linting a clean synthetic schema is idempotent and stable: two
+    /// runs produce identical findings.
+    #[test]
+    fn schema_linting_is_deterministic(cfg in synth_config()) {
+        let spec = cfg.generate().to_spec();
+        let mut a = Diagnostics::new();
+        let mut b = Diagnostics::new();
+        let _ = lint_schema_spec(&spec, &mut a);
+        let _ = lint_schema_spec(&spec, &mut b);
+        let left: Vec<_> = a.iter().cloned().collect();
+        let right: Vec<_> = b.iter().cloned().collect();
+        prop_assert_eq!(left, right);
+    }
+}

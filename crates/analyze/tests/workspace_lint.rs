@@ -1,0 +1,246 @@
+//! Workspace lint (`HL04xx`) tests: a clean workspace, a torn journal
+//! tail, a corrupt frame, a missing manifest, an orphan generation, a
+//! replay failure — plus the whole-analyzer breadth check.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use hercules::store::{encode_frame, Workspace};
+use hercules::{JournalOp, Session};
+use hercules_analyze::{lint_flow, lint_schema_spec, lint_workspace, Diagnostics, Layer, Severity};
+use hercules_flow::TaskGraph;
+use hercules_schema::fixtures;
+
+fn temp_root(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let root = std::env::temp_dir().join(format!("herclint-ws-{tag}-{}-{n}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    root
+}
+
+/// A saved session with some journaled work on top.
+fn seeded_workspace(tag: &str) -> PathBuf {
+    let root = temp_root(tag);
+    let session = Session::odyssey("auditor");
+    let mut ws = Workspace::create(&root, &session).expect("creates");
+    let op = JournalOp::Flow(hercules::FlowOp::Seed {
+        entity: "Performance".to_owned(),
+    });
+    ws.append(&op).expect("appends");
+    root
+}
+
+fn lint(root: &std::path::Path) -> Diagnostics {
+    let mut out = Diagnostics::new();
+    lint_workspace(root, &mut out);
+    out
+}
+
+#[test]
+fn clean_workspace_has_no_workspace_findings() {
+    let root = seeded_workspace("clean");
+    let out = lint(&root);
+    assert!(
+        !out.iter().any(|d| d.code.starts_with("HL04")),
+        "got:\n{}",
+        out.render_text()
+    );
+    assert_eq!(out.count(Severity::Error), 0);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn missing_manifest_is_an_error() {
+    let root = temp_root("nomanifest");
+    fs::create_dir_all(&root).expect("mkdir");
+    let out = lint(&root);
+    let d = out.iter().find(|d| d.code == "HL0401").expect("HL0401");
+    assert_eq!(d.severity, Severity::Error);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn corrupt_manifest_is_an_error() {
+    let root = temp_root("badmanifest");
+    fs::create_dir_all(&root).expect("mkdir");
+    fs::write(root.join("MANIFEST"), b"not a manifest").expect("writes");
+    let out = lint(&root);
+    assert!(out.iter().any(|d| d.code == "HL0402"));
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn torn_journal_tail_is_a_warning_not_an_error() {
+    let root = seeded_workspace("torn");
+    let journal = root.join("journal-0.log");
+    let mut buf = fs::read(&journal).expect("reads");
+    buf.extend_from_slice(&[0xde, 0xad, 0xbe]); // 3 torn bytes
+    fs::write(&journal, &buf).expect("writes");
+    let out = lint(&root);
+    let d = out.iter().find(|d| d.code == "HL0406").expect("HL0406");
+    assert_eq!(d.severity, Severity::Warn);
+    assert!(d.message.contains("3 byte(s)"));
+    // The valid prefix still replays; no replay errors.
+    assert!(!out.iter().any(|d| d.code == "HL0408"));
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn checksummed_garbage_frame_is_an_error() {
+    let root = seeded_workspace("badframe");
+    let journal = root.join("journal-0.log");
+    let mut buf = fs::read(&journal).expect("reads");
+    buf.extend_from_slice(&encode_frame(b"not an operation"));
+    fs::write(&journal, &buf).expect("writes");
+    let out = lint(&root);
+    let d = out.iter().find(|d| d.code == "HL0407").expect("HL0407");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.span.name.contains("frame 1"), "span: {}", d.span);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn unreplayable_operation_is_an_error() {
+    let root = seeded_workspace("badreplay");
+    let journal = root.join("journal-0.log");
+    let op = JournalOp::Flow(hercules::FlowOp::Seed {
+        entity: "NoSuchEntity".to_owned(),
+    });
+    let payload = serde_json::to_vec(&op).expect("serializes");
+    let mut buf = fs::read(&journal).expect("reads");
+    buf.extend_from_slice(&encode_frame(&payload));
+    fs::write(&journal, &buf).expect("writes");
+    let out = lint(&root);
+    let d = out.iter().find(|d| d.code == "HL0408").expect("HL0408");
+    assert_eq!(d.severity, Severity::Error);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn missing_checkpoint_and_journal_are_errors() {
+    let root = seeded_workspace("missingfiles");
+    fs::remove_file(root.join("checkpoint-0.json")).expect("removes");
+    fs::remove_file(root.join("journal-0.log")).expect("removes");
+    let out = lint(&root);
+    assert!(out.iter().any(|d| d.code == "HL0403"));
+    assert!(out.iter().any(|d| d.code == "HL0405"));
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn stray_generation_files_are_reported() {
+    let root = seeded_workspace("orphan");
+    fs::write(root.join("checkpoint-99.json"), b"{}").expect("writes");
+    fs::write(root.join("journal-99.log"), b"").expect("writes");
+    let out = lint(&root);
+    let orphans: Vec<_> = out.iter().filter(|d| d.code == "HL0409").collect();
+    assert_eq!(orphans.len(), 2, "got:\n{}", out.render_text());
+    assert!(orphans.iter().all(|d| d.severity == Severity::Info));
+    let _ = fs::remove_dir_all(&root);
+}
+
+/// The acceptance breadth check: across schema, flow, hazard, and
+/// workspace targets herclint reports at least ten distinct stable
+/// codes spanning at least three registry layers.
+#[test]
+fn at_least_ten_distinct_codes_across_layers() {
+    let mut all = Diagnostics::new();
+
+    // Schema layer: a cyclic spec plus a gate-valid spec with every
+    // schema-pass defect (mirrors the golden tests).
+    use hercules_schema::{DepKind, DepSpec, EntityKind, EntitySpec, SchemaSpec};
+    let ent = |name: &str, kind| EntitySpec {
+        name: name.to_owned(),
+        kind: Some(kind),
+        supertype: None,
+        description: String::new(),
+        composite: false,
+    };
+    let sub = |name: &str, sup: &str| EntitySpec {
+        name: name.to_owned(),
+        kind: None,
+        supertype: Some(sup.to_owned()),
+        description: String::new(),
+        composite: false,
+    };
+    let dep = |target: &str, source: &str, kind, optional| DepSpec {
+        target: target.to_owned(),
+        source: source.to_owned(),
+        kind,
+        optional,
+    };
+    let cyclic = SchemaSpec {
+        entities: vec![ent("A", EntityKind::Data), ent("B", EntityKind::Data)],
+        deps: vec![
+            dep("A", "B", DepKind::Data, false),
+            dep("B", "A", DepKind::Data, false),
+        ],
+    };
+    lint_schema_spec(&cyclic, &mut all);
+    let bad = SchemaSpec {
+        entities: vec![
+            ent("Ghost", EntityKind::Data),
+            ent("Src", EntityKind::Data),
+            ent("IdleTool", EntityKind::Tool),
+            ent("Base", EntityKind::Data),
+            ent("Maker", EntityKind::Tool),
+            sub("Sub", "Base"),
+            ent("Root", EntityKind::Data),
+            sub("Inert", "Root"),
+            ent("SelfMade", EntityKind::Tool),
+            ent("User", EntityKind::Data),
+            ent("UserMaker", EntityKind::Tool),
+            ent("Lonely", EntityKind::Data),
+        ],
+        deps: vec![
+            dep("Ghost", "Src", DepKind::Data, false),
+            dep("Base", "Maker", DepKind::Functional, false),
+            dep("SelfMade", "Src", DepKind::Data, false),
+            dep("User", "SelfMade", DepKind::Data, false),
+            dep("User", "UserMaker", DepKind::Functional, false),
+        ],
+    };
+    lint_schema_spec(&bad, &mut all);
+
+    // Flow + hazard layers: seeded defects and a seeded conflict.
+    let schema = Arc::new(fixtures::fig1());
+    let mut flow = TaskGraph::new(schema.clone());
+    let edited = schema.require("EditedNetlist").expect("known");
+    let a = flow.seed(edited).expect("seeds");
+    flow.expand(a).expect("expands");
+    let b = flow.seed(edited).expect("seeds");
+    flow.expand(b).expect("expands");
+    flow.add_node_raw(schema.require("Simulator").expect("known"))
+        .expect("node");
+    lint_flow(&flow, &mut all);
+
+    // Workspace layer: a torn tail and an orphan generation.
+    let root = seeded_workspace("breadth");
+    let journal = root.join("journal-0.log");
+    let mut buf = fs::read(&journal).expect("reads");
+    buf.extend_from_slice(&[0xff; 5]);
+    fs::write(&journal, &buf).expect("writes");
+    fs::write(root.join("checkpoint-7.json"), b"{}").expect("writes");
+    lint_workspace(&root, &mut all);
+    let _ = fs::remove_dir_all(&root);
+
+    let codes = all.codes();
+    assert!(
+        codes.len() >= 10,
+        "expected >= 10 distinct codes, got {}: {:?}",
+        codes.len(),
+        codes
+    );
+    let layers: std::collections::BTreeSet<Layer> = codes
+        .iter()
+        .filter_map(|c| hercules_analyze::pass(c))
+        .map(|p| p.layer)
+        .collect();
+    assert!(
+        layers.len() >= 3,
+        "expected >= 3 layers, got {layers:?} from {codes:?}"
+    );
+}

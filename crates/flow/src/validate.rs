@@ -6,8 +6,8 @@
 //! "unchecked build, validate once" ablation) and as the executable-flow
 //! gate used by the execution engine.
 
-#[cfg(test)]
-use hercules_schema::DepKind;
+use std::collections::HashSet;
+
 use hercules_schema::Dependency;
 
 use crate::error::FlowError;
@@ -25,26 +25,48 @@ impl TaskGraph {
     ///
     /// # Errors
     ///
-    /// Returns the first violation found.
+    /// Returns the first violation found; [`TaskGraph::validate_all`]
+    /// collects every violation instead.
     pub fn validate(&self) -> Result<(), FlowError> {
-        self.topo_order()?;
-        for (i, e) in self.edges.iter().enumerate() {
-            self.node(e.source())?;
-            self.node(e.target())?;
-            if self.edges[..i].iter().any(|p| {
-                p.source() == e.source() && p.target() == e.target() && p.kind() == e.kind()
-            }) {
-                return Err(FlowError::DuplicateEdge(e.source(), e.target()));
+        match self.validate_all().into_iter().next() {
+            Some(err) => Err(err),
+            None => Ok(()),
+        }
+    }
+
+    /// Runs every structural check of [`TaskGraph::validate`] to
+    /// completion and returns *all* violations, in the same order
+    /// `validate` would encounter them. An empty vector means the flow
+    /// is structurally valid. This is the collector behind both the
+    /// pass/fail gate and `herclint`'s exhaustive reporting.
+    pub fn validate_all(&self) -> Vec<FlowError> {
+        let mut out = Vec::new();
+        if let Err(e) = self.topo_order() {
+            out.push(e);
+        }
+        // Duplicate (source, target, kind) triples via a single hash-set
+        // sweep: O(E) instead of the quadratic prefix rescans.
+        let mut seen = HashSet::with_capacity(self.edge_count());
+        for e in self.edges() {
+            for end in [e.source(), e.target()] {
+                if let Err(err) = self.node(end) {
+                    out.push(err);
+                }
+            }
+            if !seen.insert((e.source(), e.target(), e.kind())) {
+                out.push(FlowError::DuplicateEdge(e.source(), e.target()));
             }
         }
         for id in self.node_ids() {
             let functional = self.producers_of(id).filter(|e| e.is_functional()).count();
             if functional > 1 {
-                return Err(FlowError::DuplicateFunctionalEdge(id));
+                out.push(FlowError::DuplicateFunctionalEdge(id));
             }
-            self.match_edges_to_deps(id)?;
+            if let Err(e) = self.match_edges_to_deps(id) {
+                out.push(e);
+            }
         }
-        Ok(())
+        out
     }
 
     /// Validates that the flow is structurally sound *and* ready to run:
@@ -56,16 +78,33 @@ impl TaskGraph {
     /// As [`TaskGraph::validate`], plus
     /// [`FlowError::IncompleteExpansion`].
     pub fn validate_for_execution(&self) -> Result<(), FlowError> {
-        self.validate()?;
+        match self.validate_for_execution_all().into_iter().next() {
+            Some(err) => Err(err),
+            None => Ok(()),
+        }
+    }
+
+    /// As [`TaskGraph::validate_all`], plus one
+    /// [`FlowError::IncompleteExpansion`] per missing required
+    /// dependency of every interior node.
+    pub fn validate_for_execution_all(&self) -> Vec<FlowError> {
+        let mut out = self.validate_all();
         for id in self.interior() {
-            if let Some(missing) = self.missing_deps(id)?.first() {
-                return Err(FlowError::IncompleteExpansion {
-                    entity: self.schema().entity(self.entity_of(id)?).name().to_owned(),
-                    missing: self.schema().entity(missing.source()).name().to_owned(),
+            // Nodes whose edges cannot be matched were already reported.
+            let Ok(missing) = self.missing_deps(id) else {
+                continue;
+            };
+            let Ok(entity) = self.entity_of(id) else {
+                continue;
+            };
+            for dep in missing {
+                out.push(FlowError::IncompleteExpansion {
+                    entity: self.schema().entity(entity).name().to_owned(),
+                    missing: self.schema().entity(dep.source()).name().to_owned(),
                 });
             }
         }
-        Ok(())
+        out
     }
 
     /// Returns `true` if every required dependency of `id`'s entity has a
@@ -181,7 +220,7 @@ impl TaskGraph {
 mod tests {
     use super::*;
     use crate::expand::Expansion;
-    use hercules_schema::{fixtures, TaskSchema};
+    use hercules_schema::{fixtures, DepKind, TaskSchema};
     use std::sync::Arc;
 
     fn fig1_arc() -> Arc<TaskSchema> {
@@ -330,6 +369,58 @@ mod tests {
         assert!(!flow.is_fully_expanded(perf).expect("live"));
         let missing = flow.missing_deps(perf).expect("live");
         assert_eq!(missing.len(), 2, "circuit + stimuli");
+    }
+
+    #[test]
+    fn validate_all_collects_every_violation() {
+        // One duplicate edge AND one illegal edge: the gate stops at the
+        // first, the collector reports both.
+        let schema = fig1_arc();
+        let mut flow = TaskGraph::new(schema.clone());
+        let perf = flow
+            .add_node_raw(schema.require("Performance").expect("known"))
+            .expect("ok");
+        let plot = flow
+            .add_node_raw(schema.require("PerformancePlot").expect("known"))
+            .expect("ok");
+        let stim = flow
+            .add_node_raw(schema.require("Stimuli").expect("known"))
+            .expect("ok");
+        flow.add_edge_raw(perf, plot, DepKind::Data).expect("ok");
+        flow.add_edge_raw(perf, plot, DepKind::Data).expect("ok");
+        flow.add_edge_raw(stim, plot, DepKind::Data).expect("ok");
+        let all = flow.validate_all();
+        assert!(all
+            .iter()
+            .any(|e| matches!(e, FlowError::DuplicateEdge(_, _))));
+        assert!(all
+            .iter()
+            .any(|e| matches!(e, FlowError::EdgeNotInSchema { .. })));
+        assert_eq!(
+            flow.validate().unwrap_err(),
+            all[0],
+            "gate reports the collector's first finding"
+        );
+    }
+
+    #[test]
+    fn execution_collector_reports_every_missing_dep() {
+        let schema = fig1_arc();
+        let mut flow = TaskGraph::new(schema.clone());
+        let sim = flow
+            .add_node_raw(schema.require("Simulator").expect("known"))
+            .expect("ok");
+        let perf = flow
+            .add_node_raw(schema.require("Performance").expect("known"))
+            .expect("ok");
+        flow.add_edge_raw(sim, perf, DepKind::Functional)
+            .expect("ok");
+        let all = flow.validate_for_execution_all();
+        let missing: Vec<_> = all
+            .iter()
+            .filter(|e| matches!(e, FlowError::IncompleteExpansion { .. }))
+            .collect();
+        assert_eq!(missing.len(), 2, "circuit + stimuli both reported");
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! Bench-guard: `TaskGraph::validate` must stay linear-ish in the edge
+//! count. The duplicate-edge scan used to compare every edge pair
+//! (O(E²)); on the 40 000-duplicate graph below that is ~800M tuple
+//! comparisons, which blows far past the bound. The hash-set scan
+//! finishes in milliseconds.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hercules_flow::{FlowError, TaskGraph};
+use hercules_schema::{DepKind, SchemaBuilder};
+
+#[test]
+fn duplicate_scan_is_not_quadratic() {
+    let mut b = SchemaBuilder::new();
+    let hub = b.data("Hub");
+    let spoke = b.data("Spoke");
+    b.data_dep(hub, spoke);
+    let schema = Arc::new(b.build().expect("valid"));
+
+    let mut flow = TaskGraph::new(schema.clone());
+    let s = flow.add_node_raw(spoke).expect("node");
+    let h = flow.add_node_raw(hub).expect("node");
+    const COPIES: usize = 40_000;
+    for _ in 0..COPIES {
+        flow.add_edge_raw(s, h, DepKind::Data).expect("edge");
+    }
+
+    let start = Instant::now();
+    let all = flow.validate_all();
+    let elapsed = start.elapsed();
+
+    let duplicates = all
+        .iter()
+        .filter(|e| matches!(e, FlowError::DuplicateEdge(..)))
+        .count();
+    assert_eq!(duplicates, COPIES - 1, "every extra copy is reported");
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "validate_all took {elapsed:?} on {COPIES} duplicate edges — quadratic regression?"
+    );
+}
+
+#[test]
+fn wide_distinct_flow_validates_quickly() {
+    let mut b = SchemaBuilder::new();
+    let hub = b.data("Hub");
+    let spoke = b.data("Spoke");
+    b.data_dep(hub, spoke);
+    let schema = Arc::new(b.build().expect("valid"));
+
+    // 4 000 disjoint spoke->hub pairs: all edges distinct, every hub
+    // interior and fully matched against the schema.
+    let mut flow = TaskGraph::new(schema.clone());
+    for _ in 0..4_000 {
+        let s = flow.add_node_raw(spoke).expect("node");
+        let h = flow.add_node_raw(hub).expect("node");
+        flow.add_edge_raw(s, h, DepKind::Data).expect("edge");
+    }
+
+    let start = Instant::now();
+    let all = flow.validate_all();
+    let elapsed = start.elapsed();
+    assert!(all.is_empty(), "distinct edges are clean: {all:?}");
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "validate_all took {elapsed:?} on a wide distinct flow"
+    );
+}

@@ -10,6 +10,8 @@
 //! functions here detect staleness; the execution engine's retrace uses
 //! them to recompute only what is affected.
 
+use std::fmt;
+
 use crate::db::HistoryDb;
 use crate::error::HistoryError;
 use crate::instance::InstanceId;
@@ -23,6 +25,16 @@ pub struct Staleness {
     pub outdated_input: InstanceId,
     /// The newest version superseding that input.
     pub newer_version: InstanceId,
+}
+
+impl fmt::Display for Staleness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "instance {} is out of date: input {} has been superseded by {}",
+            self.instance, self.outdated_input, self.newer_version
+        )
+    }
 }
 
 impl HistoryDb {

@@ -90,68 +90,82 @@ pub(crate) fn resolve_kinds(
 /// [`SchemaBuilder::build`](crate::SchemaBuilder::build) after the
 /// structural indexes exist.
 pub(crate) fn validate(schema: &TaskSchema) -> Result<(), SchemaError> {
-    check_functional_sources(schema)?;
-    check_abstract_entities(schema)?;
-    check_composites(schema)?;
-    check_required_acyclic(schema)?;
-    Ok(())
+    match audit(schema).into_iter().next() {
+        Some(err) => Err(err),
+        None => Ok(()),
+    }
 }
 
-fn check_functional_sources(schema: &TaskSchema) -> Result<(), SchemaError> {
+/// Runs every post-index validation rule to completion and collects all
+/// violations, in the order [`validate`] would encounter them. The gate
+/// reports the first; exhaustive reporters (`herclint`) consume the
+/// whole list.
+pub(crate) fn audit(schema: &TaskSchema) -> Vec<SchemaError> {
+    let mut out = Vec::new();
+    check_functional_sources(schema, &mut out);
+    check_abstract_entities(schema, &mut out);
+    check_composites(schema, &mut out);
+    check_required_acyclic(schema, &mut out);
+    out
+}
+
+fn check_functional_sources(schema: &TaskSchema, out: &mut Vec<SchemaError>) {
     for id in schema.entity_ids() {
         if let Some(dep) = schema.functional_dep(id) {
             let src = schema.entity(dep.source());
             if src.kind() != EntityKind::Tool {
-                return Err(SchemaError::FunctionalDepOnNonTool {
+                out.push(SchemaError::FunctionalDepOnNonTool {
                     entity: schema.entity(id).name().to_owned(),
                     source: src.name().to_owned(),
                 });
             }
         }
     }
-    Ok(())
 }
 
-fn check_abstract_entities(schema: &TaskSchema) -> Result<(), SchemaError> {
+fn check_abstract_entities(schema: &TaskSchema, out: &mut Vec<SchemaError>) {
     for id in schema.entity_ids() {
         let has_constructing_subtype = schema
             .subtypes(id)
             .iter()
             .any(|&s| schema.functional_dep(s).is_some());
         if has_constructing_subtype && schema.functional_dep(id).is_some() {
-            return Err(SchemaError::AbstractEntityWithFunctionalDep {
+            out.push(SchemaError::AbstractEntityWithFunctionalDep {
                 entity: schema.entity(id).name().to_owned(),
             });
         }
     }
-    Ok(())
 }
 
-fn check_composites(schema: &TaskSchema) -> Result<(), SchemaError> {
+fn check_composites(schema: &TaskSchema, out: &mut Vec<SchemaError>) {
     for id in schema.entity_ids() {
         let e = schema.entity(id);
         if e.is_composite()
             && (schema.functional_dep(id).is_some() || schema.data_deps(id).next().is_none())
         {
-            return Err(SchemaError::InvalidComposite {
+            out.push(SchemaError::InvalidComposite {
                 entity: e.name().to_owned(),
             });
         }
     }
-    Ok(())
 }
 
 /// Kahn's algorithm over required arcs; any leftover entities form the
 /// cycle we report.
-fn check_required_acyclic(schema: &TaskSchema) -> Result<(), SchemaError> {
+fn check_required_acyclic(schema: &TaskSchema, out: &mut Vec<SchemaError>) {
     let n = schema.len();
     // A required self-loop gets its own, more actionable error.
+    let mut self_loop = false;
     for dep in schema.deps() {
         if dep.is_required() && dep.source() == dep.target() {
-            return Err(SchemaError::RequiredSelfDependency {
+            self_loop = true;
+            out.push(SchemaError::RequiredSelfDependency {
                 entity: schema.entity(dep.source()).name().to_owned(),
             });
         }
+    }
+    if self_loop {
+        return;
     }
 
     let mut indegree = vec![0usize; n];
@@ -175,13 +189,13 @@ fn check_required_acyclic(schema: &TaskSchema) -> Result<(), SchemaError> {
         }
     }
     if seen == n {
-        return Ok(());
+        return;
     }
     let members: Vec<String> = (0..n)
         .filter(|&i| indegree[i] > 0)
         .map(|i| schema.entity(EntityTypeId::from_index(i)).name().to_owned())
         .collect();
-    Err(SchemaError::RequiredDependencyCycle { entities: members })
+    out.push(SchemaError::RequiredDependencyCycle { entities: members });
 }
 
 #[cfg(test)]

@@ -103,4 +103,64 @@ proptest! {
             prop_assert_eq!(schema.topo_order().len(), schema.len());
         }
     }
+
+    /// Richer soup with subtype links and composite flags on top of
+    /// the arc soup: the validator still only admits schemas that
+    /// uphold every invariant, including the subtype rules.
+    #[test]
+    fn validator_holds_under_subtype_and_composite_soup(
+        n_entities in 2usize..8,
+        subtype_links in prop::collection::vec((0usize..8, 0usize..8), 0..6),
+        composites in prop::collection::vec(0usize..8, 0..3),
+        edges in prop::collection::vec((0usize..8, 0usize..8, prop::bool::ANY, prop::bool::ANY), 0..12),
+    ) {
+        let mut b = SchemaBuilder::new();
+        let mut ids: Vec<_> = (0..n_entities)
+            .map(|i| if i % 3 == 0 {
+                b.tool(&format!("T{i}"))
+            } else {
+                b.data(&format!("D{i}"))
+            })
+            .collect();
+        // Layer subtypes on top of anything built so far — including
+        // other subtypes, giving multi-level chains.
+        for (i, (base, _)) in subtype_links.iter().enumerate() {
+            let sup = ids[base % ids.len()];
+            ids.push(b.subtype(&format!("S{i}"), sup));
+        }
+        // Composites over arbitrary member sets, empty ones included
+        // (the gate must reject those).
+        for (i, seed) in composites.iter().enumerate() {
+            let members: Vec<_> = ids.iter().copied().take(seed % 3).collect();
+            ids.push(b.composite(&format!("C{i}"), &members));
+        }
+        let n_total = ids.len();
+        for (s, t, functional, optional) in edges {
+            let (s, t) = (ids[s % n_total], ids[t % n_total]);
+            match (functional, optional) {
+                (true, _) => { b.functional(t, s); }
+                (false, false) => { b.data_dep(t, s); }
+                (false, true) => { b.optional_data_dep(t, s); }
+            }
+        }
+        if let Ok(schema) = b.build() {
+            for id in schema.entity_ids() {
+                // Subtype chains terminate (no cycles) and preserve kind.
+                let chain = schema.supertype_chain(id);
+                prop_assert!(chain.len() <= schema.len());
+                for &sup in &chain {
+                    prop_assert_eq!(schema.entity(sup).kind(), schema.entity(id).kind());
+                }
+                // Abstract entities never carry a construction method.
+                if schema.is_abstract(id) {
+                    prop_assert!(schema.functional_dep(id).is_none());
+                }
+                // Composites must have members to compose.
+                if schema.entity(id).is_composite() {
+                    prop_assert!(schema.data_deps(id).next().is_some());
+                }
+            }
+            prop_assert_eq!(schema.topo_order().len(), schema.len());
+        }
+    }
 }

@@ -4,8 +4,8 @@
 //! `browse`, `select`, `bind-latest`, `run`, `history`, `uses`,
 //! `store`, `plan`, `show`, `catalogs`, `clear`, plus the durable
 //! workspace commands `save <dir>`, `open <dir>`, `checkpoint`, and
-//! `resume`); when stdin is closed or empty a short demo script runs
-//! instead.
+//! `resume`, and the static analyzer as `lint`); when stdin is closed
+//! or empty a short demo script runs instead.
 //!
 //! ```sh
 //! cargo run --example hercules_repl            # demo script
@@ -16,6 +16,7 @@ use std::io::BufRead as _;
 
 use hercules::ui::Ui;
 use hercules::Session;
+use hercules_analyze::{lint_session, Diagnostics};
 
 const DEMO: &str = "\
 catalogs
@@ -26,10 +27,28 @@ specialize n5 EditedNetlist
 expand n5
 expand n4
 browse n6
+select n6 i12
 bind-latest
 show
+lint
 run
+lint
 ";
+
+/// Handles one command line: `lint` runs `herclint`'s session passes
+/// over the live session; everything else goes to the Fig. 9 parser.
+fn dispatch(ui: &mut Ui, line: &str) -> Result<String, hercules::HerculesError> {
+    if line == "lint" {
+        let mut out = Diagnostics::new();
+        lint_session(ui.session(), &mut out);
+        out.sort();
+        if out.is_empty() {
+            return Ok(String::from("lint: clean\n"));
+        }
+        return Ok(out.render_text());
+    }
+    ui.execute(line)
+}
 
 fn main() {
     let interactive = std::env::args().any(|a| a == "-i" || a == "--interactive");
@@ -37,9 +56,15 @@ fn main() {
 
     if !interactive {
         println!("(running the demo script; pass -i and pipe commands for interactive use)\n");
-        match ui.run_script(DEMO) {
-            Ok(transcript) => print!("{transcript}"),
-            Err(e) => eprintln!("demo failed: {e}"),
+        for line in DEMO.lines() {
+            println!("> {line}");
+            match dispatch(&mut ui, line) {
+                Ok(out) => print!("{out}"),
+                Err(e) => {
+                    eprintln!("demo failed: {e}");
+                    return;
+                }
+            }
         }
         return;
     }
@@ -55,7 +80,7 @@ fn main() {
         if line == "quit" || line == "exit" {
             break;
         }
-        match ui.execute(line) {
+        match dispatch(&mut ui, line) {
             Ok(out) => print!("{out}"),
             Err(e) => println!("error: {e}"),
         }
