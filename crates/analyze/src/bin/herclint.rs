@@ -157,7 +157,10 @@ fn lint_fixture_targets(config: &LintConfig, targets: &mut Vec<Target>) {
         targets.push((name.to_owned(), out));
     }
     type FlowFixture = fn(Arc<TaskSchema>) -> Result<TaskGraph, hercules_flow::FlowError>;
-    let flows: [(&str, FlowFixture); 7] = [
+    fn wide_parallel4(schema: Arc<TaskSchema>) -> Result<TaskGraph, hercules_flow::FlowError> {
+        flow_fixtures::wide_parallel(schema, 4)
+    }
+    let flows: [(&str, FlowFixture); 8] = [
         ("fixture:flow/fig3", flow_fixtures::fig3),
         ("fixture:flow/fig4_edited", flow_fixtures::fig4_edited),
         ("fixture:flow/fig4_extracted", flow_fixtures::fig4_extracted),
@@ -168,6 +171,7 @@ fn lint_fixture_targets(config: &LintConfig, targets: &mut Vec<Target>) {
             "fixture:flow/fig8_verification",
             flow_fixtures::fig8_verification,
         ),
+        ("fixture:flow/wide_parallel4", wide_parallel4),
     ];
     let schema = Arc::new(schema_fixtures::fig1());
     for (name, make) in flows {

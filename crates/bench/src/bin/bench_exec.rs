@@ -1,0 +1,262 @@
+//! `bench_exec` — the executor perf harness behind `BENCH_exec.json`.
+//!
+//! Runs the Fig. 6 disjoint-branch workload three ways — serial
+//! untraced, parallel untraced, and parallel fully traced (ring-buffer
+//! collector + metrics registry) — and writes the measurements to a
+//! JSON file so successive PRs accumulate a perf trajectory.
+//!
+//! With `--check`, exits nonzero when the tracing overhead on the
+//! parallel toy flow exceeds the budget (default 5% of the untraced
+//! median), which is the CI smoke gate for the observability layer.
+//!
+//! ```sh
+//! cargo run --release -p hercules-bench --bin bench_exec -- --check
+//! ```
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use hercules::exec::{toy, Binding, Executor, MultiInstanceMode};
+use hercules::flow::TaskGraph;
+use hercules::history::HistoryDb;
+use hercules::obs::{Metrics, RingBuffer, Tracer};
+use hercules::schema::TaskSchema;
+
+const USAGE: &str = "\
+bench_exec — executor perf harness; writes BENCH_exec.json
+
+USAGE:
+    bench_exec [--out FILE] [--iters N] [--branches N] [--work-us N]
+               [--budget-percent P] [--check]
+
+    --out FILE          output path [default: BENCH_exec.json]
+    --iters N           measured iterations per config [default: 30]
+    --branches N        disjoint branches in the workload [default: 4]
+    --work-us N         simulated tool compute, µs [default: 2000]
+    --budget-percent P  tracing overhead budget for --check [default: 5]
+    --check             fail (exit 1) when overhead exceeds the budget
+";
+
+struct Options {
+    out: String,
+    iters: usize,
+    branches: usize,
+    work_us: u64,
+    budget_percent: f64,
+    check: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        out: "BENCH_exec.json".into(),
+        iters: 30,
+        branches: 4,
+        work_us: 2_000,
+        budget_percent: 5.0,
+        check: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        fn parse<T: std::str::FromStr>(v: String, name: &str) -> Result<T, String> {
+            v.parse().map_err(|_| format!("{name}: bad number"))
+        }
+        match arg.as_str() {
+            "--out" => opts.out = value("--out")?,
+            "--iters" => opts.iters = parse(value("--iters")?, "--iters")?,
+            "--branches" => opts.branches = parse(value("--branches")?, "--branches")?,
+            "--work-us" => opts.work_us = parse(value("--work-us")?, "--work-us")?,
+            "--budget-percent" => {
+                opts.budget_percent = value("--budget-percent")?
+                    .parse()
+                    .map_err(|_| "--budget-percent: bad number".to_owned())?;
+            }
+            "--check" => opts.check = true,
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    opts.iters = opts.iters.max(3);
+    Ok(opts)
+}
+
+/// One measured configuration.
+struct Sample {
+    name: &'static str,
+    parallel: bool,
+    traced: bool,
+    runs_ns: Vec<u64>,
+}
+
+impl Sample {
+    fn median_ns(&self) -> u64 {
+        let mut sorted = self.runs_ns.clone();
+        sorted.sort_unstable();
+        sorted[sorted.len() / 2]
+    }
+
+    fn mean_ns(&self) -> u64 {
+        (self.runs_ns.iter().map(|&n| u128::from(n)).sum::<u128>() / self.runs_ns.len() as u128)
+            as u64
+    }
+
+    fn min_ns(&self) -> u64 {
+        self.runs_ns.iter().copied().min().unwrap_or(0)
+    }
+
+    fn max_ns(&self) -> u64 {
+        self.runs_ns.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Workload shared by every measured configuration.
+struct Workload<'a> {
+    schema: &'a Arc<TaskSchema>,
+    flow: &'a TaskGraph,
+    db: &'a HistoryDb,
+    binding: &'a Binding,
+}
+
+fn measure(
+    name: &'static str,
+    w: &Workload<'_>,
+    opts: &Options,
+    parallel: bool,
+    traced: bool,
+) -> Sample {
+    let registry = toy::text_registry_with(
+        w.schema,
+        toy::TextTool {
+            mode: MultiInstanceMode::RunPerInstance,
+            work: Duration::from_micros(opts.work_us),
+        },
+    );
+    let mut executor = Executor::new(registry);
+    executor.options_mut().parallel = parallel;
+    if traced {
+        // The full live pipeline: every span lands in a ring buffer and
+        // every task updates the metrics registry.
+        executor.options_mut().tracer = Tracer::new(Arc::new(RingBuffer::new(65_536)));
+        executor.options_mut().metrics = Metrics::new();
+    }
+    // One warm-up iteration, then the measured runs.
+    let mut runs_ns = Vec::with_capacity(opts.iters);
+    for i in 0..=opts.iters {
+        let mut db = w.db.clone();
+        let started = Instant::now();
+        executor.execute(w.flow, w.binding, &mut db).expect("runs");
+        if i > 0 {
+            runs_ns.push(started.elapsed().as_nanos() as u64);
+        }
+    }
+    Sample {
+        name,
+        parallel,
+        traced,
+        runs_ns,
+    }
+}
+
+fn render_json(opts: &Options, samples: &[Sample], overhead_percent: f64) -> String {
+    let stamp_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"exec\",");
+    let _ = writeln!(out, "  \"unix_ms\": {stamp_ms},");
+    let _ = writeln!(
+        out,
+        "  \"workload\": {{\"fixture\": \"fig06-style disjoint branches\", \
+         \"branches\": {}, \"work_us\": {}, \"iters\": {}}},",
+        opts.branches, opts.work_us, opts.iters
+    );
+    let _ = writeln!(
+        out,
+        "  \"tracing_overhead_percent\": {overhead_percent:.3},"
+    );
+    let _ = writeln!(out, "  \"budget_percent\": {:.1},", opts.budget_percent);
+    out.push_str("  \"configs\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"parallel\": {}, \"traced\": {}, \
+             \"median_ns\": {}, \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}",
+            s.name,
+            s.parallel,
+            s.traced,
+            s.median_ns(),
+            s.mean_ns(),
+            s.min_ns(),
+            s.max_ns()
+        );
+        out.push_str(if i + 1 < samples.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_args(&args)?;
+
+    let (schema, flow, db, binding) = hercules_bench::disjoint_branches(opts.branches);
+    let w = Workload {
+        schema: &schema,
+        flow: &flow,
+        db: &db,
+        binding: &binding,
+    };
+    let samples = [
+        measure("serial", &w, &opts, false, false),
+        measure("parallel", &w, &opts, true, false),
+        measure("parallel_traced", &w, &opts, true, true),
+    ];
+
+    let base = samples[1].median_ns().max(1);
+    let traced = samples[2].median_ns();
+    let overhead_percent = (traced as f64 - base as f64) * 100.0 / base as f64;
+    let speedup = samples[0].median_ns() as f64 / base as f64;
+
+    let json = render_json(&opts, &samples, overhead_percent);
+    std::fs::write(&opts.out, &json).map_err(|e| format!("write `{}`: {e}", opts.out))?;
+
+    println!(
+        "parallel speedup over serial: {speedup:.2}x ({} branches)",
+        opts.branches
+    );
+    println!(
+        "tracing overhead: {overhead_percent:.2}% (budget {:.1}%) — wrote `{}`",
+        opts.budget_percent, opts.out
+    );
+    if opts.check && overhead_percent > opts.budget_percent {
+        eprintln!(
+            "bench_exec: FAIL — tracing overhead {overhead_percent:.2}% exceeds \
+             the {:.1}% budget",
+            opts.budget_percent
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) if msg.is_empty() => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("bench_exec: {msg}");
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -85,4 +85,5 @@ pub use hercules_eda as eda;
 pub use hercules_exec as exec;
 pub use hercules_flow as flow;
 pub use hercules_history as history;
+pub use hercules_obs as obs;
 pub use hercules_schema as schema;

@@ -199,6 +199,12 @@ pub struct TaskRecordSpec {
     pub attempts: u32,
     /// Wall-clock duration, in milliseconds.
     pub duration_ms: u64,
+    /// Start offset from the beginning of the execution, in
+    /// microseconds. Defaults to 0 so journals written before this
+    /// field existed still load (their replayed Gantt collapses onto
+    /// the origin, which is the honest rendering of missing data).
+    #[serde(default)]
+    pub started_us: u64,
 }
 
 impl TaskRecordSpec {
@@ -208,6 +214,7 @@ impl TaskRecordSpec {
             action: TaskActionSpec::of(&record.action),
             attempts: record.attempts,
             duration_ms: record.duration.as_millis() as u64,
+            started_us: record.started.as_micros() as u64,
         }
     }
 
@@ -221,6 +228,7 @@ impl TaskRecordSpec {
             action: self.action.restore(),
             attempts: self.attempts,
             duration: Duration::from_millis(self.duration_ms),
+            started: Duration::from_micros(self.started_us),
         }
     }
 }

@@ -2,10 +2,12 @@
 //! database, one flow under construction.
 
 use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
 
 use hercules_exec::{Binding, EncapsulationRegistry, ExecReport, Executor, TaskAction};
 use hercules_flow::{Expansion, FlowCatalog, FlowSpec, NodeId, TaskGraph};
 use hercules_history::{DerivationTree, HistoryDb, InstanceId};
+use hercules_obs::{Metrics, RingBuffer, TraceEvent, Tracer};
 use hercules_schema::{EntityTypeId, TaskSchema};
 use serde::{Deserialize, Serialize};
 
@@ -35,10 +37,36 @@ pub struct ExecEvent {
     pub failures: Vec<String>,
     /// The error that aborted the execution, when it returned `Err`.
     pub error: Option<String>,
+    /// Wall-clock milliseconds since the Unix epoch when the event was
+    /// recorded. Defaults to 0 when loading journals written before
+    /// this field existed.
+    #[serde(default)]
+    pub wall_unix_ms: u64,
+    /// Monotonic nanoseconds since the session tracer's epoch —
+    /// consistent with the trace's span timestamps. 0 for pre-existing
+    /// journals or sessions without tracing.
+    #[serde(default)]
+    pub mono_ns: u64,
+}
+
+/// Both clocks for an event stamp: the tracer's pair when tracing is
+/// on (so event and span timestamps line up exactly), the system
+/// wall-clock otherwise.
+fn stamp_clocks(tracer: &Tracer) -> (u64, u64) {
+    if tracer.is_enabled() {
+        (tracer.now_ns(), tracer.wall_unix_ms())
+    } else {
+        let wall = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        (0, wall)
+    }
 }
 
 impl ExecEvent {
-    fn from_report(operation: &str, report: &ExecReport) -> ExecEvent {
+    fn from_report(operation: &str, report: &ExecReport, tracer: &Tracer) -> ExecEvent {
+        let (mono_ns, wall_unix_ms) = stamp_clocks(tracer);
         ExecEvent {
             operation: operation.to_owned(),
             tasks: report.tasks.len(),
@@ -55,10 +83,13 @@ impl ExecEvent {
                 })
                 .collect(),
             error: None,
+            wall_unix_ms,
+            mono_ns,
         }
     }
 
-    fn aborted(operation: &str, error: &HerculesError) -> ExecEvent {
+    fn aborted(operation: &str, error: &HerculesError, tracer: &Tracer) -> ExecEvent {
+        let (mono_ns, wall_unix_ms) = stamp_clocks(tracer);
         ExecEvent {
             operation: operation.to_owned(),
             tasks: 0,
@@ -68,6 +99,8 @@ impl ExecEvent {
             skipped: 0,
             failures: Vec::new(),
             error: Some(error.to_string()),
+            wall_unix_ms,
+            mono_ns,
         }
     }
 
@@ -126,15 +159,34 @@ pub struct Session {
     user: String,
     last_report: Option<ExecReport>,
     events: Vec<ExecEvent>,
+    /// In-memory trace ring the session tracer feeds; the REPL's
+    /// `trace`/`profile` commands read snapshots of it.
+    trace_ring: Arc<RingBuffer>,
+    tracer: Tracer,
+    metrics: Metrics,
 }
+
+/// Events the session's trace ring retains — enough for several full
+/// executions of a realistic flow before old spans age out.
+const TRACE_RING_CAPACITY: usize = 8192;
 
 impl Session {
     /// Creates a session over an arbitrary schema and tool registry,
     /// with an empty history database.
+    ///
+    /// Tracing and metrics are on by default, feeding an in-memory ring
+    /// (see [`Session::trace_events`]); use
+    /// [`Session::disable_observability`] to run with zero-cost
+    /// disabled handles instead.
     pub fn new(schema: Arc<TaskSchema>, registry: EncapsulationRegistry, user: &str) -> Session {
         let db = HistoryDb::new(schema.clone());
+        let trace_ring = Arc::new(RingBuffer::new(TRACE_RING_CAPACITY));
+        let tracer = Tracer::new(trace_ring.clone());
+        let metrics = Metrics::new();
         let mut executor = Executor::new(registry);
         executor.options_mut().user = user.to_owned();
+        executor.options_mut().tracer = tracer.clone();
+        executor.options_mut().metrics = metrics.clone();
         Session {
             schema,
             db,
@@ -146,6 +198,9 @@ impl Session {
             user: user.to_owned(),
             last_report: None,
             events: Vec::new(),
+            trace_ring,
+            tracer,
+            metrics,
         }
     }
 
@@ -190,6 +245,36 @@ impl Session {
     /// Returns the executor (to adjust options such as parallelism).
     pub fn executor_mut(&mut self) -> &mut Executor {
         &mut self.executor
+    }
+
+    /// Returns the session's tracer (shared with the executor).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Returns the session's metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Snapshot of the buffered trace events, oldest first.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.trace_ring.snapshot()
+    }
+
+    /// Empties the trace ring (e.g. to isolate the next run's trace).
+    pub fn clear_trace(&self) {
+        self.trace_ring.clear();
+    }
+
+    /// Turns tracing and metrics off for this session: every
+    /// instrumentation point in the executor collapses to a branch.
+    /// Used by benchmarks to measure the no-observability baseline.
+    pub fn disable_observability(&mut self) {
+        self.tracer = Tracer::disabled();
+        self.metrics = Metrics::disabled();
+        self.executor.options_mut().tracer = Tracer::disabled();
+        self.executor.options_mut().metrics = Metrics::disabled();
     }
 
     /// Returns the flow under construction.
@@ -502,13 +587,15 @@ impl Session {
         let flow = self.flow.as_ref().ok_or(HerculesError::NoActiveFlow)?;
         match self.executor.execute(flow, &self.binding, &mut self.db) {
             Ok(report) => {
-                self.events.push(ExecEvent::from_report("run", &report));
+                self.events
+                    .push(ExecEvent::from_report("run", &report, &self.tracer));
                 self.last_report = Some(report);
                 Ok(self.last_report.as_ref().expect("just set"))
             }
             Err(e) => {
                 let e: HerculesError = e.into();
-                self.events.push(ExecEvent::aborted("run", &e));
+                self.events
+                    .push(ExecEvent::aborted("run", &e, &self.tracer));
                 Err(e)
             }
         }
@@ -550,13 +637,15 @@ impl Session {
         self.executor.options_mut().reuse_cached = prev;
         match result {
             Ok(report) => {
-                self.events.push(ExecEvent::from_report("resume", &report));
+                self.events
+                    .push(ExecEvent::from_report("resume", &report, &self.tracer));
                 self.last_report = Some(report);
                 Ok(self.last_report.as_ref().expect("just set"))
             }
             Err(e) => {
                 let e: HerculesError = e.into();
-                self.events.push(ExecEvent::aborted("resume", &e));
+                self.events
+                    .push(ExecEvent::aborted("resume", &e, &self.tracer));
                 Err(e)
             }
         }
@@ -582,12 +671,13 @@ impl Session {
         match self.executor.execute(&sub, &sub_binding, &mut self.db) {
             Ok(report) => {
                 self.events
-                    .push(ExecEvent::from_report("run-subflow", &report));
+                    .push(ExecEvent::from_report("run-subflow", &report, &self.tracer));
                 Ok(report)
             }
             Err(e) => {
                 let e: HerculesError = e.into();
-                self.events.push(ExecEvent::aborted("run-subflow", &e));
+                self.events
+                    .push(ExecEvent::aborted("run-subflow", &e, &self.tracer));
                 Err(e)
             }
         }
@@ -636,13 +726,17 @@ impl Session {
     ) -> Result<hercules_exec::RetraceReport, HerculesError> {
         match hercules_exec::retrace(&self.executor, &mut self.db, instance) {
             Ok(report) => {
-                self.events
-                    .push(ExecEvent::from_report("retrace", &report.report));
+                self.events.push(ExecEvent::from_report(
+                    "retrace",
+                    &report.report,
+                    &self.tracer,
+                ));
                 Ok(report)
             }
             Err(e) => {
                 let e: HerculesError = e.into();
-                self.events.push(ExecEvent::aborted("retrace", &e));
+                self.events
+                    .push(ExecEvent::aborted("retrace", &e, &self.tracer));
                 Err(e)
             }
         }

@@ -50,10 +50,12 @@ use std::fs::{self, File, OpenOptions};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Instant;
 
 use hercules_exec::EncapsulationRegistry;
 use hercules_flow::NodeId;
 use hercules_history::{InstanceId, InstanceSpec};
+use hercules_obs::Metrics;
 use hercules_schema::TaskSchema;
 use serde::{Deserialize, Serialize};
 
@@ -390,6 +392,7 @@ pub struct Workspace {
     generation: u64,
     journal: File,
     journal_path: PathBuf,
+    metrics: Metrics,
 }
 
 impl Workspace {
@@ -427,6 +430,7 @@ impl Workspace {
             generation: 0,
             journal,
             journal_path,
+            metrics: Metrics::disabled(),
         })
     }
 
@@ -509,6 +513,7 @@ impl Workspace {
             generation: manifest.generation,
             journal,
             journal_path,
+            metrics: Metrics::disabled(),
         };
         Ok((workspace, session, report))
     }
@@ -523,6 +528,19 @@ impl Workspace {
         self.generation
     }
 
+    /// Installs a metrics registry; subsequent [`append`] and
+    /// [`checkpoint`] calls record durability metrics into it
+    /// (`store.append_bytes`, `store.fsync_ns`, `store.checkpoint_bytes`,
+    /// `store.checkpoints`). Pass [`Session::metrics`]'s handle to share
+    /// one registry across execution and storage.
+    ///
+    /// [`append`]: Workspace::append
+    /// [`checkpoint`]: Workspace::checkpoint
+    /// [`Session::metrics`]: crate::session::Session::metrics
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
+    }
+
     /// Appends one operation to the journal and fsyncs before
     /// returning — once this returns, the operation survives a crash.
     ///
@@ -531,8 +549,14 @@ impl Workspace {
     /// I/O and serialization errors.
     pub fn append(&mut self, op: &JournalOp) -> Result<(), StoreError> {
         let payload = serde_json::to_vec(op)?;
-        self.journal.write_all(&encode_frame(&payload))?;
+        let frame = encode_frame(&payload);
+        self.journal.write_all(&frame)?;
+        let fsync_started = Instant::now();
         self.journal.sync_data()?;
+        self.metrics
+            .observe_duration("store.fsync_ns", fsync_started.elapsed());
+        self.metrics
+            .observe("store.append_bytes", frame.len() as u64);
         Ok(())
     }
 
@@ -574,6 +598,9 @@ impl Workspace {
         self.generation = next;
         self.journal = next_journal;
         self.journal_path = next_journal_path;
+        self.metrics.incr("store.checkpoints", 1);
+        self.metrics
+            .observe("store.checkpoint_bytes", json.len() as u64);
         Ok(())
     }
 }
@@ -750,6 +777,35 @@ mod tests {
         assert_eq!(ws.generation(), 1);
         assert_eq!(report.ops_replayed, 0, "the journal was rotated empty");
         assert!(restored.flow().is_ok(), "the flow came from the checkpoint");
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn workspace_records_durability_metrics() {
+        let root = temp_root("metrics");
+        let session = Session::odyssey("jbb");
+        let mut ws = Workspace::create(&root, &session).expect("creates");
+        let metrics = Metrics::new();
+        ws.set_metrics(metrics.clone());
+        ws.append(&JournalOp::Flow(FlowOp::Seed {
+            entity: "Layout".into(),
+        }))
+        .expect("appends");
+        ws.checkpoint(&session).expect("rotates");
+
+        let snap = metrics.snapshot();
+        let fsync = snap.histograms.get("store.fsync_ns").expect("fsync");
+        assert_eq!(fsync.count, 1);
+        let bytes = snap.histograms.get("store.append_bytes").expect("bytes");
+        assert!(bytes.sum > 8, "a frame is header + payload");
+        assert_eq!(snap.counters.get("store.checkpoints"), Some(&1));
+        assert!(
+            snap.histograms
+                .get("store.checkpoint_bytes")
+                .expect("checkpoint size")
+                .sum
+                > 0
+        );
         fs::remove_dir_all(&root).ok();
     }
 

@@ -10,8 +10,10 @@
 use std::fmt::Write as _;
 use std::path::Path;
 
+use hercules_exec::report_to_trace;
 use hercules_flow::{render, NodeId};
 use hercules_history::{InstanceId, InstanceSpec};
+use hercules_obs::profile;
 
 use crate::catalog;
 use crate::error::HerculesError;
@@ -62,6 +64,14 @@ pub enum Command {
     Store(String),
     /// `log` — list the session's execution events, including failures.
     Log,
+    /// `trace` — render the span tree of the traced executions.
+    Trace,
+    /// `stats` — render the session's metrics registry.
+    Stats,
+    /// `profile` — critical-path analysis and Gantt chart of the last
+    /// execution (live trace when present, else synthesized from the
+    /// last report — e.g. after reopening a workspace).
+    Profile,
     /// `show` — render the task window.
     Show,
     /// `clear` — abandon the flow.
@@ -152,6 +162,9 @@ impl Command {
                 parts.next().ok_or_else(|| bad("missing name"))?.into(),
             )),
             "log" => Ok(Command::Log),
+            "trace" => Ok(Command::Trace),
+            "stats" => Ok(Command::Stats),
+            "profile" => Ok(Command::Profile),
             "show" => Ok(Command::Show),
             "clear" => Ok(Command::Clear),
             "catalogs" => Ok(Command::Catalogs),
@@ -206,6 +219,24 @@ pub fn render_task_window(session: &Session) -> String {
         "└─ menu: Expand · Unexpand · Specialize · Browse · Select · Run · History"
     );
     out
+}
+
+/// Formats a Unix-epoch millisecond stamp as `YYYY-MM-DD HH:MM:SSZ`
+/// (civil-from-days conversion; proleptic Gregorian, UTC).
+fn format_utc_ms(wall_unix_ms: u64) -> String {
+    let secs = wall_unix_ms / 1_000;
+    let (h, m, s) = (secs / 3600 % 24, secs / 60 % 60, secs % 60);
+    let days = (secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = yoe + era * 400 + i64::from(month <= 2);
+    format!("{year:04}-{month:02}-{day:02} {h:02}:{m:02}:{s:02}Z")
 }
 
 fn instance_label(session: &Session, id: InstanceId) -> String {
@@ -345,6 +376,9 @@ impl Ui {
             | Command::Uses(_)
             | Command::Menu(_)
             | Command::Log
+            | Command::Trace
+            | Command::Stats
+            | Command::Profile
             | Command::Show
             | Command::Catalogs
             | Command::Save(_)
@@ -583,9 +617,16 @@ impl Ui {
                 }
                 let mut out = String::from("event log:\n");
                 for (n, event) in events.iter().enumerate() {
+                    let _ = write!(out, "  #{n}");
+                    // Events from journals written before timestamps
+                    // existed deserialize with wall_unix_ms == 0; skip
+                    // the stamp rather than print the epoch.
+                    if event.wall_unix_ms > 0 {
+                        let _ = write!(out, " [{}]", format_utc_ms(event.wall_unix_ms));
+                    }
                     let _ = write!(
                         out,
-                        "  #{n} {}: {} task(s), {} run(s), {} cache hit(s)",
+                        " {}: {} task(s), {} run(s), {} cache hit(s)",
                         event.operation, event.tasks, event.runs, event.cache_hits
                     );
                     if event.failed > 0 || event.skipped > 0 {
@@ -600,6 +641,35 @@ impl Ui {
                     }
                 }
                 Ok(out)
+            }
+            Command::Trace => {
+                let events = self.session.trace_events();
+                if events.is_empty() {
+                    return Ok("trace: (no spans recorded — run something first)\n".to_owned());
+                }
+                let spans = profile::build_spans(&events);
+                Ok(format!(
+                    "trace ({} spans):\n{}",
+                    spans.len(),
+                    profile::render_tree(&spans)
+                ))
+            }
+            Command::Stats => Ok(self.session.metrics().snapshot().render_text()),
+            Command::Profile => {
+                let live = self.session.trace_events();
+                let events = if live.iter().any(|e| e.name == "task") {
+                    live
+                } else {
+                    // No live trace (fresh process, reopened workspace):
+                    // synthesize one from the persisted report's start
+                    // offsets and durations.
+                    let Some(report) = self.session.last_report() else {
+                        return Ok("profile: (no execution to profile)\n".to_owned());
+                    };
+                    report_to_trace(report, self.session.flow().ok())
+                };
+                let prof = profile::profile(&events);
+                Ok(format!("{}\n{}", prof.render_text(), prof.render_gantt(60)))
             }
             Command::Show => Ok(render_task_window(&self.session)),
             Command::Clear => {
@@ -616,19 +686,21 @@ impl Ui {
                 Ok(out)
             }
             Command::Save(path) => {
-                let ws = Workspace::create(Path::new(&path), &self.session)
+                let mut ws = Workspace::create(Path::new(&path), &self.session)
                     .map_err(HerculesError::from)?;
+                ws.set_metrics(self.session.metrics().clone());
                 self.workspace = Some(ws);
                 Ok(format!(
                     "workspace saved to `{path}`; mutating commands are now journaled\n"
                 ))
             }
             Command::Open(path) => {
-                let (ws, session, recovery) = Workspace::open_session(Path::new(&path), |s| {
+                let (mut ws, session, recovery) = Workspace::open_session(Path::new(&path), |s| {
                     crate::encaps::odyssey_registry(s)
                 })
                 .map_err(HerculesError::from)?;
                 self.session = session;
+                ws.set_metrics(self.session.metrics().clone());
                 self.workspace = Some(ws);
                 Ok(format!("opened workspace `{path}`: {recovery}\n"))
             }
@@ -802,9 +874,67 @@ mod tests {
         )
         .expect("script runs");
         let out = ui.execute("log").expect("lists");
-        assert!(out.contains("#0 run:"), "{out}");
+        assert!(out.contains("#0 ["), "wall-clock stamp: {out}");
+        assert!(out.contains("] run:"), "{out}");
         assert!(out.contains("cache hit(s)"), "{out}");
         assert!(!out.contains("failed"), "clean run: {out}");
+    }
+
+    #[test]
+    fn format_utc_ms_matches_known_dates() {
+        assert_eq!(format_utc_ms(0), "1970-01-01 00:00:00Z");
+        // 2000-03-01 00:00:00 UTC — the day after a century leap day.
+        assert_eq!(format_utc_ms(951_868_800_000), "2000-03-01 00:00:00Z");
+        assert_eq!(format_utc_ms(951_868_799_000), "2000-02-29 23:59:59Z");
+    }
+
+    #[test]
+    fn trace_stats_profile_commands_render() {
+        let mut ui = Ui::new(Session::odyssey("jbb"));
+        assert!(ui.execute("trace").expect("empty ok").contains("no spans"));
+        assert!(ui
+            .execute("profile")
+            .expect("empty ok")
+            .contains("no execution"));
+        ui.run_script(
+            "goal Layout\n\
+             expand n0\n\
+             specialize n2 EditedNetlist\n\
+             expand n2\n\
+             bind-latest\n\
+             run\n",
+        )
+        .expect("script runs");
+        let trace = ui.execute("trace").expect("renders");
+        assert!(trace.contains("execute"), "{trace}");
+        assert!(trace.contains("task ["), "task spans labeled: {trace}");
+        let stats = ui.execute("stats").expect("renders");
+        assert!(stats.contains("exec.executions"), "{stats}");
+        assert!(stats.contains("exec.task_wall_ns"), "{stats}");
+        let prof = ui.execute("profile").expect("renders");
+        assert!(prof.contains("critical path"), "{prof}");
+        assert!(prof.contains("parallelism"), "{prof}");
+        assert!(prof.contains("lane"), "gantt rows: {prof}");
+    }
+
+    #[test]
+    fn profile_synthesizes_from_report_when_trace_is_empty() {
+        let mut ui = Ui::new(Session::odyssey("jbb"));
+        ui.run_script(
+            "goal Layout\n\
+             expand n0\n\
+             specialize n2 EditedNetlist\n\
+             expand n2\n\
+             bind-latest\n\
+             run\n",
+        )
+        .expect("script runs");
+        // Simulate a reopened workspace: the report survives, the live
+        // trace ring does not.
+        ui.session().clear_trace();
+        let prof = ui.execute("profile").expect("synthesizes");
+        assert!(prof.contains("critical path"), "{prof}");
+        assert!(prof.contains("#n"), "node-labeled tasks: {prof}");
     }
 
     #[test]

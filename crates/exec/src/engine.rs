@@ -8,6 +8,7 @@ use std::time::{Duration, Instant};
 
 use hercules_flow::{NodeId, TaskGraph};
 use hercules_history::{Derivation, HistoryDb, InstanceId, Metadata};
+use hercules_obs::{Metrics, SpanId, Tracer};
 use hercules_schema::{EntityTypeId, TaskSchema};
 
 use crate::binding::Binding;
@@ -40,6 +41,12 @@ pub struct ExecOptions {
     /// What one subtask's permanent failure means for the rest of the
     /// flow.
     pub failure: FailurePolicy,
+    /// Tracing handle. The default ([`Tracer::disabled`]) makes every
+    /// instrumentation point a branch, so execution pays nothing when
+    /// no one is watching.
+    pub tracer: Tracer,
+    /// Metrics registry (disabled by default, like `tracer`).
+    pub metrics: Metrics,
 }
 
 impl Default for ExecOptions {
@@ -52,6 +59,8 @@ impl Default for ExecOptions {
             deadline: None,
             retry: RetryPolicy::default(),
             failure: FailurePolicy::default(),
+            tracer: Tracer::disabled(),
+            metrics: Metrics::disabled(),
         }
     }
 }
@@ -90,6 +99,10 @@ pub struct TaskRecord {
     /// Wall-clock time spent running (and retrying) the subtask's
     /// invocations.
     pub duration: Duration,
+    /// Offset of the subtask's start from the start of the execution —
+    /// with `duration`, enough to reconstruct a Gantt/trace view of a
+    /// finished run (see [`crate::trace::report_to_trace`]).
+    pub started: Duration,
 }
 
 /// The result of executing a flow.
@@ -272,8 +285,53 @@ impl Executor {
         binding: &Binding,
         db: &mut HistoryDb,
     ) -> Result<ExecReport, ExecError> {
+        let tracer = &self.options.tracer;
+        let epoch = Instant::now();
+        let exec_span = tracer.begin_with("execute", SpanId::NONE, |a| {
+            a.bool("parallel", self.options.parallel);
+            a.uint("nodes", flow.len() as u64);
+        });
+        let result = self.execute_inner(flow, binding, db, epoch, exec_span);
+        match &result {
+            Ok(report) => {
+                let metrics = &self.options.metrics;
+                metrics.incr("exec.executions", 1);
+                metrics.incr("exec.runs", report.runs() as u64);
+                metrics.incr("exec.cache_hits", report.cache_hits() as u64);
+                metrics.incr("exec.failed_subtasks", report.failed() as u64);
+                metrics.incr("exec.skipped_subtasks", report.skipped() as u64);
+                tracer.end_with(exec_span, |a| {
+                    a.bool("ok", true);
+                    a.uint("tasks", report.tasks.len() as u64);
+                    a.uint("runs", report.runs() as u64);
+                    a.uint("cache_hits", report.cache_hits() as u64);
+                });
+            }
+            Err(error) => {
+                self.options.metrics.incr("exec.aborted_executions", 1);
+                let msg = error.to_string();
+                tracer.end_with(exec_span, |a| {
+                    a.bool("ok", false);
+                    a.str("error", msg.as_str());
+                });
+            }
+        }
+        result
+    }
+
+    fn execute_inner(
+        &self,
+        flow: &TaskGraph,
+        binding: &Binding,
+        db: &mut HistoryDb,
+        epoch: Instant,
+        exec_span: SpanId,
+    ) -> Result<ExecReport, ExecError> {
         flow.validate_for_execution()?;
         binding.validate(flow, db)?;
+
+        let tracer = &self.options.tracer;
+        let metrics = &self.options.metrics;
 
         let mut report = ExecReport::default();
         // Available instances per node: bindings seed the leaves.
@@ -299,6 +357,7 @@ impl Executor {
         let mut dead: HashSet<NodeId> = HashSet::new();
 
         let mut pending = group_subtasks(flow)?;
+        let mut wave_index = 0u64;
         loop {
             // Skip the downstream cone of failed subtasks: a subtask
             // whose tool or any input is dead can never run, and its
@@ -312,11 +371,15 @@ impl Executor {
                         || s.tool.is_some_and(|t| dead.contains(&t));
                     if doomed {
                         dead.extend(s.outputs.iter().copied());
+                        tracer.instant("skip", exec_span, |a| {
+                            a.str("outputs", node_list(&s.outputs));
+                        });
                         report.tasks.push(TaskRecord {
                             outputs: s.outputs,
                             action: TaskAction::Skipped,
                             attempts: 0,
                             duration: Duration::ZERO,
+                            started: epoch.elapsed(),
                         });
                         culling = true;
                     } else {
@@ -345,17 +408,36 @@ impl Executor {
             }
             pending.retain(|s| !ready.contains(s));
 
+            let wave_span = tracer.begin_with("wave", exec_span, |a| {
+                a.uint("wave", wave_index);
+                a.uint("width", ready.len() as u64);
+            });
+            // Ends the wave span on every exit path, including error
+            // returns out of prepare/commit.
+            let _wave_guard = SpanGuard {
+                tracer,
+                id: wave_span,
+            };
+            wave_index += 1;
+            metrics.incr("exec.waves", 1);
+            metrics.observe("exec.wave_width", ready.len() as u64);
+
             let prepared: Vec<PreparedSubtask> = ready
                 .iter()
                 .map(|s| self.prepare(flow, s, &available, db))
                 .collect::<Result<_, _>>()?;
 
+            let wave = WaveCtx {
+                span: wave_span,
+                epoch,
+                dispatched: Instant::now(),
+            };
             let outcomes: Vec<SubtaskOutcome> = if self.options.parallel {
-                run_parallel(&prepared, flow, &self.options)
+                run_parallel(&prepared, flow, &self.options, &wave)
             } else {
                 prepared
                     .iter()
-                    .map(|p| p.run_all(flow.schema(), &self.options))
+                    .map(|p| p.run_all(flow.schema(), &self.options, &wave))
                     .collect()
             };
 
@@ -382,6 +464,7 @@ impl Executor {
                             action: TaskAction::Failed { error },
                             attempts: outcome.attempts,
                             duration: outcome.duration,
+                            started: outcome.started,
                         });
                         continue;
                     }
@@ -452,6 +535,7 @@ impl Executor {
                     },
                     attempts: outcome.attempts,
                     duration: outcome.duration,
+                    started: outcome.started,
                 });
             }
         }
@@ -599,13 +683,60 @@ impl Executor {
                 input_instances: flat_inputs,
             });
         }
+        let mut dep_nodes = subtask.inputs.clone();
+        if let Some(t) = subtask.tool {
+            dep_nodes.push(t);
+        }
         Ok(PreparedSubtask {
+            label: format!(
+                "{}#n{}",
+                schema.entity(lookup_entity).name(),
+                subtask.outputs[0].index()
+            ),
+            outputs_attr: node_list(&subtask.outputs),
+            inputs_attr: node_list(&dep_nodes),
             subtask: subtask.clone(),
             enc,
             runs,
             output_entities,
         })
     }
+}
+
+/// Renders nodes as the space-separated `n<index>` list used by trace
+/// attributes (the profiler derives the task DAG from these).
+fn node_list(nodes: &[NodeId]) -> String {
+    let mut out = String::new();
+    for (i, n) in nodes.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push('n');
+        out.push_str(&n.index().to_string());
+    }
+    out
+}
+
+/// Ends a span when dropped, so error paths cannot leak open spans.
+struct SpanGuard<'a> {
+    tracer: &'a Tracer,
+    id: SpanId,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.tracer.end(self.id);
+    }
+}
+
+/// Per-wave context threaded into subtask runs: the wave's span (the
+/// parent of each task span), the execution epoch (task start offsets
+/// are relative to it), and the dispatch instant (queue wait = how long
+/// a ready subtask sat before a worker picked it up).
+struct WaveCtx {
+    span: SpanId,
+    epoch: Instant,
+    dispatched: Instant,
 }
 
 #[derive(Debug, Clone)]
@@ -638,6 +769,14 @@ struct PreparedSubtask {
     enc: std::sync::Arc<dyn Encapsulation>,
     runs: Vec<PreparedRun>,
     output_entities: Vec<EntityTypeId>,
+    /// Trace label: the tool (or output) entity name plus the first
+    /// output node, unique per subtask within one flow.
+    label: String,
+    /// Output nodes as a trace attribute (see [`node_list`]).
+    outputs_attr: String,
+    /// Dependency nodes (data inputs plus the tool node) as a trace
+    /// attribute.
+    inputs_attr: String,
 }
 
 /// What one subtask's run phase produced: either every run's result,
@@ -647,6 +786,8 @@ struct SubtaskOutcome {
     /// Largest number of attempts any single invocation needed.
     attempts: u32,
     duration: Duration,
+    /// Start offset from the execution epoch.
+    started: Duration,
 }
 
 impl PreparedSubtask {
@@ -698,23 +839,48 @@ impl PreparedSubtask {
         invocation: &Invocation,
         options: &ExecOptions,
         salt: u64,
+        task_span: SpanId,
     ) -> (Result<Vec<ToolOutput>, ExecError>, u32) {
         let mut attempt = 1u32;
         loop {
+            let attempt_span = options.tracer.begin_with("attempt", task_span, |a| {
+                a.uint("attempt", u64::from(attempt));
+            });
+            let attempt_started = Instant::now();
             let result = supervise::run_supervised(&self.enc, schema, invocation, options.deadline)
                 .and_then(|outputs| {
                     self.check_outputs(schema, invocation, &outputs)?;
                     Ok(outputs)
                 });
+            options
+                .metrics
+                .observe_duration("exec.attempt_ns", attempt_started.elapsed());
             match result {
-                Ok(outputs) => return (Ok(outputs), attempt),
+                Ok(outputs) => {
+                    options.tracer.end_with(attempt_span, |a| {
+                        a.bool("ok", true);
+                    });
+                    return (Ok(outputs), attempt);
+                }
                 Err(error) => {
+                    let cause = error.to_string();
+                    options.tracer.end_with(attempt_span, |a| {
+                        a.bool("ok", false);
+                        a.str("error", cause.as_str());
+                    });
                     if attempt >= options.retry.max_attempts || !options.retry.is_retryable(&error)
                     {
                         return (Err(error), attempt);
                     }
                     attempt += 1;
-                    std::thread::sleep(options.retry.delay_before(attempt, salt));
+                    let delay = options.retry.delay_before(attempt, salt);
+                    options.metrics.incr("exec.retries", 1);
+                    options.tracer.instant("retry", task_span, |a| {
+                        a.uint("attempt", u64::from(attempt));
+                        a.str("cause", cause.as_str());
+                        a.uint("delay_ms", delay.as_millis() as u64);
+                    });
+                    std::thread::sleep(delay);
                 }
             }
         }
@@ -726,8 +892,27 @@ impl PreparedSubtask {
         &self,
         schema: &std::sync::Arc<TaskSchema>,
         options: &ExecOptions,
+        wave: &WaveCtx,
     ) -> SubtaskOutcome {
         let started = Instant::now();
+        let started_offset = started.duration_since(wave.epoch);
+        let queue_wait = started.duration_since(wave.dispatched);
+        options
+            .metrics
+            .observe_duration("exec.queue_wait_ns", queue_wait);
+        let invoked = self
+            .runs
+            .iter()
+            .filter(|r| matches!(r, PreparedRun::Invoke { .. }))
+            .count();
+        let task_span = options.tracer.begin_with("task", wave.span, |a| {
+            a.str("task", self.label.as_str());
+            a.str("outputs", self.outputs_attr.as_str());
+            a.str("inputs", self.inputs_attr.as_str());
+            a.uint("runs", self.runs.len() as u64);
+            a.bool("cache_hit", invoked == 0);
+            a.uint("queue_wait_ns", queue_wait.as_nanos() as u64);
+        });
         let mut attempts = 0u32;
         let mut results = Vec::with_capacity(self.runs.len());
         for (run_index, run) in self.runs.iter().enumerate() {
@@ -740,8 +925,13 @@ impl PreparedSubtask {
                     tool_instance,
                     input_instances,
                 } => {
-                    let (result, used) =
-                        self.run_one(schema, invocation, options, self.retry_salt(run_index));
+                    let (result, used) = self.run_one(
+                        schema,
+                        invocation,
+                        options,
+                        self.retry_salt(run_index),
+                        task_span,
+                    );
                     attempts = attempts.max(used);
                     match result {
                         Ok(outputs) => results.push(RunResult::Produced {
@@ -750,20 +940,40 @@ impl PreparedSubtask {
                             outputs,
                         }),
                         Err(error) => {
+                            let duration = started.elapsed();
+                            options
+                                .metrics
+                                .observe_duration("exec.task_wall_ns", duration);
+                            let msg = error.to_string();
+                            options.tracer.end_with(task_span, |a| {
+                                a.bool("ok", false);
+                                a.uint("attempts", u64::from(attempts));
+                                a.str("error", msg.as_str());
+                            });
                             return SubtaskOutcome {
                                 result: Err(error),
                                 attempts,
-                                duration: started.elapsed(),
+                                duration,
+                                started: started_offset,
                             };
                         }
                     }
                 }
             }
         }
+        let duration = started.elapsed();
+        options
+            .metrics
+            .observe_duration("exec.task_wall_ns", duration);
+        options.tracer.end_with(task_span, |a| {
+            a.bool("ok", true);
+            a.uint("attempts", u64::from(attempts));
+        });
         SubtaskOutcome {
             result: Ok(results),
             attempts,
-            duration: started.elapsed(),
+            duration,
+            started: started_offset,
         }
     }
 }
@@ -774,12 +984,13 @@ fn run_parallel(
     prepared: &[PreparedSubtask],
     flow: &TaskGraph,
     options: &ExecOptions,
+    wave: &WaveCtx,
 ) -> Vec<SubtaskOutcome> {
     let schema = flow.schema();
     std::thread::scope(|scope| {
         let handles: Vec<_> = prepared
             .iter()
-            .map(|p| scope.spawn(move || p.run_all(schema, options)))
+            .map(|p| scope.spawn(move || p.run_all(schema, options, wave)))
             .collect();
         handles
             .into_iter()
@@ -794,6 +1005,7 @@ fn run_parallel(
                     }),
                     attempts: 0,
                     duration: Duration::ZERO,
+                    started: wave.epoch.elapsed(),
                 })
             })
             .collect()
@@ -1203,12 +1415,14 @@ mod tests {
                     action: TaskAction::Skipped,
                     attempts: 0,
                     duration: Duration::ZERO,
+                    started: Duration::ZERO,
                 },
                 TaskRecord {
                     outputs: vec![NodeId::from_index(8)],
                     action: TaskAction::Skipped,
                     attempts: 0,
                     duration: Duration::ZERO,
+                    started: Duration::ZERO,
                 },
             ],
         );

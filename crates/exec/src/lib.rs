@@ -72,6 +72,7 @@ pub mod fault;
 mod policy;
 mod retrace;
 mod supervise;
+pub mod trace;
 
 pub mod toy;
 
@@ -85,3 +86,4 @@ pub use fault::{FaultPlan, FaultyEncapsulation};
 pub use policy::{FailurePolicy, RetryPolicy};
 pub use retrace::{retrace, RetraceReport};
 pub use supervise::run_supervised;
+pub use trace::{report_to_trace, schedule_to_trace};

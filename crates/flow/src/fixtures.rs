@@ -146,6 +146,31 @@ pub fn fig6(schema: Arc<TaskSchema>) -> Result<TaskGraph, FlowError> {
     Ok(flow)
 }
 
+/// Builds a *wide* flow of `branches` fully disjoint `Layout` chains
+/// (each: edit a netlist, place it). No branch shares a node with any
+/// other, so the flow's [`max_parallelism`] equals `branches` — the
+/// stress fixture for parallel execution, tracing, and the profiler's
+/// achieved-vs-maximum comparison.
+///
+/// [`max_parallelism`]: TaskGraph::max_parallelism
+///
+/// # Errors
+///
+/// Returns an error if `schema` lacks the Fig. 1 entities.
+pub fn wide_parallel(schema: Arc<TaskSchema>, branches: usize) -> Result<TaskGraph, FlowError> {
+    let layout_ty = schema.require("Layout")?;
+    let edited_ty = schema.require("EditedNetlist")?;
+    let mut flow = TaskGraph::new(schema.clone());
+    for _ in 0..branches.max(1) {
+        let layout = flow.seed(layout_ty)?;
+        let created = flow.expand(layout)?; // placer, netlist
+        let netlist = created[1];
+        flow.specialize(netlist, edited_ty)?;
+        flow.expand(netlist)?; // circuit editor
+    }
+    Ok(flow)
+}
+
 /// Builds the Fig. 8a synthesis flow: "synthesize the physical view of a
 /// circuit from the transistor view" — a `Layout` placed from a
 /// `Netlist`.
@@ -183,6 +208,25 @@ mod tests {
 
     fn schema() -> Arc<TaskSchema> {
         Arc::new(schemas::fig1())
+    }
+
+    #[test]
+    fn wide_parallel_has_disjoint_branches() {
+        let flow = wide_parallel(schema(), 4).expect("fixture");
+        flow.validate_for_execution().expect("complete");
+        assert_eq!(flow.components().len(), 4, "branches stay disjoint");
+        assert_eq!(flow.max_parallelism().expect("acyclic"), 4);
+        let waves = flow.parallel_waves().expect("acyclic");
+        assert_eq!(waves.len(), 2, "edit wave, then place wave");
+        assert!(waves.iter().all(|w| w.len() == 4));
+    }
+
+    #[test]
+    fn fixture_max_parallelism_matches_figures() {
+        // Fig. 6's two branches are explicitly parallel; Fig. 3 is a
+        // single chain of width 1.
+        assert_eq!(fig6(schema()).expect("fixture").max_parallelism(), Ok(2));
+        assert_eq!(fig3(schema()).expect("fixture").max_parallelism(), Ok(1));
     }
 
     #[test]

@@ -182,6 +182,64 @@ impl TaskGraph {
         self.node_ids().filter(|&id| self.is_expanded(id)).collect()
     }
 
+    /// Decomposes the interior nodes into *parallel waves*: level sets
+    /// of the task DAG, where every node in wave *k* depends only on
+    /// leaves and on nodes of waves `< k`. This is the schedule a
+    /// maximally parallel executor follows, and the shape `profile`
+    /// compares a measured run against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Cycle`] if raw edits introduced a cycle.
+    pub fn parallel_waves(&self) -> Result<Vec<Vec<NodeId>>, FlowError> {
+        let mut level = vec![0usize; self.nodes.len()];
+        let mut waves: Vec<Vec<NodeId>> = Vec::new();
+        for id in self.topo_order()? {
+            if !self.is_expanded(id) {
+                continue;
+            }
+            let wave = self
+                .producers_of(id)
+                .map(|e| {
+                    let src = e.source.index();
+                    if self.is_expanded(e.source) {
+                        level[src] + 1
+                    } else {
+                        0
+                    }
+                })
+                .max()
+                .unwrap_or(0);
+            level[id.index()] = wave;
+            if waves.len() <= wave {
+                waves.resize(wave + 1, Vec::new());
+            }
+            waves[wave].push(id);
+        }
+        for wave in &mut waves {
+            wave.sort();
+        }
+        Ok(waves)
+    }
+
+    /// Returns the schema-theoretic maximum parallelism of this flow:
+    /// the widest [`parallel_waves`](TaskGraph::parallel_waves) level —
+    /// how many constructed nodes could be in flight at once with
+    /// unlimited workers. (An executor that groups shared-tool subtasks
+    /// may need fewer workers; it can never profitably use more.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Cycle`] if raw edits introduced a cycle.
+    pub fn max_parallelism(&self) -> Result<usize, FlowError> {
+        Ok(self
+            .parallel_waves()?
+            .iter()
+            .map(Vec::len)
+            .max()
+            .unwrap_or(0))
+    }
+
     /// Returns a topological order of the live nodes (inputs before the
     /// tasks that consume them).
     ///

@@ -1,0 +1,194 @@
+//! Collectors: pluggable sinks for trace events.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use crate::span::TraceEvent;
+
+/// A sink for trace events. Implementations must be cheap and
+/// non-blocking-ish: they run inline on the executing (possibly worker)
+/// thread.
+pub trait Collector: Send + Sync {
+    /// Records one event.
+    fn record(&self, event: &TraceEvent);
+}
+
+/// Discards everything (useful as an explicit "measure the overhead of
+/// the hooks themselves" baseline; prefer [`Tracer::disabled`]
+/// otherwise).
+///
+/// [`Tracer::disabled`]: crate::Tracer::disabled
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullCollector;
+
+impl Collector for NullCollector {
+    fn record(&self, _event: &TraceEvent) {}
+}
+
+/// A bounded in-memory buffer keeping the most recent events. The
+/// default sink for interactive sessions: `trace`/`profile` commands
+/// read a snapshot, old events age out instead of growing without
+/// bound.
+#[derive(Debug)]
+pub struct RingBuffer {
+    capacity: usize,
+    events: Mutex<std::collections::VecDeque<TraceEvent>>,
+    dropped: Mutex<u64>,
+}
+
+impl RingBuffer {
+    /// A ring keeping at most `capacity` events (clamped to ≥ 16).
+    pub fn new(capacity: usize) -> RingBuffer {
+        let capacity = capacity.max(16);
+        RingBuffer {
+            capacity,
+            events: Mutex::new(std::collections::VecDeque::with_capacity(
+                capacity.min(1024),
+            )),
+            dropped: Mutex::new(0),
+        }
+    }
+
+    /// Copies out the buffered events, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        *self.dropped.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Empties the ring (the `trace clear` of a long session).
+    pub fn clear(&self) {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+    }
+}
+
+impl Collector for RingBuffer {
+    fn record(&self, event: &TraceEvent) {
+        let mut events = self.events.lock().unwrap_or_else(|e| e.into_inner());
+        if events.len() == self.capacity {
+            events.pop_front();
+            *self.dropped.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+        }
+        events.push_back(event.clone());
+    }
+}
+
+/// Streams events as JSON Lines to any writer (a file, a pipe, a
+/// `Vec<u8>` in tests). Each event is one line; a torn final line — the
+/// process died mid-write — is detectable by the missing newline.
+pub struct JsonlSink<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> JsonlSink<W> {
+        JsonlSink {
+            writer: Mutex::new(writer),
+        }
+    }
+
+    /// Flushes and returns the writer.
+    pub fn into_inner(self) -> W {
+        let mut w = self.writer.into_inner().unwrap_or_else(|e| e.into_inner());
+        let _ = w.flush();
+        w
+    }
+}
+
+impl<W: Write + Send> Collector for JsonlSink<W> {
+    fn record(&self, event: &TraceEvent) {
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        // A full disk must not take the execution down with it; the
+        // trace just ends early.
+        let _ = writeln!(w, "{}", event.to_json());
+    }
+}
+
+/// Fans every event out to several collectors (e.g. ring buffer for the
+/// REPL plus a JSONL file for later analysis).
+#[derive(Clone)]
+pub struct MultiCollector {
+    sinks: Vec<Arc<dyn Collector>>,
+}
+
+impl MultiCollector {
+    /// Builds a fan-out over `sinks`.
+    pub fn new(sinks: Vec<Arc<dyn Collector>>) -> MultiCollector {
+        MultiCollector { sinks }
+    }
+}
+
+impl Collector for MultiCollector {
+    fn record(&self, event: &TraceEvent) {
+        for sink in &self.sinks {
+            sink.record(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{EventKind, SpanId};
+
+    fn ev(n: u64) -> TraceEvent {
+        TraceEvent {
+            kind: EventKind::Instant,
+            id: SpanId(n),
+            parent: SpanId::NONE,
+            name: format!("e{n}"),
+            mono_ns: n,
+            wall_unix_ms: n,
+            tid: 0,
+            attrs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let ring = RingBuffer::new(16);
+        for n in 0..20 {
+            ring.record(&ev(n));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 16);
+        assert_eq!(snap[0].id, SpanId(4), "oldest evicted first");
+        assert_eq!(ring.dropped(), 4);
+        ring.clear();
+        assert!(ring.snapshot().is_empty());
+    }
+
+    #[test]
+    fn jsonl_writes_one_line_per_event() {
+        let sink = JsonlSink::new(Vec::new());
+        sink.record(&ev(1));
+        sink.record(&ev(2));
+        let bytes = sink.into_inner();
+        let text = String::from_utf8(bytes).expect("utf8");
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn multi_fans_out() {
+        let a = Arc::new(RingBuffer::new(16));
+        let b = Arc::new(RingBuffer::new(16));
+        let multi = MultiCollector::new(vec![a.clone(), b.clone()]);
+        multi.record(&ev(7));
+        assert_eq!(a.snapshot().len(), 1);
+        assert_eq!(b.snapshot().len(), 1);
+        NullCollector.record(&ev(8));
+    }
+}

@@ -1,0 +1,62 @@
+//! Structured observability for the Hercules reproduction: spans,
+//! metrics, and post-run critical-path profiling.
+//!
+//! The paper's framework services (§3.3) — automatic sequencing,
+//! parallel disjoint sub-flows, design-history queries — are only
+//! tunable once per-step timing and provenance are first-class data.
+//! This crate supplies the substrate:
+//!
+//! * [`TraceEvent`] / [`SpanId`] — spans with ids, parents, monotonic
+//!   *and* wall-clock timestamps, a thread lane, and typed attributes;
+//! * [`Tracer`] — a cheap, clonable, thread-safe handle that allocates
+//!   span ids and emits events; a disabled tracer is a few branch
+//!   instructions per call site, so instrumentation can stay threaded
+//!   through release builds;
+//! * [`Collector`] — the pluggable sink trait, with a bounded
+//!   [`RingBuffer`], a [`JsonlSink`] for streaming to disk, a
+//!   [`MultiCollector`] fan-out, and [`chrome::to_chrome_trace`] for
+//!   `about://tracing` / Perfetto-loadable `trace_event` JSON;
+//! * [`Metrics`] — a registry of counters, gauges, and histograms with
+//!   fixed log₂ bucket boundaries (reproducible across runs, mergeable
+//!   across processes);
+//! * [`profile`] — reconstructs the span tree, derives the task DAG
+//!   from span attributes, and reports the critical path, achieved
+//!   parallelism, and per-task self/total time.
+//!
+//! The crate has **zero dependencies** by design: every other Hercules
+//! crate can link it without cycles, and its hand-rolled JSON encoder
+//! keeps the JSONL and Chrome sinks available even in minimal builds.
+//!
+//! # Examples
+//!
+//! ```
+//! use hercules_obs::{profile, RingBuffer, Tracer};
+//! use std::sync::Arc;
+//!
+//! let ring = Arc::new(RingBuffer::new(1024));
+//! let tracer = Tracer::new(ring.clone());
+//! let root = tracer.begin("execute", hercules_obs::SpanId::NONE);
+//! let task = tracer.begin_with("task", root, |a| {
+//!     a.str("outputs", "n1");
+//!     a.str("inputs", "n0");
+//! });
+//! tracer.end(task);
+//! tracer.end(root);
+//! let spans = profile::build_spans(&ring.snapshot());
+//! assert_eq!(spans.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+mod collect;
+mod metrics;
+pub mod profile;
+mod span;
+mod tracer;
+
+pub use collect::{Collector, JsonlSink, MultiCollector, NullCollector, RingBuffer};
+pub use metrics::{HistogramSnapshot, Metrics, MetricsSnapshot};
+pub use span::{AttrList, AttrValue, EventKind, SpanId, TraceEvent};
+pub use tracer::Tracer;

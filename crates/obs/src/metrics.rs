@@ -1,0 +1,376 @@
+//! Metrics registry: counters, gauges, and log₂-bucket histograms.
+//!
+//! Histogram bucket boundaries are fixed powers of two, so snapshots
+//! from different runs (or different processes) line up exactly and can
+//! be merged by summing buckets — no configuration to drift.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::span::json;
+
+/// Number of histogram buckets. Bucket `i` holds values `v` with
+/// `floor(log2(v)) == i - 1` (bucket 0 holds zero); the last bucket is
+/// a catch-all for anything ≥ 2^62.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Returns the bucket index for a value: 0 for 0, else
+/// `min(64 - leading_zeros(v), HISTOGRAM_BUCKETS - 1)`.
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        ((64 - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Inclusive lower bound of bucket `i` (0, 1, 2, 4, 8, …).
+pub fn bucket_floor(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    fn observe(&mut self, value: u64) {
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; HISTOGRAM_BUCKETS];
+        }
+        self.buckets[bucket_index(value)] += 1;
+        if self.count == 0 || value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+}
+
+#[derive(Debug, Default)]
+struct MetricsInner {
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, i64>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+/// A clonable, thread-safe metrics handle. Like [`Tracer`], a disabled
+/// handle ([`Metrics::disabled`]) reduces every call to one branch.
+///
+/// [`Tracer`]: crate::Tracer
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    inner: Option<Arc<MetricsInner>>,
+}
+
+impl Metrics {
+    /// A live registry.
+    pub fn new() -> Metrics {
+        Metrics {
+            inner: Some(Arc::new(MetricsInner::default())),
+        }
+    }
+
+    /// The no-op registry.
+    pub fn disabled() -> Metrics {
+        Metrics { inner: None }
+    }
+
+    /// Returns `true` when observations are recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Adds `delta` to the counter `name`.
+    pub fn incr(&self, name: &str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            let mut counters = inner.counters.lock().unwrap_or_else(|e| e.into_inner());
+            *counters.entry(name.to_owned()).or_insert(0) += delta;
+        }
+    }
+
+    /// Sets the gauge `name` to `value` (last write wins).
+    pub fn gauge_set(&self, name: &str, value: i64) {
+        if let Some(inner) = &self.inner {
+            let mut gauges = inner.gauges.lock().unwrap_or_else(|e| e.into_inner());
+            gauges.insert(name.to_owned(), value);
+        }
+    }
+
+    /// Records one observation into the histogram `name`.
+    pub fn observe(&self, name: &str, value: u64) {
+        if let Some(inner) = &self.inner {
+            let mut hists = inner.histograms.lock().unwrap_or_else(|e| e.into_inner());
+            hists.entry(name.to_owned()).or_default().observe(value);
+        }
+    }
+
+    /// Records a duration into the histogram `name` in nanoseconds.
+    pub fn observe_duration(&self, name: &str, duration: std::time::Duration) {
+        if self.inner.is_some() {
+            self.observe(name, duration.as_nanos() as u64);
+        }
+    }
+
+    /// Takes a consistent point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let Some(inner) = &self.inner else {
+            return MetricsSnapshot::default();
+        };
+        let counters = inner
+            .counters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        let gauges = inner
+            .gauges
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        let histograms = inner
+            .histograms
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(name, h)| {
+                (
+                    name.clone(),
+                    HistogramSnapshot {
+                        count: h.count,
+                        sum: h.sum,
+                        min: h.min,
+                        max: h.max,
+                        buckets: h.buckets.clone(),
+                    },
+                )
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values (saturating).
+    pub sum: u64,
+    /// Smallest observed value (0 if empty).
+    pub min: u64,
+    /// Largest observed value (0 if empty).
+    pub max: u64,
+    /// Per-bucket counts (see [`bucket_index`]); empty if no
+    /// observations.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean of observed values, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile (`q` in 0..=1): the floor of the bucket
+    /// holding the q-th observation. Exact at bucket boundaries, a
+    /// lower bound inside a bucket.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_floor(i);
+            }
+        }
+        self.max
+    }
+}
+
+/// Point-in-time copy of every metric in a registry.
+#[derive(Debug, Default, Clone)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauges.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histograms.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Human-readable multi-line rendering (the REPL `stats` command).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        if self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty() {
+            out.push_str("no metrics recorded\n");
+            return out;
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, v) in &self.counters {
+                out.push_str(&format!("  {name:<40} {v}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, v) in &self.gauges {
+                out.push_str(&format!("  {name:<40} {v}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (name, h) in &self.histograms {
+                out.push_str(&format!(
+                    "  {name:<40} n={} mean={:.0} p50={} p99={} min={} max={}\n",
+                    h.count,
+                    h.mean(),
+                    h.quantile(0.5),
+                    h.quantile(0.99),
+                    h.min,
+                    h.max,
+                ));
+            }
+        }
+        out
+    }
+
+    /// JSON object rendering (for `BENCH_exec.json` and tooling).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_string(&mut out, name);
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_string(&mut out, name);
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_string(&mut out, name);
+            out.push_str(&format!(
+                ":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":",
+                h.count, h.sum, h.min, h.max
+            ));
+            json::push_float(&mut out, h.mean());
+            out.push_str(&format!(
+                ",\"p50\":{},\"p99\":{}}}",
+                h.quantile(0.5),
+                h.quantile(0.99)
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        // Floors invert the index at exact powers of two.
+        for i in 0..HISTOGRAM_BUCKETS - 1 {
+            assert_eq!(bucket_index(bucket_floor(i)), i, "floor of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn histogram_stats_and_quantiles() {
+        let m = Metrics::new();
+        for v in [1u64, 2, 3, 4, 100] {
+            m.observe("lat", v);
+        }
+        let snap = m.snapshot();
+        let h = &snap.histograms["lat"];
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 110);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 100);
+        assert!((h.mean() - 22.0).abs() < 1e-9);
+        // p50 = 3rd of 5 observations, which lives in the [2,4) bucket.
+        assert_eq!(h.quantile(0.5), 2);
+        // p99 lands on the last observation's bucket floor (64 ≤ 100).
+        assert_eq!(h.quantile(0.99), 64);
+        assert_eq!(h.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let m = Metrics::disabled();
+        m.incr("c", 1);
+        m.gauge_set("g", 5);
+        m.observe("h", 10);
+        let snap = m.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert_eq!(snap.render_text(), "no metrics recorded\n");
+    }
+
+    #[test]
+    fn counters_gauges_and_json_shape() {
+        let m = Metrics::new();
+        m.incr("tasks", 2);
+        m.incr("tasks", 3);
+        m.gauge_set("workers", 4);
+        m.gauge_set("workers", 8);
+        m.observe("lat", 5);
+        let snap = m.snapshot();
+        assert_eq!(snap.counters["tasks"], 5);
+        assert_eq!(snap.gauges["workers"], 8);
+        let j = snap.to_json();
+        assert!(j.contains("\"tasks\":5"));
+        assert!(j.contains("\"workers\":8"));
+        assert!(j.contains("\"count\":1"));
+        let text = snap.render_text();
+        assert!(text.contains("tasks"));
+        assert!(text.contains("workers"));
+        assert!(text.contains("lat"));
+    }
+}

@@ -1,0 +1,246 @@
+//! The tracer: span-id allocation, the monotonic/wall clock pair, and
+//! event emission.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::ThreadId;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use crate::collect::Collector;
+use crate::span::{AttrList, EventKind, SpanId, TraceEvent};
+
+struct TracerInner {
+    /// Monotonic epoch: `mono_ns` timestamps are relative to this.
+    epoch: Instant,
+    /// Wall-clock reading taken at `epoch`, in Unix milliseconds —
+    /// `wall_unix_ms = epoch_wall_ms + mono_ns / 1e6`, so the two
+    /// clocks can never disagree within one trace.
+    epoch_wall_ms: u64,
+    next_id: AtomicU64,
+    collector: Arc<dyn Collector>,
+    /// Compact per-thread lanes for trace viewers: first thread seen
+    /// gets lane 0, the next lane 1, and so on.
+    lanes: Mutex<HashMap<ThreadId, u64>>,
+}
+
+/// A clonable, thread-safe tracing handle.
+///
+/// A disabled tracer ([`Tracer::disabled`]) reduces every call to a
+/// branch on an `Option`, so instrumented code pays nothing when
+/// tracing is off — the hooks stay compiled into release builds.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            Some(inner) => f
+                .debug_struct("Tracer")
+                .field("next_id", &inner.next_id.load(Ordering::Relaxed))
+                .finish_non_exhaustive(),
+            None => f.write_str("Tracer(disabled)"),
+        }
+    }
+}
+
+impl Tracer {
+    /// A tracer emitting into `collector`. The epoch (both clocks) is
+    /// captured here.
+    pub fn new(collector: Arc<dyn Collector>) -> Tracer {
+        let epoch_wall_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        Tracer {
+            inner: Some(Arc::new(TracerInner {
+                epoch: Instant::now(),
+                epoch_wall_ms,
+                next_id: AtomicU64::new(1),
+                collector,
+                lanes: Mutex::new(HashMap::new()),
+            })),
+        }
+    }
+
+    /// The no-op tracer: every emission is skipped, every returned span
+    /// id is [`SpanId::NONE`].
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// Returns `true` when events are actually recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Monotonic nanoseconds since the tracer's epoch (0 when
+    /// disabled).
+    pub fn now_ns(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.epoch.elapsed().as_nanos() as u64,
+            None => 0,
+        }
+    }
+
+    /// Wall-clock Unix milliseconds consistent with [`Tracer::now_ns`]
+    /// (0 when disabled).
+    pub fn wall_unix_ms(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.epoch_wall_ms + inner.epoch.elapsed().as_millis() as u64,
+            None => 0,
+        }
+    }
+
+    fn lane(inner: &TracerInner) -> u64 {
+        let id = std::thread::current().id();
+        let mut lanes = inner.lanes.lock().unwrap_or_else(|e| e.into_inner());
+        let next = lanes.len() as u64;
+        *lanes.entry(id).or_insert(next)
+    }
+
+    fn emit(
+        &self,
+        kind: EventKind,
+        id: SpanId,
+        parent: SpanId,
+        name: &str,
+        attrs: Vec<(String, crate::AttrValue)>,
+    ) {
+        if let Some(inner) = &self.inner {
+            let mono_ns = inner.epoch.elapsed().as_nanos() as u64;
+            inner.collector.record(&TraceEvent {
+                kind,
+                id,
+                parent,
+                name: name.to_owned(),
+                mono_ns,
+                wall_unix_ms: inner.epoch_wall_ms + mono_ns / 1_000_000,
+                tid: Tracer::lane(inner),
+                attrs,
+            });
+        }
+    }
+
+    /// Opens a span; returns its id ([`SpanId::NONE`] when disabled).
+    pub fn begin(&self, name: &str, parent: SpanId) -> SpanId {
+        self.begin_with(name, parent, |_| {})
+    }
+
+    /// Opens a span with attributes. The builder closure only runs when
+    /// tracing is enabled, so attribute strings are never allocated for
+    /// a disabled tracer.
+    pub fn begin_with(
+        &self,
+        name: &str,
+        parent: SpanId,
+        build: impl FnOnce(&mut AttrList),
+    ) -> SpanId {
+        let Some(inner) = &self.inner else {
+            return SpanId::NONE;
+        };
+        let id = SpanId(inner.next_id.fetch_add(1, Ordering::Relaxed));
+        let mut attrs = AttrList::default();
+        build(&mut attrs);
+        self.emit(EventKind::Begin, id, parent, name, attrs.into_pairs());
+        id
+    }
+
+    /// Closes a span. Ending [`SpanId::NONE`] is a no-op, so guards
+    /// compose with disabled tracers.
+    pub fn end(&self, id: SpanId) {
+        if id.is_none() {
+            return;
+        }
+        self.emit(EventKind::End, id, SpanId::NONE, "", Vec::new());
+    }
+
+    /// Closes a span, attaching final attributes to the end record
+    /// (e.g. an outcome computed while the span ran).
+    pub fn end_with(&self, id: SpanId, build: impl FnOnce(&mut AttrList)) {
+        if id.is_none() || self.inner.is_none() {
+            return;
+        }
+        let mut attrs = AttrList::default();
+        build(&mut attrs);
+        self.emit(EventKind::End, id, SpanId::NONE, "", attrs.into_pairs());
+    }
+
+    /// Emits a point-in-time event under `parent`.
+    pub fn instant(&self, name: &str, parent: SpanId, build: impl FnOnce(&mut AttrList)) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let id = SpanId(inner.next_id.fetch_add(1, Ordering::Relaxed));
+        let mut attrs = AttrList::default();
+        build(&mut attrs);
+        self.emit(EventKind::Instant, id, parent, name, attrs.into_pairs());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::RingBuffer;
+
+    #[test]
+    fn disabled_tracer_emits_nothing_and_costs_no_ids() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        let id = t.begin_with("x", SpanId::NONE, |a| {
+            a.str("never", "built");
+        });
+        assert!(id.is_none());
+        t.end(id);
+        t.instant("e", id, |_| {});
+        assert_eq!(t.now_ns(), 0);
+        assert_eq!(t.wall_unix_ms(), 0);
+        assert_eq!(format!("{t:?}"), "Tracer(disabled)");
+    }
+
+    #[test]
+    fn spans_nest_and_timestamps_are_monotonic() {
+        let ring = Arc::new(RingBuffer::new(16));
+        let t = Tracer::new(ring.clone());
+        let root = t.begin("execute", SpanId::NONE);
+        let child = t.begin("task", root);
+        t.instant("retry", child, |a| {
+            a.uint("attempt", 2);
+        });
+        t.end(child);
+        t.end(root);
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 5);
+        assert!(events.windows(2).all(|w| w[0].mono_ns <= w[1].mono_ns));
+        assert_eq!(events[1].parent, root);
+        assert_eq!(events[2].name, "retry");
+        // Wall stamps derive from the same epoch, so they are plausible
+        // "now" values and non-decreasing too.
+        assert!(events[0].wall_unix_ms > 1_600_000_000_000);
+        assert!(events
+            .windows(2)
+            .all(|w| w[0].wall_unix_ms <= w[1].wall_unix_ms));
+    }
+
+    #[test]
+    fn threads_get_distinct_lanes() {
+        let ring = Arc::new(RingBuffer::new(64));
+        let t = Tracer::new(ring.clone());
+        let root = t.begin("execute", SpanId::NONE);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let t = t.clone();
+                s.spawn(move || {
+                    let id = t.begin("task", root);
+                    t.end(id);
+                });
+            }
+        });
+        t.end(root);
+        let lanes: std::collections::HashSet<u64> = ring.snapshot().iter().map(|e| e.tid).collect();
+        assert!(lanes.len() >= 2, "worker threads occupy their own lanes");
+    }
+}
