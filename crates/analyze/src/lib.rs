@@ -89,6 +89,7 @@ pub fn lint_flow(flow: &TaskGraph, out: &mut Diagnostics) {
     }
     flow_passes::lint_flow_passes(flow, out);
     hazard::lint_hazards(flow, out);
+    hazard::lint_barrier_limited(flow, out);
 }
 
 /// Lints a live session: its schema, its active flow (if any), and the

@@ -1,13 +1,20 @@
 //! `bench_exec` — the executor perf harness behind `BENCH_exec.json`.
 //!
-//! Runs the Fig. 6 disjoint-branch workload three ways — serial
-//! untraced, parallel untraced, and parallel fully traced (ring-buffer
-//! collector + metrics registry) — and writes the measurements to a
-//! JSON file so successive PRs accumulate a perf trajectory.
+//! Measures three executor axes and writes them to one JSON file so
+//! successive PRs accumulate a perf trajectory:
 //!
-//! With `--check`, exits nonzero when the tracing overhead on the
-//! parallel toy flow exceeds the budget (default 5% of the untraced
-//! median), which is the CI smoke gate for the observability layer.
+//! * the Fig. 6 disjoint-branch workload three ways — serial untraced,
+//!   parallel untraced, and parallel fully traced (ring-buffer
+//!   collector + metrics registry);
+//! * the straggler workload — one branch 10× the work of the rest —
+//!   under the wave scheduler and the dataflow scheduler, which is
+//!   where barrier-free scheduling earns its keep;
+//! * journal-append throughput, per-frame fsync vs group commit.
+//!
+//! With `--check`, exits nonzero when any gate fails: tracing overhead
+//! over budget (default 5% of the untraced median), dataflow slower
+//! than 1.3× wave on the straggler fixture, or group commit under 2×
+//! per-frame-fsync throughput.
 //!
 //! ```sh
 //! cargo run --release -p hercules-bench --bin bench_exec -- --check
@@ -18,25 +25,39 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
-use hercules::exec::{toy, Binding, Executor, MultiInstanceMode};
+use hercules::exec::{toy, Binding, Executor, MultiInstanceMode, SchedulerKind};
 use hercules::flow::TaskGraph;
 use hercules::history::HistoryDb;
 use hercules::obs::{Metrics, RingBuffer, Tracer};
 use hercules::schema::TaskSchema;
+use hercules::{FlowOp, GroupCommitPolicy, JournalOp, Session, Workspace};
+
+/// `--check` gate: dataflow must beat wave by this factor on the
+/// straggler fixture.
+const STRAGGLER_GATE: f64 = 1.3;
+/// `--check` gate: group commit must beat per-frame fsync by this
+/// factor on journal-append throughput.
+const JOURNAL_GATE: f64 = 2.0;
 
 const USAGE: &str = "\
 bench_exec — executor perf harness; writes BENCH_exec.json
 
 USAGE:
     bench_exec [--out FILE] [--iters N] [--branches N] [--work-us N]
-               [--budget-percent P] [--check]
+               [--straggler-branches N] [--straggler-depth N]
+               [--journal-ops N] [--budget-percent P] [--check]
 
-    --out FILE          output path [default: BENCH_exec.json]
-    --iters N           measured iterations per config [default: 30]
-    --branches N        disjoint branches in the workload [default: 4]
-    --work-us N         simulated tool compute, µs [default: 2000]
-    --budget-percent P  tracing overhead budget for --check [default: 5]
-    --check             fail (exit 1) when overhead exceeds the budget
+    --out FILE             output path [default: BENCH_exec.json]
+    --iters N              measured iterations per config [default: 30]
+    --branches N           disjoint branches in the workload [default: 4]
+    --work-us N            simulated tool compute, µs [default: 2000]
+    --straggler-branches N branches in the straggler fixture [default: 8]
+    --straggler-depth N    chain depth of the short branches [default: 10]
+    --journal-ops N        appends per journal-throughput round [default: 256]
+    --budget-percent P     tracing overhead budget for --check [default: 5]
+    --check                fail (exit 1) when any gate fails: overhead
+                           over budget, dataflow < 1.3x wave on the
+                           straggler, group commit < 2x per-frame fsync
 ";
 
 struct Options {
@@ -44,6 +65,9 @@ struct Options {
     iters: usize,
     branches: usize,
     work_us: u64,
+    straggler_branches: usize,
+    straggler_depth: usize,
+    journal_ops: usize,
     budget_percent: f64,
     check: bool,
 }
@@ -54,6 +78,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         iters: 30,
         branches: 4,
         work_us: 2_000,
+        straggler_branches: 8,
+        straggler_depth: 10,
+        journal_ops: 256,
         budget_percent: 5.0,
         check: false,
     };
@@ -72,6 +99,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--iters" => opts.iters = parse(value("--iters")?, "--iters")?,
             "--branches" => opts.branches = parse(value("--branches")?, "--branches")?,
             "--work-us" => opts.work_us = parse(value("--work-us")?, "--work-us")?,
+            "--straggler-branches" => {
+                opts.straggler_branches =
+                    parse(value("--straggler-branches")?, "--straggler-branches")?;
+            }
+            "--straggler-depth" => {
+                opts.straggler_depth = parse(value("--straggler-depth")?, "--straggler-depth")?;
+            }
+            "--journal-ops" => {
+                opts.journal_ops = parse(value("--journal-ops")?, "--journal-ops")?;
+            }
             "--budget-percent" => {
                 opts.budget_percent = value("--budget-percent")?
                     .parse()
@@ -130,6 +167,18 @@ fn measure(
     parallel: bool,
     traced: bool,
 ) -> Sample {
+    measure_with(name, w, opts, parallel, traced, SchedulerKind::default(), 0)
+}
+
+fn measure_with(
+    name: &'static str,
+    w: &Workload<'_>,
+    opts: &Options,
+    parallel: bool,
+    traced: bool,
+    scheduler: SchedulerKind,
+    workers: usize,
+) -> Sample {
     let registry = toy::text_registry_with(
         w.schema,
         toy::TextTool {
@@ -139,6 +188,8 @@ fn measure(
     );
     let mut executor = Executor::new(registry);
     executor.options_mut().parallel = parallel;
+    executor.options_mut().scheduler = scheduler;
+    executor.options_mut().workers = workers;
     if traced {
         // The full live pipeline: every span lands in a ring buffer and
         // every task updates the metrics registry.
@@ -163,7 +214,88 @@ fn measure(
     }
 }
 
-fn render_json(opts: &Options, samples: &[Sample], overhead_percent: f64) -> String {
+/// Journal-append throughput, per-frame fsync vs group commit.
+struct JournalBench {
+    ops: usize,
+    rounds: usize,
+    per_frame_ns: u64,
+    group_ns: u64,
+}
+
+impl JournalBench {
+    fn per_frame_ops_per_sec(&self) -> f64 {
+        self.ops as f64 * 1e9 / self.per_frame_ns.max(1) as f64
+    }
+
+    fn group_ops_per_sec(&self) -> f64 {
+        self.ops as f64 * 1e9 / self.group_ns.max(1) as f64
+    }
+
+    fn speedup(&self) -> f64 {
+        self.per_frame_ns as f64 / self.group_ns.max(1) as f64
+    }
+}
+
+fn bench_journal(opts: &Options) -> Result<JournalBench, String> {
+    let ops = opts.journal_ops.max(16);
+    let rounds = opts.iters.clamp(3, 10);
+    let session = Session::odyssey("bench");
+    let op = JournalOp::Flow(FlowOp::Seed {
+        entity: "Layout".into(),
+    });
+    let median_round_ns = |group: bool| -> Result<u64, String> {
+        let tag = if group { "group" } else { "frame" };
+        let root = std::env::temp_dir().join(format!(
+            "hercules-bench-journal-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let mut ws = Workspace::create(&root, &session).map_err(|e| e.to_string())?;
+        if group {
+            ws.enable_group_commit(GroupCommitPolicy::default())
+                .map_err(|e| e.to_string())?;
+        }
+        let mut runs = Vec::with_capacity(rounds);
+        for r in 0..=rounds {
+            let started = Instant::now();
+            if group {
+                // The group-commit usage pattern: enqueue the round's
+                // frames, then one durability point for all of them.
+                for _ in 0..ops {
+                    ws.append_deferred(&op).map_err(|e| e.to_string())?;
+                }
+                ws.sync().map_err(|e| e.to_string())?;
+            } else {
+                for _ in 0..ops {
+                    ws.append(&op).map_err(|e| e.to_string())?;
+                }
+            }
+            if r > 0 {
+                runs.push(started.elapsed().as_nanos() as u64);
+            }
+        }
+        drop(ws);
+        let _ = std::fs::remove_dir_all(&root);
+        runs.sort_unstable();
+        Ok(runs[runs.len() / 2])
+    };
+    Ok(JournalBench {
+        ops,
+        rounds,
+        per_frame_ns: median_round_ns(false)?,
+        group_ns: median_round_ns(true)?,
+    })
+}
+
+fn render_json(
+    opts: &Options,
+    samples: &[Sample],
+    overhead_percent: f64,
+    overhead_raw_percent: f64,
+    straggler: &[Sample],
+    straggler_speedup: f64,
+    journal: &JournalBench,
+) -> String {
     let stamp_ms = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_millis() as u64)
@@ -181,23 +313,52 @@ fn render_json(opts: &Options, samples: &[Sample], overhead_percent: f64) -> Str
         out,
         "  \"tracing_overhead_percent\": {overhead_percent:.3},"
     );
+    let _ = writeln!(
+        out,
+        "  \"tracing_overhead_raw_percent\": {overhead_raw_percent:.3},"
+    );
     let _ = writeln!(out, "  \"budget_percent\": {:.1},", opts.budget_percent);
+    let render_configs = |out: &mut String, samples: &[Sample]| {
+        for (i, s) in samples.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"name\": \"{}\", \"parallel\": {}, \"traced\": {}, \
+                 \"median_ns\": {}, \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}",
+                s.name,
+                s.parallel,
+                s.traced,
+                s.median_ns(),
+                s.mean_ns(),
+                s.min_ns(),
+                s.max_ns()
+            );
+            out.push_str(if i + 1 < samples.len() { ",\n" } else { "\n" });
+        }
+    };
+    let _ = writeln!(
+        out,
+        "  \"straggler\": {{\"branches\": {}, \"depth\": {}, \"straggler_us\": {}, \
+         \"dataflow_speedup\": {straggler_speedup:.3}, \"gate\": {STRAGGLER_GATE:.1}}},",
+        opts.straggler_branches,
+        opts.straggler_depth,
+        opts.work_us * 10
+    );
+    let _ = writeln!(
+        out,
+        "  \"journal\": {{\"ops\": {}, \"rounds\": {}, \
+         \"per_frame_ops_per_sec\": {:.0}, \"group_commit_ops_per_sec\": {:.0}, \
+         \"group_commit_speedup\": {:.3}, \"gate\": {JOURNAL_GATE:.1}}},",
+        journal.ops,
+        journal.rounds,
+        journal.per_frame_ops_per_sec(),
+        journal.group_ops_per_sec(),
+        journal.speedup()
+    );
     out.push_str("  \"configs\": [\n");
-    for (i, s) in samples.iter().enumerate() {
-        let _ = write!(
-            out,
-            "    {{\"name\": \"{}\", \"parallel\": {}, \"traced\": {}, \
-             \"median_ns\": {}, \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}",
-            s.name,
-            s.parallel,
-            s.traced,
-            s.median_ns(),
-            s.mean_ns(),
-            s.min_ns(),
-            s.max_ns()
-        );
-        out.push_str(if i + 1 < samples.len() { ",\n" } else { "\n" });
-    }
+    render_configs(&mut out, samples);
+    out.push_str("  ],\n");
+    out.push_str("  \"straggler_configs\": [\n");
+    render_configs(&mut out, straggler);
     out.push_str("  ]\n}\n");
     out
 }
@@ -221,10 +382,62 @@ fn run() -> Result<ExitCode, String> {
 
     let base = samples[1].median_ns().max(1);
     let traced = samples[2].median_ns();
-    let overhead_percent = (traced as f64 - base as f64) * 100.0 / base as f64;
+    // Noise can make the traced run come out faster than the untraced
+    // one; report the raw delta but clamp the headline (and the gate
+    // input) at zero so a lucky run can't bank negative overhead.
+    let overhead_raw_percent = (traced as f64 - base as f64) * 100.0 / base as f64;
+    let overhead_percent = overhead_raw_percent.max(0.0);
     let speedup = samples[0].median_ns() as f64 / base as f64;
 
-    let json = render_json(&opts, &samples, overhead_percent);
+    // The straggler fixture: one branch 10× the work of the others,
+    // workers pinned to the branch count so the schedulers differ only
+    // in barrier behavior.
+    let (schema, flow, db, binding) = hercules_bench::straggler_branches(
+        opts.straggler_branches,
+        opts.straggler_depth,
+        opts.work_us * 10,
+    );
+    let sw = Workload {
+        schema: &schema,
+        flow: &flow,
+        db: &db,
+        binding: &binding,
+    };
+    let workers = opts.straggler_branches.max(2);
+    let straggler = [
+        measure_with(
+            "straggler_wave",
+            &sw,
+            &opts,
+            true,
+            false,
+            SchedulerKind::Wave,
+            workers,
+        ),
+        measure_with(
+            "straggler_dataflow",
+            &sw,
+            &opts,
+            true,
+            false,
+            SchedulerKind::Dataflow,
+            workers,
+        ),
+    ];
+    let straggler_speedup =
+        straggler[0].median_ns() as f64 / straggler[1].median_ns().max(1) as f64;
+
+    let journal = bench_journal(&opts)?;
+
+    let json = render_json(
+        &opts,
+        &samples,
+        overhead_percent,
+        overhead_raw_percent,
+        &straggler,
+        straggler_speedup,
+        &journal,
+    );
     std::fs::write(&opts.out, &json).map_err(|e| format!("write `{}`: {e}", opts.out))?;
 
     println!(
@@ -232,15 +445,48 @@ fn run() -> Result<ExitCode, String> {
         opts.branches
     );
     println!(
-        "tracing overhead: {overhead_percent:.2}% (budget {:.1}%) — wrote `{}`",
-        opts.budget_percent, opts.out
+        "tracing overhead: {overhead_percent:.2}% (raw {overhead_raw_percent:.2}%, \
+         budget {:.1}%)",
+        opts.budget_percent
     );
+    println!(
+        "straggler: dataflow {straggler_speedup:.2}x over wave \
+         ({} branches, depth {}, gate {STRAGGLER_GATE:.1}x)",
+        opts.straggler_branches, opts.straggler_depth
+    );
+    println!(
+        "journal: group commit {:.2}x over per-frame fsync \
+         ({:.0} vs {:.0} ops/s, gate {JOURNAL_GATE:.1}x) — wrote `{}`",
+        journal.speedup(),
+        journal.group_ops_per_sec(),
+        journal.per_frame_ops_per_sec(),
+        opts.out
+    );
+    let mut failed = false;
     if opts.check && overhead_percent > opts.budget_percent {
         eprintln!(
             "bench_exec: FAIL — tracing overhead {overhead_percent:.2}% exceeds \
              the {:.1}% budget",
             opts.budget_percent
         );
+        failed = true;
+    }
+    if opts.check && straggler_speedup < STRAGGLER_GATE {
+        eprintln!(
+            "bench_exec: FAIL — dataflow only {straggler_speedup:.2}x over wave \
+             on the straggler fixture (gate {STRAGGLER_GATE:.1}x)"
+        );
+        failed = true;
+    }
+    if opts.check && journal.speedup() < JOURNAL_GATE {
+        eprintln!(
+            "bench_exec: FAIL — group commit only {:.2}x over per-frame fsync \
+             (gate {JOURNAL_GATE:.1}x)",
+            journal.speedup()
+        );
+        failed = true;
+    }
+    if failed {
         return Ok(ExitCode::FAILURE);
     }
     Ok(ExitCode::SUCCESS)

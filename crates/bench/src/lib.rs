@@ -133,6 +133,111 @@ pub fn disjoint_branches(
     (schema, flow, db, binding)
 }
 
+/// Builds the straggler workload: one branch that is a single task
+/// costing `straggler_us` microseconds, next to `branches − 1` chains of
+/// `depth` unit-cost tasks. Under wave scheduling the first barrier
+/// waits for the straggler while every chain sits at depth 1; a
+/// dataflow scheduler lets the chains advance concurrently, so the
+/// makespan gap between the two is the benchmark signal.
+///
+/// The unit cost comes from the registry's [`toy::TextTool::work`]; the
+/// straggler's cost rides in its tool instance data (`cost:<µs>`),
+/// which [`toy::TextTool`] parses as a sleep override. Each chain binds
+/// its own `Seed` instance so the executor's invocation cache cannot
+/// collapse the branches into one.
+///
+/// # Panics
+///
+/// Never under normal operation; the schema is built locally.
+pub fn straggler_branches(
+    branches: usize,
+    depth: usize,
+    straggler_us: u64,
+) -> (
+    Arc<TaskSchema>,
+    hercules::flow::TaskGraph,
+    HistoryDb,
+    hercules::exec::Binding,
+) {
+    use hercules::schema::SchemaBuilder;
+
+    let branches = branches.max(2);
+    let depth = depth.max(1);
+    let mut b = SchemaBuilder::new();
+    let step = b.tool("Step");
+    let long = b.tool("Long");
+    let seed = b.data("Seed");
+    let mut prev = seed;
+    let mut chain = Vec::new();
+    for k in 1..=depth {
+        let link = b.data(&format!("C{k}"));
+        b.functional(link, step);
+        b.data_dep(link, prev);
+        chain.push(link);
+        prev = link;
+    }
+    let slow = b.data("Slow");
+    b.functional(slow, long);
+    b.data_dep(slow, seed);
+    let schema = Arc::new(b.build().expect("straggler schema"));
+
+    let mut db = HistoryDb::new(schema.clone());
+    let step_tool = db
+        .record_primary(step, Metadata::by("bench").named("step"), b"")
+        .expect("records");
+    let long_tool = db
+        .record_primary(
+            long,
+            Metadata::by("bench").named("long"),
+            format!("cost:{straggler_us}").as_bytes(),
+        )
+        .expect("records");
+
+    let mut flow = hercules::flow::TaskGraph::new(schema.clone());
+    let mut binding = hercules::exec::Binding::new();
+    let top = *chain.last().expect("depth >= 1");
+    for branch in 0..branches - 1 {
+        let goal = flow.seed(top).expect("seeds");
+        flow.expand_all(goal).expect("expands");
+        // Distinct seed data per branch defeats invocation caching.
+        let inst = db
+            .record_primary(
+                seed,
+                Metadata::by("bench").named(&format!("seed{branch}")),
+                format!("s{branch}").as_bytes(),
+            )
+            .expect("records");
+        for leaf in flow.leaves() {
+            if binding.get(leaf).is_empty() {
+                let entity = flow.entity_of(leaf).expect("node");
+                if entity == seed {
+                    binding.bind(leaf, inst);
+                } else if entity == step {
+                    binding.bind(leaf, step_tool);
+                }
+            }
+        }
+    }
+    let goal = flow.seed(slow).expect("seeds");
+    flow.expand_all(goal).expect("expands");
+    let straggler_seed = db
+        .record_primary(seed, Metadata::by("bench").named("seed-straggler"), b"slow")
+        .expect("records");
+    for leaf in flow.leaves() {
+        if binding.get(leaf).is_empty() {
+            let entity = flow.entity_of(leaf).expect("node");
+            if entity == seed {
+                binding.bind(leaf, straggler_seed);
+            } else if entity == step {
+                binding.bind(leaf, step_tool);
+            } else if entity == long {
+                binding.bind(leaf, long_tool);
+            }
+        }
+    }
+    (schema, flow, db, binding)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,5 +264,31 @@ mod tests {
         let (_, flow, db, binding) = disjoint_branches(4);
         assert_eq!(flow.outputs().len(), 4);
         binding.validate(&flow, &db).expect("fully bound");
+    }
+
+    #[test]
+    fn straggler_branches_bind_and_execute_distinctly() {
+        let (schema, flow, mut db, binding) = straggler_branches(4, 3, 50);
+        assert_eq!(flow.outputs().len(), 4, "3 chains + 1 straggler");
+        binding.validate(&flow, &db).expect("fully bound");
+        // The wave schedule is barrier-limited: the first wave holds
+        // the straggler plus every chain head, later waves thin out.
+        let waves = flow.parallel_waves().expect("acyclic");
+        assert_eq!(waves.len(), 3, "chain depth bounds the wave count");
+
+        let registry = toy::text_registry(&schema);
+        let executor = hercules::exec::Executor::new(registry);
+        let report = executor.execute(&flow, &binding, &mut db).expect("runs");
+        // 3 chains × 3 steps + 1 straggler, none collapsed by the
+        // invocation cache.
+        assert_eq!(report.tasks.len(), 10);
+        let texts: std::collections::BTreeSet<String> = flow
+            .outputs()
+            .iter()
+            .map(|&o| {
+                String::from_utf8_lossy(db.data_of(report.single(o)).unwrap().unwrap()).into_owned()
+            })
+            .collect();
+        assert_eq!(texts.len(), 4, "every branch produced distinct data");
     }
 }

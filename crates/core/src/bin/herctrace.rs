@@ -199,7 +199,7 @@ fn run() -> Result<(), String> {
             let flow = fixture_flow(&opts.fixture)?;
             let width = flow.max_parallelism().map_err(|e| format!("waves: {e}"))?;
             out.push_str(&format!(
-                "flow `{}` schema-theoretic max wave width: {width}\n",
+                "flow `{}` schema-theoretic max parallelism (widest DAG level): {width}\n",
                 opts.fixture
             ));
         }

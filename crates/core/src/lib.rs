@@ -76,7 +76,7 @@ pub mod views;
 pub use error::HerculesError;
 pub use persist::{ExecReportSpec, FlowOp, SessionSpec, TaskActionSpec, TaskRecordSpec};
 pub use session::{Approach, ExecEvent, Session};
-pub use store::{JournalOp, RecoveryReport, StoreError, Workspace};
+pub use store::{GroupCommitPolicy, JournalOp, RecoveryReport, StoreError, Workspace};
 
 // Re-export the substrate crates so downstream users need only one
 // dependency.

@@ -914,7 +914,7 @@ mod tests {
         let prof = ui.execute("profile").expect("renders");
         assert!(prof.contains("critical path"), "{prof}");
         assert!(prof.contains("parallelism"), "{prof}");
-        assert!(prof.contains("lane"), "gantt rows: {prof}");
+        assert!(prof.contains("worker"), "gantt rows: {prof}");
     }
 
     #[test]

@@ -2,12 +2,15 @@
 //! subtasks, multi-instance fan-out, caching, parallel disjoint
 //! branches, and fault-tolerant supervision of every tool run.
 
-use std::collections::{HashMap, HashSet};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::hash::{Hash, Hasher};
+use std::sync::{mpsc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use hercules_flow::{NodeId, TaskGraph};
 use hercules_history::{Derivation, HistoryDb, InstanceId, Metadata};
+use hercules_obs::profile::{downstream_critical, TaskProfile};
 use hercules_obs::{Metrics, SpanId, Tracer};
 use hercules_schema::{EntityTypeId, TaskSchema};
 
@@ -19,6 +22,22 @@ use crate::error::ExecError;
 use crate::policy::{FailurePolicy, RetryPolicy};
 use crate::supervise;
 
+/// How ready subtasks are sequenced onto workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Event-driven dataflow scheduling: per-task dependency counters,
+    /// a priority ready queue ordered by downstream critical-path
+    /// length, and a persistent worker pool. Completion of a task
+    /// enqueues its newly-ready successors immediately, so disjoint
+    /// sub-flows proceed independently with no barriers.
+    #[default]
+    Dataflow,
+    /// Legacy level-synchronized scheduling: ready subtasks run as one
+    /// wave and every worker idles at the barrier until the slowest
+    /// member finishes. Kept for A/B comparison and equivalence tests.
+    Wave,
+}
+
 /// Options controlling one execution.
 #[derive(Debug, Clone)]
 pub struct ExecOptions {
@@ -27,6 +46,13 @@ pub struct ExecOptions {
     /// Execute independent ready subtasks on separate threads (Fig. 6:
     /// "disjoint branches in the flow can be executed in parallel").
     pub parallel: bool,
+    /// Scheduling strategy; see [`SchedulerKind`].
+    pub scheduler: SchedulerKind,
+    /// Worker threads for the parallel dataflow scheduler. `0` sizes
+    /// the pool automatically (one per available core, at least 2),
+    /// and the pool never exceeds the subtask count. Ignored when
+    /// `parallel` is false or under [`SchedulerKind::Wave`].
+    pub workers: usize,
     /// Reuse current cached results instead of re-running tools
     /// (§3.3's "has this extraction already been performed?").
     pub reuse_cached: bool,
@@ -54,6 +80,8 @@ impl Default for ExecOptions {
         ExecOptions {
             user: "hercules".into(),
             parallel: false,
+            scheduler: SchedulerKind::default(),
+            workers: 0,
             reuse_cached: false,
             fanout_limit: 1024,
             deadline: None,
@@ -224,6 +252,14 @@ struct Subtask {
     inputs: Vec<NodeId>,
 }
 
+/// Identical invocations within one execution record one shared
+/// product: "each design object may be uniquely identified according to
+/// the sequence of tool/data transformations used in creating that
+/// object" (section 1) — performing the same transformation twice
+/// yields the same object, not a duplicate.
+type InvocationCache =
+    HashMap<(Option<InstanceId>, Vec<InstanceId>, Vec<EntityTypeId>), Vec<InstanceId>>;
+
 /// The flow executor.
 ///
 /// # Examples
@@ -327,6 +363,22 @@ impl Executor {
         epoch: Instant,
         exec_span: SpanId,
     ) -> Result<ExecReport, ExecError> {
+        match self.options.scheduler {
+            SchedulerKind::Dataflow => self.execute_dataflow(flow, binding, db, epoch, exec_span),
+            SchedulerKind::Wave => self.execute_wave(flow, binding, db, epoch, exec_span),
+        }
+    }
+
+    /// The legacy level-synchronized executor: each iteration runs every
+    /// currently-ready subtask as one wave and waits at the barrier.
+    fn execute_wave(
+        &self,
+        flow: &TaskGraph,
+        binding: &Binding,
+        db: &mut HistoryDb,
+        epoch: Instant,
+        exec_span: SpanId,
+    ) -> Result<ExecReport, ExecError> {
         flow.validate_for_execution()?;
         binding.validate(flow, db)?;
 
@@ -341,16 +393,7 @@ impl Executor {
             report.produced.insert(node, instances.to_vec());
         }
 
-        // Identical invocations within one execution record one shared
-        // product: "each design object may be uniquely identified
-        // according to the sequence of tool/data transformations used in
-        // creating that object" (section 1) — performing the same
-        // transformation twice yields the same object, not a duplicate.
-        #[allow(clippy::type_complexity)]
-        let mut invocation_cache: HashMap<
-            (Option<InstanceId>, Vec<InstanceId>, Vec<EntityTypeId>),
-            Vec<InstanceId>,
-        > = HashMap::new();
+        let mut invocation_cache = InvocationCache::new();
 
         // Nodes downstream of a permanent failure: their subtasks are
         // reported as skipped instead of executed.
@@ -427,7 +470,7 @@ impl Executor {
                 .map(|s| self.prepare(flow, s, &available, db))
                 .collect::<Result<_, _>>()?;
 
-            let wave = WaveCtx {
+            let wave = DispatchCtx {
                 span: wave_span,
                 epoch,
                 dispatched: Instant::now(),
@@ -453,8 +496,20 @@ impl Executor {
 
             // Commit serially, in subtask order, for determinism.
             for (p, outcome) in prepared.iter().zip(outcomes) {
-                let runs = match outcome.result {
-                    Ok(runs) => runs,
+                match outcome.result {
+                    Ok(runs) => {
+                        self.commit_runs(
+                            p,
+                            runs,
+                            outcome.attempts,
+                            outcome.duration,
+                            outcome.started,
+                            db,
+                            &mut invocation_cache,
+                            &mut available,
+                            &mut report,
+                        )?;
+                    }
                     Err(error) => {
                         // ContinueDisjoint: report the failure, kill
                         // the downstream cone, keep going.
@@ -466,80 +521,432 @@ impl Executor {
                             duration: outcome.duration,
                             started: outcome.started,
                         });
-                        continue;
-                    }
-                };
-                let mut per_output: Vec<Vec<InstanceId>> =
-                    vec![Vec::new(); p.subtask.outputs.len()];
-                let mut executed = 0usize;
-                for run in runs {
-                    match run {
-                        RunResult::Cached(instances) => {
-                            for (slot, inst) in instances.into_iter().enumerate() {
-                                per_output[slot].push(inst);
-                            }
-                        }
-                        RunResult::Produced {
-                            tool_instance,
-                            input_instances,
-                            outputs,
-                        } => {
-                            let key = (
-                                tool_instance,
-                                input_instances.clone(),
-                                outputs.iter().map(|o| o.entity).collect::<Vec<_>>(),
-                            );
-                            if let Some(shared) = invocation_cache.get(&key) {
-                                // An identical invocation already
-                                // committed in this execution: share its
-                                // products instead of recording twins.
-                                for (slot, &inst) in shared.iter().enumerate() {
-                                    per_output[slot].push(inst);
-                                }
-                                continue;
-                            }
-                            executed += 1;
-                            let mut recorded = Vec::with_capacity(outputs.len());
-                            for (slot, out) in outputs.into_iter().enumerate() {
-                                let derivation = match tool_instance {
-                                    Some(t) => {
-                                        Derivation::by_tool(t, input_instances.iter().copied())
-                                    }
-                                    None => {
-                                        Derivation::by_composition(input_instances.iter().copied())
-                                    }
-                                };
-                                let mut meta = Metadata::by(&self.options.user);
-                                if !out.name.is_empty() {
-                                    meta = meta.named(&out.name);
-                                }
-                                let inst =
-                                    db.record_derived(out.entity, meta, &out.data, derivation)?;
-                                per_output[slot].push(inst);
-                                recorded.push(inst);
-                            }
-                            invocation_cache.insert(key, recorded);
-                        }
                     }
                 }
-                for (slot, &node) in p.subtask.outputs.iter().enumerate() {
-                    available.insert(node, per_output[slot].clone());
-                    report.produced.insert(node, per_output[slot].clone());
-                }
-                report.tasks.push(TaskRecord {
-                    outputs: p.subtask.outputs.clone(),
-                    action: if executed == 0 {
-                        TaskAction::Cached
-                    } else {
-                        TaskAction::Ran { runs: executed }
-                    },
-                    attempts: outcome.attempts,
-                    duration: outcome.duration,
-                    started: outcome.started,
-                });
             }
         }
         Ok(report)
+    }
+
+    /// Commits one successful subtask outcome: records every produced
+    /// instance in the history (deduplicating identical invocations
+    /// through `invocation_cache`), publishes the instances to
+    /// `available`, and appends the [`TaskRecord`]. Shared by the wave
+    /// and dataflow schedulers — commits always happen serially on the
+    /// scheduling thread, which is what keeps dedup and the history
+    /// deterministic.
+    #[allow(clippy::too_many_arguments)]
+    fn commit_runs(
+        &self,
+        p: &PreparedSubtask,
+        runs: Vec<RunResult>,
+        attempts: u32,
+        duration: Duration,
+        started: Duration,
+        db: &mut HistoryDb,
+        invocation_cache: &mut InvocationCache,
+        available: &mut HashMap<NodeId, Vec<InstanceId>>,
+        report: &mut ExecReport,
+    ) -> Result<(), ExecError> {
+        let mut per_output: Vec<Vec<InstanceId>> = vec![Vec::new(); p.subtask.outputs.len()];
+        let mut executed = 0usize;
+        for run in runs {
+            match run {
+                RunResult::Cached(instances) => {
+                    for (slot, inst) in instances.into_iter().enumerate() {
+                        per_output[slot].push(inst);
+                    }
+                }
+                RunResult::Produced {
+                    tool_instance,
+                    input_instances,
+                    outputs,
+                } => {
+                    let key = (
+                        tool_instance,
+                        input_instances.clone(),
+                        outputs.iter().map(|o| o.entity).collect::<Vec<_>>(),
+                    );
+                    if let Some(shared) = invocation_cache.get(&key) {
+                        // An identical invocation already committed in
+                        // this execution: share its products instead of
+                        // recording twins.
+                        for (slot, &inst) in shared.iter().enumerate() {
+                            per_output[slot].push(inst);
+                        }
+                        continue;
+                    }
+                    executed += 1;
+                    let mut recorded = Vec::with_capacity(outputs.len());
+                    for (slot, out) in outputs.into_iter().enumerate() {
+                        let derivation = match tool_instance {
+                            Some(t) => Derivation::by_tool(t, input_instances.iter().copied()),
+                            None => Derivation::by_composition(input_instances.iter().copied()),
+                        };
+                        let mut meta = Metadata::by(&self.options.user);
+                        if !out.name.is_empty() {
+                            meta = meta.named(&out.name);
+                        }
+                        let inst = db.record_derived(out.entity, meta, &out.data, derivation)?;
+                        per_output[slot].push(inst);
+                        recorded.push(inst);
+                    }
+                    invocation_cache.insert(key, recorded);
+                }
+            }
+        }
+        for (slot, &node) in p.subtask.outputs.iter().enumerate() {
+            available.insert(node, per_output[slot].clone());
+            report.produced.insert(node, per_output[slot].clone());
+        }
+        report.tasks.push(TaskRecord {
+            outputs: p.subtask.outputs.clone(),
+            action: if executed == 0 {
+                TaskAction::Cached
+            } else {
+                TaskAction::Ran { runs: executed }
+            },
+            attempts,
+            duration,
+            started,
+        });
+        Ok(())
+    }
+
+    /// The event-driven dataflow executor: per-task dependency
+    /// counters, a priority ready queue ordered by downstream
+    /// critical-path length, and a persistent worker pool. A task's
+    /// completion decrements its successors' counters and enqueues the
+    /// newly-ready ones immediately — disjoint sub-flows proceed
+    /// independently, with no wave barriers (§3.3, Fig. 6).
+    fn execute_dataflow(
+        &self,
+        flow: &TaskGraph,
+        binding: &Binding,
+        db: &mut HistoryDb,
+        epoch: Instant,
+        exec_span: SpanId,
+    ) -> Result<ExecReport, ExecError> {
+        flow.validate_for_execution()?;
+        binding.validate(flow, db)?;
+
+        let tracer = &self.options.tracer;
+
+        let mut report = ExecReport::default();
+        let mut available: HashMap<NodeId, Vec<InstanceId>> = HashMap::new();
+        for (node, instances) in binding.iter() {
+            available.insert(node, instances.to_vec());
+            report.produced.insert(node, instances.to_vec());
+        }
+        let mut invocation_cache = InvocationCache::new();
+
+        let subtasks = group_subtasks(flow)?;
+        let total = subtasks.len();
+        let workers = self.effective_workers(total);
+
+        // One scheduler epoch spans the whole execution — the parent of
+        // every task span, where the wave executor opens one span per
+        // barrier round.
+        let epoch_span = tracer.begin_with("epoch", exec_span, |a| {
+            a.uint("tasks", total as u64);
+            a.uint("workers", workers as u64);
+        });
+        let _epoch_guard = SpanGuard {
+            tracer,
+            id: epoch_span,
+        };
+
+        let (dep_count, successors, producers_of) = dependency_edges(&subtasks, &available);
+        let priority = subtask_priorities(&subtasks, &producers_of);
+        let mut st = SchedState {
+            subtasks,
+            priority,
+            dep_count,
+            successors,
+            task_state: vec![TaskState::Waiting; total],
+            dead: HashSet::new(),
+            seq: 0,
+            in_flight: 0,
+        };
+        let env = SchedEnv {
+            flow,
+            epoch,
+            epoch_span,
+            exec_span,
+        };
+        let queue = ReadyQueue::default();
+
+        // Seed the queue with every subtask whose dependencies are all
+        // bound already.
+        for i in 0..total {
+            if st.dep_count[i] == 0 {
+                self.dispatch_ready(&mut st, &env, i, &queue, &available, db)?;
+            }
+        }
+
+        if self.options.parallel && workers > 1 {
+            self.pump_parallel(
+                &mut st,
+                &env,
+                &queue,
+                workers,
+                db,
+                &mut invocation_cache,
+                &mut available,
+                &mut report,
+            )?;
+        } else {
+            // Serial dataflow: same ready-queue ordering, run inline.
+            let schema = flow.schema();
+            while let Some(task) = queue.try_pop() {
+                let outcome = task.prepared.run_all(schema, &self.options, &task.ctx);
+                self.finish_task(
+                    &mut st,
+                    &env,
+                    &queue,
+                    task.index,
+                    &task.prepared,
+                    outcome,
+                    db,
+                    &mut invocation_cache,
+                    &mut available,
+                    &mut report,
+                )?;
+            }
+        }
+
+        if st.task_state.contains(&TaskState::Waiting) {
+            // Every reachable subtask ran, failed, or was skipped;
+            // leftovers mean the graph could never make progress.
+            // validate_for_execution guarantees this cannot happen —
+            // defensive check against corrupt graphs.
+            return Err(ExecError::Flow(hercules_flow::FlowError::Cycle));
+        }
+        Ok(report)
+    }
+
+    /// Runs the scheduling loop against a persistent worker pool:
+    /// workers pull from the ready queue and report completions over a
+    /// channel; this thread commits serially and dispatches successors.
+    #[allow(clippy::too_many_arguments)]
+    fn pump_parallel(
+        &self,
+        st: &mut SchedState,
+        env: &SchedEnv<'_>,
+        queue: &ReadyQueue,
+        workers: usize,
+        db: &mut HistoryDb,
+        invocation_cache: &mut InvocationCache,
+        available: &mut HashMap<NodeId, Vec<InstanceId>>,
+        report: &mut ExecReport,
+    ) -> Result<(), ExecError> {
+        let schema = env.flow.schema();
+        let options = &self.options;
+        std::thread::scope(|scope| {
+            let (done_tx, done_rx) = mpsc::channel::<Completion>();
+            for _ in 0..workers {
+                let done_tx = done_tx.clone();
+                let queue = &*queue;
+                scope.spawn(move || {
+                    while let Some(task) = queue.pop(&options.metrics) {
+                        // run_all catches tool panics itself; this
+                        // guards against panics in the engine's own
+                        // plumbing so one worker can never wedge the
+                        // scheduler waiting for a lost completion.
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                task.prepared.run_all(schema, options, &task.ctx)
+                            }))
+                            .unwrap_or_else(|payload| {
+                                SubtaskOutcome {
+                                    result: Err(ExecError::ToolPanicked {
+                                        tool: "subtask worker".into(),
+                                        message: supervise::panic_message(payload.as_ref()),
+                                    }),
+                                    attempts: 0,
+                                    duration: Duration::ZERO,
+                                    started: task.ctx.epoch.elapsed(),
+                                }
+                            });
+                        let sent = done_tx.send(Completion {
+                            index: task.index,
+                            prepared: task.prepared,
+                            outcome,
+                        });
+                        if sent.is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(done_tx);
+            let run = (|| {
+                while st.in_flight > 0 {
+                    let c = done_rx.recv().map_err(|_| ExecError::ToolPanicked {
+                        tool: "subtask worker".into(),
+                        message: "worker pool exited with tasks in flight".into(),
+                    })?;
+                    self.finish_task(
+                        st,
+                        env,
+                        queue,
+                        c.index,
+                        &c.prepared,
+                        c.outcome,
+                        db,
+                        invocation_cache,
+                        available,
+                        report,
+                    )?;
+                }
+                Ok(())
+            })();
+            // Wake idle workers so the pool drains; in-flight tasks
+            // finish their current run and exit on the next pop.
+            queue.close();
+            run
+        })
+    }
+
+    /// Prepares one ready subtask and hands it to the queue, stamping
+    /// the dispatch instant (the start of its queue wait).
+    fn dispatch_ready(
+        &self,
+        st: &mut SchedState,
+        env: &SchedEnv<'_>,
+        index: usize,
+        queue: &ReadyQueue,
+        available: &HashMap<NodeId, Vec<InstanceId>>,
+        db: &HistoryDb,
+    ) -> Result<(), ExecError> {
+        let metrics = &self.options.metrics;
+        let dispatch_started = Instant::now();
+        let prepared = self.prepare(env.flow, &st.subtasks[index], available, db)?;
+        st.task_state[index] = TaskState::Scheduled;
+        st.in_flight += 1;
+        st.seq += 1;
+        queue.push(
+            ReadyTask {
+                priority: st.priority[index],
+                seq: st.seq,
+                index,
+                prepared,
+                ctx: DispatchCtx {
+                    span: env.epoch_span,
+                    epoch: env.epoch,
+                    dispatched: Instant::now(),
+                },
+            },
+            metrics,
+        );
+        metrics.observe_duration("exec.sched_dispatch_ns", dispatch_started.elapsed());
+        Ok(())
+    }
+
+    /// Handles one completed subtask on the scheduling thread: commits
+    /// its products (or records the failure and skips its downstream
+    /// cone), then decrements successors' dependency counters and
+    /// dispatches the newly-ready ones.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_task(
+        &self,
+        st: &mut SchedState,
+        env: &SchedEnv<'_>,
+        queue: &ReadyQueue,
+        index: usize,
+        prepared: &PreparedSubtask,
+        outcome: SubtaskOutcome,
+        db: &mut HistoryDb,
+        invocation_cache: &mut InvocationCache,
+        available: &mut HashMap<NodeId, Vec<InstanceId>>,
+        report: &mut ExecReport,
+    ) -> Result<(), ExecError> {
+        st.in_flight -= 1;
+        st.task_state[index] = TaskState::Terminal;
+        let (attempts, duration, started) = (outcome.attempts, outcome.duration, outcome.started);
+        match outcome.result {
+            Ok(runs) => {
+                self.commit_runs(
+                    prepared,
+                    runs,
+                    attempts,
+                    duration,
+                    started,
+                    db,
+                    invocation_cache,
+                    available,
+                    report,
+                )?;
+                for j in st.successors[index].clone() {
+                    st.dep_count[j] -= 1;
+                    if st.dep_count[j] == 0 && st.task_state[j] == TaskState::Waiting {
+                        self.dispatch_ready(st, env, j, queue, available, db)?;
+                    }
+                }
+                Ok(())
+            }
+            Err(error) => {
+                if self.options.failure == FailurePolicy::Abort {
+                    // Nothing of this subtask commits; the error
+                    // propagates and the pool drains.
+                    return Err(error);
+                }
+                // ContinueDisjoint: report the failure, then skip the
+                // downstream cone exactly as the wave executor would.
+                st.dead.extend(prepared.subtask.outputs.iter().copied());
+                report.tasks.push(TaskRecord {
+                    outputs: prepared.subtask.outputs.clone(),
+                    action: TaskAction::Failed { error },
+                    attempts,
+                    duration,
+                    started,
+                });
+                let mut frontier = st.successors[index].clone();
+                while let Some(j) = frontier.pop() {
+                    if st.task_state[j] != TaskState::Waiting {
+                        continue;
+                    }
+                    let doomed = st.subtasks[j].inputs.iter().any(|i| st.dead.contains(i))
+                        || st.subtasks[j].tool.is_some_and(|t| st.dead.contains(&t));
+                    if !doomed {
+                        continue;
+                    }
+                    st.task_state[j] = TaskState::Terminal;
+                    st.dead.extend(st.subtasks[j].outputs.iter().copied());
+                    self.options.tracer.instant("skip", env.exec_span, |a| {
+                        a.str("outputs", node_list(&st.subtasks[j].outputs));
+                    });
+                    report.tasks.push(TaskRecord {
+                        outputs: st.subtasks[j].outputs.clone(),
+                        action: TaskAction::Skipped,
+                        attempts: 0,
+                        duration: Duration::ZERO,
+                        started: env.epoch.elapsed(),
+                    });
+                    frontier.extend(st.successors[j].iter().copied());
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Sizes the worker pool: explicit [`ExecOptions::workers`], else
+    /// one per available core (at least 2), never more than the number
+    /// of subtasks.
+    fn effective_workers(&self, tasks: usize) -> usize {
+        if !self.options.parallel {
+            return 1;
+        }
+        let auto = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(2)
+            .max(2);
+        let chosen = if self.options.workers == 0 {
+            auto
+        } else {
+            self.options.workers
+        };
+        chosen.clamp(1, tasks.max(1))
     }
 
     /// Prepares one subtask: resolves instances, computes the fan-out
@@ -729,14 +1136,224 @@ impl Drop for SpanGuard<'_> {
     }
 }
 
-/// Per-wave context threaded into subtask runs: the wave's span (the
-/// parent of each task span), the execution epoch (task start offsets
-/// are relative to it), and the dispatch instant (queue wait = how long
-/// a ready subtask sat before a worker picked it up).
-struct WaveCtx {
+/// Per-dispatch context threaded into subtask runs: the parent span of
+/// the task span (the scheduler epoch under dataflow, the wave under
+/// the legacy scheduler), the execution epoch (task start offsets are
+/// relative to it), and the dispatch instant (queue wait = how long a
+/// ready subtask sat before a worker picked it up).
+struct DispatchCtx {
     span: SpanId,
     epoch: Instant,
     dispatched: Instant,
+}
+
+/// Where one subtask is in its dataflow lifecycle.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TaskState {
+    /// Dependencies outstanding.
+    Waiting,
+    /// In the ready queue or running on a worker.
+    Scheduled,
+    /// Committed, failed, or skipped.
+    Terminal,
+}
+
+/// Mutable bookkeeping of one dataflow execution, shared between the
+/// initial seeding and every completion.
+struct SchedState {
+    subtasks: Vec<Subtask>,
+    /// Static dispatch priority per subtask (downstream critical-path
+    /// length).
+    priority: Vec<u64>,
+    /// Outstanding producer subtasks per subtask.
+    dep_count: Vec<usize>,
+    /// Consumer subtasks per subtask (the reverse edges).
+    successors: Vec<Vec<usize>>,
+    task_state: Vec<TaskState>,
+    /// Nodes downstream of a permanent failure.
+    dead: HashSet<NodeId>,
+    /// Dispatch sequence counter (FIFO tiebreak among equal
+    /// priorities).
+    seq: u64,
+    /// Subtasks queued or running.
+    in_flight: usize,
+}
+
+/// Immutable context of one dataflow execution.
+struct SchedEnv<'a> {
+    flow: &'a TaskGraph,
+    epoch: Instant,
+    epoch_span: SpanId,
+    exec_span: SpanId,
+}
+
+/// One dispatched subtask waiting for a worker.
+struct ReadyTask {
+    /// Downstream critical-path length; longer poles pop first.
+    priority: u64,
+    /// Dispatch sequence number; FIFO among equal priorities.
+    seq: u64,
+    index: usize,
+    prepared: PreparedSubtask,
+    ctx: DispatchCtx,
+}
+
+impl PartialEq for ReadyTask {
+    fn eq(&self, other: &ReadyTask) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+
+impl Eq for ReadyTask {}
+
+impl PartialOrd for ReadyTask {
+    fn partial_cmp(&self, other: &ReadyTask) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ReadyTask {
+    fn cmp(&self, other: &ReadyTask) -> Ordering {
+        // Max-heap: higher priority first, then earlier dispatch.
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A finished subtask on its way back to the scheduling thread.
+struct Completion {
+    index: usize,
+    prepared: PreparedSubtask,
+    outcome: SubtaskOutcome,
+}
+
+/// The scheduler's ready queue: a max-heap of prepared subtasks ordered
+/// by dispatch priority, shared with the persistent workers behind a
+/// mutex + condvar (mpsc channels are single-consumer, so they cannot
+/// feed a pool).
+#[derive(Default)]
+struct ReadyQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+#[derive(Default)]
+struct QueueState {
+    heap: BinaryHeap<ReadyTask>,
+    closed: bool,
+}
+
+impl ReadyQueue {
+    fn push(&self, task: ReadyTask, metrics: &Metrics) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.heap.push(task);
+        metrics.observe("exec.queue_depth", state.heap.len() as u64);
+        drop(state);
+        self.ready.notify_one();
+    }
+
+    /// Pops the highest-priority ready task, blocking until one arrives
+    /// or the queue closes. Time spent blocked is a worker's idle time.
+    fn pop(&self, metrics: &Metrics) -> Option<ReadyTask> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(task) = state.heap.pop() {
+                return Some(task);
+            }
+            if state.closed {
+                return None;
+            }
+            let idle_from = Instant::now();
+            state = self.ready.wait(state).unwrap_or_else(|e| e.into_inner());
+            metrics.observe_duration("exec.worker_idle_ns", idle_from.elapsed());
+        }
+    }
+
+    /// Non-blocking pop for the serial pump.
+    fn try_pop(&self) -> Option<ReadyTask> {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .heap
+            .pop()
+    }
+
+    /// Closes the queue: blocked and future pops return `None` once the
+    /// heap drains, letting the worker pool exit.
+    fn close(&self) {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// Builds the subtask-level dependency graph: how many producer
+/// subtasks each subtask waits on (`dep_count`), who consumes whom
+/// (`successors`), and each subtask's producers (for the priority
+/// analysis). A dependency with neither a producer subtask nor a bound
+/// instance leaves its consumer permanently blocked, which the cycle
+/// check at the end of the execution reports.
+#[allow(clippy::type_complexity)]
+fn dependency_edges(
+    subtasks: &[Subtask],
+    available: &HashMap<NodeId, Vec<InstanceId>>,
+) -> (Vec<usize>, Vec<Vec<usize>>, Vec<Vec<usize>>) {
+    let mut producer: HashMap<NodeId, usize> = HashMap::new();
+    for (i, s) in subtasks.iter().enumerate() {
+        for &o in &s.outputs {
+            producer.insert(o, i);
+        }
+    }
+    let mut dep_count = vec![0usize; subtasks.len()];
+    let mut successors: Vec<Vec<usize>> = vec![Vec::new(); subtasks.len()];
+    let mut producers_of: Vec<Vec<usize>> = vec![Vec::new(); subtasks.len()];
+    for (i, s) in subtasks.iter().enumerate() {
+        let mut seen = HashSet::new();
+        for dep in s.inputs.iter().copied().chain(s.tool) {
+            match producer.get(&dep) {
+                Some(&j) if j != i => {
+                    if seen.insert(j) {
+                        dep_count[i] += 1;
+                        successors[j].push(i);
+                        producers_of[i].push(j);
+                    }
+                }
+                Some(_) => {}
+                None => {
+                    if !available.contains_key(&dep) {
+                        dep_count[i] += 1;
+                    }
+                }
+            }
+        }
+    }
+    (dep_count, successors, producers_of)
+}
+
+/// Static dispatch priorities: each subtask's downstream critical-path
+/// length over estimated costs (one abstract unit per invocation plus
+/// one per output), computed with the profiler's critical-path
+/// analysis. The longest pole dispatches first, so a straggler branch
+/// starts as early as its dependencies allow.
+fn subtask_priorities(subtasks: &[Subtask], producers_of: &[Vec<usize>]) -> Vec<u64> {
+    let profiles: Vec<TaskProfile> = subtasks
+        .iter()
+        .enumerate()
+        .map(|(i, s)| TaskProfile {
+            label: format!("s{i}"),
+            total_ns: 1 + s.outputs.len() as u64,
+            self_ns: 0,
+            start_ns: 0,
+            tid: 0,
+            deps: producers_of[i].iter().map(|j| format!("s{j}")).collect(),
+            cache_hit: false,
+            queue_wait_ns: 0,
+        })
+        .collect();
+    let down = downstream_critical(&profiles);
+    (0..subtasks.len())
+        .map(|i| down.get(&format!("s{i}")).copied().unwrap_or(0))
+        .collect()
 }
 
 #[derive(Debug, Clone)]
@@ -892,7 +1509,7 @@ impl PreparedSubtask {
         &self,
         schema: &std::sync::Arc<TaskSchema>,
         options: &ExecOptions,
-        wave: &WaveCtx,
+        wave: &DispatchCtx,
     ) -> SubtaskOutcome {
         let started = Instant::now();
         let started_offset = started.duration_since(wave.epoch);
@@ -984,7 +1601,7 @@ fn run_parallel(
     prepared: &[PreparedSubtask],
     flow: &TaskGraph,
     options: &ExecOptions,
-    wave: &WaveCtx,
+    wave: &DispatchCtx,
 ) -> Vec<SubtaskOutcome> {
     let schema = flow.schema();
     std::thread::scope(|scope| {

@@ -43,11 +43,24 @@ impl Encapsulation for TextTool {
         schema: &TaskSchema,
         invocation: &Invocation,
     ) -> Result<Vec<ToolOutput>, ExecError> {
-        if !self.work.is_zero() {
-            std::thread::sleep(self.work);
+        // A tool instance whose data reads `cost:<µs>` overrides the
+        // shared `work` duration — bench fixtures use this to give one
+        // task a different weight than the rest (straggler workloads).
+        let cost = invocation
+            .tool_data
+            .as_deref()
+            .and_then(|data| std::str::from_utf8(data).ok())
+            .and_then(|text| text.strip_prefix("cost:"))
+            .and_then(|us| us.trim().parse::<u64>().ok())
+            .map(Duration::from_micros);
+        let work = cost.unwrap_or(self.work);
+        if !work.is_zero() {
+            std::thread::sleep(work);
         }
         let tool_name = match &invocation.tool_data {
-            Some(data) if !data.is_empty() => String::from_utf8_lossy(data).into_owned(),
+            Some(data) if !data.is_empty() && cost.is_none() => {
+                String::from_utf8_lossy(data).into_owned()
+            }
             _ => schema.entity(invocation.tool_entity).name().to_owned(),
         };
         let mut args = Vec::new();

@@ -100,12 +100,18 @@ pub struct TaskProfile {
     pub self_ns: u64,
     /// Start offset, monotonic ns.
     pub start_ns: u64,
-    /// Thread lane the task ran on.
+    /// Thread lane the task ran on. Under the dataflow scheduler this
+    /// is the persistent worker that dispatched the task, so one Gantt
+    /// row per lane is one worker's timeline.
     pub tid: u64,
     /// Labels of tasks this task depends on (deterministic order).
     pub deps: Vec<String>,
     /// Whether the task was served from the invocation cache.
     pub cache_hit: bool,
+    /// How long the task sat ready in the scheduler queue before a
+    /// worker picked it up (the span's `queue_wait_ns` attribute; 0
+    /// when the trace predates the attribute).
+    pub queue_wait_ns: u64,
 }
 
 /// Critical-path profile of one execution trace.
@@ -184,6 +190,10 @@ pub fn profile_spans(spans: &[Span]) -> ProfileReport {
         deps.sort();
         deps.dedup();
         let cache_hit = matches!(t.attr("cache_hit"), Some(AttrValue::Bool(true)));
+        let queue_wait_ns = match t.attr("queue_wait_ns") {
+            Some(AttrValue::UInt(n)) => *n,
+            _ => 0,
+        };
         profiles.push(TaskProfile {
             label,
             total_ns: t.duration_ns(),
@@ -194,6 +204,7 @@ pub fn profile_spans(spans: &[Span]) -> ProfileReport {
             tid: t.tid,
             deps,
             cache_hit,
+            queue_wait_ns,
         });
     }
 
@@ -306,6 +317,79 @@ pub fn critical_path(tasks: &[TaskProfile]) -> (u64, Vec<String>) {
     (best.0, best.1.into_iter().map(str::to_owned).collect())
 }
 
+/// Per-task *downstream* critical-path length: each task's weight plus
+/// the heaviest dependency chain hanging below it (through the tasks
+/// that depend on it, transitively). A task with the largest value is
+/// the one whose delay pushes the makespan out the furthest, so these
+/// lengths are the natural static dispatch priorities for a dataflow
+/// scheduler: the executor feeds estimated costs in as `total_ns` and
+/// dispatches ready tasks in descending order of the result.
+///
+/// Duplicate labels accumulate weight exactly as in [`critical_path`];
+/// cycles (malformed inputs) are tolerated by treating back-edges as
+/// absent.
+pub fn downstream_critical(tasks: &[TaskProfile]) -> BTreeMap<String, u64> {
+    // Collapse to label-keyed nodes and reverse the edges: consumers
+    // of a label are the tasks listing it in `deps`.
+    let mut weight: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut consumers: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for t in tasks {
+        *weight.entry(&t.label).or_insert(0) += t.total_ns;
+        consumers.entry(&t.label).or_default();
+    }
+    for t in tasks {
+        for d in &t.deps {
+            if !weight.contains_key(d.as_str()) {
+                continue;
+            }
+            let entry = consumers.entry(d).or_default();
+            if !entry.contains(&t.label.as_str()) {
+                entry.push(&t.label);
+            }
+        }
+    }
+
+    struct Ctx<'a> {
+        weight: &'a BTreeMap<&'a str, u64>,
+        consumers: &'a BTreeMap<&'a str, Vec<&'a str>>,
+        best: HashMap<&'a str, u64>,
+        visiting: HashSet<&'a str>,
+    }
+    fn solve<'a>(ctx: &mut Ctx<'a>, label: &'a str) -> u64 {
+        if let Some(&hit) = ctx.best.get(label) {
+            return hit;
+        }
+        if !ctx.visiting.insert(label) {
+            return 0;
+        }
+        let mut tail = 0u64;
+        if let Some(cs) = ctx.consumers.get(label) {
+            for c in cs.clone() {
+                tail = tail.max(solve(ctx, c));
+            }
+        }
+        ctx.visiting.remove(label);
+        let result = ctx.weight.get(label).copied().unwrap_or(0) + tail;
+        ctx.best.insert(label, result);
+        result
+    }
+
+    let labels: Vec<&str> = weight.keys().copied().collect();
+    let mut ctx = Ctx {
+        weight: &weight,
+        consumers: &consumers,
+        best: HashMap::new(),
+        visiting: HashSet::new(),
+    };
+    labels
+        .into_iter()
+        .map(|l| {
+            let v = solve(&mut ctx, l);
+            (l.to_owned(), v)
+        })
+        .collect()
+}
+
 fn fmt_ns(ns: u64) -> String {
     if ns >= 1_000_000_000 {
         format!("{:.2}s", ns as f64 / 1e9)
@@ -340,8 +424,8 @@ impl ProfileReport {
         if !self.tasks.is_empty() {
             let on_path: HashSet<&str> = self.critical_path.iter().map(String::as_str).collect();
             out.push_str(&format!(
-                "{:<28} {:>10} {:>10}  {}\n",
-                "task", "total", "self", "flags"
+                "{:<28} {:>8} {:>10} {:>10} {:>10}  {}\n",
+                "task", "worker", "total", "self", "wait", "flags"
             ));
             for t in &self.tasks {
                 let mut flags = String::new();
@@ -352,10 +436,12 @@ impl ProfileReport {
                     flags.push('c');
                 }
                 out.push_str(&format!(
-                    "{:<28} {:>10} {:>10}  {}\n",
+                    "{:<28} {:>8} {:>10} {:>10} {:>10}  {}\n",
                     t.label,
+                    t.tid,
                     fmt_ns(t.total_ns),
                     fmt_ns(t.self_ns),
+                    fmt_ns(t.queue_wait_ns),
                     flags
                 ));
             }
@@ -365,7 +451,10 @@ impl ProfileReport {
     }
 
     /// Text Gantt chart: one row per task, bars positioned on a shared
-    /// timeline, `width` columns wide.
+    /// timeline, `width` columns wide. The lane column is the scheduler
+    /// dispatch lane (worker id); a task's queue wait — the time it sat
+    /// ready before its worker picked it up — renders as `·` in front
+    /// of the run bar, so wait vs run time is visible per worker.
     pub fn render_gantt(&self, width: usize) -> String {
         let width = width.clamp(20, 400);
         let mut out = String::new();
@@ -373,7 +462,12 @@ impl ProfileReport {
             out.push_str("no tasks traced\n");
             return out;
         }
-        let t0 = self.tasks.iter().map(|t| t.start_ns).min().unwrap_or(0);
+        let t0 = self
+            .tasks
+            .iter()
+            .map(|t| t.start_ns.saturating_sub(t.queue_wait_ns))
+            .min()
+            .unwrap_or(0);
         let t1 = self
             .tasks
             .iter()
@@ -384,19 +478,25 @@ impl ProfileReport {
         let col = |ns: u64| -> usize {
             ((ns.saturating_sub(t0)) as u128 * width as u128 / span as u128) as usize
         };
+        let mut any_wait = false;
         for t in &self.tasks {
-            let start = col(t.start_ns).min(width - 1);
+            let enqueued = col(t.start_ns.saturating_sub(t.queue_wait_ns)).min(width - 1);
+            let start = col(t.start_ns).clamp(enqueued, width - 1);
             let end = col(t.start_ns + t.total_ns).clamp(start + 1, width);
             let mut bar = String::with_capacity(width);
-            for _ in 0..start {
+            for _ in 0..enqueued {
                 bar.push(' ');
+            }
+            for _ in enqueued..start {
+                bar.push('·');
+                any_wait = true;
             }
             let fill = if t.cache_hit { '░' } else { '█' };
             for _ in start..end {
                 bar.push(fill);
             }
             out.push_str(&format!(
-                "{:<24} lane{:<2} |{:<w$}| {}\n",
+                "{:<24} worker{:<2} |{:<w$}| {}\n",
                 truncate(&t.label, 24),
                 t.tid,
                 bar,
@@ -410,6 +510,9 @@ impl ProfileReport {
             fmt_ns(span),
             fmt_ns(span)
         ));
+        if any_wait {
+            out.push_str("(· = ready in queue, █ = running, ░ = cache hit)\n");
+        }
         out
     }
 }
@@ -480,6 +583,7 @@ mod tests {
             tid: 0,
             deps: deps.iter().map(|s| s.to_string()).collect(),
             cache_hit: false,
+            queue_wait_ns: 0,
         }
     }
 
@@ -546,6 +650,38 @@ mod tests {
         assert!(chain.is_empty());
     }
 
+    #[test]
+    fn downstream_critical_ranks_the_long_pole_first() {
+        //    / b(30) - d(5)
+        // a(5)
+        //    \ c(10)
+        let tasks = vec![
+            task("a", 5, &[]),
+            task("b", 30, &["a"]),
+            task("c", 10, &["a"]),
+            task("d", 5, &["b"]),
+        ];
+        let down = downstream_critical(&tasks);
+        assert_eq!(down["a"], 40, "a + heaviest chain below (b, d)");
+        assert_eq!(down["b"], 35);
+        assert_eq!(down["c"], 10);
+        assert_eq!(down["d"], 5);
+        // Dispatch priority: the straggler arm outranks the light one.
+        assert!(down["b"] > down["c"]);
+    }
+
+    #[test]
+    fn downstream_critical_tolerates_cycles_and_ghost_deps() {
+        let tasks = vec![
+            task("a", 10, &["ghost"]),
+            task("b", 5, &["c"]),
+            task("c", 5, &["b"]),
+        ];
+        let down = downstream_critical(&tasks);
+        assert_eq!(down["a"], 10);
+        assert!(down["b"] >= 5 && down["c"] >= 5, "cycle guard terminates");
+    }
+
     fn ev(kind: EventKind, id: u64, parent: u64, name: &str, t: u64) -> TraceEvent {
         TraceEvent {
             kind,
@@ -594,7 +730,7 @@ mod tests {
         assert!(text.contains("critical path: t1 -> t2"));
         let gantt = report.render_gantt(40);
         assert!(gantt.contains("t1"));
-        assert!(gantt.contains("lane"));
+        assert!(gantt.contains("worker"));
     }
 
     #[test]

@@ -1,0 +1,270 @@
+//! Property test (ISSUE 5 satellite): the dataflow scheduler is
+//! observationally equivalent to the legacy wave executor on random
+//! layered DAGs.
+//!
+//! For every generated flow the wave schedule (serial) is the oracle;
+//! the dataflow scheduler — serial and parallel — must produce the same
+//! data for every output node, the same multiset of task actions (the
+//! invocation cache hands `Ran` to whichever twin commits first, so
+//! per-node `Ran`/`Cached` assignment is schedule-dependent but the
+//! counts are not), and, with a failing tool injected, the same
+//! `Failed` and `Skipped` subtask sets under
+//! [`FailurePolicy::ContinueDisjoint`] and an error under
+//! [`FailurePolicy::Abort`]. Data equality across every output also
+//! certifies dependency order: a consumer prepared before its producer
+//! committed would read stale or missing inputs and change the bytes.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use hercules::exec::{
+    toy, Binding, Encapsulation, EncapsulationRegistry, Executor, FailurePolicy, SchedulerKind,
+    TaskAction, TaskRecord,
+};
+use hercules::flow::TaskGraph;
+use hercules::history::{HistoryDb, Metadata};
+use hercules::schema::{EntityTypeId, SchemaBuilder, TaskSchema};
+use proptest::prelude::*;
+
+/// A generated layered DAG: its schema, the tool entities in creation
+/// order, and the goal (last-layer) entities to seed the flow from.
+struct Dag {
+    schema: Arc<TaskSchema>,
+    tools: Vec<EntityTypeId>,
+    sources: Vec<EntityTypeId>,
+    goals: Vec<EntityTypeId>,
+}
+
+/// Deterministic layered-DAG builder: layer 0 is `widths[0]` primary
+/// source entities; every entity of layer `l > 0` is produced by its
+/// own tool from one or two entities of layer `l − 1` chosen by a
+/// seeded LCG (layer-to-layer edges keep the graph acyclic while the
+/// seed varies fan-in and sharing).
+fn build_dag(widths: &[usize], seed: u64) -> Dag {
+    let mut state = seed | 1;
+    let mut lcg = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let mut b = SchemaBuilder::new();
+    let sources: Vec<EntityTypeId> = (0..widths[0].max(1))
+        .map(|i| b.data(&format!("S{i}")))
+        .collect();
+    let mut prev = sources.clone();
+    let mut tools = Vec::new();
+    for (l, &w) in widths.iter().enumerate().skip(1) {
+        let mut layer = Vec::new();
+        for i in 0..w.max(1) {
+            let tool = b.tool(&format!("T{l}_{i}"));
+            let entity = b.data(&format!("D{l}_{i}"));
+            b.functional(entity, tool);
+            let mut deps = BTreeSet::new();
+            deps.insert(lcg() % prev.len());
+            if lcg() % 2 == 0 {
+                deps.insert(lcg() % prev.len());
+            }
+            for k in deps {
+                b.data_dep(entity, prev[k]);
+            }
+            tools.push(tool);
+            layer.push(entity);
+        }
+        prev = layer;
+    }
+    Dag {
+        schema: Arc::new(b.build().expect("layered DAG is a valid schema")),
+        tools,
+        sources,
+        goals: prev,
+    }
+}
+
+/// Seeds one instance per source entity (distinct payloads) and one per
+/// tool, builds the flow by expanding every goal, and binds the leaves.
+fn seed_and_bind(dag: &Dag) -> (TaskGraph, HistoryDb, Binding) {
+    let mut db = HistoryDb::new(dag.schema.clone());
+    for (i, &s) in dag.sources.iter().enumerate() {
+        db.record_primary(
+            s,
+            Metadata::by("prop").named(&format!("s{i}")),
+            format!("s{i}").as_bytes(),
+        )
+        .expect("source seeds");
+    }
+    for &t in &dag.tools {
+        db.record_primary(t, Metadata::by("prop").named("tool"), b"")
+            .expect("tool seeds");
+    }
+    let mut flow = TaskGraph::new(dag.schema.clone());
+    for &goal in &dag.goals {
+        let node = flow.seed(goal).expect("seeds");
+        flow.expand_all(node).expect("expands");
+    }
+    let mut binding = Binding::new();
+    binding.bind_latest(&flow, &db);
+    (flow, db, binding)
+}
+
+/// Registry: the shared text tool everywhere, except `failing`, which
+/// gets the always-failing tool.
+fn registry(dag: &Dag, failing: Option<EntityTypeId>) -> EncapsulationRegistry {
+    let text: Arc<dyn Encapsulation> = Arc::new(toy::TextTool::default());
+    let fail: Arc<dyn Encapsulation> = Arc::new(toy::FailingTool);
+    let mut reg = EncapsulationRegistry::new();
+    for &t in &dag.tools {
+        reg.register(
+            t,
+            if Some(t) == failing {
+                fail.clone()
+            } else {
+                text.clone()
+            },
+        );
+    }
+    reg
+}
+
+struct Run {
+    report: Result<hercules::exec::ExecReport, hercules::exec::ExecError>,
+    db: HistoryDb,
+}
+
+fn run(
+    dag: &Dag,
+    flow: &TaskGraph,
+    db: &HistoryDb,
+    binding: &Binding,
+    failing: Option<EntityTypeId>,
+    (scheduler, parallel): (SchedulerKind, bool),
+    policy: FailurePolicy,
+) -> Run {
+    let mut db = db.clone();
+    let mut executor = Executor::new(registry(dag, failing));
+    executor.options_mut().parallel = parallel;
+    executor.options_mut().scheduler = scheduler;
+    executor.options_mut().failure = policy;
+    let report = executor.execute(flow, binding, &mut db);
+    Run { report, db }
+}
+
+/// Record key: the sorted output nodes of the subtask.
+fn keyed(tasks: &[TaskRecord]) -> BTreeMap<Vec<usize>, &TaskRecord> {
+    tasks
+        .iter()
+        .map(|r| {
+            let mut key: Vec<usize> = r.outputs.iter().map(|n| n.index()).collect();
+            key.sort_unstable();
+            (key, r)
+        })
+        .collect()
+}
+
+fn kind_counts(tasks: &[TaskRecord]) -> BTreeMap<&'static str, usize> {
+    let mut counts = BTreeMap::new();
+    for r in tasks {
+        let kind = match r.action {
+            TaskAction::Ran { .. } => "ran",
+            TaskAction::Cached => "cached",
+            TaskAction::Failed { .. } => "failed",
+            TaskAction::Skipped => "skipped",
+        };
+        *counts.entry(kind).or_insert(0) += 1;
+    }
+    counts
+}
+
+fn terminal_keys(tasks: &[TaskRecord], want_failed: bool) -> BTreeSet<Vec<usize>> {
+    keyed(tasks)
+        .into_iter()
+        .filter(|(_, r)| match r.action {
+            TaskAction::Failed { .. } => want_failed,
+            TaskAction::Skipped => !want_failed,
+            _ => false,
+        })
+        .map(|(k, _)| k)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Success path: same bytes per output node, same action multiset,
+    /// same subtask count, whichever scheduler runs the flow.
+    #[test]
+    fn dataflow_matches_wave_on_random_dags(
+        widths in prop::collection::vec(1usize..4, 2..5),
+        seed in 0u64..u64::MAX,
+    ) {
+        let dag = build_dag(&widths, seed);
+        let (flow, db, binding) = seed_and_bind(&dag);
+        let oracle = run(&dag, &flow, &db, &binding, None,
+                         (SchedulerKind::Wave, false), FailurePolicy::Abort);
+        let oracle_report = oracle.report.expect("wave oracle succeeds");
+        for (scheduler, parallel) in [
+            (SchedulerKind::Dataflow, false),
+            (SchedulerKind::Dataflow, true),
+            (SchedulerKind::Wave, true),
+        ] {
+            let got = run(&dag, &flow, &db, &binding, None,
+                          (scheduler, parallel), FailurePolicy::Abort);
+            let report = got.report.expect("scheduler succeeds");
+            prop_assert_eq!(report.tasks.len(), oracle_report.tasks.len());
+            prop_assert_eq!(kind_counts(&report.tasks), kind_counts(&oracle_report.tasks));
+            for node in flow.outputs() {
+                let want = oracle.db
+                    .data_of(oracle_report.single(node)).expect("present").expect("has data");
+                let have = got.db
+                    .data_of(report.single(node)).expect("present").expect("has data");
+                prop_assert_eq!(have, want, "output node {} bytes differ", node);
+            }
+        }
+    }
+
+    /// Failure path: inject one always-failing tool. Under
+    /// `ContinueDisjoint` every scheduler reports the same `Failed` and
+    /// `Skipped` subtask sets (the dead cone is structural, not
+    /// schedule-dependent); under `Abort` every scheduler errors.
+    #[test]
+    fn failure_cones_match_between_schedulers(
+        widths in prop::collection::vec(1usize..4, 2..5),
+        seed in 0u64..u64::MAX,
+        failing_seed in 0usize..1usize << 16,
+    ) {
+        let dag = build_dag(&widths, seed);
+        let (flow, db, binding) = seed_and_bind(&dag);
+        // Only tools a goal actually depends on appear in the flow;
+        // pick the failing one from those so the cone is non-empty.
+        let used: Vec<EntityTypeId> = {
+            let present: BTreeSet<EntityTypeId> = flow
+                .node_ids()
+                .filter_map(|n| flow.entity_of(n).ok())
+                .collect();
+            dag.tools.iter().copied().filter(|t| present.contains(t)).collect()
+        };
+        prop_assert!(!used.is_empty());
+        let failing = Some(used[failing_seed % used.len()]);
+        let oracle = run(&dag, &flow, &db, &binding, failing,
+                         (SchedulerKind::Wave, false), FailurePolicy::ContinueDisjoint);
+        let oracle_report = oracle.report.expect("ContinueDisjoint still reports");
+        let want_failed = terminal_keys(&oracle_report.tasks, true);
+        let want_skipped = terminal_keys(&oracle_report.tasks, false);
+        prop_assert!(!want_failed.is_empty(), "the failing tool is reachable");
+        for (scheduler, parallel) in [
+            (SchedulerKind::Dataflow, false),
+            (SchedulerKind::Dataflow, true),
+            (SchedulerKind::Wave, true),
+        ] {
+            let got = run(&dag, &flow, &db, &binding, failing,
+                          (scheduler, parallel), FailurePolicy::ContinueDisjoint);
+            let report = got.report.expect("ContinueDisjoint still reports");
+            prop_assert_eq!(terminal_keys(&report.tasks, true), want_failed.clone());
+            prop_assert_eq!(terminal_keys(&report.tasks, false), want_skipped.clone());
+
+            let aborted = run(&dag, &flow, &db, &binding, failing,
+                              (scheduler, parallel), FailurePolicy::Abort);
+            prop_assert!(aborted.report.is_err(), "Abort surfaces the failure");
+        }
+    }
+}

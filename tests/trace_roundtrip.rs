@@ -52,7 +52,7 @@ fn fig5_trace_survives_the_durable_workspace() {
         "fig5's disjoint branches must overlap: {:.2}x",
         live.achieved_parallelism
     );
-    // Parents in the live tree: execute → wave → task → attempt.
+    // Parents in the live tree: execute → epoch → task → attempt.
     let roots: Vec<_> = live_spans.iter().filter(|s| s.parent.is_none()).collect();
     assert_eq!(roots.len(), 1, "one root span");
     assert_eq!(roots[0].name, "execute");
@@ -61,7 +61,10 @@ fn fig5_trace_survives_the_durable_workspace() {
             .iter()
             .find(|s| s.id == task.parent)
             .expect("task has a parent span");
-        assert_eq!(parent.name, "wave", "live tasks sit under wave spans");
+        assert_eq!(
+            parent.name, "epoch",
+            "live tasks sit under the scheduler-epoch span"
+        );
     }
 
     // --- Persist (checkpoint holds the report) and "crash". ---
