@@ -87,3 +87,4 @@ pub use hercules_flow as flow;
 pub use hercules_history as history;
 pub use hercules_obs as obs;
 pub use hercules_schema as schema;
+pub use hercules_sim as sim;

@@ -2,13 +2,13 @@
 //! database, one flow under construction.
 
 use std::sync::Arc;
-use std::time::{SystemTime, UNIX_EPOCH};
 
 use hercules_exec::{Binding, EncapsulationRegistry, ExecReport, Executor, TaskAction};
 use hercules_flow::{Expansion, FlowCatalog, FlowSpec, NodeId, TaskGraph};
 use hercules_history::{DerivationTree, HistoryDb, InstanceId};
 use hercules_obs::{Metrics, RingBuffer, TraceEvent, Tracer};
 use hercules_schema::{EntityTypeId, TaskSchema};
+use hercules_sim::{Clock, Interleaver};
 use serde::{Deserialize, Serialize};
 
 use crate::error::HerculesError;
@@ -50,23 +50,25 @@ pub struct ExecEvent {
 }
 
 /// Both clocks for an event stamp: the tracer's pair when tracing is
-/// on (so event and span timestamps line up exactly), the system
-/// wall-clock otherwise.
-fn stamp_clocks(tracer: &Tracer) -> (u64, u64) {
+/// on (so event and span timestamps line up exactly), the session
+/// clock's wall time otherwise — under simulation that is the virtual
+/// clock, so event stamps are deterministic per seed.
+fn stamp_clocks(tracer: &Tracer, clock: &Clock) -> (u64, u64) {
     if tracer.is_enabled() {
         (tracer.now_ns(), tracer.wall_unix_ms())
     } else {
-        let wall = SystemTime::now()
-            .duration_since(UNIX_EPOCH)
-            .map(|d| d.as_millis() as u64)
-            .unwrap_or(0);
-        (0, wall)
+        (0, clock.wall_unix_ms())
     }
 }
 
 impl ExecEvent {
-    fn from_report(operation: &str, report: &ExecReport, tracer: &Tracer) -> ExecEvent {
-        let (mono_ns, wall_unix_ms) = stamp_clocks(tracer);
+    fn from_report(
+        operation: &str,
+        report: &ExecReport,
+        tracer: &Tracer,
+        clock: &Clock,
+    ) -> ExecEvent {
+        let (mono_ns, wall_unix_ms) = stamp_clocks(tracer, clock);
         ExecEvent {
             operation: operation.to_owned(),
             tasks: report.tasks.len(),
@@ -88,8 +90,13 @@ impl ExecEvent {
         }
     }
 
-    fn aborted(operation: &str, error: &HerculesError, tracer: &Tracer) -> ExecEvent {
-        let (mono_ns, wall_unix_ms) = stamp_clocks(tracer);
+    fn aborted(
+        operation: &str,
+        error: &HerculesError,
+        tracer: &Tracer,
+        clock: &Clock,
+    ) -> ExecEvent {
+        let (mono_ns, wall_unix_ms) = stamp_clocks(tracer, clock);
         ExecEvent {
             operation: operation.to_owned(),
             tasks: 0,
@@ -164,6 +171,10 @@ pub struct Session {
     trace_ring: Arc<RingBuffer>,
     tracer: Tracer,
     metrics: Metrics,
+    /// Time source for event stamps and (via the executor options)
+    /// retry backoff sleeps; [`Clock::real`] unless
+    /// [`Session::set_sim`] installed a simulated one.
+    clock: Clock,
 }
 
 /// Events the session's trace ring retains — enough for several full
@@ -201,7 +212,31 @@ impl Session {
             trace_ring,
             tracer,
             metrics,
+            clock: Clock::real(),
         }
+    }
+
+    /// Runs this session against a simulated environment: event stamps
+    /// use the virtual `clock`, retry backoff sleeps advance it instead
+    /// of blocking, scheduler picks among ready tasks are delegated to
+    /// `interleave`, and retry jitter derives from `jitter_seed` — so
+    /// one seed fixes the session's entire schedule.
+    pub fn set_sim(&mut self, clock: Clock, interleave: Interleaver, jitter_seed: u64) {
+        self.clock = clock.clone();
+        // Re-stamp the tracer from the virtual clock too; otherwise
+        // trace timestamps (and the exec-event stamps derived from
+        // them) leak real time into replays.
+        if self.tracer.is_enabled() {
+            self.tracer = Tracer::with_time_source(
+                self.trace_ring.clone(),
+                Arc::new(hercules_sim::ClockTimeSource::new(clock.clone())),
+            );
+        }
+        let options = self.executor.options_mut();
+        options.clock = clock;
+        options.interleave = interleave;
+        options.jitter_seed = jitter_seed;
+        options.tracer = self.tracer.clone();
     }
 
     /// Creates the standard demonstration session: the Odyssey schema,
@@ -587,15 +622,19 @@ impl Session {
         let flow = self.flow.as_ref().ok_or(HerculesError::NoActiveFlow)?;
         match self.executor.execute(flow, &self.binding, &mut self.db) {
             Ok(report) => {
-                self.events
-                    .push(ExecEvent::from_report("run", &report, &self.tracer));
+                self.events.push(ExecEvent::from_report(
+                    "run",
+                    &report,
+                    &self.tracer,
+                    &self.clock,
+                ));
                 self.last_report = Some(report);
                 Ok(self.last_report.as_ref().expect("just set"))
             }
             Err(e) => {
                 let e: HerculesError = e.into();
                 self.events
-                    .push(ExecEvent::aborted("run", &e, &self.tracer));
+                    .push(ExecEvent::aborted("run", &e, &self.tracer, &self.clock));
                 Err(e)
             }
         }
@@ -637,15 +676,19 @@ impl Session {
         self.executor.options_mut().reuse_cached = prev;
         match result {
             Ok(report) => {
-                self.events
-                    .push(ExecEvent::from_report("resume", &report, &self.tracer));
+                self.events.push(ExecEvent::from_report(
+                    "resume",
+                    &report,
+                    &self.tracer,
+                    &self.clock,
+                ));
                 self.last_report = Some(report);
                 Ok(self.last_report.as_ref().expect("just set"))
             }
             Err(e) => {
                 let e: HerculesError = e.into();
                 self.events
-                    .push(ExecEvent::aborted("resume", &e, &self.tracer));
+                    .push(ExecEvent::aborted("resume", &e, &self.tracer, &self.clock));
                 Err(e)
             }
         }
@@ -670,14 +713,22 @@ impl Session {
         }
         match self.executor.execute(&sub, &sub_binding, &mut self.db) {
             Ok(report) => {
-                self.events
-                    .push(ExecEvent::from_report("run-subflow", &report, &self.tracer));
+                self.events.push(ExecEvent::from_report(
+                    "run-subflow",
+                    &report,
+                    &self.tracer,
+                    &self.clock,
+                ));
                 Ok(report)
             }
             Err(e) => {
                 let e: HerculesError = e.into();
-                self.events
-                    .push(ExecEvent::aborted("run-subflow", &e, &self.tracer));
+                self.events.push(ExecEvent::aborted(
+                    "run-subflow",
+                    &e,
+                    &self.tracer,
+                    &self.clock,
+                ));
                 Err(e)
             }
         }
@@ -730,13 +781,14 @@ impl Session {
                     "retrace",
                     &report.report,
                     &self.tracer,
+                    &self.clock,
                 ));
                 Ok(report)
             }
             Err(e) => {
                 let e: HerculesError = e.into();
                 self.events
-                    .push(ExecEvent::aborted("retrace", &e, &self.tracer));
+                    .push(ExecEvent::aborted("retrace", &e, &self.tracer, &self.clock));
                 Err(e)
             }
         }

@@ -46,17 +46,16 @@
 //! already committed ones from the design history as cache hits.
 
 use std::fmt;
-use std::fs::{self, File, OpenOptions};
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use hercules_exec::EncapsulationRegistry;
 use hercules_flow::NodeId;
 use hercules_history::{InstanceId, InstanceSpec};
 use hercules_obs::Metrics;
 use hercules_schema::TaskSchema;
+use hercules_sim::{Clock, Env, Fs, FsFile};
 use serde::{Deserialize, Serialize};
 
 use crate::error::HerculesError;
@@ -348,30 +347,19 @@ impl fmt::Display for RecoveryReport {
 // The workspace.
 // ---------------------------------------------------------------------
 
-fn sync_dir(dir: &Path) -> std::io::Result<()> {
-    #[cfg(unix)]
-    {
-        File::open(dir)?.sync_all()?;
-    }
-    #[cfg(not(unix))]
-    {
-        let _ = dir;
-    }
-    Ok(())
-}
-
 /// Writes `name` under `dir` atomically: temp file, fsync, rename,
 /// directory fsync. Readers see either the old file or the new one,
-/// never a torn mixture.
-fn write_atomic(dir: &Path, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+/// never a torn mixture. All I/O goes through `fs`, so under
+/// simulation a crash can land between any two of these steps.
+fn write_atomic(fs: &Fs, dir: &Path, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
     let tmp = dir.join(format!("{name}.tmp"));
     {
-        let mut f = File::create(&tmp)?;
+        let mut f = fs.create_truncate(&tmp)?;
         f.write_all(bytes)?;
         f.sync_all()?;
     }
-    fs::rename(&tmp, dir.join(name))?;
-    sync_dir(dir)?;
+    fs.rename(&tmp, &dir.join(name))?;
+    fs.sync_dir(dir)?;
     Ok(())
 }
 
@@ -442,12 +430,35 @@ struct GroupShared {
     done: Condvar,
 }
 
-/// The background flusher: thread handle plus its shared queue.
+/// How deferred frames reach the journal.
 #[derive(Debug)]
-struct GroupCommit {
-    shared: Arc<GroupShared>,
-    handle: Option<std::thread::JoinHandle<()>>,
-    policy: GroupCommitPolicy,
+enum GroupCommit {
+    /// The background flusher thread (real environment): appenders
+    /// enqueue, the thread batches frames into one `write` + `fsync`.
+    Threaded {
+        shared: Arc<GroupShared>,
+        handle: Option<std::thread::JoinHandle<()>>,
+        policy: GroupCommitPolicy,
+    },
+    /// Deterministic in-process batching, used when the workspace runs
+    /// on a simulated filesystem: frames queue here and flush on
+    /// [`Workspace::sync`] or when the batch fills. Identical
+    /// durability semantics — unsynced frames are exactly the
+    /// unacknowledged tail — with no thread and no timing, so every
+    /// flush is an explicit simulator event.
+    Inline {
+        queue: Vec<u8>,
+        pending_frames: u64,
+        policy: GroupCommitPolicy,
+    },
+}
+
+impl GroupCommit {
+    fn policy(&self) -> GroupCommitPolicy {
+        match self {
+            GroupCommit::Threaded { policy, .. } | GroupCommit::Inline { policy, .. } => *policy,
+        }
+    }
 }
 
 fn lock_state(shared: &GroupShared) -> std::sync::MutexGuard<'_, GroupState> {
@@ -457,14 +468,20 @@ fn lock_state(shared: &GroupShared) -> std::sync::MutexGuard<'_, GroupState> {
 /// The flusher loop: wait for queued frames, optionally linger for a
 /// fuller batch, then issue one `write_all` + `sync_data` for the whole
 /// batch and publish the new durable sequence number.
+///
+/// After a flush failure the error is sticky and later batches are
+/// **discarded without writing**: the failed write may have left a
+/// torn frame mid-journal, and appending after that hole would put
+/// acknowledged-looking frames beyond recovery's reach.
 fn flusher_loop(
     shared: &GroupShared,
-    mut journal: File,
+    mut journal: Box<dyn FsFile>,
     policy: GroupCommitPolicy,
     metrics: Metrics,
+    clock: Clock,
 ) {
     loop {
-        let (batch, upto, frames) = {
+        let (batch, upto, frames, poisoned) = {
             let mut st = lock_state(shared);
             loop {
                 if st.queue.is_empty() {
@@ -494,11 +511,17 @@ fn flusher_loop(
             }
             let frames = st.pending_frames;
             st.pending_frames = 0;
-            (std::mem::take(&mut st.queue), st.enqueued, frames)
+            let poisoned = st.error.is_some();
+            (std::mem::take(&mut st.queue), st.enqueued, frames, poisoned)
         };
-        let fsync_started = Instant::now();
+        if poisoned {
+            metrics.incr("store.group_discarded_batches", 1);
+            shared.done.notify_all();
+            continue;
+        }
+        let fsync_started = clock.now();
         let result = journal.write_all(&batch).and_then(|()| journal.sync_data());
-        metrics.observe_duration("store.fsync_ns", fsync_started.elapsed());
+        metrics.observe_duration("store.fsync_ns", clock.since(fsync_started));
         metrics.incr("store.group_flushes", 1);
         metrics.observe("store.group_batch_frames", frames);
         let mut st = lock_state(shared);
@@ -518,42 +541,71 @@ fn flusher_loop(
 /// A durable workspace directory: the current journal handle plus the
 /// generation bookkeeping. Create one with [`Workspace::create`], or
 /// recover one (plus its session) with [`Workspace::open_session`].
-#[derive(Debug)]
 pub struct Workspace {
     root: PathBuf,
     generation: u64,
-    journal: File,
+    journal: Box<dyn FsFile>,
     journal_path: PathBuf,
     metrics: Metrics,
     group: Option<GroupCommit>,
+    env: Env,
+    /// Workspace-level sticky poison: once a group flush fails the
+    /// journal tail may be torn mid-frame, so every later append or
+    /// sync fails with this error instead of writing past the hole.
+    flusher_error: Option<String>,
+}
+
+impl fmt::Debug for Workspace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Workspace")
+            .field("root", &self.root)
+            .field("generation", &self.generation)
+            .field("journal_path", &self.journal_path)
+            .field("group_commit", &self.group.is_some())
+            .field("flusher_error", &self.flusher_error)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Workspace {
     /// Creates a fresh workspace at `root` (the directory is created if
     /// missing) holding a generation-0 checkpoint of `session` and an
-    /// empty journal.
+    /// empty journal, in the real environment.
     ///
     /// # Errors
     ///
     /// I/O and serialization errors.
     pub fn create(root: &Path, session: &Session) -> Result<Workspace, StoreError> {
-        fs::create_dir_all(root)?;
+        Workspace::create_in(root, session, Env::real())
+    }
+
+    /// [`Workspace::create`] against an explicit environment — pass a
+    /// [`SimEnv`](hercules_sim::SimEnv)'s `env()` to run the store on a
+    /// simulated disk and virtual clock.
+    ///
+    /// # Errors
+    ///
+    /// I/O and serialization errors.
+    pub fn create_in(root: &Path, session: &Session, env: Env) -> Result<Workspace, StoreError> {
+        env.fs.create_dir_all(root)?;
         let spec = SessionSpec::from_session(session);
         let json = spec.to_json().map_err(StoreError::from)?;
-        write_atomic(root, &checkpoint_name(0), json.as_bytes())?;
+        write_atomic(&env.fs, root, &checkpoint_name(0), json.as_bytes())?;
         let journal_path = root.join(journal_name(0));
-        let journal = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(true)
-            .open(&journal_path)?;
+        let mut journal = env.fs.create_truncate(&journal_path)?;
         journal.sync_all()?;
+        // The journal's directory entry must be durable *before* the
+        // manifest names it — otherwise a crash can keep the manifest
+        // swap but lose the journal, leaving a manifest that points at
+        // nothing.
+        env.fs.sync_dir(root)?;
         let manifest = Manifest {
             generation: 0,
             checkpoint: checkpoint_name(0),
             journal: journal_name(0),
         };
         write_atomic(
+            &env.fs,
             root,
             "MANIFEST",
             serde_json::to_string(&manifest)?.as_bytes(),
@@ -565,6 +617,8 @@ impl Workspace {
             journal_path,
             metrics: Metrics::disabled(),
             group: None,
+            env,
+            flusher_error: None,
         })
     }
 
@@ -592,12 +646,30 @@ impl Workspace {
     where
         F: FnOnce(&Arc<TaskSchema>) -> EncapsulationRegistry,
     {
-        let manifest_bytes = fs::read(root.join("MANIFEST"))?;
+        Workspace::open_session_in(root, registry_for, Env::real())
+    }
+
+    /// [`Workspace::open_session`] against an explicit environment —
+    /// recovery over a simulated crash image runs through exactly this
+    /// code path.
+    ///
+    /// # Errors
+    ///
+    /// As [`Workspace::open_session`].
+    pub fn open_session_in<F>(
+        root: &Path,
+        registry_for: F,
+        env: Env,
+    ) -> Result<(Workspace, Session, RecoveryReport), StoreError>
+    where
+        F: FnOnce(&Arc<TaskSchema>) -> EncapsulationRegistry,
+    {
+        let manifest_bytes = env.fs.read(&root.join("MANIFEST"))?;
         let manifest: Manifest =
             serde_json::from_slice(&manifest_bytes).map_err(|e| StoreError::Corrupt {
                 detail: format!("manifest: {e}"),
             })?;
-        let checkpoint_bytes = fs::read(root.join(&manifest.checkpoint))?;
+        let checkpoint_bytes = env.fs.read(&root.join(&manifest.checkpoint))?;
         let spec = serde_json::from_slice::<SessionSpec>(&checkpoint_bytes).map_err(|e| {
             StoreError::Corrupt {
                 detail: format!("{}: {e}", manifest.checkpoint),
@@ -606,7 +678,7 @@ impl Workspace {
         let mut session = spec.restore_with(registry_for)?;
 
         let journal_path = root.join(&manifest.journal);
-        let buf = fs::read(&journal_path)?;
+        let buf = env.fs.read(&journal_path)?;
         let scan = scan_frames(&buf);
 
         // Parse and replay frame by frame; the first frame that fails
@@ -630,12 +702,12 @@ impl Workspace {
 
         let bytes_discarded = (buf.len() - keep) as u64;
         if bytes_discarded > 0 {
-            let f = OpenOptions::new().write(true).open(&journal_path)?;
+            let mut f = env.fs.open_write(&journal_path)?;
             f.set_len(keep as u64)?;
             f.sync_all()?;
         }
 
-        let journal = OpenOptions::new().append(true).open(&journal_path)?;
+        let journal = env.fs.open_append(&journal_path)?;
         let report = RecoveryReport {
             generation: manifest.generation,
             ops_replayed,
@@ -649,6 +721,8 @@ impl Workspace {
             journal_path,
             metrics: Metrics::disabled(),
             group: None,
+            env,
+            flusher_error: None,
         };
         Ok((workspace, session, report))
     }
@@ -692,6 +766,7 @@ impl Workspace {
     ///
     /// I/O and serialization errors.
     pub fn append(&mut self, op: &JournalOp) -> Result<(), StoreError> {
+        self.check_flusher_error()?;
         if self.group.is_some() {
             self.append_deferred(op)?;
             return self.sync();
@@ -699,13 +774,21 @@ impl Workspace {
         let payload = serde_json::to_vec(op)?;
         let frame = encode_frame(&payload);
         self.journal.write_all(&frame)?;
-        let fsync_started = Instant::now();
+        let fsync_started = self.env.clock.now();
         self.journal.sync_data()?;
         self.metrics
-            .observe_duration("store.fsync_ns", fsync_started.elapsed());
+            .observe_duration("store.fsync_ns", self.env.clock.since(fsync_started));
         self.metrics
             .observe("store.append_bytes", frame.len() as u64);
         Ok(())
+    }
+
+    /// Fails if a previous group flush left the journal poisoned.
+    fn check_flusher_error(&self) -> Result<(), StoreError> {
+        match &self.flusher_error {
+            Some(error) => Err(StoreError::Io(std::io::Error::other(error.clone()))),
+            None => Ok(()),
+        }
     }
 
     /// Starts the group-commit flusher: subsequent appends batch frames
@@ -728,14 +811,25 @@ impl Workspace {
         if self.group.is_some() {
             return Ok(());
         }
+        if self.env.fs.is_sim() {
+            // Under simulation, batch in-process with no thread: every
+            // flush happens inside a deterministic `sync` call.
+            self.group = Some(GroupCommit::Inline {
+                queue: Vec::new(),
+                pending_frames: 0,
+                policy,
+            });
+            return Ok(());
+        }
         let journal = self.journal.try_clone()?;
         let shared = Arc::new(GroupShared::default());
         let thread_shared = Arc::clone(&shared);
         let metrics = self.metrics.clone();
+        let clock = self.env.clock.clone();
         let handle = std::thread::Builder::new()
             .name("journal-flusher".into())
-            .spawn(move || flusher_loop(&thread_shared, journal, policy, metrics))?;
-        self.group = Some(GroupCommit {
+            .spawn(move || flusher_loop(&thread_shared, journal, policy, metrics, clock))?;
+        self.group = Some(GroupCommit::Threaded {
             shared,
             handle: Some(handle),
             policy,
@@ -771,25 +865,77 @@ impl Workspace {
     ///
     /// Serialization errors, or a sticky flusher failure.
     pub fn append_deferred(&mut self, op: &JournalOp) -> Result<u64, StoreError> {
-        let Some(group) = &self.group else {
+        self.check_flusher_error()?;
+        if self.group.is_none() {
             self.append(op)?;
             return Ok(0);
-        };
+        }
         let payload = serde_json::to_vec(op)?;
         let frame = encode_frame(&payload);
-        let mut st = lock_state(&group.shared);
-        if let Some(error) = &st.error {
-            return Err(StoreError::Io(std::io::Error::other(error.clone())));
+        let frame_len = frame.len() as u64;
+        let (seq, flush_now) = match self.group.as_mut().expect("group checked above") {
+            GroupCommit::Threaded { shared, .. } => {
+                let mut st = lock_state(shared);
+                if let Some(error) = &st.error {
+                    return Err(StoreError::Io(std::io::Error::other(error.clone())));
+                }
+                st.queue.extend_from_slice(&frame);
+                st.enqueued += 1;
+                st.pending_frames += 1;
+                let seq = st.enqueued;
+                drop(st);
+                shared.work.notify_one();
+                (seq, false)
+            }
+            GroupCommit::Inline {
+                queue,
+                pending_frames,
+                policy,
+            } => {
+                queue.extend_from_slice(&frame);
+                *pending_frames += 1;
+                (*pending_frames, *pending_frames >= policy.max_batch as u64)
+            }
+        };
+        self.metrics.observe("store.append_bytes", frame_len);
+        if flush_now {
+            self.flush_inline()?;
         }
-        st.queue.extend_from_slice(&frame);
-        st.enqueued += 1;
-        st.pending_frames += 1;
-        let seq = st.enqueued;
-        drop(st);
-        group.shared.work.notify_one();
-        self.metrics
-            .observe("store.append_bytes", frame.len() as u64);
         Ok(seq)
+    }
+
+    /// Writes and fsyncs the inline queue as one batch.
+    fn flush_inline(&mut self) -> Result<(), StoreError> {
+        let Some(GroupCommit::Inline {
+            queue,
+            pending_frames,
+            ..
+        }) = self.group.as_mut()
+        else {
+            return Ok(());
+        };
+        if queue.is_empty() {
+            return Ok(());
+        }
+        let batch = std::mem::take(queue);
+        let frames = std::mem::take(pending_frames);
+        let fsync_started = self.env.clock.now();
+        let result = self
+            .journal
+            .write_all(&batch)
+            .and_then(|()| self.journal.sync_data());
+        self.metrics
+            .observe_duration("store.fsync_ns", self.env.clock.since(fsync_started));
+        self.metrics.incr("store.group_flushes", 1);
+        self.metrics.observe("store.group_batch_frames", frames);
+        if let Err(e) = result {
+            let msg = e.to_string();
+            if self.flusher_error.is_none() {
+                self.flusher_error = Some(msg.clone());
+            }
+            return Err(StoreError::Io(std::io::Error::other(msg)));
+        }
+        Ok(())
     }
 
     /// Blocks until every frame enqueued so far is durable on disk.
@@ -800,47 +946,83 @@ impl Workspace {
     ///
     /// The flusher's sticky flush failure, if any.
     pub fn sync(&mut self) -> Result<(), StoreError> {
-        let Some(group) = &self.group else {
-            return Ok(());
-        };
-        let mut st = lock_state(&group.shared);
-        let target = st.enqueued;
-        st.waiters += 1;
-        // Wake the flusher out of its batching linger: someone is
-        // waiting now.
-        group.shared.work.notify_all();
-        while st.durable < target && st.error.is_none() {
-            st = group
-                .shared
-                .done
-                .wait(st)
-                .unwrap_or_else(|e| e.into_inner());
+        self.check_flusher_error()?;
+        match &self.group {
+            None => Ok(()),
+            Some(GroupCommit::Inline { .. }) => self.flush_inline(),
+            Some(GroupCommit::Threaded { shared, .. }) => {
+                let mut st = lock_state(shared);
+                let target = st.enqueued;
+                st.waiters += 1;
+                // Wake the flusher out of its batching linger: someone
+                // is waiting now.
+                shared.work.notify_all();
+                while st.durable < target && st.error.is_none() {
+                    st = shared.done.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+                st.waiters -= 1;
+                let error = st.error.clone();
+                drop(st);
+                if let Some(error) = error {
+                    if self.flusher_error.is_none() {
+                        self.flusher_error = Some(error.clone());
+                    }
+                    return Err(StoreError::Io(std::io::Error::other(error)));
+                }
+                Ok(())
+            }
         }
-        st.waiters -= 1;
-        if let Some(error) = &st.error {
-            return Err(StoreError::Io(std::io::Error::other(error.clone())));
-        }
-        Ok(())
     }
 
-    /// Drains and joins the flusher, surfacing any flush failure.
+    /// Drains and joins (or flushes) the group-commit machinery,
+    /// surfacing any flush failure.
     fn stop_group(&mut self) -> Result<(), StoreError> {
-        let Some(mut group) = self.group.take() else {
-            return Ok(());
-        };
-        {
-            let mut st = lock_state(&group.shared);
-            st.shutdown = true;
-            group.shared.work.notify_all();
+        match self.group.take() {
+            None => Ok(()),
+            Some(inline @ GroupCommit::Inline { .. }) => {
+                // Put it back so flush_inline can drain it, then drop.
+                self.group = Some(inline);
+                let result = self.flush_inline();
+                self.group = None;
+                result
+            }
+            Some(GroupCommit::Threaded {
+                shared, mut handle, ..
+            }) => {
+                {
+                    let mut st = lock_state(&shared);
+                    st.shutdown = true;
+                    shared.work.notify_all();
+                }
+                if let Some(handle) = handle.take() {
+                    let _ = handle.join();
+                }
+                let st = lock_state(&shared);
+                if let Some(error) = &st.error {
+                    let error = error.clone();
+                    drop(st);
+                    if self.flusher_error.is_none() {
+                        self.flusher_error = Some(error.clone());
+                    }
+                    return Err(StoreError::Io(std::io::Error::other(error)));
+                }
+                Ok(())
+            }
         }
-        if let Some(handle) = group.handle.take() {
-            let _ = handle.join();
-        }
-        let st = lock_state(&group.shared);
-        if let Some(error) = &st.error {
-            return Err(StoreError::Io(std::io::Error::other(error.clone())));
-        }
-        Ok(())
+    }
+
+    /// Shuts the workspace down cleanly: drains and joins the flusher
+    /// and surfaces any sticky flush error that would otherwise be
+    /// dropped by the best-effort `Drop`. Call this at end of session
+    /// when you need a positive durability confirmation.
+    ///
+    /// # Errors
+    ///
+    /// Any flush failure hit while draining, or a sticky error from an
+    /// earlier failed flush.
+    pub fn close(mut self) -> Result<(), StoreError> {
+        self.stop_group()?;
+        self.check_flusher_error()
     }
 
     /// Takes a new checkpoint of `session` and rotates the journal:
@@ -856,32 +1038,40 @@ impl Workspace {
     pub fn checkpoint(&mut self, session: &Session) -> Result<(), StoreError> {
         // The flusher holds a handle to the *old* journal; drain and
         // stop it before rotating, then re-attach to the new file.
-        let group_policy = self.group.as_ref().map(|g| g.policy);
+        let group_policy = self.group.as_ref().map(|g| g.policy());
         self.stop_group()?;
         let next = self.generation + 1;
         let spec = SessionSpec::from_session(session);
         let json = spec.to_json().map_err(StoreError::from)?;
-        write_atomic(&self.root, &checkpoint_name(next), json.as_bytes())?;
+        write_atomic(
+            &self.env.fs,
+            &self.root,
+            &checkpoint_name(next),
+            json.as_bytes(),
+        )?;
         let next_journal_path = self.root.join(journal_name(next));
-        let next_journal = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(true)
-            .open(&next_journal_path)?;
+        let mut next_journal = self.env.fs.create_truncate(&next_journal_path)?;
         next_journal.sync_all()?;
+        // Make the new journal's directory entry durable before the
+        // manifest swap names it (same ordering rule as `create_in`).
+        self.env.fs.sync_dir(&self.root)?;
         let manifest = Manifest {
             generation: next,
             checkpoint: checkpoint_name(next),
             journal: journal_name(next),
         };
         write_atomic(
+            &self.env.fs,
             &self.root,
             "MANIFEST",
             serde_json::to_string(&manifest)?.as_bytes(),
         )?;
         // The swap is durable; retire the previous generation.
-        let _ = fs::remove_file(self.root.join(checkpoint_name(self.generation)));
-        let _ = fs::remove_file(&self.journal_path);
+        let _ = self
+            .env
+            .fs
+            .remove_file(&self.root.join(checkpoint_name(self.generation)));
+        let _ = self.env.fs.remove_file(&self.journal_path);
         self.generation = next;
         self.journal = next_journal;
         self.journal_path = next_journal_path;
@@ -906,6 +1096,7 @@ impl Drop for Workspace {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
     use std::sync::atomic::{AtomicU64, Ordering};
 
     fn temp_root(tag: &str) -> PathBuf {

@@ -15,6 +15,8 @@ use hercules_flow::{render, NodeId};
 use hercules_history::{InstanceId, InstanceSpec};
 use hercules_obs::profile;
 
+use hercules_sim::Env;
+
 use crate::catalog;
 use crate::error::HerculesError;
 use crate::persist::ExecReportSpec;
@@ -261,14 +263,23 @@ fn instance_label(session: &Session, id: InstanceId) -> String {
 pub struct Ui {
     session: Session,
     workspace: Option<Workspace>,
+    env: Env,
 }
 
 impl Ui {
     /// Wraps a session (no workspace attached; use `save <dir>`).
     pub fn new(session: Session) -> Ui {
+        Ui::new_in(session, Env::real())
+    }
+
+    /// Wraps a session whose `save`/`open` commands run against an
+    /// explicit environment — the entry point the simulation harness
+    /// uses to put the whole command loop on a simulated disk.
+    pub fn new_in(session: Session, env: Env) -> Ui {
         Ui {
             session,
             workspace: None,
+            env,
         }
     }
 
@@ -686,8 +697,9 @@ impl Ui {
                 Ok(out)
             }
             Command::Save(path) => {
-                let mut ws = Workspace::create(Path::new(&path), &self.session)
-                    .map_err(HerculesError::from)?;
+                let mut ws =
+                    Workspace::create_in(Path::new(&path), &self.session, self.env.clone())
+                        .map_err(HerculesError::from)?;
                 ws.set_metrics(self.session.metrics().clone());
                 self.workspace = Some(ws);
                 Ok(format!(
@@ -695,9 +707,11 @@ impl Ui {
                 ))
             }
             Command::Open(path) => {
-                let (mut ws, session, recovery) = Workspace::open_session(Path::new(&path), |s| {
-                    crate::encaps::odyssey_registry(s)
-                })
+                let (mut ws, session, recovery) = Workspace::open_session_in(
+                    Path::new(&path),
+                    |s| crate::encaps::odyssey_registry(s),
+                    self.env.clone(),
+                )
                 .map_err(HerculesError::from)?;
                 self.session = session;
                 ws.set_metrics(self.session.metrics().clone());

@@ -6,13 +6,14 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::sync::{mpsc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use hercules_flow::{NodeId, TaskGraph};
 use hercules_history::{Derivation, HistoryDb, InstanceId, Metadata};
 use hercules_obs::profile::{downstream_critical, TaskProfile};
 use hercules_obs::{Metrics, SpanId, Tracer};
 use hercules_schema::{EntityTypeId, TaskSchema};
+use hercules_sim::{Clock, Interleaver, SimInstant};
 
 use crate::binding::Binding;
 use crate::encapsulation::{
@@ -73,6 +74,20 @@ pub struct ExecOptions {
     pub tracer: Tracer,
     /// Metrics registry (disabled by default, like `tracer`).
     pub metrics: Metrics,
+    /// Where the engine reads time: epochs, attempt durations, queue
+    /// waits, and retry backoff all go through this handle. The
+    /// default is the machine clock; a simulation substitutes a
+    /// virtual one so backoff sleeps advance simulated time instantly.
+    pub clock: Clock,
+    /// Consulted by the serial dataflow pump whenever more than one
+    /// subtask is ready. The default preserves the engine's own
+    /// priority order; a simulation randomizes (and logs) the pick to
+    /// explore alternative schedules from a seed.
+    pub interleave: Interleaver,
+    /// Extra salt folded into every retry-jitter hash, so a simulated
+    /// run's whole backoff schedule is a function of its seed. Zero
+    /// (the default) reproduces the historical schedule.
+    pub jitter_seed: u64,
 }
 
 impl Default for ExecOptions {
@@ -89,6 +104,9 @@ impl Default for ExecOptions {
             failure: FailurePolicy::default(),
             tracer: Tracer::disabled(),
             metrics: Metrics::disabled(),
+            clock: Clock::real(),
+            interleave: Interleaver::fifo(),
+            jitter_seed: 0,
         }
     }
 }
@@ -322,7 +340,7 @@ impl Executor {
         db: &mut HistoryDb,
     ) -> Result<ExecReport, ExecError> {
         let tracer = &self.options.tracer;
-        let epoch = Instant::now();
+        let epoch = self.options.clock.now();
         let exec_span = tracer.begin_with("execute", SpanId::NONE, |a| {
             a.bool("parallel", self.options.parallel);
             a.uint("nodes", flow.len() as u64);
@@ -360,7 +378,7 @@ impl Executor {
         flow: &TaskGraph,
         binding: &Binding,
         db: &mut HistoryDb,
-        epoch: Instant,
+        epoch: SimInstant,
         exec_span: SpanId,
     ) -> Result<ExecReport, ExecError> {
         match self.options.scheduler {
@@ -376,7 +394,7 @@ impl Executor {
         flow: &TaskGraph,
         binding: &Binding,
         db: &mut HistoryDb,
-        epoch: Instant,
+        epoch: SimInstant,
         exec_span: SpanId,
     ) -> Result<ExecReport, ExecError> {
         flow.validate_for_execution()?;
@@ -422,7 +440,7 @@ impl Executor {
                             action: TaskAction::Skipped,
                             attempts: 0,
                             duration: Duration::ZERO,
-                            started: epoch.elapsed(),
+                            started: self.options.clock.since(epoch),
                         });
                         culling = true;
                     } else {
@@ -473,7 +491,7 @@ impl Executor {
             let wave = DispatchCtx {
                 span: wave_span,
                 epoch,
-                dispatched: Instant::now(),
+                dispatched: self.options.clock.now(),
             };
             let outcomes: Vec<SubtaskOutcome> = if self.options.parallel {
                 run_parallel(&prepared, flow, &self.options, &wave)
@@ -624,7 +642,7 @@ impl Executor {
         flow: &TaskGraph,
         binding: &Binding,
         db: &mut HistoryDb,
-        epoch: Instant,
+        epoch: SimInstant,
         exec_span: SpanId,
     ) -> Result<ExecReport, ExecError> {
         flow.validate_for_execution()?;
@@ -696,9 +714,12 @@ impl Executor {
                 &mut report,
             )?;
         } else {
-            // Serial dataflow: same ready-queue ordering, run inline.
+            // Serial dataflow: same ready-queue ordering by default;
+            // under simulation the interleaver picks among every ready
+            // candidate, so each dispatch is an explicit simulator
+            // event and one seed induces one schedule.
             let schema = flow.schema();
-            while let Some(task) = queue.try_pop() {
+            while let Some(task) = queue.try_pop_pick(&self.options.interleave) {
                 let outcome = task.prepared.run_all(schema, &self.options, &task.ctx);
                 self.finish_task(
                     &mut st,
@@ -748,7 +769,7 @@ impl Executor {
                 let done_tx = done_tx.clone();
                 let queue = &*queue;
                 scope.spawn(move || {
-                    while let Some(task) = queue.pop(&options.metrics) {
+                    while let Some(task) = queue.pop(&options.metrics, &options.clock) {
                         // run_all catches tool panics itself; this
                         // guards against panics in the engine's own
                         // plumbing so one worker can never wedge the
@@ -765,7 +786,7 @@ impl Executor {
                                     }),
                                     attempts: 0,
                                     duration: Duration::ZERO,
-                                    started: task.ctx.epoch.elapsed(),
+                                    started: options.clock.since(task.ctx.epoch),
                                 }
                             });
                         let sent = done_tx.send(Completion {
@@ -820,7 +841,7 @@ impl Executor {
         db: &HistoryDb,
     ) -> Result<(), ExecError> {
         let metrics = &self.options.metrics;
-        let dispatch_started = Instant::now();
+        let dispatch_started = self.options.clock.now();
         let prepared = self.prepare(env.flow, &st.subtasks[index], available, db)?;
         st.task_state[index] = TaskState::Scheduled;
         st.in_flight += 1;
@@ -834,12 +855,15 @@ impl Executor {
                 ctx: DispatchCtx {
                     span: env.epoch_span,
                     epoch: env.epoch,
-                    dispatched: Instant::now(),
+                    dispatched: self.options.clock.now(),
                 },
             },
             metrics,
         );
-        metrics.observe_duration("exec.sched_dispatch_ns", dispatch_started.elapsed());
+        metrics.observe_duration(
+            "exec.sched_dispatch_ns",
+            self.options.clock.since(dispatch_started),
+        );
         Ok(())
     }
 
@@ -921,7 +945,7 @@ impl Executor {
                         action: TaskAction::Skipped,
                         attempts: 0,
                         duration: Duration::ZERO,
-                        started: env.epoch.elapsed(),
+                        started: self.options.clock.since(env.epoch),
                     });
                     frontier.extend(st.successors[j].iter().copied());
                 }
@@ -1143,8 +1167,8 @@ impl Drop for SpanGuard<'_> {
 /// ready subtask sat before a worker picked it up).
 struct DispatchCtx {
     span: SpanId,
-    epoch: Instant,
-    dispatched: Instant,
+    epoch: SimInstant,
+    dispatched: SimInstant,
 }
 
 /// Where one subtask is in its dataflow lifecycle.
@@ -1182,7 +1206,7 @@ struct SchedState {
 /// Immutable context of one dataflow execution.
 struct SchedEnv<'a> {
     flow: &'a TaskGraph,
-    epoch: Instant,
+    epoch: SimInstant,
     epoch_span: SpanId,
     exec_span: SpanId,
 }
@@ -1255,7 +1279,7 @@ impl ReadyQueue {
 
     /// Pops the highest-priority ready task, blocking until one arrives
     /// or the queue closes. Time spent blocked is a worker's idle time.
-    fn pop(&self, metrics: &Metrics) -> Option<ReadyTask> {
+    fn pop(&self, metrics: &Metrics, clock: &Clock) -> Option<ReadyTask> {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if let Some(task) = state.heap.pop() {
@@ -1264,19 +1288,36 @@ impl ReadyQueue {
             if state.closed {
                 return None;
             }
-            let idle_from = Instant::now();
+            let idle_from = clock.now();
             state = self.ready.wait(state).unwrap_or_else(|e| e.into_inner());
-            metrics.observe_duration("exec.worker_idle_ns", idle_from.elapsed());
+            metrics.observe_duration("exec.worker_idle_ns", clock.since(idle_from));
         }
     }
 
-    /// Non-blocking pop for the serial pump.
-    fn try_pop(&self) -> Option<ReadyTask> {
-        self.state
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .heap
-            .pop()
+    /// Non-blocking pop for the serial pump. The real interleaver
+    /// takes the heap's own maximum (priority order, FIFO tiebreak);
+    /// a simulated one sees every ready candidate in deterministic
+    /// order and picks one, logging the choice.
+    fn try_pop_pick(&self, interleave: &Interleaver) -> Option<ReadyTask> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if !interleave.is_sim() {
+            return state.heap.pop();
+        }
+        let mut candidates: Vec<ReadyTask> = std::mem::take(&mut state.heap).into_vec();
+        if candidates.is_empty() {
+            return None;
+        }
+        // Present candidates in the heap's own order (priority desc,
+        // then dispatch order) so the index → task mapping is stable.
+        candidates.sort_by(|a, b| b.cmp(a));
+        let labels: Vec<&str> = candidates
+            .iter()
+            .map(|t| t.prepared.label.as_str())
+            .collect();
+        let pick = interleave.choose_labeled(&labels);
+        let task = candidates.swap_remove(pick);
+        state.heap.extend(candidates);
+        Some(task)
     }
 
     /// Closes the queue: blocked and future pops return `None` once the
@@ -1409,9 +1450,11 @@ struct SubtaskOutcome {
 
 impl PreparedSubtask {
     /// Deterministic jitter salt for one invocation of this subtask.
-    fn retry_salt(&self, run_index: usize) -> u64 {
+    /// Folding in `jitter_seed` ties the whole backoff schedule to the
+    /// run's simulation seed: same seed, same delays, run after run.
+    fn retry_salt(&self, run_index: usize, jitter_seed: u64) -> u64 {
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
-        (self.subtask.outputs.first(), run_index).hash(&mut hasher);
+        (jitter_seed, self.subtask.outputs.first(), run_index).hash(&mut hasher);
         hasher.finish()
     }
 
@@ -1463,7 +1506,7 @@ impl PreparedSubtask {
             let attempt_span = options.tracer.begin_with("attempt", task_span, |a| {
                 a.uint("attempt", u64::from(attempt));
             });
-            let attempt_started = Instant::now();
+            let attempt_started = options.clock.now();
             let result = supervise::run_supervised(&self.enc, schema, invocation, options.deadline)
                 .and_then(|outputs| {
                     self.check_outputs(schema, invocation, &outputs)?;
@@ -1471,7 +1514,7 @@ impl PreparedSubtask {
                 });
             options
                 .metrics
-                .observe_duration("exec.attempt_ns", attempt_started.elapsed());
+                .observe_duration("exec.attempt_ns", options.clock.since(attempt_started));
             match result {
                 Ok(outputs) => {
                     options.tracer.end_with(attempt_span, |a| {
@@ -1497,7 +1540,7 @@ impl PreparedSubtask {
                         a.str("cause", cause.as_str());
                         a.uint("delay_ms", delay.as_millis() as u64);
                     });
-                    std::thread::sleep(delay);
+                    options.clock.sleep(delay);
                 }
             }
         }
@@ -1511,7 +1554,7 @@ impl PreparedSubtask {
         options: &ExecOptions,
         wave: &DispatchCtx,
     ) -> SubtaskOutcome {
-        let started = Instant::now();
+        let started = options.clock.now();
         let started_offset = started.duration_since(wave.epoch);
         let queue_wait = started.duration_since(wave.dispatched);
         options
@@ -1546,7 +1589,7 @@ impl PreparedSubtask {
                         schema,
                         invocation,
                         options,
-                        self.retry_salt(run_index),
+                        self.retry_salt(run_index, options.jitter_seed),
                         task_span,
                     );
                     attempts = attempts.max(used);
@@ -1557,7 +1600,7 @@ impl PreparedSubtask {
                             outputs,
                         }),
                         Err(error) => {
-                            let duration = started.elapsed();
+                            let duration = options.clock.since(started);
                             options
                                 .metrics
                                 .observe_duration("exec.task_wall_ns", duration);
@@ -1578,7 +1621,7 @@ impl PreparedSubtask {
                 }
             }
         }
-        let duration = started.elapsed();
+        let duration = options.clock.since(started);
         options
             .metrics
             .observe_duration("exec.task_wall_ns", duration);
@@ -1622,7 +1665,7 @@ fn run_parallel(
                     }),
                     attempts: 0,
                     duration: Duration::ZERO,
-                    started: wave.epoch.elapsed(),
+                    started: options.clock.since(wave.epoch),
                 })
             })
             .collect()

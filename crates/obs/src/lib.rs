@@ -59,4 +59,4 @@ mod tracer;
 pub use collect::{Collector, JsonlSink, MultiCollector, NullCollector, RingBuffer};
 pub use metrics::{HistogramSnapshot, Metrics, MetricsSnapshot};
 pub use span::{AttrList, AttrValue, EventKind, SpanId, TraceEvent};
-pub use tracer::Tracer;
+pub use tracer::{RealTime, TimeSource, Tracer};

@@ -11,13 +11,62 @@ use std::time::{Instant, SystemTime, UNIX_EPOCH};
 use crate::collect::Collector;
 use crate::span::{AttrList, EventKind, SpanId, TraceEvent};
 
-struct TracerInner {
-    /// Monotonic epoch: `mono_ns` timestamps are relative to this.
+/// Where a tracer's timestamps come from.
+///
+/// The two clocks are tied together by construction:
+/// `wall_unix_ms = epoch_wall_ms() + mono_ns() / 1e6`, so they can
+/// never disagree within one trace. The default ([`RealTime`]) reads
+/// the machine clocks; a simulation harness can substitute a virtual
+/// clock via [`Tracer::with_time_source`] so traces replay
+/// byte-identically from a seed.
+pub trait TimeSource: Send + Sync {
+    /// Monotonic nanoseconds since this source's epoch.
+    fn mono_ns(&self) -> u64;
+    /// The wall-clock reading (Unix milliseconds) at that epoch.
+    fn epoch_wall_ms(&self) -> u64;
+}
+
+/// The default [`TimeSource`]: machine monotonic + wall clocks,
+/// with the epoch captured at construction.
+pub struct RealTime {
     epoch: Instant,
-    /// Wall-clock reading taken at `epoch`, in Unix milliseconds —
-    /// `wall_unix_ms = epoch_wall_ms + mono_ns / 1e6`, so the two
-    /// clocks can never disagree within one trace.
     epoch_wall_ms: u64,
+}
+
+impl RealTime {
+    /// Captures both clocks now.
+    pub fn new() -> RealTime {
+        let epoch_wall_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        RealTime {
+            epoch: Instant::now(),
+            epoch_wall_ms,
+        }
+    }
+}
+
+impl Default for RealTime {
+    fn default() -> RealTime {
+        RealTime::new()
+    }
+}
+
+impl TimeSource for RealTime {
+    fn mono_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn epoch_wall_ms(&self) -> u64 {
+        self.epoch_wall_ms
+    }
+}
+
+struct TracerInner {
+    /// Both clocks: monotonic offset plus the wall epoch it is
+    /// measured against.
+    time: Arc<dyn TimeSource>,
     next_id: AtomicU64,
     collector: Arc<dyn Collector>,
     /// Compact per-thread lanes for trace viewers: first thread seen
@@ -51,14 +100,16 @@ impl Tracer {
     /// A tracer emitting into `collector`. The epoch (both clocks) is
     /// captured here.
     pub fn new(collector: Arc<dyn Collector>) -> Tracer {
-        let epoch_wall_ms = SystemTime::now()
-            .duration_since(UNIX_EPOCH)
-            .map(|d| d.as_millis() as u64)
-            .unwrap_or(0);
+        Tracer::with_time_source(collector, Arc::new(RealTime::new()))
+    }
+
+    /// A tracer whose timestamps come from `time` instead of the
+    /// machine clocks — the hook a deterministic simulator uses to
+    /// make trace output replayable.
+    pub fn with_time_source(collector: Arc<dyn Collector>, time: Arc<dyn TimeSource>) -> Tracer {
         Tracer {
             inner: Some(Arc::new(TracerInner {
-                epoch: Instant::now(),
-                epoch_wall_ms,
+                time,
                 next_id: AtomicU64::new(1),
                 collector,
                 lanes: Mutex::new(HashMap::new()),
@@ -81,7 +132,7 @@ impl Tracer {
     /// disabled).
     pub fn now_ns(&self) -> u64 {
         match &self.inner {
-            Some(inner) => inner.epoch.elapsed().as_nanos() as u64,
+            Some(inner) => inner.time.mono_ns(),
             None => 0,
         }
     }
@@ -90,7 +141,7 @@ impl Tracer {
     /// (0 when disabled).
     pub fn wall_unix_ms(&self) -> u64 {
         match &self.inner {
-            Some(inner) => inner.epoch_wall_ms + inner.epoch.elapsed().as_millis() as u64,
+            Some(inner) => inner.time.epoch_wall_ms() + inner.time.mono_ns() / 1_000_000,
             None => 0,
         }
     }
@@ -111,14 +162,14 @@ impl Tracer {
         attrs: Vec<(String, crate::AttrValue)>,
     ) {
         if let Some(inner) = &self.inner {
-            let mono_ns = inner.epoch.elapsed().as_nanos() as u64;
+            let mono_ns = inner.time.mono_ns();
             inner.collector.record(&TraceEvent {
                 kind,
                 id,
                 parent,
                 name: name.to_owned(),
                 mono_ns,
-                wall_unix_ms: inner.epoch_wall_ms + mono_ns / 1_000_000,
+                wall_unix_ms: inner.time.epoch_wall_ms() + mono_ns / 1_000_000,
                 tid: Tracer::lane(inner),
                 attrs,
             });

@@ -1,0 +1,190 @@
+//! Time as a capability: a clonable [`Clock`] handle backed either by
+//! the machine's monotonic clock or by a simulator-owned virtual clock.
+//!
+//! Code that used to call `Instant::now()` / `thread::sleep` takes a
+//! `Clock` instead. In the real environment the handle is a thin
+//! wrapper over `std::time`; under simulation `sleep` *advances the
+//! virtual clock instantly* and records the advance in the trace, so a
+//! retry-backoff schedule becomes a deterministic sequence of events
+//! rather than wall-clock waiting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use crate::trace::SimTrace;
+
+/// The fixed wall-clock epoch of every simulated run (2020-01-01T00:00Z
+/// in Unix milliseconds). Virtual wall time is this plus elapsed
+/// virtual nanoseconds, so timestamps are identical across replays.
+pub const SIM_WALL_EPOCH_MS: u64 = 1_577_836_800_000;
+
+/// An instant on a [`Clock`]'s timeline, measured in nanoseconds since
+/// that clock's epoch. Works for both real and virtual clocks: the real
+/// adapter converts `Instant`s to offsets from a process-wide epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimInstant {
+    ns: u64,
+}
+
+impl SimInstant {
+    /// The instant `ns` nanoseconds after the clock epoch.
+    pub fn from_ns(ns: u64) -> SimInstant {
+        SimInstant { ns }
+    }
+
+    /// Nanoseconds since the clock epoch.
+    pub fn as_ns(&self) -> u64 {
+        self.ns
+    }
+
+    /// Time elapsed from `earlier` to `self` (zero when `earlier` is
+    /// later — mirrors `Instant::saturating_duration_since`).
+    pub fn duration_since(&self, earlier: SimInstant) -> Duration {
+        Duration::from_nanos(self.ns.saturating_sub(earlier.ns))
+    }
+}
+
+#[derive(Debug)]
+struct SimClockState {
+    now_ns: AtomicU64,
+    trace: SimTrace,
+}
+
+/// The process-wide epoch used by real clocks so that `SimInstant`
+/// offsets from independently created handles stay comparable.
+fn real_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// A clonable time source.
+///
+/// [`Clock::real`] (the `Default`) reads the machine clocks;
+/// [`Clock::sim`]-backed handles share one virtual timeline that only
+/// moves when someone sleeps on it (or a test advances it directly).
+#[derive(Debug, Clone, Default)]
+pub struct Clock {
+    sim: Option<Arc<SimClockState>>,
+}
+
+impl Clock {
+    /// The real-environment adapter over `std::time`.
+    pub fn real() -> Clock {
+        Clock { sim: None }
+    }
+
+    /// A virtual clock starting at zero, logging advances to `trace`.
+    pub fn sim(trace: SimTrace) -> Clock {
+        Clock {
+            sim: Some(Arc::new(SimClockState {
+                now_ns: AtomicU64::new(0),
+                trace,
+            })),
+        }
+    }
+
+    /// Returns `true` for a virtual clock.
+    pub fn is_sim(&self) -> bool {
+        self.sim.is_some()
+    }
+
+    /// The current instant on this clock's timeline.
+    pub fn now(&self) -> SimInstant {
+        match &self.sim {
+            Some(state) => SimInstant::from_ns(state.now_ns.load(Ordering::SeqCst)),
+            None => SimInstant::from_ns(real_epoch().elapsed().as_nanos() as u64),
+        }
+    }
+
+    /// Time elapsed since `earlier`.
+    pub fn since(&self, earlier: SimInstant) -> Duration {
+        self.now().duration_since(earlier)
+    }
+
+    /// Blocks for `duration` on a real clock; advances the virtual
+    /// clock by `duration` (recording the jump) under simulation.
+    pub fn sleep(&self, duration: Duration) {
+        match &self.sim {
+            Some(state) => {
+                let ns = duration.as_nanos() as u64;
+                let before = state.now_ns.fetch_add(ns, Ordering::SeqCst);
+                state
+                    .trace
+                    .record(format!("clock.sleep ns={} now={}", ns, before + ns));
+            }
+            None => std::thread::sleep(duration),
+        }
+    }
+
+    /// Advances a virtual clock without tracing a sleep — used by the
+    /// simulator itself to model elapsed work. No-op on a real clock.
+    pub fn advance(&self, duration: Duration) {
+        if let Some(state) = &self.sim {
+            state
+                .now_ns
+                .fetch_add(duration.as_nanos() as u64, Ordering::SeqCst);
+        }
+    }
+
+    /// Wall-clock Unix milliseconds. Virtual clocks derive this from
+    /// [`SIM_WALL_EPOCH_MS`] plus virtual elapsed time, so simulated
+    /// timestamps replay identically.
+    pub fn wall_unix_ms(&self) -> u64 {
+        match &self.sim {
+            Some(state) => SIM_WALL_EPOCH_MS + state.now_ns.load(Ordering::SeqCst) / 1_000_000,
+            None => SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_clock_advances_and_measures() {
+        let c = Clock::real();
+        assert!(!c.is_sim());
+        let a = c.now();
+        std::thread::sleep(Duration::from_millis(2));
+        let b = c.now();
+        assert!(b.duration_since(a) >= Duration::from_millis(1));
+        assert_eq!(a.duration_since(b), Duration::ZERO, "saturates, not panics");
+    }
+
+    #[test]
+    fn sim_clock_only_moves_when_asked() {
+        let trace = SimTrace::enabled();
+        let c = Clock::sim(trace.clone());
+        assert!(c.is_sim());
+        let a = c.now();
+        let b = c.now();
+        assert_eq!(a, b, "virtual time is frozen between events");
+        c.sleep(Duration::from_millis(5));
+        assert_eq!(c.since(a), Duration::from_millis(5));
+        assert_eq!(trace.lines(), vec!["clock.sleep ns=5000000 now=5000000"]);
+        c.advance(Duration::from_millis(1));
+        assert_eq!(c.since(a), Duration::from_millis(6));
+        assert_eq!(trace.len(), 1, "advance is silent");
+    }
+
+    #[test]
+    fn sim_wall_clock_is_fixed_per_timeline() {
+        let c = Clock::sim(SimTrace::disabled());
+        assert_eq!(c.wall_unix_ms(), SIM_WALL_EPOCH_MS);
+        c.sleep(Duration::from_millis(250));
+        assert_eq!(c.wall_unix_ms(), SIM_WALL_EPOCH_MS + 250);
+    }
+
+    #[test]
+    fn clones_share_the_timeline() {
+        let c = Clock::sim(SimTrace::disabled());
+        let d = c.clone();
+        d.sleep(Duration::from_secs(1));
+        assert_eq!(c.since(SimInstant::from_ns(0)), Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,246 @@
+//! The assembled environments: [`Env`] (what refactored production
+//! code takes — a clock plus a filesystem) and [`SimEnv`] (the seeded
+//! simulator that owns one of everything).
+//!
+//! One master seed fans out, via [`SimRng::fork`], into independent
+//! streams for the disk's fault decisions, the scheduler's
+//! interleaving picks, and the retry-jitter salt — so adding events to
+//! one component never perturbs another, and the whole run is a pure
+//! function of the seed.
+
+use std::sync::Arc;
+
+use hercules_obs::TimeSource;
+
+use crate::clock::{Clock, SIM_WALL_EPOCH_MS};
+use crate::fs::Fs;
+use crate::interleave::Interleaver;
+use crate::rng::SimRng;
+use crate::simfs::SimFsState;
+use crate::trace::SimTrace;
+
+/// The capability bundle production code runs against: where time and
+/// durability come from. `Env::default()` is the real machine.
+#[derive(Debug, Clone, Default)]
+pub struct Env {
+    /// Time source (real or virtual).
+    pub clock: Clock,
+    /// Filesystem (real or simulated).
+    pub fs: Fs,
+}
+
+impl Env {
+    /// The real environment: machine clock, `std::fs`.
+    pub fn real() -> Env {
+        Env {
+            clock: Clock::real(),
+            fs: Fs::real(),
+        }
+    }
+
+    /// Returns `true` when either capability is simulated.
+    pub fn is_sim(&self) -> bool {
+        self.clock.is_sim() || self.fs.is_sim()
+    }
+}
+
+/// A [`TimeSource`] view of a virtual [`Clock`], for plugging the
+/// simulator's timeline into an observability `Tracer`
+/// (`Tracer::with_time_source`). Only meaningful for sim clocks; a
+/// real clock should use `hercules_obs::RealTime` instead.
+pub struct ClockTimeSource {
+    clock: Clock,
+}
+
+impl ClockTimeSource {
+    /// Wraps `clock`.
+    pub fn new(clock: Clock) -> ClockTimeSource {
+        ClockTimeSource { clock }
+    }
+}
+
+impl TimeSource for ClockTimeSource {
+    fn mono_ns(&self) -> u64 {
+        self.clock.now().as_ns()
+    }
+
+    fn epoch_wall_ms(&self) -> u64 {
+        SIM_WALL_EPOCH_MS
+    }
+}
+
+/// The seeded single-threaded simulator: one virtual clock, one
+/// simulated disk, one interleaving chooser, and one shared event
+/// log, all deterministic functions of the master seed.
+#[derive(Debug)]
+pub struct SimEnv {
+    seed: u64,
+    trace: SimTrace,
+    clock: Clock,
+    fs_state: Arc<SimFsState>,
+    interleave: Interleaver,
+    jitter_seed: u64,
+}
+
+impl SimEnv {
+    /// A fresh simulated world derived entirely from `seed`.
+    pub fn new(seed: u64) -> SimEnv {
+        let trace = SimTrace::enabled();
+        trace.record(format!("sim.start seed={seed}"));
+        let mut master = SimRng::new(seed);
+        let disk_rng = master.fork(1);
+        let sched_rng = master.fork(2);
+        let jitter_seed = master.fork(3).next_u64();
+        let clock = Clock::sim(trace.clone());
+        let fs_state = Arc::new(SimFsState::new(disk_rng, trace.clone()));
+        let interleave = Interleaver::sim(sched_rng, trace.clone());
+        SimEnv {
+            seed,
+            trace,
+            clock,
+            fs_state,
+            interleave,
+            jitter_seed,
+        }
+    }
+
+    /// The master seed this world was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The shared event log.
+    pub fn trace(&self) -> &SimTrace {
+        &self.trace
+    }
+
+    /// The virtual clock.
+    pub fn clock(&self) -> Clock {
+        self.clock.clone()
+    }
+
+    /// A filesystem handle onto the simulated disk.
+    pub fn fs(&self) -> Fs {
+        Fs::sim(Arc::clone(&self.fs_state))
+    }
+
+    /// The simulated disk itself (crash points, fsync dropping,
+    /// operation counts).
+    pub fn fs_state(&self) -> &Arc<SimFsState> {
+        &self.fs_state
+    }
+
+    /// The scheduler-interleaving chooser.
+    pub fn interleave(&self) -> Interleaver {
+        self.interleave.clone()
+    }
+
+    /// The salt that makes retry-backoff jitter a function of the run
+    /// seed.
+    pub fn jitter_seed(&self) -> u64 {
+        self.jitter_seed
+    }
+
+    /// The capability bundle to hand to production code.
+    pub fn env(&self) -> Env {
+        Env {
+            clock: self.clock(),
+            fs: self.fs(),
+        }
+    }
+
+    /// A tracer time source on this world's virtual clock.
+    pub fn time_source(&self) -> Arc<dyn TimeSource> {
+        Arc::new(ClockTimeSource::new(self.clock()))
+    }
+
+    /// The world after the machine dies and reboots: the disk is
+    /// replaced by a dice-rolled crash image (see
+    /// [`SimFsState::crash_image`]); the clock, event log, scheduler
+    /// stream, and jitter salt carry on, so the recovery run extends
+    /// the same deterministic history.
+    pub fn crash_and_reboot(&self) -> SimEnv {
+        SimEnv {
+            seed: self.seed,
+            trace: self.trace.clone(),
+            clock: self.clock.clone(),
+            fs_state: Arc::new(self.fs_state.crash_image()),
+            interleave: self.interleave.clone(),
+            jitter_seed: self.jitter_seed,
+        }
+    }
+}
+
+/// The command line that replays a failing seed locally — printed by
+/// every harness assertion so "reproduce from seed" is copy-paste.
+pub fn repro_command(seed: u64, test: &str) -> String {
+    format!("HERCULES_SIM_SEED={seed} cargo test --test sim_harness {test} -- --nocapture")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hercules_obs::{RingBuffer, SpanId, Tracer};
+    use std::time::Duration;
+
+    #[test]
+    fn same_seed_same_world() {
+        let a = SimEnv::new(99);
+        let b = SimEnv::new(99);
+        assert_eq!(a.jitter_seed(), b.jitter_seed());
+        assert_eq!(a.interleave().choose(5), b.interleave().choose(5));
+        assert_eq!(a.trace().render(), b.trace().render());
+    }
+
+    #[test]
+    fn env_real_is_not_sim() {
+        assert!(!Env::real().is_sim());
+        assert!(SimEnv::new(1).env().is_sim());
+    }
+
+    #[test]
+    fn tracer_on_virtual_clock_is_deterministic() {
+        let run = |seed: u64| {
+            let sim = SimEnv::new(seed);
+            let ring = Arc::new(RingBuffer::new(16));
+            let tracer = Tracer::with_time_source(ring.clone(), sim.time_source());
+            let span = tracer.begin("work", SpanId::NONE);
+            sim.clock().sleep(Duration::from_millis(7));
+            tracer.end(span);
+            ring.snapshot()
+                .iter()
+                .map(|e| (e.mono_ns, e.wall_unix_ms))
+                .collect::<Vec<_>>()
+        };
+        let a = run(4);
+        assert_eq!(a, run(4), "timestamps replay identically");
+        assert_eq!(a[0], (0, SIM_WALL_EPOCH_MS));
+        assert_eq!(a[1], (7_000_000, SIM_WALL_EPOCH_MS + 7));
+    }
+
+    #[test]
+    fn crash_and_reboot_extends_the_same_log() {
+        let sim = SimEnv::new(3);
+        let fs = sim.fs();
+        let dir = std::path::Path::new("/ws");
+        fs.create_dir_all(dir).expect("mkdir");
+        let before = sim.trace().len();
+        let rebooted = sim.crash_and_reboot();
+        assert!(sim.trace().len() > before, "crash decisions are logged");
+        assert_eq!(rebooted.seed(), 3);
+        // The rebooted world writes into the same log.
+        rebooted.fs().create_dir_all(dir).expect("mkdir after boot");
+        assert!(sim
+            .trace()
+            .lines()
+            .iter()
+            .any(|l| l.starts_with("fs.crash_image")));
+    }
+
+    #[test]
+    fn repro_command_names_the_seed_and_test() {
+        let cmd = repro_command(42, "sim_multi_session");
+        assert!(cmd.contains("HERCULES_SIM_SEED=42"));
+        assert!(cmd.contains("sim_multi_session"));
+    }
+}

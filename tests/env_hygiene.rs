@@ -1,0 +1,111 @@
+//! Environment hygiene guard: production code in `crates/exec` and
+//! `crates/core` must reach time and the filesystem only through the
+//! `hercules-sim` capability handles (`Clock`, `Fs`), never through
+//! the ambient `std` APIs — otherwise the deterministic simulator has
+//! a blind spot and a seed no longer fixes the run.
+//!
+//! The real-environment adapter lives in `crates/sim/src/fs.rs` and
+//! `crates/sim/src/clock.rs`; binaries and `#[cfg(test)]` code are
+//! exempt (tests run only in the real environment).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Ambient-authority patterns the guarded crates must not use.
+const FORBIDDEN: &[&str] = &[
+    "Instant::now",
+    "SystemTime::now",
+    "thread::sleep",
+    "std::fs::",
+];
+
+/// Files allowed to keep specific ambient calls, with the reason.
+fn allowed(path: &Path, pattern: &str) -> bool {
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+    match (name, pattern) {
+        // Toy and fault-injection encapsulations model slow tools with
+        // real sleeps; they are test scaffolding that never runs under
+        // the simulator's determinism contract.
+        ("toy.rs", "thread::sleep") | ("fault.rs", "thread::sleep") => true,
+        ("toy.rs", "Instant::now") | ("fault.rs", "Instant::now") => true,
+        _ => false,
+    }
+}
+
+/// Strips `#[cfg(test)]`-gated modules: everything from a line holding
+/// the attribute through the end of the file (the convention in this
+/// workspace puts the test module last).
+fn strip_test_modules(source: &str) -> String {
+    match source.find("#[cfg(test)]") {
+        Some(idx) => source[..idx].to_owned(),
+        None => source.to_owned(),
+    }
+}
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            // Binaries drive the real environment by definition.
+            if path.file_name().and_then(|n| n.to_str()) == Some("bin") {
+                continue;
+            }
+            rust_sources(&path, out);
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn exec_and_core_use_no_ambient_time_or_fs() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let crates_dir = manifest.parent().expect("crates dir");
+    let mut violations = Vec::new();
+
+    for krate in ["exec", "core"] {
+        let src = crates_dir.join(krate).join("src");
+        assert!(src.is_dir(), "missing source tree: {}", src.display());
+        let mut files = Vec::new();
+        rust_sources(&src, &mut files);
+        assert!(!files.is_empty(), "no sources under {}", src.display());
+
+        for file in files {
+            let source = fs::read_to_string(&file).expect("readable source");
+            let production = strip_test_modules(&source);
+            for pattern in FORBIDDEN {
+                if allowed(&file, pattern) {
+                    continue;
+                }
+                for (lineno, line) in production.lines().enumerate() {
+                    let line = line.trim_start();
+                    if line.starts_with("//") {
+                        continue;
+                    }
+                    if line.contains(pattern) {
+                        violations.push(format!(
+                            "{}:{}: `{pattern}` — route this through hercules_sim::{} instead",
+                            file.display(),
+                            lineno + 1,
+                            if pattern.contains("fs") {
+                                "Fs"
+                            } else {
+                                "Clock"
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    assert!(
+        violations.is_empty(),
+        "ambient time/fs usage in simulated crates:\n{}",
+        violations.join("\n")
+    );
+}

@@ -1,0 +1,734 @@
+//! Deterministic simulation suite: the executor and the durable store
+//! driven through seeded interleavings, mid-write crash points, fsync
+//! reorderings, and a lying disk — all inside one process, with every
+//! run a pure function of its seed.
+//!
+//! Every assertion failure prints the failing seed and a copy-paste
+//! repro command (`HERCULES_SIM_SEED=<seed> cargo test --test
+//! sim_harness <test> -- --nocapture`); set `HERCULES_SIM_SEED` to
+//! replay a specific world.
+
+use std::collections::HashSet;
+use std::path::Path;
+use std::sync::Arc;
+
+use hercules::encaps::odyssey_registry;
+use hercules::exec::{
+    toy, Binding, Executor, FailurePolicy, FaultPlan, FaultyEncapsulation, RetryPolicy,
+};
+use hercules::flow::TaskGraph;
+use hercules::history::{Derivation, HistoryDb, InstanceId, Metadata};
+use hercules::schema::synth::SynthConfig;
+use hercules::sim::{repro_command, SimEnv, SimRng, SIM_CRASH_MARKER};
+use hercules::store::{scan_frames, GroupCommitPolicy, JournalOp, Workspace};
+use hercules::ui::Ui;
+use hercules::{eda, HerculesError, Session, SessionSpec};
+
+/// Master seed: the env override if set, a fixed default otherwise.
+fn master_seed() -> u64 {
+    std::env::var("HERCULES_SIM_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xDAC_1993)
+}
+
+/// Panics with the failing seed and its repro command attached.
+#[track_caller]
+fn sim_assert(cond: bool, seed: u64, test: &str, msg: &str) {
+    if !cond {
+        panic!(
+            "{msg}\n  failing seed: {seed}\n  reproduce: {}",
+            repro_command(seed, test)
+        );
+    }
+}
+
+/// Installs the full simulated environment into a fresh Odyssey
+/// session: virtual clock, interleaved scheduler, seeded retry jitter.
+fn sim_session(sim: &SimEnv, user: &str) -> Session {
+    let mut session = Session::odyssey(user);
+    session.set_sim(sim.clock(), sim.interleave(), sim.jitter_seed());
+    session
+}
+
+/// Records one EditedNetlist instance so abstract netlist leaves have
+/// something to bind to (mirrors the durability suite).
+fn seed_netlist(session: &mut Session) -> InstanceId {
+    let schema = session.schema().clone();
+    let editor = schema.require("CircuitEditor").expect("known");
+    let edited = schema.require("EditedNetlist").expect("known");
+    let tool = session.db().instances_of(editor)[0];
+    let cell = eda::cells::full_adder();
+    session
+        .db_mut()
+        .record_derived(
+            edited,
+            Metadata::by("sim").named(&cell.name),
+            &cell.to_bytes(),
+            Derivation::by_tool(tool, []),
+        )
+        .expect("records")
+}
+
+/// Where the simulated workspace lives on the simulated disk.
+const WS_ROOT: &str = "/ws/alpha";
+
+/// Reference snapshots of the multi-session workload, grouped by
+/// checkpoint generation: `refs[g][k]` is the session state after the
+/// `k`-th acknowledged journal frame of generation `g` (`refs[g][0]`
+/// is the state captured by generation `g`'s checkpoint itself).
+struct Reference {
+    by_gen: Vec<Vec<SessionSpec>>,
+}
+
+/// Drives the multi-session workload: save, build + run the
+/// verification flow, checkpoint, then build + run the layout flow and
+/// checkpoint again. Stops at the first error (a fired crash point),
+/// returning the snapshots of everything acknowledged up to then.
+///
+/// With `verify_frames` (clean reference run only), cross-checks that
+/// each generation's journal holds exactly one frame per acknowledged
+/// command, so the snapshot indices line up with `ops_replayed`.
+fn drive_workload(sim: &SimEnv, verify_frames: bool) -> (Reference, Result<(), HerculesError>) {
+    let mut session = sim_session(sim, "sim");
+    let seeded = seed_netlist(&mut session);
+    let mut ui = Ui::new_in(session, sim.env());
+    let mut refs = Reference { by_gen: Vec::new() };
+
+    if let Err(e) = ui.execute(&format!("save {WS_ROOT}")) {
+        return (refs, Err(e));
+    }
+    refs.by_gen
+        .push(vec![SessionSpec::from_session(ui.session())]);
+
+    let verification = [
+        "goal Verification".to_owned(),
+        "expand n0".to_owned(),
+        "specialize n2 EditedNetlist".to_owned(),
+        "expand n2".to_owned(),
+        "expand n3".to_owned(),
+        "expand n6".to_owned(),
+        format!("select n8 i{}", seeded.raw()),
+        "bind-latest".to_owned(),
+        "run".to_owned(),
+        "store verif-flow".to_owned(),
+    ];
+    let layout = [
+        "clear".to_owned(),
+        "goal Layout".to_owned(),
+        "expand n0".to_owned(),
+        "specialize n2 EditedNetlist".to_owned(),
+        "expand n2".to_owned(),
+        "bind-latest".to_owned(),
+        "run".to_owned(),
+    ];
+
+    for segment in [&verification[..], &layout[..]] {
+        for cmd in segment {
+            if let Err(e) = ui.execute(cmd) {
+                // The crashed command was dispatched before its journal
+                // append tore, and the frame may still survive whole in
+                // the crash image — so recovery can legitimately land
+                // one past the acknowledged prefix. Record that
+                // submitted-but-unacknowledged state as well.
+                let gen = refs.by_gen.len() - 1;
+                refs.by_gen[gen].push(SessionSpec::from_session(ui.session()));
+                return (refs, Err(e));
+            }
+            let gen = refs.by_gen.len() - 1;
+            refs.by_gen[gen].push(SessionSpec::from_session(ui.session()));
+        }
+        if verify_frames {
+            let gen = refs.by_gen.len() - 1;
+            let journal = sim
+                .fs()
+                .read(&Path::new(WS_ROOT).join(format!("journal-{gen}.log")))
+                .expect("journal readable in the clean run");
+            assert_eq!(
+                scan_frames(&journal).payloads.len(),
+                refs.by_gen[gen].len() - 1,
+                "one journal frame per acknowledged command in generation {gen}"
+            );
+        }
+        if let Err(e) = ui.execute("checkpoint") {
+            // A checkpoint that crashed after its MANIFEST rename
+            // became durable (the rename dirop survived the dice)
+            // recovers as the next generation with zero replays; its
+            // base state is the session state at checkpoint time.
+            refs.by_gen
+                .push(vec![SessionSpec::from_session(ui.session())]);
+            return (refs, Err(e));
+        }
+        refs.by_gen
+            .push(vec![SessionSpec::from_session(ui.session())]);
+    }
+    (refs, Ok(()))
+}
+
+/// Recovers the workspace from the crash image and asserts the prefix
+/// invariant: the recovered session state equals the reference
+/// snapshot after exactly `ops_replayed` acknowledged frames of the
+/// recovered generation — never a non-prefix, never beyond what was
+/// submitted.
+fn assert_recovers_a_prefix(sim: &SimEnv, refs: &Reference, seed: u64, test: &str, label: &str) {
+    let rebooted = sim.crash_and_reboot();
+    let (ws, recovered, report) =
+        Workspace::open_session_in(Path::new(WS_ROOT), |s| odyssey_registry(s), rebooted.env())
+            .unwrap_or_else(|e| {
+                panic!(
+                    "{label}: recovery failed: {e}\n  failing seed: {seed}\n  reproduce: {}",
+                    repro_command(seed, test)
+                )
+            });
+    let gen = report.generation as usize;
+    sim_assert(
+        gen < refs.by_gen.len(),
+        seed,
+        test,
+        &format!("{label}: recovered generation {gen} was never reached"),
+    );
+    let snaps = &refs.by_gen[gen];
+    sim_assert(
+        report.ops_replayed < snaps.len(),
+        seed,
+        test,
+        &format!(
+            "{label}: generation {gen} replayed {} ops beyond the {} submitted",
+            report.ops_replayed,
+            snaps.len() - 1
+        ),
+    );
+    sim_assert(
+        SessionSpec::from_session(&recovered) == snaps[report.ops_replayed],
+        seed,
+        test,
+        &format!(
+            "{label}: recovered state after {} replayed ops of generation {gen} \
+             does not match the acknowledged prefix",
+            report.ops_replayed
+        ),
+    );
+    drop(ws);
+}
+
+/// The tentpole test: one seeded run sweeps ≥100 distinct scheduler
+/// interleavings of a wide synthetic flow, then sweeps a crash point
+/// over every mutating disk operation (≥50 of them) of the
+/// multi-session workload, asserting prefix recovery at each, with
+/// byte-identical event logs on replay.
+#[test]
+fn sim_multi_session_interleavings_and_crash_points() {
+    const TEST: &str = "sim_multi_session_interleavings_and_crash_points";
+    let master = master_seed();
+    let mut rng = SimRng::new(master);
+
+    // --- Phase 1: scheduler interleavings over a wide flow. ---
+    let cfg = SynthConfig {
+        layers: 3,
+        width: 6,
+        fanin: 2,
+        subtypes: 0,
+    };
+    let schema = Arc::new(cfg.generate());
+    let mut flow = TaskGraph::new(schema.clone());
+    for goal in cfg.goal_layer(&schema) {
+        let node = flow.seed(goal).expect("seeds");
+        flow.expand_all(node).expect("expands");
+    }
+    flow.validate_for_execution().expect("complete");
+
+    let run_flow = |seed: u64| -> (Vec<String>, String) {
+        let sim = SimEnv::new(seed);
+        let mut db = HistoryDb::new(schema.clone());
+        toy::seed_everything(&mut db, "sim");
+        let mut binding = Binding::new();
+        assert!(binding.bind_latest(&flow, &db).is_empty());
+        let mut executor = Executor::new(toy::text_registry(&schema));
+        let options = executor.options_mut();
+        options.clock = sim.clock();
+        options.interleave = sim.interleave();
+        options.jitter_seed = sim.jitter_seed();
+        executor
+            .execute(&flow, &binding, &mut db)
+            .expect("synthetic flow runs");
+        let picks = sim
+            .trace()
+            .lines()
+            .iter()
+            .filter(|l| l.starts_with("sched.pick"))
+            .cloned()
+            .collect();
+        (picks, sim.trace().render())
+    };
+
+    let mut interleavings: HashSet<Vec<String>> = HashSet::new();
+    let mut pick_events = 0usize;
+    for i in 0..128 {
+        let seed = rng.next_u64();
+        let (picks, log) = run_flow(seed);
+        sim_assert(
+            !picks.is_empty(),
+            seed,
+            TEST,
+            "the serial dataflow pump must route picks through the interleaver",
+        );
+        pick_events += picks.len();
+        interleavings.insert(picks);
+        if i % 8 == 0 {
+            // Replaying the same seed must reproduce the event log
+            // byte for byte.
+            let (_, log2) = run_flow(seed);
+            sim_assert(
+                log == log2,
+                seed,
+                TEST,
+                "same seed, same flow: event logs must be byte-identical",
+            );
+        }
+    }
+    assert!(
+        interleavings.len() >= 100,
+        "expected >=100 distinct scheduler interleavings, got {} ({} pick events; master seed {master})",
+        interleavings.len(),
+        pick_events
+    );
+
+    // --- Phase 2: crash sweep over the multi-session workload. ---
+    let workload_seed = rng.next_u64();
+    let clean = SimEnv::new(workload_seed);
+    let (refs, outcome) = drive_workload(&clean, true);
+    outcome.expect("clean run completes");
+    let total_ops = clean.fs_state().op_count();
+    // Only sweep ops after workspace creation: before the manifest is
+    // durable there is nothing to recover.
+    let save_ops = {
+        let probe = SimEnv::new(workload_seed);
+        let mut session = sim_session(&probe, "sim");
+        let _ = seed_netlist(&mut session);
+        let mut ui = Ui::new_in(session, probe.env());
+        ui.execute(&format!("save {WS_ROOT}")).expect("saves");
+        probe.fs_state().op_count()
+    };
+    let crash_points = total_ops - save_ops;
+    assert!(
+        crash_points >= 50,
+        "the workload must expose >=50 post-save crash points, got {crash_points}"
+    );
+
+    for k in (save_ops + 1)..=total_ops {
+        let sim = SimEnv::new(workload_seed);
+        sim.fs_state().set_crash_at(Some(k));
+        let (crash_refs, outcome) = drive_workload(&sim, false);
+        // A crash landing on the final best-effort cleanup (the
+        // superseded journal's removal) is swallowed by design; the
+        // workload completes and recovery must still see a consistent
+        // image.
+        if let Err(err) = outcome {
+            sim_assert(
+                err.to_string().contains(SIM_CRASH_MARKER),
+                workload_seed,
+                TEST,
+                &format!(
+                    "crash at op {k}: the surfaced error must be the simulated crash, got: {err}"
+                ),
+            );
+        }
+        assert_recovers_a_prefix(
+            &sim,
+            &crash_refs,
+            workload_seed,
+            TEST,
+            &format!("crash at op {k}"),
+        );
+        if k % 10 == 0 {
+            // Replay determinism across crash + recovery: the full
+            // event log (workload, crash dice, recovery) is
+            // byte-identical for the same seed and crash point.
+            let render_once = || {
+                let sim = SimEnv::new(workload_seed);
+                sim.fs_state().set_crash_at(Some(k));
+                let (crash_refs, _) = drive_workload(&sim, false);
+                assert_recovers_a_prefix(
+                    &sim,
+                    &crash_refs,
+                    workload_seed,
+                    TEST,
+                    &format!("replayed crash at op {k}"),
+                );
+                sim.trace().render()
+            };
+            sim_assert(
+                render_once() == render_once(),
+                workload_seed,
+                TEST,
+                &format!("crash at op {k}: replay must give a byte-identical event log"),
+            );
+        }
+    }
+    drop(refs);
+}
+
+/// Satellite: a crash exactly between the manifest temp-file fsync and
+/// the `MANIFEST` rename during a checkpoint must leave the *previous*
+/// generation fully intact — the half-finished checkpoint is invisible.
+#[test]
+fn sim_checkpoint_crash_between_tmp_fsync_and_manifest_rename() {
+    const TEST: &str = "sim_checkpoint_crash_between_tmp_fsync_and_manifest_rename";
+    let seed = master_seed();
+
+    // Locate the first checkpoint's MANIFEST rename in a clean run:
+    // rename #0 of MANIFEST.tmp belongs to `save`, rename #1 to the
+    // first `checkpoint` command.
+    let clean = SimEnv::new(seed);
+    let (refs, outcome) = drive_workload(&clean, false);
+    outcome.expect("clean run completes");
+    let rename_op: u64 = clean
+        .trace()
+        .lines()
+        .iter()
+        .filter(|l| l.starts_with("fs.rename") && l.contains("to=/ws/alpha/MANIFEST "))
+        .nth(1)
+        .and_then(|l| l.rsplit("op=").next())
+        .and_then(|n| n.trim().parse().ok())
+        .expect("the checkpoint's MANIFEST rename appears in the trace");
+
+    // Crash *at* the rename: the temp file is written and fsynced, but
+    // the swap never happens.
+    let sim = SimEnv::new(seed);
+    sim.fs_state().set_crash_at(Some(rename_op));
+    let (_, outcome) = drive_workload(&sim, false);
+    outcome.expect_err("the armed crash point aborts the checkpoint");
+
+    let rebooted = sim.crash_and_reboot();
+    let (_ws, recovered, report) =
+        Workspace::open_session_in(Path::new(WS_ROOT), |s| odyssey_registry(s), rebooted.env())
+            .unwrap_or_else(|e| {
+                panic!(
+                    "recovery must not fail: {e}\n  failing seed: {seed}\n  reproduce: {}",
+                    repro_command(seed, TEST)
+                )
+            });
+    sim_assert(
+        report.generation == 0,
+        seed,
+        TEST,
+        &format!(
+            "the unrenamed manifest must still name generation 0, got {}",
+            report.generation
+        ),
+    );
+    let gen0 = &refs.by_gen[0];
+    sim_assert(
+        report.ops_replayed == gen0.len() - 1,
+        seed,
+        TEST,
+        &format!(
+            "every acknowledged generation-0 frame must replay: {} of {}",
+            report.ops_replayed,
+            gen0.len() - 1
+        ),
+    );
+    sim_assert(
+        SessionSpec::from_session(&recovered) == gen0[gen0.len() - 1],
+        seed,
+        TEST,
+        "recovered state must equal the full pre-checkpoint state",
+    );
+}
+
+/// Satellite: after a simulated crash mid-workload, reopening and
+/// resuming re-runs only the failed/skipped cone — committed branches
+/// come from the recovered history.
+#[test]
+fn sim_resume_after_crash_reruns_only_failed_subtasks() {
+    const TEST: &str = "sim_resume_after_crash_reruns_only_failed_subtasks";
+    let seed = master_seed().wrapping_add(1);
+    let sim = SimEnv::new(seed);
+
+    let mut session = sim_session(&sim, "sim");
+    session.executor_mut().options_mut().failure = FailurePolicy::ContinueDisjoint;
+    // A placer that always panics: branch B fails, branch A commits.
+    let schema = session.schema().clone();
+    let placer = schema.require("Placer").expect("known");
+    let inner = session
+        .executor_mut()
+        .registry()
+        .lookup(&schema, placer)
+        .expect("registered")
+        .clone();
+    session.executor_mut().registry_mut().register(
+        placer,
+        FaultyEncapsulation::wrap(inner, FaultPlan::AlwaysPanic),
+    );
+    let seeded = seed_netlist(&mut session);
+
+    let mut ui = Ui::new_in(session, sim.env());
+    ui.execute(&format!("save {WS_ROOT}")).expect("saves");
+    for cmd in [
+        "goal Verification".to_owned(),
+        "expand n0".to_owned(),
+        "specialize n2 EditedNetlist".to_owned(),
+        "expand n2".to_owned(),
+        "expand n3".to_owned(),
+        "expand n6".to_owned(),
+        format!("select n8 i{}", seeded.raw()),
+        "bind-latest".to_owned(),
+    ] {
+        ui.execute(&cmd).expect(&cmd);
+    }
+    let out = ui.execute("run").expect("continues past the failure");
+    sim_assert(
+        out.contains("1 failed, 2 skipped"),
+        seed,
+        TEST,
+        &format!("expected a partial run, got: {out}"),
+    );
+    drop(ui); // power off
+
+    // Reboot onto the crash image; `open` attaches the standard
+    // (un-faulted) registry, so the placer works this time.
+    let rebooted = sim.crash_and_reboot();
+    let mut ui = Ui::new_in(sim_session(&rebooted, "after-reboot"), rebooted.env());
+    ui.execute(&format!("open {WS_ROOT}")).expect("recovers");
+    let restored = ui.session().last_report().expect("report survives");
+    sim_assert(
+        !restored.is_complete(),
+        seed,
+        TEST,
+        "the recovered report must remember the partial execution",
+    );
+
+    ui.execute("resume").expect("completes");
+    let report = ui.session().last_report().expect("resumed").clone();
+    sim_assert(
+        report.is_complete(),
+        seed,
+        TEST,
+        "resume must finish the flow",
+    );
+    sim_assert(
+        report.cache_hits() == 1,
+        seed,
+        TEST,
+        &format!(
+            "resume must serve the committed branch from history, got {} cache hits",
+            report.cache_hits()
+        ),
+    );
+    sim_assert(
+        report.runs() == 3,
+        seed,
+        TEST,
+        &format!(
+            "resume must re-run only the failed cone (placer, extractor, comparator), got {}",
+            report.runs()
+        ),
+    );
+}
+
+/// Satellite: the whole retry-backoff schedule is a function of the
+/// seed — same seed, same virtual sleeps, byte for byte; and the
+/// sleeps advance the virtual clock instead of blocking the test.
+#[test]
+fn sim_retry_backoff_is_seed_deterministic() {
+    const TEST: &str = "sim_retry_backoff_is_seed_deterministic";
+    let base = master_seed().wrapping_add(2);
+
+    let run = |seed: u64| -> (Vec<String>, u64) {
+        let sim = SimEnv::new(seed);
+        let mut session = sim_session(&sim, "retry");
+        session.executor_mut().options_mut().retry = RetryPolicy::attempts(3);
+        let schema = session.schema().clone();
+        let placer = schema.require("Placer").expect("known");
+        let inner = session
+            .executor_mut()
+            .registry()
+            .lookup(&schema, placer)
+            .expect("registered")
+            .clone();
+        session.executor_mut().registry_mut().register(
+            placer,
+            FaultyEncapsulation::wrap(inner, FaultPlan::FailTimes(2)),
+        );
+        let mut ui = Ui::new_in(session, sim.env());
+        for cmd in [
+            "goal Layout",
+            "expand n0",
+            "specialize n2 EditedNetlist",
+            "expand n2",
+            "bind-latest",
+        ] {
+            ui.execute(cmd).expect(cmd);
+        }
+        ui.execute("run").expect("retries clear the flaky placer");
+        let sleeps = sim
+            .trace()
+            .lines()
+            .iter()
+            .filter(|l| l.starts_with("clock.sleep"))
+            .cloned()
+            .collect();
+        (sleeps, sim.clock().now().as_ns())
+    };
+
+    let (sleeps_a, clock_a) = run(base);
+    sim_assert(
+        sleeps_a.len() == 2,
+        base,
+        TEST,
+        &format!(
+            "two failed attempts mean two backoff sleeps, got {}",
+            sleeps_a.len()
+        ),
+    );
+    sim_assert(
+        clock_a > 0,
+        base,
+        TEST,
+        "backoff must advance the virtual clock",
+    );
+    let (sleeps_b, clock_b) = run(base);
+    sim_assert(
+        sleeps_a == sleeps_b && clock_a == clock_b,
+        base,
+        TEST,
+        "same seed must reproduce the exact backoff schedule",
+    );
+    let (sleeps_c, _) = run(base.wrapping_add(1));
+    sim_assert(
+        sleeps_a != sleeps_c,
+        base,
+        TEST,
+        "a different seed must explore a different jitter schedule",
+    );
+}
+
+/// Satellite: under simulation, group commit batches inline with no
+/// flusher thread; a failed flush poisons the workspace — later
+/// appends are refused and `close()` surfaces the sticky error instead
+/// of dropping it.
+#[test]
+fn sim_group_commit_flush_failure_is_sticky_and_surfaces_on_close() {
+    const TEST: &str = "sim_group_commit_flush_failure_is_sticky_and_surfaces_on_close";
+    let seed = master_seed().wrapping_add(3);
+    let sim = SimEnv::new(seed);
+
+    let session = sim_session(&sim, "group");
+    let mut ws = Workspace::create_in(Path::new(WS_ROOT), &session, sim.env()).expect("creates");
+    ws.enable_group_commit(GroupCommitPolicy::default())
+        .expect("enables");
+    assert!(ws.group_commit_enabled());
+
+    // Three acknowledged frames: enqueue, then one explicit sync.
+    // `Clear` replays unconditionally, so recovery can count them.
+    for _ in 0..3 {
+        ws.append_deferred(&JournalOp::Clear).expect("queues");
+    }
+    ws.sync().expect("flushes the batch durably");
+
+    // Arm the crash on the next mutating op — the batch write of the
+    // following flush — and queue two more frames.
+    sim.fs_state()
+        .set_crash_at(Some(sim.fs_state().op_count() + 1));
+    ws.append_deferred(&JournalOp::Clear).expect("queues");
+    ws.append_deferred(&JournalOp::Clear).expect("queues");
+    let err = ws.sync().expect_err("the armed crash fails the flush");
+    sim_assert(
+        err.to_string().contains(SIM_CRASH_MARKER),
+        seed,
+        TEST,
+        &format!("the flush failure must be the simulated crash, got: {err}"),
+    );
+
+    // The poison is sticky: no append lands after a torn flush.
+    sim_assert(
+        ws.append_deferred(&JournalOp::BindLatest).is_err(),
+        seed,
+        TEST,
+        "appends after a failed flush must be refused",
+    );
+    sim_assert(
+        ws.sync().is_err(),
+        seed,
+        TEST,
+        "sync after a failed flush must keep failing",
+    );
+    let close_err = ws.close().expect_err("close must surface the sticky error");
+    sim_assert(
+        close_err.to_string().contains(SIM_CRASH_MARKER),
+        seed,
+        TEST,
+        &format!("close must report the original flush failure, got: {close_err}"),
+    );
+
+    // The three acknowledged frames survive the crash; the torn batch
+    // is at most a submitted-but-unacknowledged tail.
+    let rebooted = sim.crash_and_reboot();
+    let (_ws, _session, report) =
+        Workspace::open_session_in(Path::new(WS_ROOT), |s| odyssey_registry(s), rebooted.env())
+            .expect("recovers");
+    sim_assert(
+        (3..=5).contains(&report.ops_replayed),
+        seed,
+        TEST,
+        &format!(
+            "recovery must keep the 3 acknowledged frames (plus at most the torn tail), got {}",
+            report.ops_replayed
+        ),
+    );
+}
+
+/// Fsync reordering: a lying disk that silently drops every third
+/// fsync voids the durability contract, but recovery must still land
+/// on *some* acknowledged prefix — or fail with an explicit error —
+/// never panic, never produce a non-prefix state.
+#[test]
+fn sim_lying_disk_dropped_fsyncs_still_recover_a_prefix() {
+    const TEST: &str = "sim_lying_disk_dropped_fsyncs_still_recover_a_prefix";
+    let mut rng = SimRng::new(master_seed().wrapping_add(4));
+
+    let mut recovered_ok = 0usize;
+    for _ in 0..8 {
+        let seed = rng.next_u64();
+        let sim = SimEnv::new(seed);
+        sim.fs_state().set_drop_fsync_every(Some(3));
+        let (refs, outcome) = drive_workload(&sim, false);
+        outcome.expect("a lying disk reports success, so the workload completes");
+        sim_assert(
+            sim.fs_state().dropped_fsyncs() > 0,
+            seed,
+            TEST,
+            "the lying disk must actually have dropped fsyncs",
+        );
+
+        let rebooted = sim.crash_and_reboot();
+        // With the manifest swap itself un-fsynced, an unreadable
+        // workspace is an honest outcome — the invariant is "prefix
+        // or explicit error", never silent corruption.
+        if let Ok((_ws, recovered, report)) =
+            Workspace::open_session_in(Path::new(WS_ROOT), |s| odyssey_registry(s), rebooted.env())
+        {
+            let gen = report.generation as usize;
+            sim_assert(gen < refs.by_gen.len(), seed, TEST, "phantom generation");
+            let snaps = &refs.by_gen[gen];
+            sim_assert(
+                report.ops_replayed < snaps.len(),
+                seed,
+                TEST,
+                "recovery must not replay beyond the submitted frames",
+            );
+            sim_assert(
+                SessionSpec::from_session(&recovered) == snaps[report.ops_replayed],
+                seed,
+                TEST,
+                "recovered state must be an exact acknowledged prefix, even when \
+                 the disk lied about fsyncs",
+            );
+            recovered_ok += 1;
+        }
+    }
+    assert!(
+        recovered_ok > 0,
+        "at least one lying-disk world must still recover"
+    );
+}
