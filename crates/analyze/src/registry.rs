@@ -239,6 +239,27 @@ pub const PASSES: &[PassInfo] = &[
         severity: Severity::Info,
     },
     PassInfo {
+        code: "HL0410",
+        layer: Layer::Workspace,
+        name: "segment-chain-broken",
+        summary: "MANIFEST segment chain has a gap, duplicate, misorder, or foreign generation",
+        severity: Severity::Error,
+    },
+    PassInfo {
+        code: "HL0411",
+        layer: Layer::Workspace,
+        name: "quarantined-data",
+        summary: "quarantine files from a past recovery or scrub await review",
+        severity: Severity::Info,
+    },
+    PassInfo {
+        code: "HL0412",
+        layer: Layer::Workspace,
+        name: "stale-lease",
+        summary: "LEASE file is unparsable, expired, or superseded by a takeover",
+        severity: Severity::Warn,
+    },
+    PassInfo {
         code: "HL0501",
         layer: Layer::History,
         name: "stale-instance",

@@ -3,12 +3,15 @@
 //!
 //! The layout under audit: a `MANIFEST` JSON document naming the
 //! current generation's `checkpoint-N.json` (a [`SessionSpec`]) and
-//! `journal-N.log` (CRC32-framed [`JournalOp`] records). `herclint
-//! --workspace <dir>` checks every invariant [`Workspace::open_session`]
-//! relies on — without mutating anything: recovery *truncates* a torn
-//! journal tail, the linter merely reports it.
+//! its chain of `journal-N[.S].log` segments (CRC32-framed
+//! [`JournalOp`] records), plus the optional `LEASE` lock file.
+//! `herclint --workspace <dir>` checks every invariant
+//! [`Workspace::open_session`] relies on — without mutating anything:
+//! recovery *truncates* a torn journal tail and *quarantines* damaged
+//! segments, the linter merely reports them.
 
 use std::path::Path;
+use std::time::{SystemTime, UNIX_EPOCH};
 
 use hercules::exec::EncapsulationRegistry;
 use hercules::store::scan_frames;
@@ -26,6 +29,30 @@ struct ManifestDoc {
     generation: u64,
     checkpoint: String,
     journal: String,
+    #[serde(default)]
+    segments: Vec<String>,
+    #[serde(default)]
+    fencing_token: u64,
+}
+
+impl ManifestDoc {
+    /// The segment chain, oldest first. Pre-segment manifests name
+    /// only `journal`; treat that as a one-segment chain.
+    fn effective_segments(&self) -> Vec<String> {
+        if self.segments.is_empty() {
+            vec![self.journal.clone()]
+        } else {
+            self.segments.clone()
+        }
+    }
+}
+
+/// Mirror of the store's lease lock file.
+#[derive(Debug, Deserialize)]
+struct LeaseDoc {
+    owner: String,
+    expires_unix_ms: u64,
+    token: u64,
 }
 
 /// Lints a durable workspace directory. Each invariant violation is
@@ -60,6 +87,9 @@ pub fn lint_workspace(root: &Path, out: &mut Diagnostics) {
     };
 
     orphan_generations(root, &manifest, out);
+    segment_chain(&manifest, out);
+    quarantine_files(root, out);
+    lease_state(root, &manifest, out);
 
     let session = restore_checkpoint(root, &manifest, out);
     let replayed = check_journal(root, &manifest, session, out);
@@ -118,81 +148,240 @@ fn restore_checkpoint(
     }
 }
 
-/// HL0405–HL0408: the journal must exist; its tail may be torn (warn —
-/// recovery truncates it); every checksummed frame must parse as a
-/// [`JournalOp`]; every parsed op must replay against the checkpoint.
-/// Returns the fully replayed session when everything is clean enough
-/// to keep linting.
+/// HL0405–HL0408: every segment of the journal chain must exist; a
+/// tail may be torn (warn — recovery truncates or quarantines it);
+/// every checksummed frame must parse as a [`JournalOp`]; every parsed
+/// op must replay against the checkpoint. Returns the fully replayed
+/// session when everything is clean enough to keep linting.
 fn check_journal(
     root: &Path,
     manifest: &ManifestDoc,
     session: Option<Session>,
     out: &mut Diagnostics,
 ) -> Option<Session> {
-    let buf = match std::fs::read(root.join(&manifest.journal)) {
-        Ok(buf) => buf,
-        Err(e) => {
-            out.push(Diagnostic::new(
-                "HL0405",
-                Severity::Error,
-                Span::file(&manifest.journal),
-                format!(
-                    "journal `{}` named by MANIFEST (generation {}) is unreadable: {e}",
-                    manifest.journal, manifest.generation
-                ),
-            ));
-            return session;
-        }
-    };
-    let scan = scan_frames(&buf);
-    if scan.trailing > 0 {
-        out.push(Diagnostic::new(
-            "HL0406",
-            Severity::Warn,
-            Span::file(&manifest.journal),
-            format!(
-                "journal ends in a torn or corrupt tail of {} byte(s) after {} valid frame(s); \
-                 recovery will truncate it",
-                scan.trailing,
-                scan.payloads.len()
-            ),
-        ));
-    }
+    let segments = manifest.effective_segments();
     let mut session = session;
     let mut replay_ok = session.is_some();
-    for (i, payload) in scan.payloads.iter().enumerate() {
-        let op: JournalOp = match serde_json::from_slice(payload) {
-            Ok(op) => op,
+    let mut frame_base = 0usize;
+    for (si, segment) in segments.iter().enumerate() {
+        let last = si + 1 == segments.len();
+        let buf = match std::fs::read(root.join(segment)) {
+            Ok(buf) => buf,
             Err(e) => {
                 out.push(Diagnostic::new(
-                    "HL0407",
+                    "HL0405",
                     Severity::Error,
-                    Span::frame(i),
-                    format!("checksummed journal frame does not parse as an operation: {e}"),
+                    Span::file(segment),
+                    format!(
+                        "journal segment `{segment}` named by MANIFEST (generation {}) \
+                         is unreadable: {e}",
+                        manifest.generation
+                    ),
                 ));
-                replay_ok = false;
-                continue;
+                return session;
             }
         };
-        if !replay_ok {
-            continue; // one failure poisons everything downstream
+        let scan = scan_frames(&buf);
+        if scan.trailing > 0 {
+            let consequence = if last {
+                "recovery will truncate it"
+            } else {
+                "recovery will quarantine the damage and every later segment"
+            };
+            out.push(Diagnostic::new(
+                "HL0406",
+                Severity::Warn,
+                Span::file(segment),
+                format!(
+                    "journal segment ends in a torn or corrupt tail of {} byte(s) after \
+                     {} valid frame(s); {consequence}",
+                    scan.trailing,
+                    scan.payloads.len()
+                ),
+            ));
         }
-        if let Some(s) = session.as_mut() {
-            if let Err(e) = op.replay(s) {
-                out.push(Diagnostic::new(
-                    "HL0408",
-                    Severity::Error,
-                    Span::frame(i),
-                    format!("journaled operation does not replay against the checkpoint: {e}"),
-                ));
-                replay_ok = false;
+        for (i, payload) in scan.payloads.iter().enumerate() {
+            let frame = frame_base + i;
+            let op: JournalOp = match serde_json::from_slice(payload) {
+                Ok(op) => op,
+                Err(e) => {
+                    out.push(Diagnostic::new(
+                        "HL0407",
+                        Severity::Error,
+                        Span::frame(frame),
+                        format!("checksummed journal frame does not parse as an operation: {e}"),
+                    ));
+                    replay_ok = false;
+                    continue;
+                }
+            };
+            if !replay_ok {
+                continue; // one failure poisons everything downstream
+            }
+            if let Some(s) = session.as_mut() {
+                if let Err(e) = op.replay(s) {
+                    out.push(Diagnostic::new(
+                        "HL0408",
+                        Severity::Error,
+                        Span::frame(frame),
+                        format!("journaled operation does not replay against the checkpoint: {e}"),
+                    ));
+                    replay_ok = false;
+                }
             }
         }
+        frame_base += scan.payloads.len();
     }
     if replay_ok {
         session
     } else {
         None
+    }
+}
+
+/// Parses `journal-<gen>.log` / `journal-<gen>.<seq>.log` into
+/// `(generation, sequence)`.
+fn parse_segment_name(name: &str) -> Option<(u64, u64)> {
+    let rest = name.strip_prefix("journal-")?.strip_suffix(".log")?;
+    match rest.split_once('.') {
+        None => rest.parse().ok().map(|generation| (generation, 0)),
+        Some((generation, seq)) => Some((generation.parse().ok()?, seq.parse().ok()?)),
+    }
+}
+
+/// HL0410: the MANIFEST segment chain must be well-formed — every name
+/// parseable, every segment in the manifest's generation, sequence
+/// numbers exactly 0..n in order, and the `journal` field naming the
+/// last (active) segment. A gap or disorder means recovery would
+/// replay operations out of order or skip committed work.
+fn segment_chain(manifest: &ManifestDoc, out: &mut Diagnostics) {
+    let segments = manifest.effective_segments();
+    for (i, name) in segments.iter().enumerate() {
+        let Some((generation, seq)) = parse_segment_name(name) else {
+            out.push(Diagnostic::new(
+                "HL0410",
+                Severity::Error,
+                Span::file(name),
+                format!(
+                    "segment `{name}` does not match `journal-<gen>[.<seq>].log`; \
+                     the chain cannot be ordered"
+                ),
+            ));
+            continue;
+        };
+        if generation != manifest.generation {
+            out.push(Diagnostic::new(
+                "HL0410",
+                Severity::Error,
+                Span::file(name),
+                format!(
+                    "segment `{name}` belongs to generation {generation} but MANIFEST \
+                     is at generation {}",
+                    manifest.generation
+                ),
+            ));
+        }
+        if seq != i as u64 {
+            out.push(Diagnostic::new(
+                "HL0410",
+                Severity::Error,
+                Span::file(name),
+                format!(
+                    "segment chain position {i} holds sequence {seq}: the chain has a \
+                     gap, duplicate, or misordered segment"
+                ),
+            ));
+        }
+    }
+    if let Some(active) = segments.last() {
+        if *active != manifest.journal {
+            out.push(Diagnostic::new(
+                "HL0410",
+                Severity::Error,
+                Span::file("MANIFEST"),
+                format!(
+                    "MANIFEST names `{}` as the active journal but the segment chain \
+                     ends at `{active}`",
+                    manifest.journal
+                ),
+            ));
+        }
+    }
+}
+
+/// HL0411: quarantine files (`*.quarantined-<k>`) left behind by scrub
+/// or recovery. Each one holds data the store could not replay —
+/// worth a human look before archiving or deleting.
+fn quarantine_files(root: &Path, out: &mut Diagnostics) {
+    let Ok(entries) = std::fs::read_dir(root) else {
+        return;
+    };
+    let mut quarantined: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|name| name.contains(".quarantined-"))
+        .collect();
+    quarantined.sort();
+    for name in quarantined {
+        out.push(Diagnostic::new(
+            "HL0411",
+            Severity::Info,
+            Span::file(&name),
+            format!(
+                "`{name}` is quarantined journal data a past recovery or scrub set \
+                 aside; review it before archiving or deleting"
+            ),
+        ));
+    }
+}
+
+/// HL0412: the LEASE lock file, when present, should be live and
+/// should match the fencing token MANIFEST records. An expired lease
+/// means the writer died (or forgot to close); a token behind the
+/// manifest's means the lease was superseded by a takeover.
+fn lease_state(root: &Path, manifest: &ManifestDoc, out: &mut Diagnostics) {
+    let text = match std::fs::read_to_string(root.join("LEASE")) {
+        Ok(text) => text,
+        Err(_) => return, // no lease: the workspace is simply closed
+    };
+    let lease: LeaseDoc = match serde_json::from_str(&text) {
+        Ok(lease) => lease,
+        Err(e) => {
+            out.push(Diagnostic::new(
+                "HL0412",
+                Severity::Warn,
+                Span::file("LEASE"),
+                format!("LEASE does not parse as a lease document: {e}"),
+            ));
+            return;
+        }
+    };
+    let now_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    if lease.token < manifest.fencing_token {
+        out.push(Diagnostic::new(
+            "HL0412",
+            Severity::Warn,
+            Span::file("LEASE"),
+            format!(
+                "lease held by `{}` carries fencing token {} but MANIFEST is at {}: \
+                 the writer was deposed by a takeover",
+                lease.owner, lease.token, manifest.fencing_token
+            ),
+        ));
+    } else if lease.expires_unix_ms < now_ms {
+        out.push(Diagnostic::new(
+            "HL0412",
+            Severity::Warn,
+            Span::file("LEASE"),
+            format!(
+                "lease held by `{}` expired at unix-ms {} (now {now_ms}): the writer \
+                 died or forgot to close; the next open will take over",
+                lease.owner, lease.expires_unix_ms
+            ),
+        ));
     }
 }
 
@@ -203,13 +392,17 @@ fn orphan_generations(root: &Path, manifest: &ManifestDoc, out: &mut Diagnostics
     let Ok(entries) = std::fs::read_dir(root) else {
         return;
     };
+    let segments = manifest.effective_segments();
     let mut orphans: Vec<String> = entries
         .filter_map(|e| e.ok())
         .filter_map(|e| e.file_name().into_string().ok())
         .filter(|name| {
             let generation_file = (name.starts_with("checkpoint-") && name.ends_with(".json"))
                 || (name.starts_with("journal-") && name.ends_with(".log"));
-            generation_file && *name != manifest.checkpoint && *name != manifest.journal
+            generation_file
+                && *name != manifest.checkpoint
+                && *name != manifest.journal
+                && !segments.contains(name)
         })
         .collect();
     orphans.sort();

@@ -130,6 +130,143 @@ fn missing_checkpoint_and_journal_are_errors() {
     let _ = fs::remove_dir_all(&root);
 }
 
+/// Rewrites the MANIFEST with an explicit segment chain (and fencing
+/// token), leaving checkpoint/journal/generation untouched.
+fn rewrite_manifest(root: &std::path::Path, segments: &[&str], journal: &str, token: u64) {
+    let segs = segments
+        .iter()
+        .map(|s| format!("\"{s}\""))
+        .collect::<Vec<_>>()
+        .join(",");
+    fs::write(
+        root.join("MANIFEST"),
+        format!(
+            "{{\"generation\":0,\"checkpoint\":\"checkpoint-0.json\",\
+             \"journal\":\"{journal}\",\"segments\":[{segs}],\"fencing_token\":{token}}}"
+        ),
+    )
+    .expect("writes manifest");
+}
+
+#[test]
+fn segment_chain_gap_and_misorder_are_errors() {
+    let root = seeded_workspace("seggap");
+    // A gap: sequence 2 sits where 1 should be.
+    fs::write(root.join("journal-0.2.log"), b"").expect("writes");
+    rewrite_manifest(
+        &root,
+        &["journal-0.log", "journal-0.2.log"],
+        "journal-0.2.log",
+        1,
+    );
+    let out = lint(&root);
+    let d = out.iter().find(|d| d.code == "HL0410").expect("HL0410");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(
+        d.message.contains("gap, duplicate, or misordered"),
+        "{}",
+        d.message
+    );
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn segment_chain_not_ending_at_active_journal_is_an_error() {
+    let root = seeded_workspace("segactive");
+    fs::write(root.join("journal-0.1.log"), b"").expect("writes");
+    // `journal` names the first segment, not the chain's last.
+    rewrite_manifest(
+        &root,
+        &["journal-0.log", "journal-0.1.log"],
+        "journal-0.log",
+        1,
+    );
+    let out = lint(&root);
+    assert!(
+        out.iter()
+            .any(|d| d.code == "HL0410" && d.message.contains("ends at")),
+        "got:\n{}",
+        out.render_text()
+    );
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn well_formed_segment_chain_is_clean() {
+    let root = seeded_workspace("segclean");
+    let head = fs::read(root.join("journal-0.log")).expect("reads");
+    // Split the real journal: frames stay in seq 0, seq 1 starts empty.
+    fs::write(root.join("journal-0.1.log"), b"").expect("writes");
+    fs::write(root.join("journal-0.log"), &head).expect("writes");
+    rewrite_manifest(
+        &root,
+        &["journal-0.log", "journal-0.1.log"],
+        "journal-0.1.log",
+        1,
+    );
+    let out = lint(&root);
+    assert!(
+        !out.iter().any(|d| d.code.starts_with("HL04")),
+        "got:\n{}",
+        out.render_text()
+    );
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn quarantine_files_are_reported_as_info() {
+    let root = seeded_workspace("quarantine");
+    fs::write(root.join("journal-0.log.quarantined-0"), b"\xde\xad").expect("writes");
+    let out = lint(&root);
+    let d = out.iter().find(|d| d.code == "HL0411").expect("HL0411");
+    assert_eq!(d.severity, Severity::Info);
+    assert!(d.message.contains("quarantined"), "{}", d.message);
+    // Quarantine files are not miscounted as orphan generations.
+    assert!(!out.iter().any(|d| d.code == "HL0409"));
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn expired_and_superseded_leases_are_warnings() {
+    let root = seeded_workspace("lease");
+    // Expired: a plausible owner whose expiry is long past.
+    fs::write(
+        root.join("LEASE"),
+        b"{\"owner\":\"ghost\",\"expires_unix_ms\":1000,\"token\":1}",
+    )
+    .expect("writes");
+    let out = lint(&root);
+    let d = out.iter().find(|d| d.code == "HL0412").expect("HL0412");
+    assert_eq!(d.severity, Severity::Warn);
+    assert!(d.message.contains("expired"), "{}", d.message);
+
+    // Superseded: token behind the manifest's fencing token.
+    rewrite_manifest(&root, &["journal-0.log"], "journal-0.log", 7);
+    let far = u64::MAX / 2;
+    fs::write(
+        root.join("LEASE"),
+        format!("{{\"owner\":\"ghost\",\"expires_unix_ms\":{far},\"token\":1}}"),
+    )
+    .expect("writes");
+    let out = lint(&root);
+    let d = out.iter().find(|d| d.code == "HL0412").expect("HL0412");
+    assert!(d.message.contains("deposed"), "{}", d.message);
+
+    // Live and matching: no finding.
+    fs::write(
+        root.join("LEASE"),
+        format!("{{\"owner\":\"ghost\",\"expires_unix_ms\":{far},\"token\":7}}"),
+    )
+    .expect("writes");
+    let out = lint(&root);
+    assert!(
+        !out.iter().any(|d| d.code == "HL0412"),
+        "got:\n{}",
+        out.render_text()
+    );
+    let _ = fs::remove_dir_all(&root);
+}
+
 #[test]
 fn stray_generation_files_are_reported() {
     let root = seeded_workspace("orphan");

@@ -214,12 +214,15 @@ fn measure_with(
     }
 }
 
-/// Journal-append throughput, per-frame fsync vs group commit.
+/// Journal-append throughput: per-frame fsync, group commit, and
+/// per-frame fsync under forced segment rotation.
 struct JournalBench {
     ops: usize,
     rounds: usize,
     per_frame_ns: u64,
     group_ns: u64,
+    rotating_ns: u64,
+    rotation_segment_max: u64,
 }
 
 impl JournalBench {
@@ -234,7 +237,22 @@ impl JournalBench {
     fn speedup(&self) -> f64 {
         self.per_frame_ns as f64 / self.group_ns.max(1) as f64
     }
+
+    fn rotating_ops_per_sec(&self) -> f64 {
+        self.ops as f64 * 1e9 / self.rotating_ns.max(1) as f64
+    }
+
+    /// Extra cost of rolling segments, relative to the same per-frame
+    /// fsync workload on one unbounded segment.
+    fn rotation_overhead_percent(&self) -> f64 {
+        (self.rotating_ns as f64 - self.per_frame_ns as f64) * 100.0
+            / self.per_frame_ns.max(1) as f64
+    }
 }
+
+/// Segment bound for the rotation config: small enough that a 256-op
+/// round rolls dozens of times, large enough to hold several frames.
+const ROTATION_SEGMENT_MAX: u64 = 512;
 
 fn bench_journal(opts: &Options) -> Result<JournalBench, String> {
     let ops = opts.journal_ops.max(16);
@@ -243,47 +261,52 @@ fn bench_journal(opts: &Options) -> Result<JournalBench, String> {
     let op = JournalOp::Flow(FlowOp::Seed {
         entity: "Layout".into(),
     });
-    let median_round_ns = |group: bool| -> Result<u64, String> {
-        let tag = if group { "group" } else { "frame" };
-        let root = std::env::temp_dir().join(format!(
-            "hercules-bench-journal-{tag}-{}",
-            std::process::id()
-        ));
-        let _ = std::fs::remove_dir_all(&root);
-        let mut ws = Workspace::create(&root, &session).map_err(|e| e.to_string())?;
-        if group {
-            ws.enable_group_commit(GroupCommitPolicy::default())
-                .map_err(|e| e.to_string())?;
-        }
-        let mut runs = Vec::with_capacity(rounds);
-        for r in 0..=rounds {
-            let started = Instant::now();
+    let median_round_ns =
+        |tag: &str, group: bool, segment_max: Option<u64>| -> Result<u64, String> {
+            let root = std::env::temp_dir().join(format!(
+                "hercules-bench-journal-{tag}-{}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&root);
+            let mut ws = Workspace::create(&root, &session).map_err(|e| e.to_string())?;
+            if let Some(max) = segment_max {
+                ws.set_segment_max_bytes(max);
+            }
             if group {
-                // The group-commit usage pattern: enqueue the round's
-                // frames, then one durability point for all of them.
-                for _ in 0..ops {
-                    ws.append_deferred(&op).map_err(|e| e.to_string())?;
+                ws.enable_group_commit(GroupCommitPolicy::default())
+                    .map_err(|e| e.to_string())?;
+            }
+            let mut runs = Vec::with_capacity(rounds);
+            for r in 0..=rounds {
+                let started = Instant::now();
+                if group {
+                    // The group-commit usage pattern: enqueue the round's
+                    // frames, then one durability point for all of them.
+                    for _ in 0..ops {
+                        ws.append_deferred(&op).map_err(|e| e.to_string())?;
+                    }
+                    ws.sync().map_err(|e| e.to_string())?;
+                } else {
+                    for _ in 0..ops {
+                        ws.append(&op).map_err(|e| e.to_string())?;
+                    }
                 }
-                ws.sync().map_err(|e| e.to_string())?;
-            } else {
-                for _ in 0..ops {
-                    ws.append(&op).map_err(|e| e.to_string())?;
+                if r > 0 {
+                    runs.push(started.elapsed().as_nanos() as u64);
                 }
             }
-            if r > 0 {
-                runs.push(started.elapsed().as_nanos() as u64);
-            }
-        }
-        drop(ws);
-        let _ = std::fs::remove_dir_all(&root);
-        runs.sort_unstable();
-        Ok(runs[runs.len() / 2])
-    };
+            drop(ws);
+            let _ = std::fs::remove_dir_all(&root);
+            runs.sort_unstable();
+            Ok(runs[runs.len() / 2])
+        };
     Ok(JournalBench {
         ops,
         rounds,
-        per_frame_ns: median_round_ns(false)?,
-        group_ns: median_round_ns(true)?,
+        per_frame_ns: median_round_ns("frame", false, None)?,
+        group_ns: median_round_ns("group", true, None)?,
+        rotating_ns: median_round_ns("rotate", false, Some(ROTATION_SEGMENT_MAX))?,
+        rotation_segment_max: ROTATION_SEGMENT_MAX,
     })
 }
 
@@ -353,6 +376,14 @@ fn render_json(
         journal.per_frame_ops_per_sec(),
         journal.group_ops_per_sec(),
         journal.speedup()
+    );
+    let _ = writeln!(
+        out,
+        "  \"segment_rotation\": {{\"segment_max_bytes\": {}, \
+         \"ops_per_sec\": {:.0}, \"overhead_percent_vs_per_frame\": {:.3}}},",
+        journal.rotation_segment_max,
+        journal.rotating_ops_per_sec(),
+        journal.rotation_overhead_percent()
     );
     out.push_str("  \"configs\": [\n");
     render_configs(&mut out, samples);
@@ -461,6 +492,13 @@ fn run() -> Result<ExitCode, String> {
         journal.group_ops_per_sec(),
         journal.per_frame_ops_per_sec(),
         opts.out
+    );
+    println!(
+        "journal: segment rotation at {}-byte bound costs {:.2}% over one \
+         unbounded segment ({:.0} ops/s)",
+        journal.rotation_segment_max,
+        journal.rotation_overhead_percent(),
+        journal.rotating_ops_per_sec()
     );
     let mut failed = false;
     if opts.check && overhead_percent > opts.budget_percent {

@@ -153,6 +153,7 @@ fn replayed_trace(dir: &str) -> Result<Vec<TraceEvent>, String> {
         Workspace::open_session(Path::new(dir), |s| hercules::encaps::odyssey_registry(s))
             .map_err(|e| format!("workspace `{dir}`: {e}"))?;
     eprintln!("recovered workspace `{dir}`: {recovery}");
+    eprintln!("recovery: {}", recovery.to_json());
     let report = session
         .last_report()
         .ok_or_else(|| format!("workspace `{dir}` holds no execution report"))?;

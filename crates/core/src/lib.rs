@@ -76,7 +76,10 @@ pub mod views;
 pub use error::HerculesError;
 pub use persist::{ExecReportSpec, FlowOp, SessionSpec, TaskActionSpec, TaskRecordSpec};
 pub use session::{Approach, ExecEvent, Session};
-pub use store::{GroupCommitPolicy, JournalOp, RecoveryReport, StoreError, Workspace};
+pub use store::{
+    DegradedReason, GroupCommitPolicy, JournalOp, RecoveryReport, ScrubReport, SegmentRecovery,
+    SegmentScrub, StoreError, Workspace, WriteState,
+};
 
 // Re-export the substrate crates so downstream users need only one
 // dependency.

@@ -53,7 +53,7 @@ use std::time::Duration;
 use hercules_exec::EncapsulationRegistry;
 use hercules_flow::NodeId;
 use hercules_history::{InstanceId, InstanceSpec};
-use hercules_obs::Metrics;
+use hercules_obs::{names, Metrics};
 use hercules_schema::TaskSchema;
 use hercules_sim::{Clock, Env, Fs, FsFile};
 use serde::{Deserialize, Serialize};
@@ -135,6 +135,49 @@ pub fn scan_frames(buf: &[u8]) -> FrameScan {
 // Errors.
 // ---------------------------------------------------------------------
 
+/// Why a workspace refuses mutations while still serving reads.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum DegradedReason {
+    /// Another writer holds an unexpired lease on the workspace.
+    LeaseHeld {
+        /// Owner id recorded in the lease file.
+        owner: String,
+        /// Unix-millisecond expiry of the foreign lease.
+        expires_unix_ms: u64,
+    },
+    /// This handle's fencing token was superseded — a newer writer took
+    /// over the lease, and every later write here must be rejected to
+    /// keep the journal single-writer.
+    Fenced {
+        /// The newer writer's fencing token.
+        token: u64,
+    },
+}
+
+impl fmt::Display for DegradedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradedReason::LeaseHeld {
+                owner,
+                expires_unix_ms,
+            } => write!(f, "lease held by `{owner}` until unix-ms {expires_unix_ms}"),
+            DegradedReason::Fenced { token } => {
+                write!(f, "fenced out by a newer writer (token {token})")
+            }
+        }
+    }
+}
+
+/// Whether a workspace handle may mutate the store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteState {
+    /// This handle holds the lease; mutations are accepted.
+    Writable,
+    /// Read-only: browsing, queries, and trace replay work, but every
+    /// mutation fails with [`StoreError::Degraded`].
+    Degraded(DegradedReason),
+}
+
 /// Errors from the durable store.
 #[derive(Debug)]
 #[allow(missing_docs)] // variant payloads are the wrapped errors
@@ -148,6 +191,8 @@ pub enum StoreError {
     Format(String),
     /// Restoring or replaying into the session failed.
     Session(HerculesError),
+    /// The workspace is open read-only; the mutation was rejected.
+    Degraded(DegradedReason),
 }
 
 impl fmt::Display for StoreError {
@@ -157,6 +202,7 @@ impl fmt::Display for StoreError {
             StoreError::Corrupt { detail } => write!(f, "corrupt store: {detail}"),
             StoreError::Format(detail) => write!(f, "bad document: {detail}"),
             StoreError::Session(e) => write!(f, "session error: {e}"),
+            StoreError::Degraded(reason) => write!(f, "workspace is read-only: {reason}"),
         }
     }
 }
@@ -302,17 +348,71 @@ impl JournalOp {
 // Manifest and recovery report.
 // ---------------------------------------------------------------------
 
-/// The workspace manifest: which generation is current. Swapped
+/// The workspace manifest: which generation is current, its segment
+/// chain, and the highest fencing token ever granted. Swapped
 /// atomically so it always names a complete checkpoint.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 struct Manifest {
     generation: u64,
     checkpoint: String,
+    /// The active (last) journal segment — kept for compatibility with
+    /// pre-segment manifests, which name exactly one journal file.
     journal: String,
+    /// Every journal segment of this generation, oldest first. Empty in
+    /// pre-segment manifests; [`Manifest::effective_segments`] falls
+    /// back to `journal` there.
+    #[serde(default)]
+    segments: Vec<String>,
+    /// Monotonic fencing token: bumped every time a writer acquires the
+    /// lease. A deposed writer's token is smaller, so its writes are
+    /// rejected after takeover.
+    #[serde(default)]
+    fencing_token: u64,
+}
+
+impl Manifest {
+    /// The segment chain, oldest first — always at least one entry.
+    fn effective_segments(&self) -> Vec<String> {
+        if self.segments.is_empty() {
+            vec![self.journal.clone()]
+        } else {
+            self.segments.clone()
+        }
+    }
+}
+
+/// The writer-lease file: who may mutate the workspace, until when.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct LeaseDoc {
+    /// Owner id (process, server, or user-chosen tag).
+    owner: String,
+    /// Unix-millisecond expiry; a lease past this is up for takeover.
+    expires_unix_ms: u64,
+    /// The fencing token granted with this lease.
+    token: u64,
+}
+
+/// Per-segment recovery detail: what survived, what was quarantined.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct SegmentRecovery {
+    /// Segment file name.
+    pub name: String,
+    /// Frames replayed from this segment.
+    pub frames_replayed: usize,
+    /// Complete frames found in the damaged region (quarantined, not
+    /// replayed — they sit beyond a hole or a failed frame).
+    pub frames_quarantined: usize,
+    /// Bytes of the valid, replayed prefix.
+    pub bytes_kept: u64,
+    /// Bytes discarded from this segment (truncated tail or the whole
+    /// file when unreadable).
+    pub bytes_discarded: u64,
+    /// Files the damaged data was preserved under, if any.
+    pub quarantined_as: Vec<String>,
 }
 
 /// What [`Workspace::open_session`] found and did.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct RecoveryReport {
     /// Generation of the checkpoint that was restored.
     pub generation: u64,
@@ -323,6 +423,25 @@ pub struct RecoveryReport {
     pub bytes_discarded: u64,
     /// `true` when a tail was discarded.
     pub truncated: bool,
+    /// Per-segment detail, in chain order.
+    pub segments: Vec<SegmentRecovery>,
+    /// The fencing token this open acquired (or found, when degraded).
+    pub fencing_token: u64,
+    /// Why the workspace opened read-only, when it did.
+    pub degraded: Option<String>,
+}
+
+impl RecoveryReport {
+    /// The report as a JSON object (for logs and tooling).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
+    }
+
+    /// `true` when any segment lost data to quarantine (as opposed to a
+    /// plain torn-tail truncation).
+    pub fn quarantined(&self) -> bool {
+        self.segments.iter().any(|s| !s.quarantined_as.is_empty())
+    }
 }
 
 impl fmt::Display for RecoveryReport {
@@ -338,6 +457,97 @@ impl fmt::Display for RecoveryReport {
                 "; {} byte(s) of torn tail discarded",
                 self.bytes_discarded
             )?;
+        }
+        for seg in &self.segments {
+            if !seg.quarantined_as.is_empty() {
+                write!(
+                    f,
+                    "; segment {}: {} frame(s) quarantined as {}",
+                    seg.name,
+                    seg.frames_quarantined,
+                    seg.quarantined_as.join(", ")
+                )?;
+            }
+        }
+        if let Some(reason) = &self.degraded {
+            write!(f, "; opened read-only ({reason})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-segment result of a [`Workspace::scrub`] pass.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct SegmentScrub {
+    /// Segment file name.
+    pub name: String,
+    /// CRC-valid frames found.
+    pub frames_ok: usize,
+    /// Bytes of the CRC-valid prefix.
+    pub bytes_ok: u64,
+    /// Damaged bytes past the valid prefix (0 when clean).
+    pub damaged_bytes: u64,
+    /// `false` when the segment could not be read at all.
+    pub readable: bool,
+    /// Quarantine files the damage was preserved under, if repaired.
+    pub quarantined_as: Vec<String>,
+}
+
+/// What a [`Workspace::scrub`] pass verified, found, and repaired.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ScrubReport {
+    /// Generation that was scrubbed.
+    pub generation: u64,
+    /// Whether the checkpoint snapshot parsed cleanly.
+    pub checkpoint_ok: bool,
+    /// Per-segment verification results, chain order.
+    pub segments: Vec<SegmentScrub>,
+    /// `true` when any damage was found.
+    pub damaged: bool,
+    /// `true` when damage was quarantined and the store re-baselined
+    /// onto a fresh checkpoint generation.
+    pub repaired: bool,
+    /// The fencing token the scrub ran under.
+    pub fencing_token: u64,
+}
+
+impl ScrubReport {
+    /// The report as a JSON object (for logs and tooling).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
+    }
+}
+
+impl fmt::Display for ScrubReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let frames: usize = self.segments.iter().map(|s| s.frames_ok).sum();
+        write!(
+            f,
+            "generation {}: {} segment(s), {} frame(s) verified",
+            self.generation,
+            self.segments.len(),
+            frames
+        )?;
+        if !self.checkpoint_ok {
+            write!(f, "; checkpoint damaged")?;
+        }
+        for seg in &self.segments {
+            if !seg.readable {
+                write!(f, "; segment {} unreadable", seg.name)?;
+            } else if seg.damaged_bytes > 0 {
+                write!(
+                    f,
+                    "; segment {}: {} damaged byte(s)",
+                    seg.name, seg.damaged_bytes
+                )?;
+            }
+        }
+        if self.repaired {
+            write!(f, "; damage quarantined, store re-baselined")?;
+        } else if self.damaged {
+            write!(f, "; damage found, not repaired (read-only)")?;
+        } else {
+            write!(f, "; clean")?;
         }
         Ok(())
     }
@@ -369,6 +579,134 @@ fn checkpoint_name(generation: u64) -> String {
 
 fn journal_name(generation: u64) -> String {
     format!("journal-{generation}.log")
+}
+
+/// Name of journal segment `seq` of `generation`. Sequence 0 keeps the
+/// historical single-file name so pre-segment workspaces open
+/// unchanged.
+fn segment_name(generation: u64, seq: u64) -> String {
+    if seq == 0 {
+        journal_name(generation)
+    } else {
+        format!("journal-{generation}.{seq}.log")
+    }
+}
+
+/// The writer-lease file name.
+const LEASE_FILE: &str = "LEASE";
+
+/// Default segment-roll threshold. Large enough that rotation never
+/// triggers unless a caller opts in via
+/// [`Workspace::set_segment_max_bytes`].
+const DEFAULT_SEGMENT_MAX_BYTES: u64 = 64 * 1024 * 1024;
+
+/// Default writer-lease duration.
+const DEFAULT_LEASE_MS: u64 = 30_000;
+
+/// Default owner id for leases taken by direct (non-server) opens.
+const DEFAULT_OWNER: &str = "local";
+
+/// Picks an unused quarantine name for `name` under `dir`:
+/// `name.quarantined-K` for the smallest free `K`. The suffix keeps the
+/// file out of every manifest/journal naming scheme, so nothing ever
+/// opens it as live data.
+fn quarantine_target(fs: &Fs, dir: &Path, name: &str) -> String {
+    for k in 0.. {
+        let candidate = format!("{name}.quarantined-{k}");
+        if !fs.exists(&dir.join(&candidate)) {
+            return candidate;
+        }
+    }
+    unreachable!("some quarantine index is free")
+}
+
+/// Preserves `bytes` (a damaged region of `name`) under a fresh
+/// quarantine file, durably. Returns the quarantine file name.
+fn quarantine_bytes(fs: &Fs, dir: &Path, name: &str, bytes: &[u8]) -> Result<String, StoreError> {
+    let target = quarantine_target(fs, dir, name);
+    let mut f = fs.create_truncate(&dir.join(&target))?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    fs.sync_dir(dir)?;
+    Ok(target)
+}
+
+/// Renames a whole damaged file aside into quarantine, durably.
+/// Returns the quarantine file name, or `None` when the file no longer
+/// exists (a crashed earlier repair already moved it).
+fn quarantine_rename(fs: &Fs, dir: &Path, name: &str) -> Result<Option<String>, StoreError> {
+    if !fs.exists(&dir.join(name)) {
+        return Ok(None);
+    }
+    let target = quarantine_target(fs, dir, name);
+    fs.rename(&dir.join(name), &dir.join(&target))?;
+    fs.sync_dir(dir)?;
+    Ok(Some(target))
+}
+
+/// Reads and parses the manifest, if present and well-formed.
+fn read_manifest(fs: &Fs, dir: &Path) -> Option<Manifest> {
+    let bytes = fs.read(&dir.join("MANIFEST")).ok()?;
+    serde_json::from_slice(&bytes).ok()
+}
+
+/// Reads and parses the lease file. A missing or unparsable lease is
+/// treated as absent — the manifest's fencing token is the durable
+/// record takeover arbitration falls back to.
+fn read_lease(fs: &Fs, dir: &Path) -> Option<LeaseDoc> {
+    let bytes = fs.read(&dir.join(LEASE_FILE)).ok()?;
+    serde_json::from_slice(&bytes).ok()
+}
+
+/// The error for write paths reached without a journal handle (only
+/// possible in degraded mode, which rejects them earlier).
+fn journal_missing() -> StoreError {
+    StoreError::Io(std::io::Error::other(
+        "no journal handle (workspace is read-only)",
+    ))
+}
+
+/// Writes the lease file atomically.
+fn write_lease(
+    fs: &Fs,
+    dir: &Path,
+    owner: &str,
+    expires_unix_ms: u64,
+    token: u64,
+) -> Result<(), StoreError> {
+    let doc = LeaseDoc {
+        owner: owner.to_owned(),
+        expires_unix_ms,
+        token,
+    };
+    write_atomic(fs, dir, LEASE_FILE, serde_json::to_string(&doc)?.as_bytes())
+}
+
+/// Counts complete, CRC-valid frames anywhere inside `buf` (a damaged
+/// region): used to report how many acknowledged-looking operations a
+/// quarantine preserved beyond the recovered prefix.
+fn count_resync_frames(buf: &[u8]) -> usize {
+    let mut count = 0;
+    let mut pos = 0;
+    while pos + 8 <= buf.len() {
+        let scan = scan_frames(&buf[pos..]);
+        if scan.payloads.is_empty() {
+            pos += 1;
+        } else {
+            count += scan.payloads.len();
+            pos += scan.valid_len.max(1);
+        }
+    }
+    count
+}
+
+/// Looks for a complete, CRC-valid frame starting anywhere inside
+/// `buf`. Distinguishes a pure torn tail (no frame can follow a tear —
+/// truncation is lossless) from mid-journal rot or a write hole, where
+/// valid frames sit beyond the damage and must be quarantined rather
+/// than silently truncated away.
+fn has_resync_frame(buf: &[u8]) -> bool {
+    count_resync_frames(buf) > 0
 }
 
 /// Group-commit tuning: when the background flusher turns queued
@@ -515,7 +853,7 @@ fn flusher_loop(
             (std::mem::take(&mut st.queue), st.enqueued, frames, poisoned)
         };
         if poisoned {
-            metrics.incr("store.group_discarded_batches", 1);
+            metrics.incr(names::STORE_GROUP_DISCARDED_BATCHES, 1);
             shared.done.notify_all();
             continue;
         }
@@ -544,8 +882,17 @@ fn flusher_loop(
 pub struct Workspace {
     root: PathBuf,
     generation: u64,
-    journal: Box<dyn FsFile>,
+    /// Append handle to the active segment. `None` only in degraded
+    /// mode, where no mutation may touch the disk.
+    journal: Option<Box<dyn FsFile>>,
     journal_path: PathBuf,
+    /// Journal segments of the current generation, oldest first; the
+    /// last one is the active segment `journal` points at.
+    segments: Vec<String>,
+    /// Bytes appended (or enqueued) to the active segment so far.
+    active_len: u64,
+    /// Roll the active segment once it reaches this size.
+    segment_max_bytes: u64,
     metrics: Metrics,
     group: Option<GroupCommit>,
     env: Env,
@@ -553,6 +900,16 @@ pub struct Workspace {
     /// journal tail may be torn mid-frame, so every later append or
     /// sync fails with this error instead of writing past the hole.
     flusher_error: Option<String>,
+    /// Whether this handle may write; sticky once degraded.
+    write_state: WriteState,
+    /// Owner id this handle leases (and renews) the store under.
+    owner: String,
+    /// Lease duration for acquire and renew.
+    lease_ms: u64,
+    /// This handle's fencing token (0 when degraded at open).
+    token: u64,
+    /// Cached lease expiry — renewal I/O happens only past this.
+    lease_expires_ms: u64,
 }
 
 impl fmt::Debug for Workspace {
@@ -561,8 +918,11 @@ impl fmt::Debug for Workspace {
             .field("root", &self.root)
             .field("generation", &self.generation)
             .field("journal_path", &self.journal_path)
+            .field("segments", &self.segments)
             .field("group_commit", &self.group.is_some())
             .field("flusher_error", &self.flusher_error)
+            .field("write_state", &self.write_state)
+            .field("token", &self.token)
             .finish_non_exhaustive()
     }
 }
@@ -588,6 +948,24 @@ impl Workspace {
     /// I/O and serialization errors.
     pub fn create_in(root: &Path, session: &Session, env: Env) -> Result<Workspace, StoreError> {
         env.fs.create_dir_all(root)?;
+        // Respect a live foreign lease even on create: re-initializing
+        // a directory out from under its writer is the worst possible
+        // split-brain.
+        let now_ms = env.clock.wall_unix_ms();
+        let prior_lease = read_lease(&env.fs, root);
+        if let Some(lease) = &prior_lease {
+            if lease.owner != DEFAULT_OWNER && lease.expires_unix_ms > now_ms {
+                return Err(StoreError::Degraded(DegradedReason::LeaseHeld {
+                    owner: lease.owner.clone(),
+                    expires_unix_ms: lease.expires_unix_ms,
+                }));
+            }
+        }
+        let prior_token = read_manifest(&env.fs, root)
+            .map(|m| m.fencing_token)
+            .unwrap_or(0)
+            .max(prior_lease.map(|l| l.token).unwrap_or(0));
+        let token = prior_token + 1;
         let spec = SessionSpec::from_session(session);
         let json = spec.to_json().map_err(StoreError::from)?;
         write_atomic(&env.fs, root, &checkpoint_name(0), json.as_bytes())?;
@@ -603,6 +981,8 @@ impl Workspace {
             generation: 0,
             checkpoint: checkpoint_name(0),
             journal: journal_name(0),
+            segments: vec![journal_name(0)],
+            fencing_token: token,
         };
         write_atomic(
             &env.fs,
@@ -610,15 +990,25 @@ impl Workspace {
             "MANIFEST",
             serde_json::to_string(&manifest)?.as_bytes(),
         )?;
+        let expires = now_ms + DEFAULT_LEASE_MS;
+        write_lease(&env.fs, root, DEFAULT_OWNER, expires, token)?;
         Ok(Workspace {
             root: root.to_owned(),
             generation: 0,
-            journal,
+            journal: Some(journal),
             journal_path,
+            segments: vec![journal_name(0)],
+            active_len: 0,
+            segment_max_bytes: DEFAULT_SEGMENT_MAX_BYTES,
             metrics: Metrics::disabled(),
             group: None,
             env,
             flusher_error: None,
+            write_state: WriteState::Writable,
+            owner: DEFAULT_OWNER.into(),
+            lease_ms: DEFAULT_LEASE_MS,
+            token,
+            lease_expires_ms: expires,
         })
     }
 
@@ -664,11 +1054,52 @@ impl Workspace {
     where
         F: FnOnce(&Arc<TaskSchema>) -> EncapsulationRegistry,
     {
+        Workspace::open_session_as(root, registry_for, env, DEFAULT_OWNER, DEFAULT_LEASE_MS)
+    }
+
+    /// [`Workspace::open_session_in`] under an explicit lease identity:
+    /// `owner` names this writer in the lease file and `lease_ms` sets
+    /// the lease duration. When another owner holds an unexpired lease
+    /// the workspace opens **degraded** (read-only) instead of failing;
+    /// an expired foreign lease is taken over with a bumped fencing
+    /// token, permanently fencing out the previous writer.
+    ///
+    /// # Errors
+    ///
+    /// As [`Workspace::open_session`].
+    pub fn open_session_as<F>(
+        root: &Path,
+        registry_for: F,
+        env: Env,
+        owner: &str,
+        lease_ms: u64,
+    ) -> Result<(Workspace, Session, RecoveryReport), StoreError>
+    where
+        F: FnOnce(&Arc<TaskSchema>) -> EncapsulationRegistry,
+    {
         let manifest_bytes = env.fs.read(&root.join("MANIFEST"))?;
         let manifest: Manifest =
             serde_json::from_slice(&manifest_bytes).map_err(|e| StoreError::Corrupt {
                 detail: format!("manifest: {e}"),
             })?;
+
+        // Lease arbitration — pure reads, so a degraded open touches
+        // nothing on disk. A lease held by the same owner is always
+        // retaken (a crashed process must be able to reopen its own
+        // store before the lease runs out).
+        let now_ms = env.clock.wall_unix_ms();
+        let lease = read_lease(&env.fs, root);
+        let degraded_reason = match &lease {
+            Some(l) if l.owner != owner && l.expires_unix_ms > now_ms => {
+                Some(DegradedReason::LeaseHeld {
+                    owner: l.owner.clone(),
+                    expires_unix_ms: l.expires_unix_ms,
+                })
+            }
+            _ => None,
+        };
+        let writable = degraded_reason.is_none();
+
         let checkpoint_bytes = env.fs.read(&root.join(&manifest.checkpoint))?;
         let spec = serde_json::from_slice::<SessionSpec>(&checkpoint_bytes).map_err(|e| {
             StoreError::Corrupt {
@@ -677,52 +1108,220 @@ impl Workspace {
         })?;
         let mut session = spec.restore_with(registry_for)?;
 
-        let journal_path = root.join(&manifest.journal);
-        let buf = env.fs.read(&journal_path)?;
-        let scan = scan_frames(&buf);
-
-        // Parse and replay frame by frame; the first frame that fails
-        // either step becomes the start of the discarded tail. The
-        // session state is then exactly checkpoint + the replayed
-        // prefix — a prefix of the acknowledged history.
-        let mut keep = scan.valid_len;
+        // Scan and replay the segment chain in order; the first frame
+        // that fails CRC, parse, or replay ends the recovered prefix.
+        // The session state is then exactly checkpoint + that prefix —
+        // a prefix of the acknowledged history.
+        let segments = manifest.effective_segments();
+        struct Damage {
+            index: usize,
+            keep: usize,
+            readable: bool,
+            buf: Vec<u8>,
+        }
+        let mut seg_reports: Vec<SegmentRecovery> = Vec::new();
         let mut ops_replayed = 0usize;
-        for (i, payload) in scan.payloads.iter().enumerate() {
-            let parsed: Result<JournalOp, _> = serde_json::from_slice(payload);
-            let ok = match parsed {
-                Ok(op) => op.replay(&mut session).is_ok(),
-                Err(_) => false,
+        let mut damage: Option<Damage> = None;
+        for (i, name) in segments.iter().enumerate() {
+            let path = root.join(name);
+            let buf = match env.fs.read(&path) {
+                Ok(buf) => buf,
+                Err(_) => {
+                    // Missing, or a latent read error: the whole
+                    // segment (and everything after it) is damage.
+                    seg_reports.push(SegmentRecovery {
+                        name: name.clone(),
+                        frames_replayed: 0,
+                        frames_quarantined: 0,
+                        bytes_kept: 0,
+                        bytes_discarded: 0,
+                        quarantined_as: Vec::new(),
+                    });
+                    damage = Some(Damage {
+                        index: i,
+                        keep: 0,
+                        readable: false,
+                        buf: Vec::new(),
+                    });
+                    break;
+                }
             };
-            if !ok {
-                keep = if i == 0 { 0 } else { scan.offsets[i - 1] };
+            let scan = scan_frames(&buf);
+            let mut keep = scan.valid_len;
+            let mut replayed_here = 0usize;
+            for (j, payload) in scan.payloads.iter().enumerate() {
+                let parsed: Result<JournalOp, _> = serde_json::from_slice(payload);
+                let ok = match parsed {
+                    Ok(op) => op.replay(&mut session).is_ok(),
+                    Err(_) => false,
+                };
+                if !ok {
+                    keep = if j == 0 { 0 } else { scan.offsets[j - 1] };
+                    break;
+                }
+                replayed_here += 1;
+            }
+            ops_replayed += replayed_here;
+            let trailing = buf.len() - keep;
+            seg_reports.push(SegmentRecovery {
+                name: name.clone(),
+                frames_replayed: replayed_here,
+                frames_quarantined: 0,
+                bytes_kept: keep as u64,
+                bytes_discarded: trailing as u64,
+                quarantined_as: Vec::new(),
+            });
+            if trailing > 0 {
+                damage = Some(Damage {
+                    index: i,
+                    keep,
+                    readable: true,
+                    buf,
+                });
                 break;
             }
-            ops_replayed += 1;
         }
 
-        let bytes_discarded = (buf.len() - keep) as u64;
-        if bytes_discarded > 0 {
-            let mut f = env.fs.open_write(&journal_path)?;
-            f.set_len(keep as u64)?;
-            f.sync_all()?;
+        // Decide repair strategy. A pure torn tail at the end of the
+        // *last* segment (no complete frame beyond the tear) truncates
+        // losslessly, exactly as before segments existed. Anything
+        // else — damage mid-chain, a hole with valid frames after it,
+        // or an unreadable file — quarantines: the damaged bytes and
+        // every later segment are preserved aside, never silently
+        // dropped.
+        let mut kept_segments = segments.clone();
+        let mut bytes_discarded: u64 = 0;
+        if let Some(dmg) = &damage {
+            let is_last = dmg.index + 1 == segments.len();
+            let trailing = &dmg.buf[dmg.keep..];
+            let needs_quarantine = !dmg.readable || !is_last || has_resync_frame(trailing);
+            bytes_discarded += trailing.len() as u64;
+            if writable {
+                if needs_quarantine {
+                    // Later segments first (reverse order), so a crash
+                    // mid-repair always leaves a chain whose re-scan
+                    // converges on the same prefix.
+                    for j in (dmg.index + 1..segments.len()).rev() {
+                        let name = &segments[j];
+                        let (frames, len) = match env.fs.read(&root.join(name)) {
+                            Ok(buf) => (count_resync_frames(&buf), buf.len() as u64),
+                            Err(_) => (0, 0),
+                        };
+                        let quarantined_as = quarantine_rename(&env.fs, root, name)?;
+                        bytes_discarded += len;
+                        seg_reports.push(SegmentRecovery {
+                            name: name.clone(),
+                            frames_replayed: 0,
+                            frames_quarantined: frames,
+                            bytes_kept: 0,
+                            bytes_discarded: len,
+                            quarantined_as: quarantined_as.into_iter().collect(),
+                        });
+                    }
+                    let rep = &mut seg_reports[dmg.index];
+                    if dmg.readable {
+                        rep.frames_quarantined = count_resync_frames(trailing);
+                        let q = quarantine_bytes(&env.fs, root, &segments[dmg.index], trailing)?;
+                        rep.quarantined_as.push(q);
+                        let mut f = env.fs.open_write(&root.join(&segments[dmg.index]))?;
+                        f.set_len(dmg.keep as u64)?;
+                        f.sync_all()?;
+                        kept_segments.truncate(dmg.index + 1);
+                    } else {
+                        if let Some(q) = quarantine_rename(&env.fs, root, &segments[dmg.index])? {
+                            rep.quarantined_as.push(q);
+                        }
+                        kept_segments.truncate(dmg.index);
+                        if kept_segments.is_empty() {
+                            // The whole chain is gone; restart it with
+                            // a fresh empty head segment.
+                            let head = segment_name(manifest.generation, 0);
+                            let mut f = env.fs.create_truncate(&root.join(&head))?;
+                            f.sync_all()?;
+                            env.fs.sync_dir(root)?;
+                            kept_segments.push(head);
+                        }
+                    }
+                } else {
+                    // Lossless torn-tail truncation.
+                    let mut f = env.fs.open_write(&root.join(&segments[dmg.index]))?;
+                    f.set_len(dmg.keep as u64)?;
+                    f.sync_all()?;
+                }
+            }
         }
 
-        let journal = env.fs.open_append(&journal_path)?;
+        let mut token = manifest.fencing_token;
+        if writable {
+            // Acquire the lease: bump the fencing token past everything
+            // ever granted, persist it in the manifest (along with any
+            // repairs), then publish the lease. A deposed writer
+            // re-reading the lease sees a larger token and fences
+            // itself.
+            token = manifest
+                .fencing_token
+                .max(lease.as_ref().map(|l| l.token).unwrap_or(0))
+                + 1;
+            let active = kept_segments.last().expect("chain is never empty").clone();
+            let new_manifest = Manifest {
+                generation: manifest.generation,
+                checkpoint: manifest.checkpoint.clone(),
+                journal: active,
+                segments: kept_segments.clone(),
+                fencing_token: token,
+            };
+            write_atomic(
+                &env.fs,
+                root,
+                "MANIFEST",
+                serde_json::to_string(&new_manifest)?.as_bytes(),
+            )?;
+            write_lease(&env.fs, root, owner, now_ms + lease_ms, token)?;
+        }
+
+        let active_name = kept_segments.last().expect("chain is never empty").clone();
+        let journal_path = root.join(&active_name);
+        let (journal, active_len) = if writable {
+            let handle = env.fs.open_append(&journal_path)?;
+            let len = seg_reports
+                .iter()
+                .find(|s| s.name == active_name)
+                .map(|s| s.bytes_kept)
+                .unwrap_or(0);
+            (Some(handle), len)
+        } else {
+            (None, 0)
+        };
+
         let report = RecoveryReport {
             generation: manifest.generation,
             ops_replayed,
             bytes_discarded,
             truncated: bytes_discarded > 0,
+            segments: seg_reports,
+            fencing_token: token,
+            degraded: degraded_reason.as_ref().map(|r| r.to_string()),
         };
         let workspace = Workspace {
             root: root.to_owned(),
             generation: manifest.generation,
             journal,
             journal_path,
+            segments: kept_segments,
+            active_len,
+            segment_max_bytes: DEFAULT_SEGMENT_MAX_BYTES,
             metrics: Metrics::disabled(),
             group: None,
             env,
             flusher_error: None,
+            write_state: match degraded_reason {
+                None => WriteState::Writable,
+                Some(reason) => WriteState::Degraded(reason),
+            },
+            owner: owner.to_owned(),
+            lease_ms,
+            token,
+            lease_expires_ms: if writable { now_ms + lease_ms } else { 0 },
         };
         Ok((workspace, session, report))
     }
@@ -735,6 +1334,47 @@ impl Workspace {
     /// Returns the current checkpoint generation.
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// Whether this handle may mutate the store, and if not, why.
+    pub fn write_state(&self) -> &WriteState {
+        &self.write_state
+    }
+
+    /// `true` when mutations are accepted (the handle holds the lease).
+    pub fn is_writable(&self) -> bool {
+        matches!(self.write_state, WriteState::Writable)
+    }
+
+    /// The fencing token this handle writes under.
+    pub fn fencing_token(&self) -> u64 {
+        self.token
+    }
+
+    /// The owner id this handle leases the store as.
+    pub fn owner(&self) -> &str {
+        &self.owner
+    }
+
+    /// The journal segment chain of the current generation, oldest
+    /// first; the last entry is the active segment.
+    pub fn segments(&self) -> &[String] {
+        &self.segments
+    }
+
+    /// Sets the size at which the active journal segment rolls into a
+    /// new one. The default is large enough that rotation is effectively
+    /// off; long-running servers set this to bound per-file size so
+    /// scrub and quarantine operate on bounded units.
+    pub fn set_segment_max_bytes(&mut self, max_bytes: u64) {
+        self.segment_max_bytes = max_bytes.max(1);
+    }
+
+    /// Swaps the journal handle for a mock — lets tests inject I/O
+    /// failures on the real (threaded) group-commit path.
+    #[cfg(test)]
+    fn set_journal_for_tests(&mut self, journal: Box<dyn FsFile>) {
+        self.journal = Some(journal);
     }
 
     /// Installs a metrics registry; subsequent [`append`] and
@@ -767,20 +1407,23 @@ impl Workspace {
     /// I/O and serialization errors.
     pub fn append(&mut self, op: &JournalOp) -> Result<(), StoreError> {
         self.check_flusher_error()?;
+        self.check_writable()?;
         if self.group.is_some() {
             self.append_deferred(op)?;
             return self.sync();
         }
         let payload = serde_json::to_vec(op)?;
         let frame = encode_frame(&payload);
-        self.journal.write_all(&frame)?;
+        let journal = self.journal.as_mut().ok_or_else(journal_missing)?;
+        journal.write_all(&frame)?;
         let fsync_started = self.env.clock.now();
-        self.journal.sync_data()?;
+        journal.sync_data()?;
         self.metrics
             .observe_duration("store.fsync_ns", self.env.clock.since(fsync_started));
         self.metrics
             .observe("store.append_bytes", frame.len() as u64);
-        Ok(())
+        self.active_len += frame.len() as u64;
+        self.maybe_roll()
     }
 
     /// Fails if a previous group flush left the journal poisoned.
@@ -789,6 +1432,95 @@ impl Workspace {
             Some(error) => Err(StoreError::Io(std::io::Error::other(error.clone()))),
             None => Ok(()),
         }
+    }
+
+    /// Fails unless this handle currently holds the writer lease.
+    ///
+    /// The fast path is pure arithmetic: while the cached lease expiry
+    /// is in the future, nothing is read or written. Once it passes,
+    /// the lease file is re-read to arbitrate: if our token still
+    /// stands the lease is renewed; if a larger token appears (lease or
+    /// manifest), another writer took over and this handle fences
+    /// itself permanently — its queued work is discarded, never
+    /// written.
+    fn check_writable(&mut self) -> Result<(), StoreError> {
+        if let WriteState::Degraded(reason) = &self.write_state {
+            return Err(StoreError::Degraded(reason.clone()));
+        }
+        let now = self.env.clock.wall_unix_ms();
+        if now < self.lease_expires_ms {
+            return Ok(());
+        }
+        let fence = |token: u64| DegradedReason::Fenced { token };
+        match read_lease(&self.env.fs, &self.root) {
+            Some(lease) if lease.token == self.token => {}
+            Some(lease) if lease.token > self.token => {
+                let reason = fence(lease.token);
+                self.write_state = WriteState::Degraded(reason.clone());
+                self.metrics.incr(names::STORE_FENCED_WRITES, 1);
+                return Err(StoreError::Degraded(reason));
+            }
+            _ => {
+                // No lease (or an older one): the manifest's token is
+                // the durable arbitration record.
+                if let Some(manifest) = read_manifest(&self.env.fs, &self.root) {
+                    if manifest.fencing_token > self.token {
+                        let reason = fence(manifest.fencing_token);
+                        self.write_state = WriteState::Degraded(reason.clone());
+                        self.metrics.incr(names::STORE_FENCED_WRITES, 1);
+                        return Err(StoreError::Degraded(reason));
+                    }
+                }
+            }
+        }
+        let expires = now + self.lease_ms;
+        write_lease(&self.env.fs, &self.root, &self.owner, expires, self.token)?;
+        self.lease_expires_ms = expires;
+        self.metrics.incr(names::STORE_LEASE_RENEWALS, 1);
+        Ok(())
+    }
+
+    /// Rolls the active segment once it crosses the size threshold:
+    /// drains the group-commit queue, starts `journal-G.K.log`, records
+    /// the grown chain in the manifest (new file durable first), and
+    /// re-attaches group commit to the new segment.
+    fn maybe_roll(&mut self) -> Result<(), StoreError> {
+        if self.active_len < self.segment_max_bytes {
+            return Ok(());
+        }
+        self.check_writable()?;
+        let group_policy = self.group.as_ref().map(|g| g.policy());
+        self.stop_group()?;
+        let seq = self.segments.len() as u64;
+        let name = segment_name(self.generation, seq);
+        let path = self.root.join(&name);
+        let mut file = self.env.fs.create_truncate(&path)?;
+        file.sync_all()?;
+        self.env.fs.sync_dir(&self.root)?;
+        let mut segments = self.segments.clone();
+        segments.push(name.clone());
+        let manifest = Manifest {
+            generation: self.generation,
+            checkpoint: checkpoint_name(self.generation),
+            journal: name,
+            segments: segments.clone(),
+            fencing_token: self.token,
+        };
+        write_atomic(
+            &self.env.fs,
+            &self.root,
+            "MANIFEST",
+            serde_json::to_string(&manifest)?.as_bytes(),
+        )?;
+        self.segments = segments;
+        self.journal = Some(file);
+        self.journal_path = path;
+        self.active_len = 0;
+        self.metrics.incr(names::STORE_SEGMENT_ROLLS, 1);
+        if let Some(policy) = group_policy {
+            self.enable_group_commit(policy)?;
+        }
+        Ok(())
     }
 
     /// Starts the group-commit flusher: subsequent appends batch frames
@@ -821,7 +1553,11 @@ impl Workspace {
             });
             return Ok(());
         }
-        let journal = self.journal.try_clone()?;
+        let journal = self
+            .journal
+            .as_ref()
+            .ok_or_else(journal_missing)?
+            .try_clone()?;
         let shared = Arc::new(GroupShared::default());
         let thread_shared = Arc::clone(&shared);
         let metrics = self.metrics.clone();
@@ -866,6 +1602,7 @@ impl Workspace {
     /// Serialization errors, or a sticky flusher failure.
     pub fn append_deferred(&mut self, op: &JournalOp) -> Result<u64, StoreError> {
         self.check_flusher_error()?;
+        self.check_writable()?;
         if self.group.is_none() {
             self.append(op)?;
             return Ok(0);
@@ -877,7 +1614,15 @@ impl Workspace {
             GroupCommit::Threaded { shared, .. } => {
                 let mut st = lock_state(shared);
                 if let Some(error) = &st.error {
-                    return Err(StoreError::Io(std::io::Error::other(error.clone())));
+                    // Latch the flusher's sticky failure at enqueue
+                    // time: callers find out *now* instead of queuing
+                    // doomed work until the next sync/close.
+                    let error = error.clone();
+                    drop(st);
+                    if self.flusher_error.is_none() {
+                        self.flusher_error = Some(error.clone());
+                    }
+                    return Err(StoreError::Io(std::io::Error::other(error)));
                 }
                 st.queue.extend_from_slice(&frame);
                 st.enqueued += 1;
@@ -919,11 +1664,17 @@ impl Workspace {
         }
         let batch = std::mem::take(queue);
         let frames = std::mem::take(pending_frames);
+        if let WriteState::Degraded(reason) = &self.write_state {
+            // Fenced mid-batch: the queued frames must never reach the
+            // journal — another writer owns it now. Discard them; the
+            // enqueuers were already (or will be) told via the typed
+            // error.
+            self.metrics.incr(names::STORE_GROUP_DISCARDED_BATCHES, 1);
+            return Err(StoreError::Degraded(reason.clone()));
+        }
+        let journal = self.journal.as_mut().ok_or_else(journal_missing)?;
         let fsync_started = self.env.clock.now();
-        let result = self
-            .journal
-            .write_all(&batch)
-            .and_then(|()| self.journal.sync_data());
+        let result = journal.write_all(&batch).and_then(|()| journal.sync_data());
         self.metrics
             .observe_duration("store.fsync_ns", self.env.clock.since(fsync_started));
         self.metrics.incr("store.group_flushes", 1);
@@ -947,31 +1698,34 @@ impl Workspace {
     /// The flusher's sticky flush failure, if any.
     pub fn sync(&mut self) -> Result<(), StoreError> {
         self.check_flusher_error()?;
-        match &self.group {
-            None => Ok(()),
-            Some(GroupCommit::Inline { .. }) => self.flush_inline(),
-            Some(GroupCommit::Threaded { shared, .. }) => {
-                let mut st = lock_state(shared);
-                let target = st.enqueued;
-                st.waiters += 1;
-                // Wake the flusher out of its batching linger: someone
-                // is waiting now.
-                shared.work.notify_all();
-                while st.durable < target && st.error.is_none() {
-                    st = shared.done.wait(st).unwrap_or_else(|e| e.into_inner());
-                }
-                st.waiters -= 1;
-                let error = st.error.clone();
-                drop(st);
-                if let Some(error) = error {
-                    if self.flusher_error.is_none() {
-                        self.flusher_error = Some(error.clone());
-                    }
-                    return Err(StoreError::Io(std::io::Error::other(error)));
-                }
-                Ok(())
+        self.check_writable()?;
+        let shared = match &self.group {
+            None => return Ok(()),
+            Some(GroupCommit::Inline { .. }) => {
+                self.flush_inline()?;
+                return self.maybe_roll();
             }
+            Some(GroupCommit::Threaded { shared, .. }) => Arc::clone(shared),
+        };
+        let mut st = lock_state(&shared);
+        let target = st.enqueued;
+        st.waiters += 1;
+        // Wake the flusher out of its batching linger: someone is
+        // waiting now.
+        shared.work.notify_all();
+        while st.durable < target && st.error.is_none() {
+            st = shared.done.wait(st).unwrap_or_else(|e| e.into_inner());
         }
+        st.waiters -= 1;
+        let error = st.error.clone();
+        drop(st);
+        if let Some(error) = error {
+            if self.flusher_error.is_none() {
+                self.flusher_error = Some(error.clone());
+            }
+            return Err(StoreError::Io(std::io::Error::other(error)));
+        }
+        self.maybe_roll()
     }
 
     /// Drains and joins (or flushes) the group-commit machinery,
@@ -1022,7 +1776,24 @@ impl Workspace {
     /// earlier failed flush.
     pub fn close(mut self) -> Result<(), StoreError> {
         self.stop_group()?;
-        self.check_flusher_error()
+        self.check_flusher_error()?;
+        self.release_lease();
+        Ok(())
+    }
+
+    /// Releases the writer lease, if this handle still holds it. A
+    /// deposed handle's lease file belongs to the *new* writer (larger
+    /// token) and is left untouched. Best-effort: failure to remove an
+    /// expired lease only delays the next takeover.
+    fn release_lease(&self) {
+        if !self.is_writable() {
+            return;
+        }
+        if let Some(lease) = read_lease(&self.env.fs, &self.root) {
+            if lease.token == self.token {
+                let _ = self.env.fs.remove_file(&self.root.join(LEASE_FILE));
+            }
+        }
     }
 
     /// Takes a new checkpoint of `session` and rotates the journal:
@@ -1036,6 +1807,7 @@ impl Workspace {
     /// I/O and serialization errors; on error the old generation is
     /// still intact and current.
     pub fn checkpoint(&mut self, session: &Session) -> Result<(), StoreError> {
+        self.check_writable()?;
         // The flusher holds a handle to the *old* journal; drain and
         // stop it before rotating, then re-attach to the new file.
         let group_policy = self.group.as_ref().map(|g| g.policy());
@@ -1059,6 +1831,8 @@ impl Workspace {
             generation: next,
             checkpoint: checkpoint_name(next),
             journal: journal_name(next),
+            segments: vec![journal_name(next)],
+            fencing_token: self.token,
         };
         write_atomic(
             &self.env.fs,
@@ -1066,15 +1840,20 @@ impl Workspace {
             "MANIFEST",
             serde_json::to_string(&manifest)?.as_bytes(),
         )?;
-        // The swap is durable; retire the previous generation.
+        // The swap is durable; retire the previous generation — every
+        // segment of it, but never quarantine files.
         let _ = self
             .env
             .fs
             .remove_file(&self.root.join(checkpoint_name(self.generation)));
-        let _ = self.env.fs.remove_file(&self.journal_path);
+        for segment in &self.segments {
+            let _ = self.env.fs.remove_file(&self.root.join(segment));
+        }
         self.generation = next;
-        self.journal = next_journal;
+        self.journal = Some(next_journal);
         self.journal_path = next_journal_path;
+        self.segments = vec![journal_name(next)];
+        self.active_len = 0;
         self.metrics.incr("store.checkpoints", 1);
         self.metrics
             .observe("store.checkpoint_bytes", json.len() as u64);
@@ -1083,6 +1862,110 @@ impl Workspace {
         }
         Ok(())
     }
+
+    /// Verifies every byte of the store — the checkpoint snapshot and
+    /// every frame of every journal segment — and, when writable,
+    /// repairs any damage found: damaged regions and unreadable
+    /// segments are quarantined aside (never silently dropped), then
+    /// the live `session` is checkpointed so the store re-baselines
+    /// onto known-good files. In degraded mode the scan still runs but
+    /// nothing is mutated (`repaired` stays `false`).
+    ///
+    /// The live session supersedes everything journaled — every
+    /// acknowledged operation is already applied to it — so the
+    /// re-baseline loses nothing; the quarantine files preserve the
+    /// rotted bytes for forensics.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors during the scan or repair; a lease loss surfaces as
+    /// [`StoreError::Degraded`].
+    pub fn scrub(&mut self, session: &Session) -> Result<ScrubReport, StoreError> {
+        let generation = self.generation;
+        if self.is_writable() {
+            // Queued frames must hit the disk before the scan reads it.
+            self.sync()?;
+        }
+        self.metrics.incr(names::STORE_SCRUBS, 1);
+        let checkpoint_ok = match self
+            .env
+            .fs
+            .read(&self.root.join(checkpoint_name(generation)))
+        {
+            Ok(bytes) => serde_json::from_slice::<SessionSpec>(&bytes).is_ok(),
+            Err(_) => false,
+        };
+        let mut segments = Vec::new();
+        let mut damaged = !checkpoint_ok;
+        for name in self.segments.clone() {
+            match self.env.fs.read(&self.root.join(&name)) {
+                Ok(buf) => {
+                    let scan = scan_frames(&buf);
+                    let trailing = (buf.len() - scan.valid_len) as u64;
+                    damaged |= trailing > 0;
+                    segments.push(SegmentScrub {
+                        name,
+                        frames_ok: scan.payloads.len(),
+                        bytes_ok: scan.valid_len as u64,
+                        damaged_bytes: trailing,
+                        readable: true,
+                        quarantined_as: Vec::new(),
+                    });
+                }
+                Err(_) => {
+                    damaged = true;
+                    segments.push(SegmentScrub {
+                        name,
+                        frames_ok: 0,
+                        bytes_ok: 0,
+                        damaged_bytes: 0,
+                        readable: false,
+                        quarantined_as: Vec::new(),
+                    });
+                }
+            }
+        }
+        let mut repaired = false;
+        if damaged && self.is_writable() {
+            self.check_writable()?;
+            // Preserve every damaged byte range aside first; the
+            // checkpoint below retires the damaged files only after
+            // their evidence is safe.
+            for seg in &mut segments {
+                if !seg.readable {
+                    if let Some(q) = quarantine_rename(&self.env.fs, &self.root, &seg.name)? {
+                        seg.quarantined_as.push(q);
+                    }
+                } else if seg.damaged_bytes > 0 {
+                    let buf = self.env.fs.read(&self.root.join(&seg.name))?;
+                    let q = quarantine_bytes(
+                        &self.env.fs,
+                        &self.root,
+                        &seg.name,
+                        &buf[seg.bytes_ok as usize..],
+                    )?;
+                    self.metrics
+                        .observe(names::STORE_QUARANTINED_BYTES, seg.damaged_bytes);
+                    seg.quarantined_as.push(q);
+                }
+            }
+            // The live session holds every acknowledged operation, so a
+            // fresh checkpoint re-baselines without loss.
+            self.checkpoint(session)?;
+            repaired = true;
+        }
+        if damaged {
+            self.metrics.incr(names::STORE_SCRUB_DAMAGE, 1);
+        }
+        Ok(ScrubReport {
+            generation,
+            checkpoint_ok,
+            segments,
+            damaged,
+            repaired,
+            fencing_token: self.token,
+        })
+    }
 }
 
 impl Drop for Workspace {
@@ -1090,6 +1973,7 @@ impl Drop for Workspace {
         // Best-effort drain so enqueued-but-unsynced frames reach disk;
         // errors are already sticky and were surfaced to sync callers.
         let _ = self.stop_group();
+        self.release_lease();
     }
 }
 
@@ -1450,6 +2334,316 @@ mod tests {
             assert!(restored.flow().is_ok() || survivors == 0);
             fs::remove_dir_all(&crashed).ok();
         }
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn segments_roll_at_threshold_and_reopen_across_boundaries() {
+        let root = temp_root("segments");
+        let session = Session::odyssey("jbb");
+        let mut ws = Workspace::create(&root, &session).expect("creates");
+        let metrics = Metrics::new();
+        ws.set_metrics(metrics.clone());
+        ws.set_segment_max_bytes(1); // every append rolls
+        for n in 0..5 {
+            ws.append(&seed_op(n)).expect("appends");
+        }
+        assert_eq!(ws.segments().len(), 6, "five rolls after five appends");
+        assert_eq!(
+            metrics.snapshot().counters.get("store.segment_rolls"),
+            Some(&5)
+        );
+        assert!(root.join("journal-0.3.log").exists());
+        drop(ws);
+
+        let (ws, restored, report) =
+            Workspace::open_session(&root, |s| crate::encaps::odyssey_registry(s))
+                .expect("reopens");
+        assert_eq!(report.ops_replayed, 5, "replay crosses segment boundaries");
+        assert!(!report.truncated);
+        assert_eq!(report.segments.len(), 6);
+        assert_eq!(ws.segments().len(), 6);
+        assert!(restored.flow().is_ok());
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn checkpoint_retires_every_segment_of_the_old_generation() {
+        let root = temp_root("segments-rotate");
+        let session = Session::odyssey("jbb");
+        let mut ws = Workspace::create(&root, &session).expect("creates");
+        ws.set_segment_max_bytes(1);
+        for n in 0..3 {
+            ws.append(&seed_op(n)).expect("appends");
+        }
+        let old: Vec<String> = ws.segments().to_vec();
+        assert!(old.len() > 1);
+        ws.checkpoint(&session).expect("rotates");
+        for name in &old {
+            assert!(!root.join(name).exists(), "{name} was retired");
+        }
+        assert_eq!(ws.segments(), [journal_name(1)]);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn foreign_live_lease_opens_degraded_and_rejects_mutations() {
+        let root = temp_root("lease");
+        let session = Session::odyssey("jbb");
+        let ws = Workspace::create(&root, &session).expect("creates");
+        // `ws` (owner "local") holds the lease; a different owner gets
+        // a read-only open, not a failure.
+        let (mut other, other_session, report) = Workspace::open_session_as(
+            &root,
+            |s| crate::encaps::odyssey_registry(s),
+            Env::real(),
+            "intruder",
+            60_000,
+        )
+        .expect("opens degraded");
+        assert!(report.degraded.is_some());
+        assert!(!other.is_writable());
+        assert!(matches!(
+            other.write_state(),
+            WriteState::Degraded(DegradedReason::LeaseHeld { .. })
+        ));
+        let err = other.append(&seed_op(0)).expect_err("append rejected");
+        assert!(matches!(err, StoreError::Degraded(_)), "typed error: {err}");
+        let err = other
+            .checkpoint(&other_session)
+            .expect_err("checkpoint rejected");
+        assert!(matches!(err, StoreError::Degraded(_)));
+        let scrub = other.scrub(&other_session).expect("scan still runs");
+        assert!(!scrub.repaired);
+        drop(other);
+        // The degraded handle must not have removed the owner's lease.
+        assert!(root.join(LEASE_FILE).exists());
+        drop(ws);
+        assert!(!root.join(LEASE_FILE).exists(), "owner released on drop");
+        // Now the other owner can take over cleanly.
+        let (other, _, report) = Workspace::open_session_as(
+            &root,
+            |s| crate::encaps::odyssey_registry(s),
+            Env::real(),
+            "intruder",
+            60_000,
+        )
+        .expect("opens writable");
+        assert!(other.is_writable());
+        assert!(report.degraded.is_none());
+        drop(other);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn fencing_token_grows_across_reopens() {
+        let root = temp_root("token");
+        let session = Session::odyssey("jbb");
+        let ws = Workspace::create(&root, &session).expect("creates");
+        let t0 = ws.fencing_token();
+        drop(ws);
+        let (ws, _, report) =
+            Workspace::open_session(&root, |s| crate::encaps::odyssey_registry(s))
+                .expect("reopens");
+        assert!(ws.fencing_token() > t0, "every acquire bumps the token");
+        assert_eq!(report.fencing_token, ws.fencing_token());
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn scrub_clean_store_reports_clean() {
+        let root = temp_root("scrub-clean");
+        let mut session = Session::odyssey("jbb");
+        let mut ws = Workspace::create(&root, &session).expect("creates");
+        session.start_from_goal("Layout").expect("starts");
+        ws.append(&JournalOp::Flow(FlowOp::Seed {
+            entity: "Layout".into(),
+        }))
+        .expect("appends");
+        let report = ws.scrub(&session).expect("scrubs");
+        assert!(!report.damaged);
+        assert!(!report.repaired);
+        assert!(report.checkpoint_ok);
+        assert_eq!(report.segments.len(), 1);
+        assert_eq!(report.segments[0].frames_ok, 1);
+        assert_eq!(ws.generation(), 0, "clean scrub does not re-baseline");
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn scrub_quarantines_rot_and_rebaselines() {
+        let root = temp_root("scrub-rot");
+        let mut session = Session::odyssey("jbb");
+        let mut ws = Workspace::create(&root, &session).expect("creates");
+        session.start_from_goal("Layout").expect("starts");
+        ws.append(&JournalOp::Flow(FlowOp::Seed {
+            entity: "Layout".into(),
+        }))
+        .expect("appends");
+        ws.append(&JournalOp::Flow(FlowOp::Seed {
+            entity: "Netlist".into(),
+        }))
+        .expect("appends");
+        // Bit-rot the first frame on disk, under the live handle.
+        let path = root.join(journal_name(0));
+        let mut bytes = fs::read(&path).expect("reads");
+        bytes[10] ^= 0x40;
+        fs::write(&path, &bytes).expect("rots");
+
+        let report = ws.scrub(&session).expect("scrubs");
+        assert!(report.damaged);
+        assert!(report.repaired);
+        assert!(report.checkpoint_ok);
+        assert_eq!(report.segments[0].frames_ok, 0, "rot starts at frame 0");
+        assert_eq!(
+            report.segments[0].quarantined_as,
+            vec![format!("{}.quarantined-0", journal_name(0))]
+        );
+        let quarantined = fs::read(root.join(&report.segments[0].quarantined_as[0]))
+            .expect("quarantine file exists");
+        assert_eq!(quarantined, bytes, "every damaged byte was preserved");
+        assert_eq!(ws.generation(), 1, "re-baselined onto a new generation");
+        drop(ws);
+
+        // The re-baselined store reopens with the full session state.
+        let (_ws, restored, report) =
+            Workspace::open_session(&root, |s| crate::encaps::odyssey_registry(s))
+                .expect("reopens");
+        assert_eq!(report.ops_replayed, 0);
+        assert!(!report.truncated);
+        assert!(restored.flow().is_ok(), "state came from the checkpoint");
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn mid_chain_damage_quarantines_later_segments_on_open() {
+        let root = temp_root("mid-chain");
+        let session = Session::odyssey("jbb");
+        let mut ws = Workspace::create(&root, &session).expect("creates");
+        ws.set_segment_max_bytes(1);
+        for n in 0..4 {
+            ws.append(&seed_op(n)).expect("appends");
+        }
+        let segments: Vec<String> = ws.segments().to_vec();
+        drop(ws);
+        // Rot a byte inside segment 1; segments 2.. hold valid frames
+        // that are now beyond a hole and must be quarantined, not
+        // silently truncated away.
+        let victim = root.join(&segments[1]);
+        let mut bytes = fs::read(&victim).expect("reads");
+        bytes[9] ^= 0x01;
+        fs::write(&victim, &bytes).expect("rots");
+
+        let (ws, _restored, report) =
+            Workspace::open_session(&root, |s| crate::encaps::odyssey_registry(s))
+                .expect("recovers");
+        assert_eq!(report.ops_replayed, 1, "only segment 0's frame replays");
+        assert!(report.truncated);
+        assert!(report.quarantined());
+        let damaged = &report.segments[1];
+        assert_eq!(damaged.frames_replayed, 0);
+        assert_eq!(damaged.frames_quarantined, 0, "the rotted frame is gone");
+        assert!(!damaged.quarantined_as.is_empty());
+        // Later segments were preserved aside with their frame counts.
+        let later: usize = report.segments[2..]
+            .iter()
+            .map(|s| s.frames_quarantined)
+            .sum();
+        assert_eq!(later, 2, "segments 2 and 3 each held one frame");
+        for seg in &report.segments[2..] {
+            assert!(!seg.quarantined_as.is_empty());
+            assert!(root.join(&seg.quarantined_as[0]).exists());
+        }
+        assert_eq!(ws.segments().len(), 2, "chain truncated at the damage");
+        drop(ws);
+        // Recovery converges: a second open finds a clean store.
+        let (_ws, _restored, report) =
+            Workspace::open_session(&root, |s| crate::encaps::odyssey_registry(s))
+                .expect("reopens");
+        assert_eq!(report.ops_replayed, 1);
+        assert!(!report.truncated, "repair was durable and idempotent");
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn recovery_report_serializes_to_json() {
+        let root = temp_root("report-json");
+        let session = Session::odyssey("jbb");
+        let mut ws = Workspace::create(&root, &session).expect("creates");
+        ws.append(&seed_op(0)).expect("appends");
+        drop(ws);
+        let (_ws, _restored, report) =
+            Workspace::open_session(&root, |s| crate::encaps::odyssey_registry(s))
+                .expect("reopens");
+        let json = report.to_json();
+        assert!(json.contains("\"ops_replayed\":1"), "json: {json}");
+        assert!(
+            json.contains(&format!("\"name\":\"{}\"", journal_name(0))),
+            "json: {json}"
+        );
+        assert!(json.contains("\"fencing_token\":"), "json: {json}");
+        assert!(json.contains("\"segments\":["), "json: {json}");
+        fs::remove_dir_all(&root).ok();
+    }
+
+    /// A journal handle whose writes succeed but whose fsyncs always
+    /// fail — the flusher's first flush poisons the workspace.
+    struct FailingFile;
+
+    impl FsFile for FailingFile {
+        fn write_all(&mut self, _buf: &[u8]) -> std::io::Result<()> {
+            Ok(())
+        }
+        fn sync_data(&mut self) -> std::io::Result<()> {
+            Err(std::io::Error::other("injected fsync failure"))
+        }
+        fn sync_all(&mut self) -> std::io::Result<()> {
+            Err(std::io::Error::other("injected fsync failure"))
+        }
+        fn set_len(&mut self, _len: u64) -> std::io::Result<()> {
+            Ok(())
+        }
+        fn try_clone(&self) -> std::io::Result<Box<dyn FsFile>> {
+            Ok(Box::new(FailingFile))
+        }
+    }
+
+    #[test]
+    fn sticky_flusher_error_surfaces_at_append_deferred() {
+        let root = temp_root("sticky-enqueue");
+        let session = Session::odyssey("jbb");
+        let mut ws = Workspace::create(&root, &session).expect("creates");
+        // Inject before enabling: the flusher clones this handle.
+        ws.set_journal_for_tests(Box::new(FailingFile));
+        ws.enable_group_commit(GroupCommitPolicy {
+            max_batch: 4,
+            max_delay: Duration::from_micros(100),
+        })
+        .expect("enables");
+        // The flusher hits the failure on its first flush; soon after,
+        // append_deferred itself must return the sticky error rather
+        // than queuing doomed work until sync/close.
+        let mut surfaced = false;
+        for n in 0..1000 {
+            match ws.append_deferred(&seed_op(n)) {
+                Ok(_) => std::thread::sleep(Duration::from_millis(1)),
+                Err(e) => {
+                    assert!(
+                        e.to_string().contains("injected fsync failure"),
+                        "unexpected error: {e}"
+                    );
+                    surfaced = true;
+                    break;
+                }
+            }
+        }
+        assert!(surfaced, "the flusher failure never reached enqueue");
+        // Latched: the very next enqueue fails without touching the
+        // group state, and close surfaces it too.
+        let err = ws.append_deferred(&seed_op(0)).expect_err("still sticky");
+        assert!(err.to_string().contains("injected fsync failure"));
+        let err = ws.close().expect_err("close surfaces the poison");
+        assert!(err.to_string().contains("injected fsync failure"));
         fs::remove_dir_all(&root).ok();
     }
 

@@ -21,7 +21,7 @@ use crate::catalog;
 use crate::error::HerculesError;
 use crate::persist::ExecReportSpec;
 use crate::session::{Approach, Session};
-use crate::store::{ExecSpec, JournalOp, Workspace};
+use crate::store::{ExecSpec, JournalOp, RecoveryReport, StoreError, Workspace, WriteState};
 
 /// One parsed UI command.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -88,6 +88,10 @@ pub enum Command {
     Open(String),
     /// `checkpoint` — snapshot the session and rotate the journal.
     Checkpoint,
+    /// `scrub` — CRC-verify every journal segment and the checkpoint,
+    /// quarantining and repairing damage when the workspace is
+    /// writable.
+    Scrub,
 }
 
 impl Command {
@@ -177,6 +181,7 @@ impl Command {
                 parts.next().ok_or_else(|| bad("missing directory"))?.into(),
             )),
             "checkpoint" => Ok(Command::Checkpoint),
+            "scrub" => Ok(Command::Scrub),
             other => Err(bad(&format!("unknown verb `{other}`"))),
         }
     }
@@ -263,6 +268,7 @@ fn instance_label(session: &Session, id: InstanceId) -> String {
 pub struct Ui {
     session: Session,
     workspace: Option<Workspace>,
+    last_recovery: Option<RecoveryReport>,
     env: Env,
 }
 
@@ -279,6 +285,7 @@ impl Ui {
         Ui {
             session,
             workspace: None,
+            last_recovery: None,
             env,
         }
     }
@@ -321,6 +328,16 @@ impl Ui {
     /// acknowledged command must be durable, so a failed fsync is
     /// reported even though the in-memory command succeeded).
     pub fn apply(&mut self, command: Command) -> Result<String, HerculesError> {
+        // A degraded workspace must reject mutations *before* they land
+        // in the in-memory session: otherwise the session and the
+        // journal silently diverge.
+        if let Some(ws) = &self.workspace {
+            if let WriteState::Degraded(reason) = ws.write_state() {
+                if Ui::mutates_session(&command) {
+                    return Err(HerculesError::from(StoreError::Degraded(reason.clone())));
+                }
+            }
+        }
         let db_before = self.session.db().len();
         let events_before = self.session.events().len();
         let journaled = command.clone();
@@ -334,6 +351,29 @@ impl Ui {
             ws.append(&op).map_err(HerculesError::from)?;
         }
         result
+    }
+
+    /// Whether a command mutates the session (and so must be refused
+    /// up front while the attached workspace is degraded read-only).
+    fn mutates_session(command: &Command) -> bool {
+        matches!(
+            command,
+            Command::Goal(_)
+                | Command::Tool(_)
+                | Command::Data(_)
+                | Command::Plan(_)
+                | Command::Expand(_)
+                | Command::Unexpand(_)
+                | Command::Specialize(_, _)
+                | Command::Select(_, _)
+                | Command::BindLatest
+                | Command::Run
+                | Command::Resume
+                | Command::Retrace(_)
+                | Command::Store(_)
+                | Command::Clear
+                | Command::Checkpoint
+        )
     }
 
     /// Maps an executed command to the journal operation recording its
@@ -394,7 +434,8 @@ impl Ui {
             | Command::Catalogs
             | Command::Save(_)
             | Command::Open(_)
-            | Command::Checkpoint => None,
+            | Command::Checkpoint
+            | Command::Scrub => None,
         }
     }
 
@@ -624,7 +665,11 @@ impl Ui {
             Command::Log => {
                 let events = self.session.events();
                 if events.is_empty() {
-                    return Ok("event log: (empty)\n".to_owned());
+                    let mut out = String::from("event log: (empty)\n");
+                    if let Some(recovery) = &self.last_recovery {
+                        let _ = writeln!(out, "last recovery: {}", recovery.to_json());
+                    }
+                    return Ok(out);
                 }
                 let mut out = String::from("event log:\n");
                 for (n, event) in events.iter().enumerate() {
@@ -650,6 +695,9 @@ impl Ui {
                     if let Some(error) = &event.error {
                         let _ = writeln!(out, "      aborted: {error}");
                     }
+                }
+                if let Some(recovery) = &self.last_recovery {
+                    let _ = writeln!(out, "last recovery: {}", recovery.to_json());
                 }
                 Ok(out)
             }
@@ -715,8 +763,16 @@ impl Ui {
                 .map_err(HerculesError::from)?;
                 self.session = session;
                 ws.set_metrics(self.session.metrics().clone());
+                if recovery.degraded.is_some() {
+                    self.session
+                        .metrics()
+                        .incr(hercules_obs::names::STORE_DEGRADED_OPENS, 1);
+                }
                 self.workspace = Some(ws);
-                Ok(format!("opened workspace `{path}`: {recovery}\n"))
+                let mut out = format!("opened workspace `{path}`: {recovery}\n");
+                let _ = writeln!(out, "recovery: {}", recovery.to_json());
+                self.last_recovery = Some(recovery);
+                Ok(out)
             }
             Command::Checkpoint => match self.workspace.as_mut() {
                 None => Err(HerculesError::Store {
@@ -728,6 +784,17 @@ impl Ui {
                         "checkpointed; now at generation {}\n",
                         ws.generation()
                     ))
+                }
+            },
+            Command::Scrub => match self.workspace.as_mut() {
+                None => Err(HerculesError::Store {
+                    message: "no workspace attached; `save <path>` or `open <path>` first".into(),
+                }),
+                Some(ws) => {
+                    let report = ws.scrub(&self.session).map_err(HerculesError::from)?;
+                    let mut out = format!("{report}\n");
+                    let _ = writeln!(out, "scrub: {}", report.to_json());
+                    Ok(out)
                 }
             },
         }
@@ -971,9 +1038,108 @@ mod tests {
             Command::parse("checkpoint").expect("ok"),
             Command::Checkpoint
         );
+        assert_eq!(Command::parse("scrub").expect("ok"), Command::Scrub);
         assert_eq!(Command::parse("resume").expect("ok"), Command::Resume);
         assert!(Command::parse("save").is_err());
         assert!(Command::parse("open").is_err());
+    }
+
+    #[test]
+    fn scrub_without_workspace_is_an_error() {
+        let mut ui = Ui::new(Session::odyssey("jbb"));
+        let err = ui.execute("scrub").expect_err("no workspace");
+        assert!(err.to_string().contains("save <path>"), "{err}");
+    }
+
+    #[test]
+    fn scrub_command_reports_clean_on_a_fresh_workspace() {
+        let root = std::env::temp_dir().join(format!("hercules-ui-scrub-{}", std::process::id()));
+        std::fs::remove_dir_all(&root).ok();
+        let mut ui = Ui::new(Session::odyssey("jbb"));
+        let script = format!(
+            "save {}\n\
+             goal Layout\n\
+             expand n0\n\
+             scrub\n",
+            root.display()
+        );
+        let out = ui.run_script(&script).expect("script runs");
+        assert!(out.contains("; clean"), "{out}");
+        assert!(out.contains("\"damaged\":false"), "json rendered: {out}");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn open_renders_recovery_json_and_log_repeats_it() {
+        let root = std::env::temp_dir().join(format!("hercules-ui-recov-{}", std::process::id()));
+        std::fs::remove_dir_all(&root).ok();
+        let mut ui = Ui::new(Session::odyssey("jbb"));
+        ui.run_script(&format!(
+            "save {}\n\
+             goal Layout\n\
+             expand n0\n",
+            root.display()
+        ))
+        .expect("script runs");
+        drop(ui);
+
+        let mut ui = Ui::new(Session::odyssey("jbb"));
+        let out = ui
+            .execute(&format!("open {}", root.display()))
+            .expect("reopens");
+        assert!(out.contains("recovery: {"), "{out}");
+        assert!(out.contains("\"ops_replayed\":2"), "{out}");
+        let log = ui.execute("log").expect("lists");
+        assert!(log.contains("last recovery: {"), "{log}");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn degraded_workspace_refuses_mutations_before_the_session_changes() {
+        let root = std::env::temp_dir().join(format!("hercules-ui-degr-{}", std::process::id()));
+        std::fs::remove_dir_all(&root).ok();
+        let mut ui = Ui::new(Session::odyssey("jbb"));
+        ui.run_script(&format!(
+            "save {}\n\
+             goal Layout\n\
+             expand n0\n",
+            root.display()
+        ))
+        .expect("script runs");
+        drop(ui);
+
+        // Forge a live foreign lease: the next open must degrade.
+        let far_future = u64::MAX / 2;
+        std::fs::write(
+            root.join("LEASE"),
+            format!("{{\"owner\":\"rival\",\"expires_unix_ms\":{far_future},\"token\":99}}"),
+        )
+        .expect("forge lease");
+
+        let mut ui = Ui::new(Session::odyssey("jbb"));
+        let out = ui
+            .execute(&format!("open {}", root.display()))
+            .expect("opens read-only");
+        assert!(out.contains("opened read-only"), "{out}");
+        assert!(out.contains("lease held by `rival`"), "{out}");
+
+        // Browsing still works; mutations are refused up front.
+        assert!(ui.execute("show").is_ok());
+        assert!(ui.execute("log").is_ok());
+        let flow_ops_before = ui.session().flow_ops().len();
+        let err = ui.execute("goal Layout").expect_err("degraded refusal");
+        assert!(err.to_string().contains("read-only"), "{err}");
+        assert_eq!(
+            ui.session().flow_ops().len(),
+            flow_ops_before,
+            "refused before mutating the session"
+        );
+        let err = ui.execute("checkpoint").expect_err("degraded refusal");
+        assert!(err.to_string().contains("read-only"), "{err}");
+        // Scrub runs, reports, but cannot repair.
+        let scrub = ui.execute("scrub").expect("scrub reports");
+        assert!(scrub.contains("; clean"), "{scrub}");
+        std::fs::remove_dir_all(&root).ok();
     }
 
     #[test]

@@ -52,6 +52,7 @@
 pub mod chrome;
 mod collect;
 mod metrics;
+pub mod names;
 pub mod profile;
 mod span;
 mod tracer;

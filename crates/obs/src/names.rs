@@ -1,0 +1,73 @@
+//! Well-known metric names emitted by the Hercules crates.
+//!
+//! [`Metrics`](crate::Metrics) is schemaless — any call site can mint
+//! a counter by name — which is convenient right up until a dashboard
+//! or test greps for a name that a refactor quietly changed. The
+//! store-hardening family below is load-bearing (CI's scrub job and
+//! the REPL surface them), so the names live here as constants and
+//! the emit sites reference them instead of repeating string literals.
+//!
+//! All store metrics share the `store.` prefix; see each constant for
+//! the semantics and the instrument kind (counter vs histogram).
+
+/// Counter: completed [`scrub`](https://en.wikipedia.org/wiki/Data_scrubbing)
+/// passes — every-byte CRC verification of the checkpoint and every
+/// journal segment. Incremented once per scan, damaged or not.
+pub const STORE_SCRUBS: &str = "store.scrubs";
+
+/// Counter: scrub passes that found damage (rot, torn frames, or an
+/// unreadable segment). `store.scrubs - store.scrub_damage` is the
+/// clean-scan count.
+pub const STORE_SCRUB_DAMAGE: &str = "store.scrub_damage";
+
+/// Counter: journal segment rotations — the active segment reached
+/// its size bound and a new numbered segment was opened and added to
+/// the MANIFEST chain.
+pub const STORE_SEGMENT_ROLLS: &str = "store.segment_rolls";
+
+/// Histogram: bytes moved aside into `*.quarantined-<k>` files by a
+/// recovery or scrub, one observation per quarantined region. Damage
+/// is preserved for forensics, never silently dropped.
+pub const STORE_QUARANTINED_BYTES: &str = "store.quarantined_bytes";
+
+/// Counter: lease renewals — the writer re-asserted ownership by
+/// rewriting the LEASE file with a fresh expiry.
+pub const STORE_LEASE_RENEWALS: &str = "store.lease_renewals";
+
+/// Counter: mutations rejected because this handle was fenced out by
+/// a newer writer's takeover (its fencing token is no longer the
+/// highest). A deposed writer increments this on every attempt.
+pub const STORE_FENCED_WRITES: &str = "store.fenced_writes";
+
+/// Counter: workspace opens that landed in degraded read-only mode —
+/// a live foreign lease or unrepaired damage kept the store browsable
+/// but immutable.
+pub const STORE_DEGRADED_OPENS: &str = "store.degraded_opens";
+
+/// Counter: queued group-commit batches discarded unflushed because
+/// the handle lost its lease before the flusher drained them.
+pub const STORE_GROUP_DISCARDED_BATCHES: &str = "store.group_discarded_batches";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn names_are_prefixed_and_distinct() {
+        let all = [
+            super::STORE_SCRUBS,
+            super::STORE_SCRUB_DAMAGE,
+            super::STORE_SEGMENT_ROLLS,
+            super::STORE_QUARANTINED_BYTES,
+            super::STORE_LEASE_RENEWALS,
+            super::STORE_FENCED_WRITES,
+            super::STORE_DEGRADED_OPENS,
+            super::STORE_GROUP_DISCARDED_BATCHES,
+        ];
+        for (i, name) in all.iter().enumerate() {
+            assert!(name.starts_with("store."), "{name} must be store-scoped");
+            assert!(
+                !all[..i].contains(name),
+                "{name} registered twice in the well-known list"
+            );
+        }
+    }
+}

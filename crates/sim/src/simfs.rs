@@ -98,6 +98,8 @@ struct Inner {
     fsyncs: u64,
     drop_fsync_every: Option<u64>,
     dropped_fsyncs: u64,
+    /// Paths whose next `read` fails with a latent media error.
+    read_errors: BTreeSet<PathBuf>,
     rng: SimRng,
 }
 
@@ -127,6 +129,7 @@ impl SimFsState {
                 fsyncs: 0,
                 drop_fsync_every: None,
                 dropped_fsyncs: 0,
+                read_errors: BTreeSet::new(),
                 rng,
             }),
             trace,
@@ -147,6 +150,55 @@ impl SimFsState {
     /// directory) reports success without making anything durable.
     pub fn set_drop_fsync_every(&self, every: Option<u64>) {
         self.lock().drop_fsync_every = every;
+    }
+
+    /// Injects bit rot: XORs the byte at `offset` of `path` with `xor`
+    /// in both the durable and current images, as if the medium itself
+    /// decayed. Returns `false` when the path does not exist or the
+    /// offset is past the end (nothing changed). Does not count as a
+    /// mutating operation — rot is not something the process does.
+    pub fn corrupt_file(&self, path: &Path, offset: usize, xor: u8) -> bool {
+        let mut inner = self.lock();
+        let Some(id) = inner.current_ns.get(path).copied() else {
+            return false;
+        };
+        let file = inner.files.get_mut(&id).expect("file for live path");
+        let mut hit = false;
+        if offset < file.current.len() {
+            file.current[offset] ^= xor;
+            hit = true;
+        }
+        if offset < file.durable.len() {
+            file.durable[offset] ^= xor;
+            hit = true;
+        }
+        if hit {
+            self.trace.record(format!(
+                "fs.bitrot path={} off={offset} xor={xor:#04x}",
+                path.display()
+            ));
+        }
+        hit
+    }
+
+    /// Length of `path`'s current contents, if it exists. Lets sweeps
+    /// enumerate corruptible offsets without going through `read`.
+    pub fn file_len(&self, path: &Path) -> Option<usize> {
+        let inner = self.lock();
+        let id = inner.current_ns.get(path)?;
+        Some(inner.files[id].current.len())
+    }
+
+    /// Arms (or disarms) a latent read error: while armed, every `read`
+    /// of `path` fails with a media error (distinct from the crash
+    /// marker). Models an unreadable sector discovered only on access.
+    pub fn set_read_error(&self, path: &Path, armed: bool) {
+        let mut inner = self.lock();
+        if armed {
+            inner.read_errors.insert(path.to_owned());
+        } else {
+            inner.read_errors.remove(path);
+        }
     }
 
     /// Mutating operations performed so far.
@@ -209,6 +261,14 @@ impl SimFsState {
         let inner = self.lock();
         if inner.crashed {
             return Err(crash_err("disk is dead"));
+        }
+        if inner.read_errors.contains(path) {
+            self.trace
+                .record(format!("fs.read_error path={}", path.display()));
+            return Err(io::Error::other(format!(
+                "simulated media error reading {}",
+                path.display()
+            )));
         }
         let id = *inner
             .current_ns
@@ -439,6 +499,7 @@ impl SimFsState {
                 fsyncs: 0,
                 drop_fsync_every: None,
                 dropped_fsyncs: 0,
+                read_errors: inner.read_errors.clone(),
                 rng,
             }),
             trace: self.trace.clone(),
@@ -675,6 +736,50 @@ mod tests {
             Fs::sim(image).read(&dir.join("j")).ok()
         };
         assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn bit_rot_flips_durable_bytes_in_place() {
+        let (fs, state) = fresh(4);
+        let dir = Path::new("/ws");
+        fs.create_dir_all(dir).expect("mkdir");
+        let mut f = fs.create_truncate(&dir.join("j")).expect("create");
+        f.write_all(b"healthy").expect("write");
+        f.sync_all().expect("fsync");
+        assert_eq!(state.file_len(&dir.join("j")), Some(7));
+        assert!(state.corrupt_file(&dir.join("j"), 0, 0xFF));
+        assert!(!state.corrupt_file(&dir.join("j"), 99, 0xFF), "past end");
+        assert!(!state.corrupt_file(&dir.join("missing"), 0, 0xFF));
+        let bytes = fs.read(&dir.join("j")).expect("read");
+        assert_eq!(bytes[0], b'h' ^ 0xFF);
+        assert_eq!(&bytes[1..], b"ealthy");
+        // Rot survives a crash: it lives in the durable image too.
+        let image = Arc::new(state.crash_image());
+        let after = Fs::sim(image);
+        assert_eq!(after.read(&dir.join("j")).expect("read")[0], b'h' ^ 0xFF);
+    }
+
+    #[test]
+    fn latent_read_error_fires_until_disarmed_and_is_not_a_crash() {
+        let (fs, state) = fresh(5);
+        let dir = Path::new("/ws");
+        fs.create_dir_all(dir).expect("mkdir");
+        let mut f = fs.create_truncate(&dir.join("j")).expect("create");
+        f.write_all(b"data").expect("write");
+        f.sync_all().expect("fsync");
+        state.set_read_error(&dir.join("j"), true);
+        let err = fs.read(&dir.join("j")).expect_err("armed read fails");
+        assert!(
+            !is_sim_crash(&err),
+            "media error must not look like a crash"
+        );
+        assert!(err.to_string().contains("media error"), "got: {err}");
+        // The error survives a crash image, then can be disarmed.
+        let image = Arc::new(state.crash_image());
+        let after = Fs::sim(Arc::clone(&image));
+        after.read(&dir.join("j")).expect_err("still armed");
+        image.set_read_error(&dir.join("j"), false);
+        assert_eq!(after.read(&dir.join("j")).expect("read"), b"data");
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use std::collections::HashSet;
 use std::path::Path;
 use std::sync::Arc;
+use std::time::Duration;
 
 use hercules::encaps::odyssey_registry;
 use hercules::exec::{
@@ -20,7 +21,9 @@ use hercules::flow::TaskGraph;
 use hercules::history::{Derivation, HistoryDb, InstanceId, Metadata};
 use hercules::schema::synth::SynthConfig;
 use hercules::sim::{repro_command, SimEnv, SimRng, SIM_CRASH_MARKER};
-use hercules::store::{scan_frames, GroupCommitPolicy, JournalOp, Workspace};
+use hercules::store::{
+    scan_frames, DegradedReason, GroupCommitPolicy, JournalOp, StoreError, Workspace,
+};
 use hercules::ui::Ui;
 use hercules::{eda, HerculesError, Session, SessionSpec};
 
@@ -674,6 +677,438 @@ fn sim_group_commit_flush_failure_is_sticky_and_surfaces_on_close() {
         &format!(
             "recovery must keep the 3 acknowledged frames (plus at most the torn tail), got {}",
             report.ops_replayed
+        ),
+    );
+}
+
+/// Builds a tiny multi-segment store: segment size 1 forces a roll
+/// after every append, so `appends` frames land in `appends + 1`
+/// numbered segments (the last one empty). The handle is closed, so
+/// the lease is released and the next open is a clean takeover-free
+/// open.
+fn build_segmented_store(sim: &SimEnv, appends: usize) {
+    let session = sim_session(sim, "rot");
+    let mut ws = Workspace::create_in(Path::new(WS_ROOT), &session, sim.env()).expect("creates");
+    ws.set_segment_max_bytes(1);
+    for _ in 0..appends {
+        ws.append(&JournalOp::Clear).expect("appends");
+    }
+    ws.close().expect("closes");
+}
+
+/// Tentpole acceptance: flip *every byte* of *every segment* of a
+/// multi-segment journal, one world per flip. Recovery must never
+/// panic and never silently lose data: every frame is either replayed
+/// or counted quarantined, and every quarantine path the report names
+/// exists on disk. A second open of the repaired store is clean.
+#[test]
+fn sim_bitrot_sweep_multi_segment() {
+    const TEST: &str = "sim_bitrot_sweep_multi_segment";
+    const APPENDS: usize = 4;
+    let seed = master_seed().wrapping_add(5);
+
+    // Learn the layout from one clean build.
+    let probe = SimEnv::new(seed);
+    build_segmented_store(&probe, APPENDS);
+    let segments: Vec<(std::path::PathBuf, usize)> = probe
+        .fs_state()
+        .current_paths()
+        .into_iter()
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("journal-") && n.ends_with(".log"))
+        })
+        .map(|p| {
+            let len = probe.fs_state().file_len(&p).unwrap_or(0);
+            (p, len)
+        })
+        .collect();
+    assert!(
+        segments.len() > APPENDS,
+        "rotation must produce multiple segments, got {}",
+        segments.len()
+    );
+
+    for (path, len) in &segments {
+        for off in 0..*len {
+            let sim = SimEnv::new(seed);
+            build_segmented_store(&sim, APPENDS);
+            sim_assert(
+                sim.fs_state().corrupt_file(path, off, 0x5A),
+                seed,
+                TEST,
+                &format!("byte {off} of {} must exist", path.display()),
+            );
+            let (_ws, _session, report) = Workspace::open_session_in(
+                Path::new(WS_ROOT),
+                |s| odyssey_registry(s),
+                sim.env(),
+            )
+            .unwrap_or_else(|e| {
+                panic!(
+                    "rot at {}:{off}: recovery failed: {e}\n  failing seed: {seed}\n  reproduce: {}",
+                    path.display(),
+                    repro_command(seed, TEST)
+                )
+            });
+            let lost: usize = report.segments.iter().map(|s| s.frames_quarantined).sum();
+            sim_assert(
+                (APPENDS - 1..=APPENDS).contains(&(report.ops_replayed + lost)),
+                seed,
+                TEST,
+                &format!(
+                    "rot at {}:{off}: {} replayed + {lost} quarantined must account for \
+                     all {APPENDS} frames minus at most the damaged one",
+                    path.display(),
+                    report.ops_replayed
+                ),
+            );
+            for seg in &report.segments {
+                for q in &seg.quarantined_as {
+                    sim_assert(
+                        sim.fs().exists(&Path::new(WS_ROOT).join(q)),
+                        seed,
+                        TEST,
+                        &format!("quarantine file `{q}` named by the report must exist"),
+                    );
+                }
+            }
+            // The repair converged: a second open finds nothing to fix.
+            let (_ws2, _s2, report2) =
+                Workspace::open_session_in(Path::new(WS_ROOT), |s| odyssey_registry(s), sim.env())
+                    .expect("repaired store reopens");
+            sim_assert(
+                report2.ops_replayed == report.ops_replayed
+                    && !report2.quarantined()
+                    && !report2.truncated,
+                seed,
+                TEST,
+                &format!(
+                    "rot at {}:{off}: second open must be clean with the same prefix",
+                    path.display()
+                ),
+            );
+        }
+    }
+}
+
+/// Satellite: a crash point at every mutating disk op inside
+/// `scrub()`'s quarantine-and-rebaseline repair. After any crash the
+/// rebooted store must recover to a consistent state — the replayed
+/// prefix (generation 0) or the freshly re-baselined checkpoint
+/// (generation 1) — and a follow-up scrub finds the store clean.
+#[test]
+fn sim_scrub_and_repair_crash_sweep() {
+    const TEST: &str = "sim_scrub_and_repair_crash_sweep";
+    const APPENDS: usize = 3;
+    let seed = master_seed().wrapping_add(6);
+    let target = Path::new(WS_ROOT).join("journal-0.1.log");
+
+    // Clean reference run: open, then rot a mid-chain segment, then
+    // scrub — the repair quarantines and re-baselines.
+    let probe = SimEnv::new(seed);
+    build_segmented_store(&probe, APPENDS);
+    let (mut ws, session, report) =
+        Workspace::open_session_in(Path::new(WS_ROOT), |s| odyssey_registry(s), probe.env())
+            .expect("clean open");
+    sim_assert(report.ops_replayed == APPENDS, seed, TEST, "clean replay");
+    let open_ops = probe.fs_state().op_count();
+    sim_assert(
+        probe.fs_state().corrupt_file(&target, 9, 0xFF),
+        seed,
+        TEST,
+        "the mid-chain segment must have a byte 9 to rot",
+    );
+    let scrubbed = ws.scrub(&session).expect("scrub repairs");
+    sim_assert(
+        scrubbed.damaged && scrubbed.repaired,
+        seed,
+        TEST,
+        &format!("scrub must find and repair the rot, got: {scrubbed}"),
+    );
+    let total_ops = probe.fs_state().op_count();
+    drop(ws);
+    assert!(
+        total_ops - open_ops >= 10,
+        "the scrub repair must expose >=10 crash points, got {}",
+        total_ops - open_ops
+    );
+
+    for k in (open_ops + 1)..=total_ops {
+        let sim = SimEnv::new(seed);
+        build_segmented_store(&sim, APPENDS);
+        let (mut ws, session, _report) =
+            Workspace::open_session_in(Path::new(WS_ROOT), |s| odyssey_registry(s), sim.env())
+                .expect("clean open");
+        sim.fs_state().corrupt_file(&target, 9, 0xFF);
+        sim.fs_state().set_crash_at(Some(k));
+        match ws.scrub(&session) {
+            Err(err) => sim_assert(
+                err.to_string().contains(SIM_CRASH_MARKER),
+                seed,
+                TEST,
+                &format!("crash at op {k}: scrub must surface the simulated crash, got: {err}"),
+            ),
+            // The crash can land inside the re-baseline's best-effort
+            // cleanup of retired generation files; the manifest swap is
+            // already durable there, so scrub legitimately succeeds.
+            Ok(report) => sim_assert(
+                report.damaged && report.repaired,
+                seed,
+                TEST,
+                &format!("crash at op {k}: a surviving scrub must have repaired, got: {report}"),
+            ),
+        }
+        drop(ws);
+
+        let rebooted = sim.crash_and_reboot();
+        let (mut ws2, s2, report2) =
+            Workspace::open_session_in(Path::new(WS_ROOT), |s| odyssey_registry(s), rebooted.env())
+                .unwrap_or_else(|e| {
+                    panic!(
+                "crash at op {k}: recovery failed: {e}\n  failing seed: {seed}\n  reproduce: {}",
+                repro_command(seed, TEST)
+            )
+                });
+        sim_assert(
+            (report2.generation == 0 && report2.ops_replayed == 1)
+                || (report2.generation == 1 && report2.ops_replayed == 0),
+            seed,
+            TEST,
+            &format!(
+                "crash at op {k}: recovery must land on the pre-damage prefix (gen 0, \
+                 1 op) or the re-baselined checkpoint (gen 1, 0 ops), got generation {} \
+                 with {} op(s)",
+                report2.generation, report2.ops_replayed
+            ),
+        );
+        let rescrub = ws2.scrub(&s2).expect("post-recovery scrub");
+        sim_assert(
+            !rescrub.damaged,
+            seed,
+            TEST,
+            &format!("crash at op {k}: the reopened store must scrub clean, got: {rescrub}"),
+        );
+    }
+}
+
+/// Satellite: a crash point at every mutating disk op inside a
+/// stale-lease takeover. The takeover's MANIFEST/LEASE writes may tear
+/// anywhere; the next open by the same claimant must always succeed,
+/// replay every durable frame, and end with a fencing token strictly
+/// above the dead writer's.
+#[test]
+fn sim_takeover_crash_sweep() {
+    const TEST: &str = "sim_takeover_crash_sweep";
+    let seed = master_seed().wrapping_add(7);
+
+    // Writer "a" (the default `local` owner) dies holding the lease.
+    let build = |sim: &SimEnv| {
+        let session = sim_session(sim, "a");
+        let mut ws =
+            Workspace::create_in(Path::new(WS_ROOT), &session, sim.env()).expect("creates");
+        for _ in 0..3 {
+            ws.append(&JournalOp::Clear).expect("appends");
+        }
+        std::mem::forget(ws); // died without releasing the lease
+    };
+
+    let probe = SimEnv::new(seed);
+    build(&probe);
+    let base_ops = probe.fs_state().op_count();
+    let dead_token = 1; // `create_in` starts the token sequence at 1
+    probe.clock().advance(Duration::from_millis(31_000)); // past the 30s lease
+    let (ws, _s, report) = Workspace::open_session_as(
+        Path::new(WS_ROOT),
+        |s| odyssey_registry(s),
+        probe.env(),
+        "b",
+        30_000,
+    )
+    .expect("stale lease is taken over");
+    sim_assert(
+        ws.is_writable() && report.ops_replayed == 3 && ws.fencing_token() > dead_token,
+        seed,
+        TEST,
+        "the takeover must be writable, replay all frames, and bump the token",
+    );
+    let total_ops = probe.fs_state().op_count();
+    drop(ws);
+    assert!(
+        total_ops > base_ops,
+        "the takeover must perform mutating disk ops"
+    );
+
+    for k in (base_ops + 1)..=total_ops {
+        let sim = SimEnv::new(seed);
+        build(&sim);
+        sim.clock().advance(Duration::from_millis(31_000));
+        sim.fs_state().set_crash_at(Some(k));
+        let err = Workspace::open_session_as(
+            Path::new(WS_ROOT),
+            |s| odyssey_registry(s),
+            sim.env(),
+            "b",
+            30_000,
+        )
+        .map(|_| ())
+        .expect_err("the armed crash aborts the takeover");
+        sim_assert(
+            err.to_string().contains(SIM_CRASH_MARKER),
+            seed,
+            TEST,
+            &format!("crash at op {k}: takeover must surface the crash, got: {err}"),
+        );
+
+        let rebooted = sim.crash_and_reboot();
+        let (ws2, _s2, report2) = Workspace::open_session_as(
+            Path::new(WS_ROOT),
+            |s| odyssey_registry(s),
+            rebooted.env(),
+            "b",
+            30_000,
+        )
+        .unwrap_or_else(|e| {
+            panic!(
+                "crash at op {k}: retry must succeed: {e}\n  failing seed: {seed}\n  reproduce: {}",
+                repro_command(seed, TEST)
+            )
+        });
+        sim_assert(
+            ws2.is_writable(),
+            seed,
+            TEST,
+            &format!("crash at op {k}: the retried takeover must be writable"),
+        );
+        sim_assert(
+            report2.ops_replayed == 3,
+            seed,
+            TEST,
+            &format!(
+                "crash at op {k}: all 3 durable frames must replay, got {}",
+                report2.ops_replayed
+            ),
+        );
+        sim_assert(
+            ws2.fencing_token() > dead_token,
+            seed,
+            TEST,
+            &format!(
+                "crash at op {k}: the token must end strictly above the dead \
+                 writer's, got {}",
+                ws2.fencing_token()
+            ),
+        );
+    }
+}
+
+/// Satellite acceptance: two workspaces on one store. Writer "a" goes
+/// quiet past its lease; "b" takes over with a higher fencing token.
+/// Every mutation from the deposed "a" handle is rejected by token
+/// check — the journal shows **zero post-fencing frames** from "a" —
+/// and a later open replays exactly the five legitimate frames.
+#[test]
+fn sim_split_brain_fencing() {
+    const TEST: &str = "sim_split_brain_fencing";
+    let seed = master_seed().wrapping_add(8);
+    let sim = SimEnv::new(seed);
+
+    let session_a = sim_session(&sim, "a");
+    let mut ws_a =
+        Workspace::create_in(Path::new(WS_ROOT), &session_a, sim.env()).expect("creates");
+    for _ in 0..3 {
+        ws_a.append(&JournalOp::Clear).expect("appends");
+    }
+    let token_a = ws_a.fencing_token();
+
+    // "a" stalls past its 30s lease; "b" opens the same store.
+    sim.clock().advance(Duration::from_millis(31_000));
+    let (mut ws_b, _session_b, report_b) = Workspace::open_session_as(
+        Path::new(WS_ROOT),
+        |s| odyssey_registry(s),
+        sim.env(),
+        "b",
+        30_000,
+    )
+    .expect("takes over the expired lease");
+    sim_assert(
+        report_b.ops_replayed == 3 && ws_b.is_writable(),
+        seed,
+        TEST,
+        "the takeover must replay a's acknowledged frames and be writable",
+    );
+    sim_assert(
+        ws_b.fencing_token() > token_a,
+        seed,
+        TEST,
+        "the takeover must bump the fencing token past the deposed writer's",
+    );
+    for _ in 0..2 {
+        ws_b.append(&JournalOp::Clear).expect("appends");
+    }
+
+    // The deposed writer wakes up: every mutation is fenced out.
+    let err = ws_a
+        .append(&JournalOp::BindLatest)
+        .expect_err("deposed append is rejected");
+    sim_assert(
+        matches!(err, StoreError::Degraded(DegradedReason::Fenced { .. })),
+        seed,
+        TEST,
+        &format!("the rejection must be a typed fencing error, got: {err}"),
+    );
+    sim_assert(
+        ws_a.sync().is_err() && ws_a.checkpoint(&session_a).is_err() && !ws_a.is_writable(),
+        seed,
+        TEST,
+        "every later mutation from the deposed handle must stay rejected",
+    );
+
+    // Zero post-fencing frames from "a": the journal holds exactly
+    // a's 3 pre-takeover frames plus b's 2.
+    let journal = sim
+        .fs()
+        .read(&Path::new(WS_ROOT).join("journal-0.log"))
+        .expect("journal readable");
+    let scan = scan_frames(&journal);
+    sim_assert(
+        scan.payloads.len() == 5 && scan.trailing == 0,
+        seed,
+        TEST,
+        &format!(
+            "expected exactly 5 frames (3 from a, 2 from b) and no tail, got {} + {} byte(s)",
+            scan.payloads.len(),
+            scan.trailing
+        ),
+    );
+
+    // Dropping the deposed handle must not clobber b's lease.
+    drop(ws_a);
+    sim_assert(
+        sim.fs().exists(&Path::new(WS_ROOT).join("LEASE")),
+        seed,
+        TEST,
+        "the deposed writer's drop must leave the new writer's lease alone",
+    );
+
+    // A successor open sees the five legitimate frames — nothing more.
+    drop(ws_b);
+    let (_ws_c, _s_c, report_c) = Workspace::open_session_as(
+        Path::new(WS_ROOT),
+        |s| odyssey_registry(s),
+        sim.env(),
+        "c",
+        30_000,
+    )
+    .expect("released lease reopens");
+    sim_assert(
+        report_c.ops_replayed == 5,
+        seed,
+        TEST,
+        &format!(
+            "the successor must replay exactly the 5 legitimate frames, got {}",
+            report_c.ops_replayed
         ),
     );
 }
