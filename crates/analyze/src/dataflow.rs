@@ -1,0 +1,360 @@
+//! Worklist/fixpoint dataflow framework.
+//!
+//! The HL05xx consistency passes are *dataflow analyses*: abstract
+//! facts (which superseded versions reach an instance, which entity
+//! types a subflow transitively reads) propagate along dependency
+//! edges until nothing changes. This module provides the shared
+//! machinery — join-semilattice states, a monotone worklist solver
+//! with visit counters, and the two lattices the passes use
+//! ([`BitSet`] for reach-sets, [`Interval`] for version ranges).
+//!
+//! The solver supports **seeded re-solving** ([`solve_seeded`]): start
+//! from a previous fixpoint and a worklist of dirty nodes instead of
+//! from bottom. Over an append-only design history this is sound —
+//! information only grows (supersession is monotone: a version, once
+//! superseded, stays superseded), so a prior fixpoint under-approximates
+//! the new one and the worklist closes the gap, visiting only the
+//! affected cone. The visit counters are how tests *prove* the
+//! incremental path did less work.
+
+use std::collections::VecDeque;
+
+/// A join-semilattice: partial order with a least upper bound.
+pub trait JoinSemiLattice: Clone + PartialEq {
+    /// Joins `other` into `self`; returns `true` if `self` changed.
+    fn join_from(&mut self, other: &Self) -> bool;
+}
+
+/// A dense bit-set lattice ordered by inclusion (join = union).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates an empty set.
+    pub fn new() -> BitSet {
+        BitSet::default()
+    }
+
+    /// Inserts `i`; returns `true` if it was absent.
+    pub fn insert(&mut self, i: usize) -> bool {
+        let (w, b) = (i / 64, i % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !had
+    }
+
+    /// Returns `true` if `i` is in the set.
+    pub fn contains(&self, i: usize) -> bool {
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| w & (1 << (i % 64)) != 0)
+    }
+
+    /// Returns the number of members.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates over members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64).filter_map(move |b| (w & (1 << b) != 0).then_some(wi * 64 + b))
+        })
+    }
+
+    /// Returns the smallest member, if any.
+    pub fn min(&self) -> Option<usize> {
+        self.iter().next()
+    }
+
+    /// Returns the largest member, if any.
+    pub fn max(&self) -> Option<usize> {
+        self.words
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, &w)| w != 0)
+            .map(|(wi, &w)| wi * 64 + 63 - w.leading_zeros() as usize)
+    }
+}
+
+impl JoinSemiLattice for BitSet {
+    fn join_from(&mut self, other: &Self) -> bool {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        let mut changed = false;
+        for (s, &o) in self.words.iter_mut().zip(&other.words) {
+            let joined = *s | o;
+            changed |= joined != *s;
+            *s = joined;
+        }
+        changed
+    }
+}
+
+/// An interval lattice over `u64` (join = hull). The empty interval is
+/// bottom; joining only ever widens, so fixpoints terminate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    min: u64,
+    max: u64,
+}
+
+impl Default for Interval {
+    fn default() -> Interval {
+        Interval::EMPTY
+    }
+}
+
+impl Interval {
+    /// The empty interval (bottom).
+    pub const EMPTY: Interval = Interval {
+        min: u64::MAX,
+        max: 0,
+    };
+
+    /// Creates the point interval `[v, v]`.
+    pub fn point(v: u64) -> Interval {
+        Interval { min: v, max: v }
+    }
+
+    /// Returns `true` if nothing has been joined in.
+    pub fn is_empty(self) -> bool {
+        self.min > self.max
+    }
+
+    /// Returns the lower bound, if non-empty.
+    pub fn min(self) -> Option<u64> {
+        (!self.is_empty()).then_some(self.min)
+    }
+
+    /// Returns the upper bound, if non-empty.
+    pub fn max(self) -> Option<u64> {
+        (!self.is_empty()).then_some(self.max)
+    }
+
+    /// Widens the interval to cover `v`.
+    pub fn insert(&mut self, v: u64) {
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+}
+
+impl JoinSemiLattice for Interval {
+    fn join_from(&mut self, other: &Self) -> bool {
+        if other.is_empty() {
+            return false;
+        }
+        let before = *self;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        *self != before
+    }
+}
+
+/// A forward dataflow problem over a dense node space `0..num_nodes`.
+///
+/// `transfer` computes a node's new state from the full state vector —
+/// implementations read their own predecessors, which lets them apply
+/// per-edge exemptions (the version-predecessor pinning of §3.3, for
+/// example) without the framework knowing about edges at all.
+pub trait DataflowProblem {
+    /// The abstract state attached to each node.
+    type State: JoinSemiLattice + Default;
+
+    /// Number of nodes; states live at indices `0..num_nodes()`.
+    fn num_nodes(&self) -> usize;
+
+    /// Appends the successors of `n` (nodes whose transfer reads `n`'s
+    /// state) to `out`.
+    fn successors(&self, n: usize, out: &mut Vec<usize>);
+
+    /// Computes the state of `n` from the current state vector.
+    fn transfer(&self, n: usize, states: &[Self::State]) -> Self::State;
+}
+
+/// A solved fixpoint: final states plus the work the solver did.
+#[derive(Debug, Clone)]
+pub struct FixpointResult<S> {
+    /// Final abstract state per node.
+    pub states: Vec<S>,
+    /// How many times each node's transfer ran.
+    pub visits: Vec<u32>,
+    /// Total transfer executions — the analysis-work metric the
+    /// incremental tests assert on.
+    pub total_visits: usize,
+}
+
+/// Solves `problem` from bottom, seeding every node in index order.
+pub fn solve<P: DataflowProblem>(problem: &P) -> FixpointResult<P::State> {
+    let seeds: Vec<usize> = (0..problem.num_nodes()).collect();
+    solve_seeded(problem, &seeds, Vec::new())
+}
+
+/// Solves `problem` starting from `prior` states (padded with bottom
+/// for new nodes), seeding only `seeds`. With a `prior` that
+/// under-approximates the fixpoint — e.g. the previous fixpoint of an
+/// append-only history — the result equals a full solve, but only the
+/// cone reachable from the seeds is visited.
+pub fn solve_seeded<P: DataflowProblem>(
+    problem: &P,
+    seeds: &[usize],
+    mut prior: Vec<P::State>,
+) -> FixpointResult<P::State> {
+    let n = problem.num_nodes();
+    prior.truncate(n);
+    prior.resize_with(n, Default::default);
+    let mut states = prior;
+    let mut visits = vec![0u32; n];
+    let mut total_visits = 0usize;
+    let mut queued = vec![false; n];
+    let mut list: VecDeque<usize> = VecDeque::new();
+    for &s in seeds {
+        if s < n && !queued[s] {
+            queued[s] = true;
+            list.push_back(s);
+        }
+    }
+    let mut succ = Vec::new();
+    while let Some(x) = list.pop_front() {
+        queued[x] = false;
+        visits[x] += 1;
+        total_visits += 1;
+        let new = problem.transfer(x, &states);
+        // Join rather than replace: prior states must never regress.
+        if states[x].join_from(&new) {
+            succ.clear();
+            problem.successors(x, &mut succ);
+            for &s in &succ {
+                if s < n && !queued[s] {
+                    queued[s] = true;
+                    list.push_back(s);
+                }
+            }
+        }
+    }
+    FixpointResult {
+        states,
+        visits,
+        total_visits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reachability over a tiny DAG: state of n = union of {p} ∪
+    /// state(p) over predecessors p.
+    struct Reach {
+        preds: Vec<Vec<usize>>,
+        succs: Vec<Vec<usize>>,
+    }
+
+    impl Reach {
+        fn new(edges: &[(usize, usize)], n: usize) -> Reach {
+            let mut preds = vec![Vec::new(); n];
+            let mut succs = vec![Vec::new(); n];
+            for &(a, b) in edges {
+                preds[b].push(a);
+                succs[a].push(b);
+            }
+            Reach { preds, succs }
+        }
+    }
+
+    impl DataflowProblem for Reach {
+        type State = BitSet;
+
+        fn num_nodes(&self) -> usize {
+            self.preds.len()
+        }
+
+        fn successors(&self, n: usize, out: &mut Vec<usize>) {
+            out.extend_from_slice(&self.succs[n]);
+        }
+
+        fn transfer(&self, n: usize, states: &[BitSet]) -> BitSet {
+            let mut s = BitSet::new();
+            for &p in &self.preds[n] {
+                s.insert(p);
+                s.join_from(&states[p]);
+            }
+            s
+        }
+    }
+
+    #[test]
+    fn bitset_basics() {
+        let mut s = BitSet::new();
+        assert!(s.is_empty() && s.min().is_none());
+        assert_eq!(s.len(), 0);
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(130));
+        assert!(s.contains(3) && s.contains(130) && !s.contains(4));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 130]);
+        assert_eq!((s.min(), s.max()), (Some(3), Some(130)));
+    }
+
+    #[test]
+    fn interval_widens() {
+        let mut i = Interval::EMPTY;
+        assert!(i.is_empty());
+        assert!(!i.join_from(&Interval::EMPTY));
+        i.insert(7);
+        i.insert(3);
+        assert_eq!((i.min(), i.max()), (Some(3), Some(7)));
+        let mut j = Interval::point(10);
+        assert!(j.join_from(&i));
+        assert_eq!((j.min(), j.max()), (Some(3), Some(10)));
+        assert!(!j.join_from(&i));
+    }
+
+    #[test]
+    fn full_solve_reaches_fixpoint() {
+        // 0 -> 1 -> 2, 0 -> 2, 3 isolated.
+        let p = Reach::new(&[(0, 1), (1, 2), (0, 2)], 4);
+        let r = solve(&p);
+        assert!(r.states[0].is_empty());
+        assert_eq!(r.states[1].iter().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(r.states[2].iter().collect::<Vec<_>>(), vec![0, 1]);
+        assert!(r.states[3].is_empty());
+        assert!(r.total_visits >= 4);
+    }
+
+    #[test]
+    fn seeded_solve_matches_full_and_visits_less() {
+        // A chain 0..64 with an extra edge appended later.
+        let n = 64;
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let p = Reach::new(&edges, n);
+        let full = solve(&p);
+
+        // "Append" node 64 fed by node 10: prior states stay valid.
+        let mut edges2 = edges.clone();
+        edges2.push((10, 64));
+        let p2 = Reach::new(&edges2, n + 1);
+        let full2 = solve(&p2);
+        let inc = solve_seeded(&p2, &[64], full.states.clone());
+        assert_eq!(inc.states, full2.states);
+        assert!(
+            inc.total_visits < full2.total_visits,
+            "incremental {} vs full {}",
+            inc.total_visits,
+            full2.total_visits
+        );
+    }
+}

@@ -15,6 +15,8 @@ use hercules_history::Staleness;
 use hercules_schema::SchemaError;
 use serde::{Deserialize, Serialize};
 
+use crate::runner::JsonPassTiming;
+
 /// How bad a finding is. `Error` findings make `herclint` exit
 /// non-zero by default (and fail the CI lint job).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -87,6 +89,21 @@ impl SpanKind {
             SpanKind::Frame => "frame",
             SpanKind::File => "file",
             SpanKind::Target => "target",
+        }
+    }
+
+    /// Parses the lowercase name back.
+    pub fn parse(s: &str) -> Option<SpanKind> {
+        match s {
+            "entity" => Some(SpanKind::Entity),
+            "dependency" => Some(SpanKind::Dependency),
+            "node" => Some(SpanKind::Node),
+            "subflow" => Some(SpanKind::Subflow),
+            "instance" => Some(SpanKind::Instance),
+            "frame" => Some(SpanKind::Frame),
+            "file" => Some(SpanKind::File),
+            "target" => Some(SpanKind::Target),
+            _ => None,
         }
     }
 }
@@ -356,6 +373,9 @@ pub struct JsonReport {
     pub warnings: usize,
     /// Count of `info` findings.
     pub infos: usize,
+    /// Per-pass wall times, when the caller ran the timed runner.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub timings: Vec<JsonPassTiming>,
 }
 
 impl JsonReport {
@@ -385,7 +405,15 @@ impl JsonReport {
             errors,
             warnings,
             infos,
+            timings: Vec::new(),
         }
+    }
+
+    /// Attaches per-pass timings (builder style).
+    #[must_use]
+    pub fn with_timings(mut self, timings: Vec<JsonPassTiming>) -> Self {
+        self.timings = timings;
+        self
     }
 
     /// Serializes the report as pretty-printed JSON.

@@ -34,7 +34,7 @@ pub fn lint_flow_passes(flow: &TaskGraph, out: &mut Diagnostics) {
 /// to the family's latest instance (Fig. 3 binds its optional prior
 /// netlist exactly this way), but which subtype it gets depends on
 /// history contents rather than the flow's author.
-fn abstract_node(flow: &TaskGraph, out: &mut Diagnostics) {
+pub(crate) fn abstract_node(flow: &TaskGraph, out: &mut Diagnostics) {
     let schema = flow.schema();
     for (id, node) in flow.nodes() {
         let entity = schema.entity(node.entity());
@@ -70,7 +70,7 @@ fn abstract_node(flow: &TaskGraph, out: &mut Diagnostics) {
 /// HL0202: an interior (expanded) node missing required inputs. Legal
 /// mid-construction, but the flow is not runnable until they are
 /// supplied; this reports *all* of them at once.
-fn incomplete_expansion(flow: &TaskGraph, out: &mut Diagnostics) {
+pub(crate) fn incomplete_expansion(flow: &TaskGraph, out: &mut Diagnostics) {
     let schema = flow.schema();
     for id in flow.interior() {
         let Ok(missing) = flow.missing_deps(id) else {
@@ -101,7 +101,7 @@ fn incomplete_expansion(flow: &TaskGraph, out: &mut Diagnostics) {
 /// HL0203: redundant duplicate expansions — two interior nodes of the
 /// same entity fed by exactly the same producers. The engine would
 /// schedule the construction twice for one result.
-fn duplicate_expansion(flow: &TaskGraph, out: &mut Diagnostics) {
+pub(crate) fn duplicate_expansion(flow: &TaskGraph, out: &mut Diagnostics) {
     /// Construction signature: the entity plus its exact producer set.
     type Construction = (EntityTypeId, Vec<(NodeId, bool)>);
     let schema = flow.schema();
@@ -140,7 +140,7 @@ fn duplicate_expansion(flow: &TaskGraph, out: &mut Diagnostics) {
 
 /// HL0204: a weakly connected component with no interior node — a
 /// sub-flow with no task to execute.
-fn inert_subflow(flow: &TaskGraph, out: &mut Diagnostics) {
+pub(crate) fn inert_subflow(flow: &TaskGraph, out: &mut Diagnostics) {
     for component in flow.components() {
         if component.iter().any(|&id| flow.is_expanded(id)) {
             continue;
@@ -160,7 +160,7 @@ fn inert_subflow(flow: &TaskGraph, out: &mut Diagnostics) {
 /// HL0205: a tool node that feeds nothing. A tool placed in a flow
 /// exists to run a task; one with no consumers is dead weight (its
 /// sub-flow's outputs feed nothing).
-fn unconsumed_tool(flow: &TaskGraph, out: &mut Diagnostics) {
+pub(crate) fn unconsumed_tool(flow: &TaskGraph, out: &mut Diagnostics) {
     let schema = flow.schema();
     for (id, node) in flow.nodes() {
         let entity = schema.entity(node.entity());

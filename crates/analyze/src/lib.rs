@@ -1,17 +1,17 @@
-//! `hercules-analyze` — the `herclint` whole-workspace static analyzer.
+//! `hercules-analyze` — the analysis engine behind `herclint`.
 //!
 //! The paper's framework trusts its inputs a great deal: schemas are
 //! assumed sensible once they build, flows are assumed useful once they
-//! validate, and §3.3's parallel execution of disjoint sub-flows is
-//! assumed safe. This crate is the skeptic. It runs a registry of lint
-//! passes ([`registry::PASSES`]) over a schema, a flow, a live session,
-//! or a saved durable workspace, and reports *all* findings as
-//! structured [`Diagnostic`]s: a stable code (`HL0103`), a severity, a
-//! span naming the offending entity type / flow node / journal frame,
-//! and a human message — renderable as text or JSON, suppressible per
-//! code.
+//! validate, §3.3's parallel execution of disjoint sub-flows is assumed
+//! safe, and cached results are assumed current. This crate is the
+//! skeptic. It runs a registry of lint passes ([`registry::PASSES`])
+//! over a schema, a flow, or a design history, and reports *all*
+//! findings as structured [`Diagnostic`]s: a stable code (`HL0103`), a
+//! severity, a span naming the offending entity type / flow node /
+//! instance, and a human message — renderable as text or JSON,
+//! suppressible per code.
 //!
-//! Three layers of passes:
+//! The pass layers living in this crate:
 //!
 //! * **schema** (`HL01xx`, [`schema_passes`]) — legal-but-broken §3.1
 //!   designs: unbreakable dependency cycles, entities unreachable from
@@ -22,31 +22,48 @@
 //!   expansions, redundant duplicate expansions, dead sub-flows.
 //! * **hazard** (`HL03xx`, [`hazard`]) — write/write and read-vs-write
 //!   conflicts between concurrently schedulable subtasks (§3.3).
+//! * **history** (`HL05xx`, [`history_passes`]) — design-consistency
+//!   findings over the committed history: direct and transitive
+//!   staleness, retrace cones, under-keyed derivations. These are
+//!   *dataflow analyses* over the [`dataflow`] fixpoint framework, and
+//!   [`HistoryLinter`] runs them **incrementally**: after an edit, only
+//!   the dirty cone of the reverse-dependency index is re-analyzed.
 //!
-//! plus workspace invariant checks (`HL04xx`, [`workspace`]) and the
-//! design-history staleness report (`HL0501`). The three existing gate
-//! validators (schema build, flow structure, history consistency) emit
-//! through the same diagnostics type via [`diagnose_schema_error`],
-//! [`diagnose_flow_error`], and [`diagnose_staleness`], so gate errors
-//! and lint findings render identically.
+//! The session-layer passes (`HL04xx` workspace invariants, `HL0505`
+//! cross-session conflict prediction) need the `hercules` session types
+//! and live in `hercules::audit`; the `herclint` binary ships with that
+//! crate. The timed pass runner ([`runner`]) measures wall time per
+//! pass through an injected clock — this crate never reads ambient time
+//! or the filesystem (enforced by the `env_hygiene` test).
+//!
+//! The three existing gate validators (schema build, flow structure,
+//! history consistency) emit through the same diagnostics type via
+//! [`diagnose_schema_error`], [`diagnose_flow_error`], and
+//! [`diagnose_staleness`], so gate errors and lint findings render
+//! identically.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dataflow;
 pub mod diag;
 pub mod flow_passes;
 pub mod hazard;
+pub mod history_passes;
 pub mod registry;
+pub mod runner;
 pub mod schema_passes;
-pub mod workspace;
 
 pub use diag::{
     diagnose_flow_error, diagnose_schema_error, diagnose_staleness, Diagnostic, Diagnostics,
     JsonDiagnostic, JsonReport, LintConfig, Severity, Span, SpanKind,
 };
-pub use registry::{pass, render_passes, Layer, PassInfo, PASSES};
+pub use history_passes::{lint_history, HistoryLinter, HistoryLinterSpec, LintStats};
+pub use registry::{pass, render_markdown_table, render_passes, Layer, PassInfo, PASSES};
+pub use runner::{
+    lint_flow_timed, lint_history_timed, lint_schema_timed, JsonPassTiming, PassTiming,
+};
 
-use hercules::Session;
 use hercules_flow::TaskGraph;
 use hercules_schema::{SchemaSpec, TaskSchema};
 
@@ -90,23 +107,4 @@ pub fn lint_flow(flow: &TaskGraph, out: &mut Diagnostics) {
     flow_passes::lint_flow_passes(flow, out);
     hazard::lint_hazards(flow, out);
     hazard::lint_barrier_limited(flow, out);
-}
-
-/// Lints a live session: its schema, its active flow (if any), and the
-/// design history's staleness report (`HL0501`).
-pub fn lint_session(session: &Session, out: &mut Diagnostics) {
-    lint_schema(session.schema(), out);
-    if let Ok(flow) = session.flow() {
-        lint_flow(flow, out);
-    }
-    if let Ok(stale) = session.db().stale_instances() {
-        for s in &stale {
-            out.push(diagnose_staleness(s));
-        }
-    }
-}
-
-/// Lints a saved durable workspace directory; see [`workspace`].
-pub fn lint_workspace(root: &std::path::Path, out: &mut Diagnostics) {
-    workspace::lint_workspace(root, out);
 }

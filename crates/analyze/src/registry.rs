@@ -11,7 +11,7 @@
 //! | `HL0200`–`HL0299` | flow    | flow lint passes                         |
 //! | `HL0300`–`HL0399` | hazard  | parallel-hazard detection                |
 //! | `HL0400`–`HL0499` | workspace | journal/manifest invariant checks      |
-//! | `HL0500`–`HL0599` | history | design-consistency (staleness) findings  |
+//! | `HL0500`–`HL0599` | history/session | design-consistency findings: staleness, retrace cones, cache soundness, cross-session conflicts |
 
 use std::fmt;
 
@@ -30,6 +30,8 @@ pub enum Layer {
     Workspace,
     /// Design-history consistency (staleness).
     History,
+    /// Cross-session conflict prediction over saved sessions.
+    Session,
 }
 
 impl fmt::Display for Layer {
@@ -40,6 +42,7 @@ impl fmt::Display for Layer {
             Layer::Hazard => "hazard",
             Layer::Workspace => "workspace",
             Layer::History => "history",
+            Layer::Session => "session",
         })
     }
 }
@@ -266,11 +269,60 @@ pub const PASSES: &[PassInfo] = &[
         summary: "derived instance is out of date with respect to a newer input version",
         severity: Severity::Warn,
     },
+    PassInfo {
+        code: "HL0502",
+        layer: Layer::History,
+        name: "transitively-stale",
+        summary: "instance is current w.r.t. direct inputs but a superseded version reaches it",
+        severity: Severity::Warn,
+    },
+    PassInfo {
+        code: "HL0503",
+        layer: Layer::History,
+        name: "retrace-cone",
+        summary: "goal instance needs retracing; reports what a retrace would cut and re-run",
+        severity: Severity::Info,
+    },
+    PassInfo {
+        code: "HL0504",
+        layer: Layer::History,
+        name: "under-keyed-derivation",
+        summary: "derivation consumed an input its task schema never declared (cache unsound)",
+        severity: Severity::Warn,
+    },
+    PassInfo {
+        code: "HL0505",
+        layer: Layer::Session,
+        name: "cross-session-conflict",
+        summary: "two sessions' flows touch the same entity family with at least one writer",
+        severity: Severity::Warn,
+    },
 ];
 
 /// Looks a pass up by code.
 pub fn pass(code: &str) -> Option<&'static PassInfo> {
     PASSES.iter().find(|p| p.code == code)
+}
+
+/// Renders the registry as a GitHub-flavored markdown table — the
+/// single source of truth behind the code listings in `DESIGN.md` and
+/// `README.md` (a drift test regenerates and compares them).
+pub fn render_markdown_table() -> String {
+    let mut out = String::from(
+        "| code | layer | severity | name | finds |\n\
+         |------|-------|----------|------|-------|\n",
+    );
+    for p in PASSES {
+        out.push_str(&format!(
+            "| `{}` | {} | {} | {} | {} |\n",
+            p.code,
+            p.layer,
+            p.severity.as_str(),
+            p.name,
+            p.summary
+        ));
+    }
+    out
 }
 
 /// Renders the registry as a table (for `herclint --list-passes`).

@@ -17,7 +17,8 @@ use crate::diag::{Diagnostic, Diagnostics, Severity, Span};
 pub fn lint_schema(schema: &TaskSchema, out: &mut Diagnostics) {
     inconstructible_entity(schema, out);
     unused_tool(schema, out);
-    subtype_passes(schema, out);
+    inert_subtype(schema, out);
+    shadowed_construction(schema, out);
     tool_input_deadlock(schema, out);
     orphan_entity(schema, out);
 }
@@ -85,7 +86,7 @@ pub fn spec_cycle_pass(spec: &SchemaSpec, out: &mut Diagnostics) {
 /// come into existence — no functional dependency, not a composite, and
 /// no constructible subtype. It is unreachable from any tool output,
 /// yet its declared inputs suggest it was meant to be constructed.
-fn inconstructible_entity(schema: &TaskSchema, out: &mut Diagnostics) {
+pub(crate) fn inconstructible_entity(schema: &TaskSchema, out: &mut Diagnostics) {
     for id in schema.entity_ids() {
         if !schema.supertype_chain(id).is_empty() {
             continue; // subtype defects get the more specific HL0104/HL0105
@@ -109,7 +110,7 @@ fn inconstructible_entity(schema: &TaskSchema, out: &mut Diagnostics) {
 /// HL0103: a tool that no construction rule references — neither the
 /// tool itself nor any of its supertypes is the source of any arc, and
 /// it has no subtypes that could be referenced in its place.
-fn unused_tool(schema: &TaskSchema, out: &mut Diagnostics) {
+pub(crate) fn unused_tool(schema: &TaskSchema, out: &mut Diagnostics) {
     for id in schema.entity_ids() {
         let e = schema.entity(id);
         if !e.kind().is_tool() || !schema.subtypes(id).is_empty() {
@@ -135,34 +136,20 @@ fn unused_tool(schema: &TaskSchema, out: &mut Diagnostics) {
     }
 }
 
-/// HL0104 / HL0105: subtypes that change nothing. A subtype with no
-/// construction method of its own either *never specializes* (HL0104:
-/// nothing anywhere in its family constructs, so selecting it is a
-/// no-op) or *shadows* an ancestor's construction method (HL0105: the
-/// ancestor has a functional dependency, but expansion of the
-/// specialized node uses the subtype's — empty — dependency set, hiding
-/// the method).
-fn subtype_passes(schema: &TaskSchema, out: &mut Diagnostics) {
+/// HL0104: a subtype that *never specializes*. With no construction
+/// method of its own, no ancestor method to inherit, no dependencies,
+/// and no further subtypes, selecting it over its supertype is a no-op.
+pub(crate) fn inert_subtype(schema: &TaskSchema, out: &mut Diagnostics) {
     for id in schema.entity_ids() {
         let chain = schema.supertype_chain(id);
         if chain.is_empty() || schema.is_constructible(id) {
             continue;
         }
-        let e = schema.entity(id);
-        let ancestor_method = chain.iter().find(|&&a| schema.functional_dep(a).is_some());
-        if let Some(&a) = ancestor_method {
-            out.push(Diagnostic::new(
-                "HL0105",
-                Severity::Warn,
-                Span::entity(e.name()),
-                format!(
-                    "subtype `{}` shadows the construction method of `{}`: specializing to it \
-                     hides the ancestor's functional dependency and adds none of its own",
-                    e.name(),
-                    schema.entity(a).name()
-                ),
-            ));
-        } else if schema.deps_of(id).is_empty() && schema.subtypes(id).is_empty() {
+        if chain.iter().any(|&a| schema.functional_dep(a).is_some()) {
+            continue; // an inherited method makes this HL0105's case
+        }
+        if schema.deps_of(id).is_empty() && schema.subtypes(id).is_empty() {
+            let e = schema.entity(id);
             out.push(Diagnostic::new(
                 "HL0104",
                 Severity::Warn,
@@ -178,13 +165,41 @@ fn subtype_passes(schema: &TaskSchema, out: &mut Diagnostics) {
     }
 }
 
+/// HL0105: a subtype that *shadows* an ancestor's construction method:
+/// the ancestor has a functional dependency, but expansion of the
+/// specialized node uses the subtype's — empty — dependency set, hiding
+/// the method.
+pub(crate) fn shadowed_construction(schema: &TaskSchema, out: &mut Diagnostics) {
+    for id in schema.entity_ids() {
+        let chain = schema.supertype_chain(id);
+        if chain.is_empty() || schema.is_constructible(id) {
+            continue;
+        }
+        let Some(&a) = chain.iter().find(|&&a| schema.functional_dep(a).is_some()) else {
+            continue;
+        };
+        let e = schema.entity(id);
+        out.push(Diagnostic::new(
+            "HL0105",
+            Severity::Warn,
+            Span::entity(e.name()),
+            format!(
+                "subtype `{}` shadows the construction method of `{}`: specializing to it \
+                 hides the ancestor's functional dependency and adds none of its own",
+                e.name(),
+                schema.entity(a).name()
+            ),
+        ));
+    }
+}
+
 /// HL0106: a required *data* dependency on a tool entity that wants to
 /// be constructed (it has data dependencies of its own) but cannot be
 /// (no functional dependency, composition, or constructible subtype).
 /// Any flow needing the dependent entity deadlocks waiting for a tool
 /// no task can produce (§3.3 builds tools *during* design — Fig. 2 —
 /// which is exactly when this wiring mistake happens).
-fn tool_input_deadlock(schema: &TaskSchema, out: &mut Diagnostics) {
+pub(crate) fn tool_input_deadlock(schema: &TaskSchema, out: &mut Diagnostics) {
     for dep in schema.deps() {
         if !dep.is_data() || !dep.is_required() {
             continue;
@@ -213,7 +228,7 @@ fn tool_input_deadlock(schema: &TaskSchema, out: &mut Diagnostics) {
 /// HL0107: a data entity that participates in nothing — no
 /// dependencies, no dependents, no subtype relations. Dead weight in
 /// the schema.
-fn orphan_entity(schema: &TaskSchema, out: &mut Diagnostics) {
+pub(crate) fn orphan_entity(schema: &TaskSchema, out: &mut Diagnostics) {
     for id in schema.entity_ids() {
         let e = schema.entity(id);
         if e.kind().is_data()

@@ -1,0 +1,80 @@
+//! Drift test for the generated HL pass table: the registry is the
+//! single source of truth, and the tables embedded in `DESIGN.md` and
+//! `README.md` between the `hl-pass-table` markers must match it
+//! byte for byte. Regenerate by replacing the marked region with
+//! [`render_markdown_table`]'s output.
+
+use hercules_analyze::{render_markdown_table, Layer, PASSES};
+
+const BEGIN: &str = "<!-- BEGIN GENERATED: hl-pass-table -->";
+const END: &str = "<!-- END GENERATED: hl-pass-table -->";
+
+/// Extracts the text between the generated-table markers.
+fn between_markers<'a>(doc: &'a str, path: &str) -> &'a str {
+    let start = doc
+        .find(BEGIN)
+        .unwrap_or_else(|| panic!("{path} is missing the `{BEGIN}` marker"))
+        + BEGIN.len();
+    let end = doc[start..]
+        .find(END)
+        .unwrap_or_else(|| panic!("{path} is missing the `{END}` marker"))
+        + start;
+    doc[start..end].trim_matches('\n')
+}
+
+#[test]
+fn design_md_table_matches_the_registry() {
+    let doc = include_str!("../../../DESIGN.md");
+    assert_eq!(
+        between_markers(doc, "DESIGN.md"),
+        render_markdown_table().trim_end_matches('\n'),
+        "DESIGN.md pass table drifted from the registry; regenerate it \
+         from hercules_analyze::render_markdown_table()"
+    );
+}
+
+#[test]
+fn readme_table_matches_the_registry() {
+    let doc = include_str!("../../../README.md");
+    assert_eq!(
+        between_markers(doc, "README.md"),
+        render_markdown_table().trim_end_matches('\n'),
+        "README.md pass table drifted from the registry; regenerate it \
+         from hercules_analyze::render_markdown_table()"
+    );
+}
+
+#[test]
+fn registry_codes_are_sorted_and_unique() {
+    let codes: Vec<&str> = PASSES.iter().map(|p| p.code).collect();
+    let mut sorted = codes.clone();
+    sorted.sort();
+    sorted.dedup();
+    assert_eq!(codes, sorted, "registry codes must be sorted and unique");
+}
+
+#[test]
+fn registry_codes_live_in_their_layers_range() {
+    for p in PASSES {
+        let number: u32 = p
+            .code
+            .strip_prefix("HL")
+            .expect("HL-prefixed")
+            .parse()
+            .expect("numeric");
+        let range = match p.layer {
+            Layer::Schema => 100..200,
+            Layer::Flow => 200..300,
+            Layer::Hazard => 300..400,
+            Layer::Workspace => 400..500,
+            Layer::History | Layer::Session => 500..600,
+        };
+        assert!(
+            range.contains(&number),
+            "{} is outside the {} layer's code range {:?}",
+            p.code,
+            p.layer,
+            range
+        );
+    }
+}

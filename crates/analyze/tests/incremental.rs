@@ -1,0 +1,228 @@
+//! End-to-end tests of the incremental consistency engine (`HL05xx`)
+//! against real executed sessions: a clean complex flow produces no
+//! findings, an edit raises the whole staleness family, and the
+//! incremental path analyzes only the affected cone while producing
+//! byte-identical diagnostics.
+
+use hercules::{eda, flow::fixtures as flow_fixtures, history::Metadata, Session};
+use hercules_analyze::{lint_history, Diagnostics, HistoryLinter};
+use hercules_history::{Derivation, InstanceId, RetraceCone};
+
+/// Seeds a full-adder edited netlist for flows with a `Netlist` input.
+fn seed_adder(session: &mut Session) -> InstanceId {
+    let schema = session.schema().clone();
+    let editor = schema.require("CircuitEditor").expect("known");
+    let edited = schema.require("EditedNetlist").expect("known");
+    let tool = session.db().instances_of(editor)[0];
+    session
+        .db_mut()
+        .record_derived(
+            edited,
+            Metadata::by("tester").named("fa"),
+            &eda::cells::full_adder().to_bytes(),
+            Derivation::by_tool(tool, []),
+        )
+        .expect("records")
+}
+
+/// Builds and executes the Fig. 5 complex flow (entity reuse, multiple
+/// outputs), returning the session and the seeded netlist.
+fn executed_fig5() -> (Session, InstanceId) {
+    let mut session = Session::odyssey("tester");
+    let netlist_instance = seed_adder(&mut session);
+    let schema = session.schema().clone();
+
+    // Seed a prior Layout for the Fig. 5 extraction input.
+    let placer = schema.require("Placer").expect("known");
+    let layout_entity = schema.require("Layout").expect("known");
+    let placer_inst = session.db().instances_of(placer)[0];
+    let layout =
+        eda::place(&eda::cells::full_adder(), &eda::PlacementRules::default()).expect("places");
+    session
+        .db_mut()
+        .record_derived(
+            layout_entity,
+            Metadata::by("tester").named("adder layout"),
+            &layout.to_bytes(),
+            Derivation::by_tool(placer_inst, [netlist_instance]),
+        )
+        .expect("records");
+
+    let flow = flow_fixtures::fig5(schema.clone()).expect("fixture");
+    let netlist_node = flow
+        .nodes()
+        .find(|(_, n)| schema.entity(n.entity()).name() == "Netlist")
+        .map(|(id, _)| id)
+        .expect("shared netlist node");
+    session.install_flow(flow);
+    session.select(netlist_node, netlist_instance);
+    let unbound = session.bind_latest().expect("flow installed");
+    assert!(unbound.is_empty(), "library covers all leaves: {unbound:?}");
+    session.run().expect("executes");
+    (session, netlist_instance)
+}
+
+#[test]
+fn executed_fig5_session_is_clean() {
+    let (session, _) = executed_fig5();
+    let mut out = Diagnostics::new();
+    lint_history(session.db(), &mut out).expect("lints");
+    assert!(
+        !out.codes().iter().any(|c| c.starts_with("HL05")),
+        "fresh execution must be consistent:\n{}",
+        out.render_text()
+    );
+}
+
+#[test]
+fn editing_a_fig5_input_raises_the_staleness_family() {
+    let (mut session, netlist) = executed_fig5();
+    let schema = session.schema().clone();
+    let editor = schema.require("CircuitEditor").expect("known");
+    let edited = schema.require("EditedNetlist").expect("known");
+    let editor_inst = session.db().instances_of(editor)[0];
+    session
+        .db_mut()
+        .record_derived(
+            edited,
+            Metadata::by("tester").named("fa v2"),
+            &eda::cells::ripple_adder(2).to_bytes(),
+            Derivation::by_tool(editor_inst, [netlist]),
+        )
+        .expect("records");
+
+    let mut out = Diagnostics::new();
+    lint_history(session.db(), &mut out).expect("lints");
+    let codes = out.codes();
+    assert!(codes.contains("HL0501"), "direct staleness: {codes:?}");
+    assert!(codes.contains("HL0502"), "transitive staleness: {codes:?}");
+    assert!(codes.contains("HL0503"), "retrace-cone report: {codes:?}");
+}
+
+#[test]
+fn incremental_relint_analyzes_only_the_cone_of_an_edit() {
+    let (mut session, netlist) = executed_fig5();
+
+    let mut linter = HistoryLinter::new();
+    let mut first = Diagnostics::new();
+    linter
+        .lint_incremental(session.db(), &mut first)
+        .expect("lints");
+    let bootstrap = *linter.stats();
+    assert_eq!(
+        bootstrap.instances_analyzed, bootstrap.instances_total,
+        "a fresh linter degenerates to a full analysis"
+    );
+
+    // Grow the history far from the edit (independent device models)
+    // and absorb the growth with one lint, so the next cone measures
+    // the edit alone.
+    let schema = session.schema().clone();
+    let dme = schema.require("DeviceModelEditor").expect("known");
+    for n in 0..30 {
+        session
+            .db_mut()
+            .record_primary(dme, Metadata::by("tester").named(&format!("dm{n}")), b"m")
+            .expect("records");
+    }
+    let mut absorbed = Diagnostics::new();
+    linter
+        .lint_incremental(session.db(), &mut absorbed)
+        .expect("lints");
+
+    let editor = schema.require("CircuitEditor").expect("known");
+    let edited = schema.require("EditedNetlist").expect("known");
+    let editor_inst = session.db().instances_of(editor)[0];
+    session
+        .db_mut()
+        .record_derived(
+            edited,
+            Metadata::by("tester").named("fa v2"),
+            &eda::cells::ripple_adder(2).to_bytes(),
+            Derivation::by_tool(editor_inst, [netlist]),
+        )
+        .expect("records");
+
+    let mut inc = Diagnostics::new();
+    linter
+        .lint_incremental(session.db(), &mut inc)
+        .expect("lints");
+    let inc_stats = *linter.stats();
+
+    let mut full = Diagnostics::new();
+    let mut fresh = HistoryLinter::new();
+    fresh.lint_full(session.db(), &mut full).expect("lints");
+    let full_stats = *fresh.stats();
+
+    inc.sort();
+    full.sort();
+    assert_eq!(
+        inc.render_text(),
+        full.render_text(),
+        "incremental and full diagnostics must be byte-identical"
+    );
+    assert!(
+        inc_stats.incremental && !full_stats.incremental,
+        "stats label their mode"
+    );
+    assert!(
+        inc_stats.instances_analyzed < full_stats.instances_analyzed / 2,
+        "the cone ({}) must be well under the full scan ({})",
+        inc_stats.instances_analyzed,
+        full_stats.instances_analyzed
+    );
+    assert!(
+        inc_stats.solver_visits < full_stats.solver_visits,
+        "the seeded solve ({}) must visit fewer nodes than the full one ({})",
+        inc_stats.solver_visits,
+        full_stats.solver_visits
+    );
+}
+
+#[test]
+fn analysis_cone_matches_the_executors_retrace() {
+    // An executor-built extraction chain: every derivation the recall
+    // walks was recorded with its complete inputs.
+    let mut session = Session::odyssey("tester");
+    let netlist = seed_adder(&mut session);
+    let ext = session.start_from_goal("ExtractedNetlist").expect("starts");
+    let created = session.expand(ext).expect("expands");
+    let layout_node = created[1];
+    let created = session.expand(layout_node).expect("expands");
+    session.select(created[1], netlist);
+    session.bind_latest().expect("binds");
+    session.run().expect("runs");
+    let extracted = session.last_report().expect("ran").single(ext);
+
+    let schema = session.schema().clone();
+    let editor = schema.require("CircuitEditor").expect("known");
+    let edited = schema.require("EditedNetlist").expect("known");
+    let editor_inst = session.db().instances_of(editor)[0];
+    session
+        .db_mut()
+        .record_derived(
+            edited,
+            Metadata::by("tester").named("fa v2"),
+            &eda::cells::ripple_adder(2).to_bytes(),
+            Derivation::by_tool(editor_inst, [netlist]),
+        )
+        .expect("records");
+
+    // Compare the predicted cone with what the retrace actually does.
+    let predicted = RetraceCone::compute(session.db(), extracted).expect("computes");
+    assert!(!predicted.already_current, "the goal needs retracing");
+    assert!(!predicted.cuts.is_empty(), "the edit forces a version cut");
+
+    let report = session.retrace(extracted).expect("retraces");
+    assert_eq!(
+        report.cone, predicted,
+        "the retrace consumed exactly the predicted cone"
+    );
+    assert!(
+        report.report.runs() <= predicted.rerun.len(),
+        "predicted reruns ({}) bound the actual invocations ({}) — the \
+         cache may absorb some",
+        predicted.rerun.len(),
+        report.report.runs()
+    );
+}

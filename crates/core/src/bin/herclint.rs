@@ -4,11 +4,12 @@
 //! ```text
 //! herclint --schema schema.json [--flow flow.json]   lint a schema (and a flow against it)
 //! herclint --workspace DIR                           lint a saved durable workspace
+//! herclint --conflicts A.json B.json                 predict conflicts between two sessions
 //! herclint --fixtures                                lint every built-in fixture
 //! herclint --list-passes                             print the pass registry
 //!
 //! options:
-//!   --format text|json     output format (default text)
+//!   --format text|json     output format (default text; json includes per-pass timings)
 //!   --suppress CODES       comma-separated codes to silence (repeatable)
 //!   --fail-on SEV          exit 1 at or above error|warn|info; `never` always exits 0
 //!                          (default error)
@@ -20,10 +21,13 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Instant;
 
+use hercules::audit::{lint_workspace, predict_conflicts};
+use hercules::SessionSpec;
 use hercules_analyze::{
-    lint_flow, lint_schema, lint_schema_spec, lint_workspace, render_passes, Diagnostics,
-    JsonReport, LintConfig, Severity,
+    lint_flow_timed, lint_schema_spec, lint_schema_timed, render_passes, Diagnostics,
+    JsonPassTiming, JsonReport, LintConfig, PassTiming, Severity,
 };
 use hercules_flow::{fixtures as flow_fixtures, FlowSpec, TaskGraph};
 use hercules_schema::{fixtures as schema_fixtures, SchemaSpec, TaskSchema};
@@ -32,6 +36,7 @@ struct Args {
     schema: Option<PathBuf>,
     flow: Option<PathBuf>,
     workspace: Option<PathBuf>,
+    conflicts: Option<(PathBuf, PathBuf)>,
     fixtures: bool,
     list_passes: bool,
     json: bool,
@@ -44,6 +49,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         schema: None,
         flow: None,
         workspace: None,
+        conflicts: None,
         fixtures: false,
         list_passes: false,
         json: false,
@@ -61,6 +67,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--schema" => args.schema = Some(PathBuf::from(value("--schema", &mut it)?)),
             "--flow" => args.flow = Some(PathBuf::from(value("--flow", &mut it)?)),
             "--workspace" => args.workspace = Some(PathBuf::from(value("--workspace", &mut it)?)),
+            "--conflicts" => {
+                let a = PathBuf::from(value("--conflicts", &mut it)?);
+                let b = PathBuf::from(value("--conflicts", &mut it)?);
+                args.conflicts = Some((a, b));
+            }
             "--fixtures" => args.fixtures = true,
             "--list-passes" => args.list_passes = true,
             "--format" => match value("--format", &mut it)?.as_str() {
@@ -93,20 +104,42 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     if args.flow.is_some() && args.schema.is_none() {
         return Err(String::from("--flow requires --schema"));
     }
-    if !args.fixtures && !args.list_passes && args.schema.is_none() && args.workspace.is_none() {
+    if !args.fixtures
+        && !args.list_passes
+        && args.schema.is_none()
+        && args.workspace.is_none()
+        && args.conflicts.is_none()
+    {
         return Err(String::from(
-            "nothing to lint: pass --schema, --workspace, --fixtures, or --list-passes",
+            "nothing to lint: pass --schema, --workspace, --conflicts, --fixtures, \
+             or --list-passes",
         ));
     }
     Ok(args)
 }
 
-const USAGE: &str = "usage: herclint [--schema FILE [--flow FILE]] [--workspace DIR] [--fixtures]
-                [--list-passes] [--format text|json] [--suppress CODES]
+const USAGE: &str = "usage: herclint [--schema FILE [--flow FILE]] [--workspace DIR]
+                [--conflicts FILE FILE] [--fixtures] [--list-passes]
+                [--format text|json] [--suppress CODES]
                 [--fail-on error|warn|info|never]";
 
-/// One lint target: a name plus its collected findings.
-type Target = (String, Diagnostics);
+/// One lint target: a name, its collected findings, and its per-pass
+/// timings (empty for targets the timed runner does not cover).
+type Target = (String, Diagnostics, Vec<PassTiming>);
+
+/// The real monotonic clock the timed runner gets. (The runner itself
+/// never reads time; binaries are the only place wall clocks enter.)
+fn wall_clock() -> impl FnMut() -> u64 {
+    let start = Instant::now();
+    move || start.elapsed().as_nanos() as u64
+}
+
+fn read_session_spec(path: &std::path::Path) -> Result<SessionSpec, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    SessionSpec::from_json(&text)
+        .map_err(|e| format!("{} is not a session spec: {e}", path.display()))
+}
 
 fn lint_file_targets(args: &Args, targets: &mut Vec<Target>) -> Result<(), String> {
     if let Some(path) = &args.schema {
@@ -116,7 +149,7 @@ fn lint_file_targets(args: &Args, targets: &mut Vec<Target>) -> Result<(), Strin
             .map_err(|e| format!("{} is not a schema spec: {e}", path.display()))?;
         let mut out = Diagnostics::with_config(args.config.clone());
         let schema = lint_schema_spec(&spec, &mut out);
-        targets.push((path.display().to_string(), out));
+        targets.push((path.display().to_string(), out, Vec::new()));
         if let Some(flow_path) = &args.flow {
             let Some(schema) = schema else {
                 return Err(format!(
@@ -132,14 +165,23 @@ fn lint_file_targets(args: &Args, targets: &mut Vec<Target>) -> Result<(), Strin
                 .instantiate(Arc::new(schema))
                 .map_err(|e| format!("{} does not instantiate: {e}", flow_path.display()))?;
             let mut out = Diagnostics::with_config(args.config.clone());
-            lint_flow(&flow, &mut out);
-            targets.push((flow_path.display().to_string(), out));
+            let mut clock = wall_clock();
+            let timings = lint_flow_timed(&flow, &mut out, &mut clock);
+            targets.push((flow_path.display().to_string(), out, timings));
         }
     }
     if let Some(dir) = &args.workspace {
         let mut out = Diagnostics::with_config(args.config.clone());
         lint_workspace(dir, &mut out);
-        targets.push((dir.display().to_string(), out));
+        targets.push((dir.display().to_string(), out, Vec::new()));
+    }
+    if let Some((a_path, b_path)) = &args.conflicts {
+        let a = read_session_spec(a_path)?;
+        let b = read_session_spec(b_path)?;
+        let mut out = Diagnostics::with_config(args.config.clone());
+        predict_conflicts(&a, &b, &mut out);
+        let name = format!("conflicts:{}+{}", a_path.display(), b_path.display());
+        targets.push((name, out, Vec::new()));
     }
     Ok(())
 }
@@ -153,8 +195,9 @@ fn lint_fixture_targets(config: &LintConfig, targets: &mut Vec<Target>) {
     ];
     for (name, make) in schemas {
         let mut out = Diagnostics::with_config(config.clone());
-        lint_schema(&make(), &mut out);
-        targets.push((name.to_owned(), out));
+        let mut clock = wall_clock();
+        let timings = lint_schema_timed(&make(), &mut out, &mut clock);
+        targets.push((name.to_owned(), out, timings));
     }
     type FlowFixture = fn(Arc<TaskSchema>) -> Result<TaskGraph, hercules_flow::FlowError>;
     fn wide_parallel4(schema: Arc<TaskSchema>) -> Result<TaskGraph, hercules_flow::FlowError> {
@@ -176,11 +219,17 @@ fn lint_fixture_targets(config: &LintConfig, targets: &mut Vec<Target>) {
     let schema = Arc::new(schema_fixtures::fig1());
     for (name, make) in flows {
         let mut out = Diagnostics::with_config(config.clone());
-        match make(schema.clone()) {
-            Ok(flow) => lint_flow(&flow, &mut out),
-            Err(e) => out.push(hercules_analyze::diagnose_flow_error(&e)),
-        }
-        targets.push((name.to_owned(), out));
+        let timings = match make(schema.clone()) {
+            Ok(flow) => {
+                let mut clock = wall_clock();
+                lint_flow_timed(&flow, &mut out, &mut clock)
+            }
+            Err(e) => {
+                out.push(hercules_analyze::diagnose_flow_error(&e));
+                Vec::new()
+            }
+        };
+        targets.push((name.to_owned(), out, timings));
     }
 }
 
@@ -196,18 +245,23 @@ fn run(argv: &[String]) -> Result<ExitCode, String> {
     if args.fixtures {
         lint_fixture_targets(&args.config, &mut targets);
     }
-    for (_, out) in &mut targets {
+    for (_, out, _) in &mut targets {
         out.sort();
     }
 
     if args.json {
-        let report = JsonReport::from_targets(targets.iter().map(|(n, d)| (n.as_str(), d)));
+        let mut timings: Vec<JsonPassTiming> = Vec::new();
+        for (name, _, target_timings) in &targets {
+            timings.extend(JsonPassTiming::from_timings(name, target_timings));
+        }
+        let report = JsonReport::from_targets(targets.iter().map(|(n, d, _)| (n.as_str(), d)))
+            .with_timings(timings);
         println!("{}", report.to_json().map_err(|e| e.to_string())?);
     } else {
         let mut errors = 0;
         let mut warnings = 0;
         let mut infos = 0;
-        for (name, out) in &targets {
+        for (name, out, _) in &targets {
             errors += out.count(Severity::Error);
             warnings += out.count(Severity::Warn);
             infos += out.count(Severity::Info);
@@ -223,7 +277,10 @@ fn run(argv: &[String]) -> Result<ExitCode, String> {
         println!("{errors} error(s), {warnings} warning(s), {infos} info(s)");
     }
 
-    let worst = targets.iter().filter_map(|(_, d)| d.max_severity()).max();
+    let worst = targets
+        .iter()
+        .filter_map(|(_, d, _)| d.max_severity())
+        .max();
     let failed = match (args.fail_on, worst) {
         (Some(threshold), Some(worst)) => worst >= threshold,
         _ => false,

@@ -66,6 +66,7 @@ mod error;
 mod persist;
 mod session;
 
+pub mod audit;
 pub mod catalog;
 pub mod encaps;
 pub mod setup;

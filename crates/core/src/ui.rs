@@ -10,6 +10,7 @@
 use std::fmt::Write as _;
 use std::path::Path;
 
+use hercules_analyze::{Diagnostics, HistoryLinter, HistoryLinterSpec};
 use hercules_exec::report_to_trace;
 use hercules_flow::{render, NodeId};
 use hercules_history::{InstanceId, InstanceSpec};
@@ -92,6 +93,18 @@ pub enum Command {
     /// quarantining and repairing damage when the workspace is
     /// writable.
     Scrub,
+    /// `lint [--incremental]` — run the static analyzer over the
+    /// session. With `--incremental` the history passes re-analyze only
+    /// the cone of instances affected since the last lint.
+    Lint {
+        /// Reuse the persistent analysis state instead of starting
+        /// from scratch.
+        incremental: bool,
+    },
+    /// `stale` — report every out-of-date derived instance with its
+    /// predicted retrace cone (§3.3's "whether such retracing need
+    /// occur", answered without running anything).
+    Stale,
 }
 
 impl Command {
@@ -182,6 +195,12 @@ impl Command {
             )),
             "checkpoint" => Ok(Command::Checkpoint),
             "scrub" => Ok(Command::Scrub),
+            "lint" => match parts.next() {
+                None => Ok(Command::Lint { incremental: false }),
+                Some("--incremental") => Ok(Command::Lint { incremental: true }),
+                Some(other) => Err(bad(&format!("unknown lint option `{other}`"))),
+            },
+            "stale" => Ok(Command::Stale),
             other => Err(bad(&format!("unknown verb `{other}`"))),
         }
     }
@@ -270,7 +289,17 @@ pub struct Ui {
     workspace: Option<Workspace>,
     last_recovery: Option<RecoveryReport>,
     env: Env,
+    /// Persistent analysis state: the reverse-dependency index and
+    /// cached verdicts behind `lint --incremental` and `stale`.
+    linter: HistoryLinter,
 }
+
+/// Sidecar file (under the workspace root) persisting the analysis
+/// state across processes: a [`HistoryLinterSpec`] as JSON. Written
+/// best-effort at `checkpoint`, validated against the history on
+/// `open` — a stale or damaged sidecar just means the first lint is a
+/// full one.
+const ANALYSIS_SIDECAR: &str = "analysis-index.json";
 
 impl Ui {
     /// Wraps a session (no workspace attached; use `save <dir>`).
@@ -287,6 +316,7 @@ impl Ui {
             workspace: None,
             last_recovery: None,
             env,
+            linter: HistoryLinter::new(),
         }
     }
 
@@ -435,7 +465,9 @@ impl Ui {
             | Command::Save(_)
             | Command::Open(_)
             | Command::Checkpoint
-            | Command::Scrub => None,
+            | Command::Scrub
+            | Command::Lint { .. }
+            | Command::Stale => None,
         }
     }
 
@@ -769,6 +801,11 @@ impl Ui {
                         .incr(hercules_obs::names::STORE_DEGRADED_OPENS, 1);
                 }
                 self.workspace = Some(ws);
+                // The old analysis state described a different history;
+                // restore it from the workspace's sidecar when the
+                // sidecar still matches, else start fresh (the next
+                // lint will be a full one).
+                self.linter = self.load_analysis_sidecar().unwrap_or_default();
                 let mut out = format!("opened workspace `{path}`: {recovery}\n");
                 let _ = writeln!(out, "recovery: {}", recovery.to_json());
                 self.last_recovery = Some(recovery);
@@ -780,10 +817,9 @@ impl Ui {
                 }),
                 Some(ws) => {
                     ws.checkpoint(&self.session).map_err(HerculesError::from)?;
-                    Ok(format!(
-                        "checkpointed; now at generation {}\n",
-                        ws.generation()
-                    ))
+                    let generation = ws.generation();
+                    self.save_analysis_sidecar();
+                    Ok(format!("checkpointed; now at generation {generation}\n"))
                 }
             },
             Command::Scrub => match self.workspace.as_mut() {
@@ -797,7 +833,105 @@ impl Ui {
                     Ok(out)
                 }
             },
+            Command::Lint { incremental } => {
+                let mut out = Diagnostics::new();
+                hercules_analyze::lint_schema(self.session.schema(), &mut out);
+                if let Ok(flow) = self.session.flow() {
+                    hercules_analyze::lint_flow(flow, &mut out);
+                }
+                let result = if incremental {
+                    self.linter.lint_incremental(self.session.db(), &mut out)
+                } else {
+                    self.linter.lint_full(self.session.db(), &mut out)
+                };
+                result.map_err(|e| HerculesError::Store {
+                    message: format!("history analysis failed: {e}"),
+                })?;
+                let stats = self.linter.stats();
+                let mut text = if out.is_empty() {
+                    String::from("lint: clean\n")
+                } else {
+                    out.render_text()
+                };
+                let _ = writeln!(
+                    text,
+                    "analyzed {}/{} instance(s), {} solver visit(s) ({})",
+                    stats.instances_analyzed,
+                    stats.instances_total,
+                    stats.solver_visits,
+                    if stats.incremental {
+                        "incremental"
+                    } else {
+                        "full"
+                    }
+                );
+                Ok(text)
+            }
+            Command::Stale => {
+                // Bring the persistent index up to date (cheap: only
+                // the instances recorded since the last lint/stale).
+                let mut scratch = Diagnostics::new();
+                self.linter
+                    .lint_incremental(self.session.db(), &mut scratch)
+                    .map_err(|e| HerculesError::Store {
+                        message: format!("history analysis failed: {e}"),
+                    })?;
+                let stale = self.session.db().stale_instances()?;
+                if stale.is_empty() {
+                    return Ok("stale: everything is current\n".to_owned());
+                }
+                let mut out = format!("{} stale instance(s):\n", stale.len());
+                for s in &stale {
+                    let cone = self
+                        .linter
+                        .index()
+                        .retrace_cone(self.session.db(), s.instance)?;
+                    let _ = writeln!(
+                        out,
+                        "  {} ({} superseded by {}): retrace would be {}",
+                        instance_label(&self.session, s.instance),
+                        s.outdated_input,
+                        s.newer_version,
+                        cone.summary()
+                    );
+                }
+                Ok(out)
+            }
         }
+    }
+
+    /// Writes the analysis sidecar next to the checkpoint, best-effort:
+    /// a failure only costs the next process a full re-lint. The linter
+    /// is brought current first so the sidecar covers the whole
+    /// journaled history.
+    fn save_analysis_sidecar(&mut self) {
+        let Some(ws) = &self.workspace else { return };
+        let mut scratch = Diagnostics::new();
+        if self
+            .linter
+            .lint_incremental(self.session.db(), &mut scratch)
+            .is_err()
+        {
+            return;
+        }
+        let Ok(json) = serde_json::to_string(&self.linter.to_spec()) else {
+            return;
+        };
+        let path = ws.root().join(ANALYSIS_SIDECAR);
+        let fs = &self.env.fs;
+        if let Ok(mut f) = fs.create_truncate(&path) {
+            let _ = f.write_all(json.as_bytes()).and_then(|()| f.sync_all());
+        }
+    }
+
+    /// Restores the analysis state from the attached workspace's
+    /// sidecar; `None` when there is no sidecar or it no longer matches
+    /// the recovered history.
+    fn load_analysis_sidecar(&self) -> Option<HistoryLinter> {
+        let ws = self.workspace.as_ref()?;
+        let bytes = self.env.fs.read(&ws.root().join(ANALYSIS_SIDECAR)).ok()?;
+        let spec: HistoryLinterSpec = serde_json::from_slice(&bytes).ok()?;
+        HistoryLinter::from_spec(&spec, self.session.db())
     }
 
     /// Runs a whole script (one command per line; `#` comments and
@@ -1192,6 +1326,109 @@ mod tests {
         // And it keeps journaling: later commands land in the journal.
         ui.execute("clear").expect("clears");
         ui.execute("plan place-flow").expect("instantiates");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn parse_lint_and_stale_commands() {
+        assert_eq!(
+            Command::parse("lint").expect("ok"),
+            Command::Lint { incremental: false }
+        );
+        assert_eq!(
+            Command::parse("lint --incremental").expect("ok"),
+            Command::Lint { incremental: true }
+        );
+        assert_eq!(Command::parse("stale").expect("ok"), Command::Stale);
+        assert!(Command::parse("lint --frobnicate").is_err());
+    }
+
+    /// Records a superseding edit of the netlist `v1`, making every
+    /// result derived from it stale.
+    fn supersede_netlist(session: &mut Session, v1: InstanceId) -> InstanceId {
+        let schema = session.schema().clone();
+        let editor = schema.require("CircuitEditor").expect("known");
+        let edited = schema.require("EditedNetlist").expect("known");
+        let editor_inst = session.db().instances_of(editor)[0];
+        session
+            .db_mut()
+            .record_derived(
+                edited,
+                crate::history::Metadata::by("jbb").named("netlist v2"),
+                b"v2",
+                crate::history::Derivation::by_tool(editor_inst, [v1]),
+            )
+            .expect("records")
+    }
+
+    #[test]
+    fn lint_and_stale_commands_track_an_edit() {
+        let mut ui = Ui::new(Session::odyssey("jbb"));
+        let out = ui.execute("lint").expect("lints");
+        assert!(out.contains("(full)"), "{out}");
+        let out = ui.execute("stale").expect("checks");
+        assert!(out.contains("everything is current"), "{out}");
+
+        ui.run_script(
+            "goal Layout\n\
+             expand n0\n\
+             specialize n2 EditedNetlist\n\
+             expand n2\n\
+             bind-latest\n\
+             run\n",
+        )
+        .expect("script runs");
+        let report = ui.session().last_report().expect("ran").clone();
+        let netlist = report.single(hercules_flow::NodeId::from_index(2));
+        supersede_netlist(ui.session_mut(), netlist);
+
+        // The incremental lint only analyzes the edit's cone, yet
+        // reports the derived layout as transitively affected.
+        let out = ui.execute("lint --incremental").expect("lints");
+        assert!(out.contains("HL0501"), "direct staleness: {out}");
+        assert!(out.contains("(incremental)"), "{out}");
+        let full = {
+            let mut out = Diagnostics::new();
+            hercules_analyze::lint_history(ui.session().db(), &mut out).expect("lints");
+            out.render_text()
+        };
+        for line in full.lines().filter(|l| l.contains("HL05")) {
+            assert!(out.contains(line), "incremental is complete: {line}\n{out}");
+        }
+
+        let out = ui.execute("stale").expect("checks");
+        assert!(out.contains("stale instance(s):"), "{out}");
+        assert!(out.contains("retrace would be"), "{out}");
+    }
+
+    #[test]
+    fn analysis_sidecar_survives_checkpoint_and_open() {
+        let root = std::env::temp_dir().join(format!("hercules-ui-lintsc-{}", std::process::id()));
+        std::fs::remove_dir_all(&root).ok();
+        let mut ui = Ui::new(Session::odyssey("jbb"));
+        ui.run_script(&format!(
+            "save {}\n\
+             goal Layout\n\
+             expand n0\n\
+             specialize n2 EditedNetlist\n\
+             expand n2\n\
+             bind-latest\n\
+             run\n\
+             lint\n\
+             checkpoint\n",
+            root.display()
+        ))
+        .expect("script runs");
+        assert!(root.join(ANALYSIS_SIDECAR).exists(), "sidecar written");
+        drop(ui);
+
+        let mut ui = Ui::new(Session::odyssey("jbb"));
+        ui.execute(&format!("open {}", root.display()))
+            .expect("reopens");
+        // The restored index already covers the whole history, so the
+        // incremental lint analyzes nothing.
+        let out = ui.execute("lint --incremental").expect("lints");
+        assert!(out.contains("analyzed 0/"), "restored index: {out}");
         std::fs::remove_dir_all(&root).ok();
     }
 }

@@ -2,17 +2,18 @@
 //!
 //! "Design consistency maintenance (i.e., automatic retracing of a flow
 //! to update derived design data) is readily supported through the
-//! storage of the design history." [`retrace`] recalls the flow that
-//! produced an instance from its derivation history, *cuts* the recall
-//! at every instance that has been superseded by a newer version
-//! (binding the newest version there instead of re-running its
-//! producer), and re-executes with caching on — so only the tasks
-//! affected by newer inputs actually re-run.
+//! storage of the design history." [`retrace`] first computes the
+//! [`RetraceCone`] — the structured prediction of what retracing will
+//! touch, shared with the `HL0503` analysis pass — then recalls the
+//! flow that produced the instance, *cutting* the recall at every
+//! version cut the cone found (binding the newest version there instead
+//! of re-running its producer), and re-executes with caching on — so
+//! only the tasks affected by newer inputs actually re-run.
 
 use std::collections::HashMap;
 
 use hercules_flow::{NodeId, TaskGraph};
-use hercules_history::{HistoryDb, InstanceId};
+use hercules_history::{HistoryDb, InstanceId, RetraceCone};
 use hercules_schema::DepKind;
 
 use crate::binding::Binding;
@@ -29,21 +30,28 @@ pub struct RetraceReport {
     /// `true` when nothing had to re-run (the goal was already
     /// current).
     pub already_current: bool,
+    /// The cone computed before execution: what the history predicted
+    /// this retrace would recall, cut, and re-run.
+    pub cone: RetraceCone,
 }
 
 /// Recall-flow builder: derivation history → task graph with a version
-/// cutoff.
+/// cutoff. The cutoff decisions come from a precomputed
+/// [`RetraceCone`]: `cuts` maps each superseded instance the cone found
+/// to the newest version bound in its place.
 struct Recall<'a> {
     db: &'a HistoryDb,
+    cuts: HashMap<InstanceId, InstanceId>,
     flow: TaskGraph,
     binding: Binding,
     node_of: HashMap<InstanceId, NodeId>,
 }
 
 impl<'a> Recall<'a> {
-    fn new(db: &'a HistoryDb) -> Recall<'a> {
+    fn new(db: &'a HistoryDb, cone: &RetraceCone) -> Recall<'a> {
         Recall {
             db,
+            cuts: cone.cuts.iter().map(|c| (c.superseded, c.newest)).collect(),
             flow: TaskGraph::new(db.schema().clone()),
             binding: Binding::new(),
             node_of: HashMap::new(),
@@ -64,8 +72,7 @@ impl<'a> Recall<'a> {
         self.node_of.insert(inst, node);
 
         if fast_forward {
-            let newest = self.db.newest_version_of(inst)?;
-            if newest != inst {
+            if let Some(&newest) = self.cuts.get(&inst) {
                 self.binding.bind(node, newest);
                 return Ok(node);
             }
@@ -94,11 +101,11 @@ impl<'a> Recall<'a> {
     }
 }
 
-/// Retraces the flow that produced `goal`: recalls its derivation
-/// history as a task graph with a version cutoff, and re-executes with
-/// result caching. Unaffected sub-results are served from the cache;
-/// tasks whose inputs gained newer versions re-run against those
-/// versions.
+/// Retraces the flow that produced `goal`: computes the retrace cone,
+/// recalls the derivation history as a task graph with the cone's
+/// version cuts applied, and re-executes with result caching.
+/// Unaffected sub-results are served from the cache; tasks whose inputs
+/// gained newer versions re-run against those versions.
 ///
 /// # Errors
 ///
@@ -113,7 +120,8 @@ pub fn retrace(
     db: &mut HistoryDb,
     goal: InstanceId,
 ) -> Result<RetraceReport, ExecError> {
-    let mut recall = Recall::new(db);
+    let cone = RetraceCone::compute(db, goal)?;
+    let mut recall = Recall::new(db, &cone);
     let goal_node = recall.visit(goal, false)?;
     let Recall { flow, binding, .. } = recall;
 
@@ -129,5 +137,6 @@ pub fn retrace(
         report,
         goal_instances,
         already_current,
+        cone,
     })
 }

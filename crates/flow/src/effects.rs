@@ -1,0 +1,185 @@
+//! Abstract effect extraction: what a flow reads and writes, at the
+//! entity-type level.
+//!
+//! A task graph fully determines its *abstract effects* before any tool
+//! runs: every interior node **writes** an instance of its entity type,
+//! every leaf it consumes is a **must-read** from the design history,
+//! and every schema-declared dependency that has not been expanded yet
+//! is a **may-read** — data the flow will touch if the designer grows
+//! it further. The static analyzer propagates these sets over flow
+//! graphs (transitive read-sets) and compares them across sessions
+//! (write-conflict prediction); the schema's declared reads are also
+//! the soundness precondition for content-addressed caching — a tool
+//! that reads more than its declaration says defeats the cache key.
+
+use std::collections::BTreeSet;
+
+use hercules_schema::{EntityTypeId, TaskSchema};
+
+use crate::graph::TaskGraph;
+use crate::node::NodeId;
+
+/// The abstract effects of one interior (expanded) node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeEffects {
+    /// The node these effects describe.
+    pub node: NodeId,
+    /// The entity type the node's task produces.
+    pub writes: EntityTypeId,
+    /// The entity type of the tool that runs, if the expansion has one.
+    pub tool: Option<EntityTypeId>,
+    /// Entity types of the node's actual data inputs (expanded edges).
+    pub must_read: Vec<EntityTypeId>,
+    /// Schema-declared reads not covered by an expanded edge: required
+    /// or optional dependencies the task *may* consume when grown.
+    pub may_read: Vec<EntityTypeId>,
+}
+
+/// The abstract effects of a whole flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowEffects {
+    /// Per-interior-node effects, in node-id order.
+    pub nodes: Vec<NodeEffects>,
+    /// Entity types the flow produces instances of.
+    pub writes: BTreeSet<EntityTypeId>,
+    /// Entity types the flow binds from the history: every leaf (data
+    /// or tool) feeding the flow.
+    pub must_read: BTreeSet<EntityTypeId>,
+    /// Entity types the flow may additionally read when grown further
+    /// (declared but unexpanded dependencies), excluding anything
+    /// already written or must-read.
+    pub may_read: BTreeSet<EntityTypeId>,
+}
+
+/// Returns the schema-declared reads of `entity`: the sources of its
+/// data dependencies, unioned over its supertype chain (a subtype
+/// inherits its ancestors' tasks) and, for composites, the component
+/// entities the implicit composition function consumes.
+pub fn declared_reads(schema: &TaskSchema, entity: EntityTypeId) -> Vec<EntityTypeId> {
+    let mut out: BTreeSet<EntityTypeId> = BTreeSet::new();
+    let mut family = vec![entity];
+    family.extend(schema.supertype_chain(entity));
+    for e in family {
+        out.extend(schema.data_deps(e).map(|d| d.source()));
+        out.extend(schema.components_of(e));
+    }
+    out.into_iter().collect()
+}
+
+impl FlowEffects {
+    /// Extracts the abstract effects of `flow`.
+    pub fn of(flow: &TaskGraph) -> FlowEffects {
+        let schema = flow.schema();
+        let mut nodes = Vec::new();
+        let mut writes: BTreeSet<EntityTypeId> = BTreeSet::new();
+        let mut must_read: BTreeSet<EntityTypeId> = BTreeSet::new();
+        let mut may_read: BTreeSet<EntityTypeId> = BTreeSet::new();
+
+        for id in flow.interior() {
+            let Ok(entity) = flow.entity_of(id) else {
+                continue;
+            };
+            let tool = flow.tool_of(id).and_then(|t| flow.entity_of(t).ok());
+            let node_must: Vec<EntityTypeId> = flow
+                .data_inputs_of(id)
+                .into_iter()
+                .filter_map(|n| flow.entity_of(n).ok())
+                .collect();
+            let covered: BTreeSet<EntityTypeId> = node_must.iter().copied().collect();
+            let node_may: Vec<EntityTypeId> = declared_reads(schema, entity)
+                .into_iter()
+                .filter(|t| !covered.contains(t))
+                .collect();
+            writes.insert(entity);
+            may_read.extend(node_may.iter().copied());
+            nodes.push(NodeEffects {
+                node: id,
+                writes: entity,
+                tool,
+                must_read: node_must,
+                may_read: node_may,
+            });
+        }
+        for leaf in flow.leaves() {
+            let Ok(entity) = flow.entity_of(leaf) else {
+                continue;
+            };
+            // Only leaves that feed something are reads; an isolated
+            // seed consumes nothing yet.
+            if flow.consumers_of(leaf).next().is_some() {
+                must_read.insert(entity);
+            }
+            // A leaf's own declared dependencies are what expanding it
+            // would pull in.
+            may_read.extend(declared_reads(schema, entity));
+        }
+        may_read.retain(|t| !writes.contains(t) && !must_read.contains(t));
+        FlowEffects {
+            nodes,
+            writes,
+            must_read,
+            may_read,
+        }
+    }
+
+    /// Canonicalizes a set of entity types to their family roots (the
+    /// topmost supertypes), the granularity at which version queries —
+    /// and therefore cross-session conflicts — operate.
+    pub fn families(schema: &TaskSchema, set: &BTreeSet<EntityTypeId>) -> BTreeSet<EntityTypeId> {
+        set.iter()
+            .map(|&t| schema.supertype_chain(t).last().copied().unwrap_or(t))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use hercules_schema::fixtures as schema_fixtures;
+    use std::sync::Arc;
+
+    #[test]
+    fn fig5_effects_cover_both_branches() {
+        let schema = Arc::new(schema_fixtures::fig1());
+        let flow = fixtures::fig5(schema.clone()).expect("fixture");
+        let fx = FlowEffects::of(&flow);
+        let t = |n: &str| schema.require(n).expect("known");
+
+        assert!(fx.writes.contains(&t("Verification")));
+        assert!(fx.writes.contains(&t("ExtractedNetlist")));
+        assert!(fx.writes.contains(&t("Performance")));
+        // The layout and the tools are bound from the history.
+        assert!(fx.must_read.contains(&t("Layout")));
+        assert!(fx.must_read.contains(&t("Extractor")));
+        // Nothing both written and may-read.
+        assert!(fx.may_read.is_disjoint(&fx.writes));
+        assert!(fx.may_read.is_disjoint(&fx.must_read));
+        // Per-node effects exist for every interior node.
+        assert_eq!(fx.nodes.len(), flow.interior().len());
+    }
+
+    #[test]
+    fn declared_reads_union_the_supertype_chain() {
+        let schema = Arc::new(schema_fixtures::fig1());
+        let t = |n: &str| schema.require(n).expect("known");
+        // ExtractedNetlist inherits nothing extra but declares Layout.
+        let reads = declared_reads(&schema, t("ExtractedNetlist"));
+        assert!(reads.contains(&t("Layout")));
+        // A composite's components count as reads.
+        let circuit = declared_reads(&schema, t("Circuit"));
+        assert!(!circuit.is_empty());
+    }
+
+    #[test]
+    fn families_collapse_subtypes() {
+        let schema = Arc::new(schema_fixtures::fig1());
+        let t = |n: &str| schema.require(n).expect("known");
+        let set: BTreeSet<_> = [t("ExtractedNetlist"), t("EditedNetlist")]
+            .into_iter()
+            .collect();
+        let fams = FlowEffects::families(&schema, &set);
+        assert_eq!(fams.len(), 1);
+        assert!(fams.contains(&t("Netlist")));
+    }
+}

@@ -54,6 +54,7 @@
 
 mod bipartite;
 mod catalog;
+mod effects;
 mod error;
 mod expand;
 mod graph;
@@ -67,6 +68,7 @@ pub mod render;
 
 pub use bipartite::{Activity, FlowDiagram};
 pub use catalog::{CatalogEntry, FlowCatalog};
+pub use effects::{declared_reads, FlowEffects, NodeEffects};
 pub use error::FlowError;
 pub use expand::Expansion;
 pub use graph::TaskGraph;

@@ -65,6 +65,7 @@ mod error;
 mod instance;
 mod persist;
 mod query;
+mod revdep;
 mod store;
 mod trace;
 mod version;
@@ -78,6 +79,7 @@ pub use error::HistoryError;
 pub use instance::{EntityInstance, InstanceId, Metadata};
 pub use persist::{HistorySpec, InstanceSpec};
 pub use query::BrowserQuery;
+pub use revdep::{DirtyCone, RetraceCone, RevDepIndex, RevDepIndexSpec, VersionCut};
 pub use store::{BlobHash, BlobStore};
 pub use trace::FlowTrace;
 pub use version::VersionForest;

@@ -1,0 +1,819 @@
+//! Persistent reverse-dependency index for incremental consistency
+//! analysis (§3.3, ROADMAP item 3).
+//!
+//! The consistency queries in [`consistency`](crate::consistency) are
+//! correct but *global*: `newest_version_of` rebuilds a family's whole
+//! version forest and `stale_instances` rescans every derivation. This
+//! module maintains the same information incrementally:
+//!
+//! * a **reverse-dependency index** — for every instance, the instances
+//!   whose derivations reference it (the forward-chaining relation,
+//!   precomputed);
+//! * a **version cache** — each instance's version predecessor,
+//!   successors, and the *newest* version in its subtree, maintained in
+//!   `O(depth)` per append instead of `O(family)` per query;
+//! * a **dirty cone** — given the instances appended since the last
+//!   analysis, the set of instances whose consistency verdicts may have
+//!   changed (the forward closure of the edit over the reverse index);
+//! * a **retrace cone** — a structured prediction of what
+//!   `hercules_exec::retrace` will recall, cut, and re-run for a goal
+//!   instance, computed without executing anything.
+//!
+//! The index is append-only, mirroring the history database: `update`
+//! folds in exactly the instances recorded since the last call. A
+//! fingerprint over the indexed prefix lets a persisted index
+//! ([`RevDepIndexSpec`]) prove it still describes the database it is
+//! loaded against; on any mismatch the caller rebuilds from scratch.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use crate::db::HistoryDb;
+use crate::error::HistoryError;
+use crate::instance::{EntityInstance, InstanceId};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_fold(mut fp: u64, word: u64) -> u64 {
+    for b in word.to_le_bytes() {
+        fp = (fp ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    fp
+}
+
+/// Folds one instance's identity-relevant fields into a running
+/// fingerprint: id, entity type, and immediate derivation. Metadata is
+/// deliberately excluded — annotations do not change dependency
+/// structure.
+fn fingerprint_instance(mut fp: u64, inst: &EntityInstance) -> u64 {
+    fp = fnv_fold(fp, inst.id().raw());
+    fp = fnv_fold(fp, inst.entity().index() as u64);
+    match inst.derivation() {
+        None => fp = fnv_fold(fp, u64::MAX),
+        Some(d) => {
+            fp = fnv_fold(fp, d.tool.map(|t| t.raw() + 1).unwrap_or(0));
+            fp = fnv_fold(fp, d.inputs.len() as u64);
+            for &i in &d.inputs {
+                fp = fnv_fold(fp, i.raw());
+            }
+        }
+    }
+    fp
+}
+
+/// The incremental reverse-dependency index over a [`HistoryDb`].
+///
+/// Invariants (for the `indexed` prefix of the database):
+///
+/// * `dependents[x]` lists, in id order, every indexed instance whose
+///   derivation references `x` (tool or input);
+/// * `version_parent[x]` equals [`HistoryDb::version_parent`];
+/// * `version_children[x]` lists the instances whose version parent is
+///   `x`, in id order;
+/// * `newest[x]` equals [`HistoryDb::newest_version_of`] — the newest
+///   version in the version subtree rooted at `x`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RevDepIndex {
+    indexed: usize,
+    fingerprint: u64,
+    dependents: Vec<Vec<InstanceId>>,
+    version_parent: Vec<Option<InstanceId>>,
+    version_children: Vec<Vec<InstanceId>>,
+    newest: Vec<InstanceId>,
+}
+
+impl Default for RevDepIndex {
+    fn default() -> RevDepIndex {
+        RevDepIndex::new()
+    }
+}
+
+impl RevDepIndex {
+    /// Creates an empty index (watermark 0).
+    pub fn new() -> RevDepIndex {
+        RevDepIndex {
+            indexed: 0,
+            fingerprint: FNV_OFFSET,
+            dependents: Vec::new(),
+            version_parent: Vec::new(),
+            version_children: Vec::new(),
+            newest: Vec::new(),
+        }
+    }
+
+    /// Builds a fresh index over the whole database.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lookup errors (none occur on a well-formed database).
+    pub fn build(db: &HistoryDb) -> Result<RevDepIndex, HistoryError> {
+        let mut index = RevDepIndex::new();
+        index.update(db)?;
+        Ok(index)
+    }
+
+    /// Returns the watermark: how many instances (a prefix of the
+    /// database, in id order) this index covers.
+    pub fn watermark(&self) -> usize {
+        self.indexed
+    }
+
+    /// Returns the fingerprint of the indexed prefix.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Folds in every instance recorded since the last update and
+    /// returns their ids. The database must be the same append-only
+    /// database previous updates saw; if it has *shrunk* the index
+    /// rebuilds from scratch (and returns every id as new).
+    ///
+    /// # Errors
+    ///
+    /// Propagates lookup errors (none occur on a well-formed database).
+    pub fn update(&mut self, db: &HistoryDb) -> Result<Vec<InstanceId>, HistoryError> {
+        if self.indexed > db.len() {
+            *self = RevDepIndex::new();
+        }
+        let mut fresh = Vec::new();
+        for inst in db.instances().skip(self.indexed) {
+            let id = inst.id();
+            self.fingerprint = fingerprint_instance(self.fingerprint, inst);
+            self.dependents.push(Vec::new());
+            self.version_children.push(Vec::new());
+            self.newest.push(id);
+            let vp = db.version_parent(id)?;
+            self.version_parent.push(vp);
+            if let Some(p) = vp {
+                self.version_children[p.index()].push(id);
+            }
+            if let Some(d) = inst.derivation() {
+                for r in d.referenced() {
+                    let deps = &mut self.dependents[r.index()];
+                    if deps.last() != Some(&id) {
+                        deps.push(id);
+                    }
+                }
+            }
+            // `id` is now the newest member of every version subtree
+            // containing it, unless a cached entry is at least as
+            // recent (same tie-breaking as the forest scan in
+            // `newest_version_of`: replace only on strictly-later).
+            let created = inst.meta().created;
+            let mut cur = vp;
+            while let Some(x) = cur {
+                if created.is_after(db.created_at(self.newest[x.index()])?) {
+                    self.newest[x.index()] = id;
+                }
+                cur = self.version_parent[x.index()];
+            }
+            self.indexed += 1;
+            fresh.push(id);
+        }
+        Ok(fresh)
+    }
+
+    /// Returns the indexed instances whose derivations reference `id`
+    /// (empty for unindexed ids).
+    pub fn dependents(&self, id: InstanceId) -> &[InstanceId] {
+        self.dependents
+            .get(id.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Returns the cached version predecessor of `id`.
+    pub fn version_parent(&self, id: InstanceId) -> Option<InstanceId> {
+        self.version_parent.get(id.index()).copied().flatten()
+    }
+
+    /// Returns the cached direct version successors of `id`.
+    pub fn version_children(&self, id: InstanceId) -> &[InstanceId] {
+        self.version_children
+            .get(id.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Returns the newest version in the version subtree rooted at `id`
+    /// in `O(1)` (the cached equivalent of
+    /// [`HistoryDb::newest_version_of`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistoryError::UnknownInstance`] for unindexed ids.
+    pub fn newest_version(&self, id: InstanceId) -> Result<InstanceId, HistoryError> {
+        self.newest
+            .get(id.index())
+            .copied()
+            .ok_or(HistoryError::UnknownInstance(id))
+    }
+
+    /// Computes the dirty cone of an edit: the instances whose
+    /// consistency verdicts may differ after `fresh` were appended.
+    ///
+    /// Seeds are the new instances themselves, the instances their
+    /// derivations reference directly (whose *dependent sets* changed —
+    /// an instance stops being a goal the moment something consumes
+    /// it), and their version ancestors (whose *newest version*
+    /// changed). The cone is the forward closure of the seeds over the
+    /// reverse-dependency relation: anything downstream of a superseded
+    /// version may have become transitively stale.
+    ///
+    /// Call [`RevDepIndex::update`] first; every id in `fresh` must be
+    /// indexed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistoryError::UnknownInstance`] for unindexed ids.
+    pub fn dirty_cone(
+        &self,
+        db: &HistoryDb,
+        fresh: &[InstanceId],
+    ) -> Result<DirtyCone, HistoryError> {
+        let mut seeds: BTreeSet<InstanceId> = BTreeSet::new();
+        for &id in fresh {
+            if id.index() >= self.indexed {
+                return Err(HistoryError::UnknownInstance(id));
+            }
+            seeds.insert(id);
+            if let Some(d) = db.instance(id)?.derivation() {
+                seeds.extend(d.referenced());
+            }
+            let mut cur = self.version_parent(id);
+            while let Some(x) = cur {
+                seeds.insert(x);
+                cur = self.version_parent(x);
+            }
+        }
+        let seeds: Vec<InstanceId> = seeds.into_iter().collect();
+        let mut members: BTreeSet<InstanceId> = seeds.iter().copied().collect();
+        let mut stack: Vec<InstanceId> = seeds.clone();
+        let mut visited = 0usize;
+        while let Some(x) = stack.pop() {
+            visited += 1;
+            for &d in self.dependents(x) {
+                if members.insert(d) {
+                    stack.push(d);
+                }
+            }
+        }
+        Ok(DirtyCone {
+            members: members.into_iter().collect(),
+            seeds,
+            visited,
+        })
+    }
+
+    /// Computes the retrace cone for `goal` using this index's cached
+    /// newest-version table (the fast path of
+    /// [`RetraceCone::compute`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates lookup errors; every instance reachable from `goal`
+    /// must be indexed.
+    pub fn retrace_cone(
+        &self,
+        db: &HistoryDb,
+        goal: InstanceId,
+    ) -> Result<RetraceCone, HistoryError> {
+        compute_cone(db, goal, &mut |i| self.newest_version(i))
+    }
+}
+
+/// The instances whose consistency verdicts an edit can have changed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirtyCone {
+    /// Every affected instance, in id order (seeds included).
+    pub members: Vec<InstanceId>,
+    /// The seed instances the closure started from, in id order.
+    pub seeds: Vec<InstanceId>,
+    /// Instances popped while closing the cone — the work the
+    /// incremental path did, for comparison against a full scan.
+    pub visited: usize,
+}
+
+impl DirtyCone {
+    /// Returns `true` if `id` is in the cone.
+    pub fn contains(&self, id: InstanceId) -> bool {
+        self.members.binary_search(&id).is_ok()
+    }
+}
+
+/// One version cut applied while recalling a flow: a superseded input
+/// replaced by its newest version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VersionCut {
+    /// The instance the original derivation used.
+    pub superseded: InstanceId,
+    /// The newest version bound in its place.
+    pub newest: InstanceId,
+}
+
+/// A structured prediction of what retracing `goal` will do, computed
+/// from the history alone — the §3.3 query "whether such retracing need
+/// occur", answered before any tool runs.
+///
+/// The cone mirrors the recall walk of `hercules_exec::retrace`
+/// exactly: fast-forwarded instances become leaves bound to their
+/// newest versions ([`RetraceCone::cuts`]), version predecessors of
+/// edits stay pinned, and everything else is expanded. An expanded
+/// instance whose (transitive) inputs gained newer versions is
+/// predicted to re-run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetraceCone {
+    /// The goal instance the cone was computed for.
+    pub goal: InstanceId,
+    /// Every instance in the recalled flow, in id order.
+    pub recall: Vec<InstanceId>,
+    /// Expanded instances whose derivations are predicted to re-run
+    /// (their recalled inputs differ from the original derivation), in
+    /// id order. The executor's cache may still absorb some of these if
+    /// an earlier retrace already produced the re-derivation.
+    pub rerun: Vec<InstanceId>,
+    /// The version cuts applied during recall, ordered by superseded
+    /// instance.
+    pub cuts: Vec<VersionCut>,
+    /// `true` when nothing is predicted to re-run; retracing would
+    /// serve the goal entirely from the history.
+    pub already_current: bool,
+    /// Instances visited while recalling — the cone-computation work.
+    pub visited: usize,
+}
+
+impl RetraceCone {
+    /// Computes the retrace cone for `goal`, building a fresh
+    /// [`RevDepIndex`] for the newest-version lookups. Reuse an
+    /// existing index via [`RevDepIndex::retrace_cone`] when analyzing
+    /// repeatedly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lookup errors for unknown instances.
+    pub fn compute(db: &HistoryDb, goal: InstanceId) -> Result<RetraceCone, HistoryError> {
+        let index = RevDepIndex::build(db)?;
+        index.retrace_cone(db, goal)
+    }
+
+    /// Renders a one-line summary ("3 to re-run, 1 cut, 14 recalled").
+    pub fn summary(&self) -> String {
+        if self.already_current {
+            format!("already current ({} recalled)", self.recall.len())
+        } else {
+            format!(
+                "{} to re-run, {} cut, {} recalled",
+                self.rerun.len(),
+                self.cuts.len(),
+                self.recall.len()
+            )
+        }
+    }
+}
+
+/// Per-instance outcome of the recall walk.
+#[derive(Debug, Clone, Copy)]
+struct ConeSlot {
+    expanded: bool,
+    bound: Option<InstanceId>,
+}
+
+struct ConeBuilder<'a, 'f> {
+    db: &'a HistoryDb,
+    newest: &'f mut dyn FnMut(InstanceId) -> Result<InstanceId, HistoryError>,
+    slots: HashMap<InstanceId, ConeSlot>,
+    cuts: Vec<VersionCut>,
+    visited: usize,
+}
+
+impl ConeBuilder<'_, '_> {
+    /// Mirrors `Recall::visit` in `hercules_exec::retrace`: same
+    /// memoization, same fast-forward rule, same version-predecessor
+    /// pinning — so the predicted flow is the one retrace will build.
+    fn visit(&mut self, inst: InstanceId, fast_forward: bool) -> Result<(), HistoryError> {
+        if self.slots.contains_key(&inst) {
+            return Ok(());
+        }
+        self.visited += 1;
+        self.slots.insert(
+            inst,
+            ConeSlot {
+                expanded: false,
+                bound: None,
+            },
+        );
+        let record = self.db.instance(inst)?;
+        if fast_forward {
+            let newest = (self.newest)(inst)?;
+            if newest != inst {
+                self.slots.get_mut(&inst).expect("just inserted").bound = Some(newest);
+                self.cuts.push(VersionCut {
+                    superseded: inst,
+                    newest,
+                });
+                return Ok(());
+            }
+        }
+        let Some(derivation) = record.derivation().cloned() else {
+            self.slots.get_mut(&inst).expect("just inserted").bound = Some(inst);
+            return Ok(());
+        };
+        self.slots.get_mut(&inst).expect("just inserted").expanded = true;
+        let version_parent = self.db.version_parent(inst)?;
+        if let Some(tool) = derivation.tool {
+            self.visit(tool, true)?;
+        }
+        for input in derivation.inputs {
+            let pinned = Some(input) == version_parent;
+            self.visit(input, !pinned)?;
+            let slot = self.slots.get_mut(&input).expect("visited");
+            if pinned && !slot.expanded {
+                // Pinned predecessor stays a leaf bound to itself, even
+                // if another path fast-forwarded it first.
+                slot.bound = Some(input);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn compute_cone(
+    db: &HistoryDb,
+    goal: InstanceId,
+    newest: &mut dyn FnMut(InstanceId) -> Result<InstanceId, HistoryError>,
+) -> Result<RetraceCone, HistoryError> {
+    let mut builder = ConeBuilder {
+        db,
+        newest,
+        slots: HashMap::new(),
+        cuts: Vec::new(),
+        visited: 0,
+    };
+    builder.visit(goal, false)?;
+    let ConeBuilder {
+        slots,
+        mut cuts,
+        visited,
+        ..
+    } = builder;
+
+    let recall: Vec<InstanceId> = {
+        let mut ids: Vec<InstanceId> = slots.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    };
+    // An expanded instance is affected when any dependency resolved to
+    // something other than its original value: a leaf rebound to a
+    // newer version, or an affected producer. Derivation inputs always
+    // have smaller ids than their product, so one ascending pass
+    // settles the whole cone.
+    let mut affected: BTreeMap<InstanceId, bool> = BTreeMap::new();
+    for &id in &recall {
+        let slot = slots[&id];
+        if !slot.expanded {
+            affected.insert(id, false);
+            continue;
+        }
+        let derivation = self_derivation(db, id)?;
+        let mut hit = false;
+        for r in derivation.referenced() {
+            let rs = slots[&r];
+            hit |= if rs.expanded {
+                affected[&r]
+            } else {
+                rs.bound != Some(r)
+            };
+        }
+        affected.insert(id, hit);
+    }
+    let rerun: Vec<InstanceId> = recall
+        .iter()
+        .copied()
+        .filter(|id| slots[id].expanded && affected[id])
+        .collect();
+    cuts.sort_unstable_by_key(|c| c.superseded);
+    let already_current = rerun.is_empty();
+    Ok(RetraceCone {
+        goal,
+        recall,
+        rerun,
+        cuts,
+        already_current,
+        visited,
+    })
+}
+
+fn self_derivation(
+    db: &HistoryDb,
+    id: InstanceId,
+) -> Result<crate::derivation::Derivation, HistoryError> {
+    Ok(db
+        .instance(id)?
+        .derivation()
+        .cloned()
+        .expect("expanded slots are derived"))
+}
+
+/// Serialized form of a [`RevDepIndex`]: the semantic caches plus a
+/// fingerprint proving which database prefix they describe.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RevDepIndexSpec {
+    /// Watermark: instances covered, a prefix of the database.
+    pub indexed: u64,
+    /// Fingerprint of the covered prefix.
+    pub fingerprint: u64,
+    /// Cached version predecessors, by raw id.
+    pub version_parent: Vec<Option<u64>>,
+    /// Cached newest-version table, by raw id.
+    pub newest: Vec<u64>,
+}
+
+impl RevDepIndexSpec {
+    /// Captures an index for persistence.
+    pub fn capture(index: &RevDepIndex) -> RevDepIndexSpec {
+        RevDepIndexSpec {
+            indexed: index.indexed as u64,
+            fingerprint: index.fingerprint,
+            version_parent: index
+                .version_parent
+                .iter()
+                .map(|p| p.map(InstanceId::raw))
+                .collect(),
+            newest: index.newest.iter().map(|n| n.raw()).collect(),
+        }
+    }
+
+    /// Restores an index against `db`, validating that the captured
+    /// prefix still matches: the watermark must not exceed the database
+    /// and the prefix fingerprint must agree. Returns `None` when the
+    /// spec does not describe this database (caller rebuilds).
+    ///
+    /// # Errors
+    ///
+    /// Propagates lookup errors (none occur on a well-formed database).
+    pub fn restore(&self, db: &HistoryDb) -> Result<Option<RevDepIndex>, HistoryError> {
+        let indexed = self.indexed as usize;
+        if indexed > db.len()
+            || self.version_parent.len() != indexed
+            || self.newest.len() != indexed
+        {
+            return Ok(None);
+        }
+        let mut fp = FNV_OFFSET;
+        for inst in db.instances().take(indexed) {
+            fp = fingerprint_instance(fp, inst);
+        }
+        if fp != self.fingerprint {
+            return Ok(None);
+        }
+        let in_prefix = |raw: u64| (raw as usize) < indexed;
+        if self.newest.iter().any(|&n| !in_prefix(n))
+            || self.version_parent.iter().flatten().any(|&p| !in_prefix(p))
+        {
+            return Ok(None);
+        }
+        // Structure (reverse edges, version children) is cheap to
+        // re-derive; only the caches above carry cross-instance work.
+        let version_parent: Vec<Option<InstanceId>> = self
+            .version_parent
+            .iter()
+            .map(|p| p.map(InstanceId::from_raw))
+            .collect();
+        let mut dependents: Vec<Vec<InstanceId>> = vec![Vec::new(); indexed];
+        let mut version_children: Vec<Vec<InstanceId>> = vec![Vec::new(); indexed];
+        for inst in db.instances().take(indexed) {
+            let id = inst.id();
+            if let Some(d) = inst.derivation() {
+                for r in d.referenced() {
+                    let deps = &mut dependents[r.index()];
+                    if deps.last() != Some(&id) {
+                        deps.push(id);
+                    }
+                }
+            }
+            if let Some(p) = version_parent[id.index()] {
+                version_children[p.index()].push(id);
+            }
+        }
+        Ok(Some(RevDepIndex {
+            indexed,
+            fingerprint: self.fingerprint,
+            dependents,
+            version_parent,
+            version_children,
+            newest: self
+                .newest
+                .iter()
+                .map(|&n| InstanceId::from_raw(n))
+                .collect(),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::derivation::Derivation;
+    use crate::instance::Metadata;
+    use hercules_schema::fixtures;
+    use std::sync::Arc;
+
+    /// layout L1 --extract--> X1, then the netlist input is re-edited:
+    /// the standard §3.3 out-of-date scenario.
+    fn extraction_db() -> (HistoryDb, Vec<InstanceId>) {
+        let schema = Arc::new(fixtures::fig1());
+        let mut db = HistoryDb::new(schema.clone());
+        let t = |n: &str| schema.require(n).expect("known");
+        let placer = db
+            .record_primary(t("Placer"), Metadata::by("u"), b"placer")
+            .expect("ok");
+        let extractor = db
+            .record_primary(t("Extractor"), Metadata::by("u"), b"ext")
+            .expect("ok");
+        let editor = db
+            .record_primary(t("CircuitEditor"), Metadata::by("u"), b"ed")
+            .expect("ok");
+        let net = db
+            .record_derived(
+                t("EditedNetlist"),
+                Metadata::by("u"),
+                b"net",
+                Derivation::by_tool(editor, []),
+            )
+            .expect("ok");
+        let rules = db
+            .record_primary(t("PlacementRules"), Metadata::by("u"), b"rules")
+            .expect("ok");
+        let l1 = db
+            .record_derived(
+                t("Layout"),
+                Metadata::by("u").named("L1"),
+                b"l1",
+                Derivation::by_tool(placer, [net, rules]),
+            )
+            .expect("ok");
+        let x1 = db
+            .record_derived(
+                t("ExtractedNetlist"),
+                Metadata::by("u").named("X1"),
+                b"x1",
+                Derivation::by_tool(extractor, [l1]),
+            )
+            .expect("ok");
+        (db, vec![placer, extractor, editor, net, rules, l1, x1])
+    }
+
+    fn edit_netlist(db: &mut HistoryDb, editor: InstanceId, from: InstanceId) -> InstanceId {
+        db.record_derived(
+            db.schema().require("EditedNetlist").expect("known"),
+            Metadata::by("u"),
+            b"net'",
+            Derivation::by_tool(editor, [from]),
+        )
+        .expect("ok")
+    }
+
+    #[test]
+    fn index_matches_db_queries() {
+        let (mut db, ids) = extraction_db();
+        let net2 = edit_netlist(&mut db, ids[2], ids[3]);
+        let net3 = edit_netlist(&mut db, ids[2], net2);
+        let index = RevDepIndex::build(&db).expect("ok");
+        for inst in db.instances() {
+            let id = inst.id();
+            assert_eq!(
+                index.newest_version(id).expect("ok"),
+                db.newest_version_of(id).expect("ok"),
+                "newest of {id}"
+            );
+            assert_eq!(
+                index.version_parent(id),
+                db.version_parent(id).expect("ok"),
+                "version parent of {id}"
+            );
+            assert_eq!(
+                index.dependents(id),
+                db.direct_dependents(id).expect("ok"),
+                "dependents of {id}"
+            );
+        }
+        assert_eq!(index.newest_version(ids[3]).expect("ok"), net3);
+    }
+
+    #[test]
+    fn incremental_update_equals_fresh_build() {
+        let (mut db, ids) = extraction_db();
+        let mut live = RevDepIndex::build(&db).expect("ok");
+        let net2 = edit_netlist(&mut db, ids[2], ids[3]);
+        let fresh_ids = live.update(&db).expect("ok");
+        assert_eq!(fresh_ids, vec![net2]);
+        assert_eq!(live, RevDepIndex::build(&db).expect("ok"));
+        assert!(live.update(&db).expect("ok").is_empty());
+    }
+
+    #[test]
+    fn dirty_cone_covers_the_downstream_of_an_edit() {
+        let (mut db, ids) = extraction_db();
+        let (editor, net, l1, x1) = (ids[2], ids[3], ids[5], ids[6]);
+        let net2 = edit_netlist(&mut db, editor, net);
+        let index = RevDepIndex::build(&db).expect("ok");
+        let cone = index.dirty_cone(&db, &[net2]).expect("ok");
+        for id in [net, net2, l1, x1, editor] {
+            assert!(cone.contains(id), "{id} should be dirty");
+        }
+        // The placement rules are untouched by the edit.
+        assert!(!cone.contains(ids[4]));
+        assert!(cone.visited <= db.len());
+    }
+
+    #[test]
+    fn retrace_cone_predicts_cuts_and_reruns() {
+        let (mut db, ids) = extraction_db();
+        let (editor, net, rules, l1, x1) = (ids[2], ids[3], ids[4], ids[5], ids[6]);
+        let fresh = RetraceCone::compute(&db, x1).expect("ok");
+        assert!(fresh.already_current);
+        assert!(fresh.cuts.is_empty());
+        assert!(fresh.rerun.is_empty());
+        assert!(fresh.recall.contains(&l1) && fresh.recall.contains(&rules));
+
+        let net2 = edit_netlist(&mut db, editor, net);
+        let cone = RetraceCone::compute(&db, x1).expect("ok");
+        assert!(!cone.already_current);
+        assert_eq!(
+            cone.cuts,
+            vec![VersionCut {
+                superseded: net,
+                newest: net2
+            }]
+        );
+        assert_eq!(cone.rerun, vec![l1, x1]);
+    }
+
+    #[test]
+    fn pinned_version_parent_is_not_cut() {
+        let (mut db, ids) = extraction_db();
+        let (editor, net) = (ids[2], ids[3]);
+        let net2 = edit_netlist(&mut db, editor, net);
+        let _net3 = edit_netlist(&mut db, editor, net2);
+        // Retracing net2 pins its predecessor `net` even though net2
+        // itself has a successor: an edit is never stale w.r.t. the
+        // version it edits.
+        let cone = RetraceCone::compute(&db, net2).expect("ok");
+        assert!(cone.already_current, "edit of a pinned parent is current");
+        assert!(cone.cuts.is_empty());
+    }
+
+    #[test]
+    fn index_cone_matches_fresh_cone() {
+        let (mut db, ids) = extraction_db();
+        let mut index = RevDepIndex::build(&db).expect("ok");
+        let net2 = edit_netlist(&mut db, ids[2], ids[3]);
+        let _ = net2;
+        index.update(&db).expect("ok");
+        for inst in db.instances() {
+            let id = inst.id();
+            assert_eq!(
+                index.retrace_cone(&db, id).expect("ok"),
+                RetraceCone::compute(&db, id).expect("ok"),
+                "cone of {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_and_rejects_mismatches() {
+        let (mut db, ids) = extraction_db();
+        let index = RevDepIndex::build(&db).expect("ok");
+        let spec = RevDepIndexSpec::capture(&index);
+        let restored = spec.restore(&db).expect("ok").expect("valid");
+        assert_eq!(restored, index);
+
+        // A stale spec (captured before more edits) still validates as
+        // a prefix and catches up via update().
+        let net2 = edit_netlist(&mut db, ids[2], ids[3]);
+        let mut caught_up = spec.restore(&db).expect("ok").expect("prefix valid");
+        assert_eq!(caught_up.update(&db).expect("ok"), vec![net2]);
+        assert_eq!(caught_up, RevDepIndex::build(&db).expect("ok"));
+
+        // A tampered fingerprint is rejected.
+        let mut bad = spec.clone();
+        bad.fingerprint ^= 1;
+        assert!(bad.restore(&db).expect("ok").is_none());
+
+        // A spec from a different database is rejected.
+        let other = HistoryDb::new(Arc::new(fixtures::fig1()));
+        assert!(spec.restore(&other).expect("ok").is_none());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let (db, _) = extraction_db();
+        let index = RevDepIndex::build(&db).expect("ok");
+        let spec = RevDepIndexSpec::capture(&index);
+        let json = serde_json::to_string(&spec).expect("encode");
+        let back: RevDepIndexSpec = serde_json::from_str(&json).expect("decode");
+        assert_eq!(back, spec);
+    }
+}

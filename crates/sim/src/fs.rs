@@ -189,6 +189,23 @@ impl Fs {
             None => path.exists(),
         }
     }
+
+    /// Lists the entries directly under `dir`, sorted by path — the
+    /// read-only directory scan workspace audits use.
+    pub fn list_dir(&self, dir: &Path) -> io::Result<Vec<std::path::PathBuf>> {
+        let mut paths = match &self.sim {
+            Some(state) => state
+                .current_paths()
+                .into_iter()
+                .filter(|p| p.parent() == Some(dir))
+                .collect(),
+            None => std::fs::read_dir(dir)?
+                .map(|e| e.map(|e| e.path()))
+                .collect::<io::Result<Vec<_>>>()?,
+        };
+        paths.sort();
+        Ok(paths)
+    }
 }
 
 #[cfg(test)]
@@ -212,6 +229,7 @@ mod tests {
         fs.sync_dir(&dir).expect("dirsync");
         assert!(fs.exists(&b));
         assert!(!fs.exists(&a));
+        assert!(fs.list_dir(&dir).expect("list").contains(&b));
         assert_eq!(fs.read(&b).expect("read"), b"hello");
         let mut app = fs.open_append(&b).expect("append");
         app.write_all(b" world").expect("write");

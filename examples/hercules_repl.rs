@@ -16,7 +16,6 @@ use std::io::BufRead as _;
 
 use hercules::ui::Ui;
 use hercules::Session;
-use hercules_analyze::{lint_session, Diagnostics};
 
 const DEMO: &str = "\
 catalogs
@@ -35,21 +34,6 @@ run
 lint
 ";
 
-/// Handles one command line: `lint` runs `herclint`'s session passes
-/// over the live session; everything else goes to the Fig. 9 parser.
-fn dispatch(ui: &mut Ui, line: &str) -> Result<String, hercules::HerculesError> {
-    if line == "lint" {
-        let mut out = Diagnostics::new();
-        lint_session(ui.session(), &mut out);
-        out.sort();
-        if out.is_empty() {
-            return Ok(String::from("lint: clean\n"));
-        }
-        return Ok(out.render_text());
-    }
-    ui.execute(line)
-}
-
 fn main() {
     let interactive = std::env::args().any(|a| a == "-i" || a == "--interactive");
     let mut ui = Ui::new(Session::odyssey("designer"));
@@ -58,7 +42,7 @@ fn main() {
         println!("(running the demo script; pass -i and pipe commands for interactive use)\n");
         for line in DEMO.lines() {
             println!("> {line}");
-            match dispatch(&mut ui, line) {
+            match ui.execute(line) {
                 Ok(out) => print!("{out}"),
                 Err(e) => {
                     eprintln!("demo failed: {e}");
@@ -80,7 +64,7 @@ fn main() {
         if line == "quit" || line == "exit" {
             break;
         }
-        match dispatch(&mut ui, line) {
+        match ui.execute(line) {
             Ok(out) => print!("{out}"),
             Err(e) => println!("error: {e}"),
         }

@@ -1,8 +1,10 @@
-//! Environment hygiene guard: production code in `crates/exec` and
-//! `crates/core` must reach time and the filesystem only through the
-//! `hercules-sim` capability handles (`Clock`, `Fs`), never through
-//! the ambient `std` APIs — otherwise the deterministic simulator has
-//! a blind spot and a seed no longer fixes the run.
+//! Environment hygiene guard: production code in `crates/exec`,
+//! `crates/core`, `crates/analyze`, and `crates/flow` must reach time
+//! and the filesystem only through the `hercules-sim` capability
+//! handles (`Clock`, `Fs`) or injected closures, never through the
+//! ambient `std` APIs — otherwise the deterministic simulator has a
+//! blind spot, a seed no longer fixes the run, and analysis timings
+//! stop being reproducible.
 //!
 //! The real-environment adapter lives in `crates/sim/src/fs.rs` and
 //! `crates/sim/src/clock.rs`; binaries and `#[cfg(test)]` code are
@@ -62,12 +64,12 @@ fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
 }
 
 #[test]
-fn exec_and_core_use_no_ambient_time_or_fs() {
+fn simulated_crates_use_no_ambient_time_or_fs() {
     let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
     let crates_dir = manifest.parent().expect("crates dir");
     let mut violations = Vec::new();
 
-    for krate in ["exec", "core"] {
+    for krate in ["exec", "core", "analyze", "flow"] {
         let src = crates_dir.join(krate).join("src");
         assert!(src.is_dir(), "missing source tree: {}", src.display());
         let mut files = Vec::new();

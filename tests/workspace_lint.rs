@@ -7,9 +7,10 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use hercules::audit::lint_workspace;
 use hercules::store::{encode_frame, Workspace};
 use hercules::{JournalOp, Session};
-use hercules_analyze::{lint_flow, lint_schema_spec, lint_workspace, Diagnostics, Layer, Severity};
+use hercules_analyze::{lint_flow, lint_schema_spec, Diagnostics, Layer, Severity};
 use hercules_flow::TaskGraph;
 use hercules_schema::fixtures;
 
