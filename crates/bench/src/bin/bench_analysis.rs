@@ -28,24 +28,38 @@ use std::time::{Instant, SystemTime, UNIX_EPOCH};
 use hercules::history::{Derivation, HistoryDb, InstanceId, Metadata};
 use hercules::schema::fixtures;
 use hercules_analyze::{Diagnostics, HistoryLinter};
+use serde::Value;
 
 /// `--check` gate: the incremental re-lint after one edit must beat
 /// the full lint by this factor at the largest history size.
 const DEFAULT_GATE: f64 = 5.0;
 
+/// `--baseline` slack: the current incremental speedup may fall to
+/// half the committed baseline's before the diff counts it a
+/// regression — wall-clock ratios move with the machine; a 2× collapse
+/// does not.
+const BASELINE_SPEEDUP_SLACK: f64 = 2.0;
+
 const USAGE: &str = "\
 bench_analysis — incremental-analysis perf harness; writes BENCH_analysis.json
 
 USAGE:
-    bench_analysis [--out FILE] [--iters N] [--sizes A,B,C] [--gate X] [--check]
+    bench_analysis [--out FILE] [--iters N] [--sizes A,B,C] [--gate X]
+                   [--baseline FILE] [--check]
 
-    --out FILE    output path [default: BENCH_analysis.json]
-    --iters N     measured iterations per size [default: 20]
-    --sizes L     comma-separated module counts; each module is a
-                  4-instance derivation chain [default: 32,128,512]
-    --gate X      required incremental speedup at the largest size
-                  [default: 5.0]
-    --check       fail (exit 1) when the largest size misses the gate
+    --out FILE       output path [default: BENCH_analysis.json]
+    --iters N        measured iterations per size [default: 20]
+    --sizes L        comma-separated module counts; each module is a
+                     4-instance derivation chain [default: 32,128,512]
+    --gate X         required incremental speedup at the largest size
+                     [default: 5.0]
+    --baseline FILE  diff this run against a committed BENCH_analysis.json:
+                     deterministic counters (instances, solver visits,
+                     dirty-cone and retrace-cone sizes) must match
+                     exactly; the incremental speedup may not fall
+                     below half the baseline's
+    --check          fail (exit 1) when the largest size misses the
+                     gate or the baseline diff finds a regression
 ";
 
 struct Options {
@@ -53,6 +67,7 @@ struct Options {
     iters: usize,
     sizes: Vec<usize>,
     gate: f64,
+    baseline: Option<String>,
     check: bool,
 }
 
@@ -62,6 +77,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         iters: 20,
         sizes: vec![32, 128, 512],
         gate: DEFAULT_GATE,
+        baseline: None,
         check: false,
     };
     let mut it = args.iter();
@@ -96,6 +112,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--gate: bad number".to_owned())?;
             }
+            "--baseline" => opts.baseline = Some(value("--baseline")?),
             "--check" => opts.check = true,
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown option `{other}`")),
@@ -282,6 +299,109 @@ fn measure_size(modules: usize, opts: &Options) -> SizeSample {
     }
 }
 
+/// One size row parsed back out of a committed `BENCH_analysis.json`.
+struct BaselineSize {
+    modules: usize,
+    instances: usize,
+    full_visits: usize,
+    incremental_analyzed: usize,
+    cone_rerun: usize,
+    cone_recall: usize,
+    speedup: f64,
+}
+
+fn value_u64(v: Option<&Value>) -> Option<u64> {
+    match v? {
+        Value::UInt(n) => Some(*n),
+        Value::Int(n) if *n >= 0 => Some(*n as u64),
+        Value::Float(f) if *f >= 0.0 => Some(*f as u64),
+        _ => None,
+    }
+}
+
+fn value_f64(v: Option<&Value>) -> Option<f64> {
+    match v? {
+        Value::UInt(n) => Some(*n as f64),
+        Value::Int(n) => Some(*n as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+fn load_baseline(path: &str) -> Result<Vec<BaselineSize>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("baseline `{path}`: {e}"))?;
+    let root: Value = serde_json::from_str(&text).map_err(|e| format!("baseline `{path}`: {e}"))?;
+    let sizes = match root.get("sizes") {
+        Some(Value::Seq(rows)) => rows,
+        _ => return Err(format!("baseline `{path}`: no `sizes` array")),
+    };
+    let field = |row: &Value, name: &str| -> Result<u64, String> {
+        value_u64(row.get(name)).ok_or_else(|| format!("baseline `{path}`: bad `{name}`"))
+    };
+    sizes
+        .iter()
+        .map(|row| {
+            Ok(BaselineSize {
+                modules: field(row, "modules")? as usize,
+                instances: field(row, "instances")? as usize,
+                full_visits: field(row, "full_solver_visits")? as usize,
+                incremental_analyzed: field(row, "incremental_instances_analyzed")? as usize,
+                cone_rerun: field(row, "cone_rerun")? as usize,
+                cone_recall: field(row, "cone_recall")? as usize,
+                speedup: value_f64(row.get("incremental_speedup"))
+                    .ok_or_else(|| format!("baseline `{path}`: bad `incremental_speedup`"))?,
+            })
+        })
+        .collect()
+}
+
+/// Diffs this run against the committed baseline. Deterministic
+/// counters must match exactly — they only move when the analysis
+/// itself changes behavior, which a baseline refresh should record
+/// deliberately. Wall-clock speedups get [`BASELINE_SPEEDUP_SLACK`].
+/// Returns the regression lines (empty = clean diff).
+fn diff_baseline(samples: &[SizeSample], baseline: &[BaselineSize]) -> Vec<String> {
+    let mut regressions = Vec::new();
+    for b in baseline {
+        let Some(s) = samples.iter().find(|s| s.modules == b.modules) else {
+            regressions.push(format!(
+                "size {} modules: in baseline but not measured (pass --sizes to match)",
+                b.modules
+            ));
+            continue;
+        };
+        let mut exact = |name: &str, now: usize, then: usize| {
+            if now != then {
+                regressions.push(format!(
+                    "size {} modules: {name} changed {then} -> {now}",
+                    b.modules
+                ));
+            }
+        };
+        exact("instances", s.instances, b.instances);
+        exact("full_solver_visits", s.full_visits, b.full_visits);
+        exact(
+            "incremental_instances_analyzed",
+            s.incremental_analyzed,
+            b.incremental_analyzed,
+        );
+        exact("cone_rerun", s.cone_rerun, b.cone_rerun);
+        exact("cone_recall", s.cone_recall, b.cone_recall);
+        let floor = b.speedup / BASELINE_SPEEDUP_SLACK;
+        if s.speedup() < floor {
+            regressions.push(format!(
+                "size {} modules: incremental speedup {:.2}x fell below {:.2}x \
+                 (baseline {:.2}x / slack {BASELINE_SPEEDUP_SLACK:.0})",
+                b.modules,
+                s.speedup(),
+                floor,
+                b.speedup
+            ));
+        }
+    }
+    regressions
+}
+
 fn render_json(opts: &Options, samples: &[SizeSample]) -> String {
     let stamp_ms = SystemTime::now()
         .duration_since(UNIX_EPOCH)
@@ -359,6 +479,7 @@ fn run() -> Result<ExitCode, String> {
         opts.gate,
         opts.out
     );
+    let mut failed = false;
     if opts.check && largest.speedup() < opts.gate {
         eprintln!(
             "bench_analysis: FAIL — incremental re-lint only {:.2}x over full \
@@ -366,6 +487,22 @@ fn run() -> Result<ExitCode, String> {
             largest.speedup(),
             opts.gate
         );
+        failed = true;
+    }
+    if let Some(path) = &opts.baseline {
+        let regressions = diff_baseline(&samples, &load_baseline(path)?);
+        if regressions.is_empty() {
+            println!("baseline `{path}`: clean diff");
+        } else {
+            for line in &regressions {
+                eprintln!("bench_analysis: baseline diff — {line}");
+            }
+            if opts.check {
+                failed = true;
+            }
+        }
+    }
+    if failed {
         return Ok(ExitCode::FAILURE);
     }
     Ok(ExitCode::SUCCESS)

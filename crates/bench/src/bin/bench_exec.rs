@@ -28,7 +28,7 @@ use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 use hercules::exec::{toy, Binding, Executor, MultiInstanceMode, SchedulerKind};
 use hercules::flow::TaskGraph;
 use hercules::history::HistoryDb;
-use hercules::obs::{Metrics, RingBuffer, Tracer};
+use hercules::obs::{Collector, FlightRecorder, Metrics, MultiCollector, RingBuffer, Tracer};
 use hercules::schema::TaskSchema;
 use hercules::{FlowOp, GroupCommitPolicy, JournalOp, Session, Workspace};
 
@@ -38,6 +38,10 @@ const STRAGGLER_GATE: f64 = 1.3;
 /// `--check` gate: group commit must beat per-frame fsync by this
 /// factor on journal-append throughput.
 const JOURNAL_GATE: f64 = 2.0;
+/// `--check` gate: adding the flight recorder to an already-traced
+/// straggler run must cost at most this much over the ring buffer
+/// alone.
+const RECORDER_GATE_PERCENT: f64 = 2.0;
 
 const USAGE: &str = "\
 bench_exec — executor perf harness; writes BENCH_exec.json
@@ -160,6 +164,62 @@ struct Workload<'a> {
     binding: &'a Binding,
 }
 
+/// How a measured configuration collects spans, if at all.
+enum Tracing {
+    Off,
+    /// Ring buffer + metrics registry — the standard live pipeline.
+    Ring,
+    /// Ring buffer + metrics + flight recorder fan-out — the always-on
+    /// telemetry pipeline a durable workspace runs.
+    Recorder,
+}
+
+fn build_executor(
+    w: &Workload<'_>,
+    opts: &Options,
+    parallel: bool,
+    tracing: &Tracing,
+    scheduler: SchedulerKind,
+    workers: usize,
+) -> Executor {
+    let registry = toy::text_registry_with(
+        w.schema,
+        toy::TextTool {
+            mode: MultiInstanceMode::RunPerInstance,
+            work: Duration::from_micros(opts.work_us),
+        },
+    );
+    let mut executor = Executor::new(registry);
+    executor.options_mut().parallel = parallel;
+    executor.options_mut().scheduler = scheduler;
+    executor.options_mut().workers = workers;
+    match tracing {
+        Tracing::Off => {}
+        Tracing::Ring => {
+            // The full live pipeline: every span lands in a ring buffer
+            // and every task updates the metrics registry.
+            executor.options_mut().tracer = Tracer::new(Arc::new(RingBuffer::new(65_536)));
+            executor.options_mut().metrics = Metrics::new();
+        }
+        Tracing::Recorder => {
+            let fanout: Arc<dyn Collector> = Arc::new(MultiCollector::new(vec![
+                Arc::new(RingBuffer::new(65_536)) as Arc<dyn Collector>,
+                Arc::new(FlightRecorder::new()) as Arc<dyn Collector>,
+            ]));
+            executor.options_mut().tracer = Tracer::new(fanout);
+            executor.options_mut().metrics = Metrics::new();
+        }
+    }
+    executor
+}
+
+fn time_once(executor: &Executor, w: &Workload<'_>) -> u64 {
+    let mut db = w.db.clone();
+    let started = Instant::now();
+    executor.execute(w.flow, w.binding, &mut db).expect("runs");
+    started.elapsed().as_nanos() as u64
+}
+
 fn measure(
     name: &'static str,
     w: &Workload<'_>,
@@ -179,31 +239,14 @@ fn measure_with(
     scheduler: SchedulerKind,
     workers: usize,
 ) -> Sample {
-    let registry = toy::text_registry_with(
-        w.schema,
-        toy::TextTool {
-            mode: MultiInstanceMode::RunPerInstance,
-            work: Duration::from_micros(opts.work_us),
-        },
-    );
-    let mut executor = Executor::new(registry);
-    executor.options_mut().parallel = parallel;
-    executor.options_mut().scheduler = scheduler;
-    executor.options_mut().workers = workers;
-    if traced {
-        // The full live pipeline: every span lands in a ring buffer and
-        // every task updates the metrics registry.
-        executor.options_mut().tracer = Tracer::new(Arc::new(RingBuffer::new(65_536)));
-        executor.options_mut().metrics = Metrics::new();
-    }
+    let tracing = if traced { Tracing::Ring } else { Tracing::Off };
+    let executor = build_executor(w, opts, parallel, &tracing, scheduler, workers);
     // One warm-up iteration, then the measured runs.
     let mut runs_ns = Vec::with_capacity(opts.iters);
     for i in 0..=opts.iters {
-        let mut db = w.db.clone();
-        let started = Instant::now();
-        executor.execute(w.flow, w.binding, &mut db).expect("runs");
+        let ns = time_once(&executor, w);
         if i > 0 {
-            runs_ns.push(started.elapsed().as_nanos() as u64);
+            runs_ns.push(ns);
         }
     }
     Sample {
@@ -212,6 +255,75 @@ fn measure_with(
         traced,
         runs_ns,
     }
+}
+
+/// Measures two configurations as paired runs: each iteration times
+/// the base and then the instrumented executor back to back, so clock
+/// drift, cache warmth, and scheduler noise hit both sides equally
+/// instead of whichever block happened to run second. Overhead is then
+/// a median over matched pairs, not a difference of two medians taken
+/// minutes apart.
+fn measure_paired(
+    names: (&'static str, &'static str),
+    w: &Workload<'_>,
+    opts: &Options,
+    parallel: bool,
+    tracings: (Tracing, Tracing),
+    scheduler: SchedulerKind,
+    workers: usize,
+) -> (Sample, Sample) {
+    let base = build_executor(w, opts, parallel, &tracings.0, scheduler, workers);
+    let instrumented = build_executor(w, opts, parallel, &tracings.1, scheduler, workers);
+    let mut base_ns = Vec::with_capacity(opts.iters);
+    let mut instrumented_ns = Vec::with_capacity(opts.iters);
+    for i in 0..=opts.iters {
+        // Alternate which side of the pair goes first so neither
+        // systematically inherits the other's warmed caches.
+        let (first, second, flipped) = if i % 2 == 0 {
+            (&base, &instrumented, false)
+        } else {
+            (&instrumented, &base, true)
+        };
+        let a = time_once(first, w);
+        let b = time_once(second, w);
+        if i > 0 {
+            let (base_run, instr_run) = if flipped { (b, a) } else { (a, b) };
+            base_ns.push(base_run);
+            instrumented_ns.push(instr_run);
+        }
+    }
+    let traced = |t: &Tracing| !matches!(t, Tracing::Off);
+    (
+        Sample {
+            name: names.0,
+            parallel,
+            traced: traced(&tracings.0),
+            runs_ns: base_ns,
+        },
+        Sample {
+            name: names.1,
+            parallel,
+            traced: traced(&tracings.1),
+            runs_ns: instrumented_ns,
+        },
+    )
+}
+
+/// Signed per-pair overhead: the median of `(instrumented - base) /
+/// base` over matched pairs, in percent. Negative values mean the
+/// instrumented side won on this machine — noise, reported as is.
+fn paired_overhead_raw_percent(base: &Sample, instrumented: &Sample) -> f64 {
+    let mut deltas: Vec<f64> = base
+        .runs_ns
+        .iter()
+        .zip(&instrumented.runs_ns)
+        .map(|(&b, &t)| (t as f64 - b as f64) * 100.0 / (b.max(1) as f64))
+        .collect();
+    deltas.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    if deltas.is_empty() {
+        return 0.0;
+    }
+    deltas[deltas.len() / 2]
 }
 
 /// Journal-append throughput: per-frame fsync, group commit, and
@@ -310,6 +422,7 @@ fn bench_journal(opts: &Options) -> Result<JournalBench, String> {
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     opts: &Options,
     samples: &[Sample],
@@ -317,6 +430,8 @@ fn render_json(
     overhead_raw_percent: f64,
     straggler: &[Sample],
     straggler_speedup: f64,
+    recorder_percent: f64,
+    recorder_raw_percent: f64,
     journal: &JournalBench,
 ) -> String {
     let stamp_ms = SystemTime::now()
@@ -368,6 +483,12 @@ fn render_json(
     );
     let _ = writeln!(
         out,
+        "  \"flight_recorder\": {{\"overhead_percent\": {recorder_percent:.3}, \
+         \"overhead_raw_percent\": {recorder_raw_percent:.3}, \
+         \"gate_percent\": {RECORDER_GATE_PERCENT:.1}}},"
+    );
+    let _ = writeln!(
+        out,
         "  \"journal\": {{\"ops\": {}, \"rounds\": {}, \
          \"per_frame_ops_per_sec\": {:.0}, \"group_commit_ops_per_sec\": {:.0}, \
          \"group_commit_speedup\": {:.3}, \"gate\": {JOURNAL_GATE:.1}}},",
@@ -405,20 +526,27 @@ fn run() -> Result<ExitCode, String> {
         db: &db,
         binding: &binding,
     };
-    let samples = [
-        measure("serial", &w, &opts, false, false),
-        measure("parallel", &w, &opts, true, false),
-        measure("parallel_traced", &w, &opts, true, true),
-    ];
-
-    let base = samples[1].median_ns().max(1);
-    let traced = samples[2].median_ns();
-    // Noise can make the traced run come out faster than the untraced
-    // one; report the raw delta but clamp the headline (and the gate
-    // input) at zero so a lucky run can't bank negative overhead.
-    let overhead_raw_percent = (traced as f64 - base as f64) * 100.0 / base as f64;
+    let serial = measure("serial", &w, &opts, false, false);
+    // Traced vs untraced as paired, interleaved runs: timing them as
+    // two separate blocks let machine drift show up as negative
+    // "overhead" (traced beating untraced by several percent).
+    let (parallel, parallel_traced) = measure_paired(
+        ("parallel", "parallel_traced"),
+        &w,
+        &opts,
+        true,
+        (Tracing::Off, Tracing::Ring),
+        SchedulerKind::default(),
+        0,
+    );
+    // Noise can still make the traced side come out faster; report the
+    // signed raw value but clamp the headline (and the gate input) at
+    // zero so a lucky run can't bank negative overhead.
+    let overhead_raw_percent = paired_overhead_raw_percent(&parallel, &parallel_traced);
     let overhead_percent = overhead_raw_percent.max(0.0);
-    let speedup = samples[0].median_ns() as f64 / base as f64;
+    let base = parallel.median_ns().max(1);
+    let speedup = serial.median_ns() as f64 / base as f64;
+    let samples = [serial, parallel, parallel_traced];
 
     // The straggler fixture: one branch 10× the work of the others,
     // workers pinned to the branch count so the schedulers differ only
@@ -435,7 +563,7 @@ fn run() -> Result<ExitCode, String> {
         binding: &binding,
     };
     let workers = opts.straggler_branches.max(2);
-    let straggler = [
+    let mut straggler = vec![
         measure_with(
             "straggler_wave",
             &sw,
@@ -458,6 +586,23 @@ fn run() -> Result<ExitCode, String> {
     let straggler_speedup =
         straggler[0].median_ns() as f64 / straggler[1].median_ns().max(1) as f64;
 
+    // Flight-recorder overhead on the straggler fixture: the always-on
+    // telemetry pipeline (ring + recorder fan-out) against the ring
+    // alone, paired runs.
+    let (straggler_traced, straggler_recorder) = measure_paired(
+        ("straggler_traced", "straggler_recorder"),
+        &sw,
+        &opts,
+        true,
+        (Tracing::Ring, Tracing::Recorder),
+        SchedulerKind::Dataflow,
+        workers,
+    );
+    let recorder_raw_percent = paired_overhead_raw_percent(&straggler_traced, &straggler_recorder);
+    let recorder_percent = recorder_raw_percent.max(0.0);
+    straggler.push(straggler_traced);
+    straggler.push(straggler_recorder);
+
     let journal = bench_journal(&opts)?;
 
     let json = render_json(
@@ -467,6 +612,8 @@ fn run() -> Result<ExitCode, String> {
         overhead_raw_percent,
         &straggler,
         straggler_speedup,
+        recorder_percent,
+        recorder_raw_percent,
         &journal,
     );
     std::fs::write(&opts.out, &json).map_err(|e| format!("write `{}`: {e}", opts.out))?;
@@ -484,6 +631,10 @@ fn run() -> Result<ExitCode, String> {
         "straggler: dataflow {straggler_speedup:.2}x over wave \
          ({} branches, depth {}, gate {STRAGGLER_GATE:.1}x)",
         opts.straggler_branches, opts.straggler_depth
+    );
+    println!(
+        "flight recorder: {recorder_percent:.2}% over ring-only tracing on the \
+         straggler (raw {recorder_raw_percent:.2}%, gate {RECORDER_GATE_PERCENT:.1}%)"
     );
     println!(
         "journal: group commit {:.2}x over per-frame fsync \
@@ -513,6 +664,13 @@ fn run() -> Result<ExitCode, String> {
         eprintln!(
             "bench_exec: FAIL — dataflow only {straggler_speedup:.2}x over wave \
              on the straggler fixture (gate {STRAGGLER_GATE:.1}x)"
+        );
+        failed = true;
+    }
+    if opts.check && recorder_percent > RECORDER_GATE_PERCENT {
+        eprintln!(
+            "bench_exec: FAIL — flight-recorder overhead {recorder_percent:.2}% \
+             exceeds the {RECORDER_GATE_PERCENT:.1}% gate"
         );
         failed = true;
     }

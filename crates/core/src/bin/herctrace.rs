@@ -13,10 +13,24 @@
 //! `tree` (span tree), `chrome` (Chrome `trace_event` JSON — load the
 //! file in `chrome://tracing` or <https://ui.perfetto.dev>).
 //!
+//! Two operational modes ride alongside:
+//!
+//! * **Postmortem** (`--postmortem DIR`): reads the workspace's
+//!   `telemetry-N.jsonl` flight-recorder sidecars — tolerating a torn
+//!   tail from a crash — and prints the reconstructed event tail.
+//!   Exits nonzero when no parseable record survives.
+//! * **Health** (`herctrace health --workspace DIR [--json]`): opens
+//!   the workspace and renders the aggregated [`HealthReport`] exactly
+//!   as the REPL `health` command does.
+//!
 //! ```text
 //! herctrace --format gantt
 //! herctrace --workspace /tmp/ws --format chrome --out trace.json
+//! herctrace --postmortem /tmp/ws
+//! herctrace health --workspace /tmp/ws --json
 //! ```
+//!
+//! [`HealthReport`]: hercules_obs::HealthReport
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -36,11 +50,15 @@ herctrace — trace, profile, and export Hercules executions
 
 USAGE:
     herctrace [OPTIONS]
+    herctrace health --workspace <DIR> [--json]
 
 SOURCE (choose one):
     (default)            execute a fixture flow live, traced
     --workspace <DIR>    replay the last execution of a durable workspace
     --schedule <N>       simulate an N-machine cluster schedule instead
+    --postmortem <DIR>   reconstruct the flight-recorder tail of a
+                         (possibly crashed) workspace; nonzero exit if
+                         no record survives
 
 OPTIONS:
     --fixture <fig5|fig6>   fixture flow for live/schedule mode [default: fig5]
@@ -54,6 +72,9 @@ OPTIONS:
 struct Options {
     workspace: Option<String>,
     schedule: Option<usize>,
+    postmortem: Option<String>,
+    health: bool,
+    json: bool,
     fixture: String,
     format: String,
     out: Option<String>,
@@ -65,6 +86,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         workspace: None,
         schedule: None,
+        postmortem: None,
+        health: false,
+        json: false,
         fixture: "fig5".into(),
         format: "report".into(),
         out: None,
@@ -79,6 +103,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 .ok_or_else(|| format!("{name} needs a value"))
         };
         match arg.as_str() {
+            "health" => opts.health = true,
+            "--json" => opts.json = true,
+            "--postmortem" => opts.postmortem = Some(value("--postmortem")?),
             "--workspace" => opts.workspace = Some(value("--workspace")?),
             "--schedule" => {
                 opts.schedule = Some(
@@ -99,6 +126,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown option `{other}`")),
         }
+    }
+    if opts.health && opts.workspace.is_none() {
+        return Err("health needs --workspace <DIR>".to_owned());
     }
     if !matches!(opts.format.as_str(), "report" | "gantt" | "tree" | "chrome") {
         return Err(format!("unknown format `{}`", opts.format));
@@ -176,11 +206,47 @@ fn render(events: &[TraceEvent], format: &str, metrics: Option<&Metrics>) -> Str
     }
 }
 
+/// Reconstructs and prints the flight-recorder tail of a workspace.
+/// `Err` when no parseable record survives (crash before the durable
+/// session stamp, or no telemetry at all).
+fn postmortem(dir: &str) -> Result<(), String> {
+    let fs = hercules_sim::Fs::real();
+    let report = hercules::read_postmortem(&fs, Path::new(dir))
+        .map_err(|e| format!("postmortem `{dir}`: {e}"))?;
+    print!("{}", report.render_text(20));
+    if report.records.is_empty() {
+        return Err(format!(
+            "postmortem `{dir}`: no parseable telemetry record recovered"
+        ));
+    }
+    Ok(())
+}
+
+/// Opens the workspace through the REPL machinery and renders its
+/// health report, exactly as the REPL `health` command would.
+fn health(dir: &str, json: bool) -> Result<String, String> {
+    use hercules::ui::{Command, Ui};
+    let mut ui = Ui::new(hercules::Session::odyssey("herctrace"));
+    let open = Command::parse(&format!("open {dir}")).map_err(|e| e.to_string())?;
+    ui.apply(open)
+        .map_err(|e| format!("workspace `{dir}`: {e}"))?;
+    let cmd =
+        Command::parse(if json { "health --json" } else { "health" }).map_err(|e| e.to_string())?;
+    ui.apply(cmd).map_err(|e| format!("health: {e}"))
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = parse_args(&args)?;
 
-    let output = if let Some(dir) = &opts.workspace {
+    if let Some(dir) = &opts.postmortem {
+        return postmortem(dir);
+    }
+
+    let output = if opts.health {
+        let dir = opts.workspace.as_deref().expect("validated in parse_args");
+        health(dir, opts.json)?
+    } else if let Some(dir) = &opts.workspace {
         let events = replayed_trace(dir)?;
         render(&events, &opts.format, None)
     } else if let Some(machines) = opts.schedule {

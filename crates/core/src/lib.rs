@@ -71,6 +71,7 @@ pub mod catalog;
 pub mod encaps;
 pub mod setup;
 pub mod store;
+pub mod telemetry;
 pub mod ui;
 pub mod views;
 
@@ -80,6 +81,10 @@ pub use session::{Approach, ExecEvent, Session};
 pub use store::{
     DegradedReason, GroupCommitPolicy, JournalOp, RecoveryReport, ScrubReport, SegmentRecovery,
     SegmentScrub, StoreError, Workspace, WriteState,
+};
+pub use telemetry::{
+    read_postmortem, store_health, PostmortemRecord, PostmortemReport, SessionStamp,
+    TelemetryWriter,
 };
 
 // Re-export the substrate crates so downstream users need only one

@@ -6,7 +6,9 @@ use std::sync::Arc;
 use hercules_exec::{Binding, EncapsulationRegistry, ExecReport, Executor, TaskAction};
 use hercules_flow::{Expansion, FlowCatalog, FlowSpec, NodeId, TaskGraph};
 use hercules_history::{DerivationTree, HistoryDb, InstanceId};
-use hercules_obs::{Metrics, RingBuffer, TraceEvent, Tracer};
+use hercules_obs::{
+    Collector, Metrics, MultiCollector, RealTime, RingBuffer, TimeSource, TraceEvent, Tracer,
+};
 use hercules_schema::{EntityTypeId, TaskSchema};
 use hercules_sim::{Clock, Interleaver};
 use serde::{Deserialize, Serialize};
@@ -237,6 +239,31 @@ impl Session {
         options.interleave = interleave;
         options.jitter_seed = jitter_seed;
         options.tracer = self.tracer.clone();
+    }
+
+    /// Tees every trace event into `sink` alongside the in-memory
+    /// ring (which keeps serving the REPL `trace`/`profile`
+    /// commands). The UI uses this to feed the workspace flight
+    /// recorder; calling it again replaces the previous sink.
+    ///
+    /// Event timestamps keep their current source — the session's
+    /// simulated clock when [`Session::set_sim`] installed one, real
+    /// time otherwise — so the tee never perturbs trace stamps.
+    pub fn attach_trace_sink(&mut self, sink: Arc<dyn Collector>) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let fanout: Arc<dyn Collector> = Arc::new(MultiCollector::new(vec![
+            self.trace_ring.clone() as Arc<dyn Collector>,
+            sink,
+        ]));
+        let time: Arc<dyn TimeSource> = if self.clock.is_sim() {
+            Arc::new(hercules_sim::ClockTimeSource::new(self.clock.clone()))
+        } else {
+            Arc::new(RealTime::new())
+        };
+        self.tracer = Tracer::with_time_source(fanout, time);
+        self.executor.options_mut().tracer = self.tracer.clone();
     }
 
     /// Creates the standard demonstration session: the Odyssey schema,

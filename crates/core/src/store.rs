@@ -427,6 +427,9 @@ pub struct RecoveryReport {
     pub segments: Vec<SegmentRecovery>,
     /// The fencing token this open acquired (or found, when degraded).
     pub fencing_token: u64,
+    /// `true` when this open took the lease over from a different
+    /// (expired) owner, fencing that writer out.
+    pub took_over: bool,
     /// Why the workspace opened read-only, when it did.
     pub degraded: Option<String>,
 }
@@ -1293,6 +1296,9 @@ impl Workspace {
             (None, 0)
         };
 
+        // A writable open over a foreign lease means that lease had
+        // expired — this open fenced the previous writer out.
+        let took_over = writable && lease.as_ref().map(|l| l.owner != owner).unwrap_or(false);
         let report = RecoveryReport {
             generation: manifest.generation,
             ops_replayed,
@@ -1300,6 +1306,7 @@ impl Workspace {
             truncated: bytes_discarded > 0,
             segments: seg_reports,
             fencing_token: token,
+            took_over,
             degraded: degraded_reason.as_ref().map(|r| r.to_string()),
         };
         let workspace = Workspace {
@@ -1354,6 +1361,17 @@ impl Workspace {
     /// The owner id this handle leases the store as.
     pub fn owner(&self) -> &str {
         &self.owner
+    }
+
+    /// Milliseconds until this handle's lease expires — negative once
+    /// it is already past — or `None` when the handle never acquired
+    /// a lease (degraded open). Renewals on the write path push the
+    /// expiry forward.
+    pub fn lease_remaining_ms(&self) -> Option<i64> {
+        if self.lease_expires_ms == 0 {
+            return None;
+        }
+        Some(self.lease_expires_ms as i64 - self.env.clock.wall_unix_ms() as i64)
     }
 
     /// The journal segment chain of the current generation, oldest
@@ -1892,7 +1910,11 @@ impl Workspace {
             .fs
             .read(&self.root.join(checkpoint_name(generation)))
         {
-            Ok(bytes) => serde_json::from_slice::<SessionSpec>(&bytes).is_ok(),
+            Ok(bytes) => {
+                self.metrics
+                    .incr(names::STORE_SCRUB_BYTES, bytes.len() as u64);
+                serde_json::from_slice::<SessionSpec>(&bytes).is_ok()
+            }
             Err(_) => false,
         };
         let mut segments = Vec::new();
@@ -1900,6 +1922,8 @@ impl Workspace {
         for name in self.segments.clone() {
             match self.env.fs.read(&self.root.join(&name)) {
                 Ok(buf) => {
+                    self.metrics
+                        .incr(names::STORE_SCRUB_BYTES, buf.len() as u64);
                     let scan = scan_frames(&buf);
                     let trailing = (buf.len() - scan.valid_len) as u64;
                     damaged |= trailing > 0;

@@ -9,12 +9,16 @@
 
 use std::fmt::Write as _;
 use std::path::Path;
+use std::sync::Arc;
 
 use hercules_analyze::{Diagnostics, HistoryLinter, HistoryLinterSpec};
 use hercules_exec::report_to_trace;
 use hercules_flow::{render, NodeId};
 use hercules_history::{InstanceId, InstanceSpec};
-use hercules_obs::profile;
+use hercules_obs::{
+    names, profile, AnalysisHealth, Collector, FlightRecorder, HealthReport, HealthThresholds,
+    MetricsSnapshot,
+};
 
 use hercules_sim::Env;
 
@@ -23,6 +27,7 @@ use crate::error::HerculesError;
 use crate::persist::ExecReportSpec;
 use crate::session::{Approach, Session};
 use crate::store::{ExecSpec, JournalOp, RecoveryReport, StoreError, Workspace, WriteState};
+use crate::telemetry::{self, SessionStamp, TelemetryWriter};
 
 /// One parsed UI command.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -105,6 +110,13 @@ pub enum Command {
     /// predicted retrace cone (§3.3's "whether such retracing need
     /// occur", answered without running anything).
     Stale,
+    /// `health [--json]` — the aggregated workspace health report:
+    /// store mode/lease/quarantine, scheduler rates, cache hit rate,
+    /// and analysis-index freshness, each mapped to ok/warn/critical.
+    Health {
+        /// Render as a JSON object instead of text.
+        json: bool,
+    },
 }
 
 impl Command {
@@ -201,6 +213,11 @@ impl Command {
                 Some(other) => Err(bad(&format!("unknown lint option `{other}`"))),
             },
             "stale" => Ok(Command::Stale),
+            "health" => match parts.next() {
+                None => Ok(Command::Health { json: false }),
+                Some("--json") => Ok(Command::Health { json: true }),
+                Some(other) => Err(bad(&format!("unknown health option `{other}`"))),
+            },
             other => Err(bad(&format!("unknown verb `{other}`"))),
         }
     }
@@ -292,7 +309,33 @@ pub struct Ui {
     /// Persistent analysis state: the reverse-dependency index and
     /// cached verdicts behind `lint --incremental` and `stale`.
     linter: HistoryLinter,
+    /// The always-on flight recorder, attached while a writable
+    /// workspace is: the session tracer tees span events into the
+    /// ring, and every command pumps the ring into the workspace's
+    /// `telemetry-N.jsonl` sidecar.
+    telemetry: Option<Telemetry>,
+    /// Thresholds the `health` command maps raw signals through.
+    health_thresholds: HealthThresholds,
 }
+
+/// The attached flight-recorder state (see [`crate::telemetry`]).
+#[derive(Debug)]
+struct Telemetry {
+    recorder: Arc<FlightRecorder>,
+    writer: TelemetryWriter,
+    /// Metrics as of the last periodic export; the next export writes
+    /// the delta against this.
+    last_snapshot: MetricsSnapshot,
+    /// Wall-clock deadline for the next metrics-delta export.
+    next_export_ms: u64,
+    /// Ring drop counter as of the last pump (the recorder reports a
+    /// lifetime total; the pump translates it into counter increments).
+    last_dropped: u64,
+}
+
+/// How often (wall-clock) a metrics delta is exported into the
+/// telemetry stream — and, with it, how often the stream is fsynced.
+const TELEMETRY_EXPORT_INTERVAL_MS: u64 = 1_000;
 
 /// Sidecar file (under the workspace root) persisting the analysis
 /// state across processes: a [`HistoryLinterSpec`] as JSON. Written
@@ -317,7 +360,14 @@ impl Ui {
             last_recovery: None,
             env,
             linter: HistoryLinter::new(),
+            telemetry: None,
+            health_thresholds: HealthThresholds::default(),
         }
+    }
+
+    /// Replaces the thresholds the `health` command uses.
+    pub fn set_health_thresholds(&mut self, thresholds: HealthThresholds) {
+        self.health_thresholds = thresholds;
     }
 
     /// Returns the wrapped session.
@@ -377,9 +427,15 @@ impl Ui {
             .is_some()
             .then(|| self.journal_op(&journaled, db_before, events_before, result.is_ok()))
             .flatten();
-        if let (Some(op), Some(ws)) = (op, self.workspace.as_mut()) {
-            ws.append(&op).map_err(HerculesError::from)?;
-        }
+        let appended = match (op, self.workspace.as_mut()) {
+            (Some(op), Some(ws)) => ws.append(&op).map_err(HerculesError::from),
+            _ => Ok(()),
+        };
+        // Telemetry rides behind the journal: the command's spans land
+        // in the sidecar only after the command itself is durable, and
+        // a telemetry failure never un-acknowledges a command.
+        self.pump_telemetry();
+        appended?;
         result
     }
 
@@ -467,7 +523,8 @@ impl Ui {
             | Command::Checkpoint
             | Command::Scrub
             | Command::Lint { .. }
-            | Command::Stale => None,
+            | Command::Stale
+            | Command::Health { .. } => None,
         }
     }
 
@@ -782,6 +839,7 @@ impl Ui {
                         .map_err(HerculesError::from)?;
                 ws.set_metrics(self.session.metrics().clone());
                 self.workspace = Some(ws);
+                self.attach_telemetry();
                 Ok(format!(
                     "workspace saved to `{path}`; mutating commands are now journaled\n"
                 ))
@@ -800,12 +858,27 @@ impl Ui {
                         .metrics()
                         .incr(hercules_obs::names::STORE_DEGRADED_OPENS, 1);
                 }
+                if recovery.took_over {
+                    self.session.metrics().incr(names::STORE_LEASE_TAKEOVERS, 1);
+                }
                 self.workspace = Some(ws);
+                self.attach_telemetry();
                 // The old analysis state described a different history;
                 // restore it from the workspace's sidecar when the
                 // sidecar still matches, else start fresh (the next
                 // lint will be a full one).
-                self.linter = self.load_analysis_sidecar().unwrap_or_default();
+                self.linter = match self.load_analysis_sidecar() {
+                    Some(linter) => {
+                        self.session.metrics().incr(names::ANALYZE_INDEX_HITS, 1);
+                        linter
+                    }
+                    None => {
+                        self.session
+                            .metrics()
+                            .incr(names::ANALYZE_INDEX_REBUILDS, 1);
+                        HistoryLinter::new()
+                    }
+                };
                 let mut out = format!("opened workspace `{path}`: {recovery}\n");
                 let _ = writeln!(out, "recovery: {}", recovery.to_json());
                 self.last_recovery = Some(recovery);
@@ -834,10 +907,21 @@ impl Ui {
                 }
             },
             Command::Lint { incremental } => {
+                let started = self.env.clock.now();
                 let mut out = Diagnostics::new();
-                hercules_analyze::lint_schema(self.session.schema(), &mut out);
-                if let Ok(flow) = self.session.flow() {
-                    hercules_analyze::lint_flow(flow, &mut out);
+                let mut timings = Vec::new();
+                {
+                    let clock = self.env.clock.clone();
+                    let mut tick = move || clock.now().as_ns();
+                    timings.extend(hercules_analyze::lint_schema_timed(
+                        self.session.schema(),
+                        &mut out,
+                        &mut tick,
+                    ));
+                    if let Ok(flow) = self.session.flow() {
+                        timings
+                            .extend(hercules_analyze::lint_flow_timed(flow, &mut out, &mut tick));
+                    }
                 }
                 let result = if incremental {
                     self.linter.lint_incremental(self.session.db(), &mut out)
@@ -848,6 +932,17 @@ impl Ui {
                     message: format!("history analysis failed: {e}"),
                 })?;
                 let stats = self.linter.stats();
+                let metrics = self.session.metrics();
+                metrics.observe_duration(names::ANALYZE_LINT_NS, self.env.clock.since(started));
+                for t in &timings {
+                    let name =
+                        format!("{}.{}", names::ANALYZE_PASS_NS, t.code.to_ascii_lowercase());
+                    metrics.observe(&name, t.nanos);
+                }
+                metrics.observe(
+                    names::ANALYZE_CONE_INSTANCES,
+                    stats.instances_analyzed as u64,
+                );
                 let mut text = if out.is_empty() {
                     String::from("lint: clean\n")
                 } else {
@@ -886,6 +981,9 @@ impl Ui {
                         .linter
                         .index()
                         .retrace_cone(self.session.db(), s.instance)?;
+                    self.session
+                        .metrics()
+                        .observe(names::ANALYZE_RETRACE_RERUN, cone.rerun.len() as u64);
                     let _ = writeln!(
                         out,
                         "  {} ({} superseded by {}): retrace would be {}",
@@ -897,6 +995,128 @@ impl Ui {
                 }
                 Ok(out)
             }
+            Command::Health { json } => {
+                let report = self.health_report();
+                if json {
+                    Ok(format!("{}\n", report.to_json()))
+                } else {
+                    Ok(report.render_text())
+                }
+            }
+        }
+    }
+
+    /// Computes the aggregated health report for the current session
+    /// and workspace state (also records `health.checks` /
+    /// `health.status` into the metrics registry so the report's own
+    /// history rides the telemetry stream).
+    pub fn health_report(&self) -> HealthReport {
+        let snapshot = self.session.metrics().snapshot();
+        let store = self
+            .workspace
+            .as_ref()
+            .map(|ws| telemetry::store_health(ws, self.last_recovery.as_ref()));
+        let analysis = AnalysisHealth {
+            instances_total: self.session.db().len(),
+            instances_indexed: self.linter.index().watermark(),
+            stale_instances: self
+                .session
+                .db()
+                .stale_instances()
+                .map(|v| v.len())
+                .unwrap_or(0),
+        };
+        let report = HealthReport::build(
+            self.env.clock.wall_unix_ms(),
+            store.as_ref(),
+            Some(&analysis),
+            &snapshot,
+            &self.health_thresholds,
+        );
+        let metrics = self.session.metrics();
+        metrics.incr(names::HEALTH_CHECKS, 1);
+        metrics.gauge_set(names::HEALTH_STATUS, report.overall().level());
+        report
+    }
+
+    /// Attaches the flight recorder to a freshly saved/opened
+    /// *writable* workspace: opens a new `telemetry-N.jsonl` sidecar
+    /// with a durably anchored session stamp and tees the session
+    /// tracer into a bounded ring that [`Ui::pump_telemetry`] drains
+    /// after every command. Degraded (read-only) workspaces get no
+    /// recorder — a browser must not write into a store it does not
+    /// own. Best-effort: attach failure costs telemetry, never the
+    /// save/open itself.
+    fn attach_telemetry(&mut self) {
+        self.telemetry = None;
+        let Some(ws) = &self.workspace else { return };
+        if !ws.is_writable() {
+            return;
+        }
+        let stamp = SessionStamp::for_workspace(ws, self.session.user());
+        match TelemetryWriter::attach(
+            ws.root(),
+            self.env.clone(),
+            self.session.metrics().clone(),
+            &stamp,
+        ) {
+            Ok(writer) => {
+                let recorder = Arc::new(FlightRecorder::new());
+                self.session
+                    .attach_trace_sink(recorder.clone() as Arc<dyn Collector>);
+                self.telemetry = Some(Telemetry {
+                    recorder,
+                    writer,
+                    last_snapshot: self.session.metrics().snapshot(),
+                    next_export_ms: self.env.clock.wall_unix_ms() + TELEMETRY_EXPORT_INTERVAL_MS,
+                    last_dropped: 0,
+                });
+            }
+            Err(_) => {
+                self.session
+                    .metrics()
+                    .incr(names::TELEMETRY_WRITE_ERRORS, 1);
+            }
+        }
+    }
+
+    /// Drains the flight-recorder ring into the sidecar and, when the
+    /// export interval has elapsed, appends a metrics-delta record and
+    /// fsyncs the stream. Runs after every command; all I/O here is
+    /// best-effort (see [`crate::telemetry`]).
+    fn pump_telemetry(&mut self) {
+        let Some(t) = self.telemetry.as_mut() else {
+            return;
+        };
+        let metrics = self.session.metrics().clone();
+        let now_ms = self.env.clock.wall_unix_ms();
+        let mut export = false;
+        if now_ms >= t.next_export_ms {
+            let snapshot = metrics.snapshot();
+            let delta = snapshot.delta(&t.last_snapshot);
+            t.recorder
+                .record_metrics_delta(&delta, self.env.clock.now().as_ns(), now_ms);
+            t.last_snapshot = snapshot;
+            t.next_export_ms = now_ms + TELEMETRY_EXPORT_INTERVAL_MS;
+            metrics.incr(names::TELEMETRY_METRIC_EXPORTS, 1);
+            export = true;
+        }
+        let bytes = t.recorder.drain();
+        if !bytes.is_empty() {
+            let records = bytes.iter().filter(|&&b| b == b'\n').count() as u64;
+            metrics.incr(names::TELEMETRY_RECORDS, records);
+            t.writer.append(&bytes);
+        }
+        let dropped = t.recorder.dropped();
+        if dropped > t.last_dropped {
+            metrics.incr(names::TELEMETRY_DROPPED_RECORDS, dropped - t.last_dropped);
+            t.last_dropped = dropped;
+        }
+        if export {
+            // One fsync per export interval bounds how much telemetry
+            // a crash can shed without putting an fsync on every
+            // command's path.
+            t.writer.sync();
         }
     }
 

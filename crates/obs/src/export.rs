@@ -1,0 +1,90 @@
+//! One-shot Prometheus text-format rendering of a [`MetricsSnapshot`].
+//!
+//! Hercules has no HTTP endpoint (yet — that arrives with `hercd`),
+//! so the renderer is a pure function: feed it a snapshot, write the
+//! result wherever a scraper can find it. Counters and gauges map
+//! directly; histograms render as Prometheus *summaries* (quantile
+//! series plus `_sum`/`_count`), because the log₂ buckets already
+//! give exact quantiles at bucket floors and shipping 64 `_bucket`
+//! series per histogram would drown a dashboard.
+//!
+//! Metric names are sanitized to `[a-z0-9_]` (dots become
+//! underscores) and prefixed with `hercules_` to namespace them in a
+//! shared scrape.
+
+use crate::metrics::MetricsSnapshot;
+
+/// Rewrites a dotted metric name into a Prometheus-legal series name.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 9);
+    out.push_str("hercules_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders the snapshot in Prometheus text exposition format.
+pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snapshot.counters {
+        let s = sanitize(name);
+        out.push_str(&format!("# TYPE {s} counter\n{s} {v}\n"));
+    }
+    for (name, v) in &snapshot.gauges {
+        let s = sanitize(name);
+        out.push_str(&format!("# TYPE {s} gauge\n{s} {v}\n"));
+    }
+    for (name, h) in &snapshot.histograms {
+        let s = sanitize(name);
+        out.push_str(&format!("# TYPE {s} summary\n"));
+        for (label, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
+            out.push_str(&format!("{s}{{quantile=\"{label}\"}} {}\n", h.quantile(q)));
+        }
+        out.push_str(&format!("{s}_sum {}\n{s}_count {}\n", h.sum, h.count));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+
+    #[test]
+    fn renders_all_three_instrument_kinds() {
+        let m = Metrics::new();
+        m.incr("store.scrubs", 2);
+        m.gauge_set("exec.queue_depth", 7);
+        for v in [1u64, 2, 3, 4, 100] {
+            m.observe("exec.task_wall_ns", v);
+        }
+        let text = render_prometheus(&m.snapshot());
+        assert!(text.contains("# TYPE hercules_store_scrubs counter\nhercules_store_scrubs 2\n"));
+        assert!(
+            text.contains("# TYPE hercules_exec_queue_depth gauge\nhercules_exec_queue_depth 7\n")
+        );
+        assert!(text.contains("# TYPE hercules_exec_task_wall_ns summary\n"));
+        assert!(text.contains("hercules_exec_task_wall_ns{quantile=\"0.5\"} 2\n"));
+        assert!(text.contains("hercules_exec_task_wall_ns{quantile=\"0.99\"} 64\n"));
+        assert!(text.contains("hercules_exec_task_wall_ns_sum 110\n"));
+        assert!(text.contains("hercules_exec_task_wall_ns_count 5\n"));
+        // Every non-comment line is "name[{labels}] value".
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.split(' ');
+            let series = parts.next().unwrap();
+            assert!(series.starts_with("hercules_"), "{line}");
+            assert!(parts.next().unwrap().parse::<f64>().is_ok(), "{line}");
+            assert!(parts.next().is_none(), "{line}");
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        assert_eq!(render_prometheus(&Metrics::disabled().snapshot()), "");
+    }
+}

@@ -1,0 +1,625 @@
+//! The workspace health model: a typed report aggregating store,
+//! scheduler, cache, and analysis-index signals into ok/warn/critical.
+//!
+//! The report is computed from data the caller already has — a
+//! [`MetricsSnapshot`], plus optional store and analysis summaries
+//! supplied as plain structs so this crate stays dependency-free.
+//! Thresholds are explicit and configurable ([`HealthThresholds`]);
+//! the defaults are deliberately conservative (a fresh session is
+//! `ok` across the board).
+//!
+//! Rate checks guard their denominators: a session that has not run
+//! anything yet has no retry rate, not a zero retry rate that might
+//! flap to warn on the first retry.
+
+use crate::metrics::MetricsSnapshot;
+use crate::span::json;
+
+/// Severity of a single check or a whole report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthStatus {
+    /// Operating normally.
+    Ok,
+    /// Degrading or approaching a limit; worth a look.
+    Warn,
+    /// Broken or data-endangering; needs an operator.
+    Critical,
+}
+
+impl HealthStatus {
+    /// Stable lowercase name (`ok` / `warn` / `critical`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HealthStatus::Ok => "ok",
+            HealthStatus::Warn => "warn",
+            HealthStatus::Critical => "critical",
+        }
+    }
+
+    /// Numeric level for the `health.status` gauge (0/1/2).
+    pub fn level(self) -> i64 {
+        match self {
+            HealthStatus::Ok => 0,
+            HealthStatus::Warn => 1,
+            HealthStatus::Critical => 2,
+        }
+    }
+}
+
+/// Configurable thresholds mapping raw signals to statuses.
+#[derive(Debug, Clone)]
+pub struct HealthThresholds {
+    /// Ready-queue depth (gauge `exec.queue_depth`) above which the
+    /// scheduler is considered backed up.
+    pub queue_depth_warn: i64,
+    /// Retry-per-run rate that warns / goes critical.
+    pub retry_rate_warn: f64,
+    /// See [`Self::retry_rate_warn`].
+    pub retry_rate_critical: f64,
+    /// Skipped-subtask rate (skips per run+skip) that warns / goes
+    /// critical — skips mean committed partial failures.
+    pub skip_rate_warn: f64,
+    /// See [`Self::skip_rate_warn`].
+    pub skip_rate_critical: f64,
+    /// Cache hit rate *below* which the resume/extensional cache is
+    /// considered cold (only checked once `min_cache_lookups` have
+    /// happened).
+    pub cache_hit_rate_warn: f64,
+    /// Minimum `hits + runs` before the cache check activates.
+    pub min_cache_lookups: u64,
+    /// Journal segment-chain length that warns / goes critical (a
+    /// long chain means `checkpoint` has not compacted in a while).
+    pub segment_chain_warn: usize,
+    /// See [`Self::segment_chain_warn`].
+    pub segment_chain_critical: usize,
+    /// Remaining lease milliseconds below which the writer should
+    /// have renewed already.
+    pub lease_remaining_warn_ms: i64,
+    /// Stale-instance count (from the analysis index) that warns.
+    pub stale_instances_warn: usize,
+}
+
+impl Default for HealthThresholds {
+    fn default() -> HealthThresholds {
+        HealthThresholds {
+            queue_depth_warn: 64,
+            retry_rate_warn: 0.10,
+            retry_rate_critical: 0.50,
+            skip_rate_warn: 0.05,
+            skip_rate_critical: 0.25,
+            cache_hit_rate_warn: 0.05,
+            min_cache_lookups: 32,
+            segment_chain_warn: 8,
+            segment_chain_critical: 32,
+            lease_remaining_warn_ms: 2_000,
+            stale_instances_warn: 1,
+        }
+    }
+}
+
+/// Store-side inputs to the health model, extracted from the open
+/// workspace and its `RecoveryReport` by the caller.
+#[derive(Debug, Clone, Default)]
+pub struct StoreHealth {
+    /// Degraded-mode reason, if the store opened read-only.
+    pub degraded: Option<String>,
+    /// Lease owner recorded in the LEASE file.
+    pub owner: String,
+    /// Current fencing token (monotonic across takeovers).
+    pub fencing_token: u64,
+    /// Milliseconds until the held lease expires; negative if already
+    /// expired, `None` when this handle holds no lease (degraded).
+    pub lease_remaining_ms: Option<i64>,
+    /// Checkpoint generation the store recovered to.
+    pub generation: u64,
+    /// Journal segments in the live MANIFEST chain.
+    pub segment_chain_len: usize,
+    /// Segments (or segment regions) quarantined aside by recovery or
+    /// scrub — damage preserved for forensics.
+    pub quarantined: usize,
+    /// Bytes discarded from a torn tail during the last recovery.
+    pub recovery_bytes_discarded: u64,
+}
+
+/// Analysis-index inputs: how fresh the revdep/lint layer is.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisHealth {
+    /// Instances in the history database.
+    pub instances_total: usize,
+    /// Instances covered by the revdep index watermark.
+    pub instances_indexed: usize,
+    /// Instances currently flagged stale (HL0501/HL0502).
+    pub stale_instances: usize,
+}
+
+/// One named signal with its computed status.
+#[derive(Debug, Clone)]
+pub struct HealthCheck {
+    /// Stable dotted name (`store.mode`, `sched.retries`, …).
+    pub name: String,
+    /// Status this check resolved to.
+    pub status: HealthStatus,
+    /// Short value rendering (`"writable"`, `"3.2%"`, …).
+    pub value: String,
+    /// One-line human explanation.
+    pub detail: String,
+}
+
+/// The aggregated health report.
+#[derive(Debug, Clone, Default)]
+pub struct HealthReport {
+    /// Individual checks, in presentation order.
+    pub checks: Vec<HealthCheck>,
+    /// Wall-clock unix milliseconds when the report was computed.
+    pub wall_unix_ms: u64,
+}
+
+impl HealthReport {
+    /// Computes a report from whatever signals are available. `store`
+    /// and `analysis` are `None` when no workspace / no index is
+    /// attached — the corresponding checks then report `ok` with a
+    /// "detached" value rather than guessing.
+    pub fn build(
+        wall_unix_ms: u64,
+        store: Option<&StoreHealth>,
+        analysis: Option<&AnalysisHealth>,
+        metrics: &MetricsSnapshot,
+        t: &HealthThresholds,
+    ) -> HealthReport {
+        let mut checks = Vec::new();
+        let mut push = |name: &str, status: HealthStatus, value: String, detail: String| {
+            checks.push(HealthCheck {
+                name: name.to_owned(),
+                status,
+                value,
+                detail,
+            });
+        };
+
+        match store {
+            None => push(
+                "store.mode",
+                HealthStatus::Ok,
+                "detached".into(),
+                "no workspace attached; nothing durable at risk".into(),
+            ),
+            Some(s) => {
+                match &s.degraded {
+                    Some(reason) => push(
+                        "store.mode",
+                        HealthStatus::Critical,
+                        "degraded".into(),
+                        format!("read-only: {reason}"),
+                    ),
+                    None => push(
+                        "store.mode",
+                        HealthStatus::Ok,
+                        "writable".into(),
+                        format!("generation {}", s.generation),
+                    ),
+                }
+                match s.lease_remaining_ms {
+                    None => push(
+                        "store.lease",
+                        HealthStatus::Warn,
+                        "not held".into(),
+                        "this handle holds no lease (degraded open)".into(),
+                    ),
+                    Some(ms) if ms < 0 => push(
+                        "store.lease",
+                        HealthStatus::Critical,
+                        "expired".into(),
+                        format!(
+                            "owner {} token {} expired {}ms ago; the next open takes over",
+                            s.owner, s.fencing_token, -ms
+                        ),
+                    ),
+                    Some(ms) if ms < t.lease_remaining_warn_ms => push(
+                        "store.lease",
+                        HealthStatus::Warn,
+                        format!("{ms}ms left"),
+                        format!(
+                            "owner {} token {}; renewal overdue",
+                            s.owner, s.fencing_token
+                        ),
+                    ),
+                    Some(ms) => push(
+                        "store.lease",
+                        HealthStatus::Ok,
+                        format!("{ms}ms left"),
+                        format!("owner {} token {}", s.owner, s.fencing_token),
+                    ),
+                }
+                let seg_status = if s.segment_chain_len >= t.segment_chain_critical {
+                    HealthStatus::Critical
+                } else if s.segment_chain_len >= t.segment_chain_warn {
+                    HealthStatus::Warn
+                } else {
+                    HealthStatus::Ok
+                };
+                push(
+                    "store.segments",
+                    seg_status,
+                    format!("{} in chain", s.segment_chain_len),
+                    if seg_status == HealthStatus::Ok {
+                        "journal chain is short".into()
+                    } else {
+                        "long journal chain; `checkpoint` to compact".into()
+                    },
+                );
+                push(
+                    "store.quarantine",
+                    if s.quarantined > 0 {
+                        HealthStatus::Warn
+                    } else {
+                        HealthStatus::Ok
+                    },
+                    format!("{} quarantined", s.quarantined),
+                    if s.quarantined > 0 {
+                        "damaged regions preserved aside; inspect *.quarantined-<k>".into()
+                    } else {
+                        "no quarantined damage".into()
+                    },
+                );
+                if s.recovery_bytes_discarded > 0 {
+                    push(
+                        "store.recovery",
+                        HealthStatus::Warn,
+                        format!("{}B discarded", s.recovery_bytes_discarded),
+                        "last recovery truncated a torn journal tail".into(),
+                    );
+                } else {
+                    push(
+                        "store.recovery",
+                        HealthStatus::Ok,
+                        "clean".into(),
+                        "last recovery replayed without loss".into(),
+                    );
+                }
+            }
+        }
+
+        let counter = |name: &str| metrics.counters.get(name).copied().unwrap_or(0);
+        let depth = metrics.gauges.get("exec.queue_depth").copied().unwrap_or(0);
+        push(
+            "sched.queue_depth",
+            if depth > t.queue_depth_warn {
+                HealthStatus::Warn
+            } else {
+                HealthStatus::Ok
+            },
+            depth.to_string(),
+            "ready tasks awaiting a worker (last sample)".into(),
+        );
+
+        let runs = counter("exec.runs");
+        let retries = counter("exec.retries");
+        if runs > 0 {
+            let rate = retries as f64 / runs as f64;
+            let status = if rate >= t.retry_rate_critical {
+                HealthStatus::Critical
+            } else if rate >= t.retry_rate_warn {
+                HealthStatus::Warn
+            } else {
+                HealthStatus::Ok
+            };
+            push(
+                "sched.retries",
+                status,
+                format!("{:.1}% of runs", rate * 100.0),
+                format!("{retries} retries over {runs} tool runs"),
+            );
+        } else {
+            push(
+                "sched.retries",
+                HealthStatus::Ok,
+                "no runs yet".into(),
+                "retry rate undefined until a tool runs".into(),
+            );
+        }
+
+        let skipped = counter("exec.skipped_subtasks");
+        let attempts_den = runs + skipped;
+        if attempts_den > 0 {
+            let rate = skipped as f64 / attempts_den as f64;
+            let status = if rate >= t.skip_rate_critical {
+                HealthStatus::Critical
+            } else if rate >= t.skip_rate_warn {
+                HealthStatus::Warn
+            } else {
+                HealthStatus::Ok
+            };
+            push(
+                "sched.skips",
+                status,
+                format!("{:.1}%", rate * 100.0),
+                format!("{skipped} subtasks skipped after upstream failures"),
+            );
+        } else {
+            push(
+                "sched.skips",
+                HealthStatus::Ok,
+                "no runs yet".into(),
+                "skip rate undefined until a tool runs".into(),
+            );
+        }
+
+        let hits = counter("exec.cache_hits");
+        let lookups = hits + runs;
+        if lookups >= t.min_cache_lookups {
+            let rate = hits as f64 / lookups as f64;
+            push(
+                "cache.hit_rate",
+                if rate < t.cache_hit_rate_warn {
+                    HealthStatus::Warn
+                } else {
+                    HealthStatus::Ok
+                },
+                format!("{:.1}%", rate * 100.0),
+                format!("{hits} extensional hits over {lookups} lookups"),
+            );
+        } else {
+            push(
+                "cache.hit_rate",
+                HealthStatus::Ok,
+                "warming".into(),
+                format!("{lookups} lookups so far (needs {})", t.min_cache_lookups),
+            );
+        }
+
+        match analysis {
+            None => push(
+                "analysis.index",
+                HealthStatus::Ok,
+                "detached".into(),
+                "no analysis index loaded".into(),
+            ),
+            Some(a) => {
+                let behind = a.instances_total.saturating_sub(a.instances_indexed);
+                let stale_status = if a.stale_instances >= t.stale_instances_warn {
+                    HealthStatus::Warn
+                } else {
+                    HealthStatus::Ok
+                };
+                let status = if behind > 0 {
+                    HealthStatus::Warn.max(stale_status)
+                } else {
+                    stale_status
+                };
+                push(
+                    "analysis.index",
+                    status,
+                    format!("{}/{} indexed", a.instances_indexed, a.instances_total),
+                    if behind > 0 {
+                        format!(
+                            "revdep index {behind} instance(s) behind; {} stale",
+                            a.stale_instances
+                        )
+                    } else {
+                        format!("index fresh; {} stale instance(s)", a.stale_instances)
+                    },
+                );
+            }
+        }
+
+        HealthReport {
+            checks,
+            wall_unix_ms,
+        }
+    }
+
+    /// The worst status across all checks (`Ok` for an empty report).
+    pub fn overall(&self) -> HealthStatus {
+        self.checks
+            .iter()
+            .map(|c| c.status)
+            .max()
+            .unwrap_or(HealthStatus::Ok)
+    }
+
+    /// Multi-line rendering for the REPL `health` command.
+    pub fn render_text(&self) -> String {
+        let overall = self.overall();
+        let warn = self
+            .checks
+            .iter()
+            .filter(|c| c.status == HealthStatus::Warn)
+            .count();
+        let critical = self
+            .checks
+            .iter()
+            .filter(|c| c.status == HealthStatus::Critical)
+            .count();
+        let mut out = format!(
+            "health: {} ({} checks, {warn} warn, {critical} critical)\n",
+            overall.as_str(),
+            self.checks.len(),
+        );
+        for c in &self.checks {
+            out.push_str(&format!(
+                "  [{:<8}] {:<20} {:<16} {}\n",
+                c.status.as_str(),
+                c.name,
+                c.value,
+                c.detail
+            ));
+        }
+        out
+    }
+
+    /// JSON rendering for `herctrace health --json` and tests.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"status\":");
+        json::push_string(&mut out, self.overall().as_str());
+        out.push_str(&format!(
+            ",\"wall_unix_ms\":{},\"checks\":[",
+            self.wall_unix_ms
+        ));
+        for (i, c) in self.checks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            json::push_string(&mut out, &c.name);
+            out.push_str(",\"status\":");
+            json::push_string(&mut out, c.status.as_str());
+            out.push_str(",\"value\":");
+            json::push_string(&mut out, &c.value);
+            out.push_str(",\"detail\":");
+            json::push_string(&mut out, &c.detail);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+
+    fn healthy_store() -> StoreHealth {
+        StoreHealth {
+            degraded: None,
+            owner: "amber".into(),
+            fencing_token: 3,
+            lease_remaining_ms: Some(9_000),
+            generation: 2,
+            segment_chain_len: 1,
+            quarantined: 0,
+            recovery_bytes_discarded: 0,
+        }
+    }
+
+    #[test]
+    fn fresh_session_is_ok_everywhere() {
+        let report = HealthReport::build(
+            1_577_836_800_000,
+            Some(&healthy_store()),
+            Some(&AnalysisHealth {
+                instances_total: 4,
+                instances_indexed: 4,
+                stale_instances: 0,
+            }),
+            &Metrics::new().snapshot(),
+            &HealthThresholds::default(),
+        );
+        assert_eq!(report.overall(), HealthStatus::Ok);
+        let text = report.render_text();
+        assert!(text.starts_with("health: ok"), "{text}");
+        assert!(text.contains("store.mode"));
+        assert!(text.contains("writable"));
+        let json = report.to_json();
+        assert!(json.contains("\"status\":\"ok\""));
+        assert!(json.contains("\"name\":\"store.lease\""));
+    }
+
+    #[test]
+    fn detached_report_is_ok_not_unknown() {
+        let report = HealthReport::build(
+            0,
+            None,
+            None,
+            &Metrics::disabled().snapshot(),
+            &HealthThresholds::default(),
+        );
+        assert_eq!(report.overall(), HealthStatus::Ok);
+        assert!(report.render_text().contains("detached"));
+    }
+
+    #[test]
+    fn degraded_store_is_critical_and_quarantine_warns() {
+        let mut s = healthy_store();
+        s.degraded = Some("lease held by bram".into());
+        s.lease_remaining_ms = None;
+        s.quarantined = 2;
+        let report = HealthReport::build(
+            0,
+            Some(&s),
+            None,
+            &Metrics::new().snapshot(),
+            &HealthThresholds::default(),
+        );
+        assert_eq!(report.overall(), HealthStatus::Critical);
+        let by_name = |n: &str| {
+            report
+                .checks
+                .iter()
+                .find(|c| c.name == n)
+                .unwrap_or_else(|| panic!("missing check {n}"))
+                .status
+        };
+        assert_eq!(by_name("store.mode"), HealthStatus::Critical);
+        assert_eq!(by_name("store.lease"), HealthStatus::Warn);
+        assert_eq!(by_name("store.quarantine"), HealthStatus::Warn);
+    }
+
+    #[test]
+    fn rate_checks_guard_their_denominators() {
+        // No runs at all: retry/skip checks stay ok (undefined, not 0%).
+        let report = HealthReport::build(
+            0,
+            None,
+            None,
+            &Metrics::new().snapshot(),
+            &HealthThresholds::default(),
+        );
+        assert_eq!(report.overall(), HealthStatus::Ok);
+
+        // Heavy retries trip critical; a cold cache past the lookup
+        // floor trips warn.
+        let m = Metrics::new();
+        m.incr("exec.runs", 40);
+        m.incr("exec.retries", 25);
+        m.incr("exec.cache_hits", 0);
+        let report =
+            HealthReport::build(0, None, None, &m.snapshot(), &HealthThresholds::default());
+        let by_name = |n: &str| report.checks.iter().find(|c| c.name == n).unwrap().status;
+        assert_eq!(by_name("sched.retries"), HealthStatus::Critical);
+        assert_eq!(by_name("cache.hit_rate"), HealthStatus::Warn);
+        assert_eq!(report.overall(), HealthStatus::Critical);
+    }
+
+    #[test]
+    fn thresholds_are_configurable() {
+        let m = Metrics::new();
+        m.gauge_set("exec.queue_depth", 10);
+        let strict = HealthThresholds {
+            queue_depth_warn: 5,
+            ..HealthThresholds::default()
+        };
+        let report = HealthReport::build(0, None, None, &m.snapshot(), &strict);
+        let depth = report
+            .checks
+            .iter()
+            .find(|c| c.name == "sched.queue_depth")
+            .unwrap();
+        assert_eq!(depth.status, HealthStatus::Warn);
+        let lax = HealthThresholds::default();
+        let report = HealthReport::build(0, None, None, &m.snapshot(), &lax);
+        assert_eq!(report.overall(), HealthStatus::Ok);
+    }
+
+    #[test]
+    fn stale_index_warns() {
+        let report = HealthReport::build(
+            0,
+            None,
+            Some(&AnalysisHealth {
+                instances_total: 10,
+                instances_indexed: 7,
+                stale_instances: 2,
+            }),
+            &Metrics::new().snapshot(),
+            &HealthThresholds::default(),
+        );
+        let idx = report
+            .checks
+            .iter()
+            .find(|c| c.name == "analysis.index")
+            .unwrap();
+        assert_eq!(idx.status, HealthStatus::Warn);
+        assert!(idx.detail.contains("3 instance(s) behind"));
+    }
+}

@@ -19,6 +19,14 @@
 //! * [`Metrics`] — a registry of counters, gauges, and histograms with
 //!   fixed log₂ bucket boundaries (reproducible across runs, mergeable
 //!   across processes);
+//! * [`FlightRecorder`] — a bounded ring of encoded telemetry lines
+//!   (spans, instants, metric deltas) feeding the durable
+//!   `telemetry-N.jsonl` workspace sidecar;
+//! * [`HealthReport`] — typed ok/warn/critical aggregation of store,
+//!   scheduler, cache, and analysis-index signals under configurable
+//!   [`HealthThresholds`];
+//! * [`render_prometheus`] — one-shot Prometheus text exposition of a
+//!   metrics snapshot;
 //! * [`profile`] — reconstructs the span tree, derives the task DAG
 //!   from span attributes, and reports the critical path, achieved
 //!   parallelism, and per-task self/total time.
@@ -51,13 +59,21 @@
 
 pub mod chrome;
 mod collect;
+mod export;
+mod health;
 mod metrics;
 pub mod names;
 pub mod profile;
+mod recorder;
 mod span;
 mod tracer;
 
 pub use collect::{Collector, JsonlSink, MultiCollector, NullCollector, RingBuffer};
+pub use export::render_prometheus;
+pub use health::{
+    AnalysisHealth, HealthCheck, HealthReport, HealthStatus, HealthThresholds, StoreHealth,
+};
 pub use metrics::{HistogramSnapshot, Metrics, MetricsSnapshot};
+pub use recorder::{FlightRecorder, DEFAULT_RECORDER_BUDGET};
 pub use span::{AttrList, AttrValue, EventKind, SpanId, TraceEvent};
 pub use tracer::{RealTime, TimeSource, Tracer};

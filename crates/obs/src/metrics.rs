@@ -222,10 +222,65 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// Returns `true` when no metric has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// The change from `prev` to `self`, for periodic telemetry export.
+    ///
+    /// Counters and histogram bucket/count/sum values subtract
+    /// (saturating, so a registry swapped underneath us yields zeros
+    /// rather than garbage); entries whose delta is zero are omitted.
+    /// Gauges are levels, not rates, so the current value is reported
+    /// whenever it changed (or is new). Histogram `min`/`max` in a
+    /// delta are cumulative — buckets do not retain enough information
+    /// to recover the window extremes — which keeps quantiles of the
+    /// delta'd buckets exact while extremes stay lifetime-wide.
+    pub fn delta(&self, prev: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::default();
+        for (name, &cur) in &self.counters {
+            let d = cur.saturating_sub(prev.counters.get(name).copied().unwrap_or(0));
+            if d != 0 {
+                out.counters.insert(name.clone(), d);
+            }
+        }
+        for (name, &cur) in &self.gauges {
+            if prev.gauges.get(name) != Some(&cur) {
+                out.gauges.insert(name.clone(), cur);
+            }
+        }
+        for (name, cur) in &self.histograms {
+            let base = prev.histograms.get(name);
+            let prev_count = base.map(|h| h.count).unwrap_or(0);
+            let d_count = cur.count.saturating_sub(prev_count);
+            if d_count == 0 {
+                continue;
+            }
+            let mut buckets = cur.buckets.clone();
+            if let Some(base) = base {
+                for (i, b) in buckets.iter_mut().enumerate() {
+                    *b = b.saturating_sub(base.buckets.get(i).copied().unwrap_or(0));
+                }
+            }
+            out.histograms.insert(
+                name.clone(),
+                HistogramSnapshot {
+                    count: d_count,
+                    sum: cur.sum.saturating_sub(base.map(|h| h.sum).unwrap_or(0)),
+                    min: cur.min,
+                    max: cur.max,
+                    buckets,
+                },
+            );
+        }
+        out
+    }
+
     /// Human-readable multi-line rendering (the REPL `stats` command).
     pub fn render_text(&self) -> String {
         let mut out = String::new();
-        if self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty() {
+        if self.is_empty() {
             out.push_str("no metrics recorded\n");
             return out;
         }
@@ -245,10 +300,11 @@ impl MetricsSnapshot {
             out.push_str("histograms:\n");
             for (name, h) in &self.histograms {
                 out.push_str(&format!(
-                    "  {name:<40} n={} mean={:.0} p50={} p99={} min={} max={}\n",
+                    "  {name:<40} n={} mean={:.0} p50={} p95={} p99={} min={} max={}\n",
                     h.count,
                     h.mean(),
                     h.quantile(0.5),
+                    h.quantile(0.95),
                     h.quantile(0.99),
                     h.min,
                     h.max,
@@ -290,8 +346,9 @@ impl MetricsSnapshot {
             ));
             json::push_float(&mut out, h.mean());
             out.push_str(&format!(
-                ",\"p50\":{},\"p99\":{}}}",
+                ",\"p50\":{},\"p95\":{},\"p99\":{}}}",
                 h.quantile(0.5),
+                h.quantile(0.95),
                 h.quantile(0.99)
             ));
         }
@@ -338,6 +395,94 @@ mod tests {
         // p99 lands on the last observation's bucket floor (64 ≤ 100).
         assert_eq!(h.quantile(0.99), 64);
         assert_eq!(h.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        // Empty histogram: every quantile (and the extremes) is zero.
+        let empty = HistogramSnapshot::default();
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(empty.quantile(q), 0, "empty histogram at q={q}");
+        }
+
+        // Single observation: q=0.0 and q=1.0 both land on its bucket
+        // floor, and out-of-range q values clamp instead of panicking.
+        let m = Metrics::new();
+        m.observe("one", 5);
+        let h = m.snapshot().histograms["one"].clone();
+        assert_eq!(h.quantile(0.0), 4);
+        assert_eq!(h.quantile(1.0), 4);
+        assert_eq!(h.quantile(-3.0), 4);
+        assert_eq!(h.quantile(7.0), 4);
+
+        // Everything in one bucket: all quantiles agree on its floor.
+        let m = Metrics::new();
+        for v in [16u64, 17, 20, 31] {
+            m.observe("bucketed", v);
+        }
+        let h = m.snapshot().histograms["bucketed"].clone();
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 16, "single-bucket at q={q}");
+        }
+
+        // Saturating top bucket: u64::MAX lands in the catch-all last
+        // bucket, whose floor is still a valid (huge) lower bound, and
+        // q=1.0 walks off the end to the recorded max.
+        let m = Metrics::new();
+        m.observe("sat", 1);
+        m.observe("sat", u64::MAX);
+        let h = m.snapshot().histograms["sat"].clone();
+        assert_eq!(h.quantile(0.5), 1);
+        assert_eq!(h.quantile(1.0), bucket_floor(HISTOGRAM_BUCKETS - 1));
+        assert_eq!(h.max, u64::MAX);
+        // Sum saturates rather than wrapping.
+        assert_eq!(h.sum, u64::MAX);
+    }
+
+    #[test]
+    fn snapshot_delta_between_two_snapshots() {
+        let m = Metrics::new();
+        m.incr("ops", 10);
+        m.gauge_set("depth", 3);
+        m.gauge_set("steady", 7);
+        m.observe("lat", 8);
+        m.observe("lat", 9);
+        let first = m.snapshot();
+
+        m.incr("ops", 5);
+        m.incr("fresh", 2);
+        m.gauge_set("depth", 1);
+        m.observe("lat", 100);
+        m.observe("new_lat", 4);
+        let second = m.snapshot();
+
+        let d = second.delta(&first);
+        // Counters subtract; unchanged ones vanish; new ones appear.
+        assert_eq!(d.counters.get("ops"), Some(&5));
+        assert_eq!(d.counters.get("fresh"), Some(&2));
+        // Gauges report the current level only when it moved.
+        assert_eq!(d.gauges.get("depth"), Some(&1));
+        assert_eq!(d.gauges.get("steady"), None);
+        // Histogram deltas carry only the window's observations.
+        let lat = &d.histograms["lat"];
+        assert_eq!(lat.count, 1);
+        assert_eq!(lat.sum, 100);
+        assert_eq!(lat.quantile(0.5), 64);
+        // min/max stay cumulative (documented on `delta`).
+        assert_eq!(lat.min, 8);
+        assert_eq!(lat.max, 100);
+        let fresh_h = &d.histograms["new_lat"];
+        assert_eq!(fresh_h.count, 1);
+        assert_eq!(fresh_h.quantile(1.0), 4);
+        // A quiet histogram is omitted entirely.
+        let third = m.snapshot();
+        let quiet = third.delta(&second);
+        assert!(quiet.is_empty());
+        // Delta against self is empty; delta against default is self-like.
+        assert!(second.delta(&second).is_empty());
+        let full = second.delta(&MetricsSnapshot::default());
+        assert_eq!(full.counters.get("ops"), Some(&15));
+        assert_eq!(full.histograms["lat"].count, 3);
     }
 
     #[test]

@@ -7,8 +7,11 @@
 //! the REPL surface them), so the names live here as constants and
 //! the emit sites reference them instead of repeating string literals.
 //!
-//! All store metrics share the `store.` prefix; see each constant for
-//! the semantics and the instrument kind (counter vs histogram).
+//! Names are grouped into families by prefix — `store.` for the
+//! durable workspace, `telemetry.` for the flight recorder,
+//! `health.` for the aggregated health model, and `analyze.` for the
+//! lint/index layer — see each constant for the semantics and the
+//! instrument kind (counter vs gauge vs histogram).
 
 /// Counter: completed [`scrub`](https://en.wikipedia.org/wiki/Data_scrubbing)
 /// passes — every-byte CRC verification of the checkpoint and every
@@ -48,25 +51,131 @@ pub const STORE_DEGRADED_OPENS: &str = "store.degraded_opens";
 /// the handle lost its lease before the flusher drained them.
 pub const STORE_GROUP_DISCARDED_BATCHES: &str = "store.group_discarded_batches";
 
+/// Counter: stale-lease takeovers — an open found a foreign lease
+/// already expired and fenced the previous writer out by bumping the
+/// fencing token past it.
+pub const STORE_LEASE_TAKEOVERS: &str = "store.lease_takeovers";
+
+/// Counter: bytes CRC-verified by scrub passes across checkpoint and
+/// journal segments (damaged or not).
+pub const STORE_SCRUB_BYTES: &str = "store.scrub_bytes";
+
+/// Counter: records accepted by the flight-recorder ring (spans,
+/// instants, metric deltas, and session stamps alike).
+pub const TELEMETRY_RECORDS: &str = "telemetry.records";
+
+/// Counter: records evicted from the flight-recorder ring before a
+/// flush could persist them (the ring is bounded by bytes; sustained
+/// bursts overwrite the oldest records first).
+pub const TELEMETRY_DROPPED_RECORDS: &str = "telemetry.dropped_records";
+
+/// Counter: flushes of the flight-recorder ring into the workspace
+/// `telemetry-N.jsonl` sidecar.
+pub const TELEMETRY_FLUSHES: &str = "telemetry.flushes";
+
+/// Counter: bytes appended to telemetry sidecar files.
+pub const TELEMETRY_BYTES: &str = "telemetry.bytes";
+
+/// Counter: telemetry sidecar rotations — the active `telemetry-N`
+/// file reached its size bound and a new numbered file was opened.
+pub const TELEMETRY_ROTATIONS: &str = "telemetry.rotations";
+
+/// Counter: telemetry writes swallowed because the sidecar could not
+/// be written. Telemetry is best-effort by design: a dying disk must
+/// never take the session down on the observability path.
+pub const TELEMETRY_WRITE_ERRORS: &str = "telemetry.write_errors";
+
+/// Counter: periodic `MetricsSnapshot` delta records exported into
+/// the telemetry stream.
+pub const TELEMETRY_METRIC_EXPORTS: &str = "telemetry.metric_exports";
+
+/// Counter: health reports computed (REPL `health` or
+/// `herctrace health`).
+pub const HEALTH_CHECKS: &str = "health.checks";
+
+/// Gauge: latest overall health status — 0 ok, 1 warn, 2 critical.
+pub const HEALTH_STATUS: &str = "health.status";
+
+/// Histogram: wall nanoseconds per whole-history lint run (full or
+/// incremental), one observation per REPL `lint`/`stale`.
+pub const ANALYZE_LINT_NS: &str = "analyze.lint_ns";
+
+/// Histogram-name prefix: wall nanoseconds per individual lint pass.
+/// The full metric name appends the lowercased pass code, e.g.
+/// `analyze.pass_ns.hl0102` — one histogram per pass, one observation
+/// per run of that pass.
+pub const ANALYZE_PASS_NS: &str = "analyze.pass_ns";
+
+/// Histogram: instances actually analyzed per lint run — the full
+/// instance count for a full lint, the dirty cone for an incremental
+/// one.
+pub const ANALYZE_CONE_INSTANCES: &str = "analyze.cone_instances";
+
+/// Histogram: rerun-set size per retrace-cone prediction (REPL
+/// `stale` and HL0503).
+pub const ANALYZE_RETRACE_RERUN: &str = "analyze.retrace_rerun";
+
+/// Counter: revdep-index reuses — an `open` or incremental lint found
+/// the persisted/cached index fingerprint-valid and skipped the
+/// rebuild.
+pub const ANALYZE_INDEX_HITS: &str = "analyze.index_hits";
+
+/// Counter: revdep-index rebuilds from scratch (no sidecar, stale
+/// fingerprint, or watermark ahead of the database).
+pub const ANALYZE_INDEX_REBUILDS: &str = "analyze.index_rebuilds";
+
 #[cfg(test)]
 mod tests {
+    /// Every well-known name, paired with its required family prefix.
+    /// New constants must be added here; the drift test below keeps
+    /// the list honest.
+    const ALL: &[(&str, &str)] = &[
+        (super::STORE_SCRUBS, "store."),
+        (super::STORE_SCRUB_DAMAGE, "store."),
+        (super::STORE_SEGMENT_ROLLS, "store."),
+        (super::STORE_QUARANTINED_BYTES, "store."),
+        (super::STORE_LEASE_RENEWALS, "store."),
+        (super::STORE_FENCED_WRITES, "store."),
+        (super::STORE_DEGRADED_OPENS, "store."),
+        (super::STORE_GROUP_DISCARDED_BATCHES, "store."),
+        (super::STORE_LEASE_TAKEOVERS, "store."),
+        (super::STORE_SCRUB_BYTES, "store."),
+        (super::TELEMETRY_RECORDS, "telemetry."),
+        (super::TELEMETRY_DROPPED_RECORDS, "telemetry."),
+        (super::TELEMETRY_FLUSHES, "telemetry."),
+        (super::TELEMETRY_BYTES, "telemetry."),
+        (super::TELEMETRY_ROTATIONS, "telemetry."),
+        (super::TELEMETRY_WRITE_ERRORS, "telemetry."),
+        (super::TELEMETRY_METRIC_EXPORTS, "telemetry."),
+        (super::HEALTH_CHECKS, "health."),
+        (super::HEALTH_STATUS, "health."),
+        (super::ANALYZE_LINT_NS, "analyze."),
+        (super::ANALYZE_PASS_NS, "analyze."),
+        (super::ANALYZE_CONE_INSTANCES, "analyze."),
+        (super::ANALYZE_RETRACE_RERUN, "analyze."),
+        (super::ANALYZE_INDEX_HITS, "analyze."),
+        (super::ANALYZE_INDEX_REBUILDS, "analyze."),
+    ];
+
     #[test]
     fn names_are_prefixed_and_distinct() {
-        let all = [
-            super::STORE_SCRUBS,
-            super::STORE_SCRUB_DAMAGE,
-            super::STORE_SEGMENT_ROLLS,
-            super::STORE_QUARANTINED_BYTES,
-            super::STORE_LEASE_RENEWALS,
-            super::STORE_FENCED_WRITES,
-            super::STORE_DEGRADED_OPENS,
-            super::STORE_GROUP_DISCARDED_BATCHES,
-        ];
-        for (i, name) in all.iter().enumerate() {
-            assert!(name.starts_with("store."), "{name} must be store-scoped");
+        for (i, (name, family)) in ALL.iter().enumerate() {
             assert!(
-                !all[..i].contains(name),
+                name.starts_with(family),
+                "{name} must live in the {family} family"
+            );
+            assert!(
+                name.len() > family.len(),
+                "{name} must have a member name after the family prefix"
+            );
+            assert!(
+                !ALL[..i].iter().any(|(n, _)| n == name),
                 "{name} registered twice in the well-known list"
+            );
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_'),
+                "{name} must be lowercase dotted snake_case"
             );
         }
     }

@@ -1,0 +1,217 @@
+//! The always-on flight recorder: a bounded ring of encoded telemetry
+//! records awaiting a flush to the workspace sidecar.
+//!
+//! The recorder sits between the [`Tracer`](crate::Tracer) (which
+//! fans events into it via [`MultiCollector`](crate::MultiCollector))
+//! and the durable `telemetry-N.jsonl` writer that lives with the
+//! workspace. It is deliberately dumb about I/O: records are encoded
+//! to JSONL lines immediately (so a crash can only lose whole lines,
+//! never leave half-encoded state in memory) and buffered up to a
+//! byte budget; whoever owns the file drains the ring with
+//! [`FlightRecorder::drain`] at command boundaries. When the budget
+//! overflows the *oldest* records are evicted — after a crash the
+//! interesting records are the most recent ones.
+//!
+//! Record kinds on the wire (one JSON object per line):
+//!
+//! * `"B"`/`"E"`/`"I"` — span begin/end and instant events, exactly
+//!   [`TraceEvent::to_json`];
+//! * `"M"` — a periodic metrics delta (see
+//!   [`FlightRecorder::record_metrics_delta`]);
+//! * anything else (e.g. the `"S"` session stamp) is appended by the
+//!   file owner directly and never passes through the ring.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::collect::Collector;
+use crate::metrics::MetricsSnapshot;
+use crate::span::TraceEvent;
+
+/// Default byte budget for the in-memory ring: enough for the last
+/// few seconds of a busy session while staying invisible in RSS.
+pub const DEFAULT_RECORDER_BUDGET: usize = 256 * 1024;
+
+#[derive(Debug, Default)]
+struct RecorderInner {
+    lines: VecDeque<String>,
+    buffered_bytes: usize,
+}
+
+/// Bounded, thread-safe ring of encoded telemetry lines.
+///
+/// Implements [`Collector`] so a tracer can tee span events into it;
+/// metric deltas and arbitrary pre-encoded lines are pushed with the
+/// inherent methods.
+#[derive(Debug, Default)]
+pub struct FlightRecorder {
+    inner: Mutex<RecorderInner>,
+    budget: usize,
+    records: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder with the default byte budget.
+    pub fn new() -> FlightRecorder {
+        FlightRecorder::with_budget(DEFAULT_RECORDER_BUDGET)
+    }
+
+    /// A recorder holding at most `budget` bytes of pending lines
+    /// (at least one line is always retained, however large).
+    pub fn with_budget(budget: usize) -> FlightRecorder {
+        FlightRecorder {
+            inner: Mutex::new(RecorderInner::default()),
+            budget: budget.max(1),
+            records: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends one already-encoded JSONL line (no trailing newline),
+    /// evicting the oldest lines if the byte budget overflows.
+    pub fn push_line(&self, line: String) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.buffered_bytes += line.len() + 1;
+        inner.lines.push_back(line);
+        self.records.fetch_add(1, Ordering::Relaxed);
+        while inner.buffered_bytes > self.budget && inner.lines.len() > 1 {
+            if let Some(evicted) = inner.lines.pop_front() {
+                inner.buffered_bytes -= evicted.len() + 1;
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Encodes a metrics delta as one `"M"` record. Quiet deltas
+    /// (nothing changed since the previous export) are skipped.
+    ///
+    /// The timestamps mirror span events: `t` is monotonic
+    /// nanoseconds, `w` wall-clock unix milliseconds.
+    pub fn record_metrics_delta(&self, delta: &MetricsSnapshot, mono_ns: u64, wall_unix_ms: u64) {
+        if delta.is_empty() {
+            return;
+        }
+        let line = format!(
+            "{{\"k\":\"M\",\"t\":{mono_ns},\"w\":{wall_unix_ms},\"m\":{}}}",
+            delta.to_json()
+        );
+        self.push_line(line);
+    }
+
+    /// Takes every pending line out of the ring as newline-terminated
+    /// bytes, ready to append to the sidecar. Returns an empty vec
+    /// when nothing is pending.
+    pub fn drain(&self) -> Vec<u8> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.lines.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(inner.buffered_bytes);
+        for line in inner.lines.drain(..) {
+            out.extend_from_slice(line.as_bytes());
+            out.push(b'\n');
+        }
+        inner.buffered_bytes = 0;
+        out
+    }
+
+    /// Lines currently buffered (pending a drain).
+    pub fn pending(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .lines
+            .len()
+    }
+
+    /// Total records ever accepted.
+    pub fn records(&self) -> u64 {
+        self.records.load(Ordering::Relaxed)
+    }
+
+    /// Records evicted unflushed because the budget overflowed.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl Collector for FlightRecorder {
+    fn record(&self, event: &TraceEvent) {
+        self.push_line(event.to_json());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+    use crate::{SpanId, Tracer};
+    use std::sync::Arc;
+
+    #[test]
+    fn ring_buffers_span_events_and_drains_in_order() {
+        let rec = Arc::new(FlightRecorder::new());
+        let tracer = Tracer::new(rec.clone());
+        let root = tracer.begin("execute", SpanId::NONE);
+        tracer.instant("note", root, |a| {
+            a.str("cause", "test");
+        });
+        tracer.end(root);
+        assert_eq!(rec.pending(), 3);
+        let bytes = rec.drain();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"k\":\"B\""));
+        assert!(lines[1].contains("\"k\":\"I\""));
+        assert!(lines[2].contains("\"k\":\"E\""));
+        assert!(text.ends_with('\n'));
+        // Drained means gone.
+        assert!(rec.drain().is_empty());
+        assert_eq!(rec.records(), 3);
+        assert_eq!(rec.dropped(), 0);
+    }
+
+    #[test]
+    fn budget_overflow_evicts_oldest_first() {
+        let rec = FlightRecorder::with_budget(64);
+        for i in 0..10 {
+            rec.push_line(format!("{{\"k\":\"I\",\"seq\":{i},\"pad\":\"xxxxxxxx\"}}"));
+        }
+        assert!(rec.dropped() > 0);
+        assert_eq!(rec.records(), 10);
+        let text = String::from_utf8(rec.drain()).unwrap();
+        // The newest record always survives; the oldest are gone.
+        assert!(text.contains("\"seq\":9"));
+        assert!(!text.contains("\"seq\":0"));
+    }
+
+    #[test]
+    fn oversized_single_line_is_still_retained() {
+        let rec = FlightRecorder::with_budget(8);
+        rec.push_line("x".repeat(100));
+        assert_eq!(rec.pending(), 1);
+        assert_eq!(rec.drain().len(), 101);
+    }
+
+    #[test]
+    fn metrics_delta_record_shape() {
+        let rec = FlightRecorder::new();
+        let m = Metrics::new();
+        let before = m.snapshot();
+        m.incr("exec.runs", 3);
+        m.observe("exec.task_wall_ns", 1024);
+        let delta = m.snapshot().delta(&before);
+        rec.record_metrics_delta(&delta, 42, 1_577_836_800_123);
+        // A quiet delta writes nothing.
+        rec.record_metrics_delta(&MetricsSnapshot::default(), 43, 1_577_836_800_124);
+        let text = String::from_utf8(rec.drain()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].starts_with("{\"k\":\"M\",\"t\":42,\"w\":1577836800123,\"m\":"));
+        assert!(lines[0].contains("\"exec.runs\":3"));
+        assert!(lines[0].contains("\"p95\":"));
+    }
+}

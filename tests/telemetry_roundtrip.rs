@@ -1,0 +1,92 @@
+//! Real-filesystem round trip of the operational observability stack:
+//! a saved workspace records flight-recorder telemetry as commands
+//! run, `health` renders and serializes, the postmortem reader
+//! reconstructs the stream after the process is gone, and the
+//! Prometheus renderer exports the session metrics.
+
+use std::path::PathBuf;
+
+use hercules::obs::{render_prometheus, HealthStatus};
+use hercules::ui::Ui;
+use hercules::{read_postmortem, Session};
+
+fn temp_root(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("hercules-telemetry-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn workspace_records_telemetry_health_and_prometheus() {
+    let root = temp_root("roundtrip");
+    std::fs::remove_dir_all(&root).ok();
+
+    let mut ui = Ui::new(Session::odyssey("jbb"));
+    ui.execute(&format!("save {}", root.display()))
+        .expect("saves");
+    ui.execute("goal Performance").expect("goal");
+    ui.execute("expand n0").expect("expand");
+    ui.execute("bind-latest").expect("binds");
+    // The run fails (leaves are still unbound) — the traced attempt
+    // must land in the flight recorder all the same.
+    let _ = ui.execute("run");
+    ui.execute("lint").expect("lints");
+    ui.execute("checkpoint").expect("checkpoints");
+
+    // Health: ok overall, renderable both ways.
+    let health = ui.health_report();
+    assert_eq!(
+        health.overall(),
+        HealthStatus::Ok,
+        "a fresh writable workspace must be healthy: {}",
+        health.render_text()
+    );
+    let text = ui.execute("health").expect("health renders");
+    assert!(text.starts_with("health: ok"), "{text}");
+    assert!(text.contains("store.mode"), "{text}");
+    let json = ui.execute("health --json").expect("health serializes");
+    assert!(
+        json.starts_with('{') && json.contains("\"status\":\"ok\""),
+        "{json}"
+    );
+
+    // Prometheus: counters, gauges, and the lint histogram as a
+    // summary with quantiles.
+    let prom = render_prometheus(&ui.session().metrics().snapshot());
+    assert!(prom.contains("# TYPE"), "{prom}");
+    assert!(prom.contains("hercules_analyze_lint_ns"), "{prom}");
+    assert!(prom.contains("quantile=\"0.99\""), "{prom}");
+    assert!(prom.contains("hercules_telemetry_records"), "{prom}");
+    drop(ui);
+
+    // Postmortem after the process is gone: the sidecar reconstructs
+    // an undamaged stream anchored at the session stamp.
+    let fs = hercules::sim::Fs::real();
+    let report = read_postmortem(&fs, &root).expect("sidecar reads");
+    assert!(
+        report.records.len() >= 2,
+        "expected the stamp plus recorded spans, got {} record(s)",
+        report.records.len()
+    );
+    assert_eq!(report.records[0].kind, "S");
+    assert_eq!(report.damaged_lines, 0);
+    assert!(!report.torn_tail);
+    assert!(report
+        .records
+        .iter()
+        .any(|r| r.kind == "B" || r.kind == "E"));
+
+    // A second session rolls a fresh sidecar; the reader stitches both
+    // files in order.
+    let mut ui = Ui::new(Session::odyssey("jbb"));
+    ui.execute(&format!("open {}", root.display()))
+        .expect("reopens");
+    drop(ui);
+    let report2 = read_postmortem(&fs, &root).expect("sidecars read");
+    assert!(
+        report2.files.len() >= 2,
+        "each writable attach must add a sidecar, got {:?}",
+        report2.files
+    );
+    assert!(report2.records.len() >= report.records.len());
+
+    std::fs::remove_dir_all(&root).ok();
+}

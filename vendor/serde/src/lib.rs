@@ -109,6 +109,22 @@ pub trait Deserialize: Sized {
 // Primitive impls.
 // ---------------------------------------------------------------------
 
+// `Value` round-trips through itself, so callers can deserialize
+// arbitrary JSON (`serde_json::from_str::<Value>`) the way real
+// serde_json's `Value` allows — the telemetry postmortem reader uses
+// this to validate records without a fixed schema.
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
 macro_rules! impl_signed {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
