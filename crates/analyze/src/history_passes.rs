@@ -24,6 +24,14 @@
 //! * **HL0504 under-keyed-derivation** — the derivation consumed an
 //!   input its task schema never declared; content-addressed caching
 //!   keyed on declared inputs would be unsound for such a tool.
+//!
+//! Plus one aggregated verdict per *tool*:
+//!
+//! * **HL0506 cache-ineligible-tool** — the tool produced at least one
+//!   under-keyed derivation (HL0504), so none of its results may be
+//!   served from the content-addressed execution cache: a cache keyed
+//!   on the declared inputs would reuse an entry while one of the
+//!   undeclared inputs changed.
 
 use hercules_flow::declared_reads;
 use hercules_history::{HistoryDb, HistoryError, InstanceId, RevDepIndex, RevDepIndexSpec};
@@ -225,6 +233,41 @@ impl HistoryLinter {
             {
                 out.push(d.clone());
             }
+        }
+
+        // HL0506: aggregate the per-instance under-keyed verdicts by
+        // the producing tool. One under-keyed derivation is enough to
+        // make the whole tool cache-ineligible — a content cache keyed
+        // on declared inputs would reuse its entries while one of the
+        // undeclared inputs changed. Recomputed from the verdict cache,
+        // so full and incremental runs agree by construction.
+        let mut ineligible: std::collections::BTreeMap<String, usize> =
+            std::collections::BTreeMap::new();
+        for (raw, v) in self.verdicts.iter().enumerate() {
+            if v.keys.is_none() {
+                continue;
+            }
+            let inst = db.instance(InstanceId::from_raw(raw as u64))?;
+            // Tool-less (composite) derivations have no tool to flag.
+            let Some(tool) = inst.derivation().and_then(|d| d.tool) else {
+                continue;
+            };
+            let tool_entity = db.instance(tool)?.entity();
+            *ineligible
+                .entry(db.schema().entity(tool_entity).name().to_owned())
+                .or_insert(0) += 1;
+        }
+        for (tool, count) in &ineligible {
+            out.push(Diagnostic::new(
+                "HL0506",
+                Severity::Warn,
+                Span::entity(tool),
+                format!(
+                    "tool `{tool}` produced {count} under-keyed derivation(s) (HL0504); \
+                     its results are cache-ineligible — a content cache keyed on the \
+                     declared inputs would reuse them while undeclared inputs change"
+                ),
+            ));
         }
         Ok(())
     }
@@ -659,6 +702,34 @@ mod tests {
             "undeclared input must be flagged: {text}"
         );
         assert!(text.contains("PlacementRules"));
+    }
+
+    #[test]
+    fn under_keyed_tool_is_marked_cache_ineligible() {
+        let (mut db, ids) = extraction_db();
+        let extractor = ids[1];
+        let rules = ids[4];
+        // Two sneaky extractions: the tool verdict aggregates both into
+        // one cache-ineligibility finding against the Extractor.
+        for payload in [b"x2" as &[u8], b"x3"] {
+            db.record_derived(
+                db.schema().require("ExtractedNetlist").expect("known"),
+                Metadata::by("u"),
+                payload,
+                Derivation::by_tool(extractor, [ids[5], rules]),
+            )
+            .expect("ok");
+        }
+        let mut out = Diagnostics::new();
+        lint_history(&db, &mut out).expect("ok");
+        let hl0506: Vec<_> = out.iter().filter(|d| d.code == "HL0506").collect();
+        assert_eq!(hl0506.len(), 1, "one finding per offending tool");
+        let text = hl0506[0].to_string();
+        assert!(
+            text.contains("Extractor") && text.contains("2 under-keyed derivation(s)"),
+            "aggregated tool verdict expected: {text}"
+        );
+        assert!(text.contains("cache-ineligible"));
     }
 
     #[test]

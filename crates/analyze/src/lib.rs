@@ -24,7 +24,8 @@
 //!   conflicts between concurrently schedulable subtasks (§3.3).
 //! * **history** (`HL05xx`, [`history_passes`]) — design-consistency
 //!   findings over the committed history: direct and transitive
-//!   staleness, retrace cones, under-keyed derivations. These are
+//!   staleness, retrace cones, under-keyed derivations, and the
+//!   tools those derivations make cache-ineligible. These are
 //!   *dataflow analyses* over the [`dataflow`] fixpoint framework, and
 //!   [`HistoryLinter`] runs them **incrementally**: after an edit, only
 //!   the dirty cone of the reverse-dependency index is re-analyzed.

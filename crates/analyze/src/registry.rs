@@ -297,6 +297,13 @@ pub const PASSES: &[PassInfo] = &[
         summary: "two sessions' flows touch the same entity family with at least one writer",
         severity: Severity::Warn,
     },
+    PassInfo {
+        code: "HL0506",
+        layer: Layer::History,
+        name: "cache-ineligible-tool",
+        summary: "tool produced under-keyed derivations, so its results must not be content-cached",
+        severity: Severity::Warn,
+    },
 ];
 
 /// Looks a pass up by code.

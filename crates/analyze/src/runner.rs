@@ -104,15 +104,16 @@ pub fn lint_flow_timed(
     timings
 }
 
-/// Runs the `HL05xx` consistency family, timed as one unit — the four
-/// history passes share a single fixpoint solve, so splitting their
-/// wall time would be fiction.
+/// Runs the `HL05xx` consistency family, timed as one unit — the
+/// history passes share a single fixpoint solve (HL0506 aggregates
+/// HL0504's verdicts), so splitting their wall time would be fiction.
+/// The session-layer HL0505 runs elsewhere.
 pub fn lint_history_timed(
     db: &HistoryDb,
     out: &mut Diagnostics,
     clock: Clock<'_>,
 ) -> Vec<PassTiming> {
-    vec![timed("HL0501-HL0504", out, clock, |out| {
+    vec![timed("HL0501-HL0506", out, clock, |out| {
         let _ = lint_history(db, out);
     })]
 }

@@ -9,12 +9,16 @@
 //! * the straggler workload — one branch 10× the work of the rest —
 //!   under the wave scheduler and the dataflow scheduler, which is
 //!   where barrier-free scheduling earns its keep;
-//! * journal-append throughput, per-frame fsync vs group commit.
+//! * journal-append throughput, per-frame fsync vs group commit;
+//! * the content-addressed tool-execution cache — cold (all-miss)
+//!   vs warm (populated) vs a degraded remote tier with injected
+//!   round-trip latency, on the repeated-subflow fixture.
 //!
 //! With `--check`, exits nonzero when any gate fails: tracing overhead
 //! over budget (default 5% of the untraced median), dataflow slower
-//! than 1.3× wave on the straggler fixture, or group commit under 2×
-//! per-frame-fsync throughput.
+//! than 1.3× wave on the straggler fixture, group commit under 2×
+//! per-frame-fsync throughput, or a warm cache run under 3× the cold
+//! run.
 //!
 //! ```sh
 //! cargo run --release -p hercules-bench --bin bench_exec -- --check
@@ -25,11 +29,13 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
+use hercules::cache::{CacheConfig, ContentCache, LocalDirRemote, RemoteCache};
 use hercules::exec::{toy, Binding, Executor, MultiInstanceMode, SchedulerKind};
 use hercules::flow::TaskGraph;
 use hercules::history::HistoryDb;
 use hercules::obs::{Collector, FlightRecorder, Metrics, MultiCollector, RingBuffer, Tracer};
 use hercules::schema::TaskSchema;
+use hercules::sim::{Clock, Fs};
 use hercules::{FlowOp, GroupCommitPolicy, JournalOp, Session, Workspace};
 
 /// `--check` gate: dataflow must beat wave by this factor on the
@@ -42,6 +48,11 @@ const JOURNAL_GATE: f64 = 2.0;
 /// straggler run must cost at most this much over the ring buffer
 /// alone.
 const RECORDER_GATE_PERCENT: f64 = 2.0;
+/// `--check` gate: a warm content-cache run of the repeated-subflow
+/// fixture must beat the cold (all-miss) run by this factor.
+const CACHE_GATE: f64 = 3.0;
+/// Injected round-trip latency for the degraded-remote measurement.
+const REMOTE_LATENCY_US: u64 = 500;
 
 const USAGE: &str = "\
 bench_exec — executor perf harness; writes BENCH_exec.json
@@ -61,7 +72,8 @@ USAGE:
     --budget-percent P     tracing overhead budget for --check [default: 5]
     --check                fail (exit 1) when any gate fails: overhead
                            over budget, dataflow < 1.3x wave on the
-                           straggler, group commit < 2x per-frame fsync
+                           straggler, group commit < 2x per-frame fsync,
+                           warm cache < 3x cold
 ";
 
 struct Options {
@@ -362,6 +374,115 @@ impl JournalBench {
     }
 }
 
+/// Content-cache warm-vs-cold over the disjoint-branch fixture: the
+/// same subflow executed repeatedly, first with an empty cache (all
+/// misses plus write-back), then against the populated cache, then
+/// against a cold workspace whose only source is a high-latency
+/// remote tier.
+struct CacheBench {
+    cold_ns: u64,
+    warm_ns: u64,
+    degraded_warm_ns: u64,
+    remote_latency_us: u64,
+}
+
+impl CacheBench {
+    fn warm_speedup(&self) -> f64 {
+        self.cold_ns as f64 / self.warm_ns.max(1) as f64
+    }
+
+    fn degraded_speedup(&self) -> f64 {
+        self.cold_ns as f64 / self.degraded_warm_ns.max(1) as f64
+    }
+}
+
+fn bench_cache(w: &Workload<'_>, opts: &Options) -> Result<CacheBench, String> {
+    let root = std::env::temp_dir().join(format!("hercules-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let fs = Fs::real();
+    let clock = Clock::real();
+    let open = |dir: std::path::PathBuf, remote: Option<Arc<dyn RemoteCache>>| {
+        ContentCache::open(
+            &fs,
+            dir,
+            remote,
+            CacheConfig::default(),
+            clock.clone(),
+            Metrics::disabled(),
+        )
+        .map_err(|e| e.to_string())
+    };
+    let executor_with = |cache: ContentCache| {
+        let mut executor =
+            build_executor(w, opts, true, &Tracing::Off, SchedulerKind::default(), 0);
+        executor.options_mut().cache = Some(cache);
+        executor
+    };
+    let median = |mut runs: Vec<u64>| -> u64 {
+        runs.sort_unstable();
+        runs[runs.len() / 2]
+    };
+
+    // Cold: every iteration opens a fresh cache directory, so every
+    // lookup misses and every result is written back.
+    let mut cold_runs = Vec::with_capacity(opts.iters);
+    for i in 0..=opts.iters {
+        let executor = executor_with(open(root.join(format!("cold-{i}")), None)?);
+        let ns = time_once(&executor, w);
+        if i > 0 {
+            cold_runs.push(ns);
+        }
+    }
+
+    // Warm: one cache populated by the first (discarded) iteration
+    // serves all measured iterations.
+    let executor = executor_with(open(root.join("warm"), None)?);
+    let mut warm_runs = Vec::with_capacity(opts.iters);
+    for i in 0..=opts.iters {
+        let ns = time_once(&executor, w);
+        if i > 0 {
+            warm_runs.push(ns);
+        }
+    }
+
+    // Degraded remote: populate a shared remote endpoint with injected
+    // round-trip latency, then measure workspaces that start empty
+    // (fresh memory and disk tiers) and can only hit through it.
+    let remote: Arc<dyn RemoteCache> = Arc::new(
+        LocalDirRemote::open(fs.clone(), root.join("remote"), clock.clone())
+            .map_err(|e| e.to_string())?
+            .with_latency(Duration::from_micros(REMOTE_LATENCY_US)),
+    );
+    {
+        let cache = open(root.join("remote-seed"), Some(remote.clone()))?;
+        let executor = executor_with(cache.clone());
+        let mut db = w.db.clone();
+        executor
+            .execute(w.flow, w.binding, &mut db)
+            .map_err(|e| e.to_string())?;
+        cache.flush();
+    }
+    let mut degraded_runs = Vec::with_capacity(opts.iters);
+    for i in 0..=opts.iters {
+        let executor = executor_with(open(
+            root.join(format!("degraded-{i}")),
+            Some(remote.clone()),
+        )?);
+        let ns = time_once(&executor, w);
+        if i > 0 {
+            degraded_runs.push(ns);
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&root);
+    Ok(CacheBench {
+        cold_ns: median(cold_runs),
+        warm_ns: median(warm_runs),
+        degraded_warm_ns: median(degraded_runs),
+        remote_latency_us: REMOTE_LATENCY_US,
+    })
+}
+
 /// Segment bound for the rotation config: small enough that a 256-op
 /// round rolls dozens of times, large enough to hold several frames.
 const ROTATION_SEGMENT_MAX: u64 = 512;
@@ -433,6 +554,7 @@ fn render_json(
     recorder_percent: f64,
     recorder_raw_percent: f64,
     journal: &JournalBench,
+    cache: &CacheBench,
 ) -> String {
     let stamp_ms = SystemTime::now()
         .duration_since(UNIX_EPOCH)
@@ -505,6 +627,19 @@ fn render_json(
         journal.rotation_segment_max,
         journal.rotating_ops_per_sec(),
         journal.rotation_overhead_percent()
+    );
+    let _ = writeln!(
+        out,
+        "  \"content_cache\": {{\"cold_ns\": {}, \"warm_ns\": {}, \
+         \"warm_speedup\": {:.3}, \"gate\": {CACHE_GATE:.1}, \
+         \"remote_latency_us\": {}, \"degraded_warm_ns\": {}, \
+         \"degraded_speedup\": {:.3}}},",
+        cache.cold_ns,
+        cache.warm_ns,
+        cache.warm_speedup(),
+        cache.remote_latency_us,
+        cache.degraded_warm_ns,
+        cache.degraded_speedup()
     );
     out.push_str("  \"configs\": [\n");
     render_configs(&mut out, samples);
@@ -605,6 +740,17 @@ fn run() -> Result<ExitCode, String> {
 
     let journal = bench_journal(&opts)?;
 
+    // The content-cache comparison reuses the disjoint-branch fixture:
+    // the warm run repeats the exact subflows the cold run executed.
+    let (schema, flow, db, binding) = hercules_bench::disjoint_branches(opts.branches);
+    let cw = Workload {
+        schema: &schema,
+        flow: &flow,
+        db: &db,
+        binding: &binding,
+    };
+    let cache = bench_cache(&cw, &opts)?;
+
     let json = render_json(
         &opts,
         &samples,
@@ -615,6 +761,7 @@ fn run() -> Result<ExitCode, String> {
         recorder_percent,
         recorder_raw_percent,
         &journal,
+        &cache,
     );
     std::fs::write(&opts.out, &json).map_err(|e| format!("write `{}`: {e}", opts.out))?;
 
@@ -651,6 +798,13 @@ fn run() -> Result<ExitCode, String> {
         journal.rotation_overhead_percent(),
         journal.rotating_ops_per_sec()
     );
+    println!(
+        "content cache: warm {:.2}x over cold (gate {CACHE_GATE:.1}x); \
+         degraded remote at {}us round-trip still {:.2}x",
+        cache.warm_speedup(),
+        cache.remote_latency_us,
+        cache.degraded_speedup()
+    );
     let mut failed = false;
     if opts.check && overhead_percent > opts.budget_percent {
         eprintln!(
@@ -679,6 +833,14 @@ fn run() -> Result<ExitCode, String> {
             "bench_exec: FAIL — group commit only {:.2}x over per-frame fsync \
              (gate {JOURNAL_GATE:.1}x)",
             journal.speedup()
+        );
+        failed = true;
+    }
+    if opts.check && cache.warm_speedup() < CACHE_GATE {
+        eprintln!(
+            "bench_exec: FAIL — warm content-cache run only {:.2}x over cold \
+             (gate {CACHE_GATE:.1}x)",
+            cache.warm_speedup()
         );
         failed = true;
     }

@@ -1,0 +1,237 @@
+//! The cached value: one tool run's outputs, with a self-validating
+//! binary framing.
+//!
+//! Entries travel between tiers (and machines) as bytes, so the format
+//! carries everything needed to detect damage without trusting the
+//! transport: a magic, a CRC32 over the payload, explicit lengths, and
+//! the entry's own [`CacheKey`]. A torn disk write, a bit flip, or a
+//! blob filed under the wrong name all fail validation and are treated
+//! as a miss — the crash-safety argument for the disk tier reduces to
+//! "an entry either decodes and matches its key, or it does not exist".
+
+use crate::key::CacheKey;
+
+/// Leading magic of every encoded entry; the trailing digit is the
+/// format version.
+pub const ENTRY_MAGIC: &[u8; 4] = b"HCE1";
+
+/// One output slot of a cached tool run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedOutput {
+    /// Entity type *name* of the produced instance. Names, not ids:
+    /// the consuming session resolves them against its own schema and
+    /// treats unresolvable names as a miss.
+    pub entity: String,
+    /// Annotation name the tool gave the output (may be empty).
+    pub name: String,
+    /// The produced payload bytes.
+    pub data: Vec<u8>,
+}
+
+/// One cached tool run: the outputs a run with this entry's key
+/// produced, plus enough provenance to render `cache stats` usefully.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheEntry {
+    /// The content key the entry was stored under (validated on read).
+    pub key: CacheKey,
+    /// Tool entity name, for humans and eviction logs.
+    pub tool: String,
+    /// Wall-clock milliseconds when the entry was created — the GC
+    /// eviction order (oldest first, hex tiebreak, deterministic).
+    pub created_ms: u64,
+    /// The run's outputs, in subtask slot order.
+    pub outputs: Vec<CachedOutput>,
+}
+
+impl CacheEntry {
+    /// Total payload bytes across outputs (the size GC budgets).
+    pub fn payload_bytes(&self) -> u64 {
+        self.outputs.iter().map(|o| o.data.len() as u64).sum()
+    }
+
+    /// Encodes the entry as a self-validating byte blob.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(64 + self.payload_bytes() as usize);
+        payload.extend_from_slice(self.key.as_bytes());
+        payload.extend_from_slice(&self.created_ms.to_le_bytes());
+        push_bytes(&mut payload, self.tool.as_bytes());
+        payload.extend_from_slice(&(self.outputs.len() as u32).to_le_bytes());
+        for out in &self.outputs {
+            push_bytes(&mut payload, out.entity.as_bytes());
+            push_bytes(&mut payload, out.name.as_bytes());
+            push_bytes(&mut payload, &out.data);
+        }
+        let mut blob = Vec::with_capacity(payload.len() + 12);
+        blob.extend_from_slice(ENTRY_MAGIC);
+        blob.extend_from_slice(&crc32(&payload).to_le_bytes());
+        blob.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        blob.extend_from_slice(&payload);
+        blob
+    }
+
+    /// Decodes a blob, returning `None` on any validation failure:
+    /// wrong magic, truncated, CRC mismatch, malformed structure, or
+    /// trailing garbage.
+    pub fn decode(blob: &[u8]) -> Option<CacheEntry> {
+        if blob.len() < 12 || &blob[..4] != ENTRY_MAGIC {
+            return None;
+        }
+        let crc = u32::from_le_bytes(blob[4..8].try_into().ok()?);
+        let len = u32::from_le_bytes(blob[8..12].try_into().ok()?) as usize;
+        let payload = blob.get(12..12 + len)?;
+        if blob.len() != 12 + len || crc32(payload) != crc {
+            return None;
+        }
+        let mut cur = Cursor { buf: payload };
+        let key = CacheKey::from_bytes(cur.take(32)?.try_into().ok()?);
+        let created_ms = u64::from_le_bytes(cur.take(8)?.try_into().ok()?);
+        let tool = cur.string()?;
+        let n = u32::from_le_bytes(cur.take(4)?.try_into().ok()?) as usize;
+        // An output needs ≥ 12 framing bytes; bounds the allocation.
+        if n > payload.len() / 12 + 1 {
+            return None;
+        }
+        let mut outputs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let entity = cur.string()?;
+            let name = cur.string()?;
+            let data = cur.bytes()?.to_vec();
+            outputs.push(CachedOutput { entity, name, data });
+        }
+        if !cur.buf.is_empty() {
+            return None;
+        }
+        Some(CacheEntry {
+            key,
+            tool,
+            created_ms,
+            outputs,
+        })
+    }
+
+    /// Decodes a blob and checks it is filed under `expected` — the
+    /// wrong-hit guard every tier applies before serving an entry.
+    pub fn decode_for(blob: &[u8], expected: &CacheKey) -> Option<CacheEntry> {
+        let entry = CacheEntry::decode(blob)?;
+        (entry.key == *expected).then_some(entry)
+    }
+}
+
+fn push_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let (head, rest) = (self.buf.get(..n)?, self.buf.get(n..)?);
+        self.buf = rest;
+        Some(head)
+    }
+
+    fn bytes(&mut self) -> Option<&'a [u8]> {
+        let len = u32::from_le_bytes(self.take(4)?.try_into().ok()?) as usize;
+        self.take(len)
+    }
+
+    fn string(&mut self) -> Option<String> {
+        String::from_utf8(self.bytes()?.to_vec()).ok()
+    }
+}
+
+/// CRC32 (IEEE 802.3, polynomial `0xEDB88320`) — the same framing
+/// checksum the durable store uses.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::sha256;
+
+    fn sample() -> CacheEntry {
+        CacheEntry {
+            key: CacheKey::from_bytes(sha256(b"sample")),
+            tool: "Simulator".into(),
+            created_ms: 1_577_836_800_123,
+            outputs: vec![
+                CachedOutput {
+                    entity: "Performance".into(),
+                    name: "perf".into(),
+                    data: b"Simulator(Circuit, Stimuli)".to_vec(),
+                },
+                CachedOutput {
+                    entity: "SimulationLog".into(),
+                    name: String::new(),
+                    data: Vec::new(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let entry = sample();
+        let blob = entry.encode();
+        assert_eq!(CacheEntry::decode(&blob), Some(entry.clone()));
+        assert_eq!(CacheEntry::decode_for(&blob, &entry.key), Some(entry));
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let blob = sample().encode();
+        for len in 0..blob.len() {
+            assert_eq!(CacheEntry::decode(&blob[..len]), None, "truncated to {len}");
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let entry = sample();
+        let blob = entry.encode();
+        for i in 0..blob.len() {
+            let mut bad = blob.clone();
+            bad[i] ^= 0x40;
+            assert_eq!(
+                CacheEntry::decode_for(&bad, &entry.key),
+                None,
+                "bit flip at byte {i} served"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_and_wrong_key_are_rejected() {
+        let entry = sample();
+        let mut blob = entry.encode();
+        blob.push(0);
+        assert_eq!(CacheEntry::decode(&blob), None);
+        let blob = entry.encode();
+        let other = CacheKey::from_bytes(sha256(b"other"));
+        assert_eq!(CacheEntry::decode_for(&blob, &other), None);
+    }
+
+    #[test]
+    fn payload_bytes_counts_outputs() {
+        assert_eq!(sample().payload_bytes(), 27);
+    }
+}

@@ -1,0 +1,338 @@
+//! Canonical content keys.
+//!
+//! A [`CacheKey`] is the SHA-256 of a domain-separated, length-framed
+//! field stream: every field goes in as `tag \n len(u64 LE) bytes`, so
+//! two different field sequences can never collide by concatenation
+//! ("ab"+"c" vs "a"+"bc") and a new key domain (or schema fingerprint)
+//! changes every key at once. Content addressing is what makes the
+//! cache shareable: two sessions that perform the same transformation
+//! on the same bytes derive the same key, whatever their instance
+//! numbering looks like.
+
+use std::fmt;
+
+/// A 256-bit content key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey([u8; 32]);
+
+impl CacheKey {
+    /// Wraps a raw digest.
+    pub fn from_bytes(bytes: [u8; 32]) -> CacheKey {
+        CacheKey(bytes)
+    }
+
+    /// The raw digest.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Lowercase hex rendering (64 chars).
+    pub fn to_hex(&self) -> String {
+        let mut out = String::with_capacity(64);
+        for b in self.0 {
+            out.push_str(&format!("{b:02x}"));
+        }
+        out
+    }
+
+    /// The first two hex characters — the disk tier's shard name.
+    pub fn shard(&self) -> String {
+        format!("{:02x}", self.0[0])
+    }
+
+    /// Parses the output of [`CacheKey::to_hex`].
+    pub fn from_hex(hex: &str) -> Option<CacheKey> {
+        let hex = hex.as_bytes();
+        if hex.len() != 64 {
+            return None;
+        }
+        let nibble = |c: u8| -> Option<u8> {
+            match c {
+                b'0'..=b'9' => Some(c - b'0'),
+                b'a'..=b'f' => Some(c - b'a' + 10),
+                _ => None,
+            }
+        };
+        let mut out = [0u8; 32];
+        for (i, pair) in hex.chunks(2).enumerate() {
+            out[i] = nibble(pair[0])? << 4 | nibble(pair[1])?;
+        }
+        Some(CacheKey(out))
+    }
+}
+
+impl fmt::Debug for CacheKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CacheKey({})", &self.to_hex()[..12])
+    }
+}
+
+impl fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// Builds a [`CacheKey`] from tagged fields.
+///
+/// ```
+/// use hercules_cache::KeyBuilder;
+/// let mut k = KeyBuilder::new("example.v1");
+/// k.field("tool", b"Simulator");
+/// k.field("input", b"netlist bytes");
+/// let a = k.finish();
+/// let mut k = KeyBuilder::new("example.v1");
+/// k.field("tool", b"Simulator");
+/// k.field("input", b"netlist bytes");
+/// assert_eq!(a, k.finish());
+/// ```
+#[derive(Debug, Clone)]
+pub struct KeyBuilder {
+    hasher: Sha256,
+}
+
+impl KeyBuilder {
+    /// Starts a key in `domain` — bump the domain string to invalidate
+    /// every previously derived key (e.g. on an entry-format change).
+    pub fn new(domain: &str) -> KeyBuilder {
+        let mut b = KeyBuilder {
+            hasher: Sha256::new(),
+        };
+        b.frame(b"domain", domain.as_bytes());
+        b
+    }
+
+    fn frame(&mut self, tag: &[u8], bytes: &[u8]) {
+        self.hasher.update(tag);
+        self.hasher.update(b"\n");
+        self.hasher.update(&(bytes.len() as u64).to_le_bytes());
+        self.hasher.update(bytes);
+    }
+
+    /// Folds one tagged field into the key.
+    pub fn field(&mut self, tag: &str, bytes: &[u8]) {
+        self.frame(tag.as_bytes(), bytes);
+    }
+
+    /// Folds a tagged string field into the key.
+    pub fn field_str(&mut self, tag: &str, value: &str) {
+        self.frame(tag.as_bytes(), value.as_bytes());
+    }
+
+    /// Folds a tagged integer field into the key.
+    pub fn field_u64(&mut self, tag: &str, value: u64) {
+        self.frame(tag.as_bytes(), &value.to_le_bytes());
+    }
+
+    /// Finalizes the digest.
+    pub fn finish(self) -> CacheKey {
+        CacheKey(self.hasher.finish())
+    }
+}
+
+/// Hashes `bytes` in one shot (used for per-payload sub-digests).
+pub fn sha256(bytes: &[u8]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(bytes);
+    h.finish()
+}
+
+// ---------------------------------------------------------------------
+// SHA-256 (FIPS 180-4), dependency-free. The workspace deliberately
+// vendors no crypto crate; the reference implementation below is small,
+// allocation-free, and checked against the standard test vectors.
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+#[derive(Debug, Clone)]
+struct Sha256 {
+    state: [u32; 8],
+    buffer: [u8; 64],
+    buffered: usize,
+    length: u64,
+}
+
+impl Sha256 {
+    fn new() -> Sha256 {
+        Sha256 {
+            state: [
+                0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+                0x5be0cd19,
+            ],
+            buffer: [0; 64],
+            buffered: 0,
+            length: 0,
+        }
+    }
+
+    fn update(&mut self, mut bytes: &[u8]) {
+        self.length = self.length.wrapping_add(bytes.len() as u64);
+        if self.buffered > 0 {
+            let take = bytes.len().min(64 - self.buffered);
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&bytes[..take]);
+            self.buffered += take;
+            bytes = &bytes[take..];
+            if self.buffered == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+        }
+        while bytes.len() >= 64 {
+            let (block, rest) = bytes.split_at(64);
+            self.compress(block.try_into().expect("64-byte block"));
+            bytes = rest;
+        }
+        if !bytes.is_empty() {
+            self.buffer[..bytes.len()].copy_from_slice(bytes);
+            self.buffered = bytes.len();
+        }
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte word"));
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        let add = [a, b, c, d, e, f, g, h];
+        for (s, v) in self.state.iter_mut().zip(add) {
+            *s = s.wrapping_add(v);
+        }
+    }
+
+    fn finish(mut self) -> [u8; 32] {
+        let bit_len = self.length.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buffered != 56 {
+            self.update(&[0]);
+        }
+        // Manual length append: `update` would re-count these bytes.
+        self.buffer[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.buffer;
+        self.compress(&block);
+        let mut out = [0u8; 32];
+        for (chunk, word) in out.chunks_exact_mut(4).zip(self.state) {
+            chunk.copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn sha256_matches_standard_vectors() {
+        assert_eq!(
+            hex(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            hex(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+        // A million 'a's exercises the multi-block streaming path.
+        let mut h = Sha256::new();
+        let chunk = [b'a'; 10_000];
+        for _ in 0..100 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            hex(&h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn streaming_equals_one_shot_at_odd_boundaries() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        for split in [0, 1, 55, 56, 63, 64, 65, 500, 999, 1000] {
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finish(), sha256(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn key_builder_is_framed_not_concatenated() {
+        let mut a = KeyBuilder::new("d");
+        a.field("x", b"ab");
+        a.field("x", b"c");
+        let mut b = KeyBuilder::new("d");
+        b.field("x", b"a");
+        b.field("x", b"bc");
+        assert_ne!(a.finish(), b.finish());
+
+        let mut c = KeyBuilder::new("d1");
+        c.field("x", b"ab");
+        let mut d = KeyBuilder::new("d2");
+        d.field("x", b"ab");
+        assert_ne!(c.finish(), d.finish(), "domains separate");
+    }
+
+    #[test]
+    fn hex_round_trips_and_shards() {
+        let key = CacheKey::from_bytes(sha256(b"round-trip"));
+        let hex = key.to_hex();
+        assert_eq!(hex.len(), 64);
+        assert_eq!(CacheKey::from_hex(&hex), Some(key));
+        assert_eq!(key.shard(), &hex[..2]);
+        assert_eq!(CacheKey::from_hex("zz"), None);
+        assert_eq!(CacheKey::from_hex(&hex[..62]), None);
+        let mut bad = hex.clone();
+        bad.replace_range(0..1, "G");
+        assert_eq!(CacheKey::from_hex(&bad), None);
+        assert_eq!(format!("{key}"), hex);
+        assert!(format!("{key:?}").starts_with("CacheKey("));
+    }
+}

@@ -1,0 +1,710 @@
+//! The tiered front end: memory → disk → remote behind one handle.
+//!
+//! Lookups read through the tiers in cost order and populate the
+//! cheaper tiers on the way back (a remote hit lands in memory and on
+//! disk, a disk hit in memory). Inserts land in memory immediately;
+//! the persistent tiers are written back *asynchronously* on a
+//! dedicated writer thread, so the executor's hot path never blocks
+//! on cache I/O. Under simulation (or when configured explicitly)
+//! write-back is synchronous instead, which makes crash-point sweeps
+//! over the disk tier deterministic.
+//!
+//! Every tier is best-effort: an I/O error degrades the cache (and
+//! shows up in `cache.*` metrics and the health report), it never
+//! fails or corrupts an execution.
+
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+use hercules_obs::{names, Metrics};
+use hercules_sim::{Clock, Fs};
+
+use crate::backend::{CacheBackend, TierUsage};
+use crate::disk::{DiskTier, GcReport};
+use crate::entry::CacheEntry;
+use crate::key::CacheKey;
+use crate::memory::{MemoryBudget, MemoryTier};
+use crate::remote::{RemoteCache, RemoteTier};
+
+/// Construction-time options for [`ContentCache::open`].
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// In-memory tier bounds.
+    pub memory: MemoryBudget,
+    /// Disk tier byte budget (enforced by `gc`).
+    pub disk_budget_bytes: u64,
+    /// `Some(true)` forces synchronous write-back, `Some(false)`
+    /// forces the background writer; `None` (default) picks sync under
+    /// a simulated filesystem and async on a real one.
+    pub sync_writes: Option<bool>,
+}
+
+impl Default for CacheConfig {
+    fn default() -> CacheConfig {
+        CacheConfig {
+            memory: MemoryBudget::default(),
+            disk_budget_bytes: 256 << 20,
+            sync_writes: None,
+        }
+    }
+}
+
+/// Hit/miss/error counts of one tier (independent of the metrics
+/// registry, so `cache stats` works even with metrics disabled).
+#[derive(Debug, Default)]
+struct TierCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl TierCounters {
+    fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.errors.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Point-in-time stats of one tier, for `cache stats`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TierStats {
+    /// Tier name (`mem`, `disk`, `remote`).
+    pub tier: String,
+    /// Lookups served by this tier.
+    pub hits: u64,
+    /// Lookups that fell through this tier.
+    pub misses: u64,
+    /// Degraded operations (I/O errors, injected faults).
+    pub errors: u64,
+    /// Occupancy (zero for remotes, which do not expose it).
+    pub entries: u64,
+    /// Stored bytes (encoded for disk, payload for memory).
+    pub bytes: u64,
+    /// Extra detail: disk root, remote label.
+    pub detail: String,
+}
+
+impl TierStats {
+    /// Hit rate over the lookups this tier saw, if any.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total > 0).then(|| self.hits as f64 / total as f64)
+    }
+}
+
+/// Point-in-time stats of the whole cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheStats {
+    /// Per-tier stats in lookup order.
+    pub tiers: Vec<TierStats>,
+    /// Entries written back (one per produced run).
+    pub inserts: u64,
+    /// Damaged disk entries dropped instead of served.
+    pub dropped: u64,
+}
+
+impl CacheStats {
+    /// Human-readable rendering for the REPL `cache stats` command.
+    pub fn render_text(&self) -> String {
+        let mut out = String::from("content cache:\n");
+        for t in &self.tiers {
+            let rate = match t.hit_rate() {
+                Some(r) => format!("{:.1}%", r * 100.0),
+                None => "-".into(),
+            };
+            out.push_str(&format!(
+                "  {:<6} hits={:<8} misses={:<8} rate={:<7} errors={:<4} entries={:<6} bytes={:<10} {}\n",
+                t.tier, t.hits, t.misses, rate, t.errors, t.entries, t.bytes, t.detail
+            ));
+        }
+        out.push_str(&format!(
+            "  inserts={} dropped_entries={}\n",
+            self.inserts, self.dropped
+        ));
+        out
+    }
+}
+
+/// The shared, thread-safe state behind every clone of the handle.
+#[derive(Debug)]
+struct CacheInner {
+    mem: MemoryTier,
+    mem_counters: TierCounters,
+    tiers: Arc<PersistentTiers>,
+    /// `Some` when the background writer owns write-back.
+    writer: Mutex<Option<Writer>>,
+    sync_writes: bool,
+}
+
+/// The persistent tiers plus everything the writer thread needs.
+#[derive(Debug)]
+struct PersistentTiers {
+    disk: Option<DiskTier>,
+    remote: Option<RemoteTier>,
+    disk_counters: TierCounters,
+    remote_counters: TierCounters,
+    inserts: AtomicU64,
+    metrics: Metrics,
+    clock: Clock,
+}
+
+#[derive(Debug)]
+struct Writer {
+    queue: mpsc::Sender<WriteJob>,
+    thread: JoinHandle<()>,
+}
+
+enum WriteJob {
+    /// Write `entry` back to disk (and the remote, when `to_remote`).
+    Put {
+        key: CacheKey,
+        entry: CacheEntry,
+        to_remote: bool,
+    },
+    /// Barrier: ack once every job queued before it has drained.
+    Flush(mpsc::Sender<()>),
+}
+
+impl PersistentTiers {
+    /// Writes one entry to disk (and optionally the remote), folding
+    /// failures into counters — write-back is always best-effort.
+    fn write_back(&self, key: &CacheKey, entry: &CacheEntry, to_remote: bool) {
+        let t0 = self.clock.now();
+        if let Some(disk) = &self.disk {
+            match disk.put(key, entry) {
+                Ok(()) => self.metrics.gauge_set(names::CACHE_DISK_HEALTHY, 1),
+                Err(_) => {
+                    self.disk_counters.errors.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.incr(names::CACHE_DISK_IO_ERRORS, 1);
+                    self.metrics.gauge_set(names::CACHE_DISK_HEALTHY, 0);
+                }
+            }
+        }
+        if to_remote {
+            if let Some(remote) = &self.remote {
+                if remote.put(key, entry).is_err() {
+                    self.remote_counters.errors.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.incr(names::CACHE_REMOTE_ERRORS, 1);
+                }
+            }
+        }
+        self.metrics
+            .observe_duration(names::CACHE_WRITEBACK_NS, self.clock.since(t0));
+    }
+}
+
+/// The content-addressed tool-result cache handle. Clones share one
+/// cache; the handle is cheap to pass into `ExecOptions`.
+#[derive(Debug, Clone)]
+pub struct ContentCache {
+    inner: Arc<CacheInner>,
+}
+
+impl ContentCache {
+    /// A memory-only cache (no persistent tiers) — useful in tests and
+    /// for single-process dedup.
+    pub fn in_memory(memory: MemoryBudget, clock: Clock, metrics: Metrics) -> ContentCache {
+        ContentCache::build(MemoryTier::new(memory), None, None, true, clock, metrics)
+    }
+
+    /// Opens a cache with a disk tier rooted at `root` (shared across
+    /// sessions and workspaces that open the same root) and an
+    /// optional remote tier behind it.
+    pub fn open(
+        fs: &Fs,
+        root: impl Into<PathBuf>,
+        remote: Option<Arc<dyn RemoteCache>>,
+        config: CacheConfig,
+        clock: Clock,
+        metrics: Metrics,
+    ) -> io::Result<ContentCache> {
+        let disk = DiskTier::open(fs.clone(), root, config.disk_budget_bytes)?;
+        let sync_writes = config.sync_writes.unwrap_or_else(|| fs.is_sim());
+        Ok(ContentCache::build(
+            MemoryTier::new(config.memory),
+            Some(disk),
+            remote.map(RemoteTier::new),
+            sync_writes,
+            clock,
+            metrics,
+        ))
+    }
+
+    fn build(
+        mem: MemoryTier,
+        disk: Option<DiskTier>,
+        remote: Option<RemoteTier>,
+        sync_writes: bool,
+        clock: Clock,
+        metrics: Metrics,
+    ) -> ContentCache {
+        let tiers = Arc::new(PersistentTiers {
+            disk,
+            remote,
+            disk_counters: TierCounters::default(),
+            remote_counters: TierCounters::default(),
+            inserts: AtomicU64::new(0),
+            metrics,
+            clock,
+        });
+        let writer = if sync_writes {
+            None
+        } else {
+            let (queue, jobs) = mpsc::channel::<WriteJob>();
+            let worker = tiers.clone();
+            let thread = std::thread::spawn(move || {
+                while let Ok(job) = jobs.recv() {
+                    match job {
+                        WriteJob::Put {
+                            key,
+                            entry,
+                            to_remote,
+                        } => worker.write_back(&key, &entry, to_remote),
+                        WriteJob::Flush(ack) => drop(ack.send(())),
+                    }
+                }
+            });
+            Some(Writer { queue, thread })
+        };
+        ContentCache {
+            inner: Arc::new(CacheInner {
+                mem,
+                mem_counters: TierCounters::default(),
+                tiers,
+                writer: Mutex::new(writer),
+                sync_writes,
+            }),
+        }
+    }
+
+    /// Returns `true` when write-back happens on the calling thread.
+    pub fn sync_writes(&self) -> bool {
+        self.inner.sync_writes
+    }
+
+    /// The disk tier's root, when one is attached.
+    pub fn disk_root(&self) -> Option<PathBuf> {
+        self.inner
+            .tiers
+            .disk
+            .as_ref()
+            .map(|d| d.root().to_path_buf())
+    }
+
+    fn metrics(&self) -> &Metrics {
+        &self.inner.tiers.metrics
+    }
+
+    fn clock(&self) -> &Clock {
+        &self.inner.tiers.clock
+    }
+
+    /// Looks a key up through the tiers, populating cheaper tiers on a
+    /// deeper hit. Errors degrade to misses.
+    pub fn lookup(&self, key: &CacheKey) -> Option<CacheEntry> {
+        let inner = &*self.inner;
+        let tiers = &*inner.tiers;
+        let metrics = self.metrics();
+        let t0 = self.clock().now();
+        let mem_hit = inner.mem.get(key).unwrap_or(None);
+        metrics.observe_duration(names::CACHE_MEM_LOOKUP_NS, self.clock().since(t0));
+        if let Some(entry) = mem_hit {
+            inner.mem_counters.hits.fetch_add(1, Ordering::Relaxed);
+            metrics.incr(names::CACHE_MEM_HITS, 1);
+            return Some(entry);
+        }
+        inner.mem_counters.misses.fetch_add(1, Ordering::Relaxed);
+        metrics.incr(names::CACHE_MEM_MISSES, 1);
+
+        if let Some(disk) = &tiers.disk {
+            let t0 = self.clock().now();
+            let dropped_before = disk.dropped_entries();
+            let looked = disk.get(key);
+            let dropped = disk.dropped_entries() - dropped_before;
+            if dropped > 0 {
+                metrics.incr(names::CACHE_DISK_DROPPED, dropped);
+            }
+            metrics.observe_duration(names::CACHE_DISK_LOOKUP_NS, self.clock().since(t0));
+            match looked {
+                Ok(Some(entry)) => {
+                    tiers.disk_counters.hits.fetch_add(1, Ordering::Relaxed);
+                    metrics.incr(names::CACHE_DISK_HITS, 1);
+                    metrics.gauge_set(names::CACHE_DISK_HEALTHY, 1);
+                    let _ = inner.mem.put(key, &entry);
+                    return Some(entry);
+                }
+                Ok(None) => {
+                    tiers.disk_counters.misses.fetch_add(1, Ordering::Relaxed);
+                    metrics.incr(names::CACHE_DISK_MISSES, 1);
+                }
+                Err(_) => {
+                    tiers.disk_counters.errors.fetch_add(1, Ordering::Relaxed);
+                    metrics.incr(names::CACHE_DISK_IO_ERRORS, 1);
+                    metrics.gauge_set(names::CACHE_DISK_HEALTHY, 0);
+                }
+            }
+        }
+
+        if let Some(remote) = &tiers.remote {
+            let t0 = self.clock().now();
+            let looked = remote.get(key);
+            metrics.observe_duration(names::CACHE_REMOTE_LOOKUP_NS, self.clock().since(t0));
+            match looked {
+                Ok(Some(entry)) => {
+                    tiers.remote_counters.hits.fetch_add(1, Ordering::Relaxed);
+                    metrics.incr(names::CACHE_REMOTE_HITS, 1);
+                    let _ = inner.mem.put(key, &entry);
+                    // Populate the local disk so the next session does
+                    // not pay the remote round trip again.
+                    self.enqueue(key, &entry, false);
+                    return Some(entry);
+                }
+                Ok(None) => {
+                    tiers.remote_counters.misses.fetch_add(1, Ordering::Relaxed);
+                    metrics.incr(names::CACHE_REMOTE_MISSES, 1);
+                }
+                Err(_) => {
+                    tiers.remote_counters.errors.fetch_add(1, Ordering::Relaxed);
+                    metrics.incr(names::CACHE_REMOTE_ERRORS, 1);
+                }
+            }
+        }
+        None
+    }
+
+    /// Inserts a freshly produced result: memory immediately, the
+    /// persistent tiers via write-back.
+    pub fn insert(&self, key: &CacheKey, entry: &CacheEntry) {
+        self.inner.tiers.inserts.fetch_add(1, Ordering::Relaxed);
+        self.metrics().incr(names::CACHE_INSERTS, 1);
+        let _ = self.inner.mem.put(key, entry);
+        self.enqueue(key, entry, true);
+    }
+
+    fn enqueue(&self, key: &CacheKey, entry: &CacheEntry, to_remote: bool) {
+        if self.inner.sync_writes {
+            self.inner.tiers.write_back(key, entry, to_remote);
+            return;
+        }
+        let writer = self.inner.writer.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(w) = &*writer {
+            let _ = w.queue.send(WriteJob::Put {
+                key: *key,
+                entry: entry.clone(),
+                to_remote,
+            });
+        }
+    }
+
+    /// Waits until every write-back queued so far has drained — a
+    /// barrier for handoff points (session save, benchmarks, tests).
+    pub fn flush(&self) {
+        let writer = self.inner.writer.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(w) = &*writer {
+            let (ack_tx, ack_rx) = mpsc::channel();
+            if w.queue.send(WriteJob::Flush(ack_tx)).is_ok() {
+                let _ = ack_rx.recv();
+            }
+        }
+    }
+
+    /// One size-budget GC pass over the disk tier (no-op without one).
+    /// Flushes pending write-backs first so the pass sees them.
+    pub fn gc(&self) -> io::Result<GcReport> {
+        self.flush();
+        let tiers = &*self.inner.tiers;
+        let Some(disk) = &tiers.disk else {
+            return Ok(GcReport::default());
+        };
+        let report = disk.gc()?;
+        let metrics = self.metrics();
+        metrics.incr(names::CACHE_GC_RUNS, 1);
+        metrics.incr(names::CACHE_GC_EVICTED, report.evicted);
+        if report.dropped > 0 {
+            metrics.incr(names::CACHE_DISK_DROPPED, report.dropped);
+        }
+        metrics.gauge_set(names::CACHE_DISK_BYTES, report.bytes_after as i64);
+        metrics.gauge_set(
+            names::CACHE_DISK_ENTRIES,
+            (report.scanned - report.dropped - report.evicted) as i64,
+        );
+        Ok(report)
+    }
+
+    /// Point-in-time stats (flushes pending write-backs so occupancy
+    /// reflects every insert so far).
+    pub fn stats(&self) -> CacheStats {
+        self.flush();
+        let inner = &*self.inner;
+        let tiers = &*inner.tiers;
+        let metrics = self.metrics();
+        let mut out = Vec::new();
+        let (hits, misses, errors) = inner.mem_counters.snapshot();
+        let mem_usage = inner.mem.usage().unwrap_or_default();
+        metrics.gauge_set(names::CACHE_MEM_ENTRIES, mem_usage.entries as i64);
+        out.push(TierStats {
+            tier: "mem".into(),
+            hits,
+            misses,
+            errors,
+            entries: mem_usage.entries,
+            bytes: mem_usage.bytes,
+            detail: String::new(),
+        });
+        let mut dropped = 0;
+        if let Some(disk) = &tiers.disk {
+            let (hits, misses, errors) = tiers.disk_counters.snapshot();
+            let usage = disk.usage().unwrap_or_default();
+            metrics.gauge_set(names::CACHE_DISK_ENTRIES, usage.entries as i64);
+            metrics.gauge_set(names::CACHE_DISK_BYTES, usage.bytes as i64);
+            dropped = disk.dropped_entries();
+            out.push(TierStats {
+                tier: "disk".into(),
+                hits,
+                misses,
+                errors,
+                entries: usage.entries,
+                bytes: usage.bytes,
+                detail: disk.root().display().to_string(),
+            });
+        }
+        if let Some(remote) = &tiers.remote {
+            let (hits, misses, errors) = tiers.remote_counters.snapshot();
+            let usage = remote.usage().unwrap_or_default();
+            out.push(TierStats {
+                tier: "remote".into(),
+                hits,
+                misses,
+                errors,
+                entries: usage.entries,
+                bytes: usage.bytes,
+                detail: remote.label(),
+            });
+        }
+        CacheStats {
+            tiers: out,
+            inserts: tiers.inserts.load(Ordering::Relaxed),
+            dropped,
+        }
+    }
+}
+
+impl Drop for CacheInner {
+    fn drop(&mut self) {
+        // Drain the writer so queued entries survive process exit.
+        let writer = self.writer.lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(w) = writer {
+            drop(w.queue);
+            let _ = w.thread.join();
+        }
+    }
+}
+
+impl TierUsage {
+    /// Sum of two usages (stats aggregation).
+    pub fn plus(self, other: TierUsage) -> TierUsage {
+        TierUsage {
+            entries: self.entries + other.entries,
+            bytes: self.bytes + other.bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::CachedOutput;
+    use crate::key::sha256;
+    use crate::remote::LocalDirRemote;
+    use std::time::Duration;
+
+    fn entry(tag: u8) -> (CacheKey, CacheEntry) {
+        let key = CacheKey::from_bytes(sha256(&[tag]));
+        let entry = CacheEntry {
+            key,
+            tool: "T".into(),
+            created_ms: u64::from(tag),
+            outputs: vec![CachedOutput {
+                entity: "E".into(),
+                name: String::new(),
+                data: vec![tag; 16],
+            }],
+        };
+        (key, entry)
+    }
+
+    #[test]
+    fn memory_only_cache_hits_and_misses() {
+        let cache =
+            ContentCache::in_memory(MemoryBudget::default(), Clock::real(), Metrics::disabled());
+        let (key, e) = entry(1);
+        assert!(cache.lookup(&key).is_none());
+        cache.insert(&key, &e);
+        assert_eq!(cache.lookup(&key), Some(e));
+        let stats = cache.stats();
+        assert_eq!(stats.tiers[0].hits, 1);
+        assert_eq!(stats.tiers[0].misses, 1);
+        assert_eq!(stats.inserts, 1);
+        assert!(stats.render_text().contains("mem"));
+    }
+
+    #[test]
+    fn disk_tier_survives_reopen_cross_session() {
+        let sim = hercules_sim::SimEnv::new(11);
+        let metrics = Metrics::new();
+        let a = ContentCache::open(
+            &sim.fs(),
+            "/shared-cache",
+            None,
+            CacheConfig::default(),
+            sim.clock(),
+            metrics.clone(),
+        )
+        .expect("open a");
+        assert!(a.sync_writes(), "sim fs defaults to sync write-back");
+        let (key, e) = entry(2);
+        a.insert(&key, &e);
+        drop(a);
+        // "Workspace B" opens the same root and hits on A's work.
+        let b = ContentCache::open(
+            &sim.fs(),
+            "/shared-cache",
+            None,
+            CacheConfig::default(),
+            sim.clock(),
+            metrics.clone(),
+        )
+        .expect("open b");
+        assert_eq!(b.lookup(&key), Some(e));
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counters[hercules_obs::names::CACHE_DISK_HITS], 1);
+        assert_eq!(snap.gauges[hercules_obs::names::CACHE_DISK_HEALTHY], 1);
+    }
+
+    #[test]
+    fn async_writer_drains_on_flush_and_drop() {
+        let dir = std::env::temp_dir().join(format!("hercules-cache-async-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fs = Fs::real();
+        let cache = ContentCache::open(
+            &fs,
+            &dir,
+            None,
+            CacheConfig {
+                sync_writes: Some(false),
+                ..CacheConfig::default()
+            },
+            Clock::real(),
+            Metrics::disabled(),
+        )
+        .expect("open");
+        assert!(!cache.sync_writes());
+        let (key, e) = entry(3);
+        cache.insert(&key, &e);
+        cache.flush();
+        drop(cache);
+        let reopened = ContentCache::open(
+            &fs,
+            &dir,
+            None,
+            CacheConfig::default(),
+            Clock::real(),
+            Metrics::disabled(),
+        )
+        .expect("reopen");
+        assert_eq!(reopened.lookup(&key), Some(e));
+        drop(reopened);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remote_hit_populates_memory_and_disk() {
+        let sim = hercules_sim::SimEnv::new(13);
+        let remote = Arc::new(
+            LocalDirRemote::open(sim.fs(), "/remote", sim.clock())
+                .expect("remote")
+                .with_latency(Duration::from_micros(500)),
+        );
+        // Seed the remote through a first cache.
+        let seeder = ContentCache::open(
+            &sim.fs(),
+            "/cache-a",
+            Some(remote.clone()),
+            CacheConfig::default(),
+            sim.clock(),
+            Metrics::disabled(),
+        )
+        .expect("seeder");
+        let (key, e) = entry(4);
+        seeder.insert(&key, &e);
+        drop(seeder);
+
+        let metrics = Metrics::new();
+        let cache = ContentCache::open(
+            &sim.fs(),
+            "/cache-b",
+            Some(remote),
+            CacheConfig::default(),
+            sim.clock(),
+            metrics.clone(),
+        )
+        .expect("open");
+        assert_eq!(cache.lookup(&key), Some(e.clone()), "remote hit");
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counters[hercules_obs::names::CACHE_REMOTE_HITS], 1);
+        assert!(
+            snap.histograms[hercules_obs::names::CACHE_REMOTE_LOOKUP_NS].min
+                >= Duration::from_micros(500).as_nanos() as u64,
+            "injected latency visible in the remote histogram"
+        );
+        // Second lookup is served locally: no new remote traffic.
+        assert_eq!(cache.lookup(&key), Some(e));
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counters[hercules_obs::names::CACHE_REMOTE_HITS], 1);
+        // And the local disk now holds the entry for future sessions.
+        let local_only = ContentCache::open(
+            &sim.fs(),
+            "/cache-b",
+            None,
+            CacheConfig::default(),
+            sim.clock(),
+            Metrics::disabled(),
+        )
+        .expect("open");
+        assert!(local_only.lookup(&key).is_some());
+    }
+
+    #[test]
+    fn gc_reports_and_updates_gauges() {
+        let sim = hercules_sim::SimEnv::new(17);
+        let metrics = Metrics::new();
+        let cache = ContentCache::open(
+            &sim.fs(),
+            "/gc-cache",
+            None,
+            CacheConfig {
+                disk_budget_bytes: 0,
+                ..CacheConfig::default()
+            },
+            sim.clock(),
+            metrics.clone(),
+        )
+        .expect("open");
+        let (k1, e1) = entry(5);
+        let (k2, e2) = entry(6);
+        cache.insert(&k1, &e1);
+        cache.insert(&k2, &e2);
+        let report = cache.gc().expect("gc");
+        assert_eq!(report.evicted, 2, "zero budget evicts everything");
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counters[hercules_obs::names::CACHE_GC_RUNS], 1);
+        assert_eq!(snap.counters[hercules_obs::names::CACHE_GC_EVICTED], 2);
+        assert_eq!(snap.gauges[hercules_obs::names::CACHE_DISK_BYTES], 0);
+    }
+}

@@ -38,7 +38,7 @@ use crate::{JournalOp, Session, SessionSpec};
 
 /// Lints a live session: its schema, its active flow (if any), and the
 /// design history's `HL05xx` consistency findings (staleness, retrace
-/// cones, under-keyed derivations).
+/// cones, under-keyed derivations, cache-ineligible tools).
 pub fn lint_session(session: &Session, out: &mut Diagnostics) {
     lint_schema(session.schema(), out);
     if let Ok(flow) = session.flow() {

@@ -90,6 +90,7 @@ pub use telemetry::{
 // Re-export the substrate crates so downstream users need only one
 // dependency.
 pub use hercules_baseline as baseline;
+pub use hercules_cache as cache;
 pub use hercules_eda as eda;
 pub use hercules_exec as exec;
 pub use hercules_flow as flow;

@@ -309,6 +309,20 @@ impl Session {
         &mut self.executor
     }
 
+    /// Attaches a content-addressed result cache: every execution —
+    /// `run`, `resume`, `run_subflow` — consults it ahead of tool
+    /// dispatch and writes produced results back. Open the cache on a
+    /// shared root to reuse results across sessions and workspaces
+    /// (see [`hercules_cache::ContentCache::open`]).
+    pub fn attach_content_cache(&mut self, cache: hercules_cache::ContentCache) {
+        self.executor.options_mut().cache = Some(cache);
+    }
+
+    /// The attached content cache, if any.
+    pub fn content_cache(&self) -> Option<&hercules_cache::ContentCache> {
+        self.executor.options().cache.as_ref()
+    }
+
     /// Returns the session's tracer (shared with the executor).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer

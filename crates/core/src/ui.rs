@@ -117,6 +117,17 @@ pub enum Command {
         /// Render as a JSON object instead of text.
         json: bool,
     },
+    /// `cache open <dir>` — attach a content-addressed result cache
+    /// rooted at the directory; later executions consult it ahead of
+    /// tool dispatch and write produced results back. Sessions (and
+    /// workspaces) that open the same root share results.
+    CacheOpen(String),
+    /// `cache stats` — per-tier hit/miss/error counts and occupancy of
+    /// the attached content cache.
+    CacheStats,
+    /// `cache gc` — reclaim the content cache's disk tier down to its
+    /// byte budget (oldest entries first), dropping damaged entries.
+    CacheGc,
 }
 
 impl Command {
@@ -217,6 +228,17 @@ impl Command {
                 None => Ok(Command::Health { json: false }),
                 Some("--json") => Ok(Command::Health { json: true }),
                 Some(other) => Err(bad(&format!("unknown health option `{other}`"))),
+            },
+            "cache" => match parts.next() {
+                Some("open") => Ok(Command::CacheOpen(
+                    parts
+                        .next()
+                        .ok_or_else(|| bad("cache open needs a directory"))?
+                        .to_owned(),
+                )),
+                Some("stats") => Ok(Command::CacheStats),
+                Some("gc") => Ok(Command::CacheGc),
+                _ => Err(bad("cache subcommands: open <dir>, stats, gc")),
             },
             other => Err(bad(&format!("unknown verb `{other}`"))),
         }
@@ -524,7 +546,10 @@ impl Ui {
             | Command::Scrub
             | Command::Lint { .. }
             | Command::Stale
-            | Command::Health { .. } => None,
+            | Command::Health { .. }
+            | Command::CacheOpen(_)
+            | Command::CacheStats
+            | Command::CacheGc => None,
         }
     }
 
@@ -1003,6 +1028,37 @@ impl Ui {
                     Ok(report.render_text())
                 }
             }
+            Command::CacheOpen(dir) => {
+                let cache = hercules_cache::ContentCache::open(
+                    &self.env.fs,
+                    &dir,
+                    None,
+                    hercules_cache::CacheConfig::default(),
+                    self.env.clock.clone(),
+                    self.session.metrics().clone(),
+                )
+                .map_err(|e| HerculesError::Store {
+                    message: format!("cache open failed: {e}"),
+                })?;
+                self.session.attach_content_cache(cache);
+                Ok(format!("content cache attached at {dir}\n"))
+            }
+            Command::CacheStats => match self.session.content_cache() {
+                Some(cache) => Ok(cache.stats().render_text()),
+                None => Ok("content cache: not attached (`cache open <dir>`)\n".to_owned()),
+            },
+            Command::CacheGc => match self.session.content_cache() {
+                Some(cache) => {
+                    let r = cache.gc().map_err(|e| HerculesError::Store {
+                        message: format!("cache gc failed: {e}"),
+                    })?;
+                    Ok(format!(
+                        "cache gc: scanned {} entries, evicted {}, dropped {} damaged, reaped {} tmp, {} -> {} bytes\n",
+                        r.scanned, r.evicted, r.dropped, r.reaped_tmp, r.bytes_before, r.bytes_after
+                    ))
+                }
+                None => Ok("content cache: not attached (`cache open <dir>`)\n".to_owned()),
+            },
         }
     }
 
@@ -1546,6 +1602,49 @@ mod tests {
         // And it keeps journaling: later commands land in the journal.
         ui.execute("clear").expect("clears");
         ui.execute("plan place-flow").expect("instantiates");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn cache_commands_attach_report_and_hit_across_sessions() {
+        let root = std::env::temp_dir().join(format!("hercules-ui-cache-{}", std::process::id()));
+        std::fs::remove_dir_all(&root).ok();
+        let script = "goal Layout\n\
+             expand n0\n\
+             specialize n2 EditedNetlist\n\
+             expand n2\n\
+             bind-latest\n\
+             run\n";
+
+        let mut ui = Ui::new(Session::odyssey("jbb"));
+        let out = ui.execute("cache stats").expect("reports");
+        assert!(out.contains("not attached"), "{out}");
+        ui.execute(&format!("cache open {}", root.display()))
+            .expect("attaches");
+        ui.run_script(script).expect("script runs");
+        let cold_runs = ui.session().last_report().expect("ran").runs();
+        assert!(cold_runs > 0, "cold session invokes tools");
+        let out = ui.execute("cache stats").expect("reports");
+        assert!(out.contains("disk"), "{out}");
+        assert!(out.contains(&format!("inserts={cold_runs}")), "{out}");
+        drop(ui);
+
+        // A different user's session with a *fresh* history opens the
+        // same cache root: every tool run is served from A's work.
+        let mut ui = Ui::new(Session::odyssey("amber"));
+        ui.execute(&format!("cache open {}", root.display()))
+            .expect("attaches");
+        ui.run_script(script).expect("script runs");
+        assert_eq!(
+            ui.session().last_report().expect("ran").runs(),
+            0,
+            "warm session replays workspace A's results"
+        );
+        let out = ui.execute("cache gc").expect("collects");
+        assert!(out.contains("cache gc: scanned"), "{out}");
+        // The per-tier rates surface in the health report.
+        let out = ui.execute("health").expect("reports");
+        assert!(out.contains("cache.content.disk"), "{out}");
         std::fs::remove_dir_all(&root).ok();
     }
 

@@ -16,6 +16,7 @@ use hercules_schema::{EntityTypeId, TaskSchema};
 use hercules_sim::{Clock, Interleaver, SimInstant};
 
 use crate::binding::Binding;
+use crate::content_cache;
 use crate::encapsulation::{
     Encapsulation, EncapsulationRegistry, Invocation, MultiInstanceMode, ToolInput, ToolOutput,
 };
@@ -88,6 +89,14 @@ pub struct ExecOptions {
     /// run's whole backoff schedule is a function of its seed. Zero
     /// (the default) reproduces the historical schedule.
     pub jitter_seed: u64,
+    /// Content-addressed result cache, consulted ahead of every tool
+    /// dispatch (`None`, the default, disables it). A hit replays the
+    /// cached outputs into the history — byte-identical to running the
+    /// tool — and a produced result is written back for future
+    /// sessions. Unlike `reuse_cached` (same workspace, current
+    /// instances) this matches on content, so it hits across sessions,
+    /// workspaces, and machines that share a tier.
+    pub cache: Option<hercules_cache::ContentCache>,
 }
 
 impl Default for ExecOptions {
@@ -107,6 +116,7 @@ impl Default for ExecOptions {
             clock: Clock::real(),
             interleave: Interleaver::fifo(),
             jitter_seed: 0,
+            cache: None,
         }
     }
 }
@@ -569,49 +579,58 @@ impl Executor {
         let mut per_output: Vec<Vec<InstanceId>> = vec![Vec::new(); p.subtask.outputs.len()];
         let mut executed = 0usize;
         for run in runs {
-            match run {
+            // A content-cache replay records the same history as a
+            // fresh production; it just doesn't count as an execution.
+            let (tool_instance, input_instances, outputs, ran) = match run {
                 RunResult::Cached(instances) => {
                     for (slot, inst) in instances.into_iter().enumerate() {
                         per_output[slot].push(inst);
                     }
+                    continue;
                 }
                 RunResult::Produced {
                     tool_instance,
                     input_instances,
                     outputs,
-                } => {
-                    let key = (
-                        tool_instance,
-                        input_instances.clone(),
-                        outputs.iter().map(|o| o.entity).collect::<Vec<_>>(),
-                    );
-                    if let Some(shared) = invocation_cache.get(&key) {
-                        // An identical invocation already committed in
-                        // this execution: share its products instead of
-                        // recording twins.
-                        for (slot, &inst) in shared.iter().enumerate() {
-                            per_output[slot].push(inst);
-                        }
-                        continue;
-                    }
-                    executed += 1;
-                    let mut recorded = Vec::with_capacity(outputs.len());
-                    for (slot, out) in outputs.into_iter().enumerate() {
-                        let derivation = match tool_instance {
-                            Some(t) => Derivation::by_tool(t, input_instances.iter().copied()),
-                            None => Derivation::by_composition(input_instances.iter().copied()),
-                        };
-                        let mut meta = Metadata::by(&self.options.user);
-                        if !out.name.is_empty() {
-                            meta = meta.named(&out.name);
-                        }
-                        let inst = db.record_derived(out.entity, meta, &out.data, derivation)?;
-                        per_output[slot].push(inst);
-                        recorded.push(inst);
-                    }
-                    invocation_cache.insert(key, recorded);
+                } => (tool_instance, input_instances, outputs, true),
+                RunResult::Replayed {
+                    tool_instance,
+                    input_instances,
+                    outputs,
+                } => (tool_instance, input_instances, outputs, false),
+            };
+            let key = (
+                tool_instance,
+                input_instances.clone(),
+                outputs.iter().map(|o| o.entity).collect::<Vec<_>>(),
+            );
+            if let Some(shared) = invocation_cache.get(&key) {
+                // An identical invocation already committed in this
+                // execution: share its products instead of recording
+                // twins.
+                for (slot, &inst) in shared.iter().enumerate() {
+                    per_output[slot].push(inst);
                 }
+                continue;
             }
+            if ran {
+                executed += 1;
+            }
+            let mut recorded = Vec::with_capacity(outputs.len());
+            for (slot, out) in outputs.into_iter().enumerate() {
+                let derivation = match tool_instance {
+                    Some(t) => Derivation::by_tool(t, input_instances.iter().copied()),
+                    None => Derivation::by_composition(input_instances.iter().copied()),
+                };
+                let mut meta = Metadata::by(&self.options.user);
+                if !out.name.is_empty() {
+                    meta = meta.named(&out.name);
+                }
+                let inst = db.record_derived(out.entity, meta, &out.data, derivation)?;
+                per_output[slot].push(inst);
+                recorded.push(inst);
+            }
+            invocation_cache.insert(key, recorded);
         }
         for (slot, &node) in p.subtask.outputs.iter().enumerate() {
             available.insert(node, per_output[slot].clone());
@@ -1420,6 +1439,15 @@ enum RunResult {
         input_instances: Vec<InstanceId>,
         outputs: Vec<ToolOutput>,
     },
+    /// Outputs replayed from a content-cache hit: committed to the
+    /// history exactly like [`RunResult::Produced`] (so a warm run's
+    /// records are byte-identical to a cold run's), but not counted as
+    /// an execution.
+    Replayed {
+        tool_instance: Option<InstanceId>,
+        input_instances: Vec<InstanceId>,
+        outputs: Vec<ToolOutput>,
+    },
 }
 
 struct PreparedSubtask {
@@ -1574,6 +1602,7 @@ impl PreparedSubtask {
             a.uint("queue_wait_ns", queue_wait.as_nanos() as u64);
         });
         let mut attempts = 0u32;
+        let mut content_hits = 0u64;
         let mut results = Vec::with_capacity(self.runs.len());
         for (run_index, run) in self.runs.iter().enumerate() {
             match run {
@@ -1585,6 +1614,28 @@ impl PreparedSubtask {
                     tool_instance,
                     input_instances,
                 } => {
+                    // Content cache first: a hit replays the recorded
+                    // outputs instead of dispatching the tool.
+                    let content_key = options
+                        .cache
+                        .as_ref()
+                        .map(|_| content_cache::invocation_key(schema, invocation));
+                    if let (Some(cache), Some(key)) = (&options.cache, &content_key) {
+                        if let Some(outputs) = cache.lookup(key).and_then(|entry| {
+                            content_cache::outputs_from_entry(schema, &entry, &self.output_entities)
+                        }) {
+                            content_hits += 1;
+                            options.tracer.instant("content_cache_hit", task_span, |a| {
+                                a.str("key", key.to_hex().as_str());
+                            });
+                            results.push(RunResult::Replayed {
+                                tool_instance: *tool_instance,
+                                input_instances: input_instances.clone(),
+                                outputs,
+                            });
+                            continue;
+                        }
+                    }
                     let (result, used) = self.run_one(
                         schema,
                         invocation,
@@ -1594,11 +1645,28 @@ impl PreparedSubtask {
                     );
                     attempts = attempts.max(used);
                     match result {
-                        Ok(outputs) => results.push(RunResult::Produced {
-                            tool_instance: *tool_instance,
-                            input_instances: input_instances.clone(),
-                            outputs,
-                        }),
+                        Ok(outputs) => {
+                            // Write the fresh result back for future
+                            // sessions; insert is non-blocking (memory
+                            // now, persistent tiers asynchronously).
+                            if let (Some(cache), Some(key)) = (&options.cache, &content_key) {
+                                cache.insert(
+                                    key,
+                                    &content_cache::entry_from_outputs(
+                                        *key,
+                                        schema,
+                                        invocation,
+                                        &outputs,
+                                        options.clock.wall_unix_ms(),
+                                    ),
+                                );
+                            }
+                            results.push(RunResult::Produced {
+                                tool_instance: *tool_instance,
+                                input_instances: input_instances.clone(),
+                                outputs,
+                            })
+                        }
                         Err(error) => {
                             let duration = options.clock.since(started);
                             options
@@ -1628,6 +1696,7 @@ impl PreparedSubtask {
         options.tracer.end_with(task_span, |a| {
             a.bool("ok", true);
             a.uint("attempts", u64::from(attempts));
+            a.uint("content_hits", content_hits);
         });
         SubtaskOutcome {
             result: Ok(results),
@@ -1938,6 +2007,45 @@ mod tests {
         assert_eq!(second.cache_hits(), 1);
         assert_eq!(db.len(), len_after_first, "nothing re-recorded");
         assert_eq!(second.single(perf), first.single(perf));
+    }
+
+    #[test]
+    fn content_cache_hits_across_fresh_histories() {
+        let (schema, _, _) = setup();
+        let cache = hercules_cache::ContentCache::in_memory(
+            hercules_cache::MemoryBudget::default(),
+            Clock::real(),
+            Metrics::disabled(),
+        );
+        // Two executions against *separate* history databases — the
+        // content cache is the only thing they share, as if two
+        // workspaces ran the same extraction.
+        let run = |cache: hercules_cache::ContentCache| -> (ExecReport, Vec<u8>, usize) {
+            let mut db = HistoryDb::new(schema.clone());
+            toy::seed_everything(&mut db, "setup");
+            let mut executor = Executor::new(toy::text_registry(&schema));
+            executor.options_mut().cache = Some(cache);
+            let (flow, perf) = perf_flow(&schema);
+            let mut binding = Binding::new();
+            binding.bind_latest(&flow, &db);
+            let report = executor.execute(&flow, &binding, &mut db).expect("runs");
+            let data = db
+                .data_of(report.single(perf))
+                .expect("ok")
+                .expect("d")
+                .to_vec();
+            (report, data, db.len())
+        };
+        let (cold, cold_data, cold_len) = run(cache.clone());
+        assert_eq!(cold.runs(), 1, "cold run invokes the simulator");
+        let (warm, warm_data, warm_len) = run(cache.clone());
+        assert_eq!(warm.runs(), 0, "warm run replays the cached result");
+        assert_eq!(warm.cache_hits(), 1);
+        assert_eq!(warm_data, cold_data, "byte-identical output");
+        assert_eq!(warm_len, cold_len, "same history shape");
+        let stats = cache.stats();
+        assert_eq!(stats.tiers[0].hits, 1);
+        assert_eq!(stats.inserts, 1);
     }
 
     #[test]

@@ -65,6 +65,7 @@
 
 mod binding;
 pub mod cluster;
+pub mod content_cache;
 mod encapsulation;
 mod engine;
 mod error;

@@ -367,6 +367,60 @@ impl HealthReport {
             );
         }
 
+        // Content-addressed result cache (the `cache.*` family): one
+        // informational hit-rate check per tier that saw traffic, plus
+        // a disk-store integrity check. Silent when no content cache
+        // is attached — an absent subsystem is not a degraded one.
+        let content_tiers = [
+            ("cache.content.mem", "cache.mem.hits", "cache.mem.misses"),
+            ("cache.content.disk", "cache.disk.hits", "cache.disk.misses"),
+            (
+                "cache.content.remote",
+                "cache.remote.hits",
+                "cache.remote.misses",
+            ),
+        ];
+        let mut content_traffic = false;
+        for (check, hits_name, misses_name) in content_tiers {
+            let hits = counter(hits_name);
+            let total = hits + counter(misses_name);
+            if total == 0 {
+                continue;
+            }
+            content_traffic = true;
+            push(
+                check,
+                HealthStatus::Ok,
+                format!("{:.1}%", hits as f64 / total as f64 * 100.0),
+                format!("{hits} content hits over {total} lookups"),
+            );
+        }
+        let io_errors = counter("cache.disk.io_errors");
+        let dropped = counter("cache.disk.dropped_entries");
+        let disk_healthy = metrics.gauges.get("cache.disk.healthy").copied();
+        if content_traffic || io_errors > 0 || dropped > 0 || disk_healthy.is_some() {
+            let (status, value, detail) = if disk_healthy == Some(0) {
+                (
+                    HealthStatus::Critical,
+                    "failing".to_owned(),
+                    format!("last disk-tier operation failed ({io_errors} I/O errors)"),
+                )
+            } else if io_errors > 0 || dropped > 0 {
+                (
+                    HealthStatus::Warn,
+                    "degraded".to_owned(),
+                    format!("{io_errors} I/O errors, {dropped} damaged entries dropped"),
+                )
+            } else {
+                (
+                    HealthStatus::Ok,
+                    "clean".to_owned(),
+                    "no I/O errors, no damaged entries".to_owned(),
+                )
+            };
+            push("cache.content.store", status, value, detail);
+        }
+
         match analysis {
             None => push(
                 "analysis.index",
@@ -599,6 +653,64 @@ mod tests {
         let lax = HealthThresholds::default();
         let report = HealthReport::build(0, None, None, &m.snapshot(), &lax);
         assert_eq!(report.overall(), HealthStatus::Ok);
+    }
+
+    #[test]
+    fn content_cache_checks_follow_tier_traffic() {
+        // No cache.* activity at all: no content-cache checks emitted.
+        let report = HealthReport::build(
+            0,
+            None,
+            None,
+            &Metrics::new().snapshot(),
+            &HealthThresholds::default(),
+        );
+        assert!(
+            !report
+                .checks
+                .iter()
+                .any(|c| c.name.starts_with("cache.content")),
+            "absent subsystem stays silent"
+        );
+
+        // Tier traffic produces per-tier rates and a clean store check.
+        let m = Metrics::new();
+        m.incr("cache.mem.hits", 3);
+        m.incr("cache.mem.misses", 1);
+        m.incr("cache.disk.hits", 1);
+        m.incr("cache.disk.misses", 1);
+        m.gauge_set("cache.disk.healthy", 1);
+        let report =
+            HealthReport::build(0, None, None, &m.snapshot(), &HealthThresholds::default());
+        let by_name = |n: &str| report.checks.iter().find(|c| c.name == n).unwrap();
+        assert_eq!(by_name("cache.content.mem").value, "75.0%");
+        assert_eq!(by_name("cache.content.disk").value, "50.0%");
+        assert!(!report
+            .checks
+            .iter()
+            .any(|c| c.name == "cache.content.remote"));
+        assert_eq!(by_name("cache.content.store").status, HealthStatus::Ok);
+
+        // Dropped entries warn; a failing disk tier is critical.
+        m.incr("cache.disk.dropped_entries", 2);
+        let report =
+            HealthReport::build(0, None, None, &m.snapshot(), &HealthThresholds::default());
+        let store = report
+            .checks
+            .iter()
+            .find(|c| c.name == "cache.content.store")
+            .unwrap();
+        assert_eq!(store.status, HealthStatus::Warn);
+        assert!(store.detail.contains("2 damaged entries dropped"));
+        m.gauge_set("cache.disk.healthy", 0);
+        let report =
+            HealthReport::build(0, None, None, &m.snapshot(), &HealthThresholds::default());
+        let store = report
+            .checks
+            .iter()
+            .find(|c| c.name == "cache.content.store")
+            .unwrap();
+        assert_eq!(store.status, HealthStatus::Critical);
     }
 
     #[test]

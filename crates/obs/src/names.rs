@@ -124,6 +124,78 @@ pub const ANALYZE_INDEX_HITS: &str = "analyze.index_hits";
 /// fingerprint, or watermark ahead of the database).
 pub const ANALYZE_INDEX_REBUILDS: &str = "analyze.index_rebuilds";
 
+/// Counter: content-cache lookups answered by the in-memory tier.
+pub const CACHE_MEM_HITS: &str = "cache.mem.hits";
+
+/// Counter: content-cache lookups the in-memory tier could not answer
+/// (the lookup falls through to the disk tier, when one is attached).
+pub const CACHE_MEM_MISSES: &str = "cache.mem.misses";
+
+/// Gauge: entries currently resident in the in-memory tier.
+pub const CACHE_MEM_ENTRIES: &str = "cache.mem.entries";
+
+/// Histogram: wall nanoseconds per in-memory tier probe.
+pub const CACHE_MEM_LOOKUP_NS: &str = "cache.mem.lookup_ns";
+
+/// Counter: content-cache lookups answered by the on-disk tier.
+pub const CACHE_DISK_HITS: &str = "cache.disk.hits";
+
+/// Counter: on-disk tier probes that found no (valid) entry.
+pub const CACHE_DISK_MISSES: &str = "cache.disk.misses";
+
+/// Histogram: wall nanoseconds per on-disk tier probe (read + CRC
+/// validation + decode).
+pub const CACHE_DISK_LOOKUP_NS: &str = "cache.disk.lookup_ns";
+
+/// Counter: on-disk entries dropped because validation failed — a
+/// torn write, bit rot, or a key/entry mismatch. Dropped entries are
+/// deleted and reported as misses, never served.
+pub const CACHE_DISK_DROPPED: &str = "cache.disk.dropped_entries";
+
+/// Counter: I/O errors on the on-disk tier's lookup or write-back
+/// path. The cache is best-effort: errors degrade it to a smaller
+/// cache, they never fail the execution.
+pub const CACHE_DISK_IO_ERRORS: &str = "cache.disk.io_errors";
+
+/// Gauge: entries currently stored by the on-disk tier.
+pub const CACHE_DISK_ENTRIES: &str = "cache.disk.entries";
+
+/// Gauge: bytes currently stored by the on-disk tier.
+pub const CACHE_DISK_BYTES: &str = "cache.disk.bytes";
+
+/// Gauge: on-disk tier health — 1 while lookups and write-backs
+/// succeed, 0 after any I/O error until a later operation succeeds.
+pub const CACHE_DISK_HEALTHY: &str = "cache.disk.healthy";
+
+/// Counter: content-cache lookups answered by the remote tier.
+pub const CACHE_REMOTE_HITS: &str = "cache.remote.hits";
+
+/// Counter: remote tier probes that found no (valid) entry.
+pub const CACHE_REMOTE_MISSES: &str = "cache.remote.misses";
+
+/// Counter: remote tier fetch/store failures (timeouts, injected
+/// faults, unreachable backends). Best-effort, like the disk tier.
+pub const CACHE_REMOTE_ERRORS: &str = "cache.remote.errors";
+
+/// Histogram: wall nanoseconds per remote tier probe — under an
+/// injected-latency test remote this is where the degradation shows.
+pub const CACHE_REMOTE_LOOKUP_NS: &str = "cache.remote.lookup_ns";
+
+/// Counter: entries inserted into the cache (one per produced tool
+/// run that was written back, whatever tiers it reached).
+pub const CACHE_INSERTS: &str = "cache.inserts";
+
+/// Histogram: wall nanoseconds per write-back (disk + remote store).
+/// In the real environment write-backs run on a background thread, so
+/// this measures cache work, not executor hot-path stalls.
+pub const CACHE_WRITEBACK_NS: &str = "cache.writeback_ns";
+
+/// Counter: size-budget GC passes over the on-disk tier.
+pub const CACHE_GC_RUNS: &str = "cache.gc_runs";
+
+/// Counter: entries evicted by GC passes (oldest first).
+pub const CACHE_GC_EVICTED: &str = "cache.gc_evicted";
+
 #[cfg(test)]
 mod tests {
     /// Every well-known name, paired with its required family prefix.
@@ -155,6 +227,26 @@ mod tests {
         (super::ANALYZE_RETRACE_RERUN, "analyze."),
         (super::ANALYZE_INDEX_HITS, "analyze."),
         (super::ANALYZE_INDEX_REBUILDS, "analyze."),
+        (super::CACHE_MEM_HITS, "cache."),
+        (super::CACHE_MEM_MISSES, "cache."),
+        (super::CACHE_MEM_ENTRIES, "cache."),
+        (super::CACHE_MEM_LOOKUP_NS, "cache."),
+        (super::CACHE_DISK_HITS, "cache."),
+        (super::CACHE_DISK_MISSES, "cache."),
+        (super::CACHE_DISK_LOOKUP_NS, "cache."),
+        (super::CACHE_DISK_DROPPED, "cache."),
+        (super::CACHE_DISK_IO_ERRORS, "cache."),
+        (super::CACHE_DISK_ENTRIES, "cache."),
+        (super::CACHE_DISK_BYTES, "cache."),
+        (super::CACHE_DISK_HEALTHY, "cache."),
+        (super::CACHE_REMOTE_HITS, "cache."),
+        (super::CACHE_REMOTE_MISSES, "cache."),
+        (super::CACHE_REMOTE_ERRORS, "cache."),
+        (super::CACHE_REMOTE_LOOKUP_NS, "cache."),
+        (super::CACHE_INSERTS, "cache."),
+        (super::CACHE_WRITEBACK_NS, "cache."),
+        (super::CACHE_GC_RUNS, "cache."),
+        (super::CACHE_GC_EVICTED, "cache."),
     ];
 
     #[test]

@@ -1416,3 +1416,164 @@ fn sim_health_matches_recovery_report() {
         ),
     );
 }
+
+/// Builds a distinct content-cache entry for the sweep: key and
+/// payload are functions of the seed and index only.
+fn cache_entry_for(seed: u64, i: u64) -> (hercules::cache::CacheKey, hercules::cache::CacheEntry) {
+    let mut b = hercules::cache::KeyBuilder::new("sim.cache.sweep");
+    b.field_u64("seed", seed);
+    b.field_u64("index", i);
+    let key = b.finish();
+    let entry = hercules::cache::CacheEntry {
+        key,
+        tool: format!("SimTool{i}"),
+        created_ms: 1_000 + i,
+        outputs: vec![hercules::cache::CachedOutput {
+            entity: "SimProduct".to_owned(),
+            name: format!("run-{i}"),
+            data: vec![i as u8 ^ 0x5A; 64 + i as usize],
+        }],
+    };
+    (key, entry)
+}
+
+/// Crash-point sweep over the on-disk cache tier's write-back path:
+/// for every single filesystem operation of the write-back schedule,
+/// crash there, reboot from the crash image, and require that (a) the
+/// cache directory is still loadable, (b) every lookup is either a
+/// byte-correct hit or a miss — never wrong data — and (c) an insert
+/// whose write-back completed before the crash point survives it
+/// (atomic tmp/fsync/rename durability). Also checks the degraded
+/// session keeps serving from memory after the disk dies.
+#[test]
+fn sim_cache_writeback_crash_sweep() {
+    const TEST: &str = "sim_cache_writeback_crash_sweep";
+    use hercules::cache::{CacheConfig, ContentCache};
+    use hercules::obs::Metrics;
+    let seed = master_seed();
+    const ENTRIES: u64 = 6;
+    let entries: Vec<_> = (0..ENTRIES).map(|i| cache_entry_for(seed, i)).collect();
+
+    // Probe run, no crash: record the op-count boundary after each
+    // insert's (synchronous, under sim) write-back.
+    let probe = SimEnv::new(seed);
+    let cache = ContentCache::open(
+        &probe.fs(),
+        "/cache",
+        None,
+        CacheConfig::default(),
+        probe.clock(),
+        Metrics::disabled(),
+    )
+    .expect("probe open");
+    assert!(cache.sync_writes(), "sim write-back is synchronous");
+    let open_ops = probe.fs_state().op_count();
+    let mut after_ops = Vec::new();
+    for (key, entry) in &entries {
+        cache.insert(key, entry);
+        after_ops.push(probe.fs_state().op_count());
+    }
+    let total_ops = probe.fs_state().op_count();
+    sim_assert(
+        total_ops > open_ops,
+        seed,
+        TEST,
+        "write-back must touch the simulated disk",
+    );
+
+    for crash_at in open_ops + 1..=total_ops {
+        let sim = SimEnv::new(seed);
+        let cache = ContentCache::open(
+            &sim.fs(),
+            "/cache",
+            None,
+            CacheConfig::default(),
+            sim.clock(),
+            Metrics::disabled(),
+        )
+        .expect("open happens before the sweep window");
+        sim.fs_state().set_crash_at(Some(crash_at));
+        for (key, entry) in &entries {
+            // Disk errors are swallowed into counters: the insert (and
+            // the session around it) must keep going.
+            cache.insert(key, entry);
+        }
+        // Degraded, not dead: the memory tier still serves everything.
+        for (key, entry) in &entries {
+            let got = cache.lookup(key);
+            sim_assert(
+                got.as_ref() == Some(entry),
+                seed,
+                TEST,
+                &format!("memory tier must keep serving after a disk crash at op {crash_at}"),
+            );
+        }
+
+        let rebooted = sim.crash_and_reboot();
+        let fresh = ContentCache::open(
+            &rebooted.fs(),
+            "/cache",
+            None,
+            CacheConfig::default(),
+            rebooted.clock(),
+            Metrics::disabled(),
+        )
+        .unwrap_or_else(|e| {
+            panic!(
+                "cache must be loadable after a crash at op {crash_at}: {e}\n  reproduce: {}",
+                repro_command(seed, TEST)
+            )
+        });
+        for (i, (key, expected)) in entries.iter().enumerate() {
+            match fresh.lookup(key) {
+                Some(got) => sim_assert(
+                    got == *expected,
+                    seed,
+                    TEST,
+                    &format!("crash at op {crash_at}: entry {i} served with wrong bytes"),
+                ),
+                // Op number `crash_at` itself fails, so only inserts
+                // whose last op landed strictly before it are durable.
+                None => sim_assert(
+                    after_ops[i] >= crash_at,
+                    seed,
+                    TEST,
+                    &format!(
+                        "crash at op {crash_at}: entry {i} completed write-back at op {} \
+                         but did not survive the reboot",
+                        after_ops[i]
+                    ),
+                ),
+            }
+        }
+        // GC over the crash image reaps any torn tmp file and never
+        // drops a valid entry.
+        let report = fresh.gc().unwrap_or_else(|e| {
+            panic!(
+                "gc must succeed on the crash image (op {crash_at}): {e}\n  reproduce: {}",
+                repro_command(seed, TEST)
+            )
+        });
+        sim_assert(
+            report.dropped == 0,
+            seed,
+            TEST,
+            &format!(
+                "crash at op {crash_at}: atomic write-back must never leave a torn entry \
+                 under an entry name (gc dropped {})",
+                report.dropped
+            ),
+        );
+        for (i, (key, expected)) in entries.iter().enumerate() {
+            if after_ops[i] < crash_at {
+                let got = fresh.lookup(key);
+                sim_assert(
+                    got.as_ref() == Some(expected),
+                    seed,
+                    TEST,
+                    &format!("crash at op {crash_at}: gc evicted surviving entry {i}"),
+                );
+            }
+        }
+    }
+}
